@@ -1,0 +1,54 @@
+(* Shared helpers for the experiment harness: section headers, row
+   printing, wall-clock timing, and Bechamel micro-benchmark runs. *)
+
+let banner title =
+  Printf.printf "\n=============================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "=============================================================\n%!"
+
+let subsection title = Printf.printf "\n--- %s ---\n%!" title
+
+let row fmt = Printf.printf (fmt ^^ "\n%!")
+
+(* Wall-clock of a thunk in milliseconds. *)
+let time_ms f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let t1 = Unix.gettimeofday () in
+  (r, (t1 -. t0) *. 1000.)
+
+(* Median wall-clock over [n] runs. *)
+let time_ms_median ?(runs = 3) f =
+  let samples =
+    List.init runs (fun _ -> snd (time_ms f)) |> List.sort compare
+  in
+  List.nth samples (runs / 2)
+
+(* Bechamel micro-benchmarks: measure each (name, thunk) and print ns/run
+   estimated by OLS on the monotonic clock. *)
+let micro ?(quota = 0.5) tests =
+  let open Bechamel in
+  let open Toolkit in
+  let tests =
+    List.map (fun (name, f) -> Test.make ~name (Staged.stage f)) tests
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000
+      ~quota:(Time.second quota)
+      ~kde:(Some 1000) ()
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let results = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> row "  %-44s %12.0f ns/run" name est
+          | _ -> row "  %-44s (no estimate)" name)
+        results)
+    tests

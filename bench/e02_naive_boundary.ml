@@ -1,0 +1,56 @@
+(* E2 — Prop. 1: naïve evaluation cannot be extended beyond unions of
+   conjunctive queries.  For each non-UCQ feature (inequality, negation,
+   universal quantification) we exhibit a database where naïve evaluation
+   and certain answers disagree; for the UCQ controls they agree. *)
+
+open Certdb_values
+open Certdb_relational
+open Certdb_query
+
+let v = Fo.var
+
+let run () =
+  Bench_util.banner
+    "E2  Prop. 1: the naive-evaluation boundary is exactly UCQ";
+  let n1 = Value.fresh_null () and n2 = Value.fresh_null () in
+  let c i = Value.int i in
+  let cases =
+    [
+      ( "UCQ control: exists edge",
+        Fo.Exists ([ "x"; "y" ], Fo.atom "R" [ v "x"; v "y" ]),
+        Instance.of_list [ ("R", [ [ n1; c 1 ] ]) ],
+        [],
+        true );
+      ( "inequality: exists x<>y in R",
+        Fo.Exists
+          ( [ "x"; "y" ],
+            Fo.conj
+              [ Fo.atom "R" [ v "x"; v "x" ]; Fo.atom "R" [ v "y"; v "y" ];
+                Fo.Not (Fo.Eq (v "x", v "y")) ] ),
+        Instance.of_list [ ("R", [ [ n1; n1 ]; [ n2; n2 ] ]) ],
+        [],
+        false );
+      ( "negation: exists R(x) and not S(x)",
+        Fo.Exists
+          ([ "x" ], Fo.And (Fo.atom "R" [ v "x" ], Fo.Not (Fo.atom "S" [ v "x" ]))),
+        Instance.of_list [ ("R", [ [ n1 ] ]) ],
+        [ Instance.of_list [ ("R", [ [ c 5 ] ]); ("S", [ [ c 5 ] ]) ] ],
+        false );
+      ( "universal: all R-elements are S",
+        Fo.Forall ([ "x" ], Fo.Implies (Fo.atom "R" [ v "x" ], Fo.atom "S" [ v "x" ])),
+        Instance.of_list [ ("S", [ [ c 1 ] ]) ],
+        [ Instance.of_list [ ("S", [ [ c 1 ] ]); ("R", [ [ c 9 ] ]) ] ],
+        false );
+    ]
+  in
+  Bench_util.row "%-36s %-8s %-9s %-7s" "query" "naive" "certain" "agree";
+  List.iter
+    (fun (name, q, d, extra_worlds, expect_agree) ->
+      let naive = Certain.naive_holds q d in
+      let certain = Certain.certain_holds_fo ~worlds:extra_worlds q d in
+      let agree = naive = certain in
+      Bench_util.row "%-36s %-8b %-9b %-7b" name naive certain agree;
+      assert (agree = expect_agree))
+    cases;
+  Bench_util.row
+    "\nas Prop. 1 predicts: agreement holds exactly on the UCQ control."

@@ -1,0 +1,83 @@
+(* E3 — Prop. 5: the ⊗-product computes glbs of naïve tables; the size of
+   ∧X for a family of k tables with m tuples each is m^k ≤ (‖X‖/k)^k, and
+   even the core of the glb grows exponentially in k (adapted from [16]).
+
+   Also the eager-vs-lazy core ablation called out in DESIGN.md. *)
+
+open Certdb_values
+open Certdb_relational
+
+(* tables whose glb has a large core: facts R(c_i, ⊥) with distinct
+   constants per table force the product to retain many combinations *)
+let table ~offset ~tuples =
+  let n () = Value.fresh_null () in
+  Instance.of_list
+    [ ("R", List.init tuples (fun i -> [ Value.int (offset + i); n () ])) ]
+
+let run () =
+  Bench_util.banner
+    "E3  Prop. 5: glbs of naive tables via the ox-product; size growth";
+  Bench_util.row "%-4s %-4s %-10s %-10s %-12s %-12s %-12s" "k" "m" "|glb|"
+    "bound" "|core|" "glb(ms)" "core(ms)";
+  List.iter
+    (fun (k, m) ->
+      let tables = List.init k (fun i -> table ~offset:(i * 10) ~tuples:m) in
+      let glb, glb_ms = Bench_util.time_ms (fun () -> Glb.family tables) in
+      let total = List.fold_left (fun n t -> n + Instance.cardinal t) 0 tables in
+      let bound =
+        int_of_float
+          (Float.pow (float_of_int total /. float_of_int k) (float_of_int k))
+      in
+      let core, core_ms =
+        Bench_util.time_ms (fun () -> Core_instance.core glb)
+      in
+      (* sanity: the glb is a lower bound of every table *)
+      assert (List.for_all (fun t -> Ordering.leq glb t) tables);
+      Bench_util.row "%-4d %-4d %-10d %-10d %-12d %-12.2f %-12.2f" k m
+        (Instance.cardinal glb) bound (Instance.cardinal core) glb_ms core_ms)
+    [ (2, 2); (2, 3); (3, 2); (3, 3); (4, 2); (4, 3); (5, 2) ];
+  Bench_util.subsection
+    "exponential cores (adapted from [16]): prime directed cycles as naive tables";
+  (* the glb of {C_p : p prime} is hom-equivalent to C_(prod p): its core
+     has prod(p) tuples while the family itself has only sum(p) — the core
+     of the glb is necessarily exponential in the family size *)
+  let cycle_table p =
+    let nulls = Array.init p (fun _ -> Value.fresh_null ()) in
+    Instance.of_list
+      [ ("R", List.init p (fun i -> [ nulls.(i); nulls.((i + 1) mod p) ])) ]
+  in
+  Bench_util.row "%-14s %-8s %-10s %-10s %-12s" "family" "||X||" "|glb|"
+    "|core|" "core(ms)";
+  List.iter
+    (fun primes ->
+      let tables = List.map cycle_table primes in
+      let total = List.fold_left ( + ) 0 primes in
+      let glb = Glb.family tables in
+      let core, core_ms =
+        Bench_util.time_ms (fun () -> Core_instance.core glb)
+      in
+      Bench_util.row "%-14s %-8d %-10d %-10d %-12.1f"
+        (String.concat "," (List.map string_of_int primes))
+        total (Instance.cardinal glb) (Instance.cardinal core) core_ms)
+    [ [ 2; 3 ]; [ 2; 5 ]; [ 3; 5 ]; [ 2; 3; 5 ] ];
+
+  Bench_util.subsection
+    "glbs with shared constants (cores shrink when tables agree)";
+  Bench_util.row "%-4s %-10s %-10s" "k" "|glb|" "|core|";
+  List.iter
+    (fun k ->
+      (* identical tables: the glb is equivalent to the table itself *)
+      let t = table ~offset:0 ~tuples:3 in
+      let glb = Glb.family (List.init k (fun _ -> t)) in
+      let core = Core_instance.core glb in
+      Bench_util.row "%-4d %-10d %-10d" k (Instance.cardinal glb)
+        (Instance.cardinal core))
+    [ 2; 3; 4 ]
+
+let micro () =
+  let t1 = table ~offset:0 ~tuples:4 and t2 = table ~offset:10 ~tuples:4 in
+  Bench_util.micro
+    [
+      ("e3/glb-4x4", fun () -> ignore (Glb.glb t1 t2));
+      ("e3/core-of-glb-4x4", fun () -> ignore (Core_instance.core (Glb.glb t1 t2)));
+    ]

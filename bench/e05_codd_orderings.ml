@@ -1,0 +1,67 @@
+(* E5 — Prop. 4: the 1990s powerdomain ordering ⪯ coincides with the
+   information ordering ⊑ on Codd databases and diverges on naïve ones.
+   Shape: 100% agreement on Codd data; strictly positive divergence rate on
+   naïve data (⪯ accepts, ⊑ rejects); ⪯ stays polynomial as size grows. *)
+
+open Certdb_relational
+
+let run () =
+  Bench_util.banner
+    "E5  Prop. 4: hoare-lift vs homomorphism ordering (Codd vs naive)";
+  Bench_util.row "%-8s %-8s %-12s %-12s %-12s" "kind" "facts" "agree"
+    "hoare-only" "trials";
+  let trials = 60 in
+  List.iter
+    (fun (kind, facts, null_pool) ->
+      let agree = ref 0 and hoare_only = ref 0 in
+      for seed = 0 to trials - 1 do
+        let mk s =
+          match kind with
+          | `Codd ->
+            Codd.random ~seed:s ~schema:[ ("R", 2) ] ~facts ~null_prob:0.4
+              ~domain:3 ()
+          | `Naive ->
+            Codd.random_naive ~seed:s ~schema:[ ("R", 2) ] ~facts
+              ~null_prob:0.5 ~domain:2 ~null_pool ()
+        in
+        let d = mk (seed * 2) and d' = mk ((seed * 2) + 1) in
+        let h = Ordering.hoare_leq d d' and l = Ordering.leq d d' in
+        if h = l then incr agree;
+        if h && not l then incr hoare_only
+      done;
+      Bench_util.row "%-8s %-8d %-12d %-12d %-12d"
+        (match kind with `Codd -> "codd" | `Naive -> "naive")
+        facts !agree !hoare_only trials)
+    [ (`Codd, 4, 0); (`Codd, 8, 0); (`Naive, 3, 2); (`Naive, 4, 2); (`Naive, 5, 2) ];
+
+  Bench_util.subsection "polynomial ⪯ vs homomorphism search as size grows (Codd)";
+  Bench_util.row "%-8s %-12s %-12s" "facts" "hoare(ms)" "hom(ms)";
+  List.iter
+    (fun facts ->
+      let d =
+        Codd.random ~seed:11 ~schema:[ ("R", 2) ] ~facts ~null_prob:0.4
+          ~domain:6 ()
+      in
+      let d' =
+        Codd.random ~seed:12 ~schema:[ ("R", 2) ] ~facts ~null_prob:0.0
+          ~domain:6 ()
+      in
+      let h_ms = Bench_util.time_ms_median (fun () -> ignore (Ordering.hoare_leq d d')) in
+      let l_ms = Bench_util.time_ms_median (fun () -> ignore (Ordering.leq d d')) in
+      Bench_util.row "%-8d %-12.3f %-12.3f" facts h_ms l_ms)
+    [ 8; 16; 32; 64 ]
+
+let micro () =
+  let d =
+    Codd.random ~seed:1 ~schema:[ ("R", 2) ] ~facts:32 ~null_prob:0.4
+      ~domain:5 ()
+  in
+  let d' =
+    Codd.random ~seed:2 ~schema:[ ("R", 2) ] ~facts:32 ~null_prob:0.0
+      ~domain:5 ()
+  in
+  Bench_util.micro
+    [
+      ("e5/hoare-32", fun () -> ignore (Ordering.hoare_leq d d'));
+      ("e5/hom-32", fun () -> ignore (Ordering.leq d d'));
+    ]

@@ -1,0 +1,66 @@
+(* E7 — XML glbs (max-descriptions) by level-wise pairing; Prop. 6 (ordered
+   trees can lack finite glbs) and Prop. 10 (no lubs for unordered trees).
+   Shape: the construction is always a lower bound, dominates sampled lower
+   bounds, and its size is at most the product of the operand sizes; the
+   two impossibility results check out exhaustively on small pools. *)
+
+open Certdb_xml
+
+let mk_tree seed =
+  let t =
+    Tree.random ~seed
+      ~labels:[ ("r", 0); ("a", 1); ("b", 1); ("c", 0) ]
+      ~max_depth:4 ~max_children:3 ~null_prob:0.3 ~domain:3 ()
+  in
+  { t with Tree.label = "r"; data = [||] }
+
+let run () =
+  Bench_util.banner "E7  XML: glbs level by level; Props. 6 and 10";
+  Bench_util.subsection "glb validity and size on random tree pairs";
+  Bench_util.row "%-6s %-8s %-8s %-8s %-10s %-10s" "seed" "|T1|" "|T2|"
+    "|glb|" "lower-bd" "glb(ms)";
+  List.iter
+    (fun seed ->
+      let t1 = mk_tree seed and t2 = mk_tree (seed + 100) in
+      match Bench_util.time_ms (fun () -> Tree_glb.glb t1 t2) with
+      | Some g, ms ->
+        let lb = Tree_hom.leq g t1 && Tree_hom.leq g t2 in
+        Bench_util.row "%-6d %-8d %-8d %-8d %-10b %-10.2f" seed
+          (Tree.size t1) (Tree.size t2) (Tree.size g) lb ms
+      | None, _ -> Bench_util.row "%-6d (no glb: root labels differ)" seed)
+    [ 0; 1; 2; 3; 4; 5 ];
+
+  Bench_util.subsection "glb dominates sampled lower bounds";
+  let dominated = ref 0 and applicable = ref 0 in
+  for seed = 0 to 19 do
+    let t1 = mk_tree seed and t2 = mk_tree (seed + 200) in
+    let cand = mk_tree (seed + 400) in
+    match Tree_glb.glb t1 t2 with
+    | Some g when Tree_hom.leq cand t1 && Tree_hom.leq cand t2 ->
+      incr applicable;
+      if Tree_hom.leq cand g then incr dominated
+    | _ -> ()
+  done;
+  Bench_util.row "lower bounds flowing through the glb: %d/%d" !dominated
+    !applicable;
+
+  Bench_util.subsection "Prop. 6: sibling order destroys glbs";
+  let ta, tb = Ordered_tree.prop6_pair () in
+  let pool = Counterexamples.small_tree_pool () in
+  let maxima = Ordered_tree.maximal_lower_bounds_in_pool [ ta; tb ] ~pool in
+  Bench_util.row "pool size: %d; maximal lower bounds found: %d (>= 2)"
+    (List.length pool) (List.length maxima);
+  Bench_util.row "a glb exists in the pool: %b (expected false)"
+    (Ordered_tree.has_glb_in_pool [ ta; tb ] ~pool);
+
+  Bench_util.subsection "Prop. 10: no lub for unordered trees";
+  Bench_util.row "counterexample verified over the pool: %b"
+    (Counterexamples.prop10_check ())
+
+let micro () =
+  let t1 = mk_tree 0 and t2 = mk_tree 100 in
+  Bench_util.micro
+    [
+      ("e7/tree-glb", fun () -> ignore (Tree_glb.glb t1 t2));
+      ("e7/tree-hom", fun () -> ignore (Tree_hom.leq t1 t2));
+    ]

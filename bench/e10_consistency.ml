@@ -1,0 +1,91 @@
+(* E10 — Prop. 11: the consistency problem Cons(ϕ).
+   Shape: the ∃* case is input-independent (constant-time per fixed ϕ);
+   the ∃*∀ case solved by hom-into-K3 agrees exactly with reference
+   3-colorability, and its cost grows with the graph (NP-hardness). *)
+
+open Certdb_csp
+open Certdb_gdm
+open Certdb_graph
+open Certdb_consistency
+
+let graph_schema = Gschema.make ~alphabet:[ ("v", 0) ] ~sigma:[ ("E", 2) ]
+
+let gdb_of_undirected g =
+  let db =
+    List.fold_left
+      (fun db v -> Gdb.add_node db ~node:v ~label:"v" ~data:[])
+      Gdb.empty (Digraph.vertices g)
+  in
+  List.fold_left
+    (fun db (x, y) ->
+      Gdb.add_tuple (Gdb.add_tuple db "E" [ x; y ]) "E" [ y; x ])
+    db (Digraph.edges g)
+
+let k3 () =
+  let s = Digraph.to_structure (Digraph.clique 3) in
+  List.fold_left
+    (fun acc v -> Structure.add_node ~label:"v" acc v)
+    s (Structure.nodes s)
+
+let three_colorable g = Graph_props.colorable_sym 3 g
+
+let run () =
+  Bench_util.banner "E10  Prop. 11: the consistency problem Cons(phi)";
+  Bench_util.subsection "∃* conditions: decided by satisfiability alone";
+  let sat_f = Logic.Exists ([ "x"; "y" ], Logic.Rel ("E", [ "x"; "y" ])) in
+  let unsat_f =
+    Logic.Exists
+      ([ "x" ], Logic.And (Logic.Label ("v", "x"), Logic.Not (Logic.Label ("v", "x"))))
+  in
+  let _, t_sat =
+    Bench_util.time_ms (fun () -> Cons.cons_existential ~schema:graph_schema sat_f)
+  in
+  Bench_util.row "phi = 'some edge':      consistent = %b   (%.2f ms)"
+    (Cons.cons_existential ~schema:graph_schema sat_f)
+    t_sat;
+  Bench_util.row "phi = 'v and not v':    consistent = %b"
+    (Cons.cons_existential ~schema:graph_schema unsat_f);
+
+  Bench_util.subsection
+    "∃*∀ condition (K3 description): Cons = 3-colorability";
+  Bench_util.row "%-10s %-8s %-8s %-10s %-10s %-10s" "graph" "nodes"
+    "edges" "cons" "3-col" "ms";
+  let named_graphs =
+    [
+      ("C5", Digraph.cycle 5);
+      ("K3", Digraph.clique 3);
+      ("K4", Digraph.clique 4);
+      ("grid3x3", Digraph.grid 3 3);
+      ("rnd8", Digraph.random ~seed:3 ~vertices:8 ~edge_prob:0.35 ());
+      ("rnd10", Digraph.random ~seed:4 ~vertices:10 ~edge_prob:0.3 ());
+    ]
+  in
+  List.iter
+    (fun (name, g) ->
+      let db = gdb_of_undirected g in
+      let cons, ms =
+        Bench_util.time_ms (fun () -> Cons.cons_hom_into ~target:(k3 ()) db)
+      in
+      let reference = three_colorable g in
+      assert (cons = reference);
+      Bench_util.row "%-10s %-8d %-8d %-10b %-10b %-10.2f" name
+        (Digraph.size g) (Digraph.edge_count g) cons reference ms)
+    named_graphs;
+
+  Bench_util.subsection
+    "the generic bounded-model search agrees (tiny instances)";
+  let phi = Cons.three_colorability_condition () in
+  List.iter
+    (fun (name, g) ->
+      let db = gdb_of_undirected g in
+      let cons, ms =
+        Bench_util.time_ms (fun () ->
+            Cons.cons_bounded ~schema:graph_schema ~size_bound:3 phi db)
+      in
+      Bench_util.row "%-10s bounded-search cons = %-6b (%.1f ms)" name cons ms)
+    [ ("K3", Digraph.clique 3); ("K4", Digraph.clique 4) ]
+
+let micro () =
+  let db = gdb_of_undirected (Digraph.cycle 7) in
+  Bench_util.micro
+    [ ("e10/cons-hom-into-K3-C7", fun () -> ignore (Cons.cons_hom_into ~target:(k3 ()) db)) ]

@@ -1,0 +1,85 @@
+(* E14 — tree patterns and XML-to-XML queries: naïve matching as certain
+   answering (the pattern view of incompleteness the paper points to
+   [4,7,8], plus the [16] query model).  Shape: naïve application agrees
+   with the glb-over-completions reference on every instance, and scales
+   polynomially while the reference pays the completion blow-up. *)
+
+open Certdb_values
+open Certdb_xml
+
+let mk_catalog ~seed ~books ~null_prob =
+  let st = Random.State.make [| seed |] in
+  let book i =
+    let id =
+      if Random.State.float st 1.0 < null_prob then Value.fresh_null ()
+      else Value.int i
+    in
+    let who =
+      if Random.State.float st 1.0 < null_prob then Value.fresh_null ()
+      else Value.str (Printf.sprintf "auth%d" (Random.State.int st 3))
+    in
+    Tree.node "book" ~data:[ id ] [ Tree.leaf "author" ~data:[ who ] ]
+  in
+  Tree.node "catalog" (List.init books book)
+
+let query =
+  Xml_query.make
+    ~pattern:
+      (Pattern.node ~label:"book" ~data:[ Pattern.Var "id" ]
+         [ (Pattern.Child,
+            Pattern.node ~label:"author" ~data:[ Pattern.Var "who" ] []) ])
+    ~template:
+      (Xml_query.template "entry" ~data:[ Pattern.Var "who" ]
+         [ Xml_query.template "ref" ~data:[ Pattern.Var "id" ] [] ])
+
+let run () =
+  Bench_util.banner
+    "E14  Tree patterns and XML-to-XML queries: naive = certain";
+  Bench_util.row "%-6s %-7s %-7s %-8s %-12s %-12s" "seed" "books" "nulls"
+    "agree" "naive(ms)" "enum(ms)";
+  List.iter
+    (fun (seed, books) ->
+      let t = mk_catalog ~seed ~books ~null_prob:0.3 in
+      let nulls = Value.Set.cardinal (Tree.nulls t) in
+      if nulls <= 3 then begin
+        let naive, naive_ms = Bench_util.time_ms (fun () -> Xml_query.apply query t) in
+        let reference, enum_ms =
+          Bench_util.time_ms (fun () -> Xml_query.certain_by_enumeration query t)
+        in
+        let agree =
+          match reference with
+          | Some r -> Tree_hom.equiv r naive
+          | None -> false
+        in
+        Bench_util.row "%-6d %-7d %-7d %-8b %-12.2f %-12.2f" seed books nulls
+          agree naive_ms enum_ms
+      end
+      else Bench_util.row "%-6d %-7d %-7d (skipped: too many nulls)" seed books nulls)
+    [ (0, 2); (1, 2); (2, 3); (3, 3); (4, 4) ];
+
+  Bench_util.subsection "pattern matching scaling (naive only)";
+  Bench_util.row "%-7s %-12s %-12s" "books" "child(ms)" "descendant(ms)";
+  List.iter
+    (fun books ->
+      let t = mk_catalog ~seed:9 ~books ~null_prob:0.2 in
+      let p_child =
+        Pattern.node ~label:"book"
+          [ (Pattern.Child, Pattern.node ~label:"author" []) ]
+      in
+      let p_desc =
+        Pattern.node ~label:"catalog"
+          [ (Pattern.Descendant, Pattern.node ~label:"author" []) ]
+      in
+      let child_ms =
+        Bench_util.time_ms_median (fun () -> ignore (Pattern.all_matches p_child t))
+      in
+      let desc_ms =
+        Bench_util.time_ms_median (fun () -> ignore (Pattern.all_matches p_desc t))
+      in
+      Bench_util.row "%-7d %-12.3f %-12.3f" books child_ms desc_ms)
+    [ 8; 16; 32; 64 ]
+
+let micro () =
+  let t = mk_catalog ~seed:3 ~books:16 ~null_prob:0.2 in
+  Bench_util.micro
+    [ ("e14/xml-query-apply-16", fun () -> ignore (Xml_query.apply query t)) ]

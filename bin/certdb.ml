@@ -1,0 +1,405 @@
+(* certdb — command-line front end to the library.
+
+   Instances are written in the Parse syntax: R(1, 2, _x); S(_x, "ann").
+   Nulls are _name; the same name is the same null within one instance
+   argument (different arguments have disjoint nulls).
+
+     certdb leq    "R(1,_x)" "R(1,2)"          # information ordering
+     certdb cwa    "R(_x)"   "R(1)"            # closed-world ordering
+     certdb member "R(1,_x)" "R(1,2); R(3,4)"  # membership D' in [[D]]
+     certdb glb    "R(1,_x)" "R(1,2)"          # certain information
+     certdb lub    "R(1,_x)" "R(_y,2)"         # least upper bound
+     certdb core   "R(1,_x); R(1,2)"           # core of an instance
+     certdb certain --query "ans(x) :- R(x,y)" "R(1,_u); R(_v,2)"
+     certdb chase  --tgd "S(x,y) -> T(x,z); T(z,y)" "S(1,2)"          *)
+
+open Cmdliner
+open Certdb_values
+open Certdb_relational
+
+(* an argument starting with '@' names a file holding the text *)
+let resolve_arg s =
+  if String.length s > 0 && s.[0] = '@' then begin
+    let path = String.sub s 1 (String.length s - 1) in
+    match In_channel.with_open_text path In_channel.input_all with
+    | contents -> contents
+    | exception Sys_error msg ->
+      Printf.eprintf "cannot read %s: %s\n" path msg;
+      exit 2
+  end
+  else s
+
+let parse_instance_arg s =
+  try fst (Parse.instance (resolve_arg s)) with
+  | Parse.Parse_error msg ->
+    Printf.eprintf "parse error: %s\n" msg;
+    exit 2
+
+let instance_pos ~pos:p ~doc =
+  Arg.(required & pos p (some string) None & info [] ~docv:"INSTANCE" ~doc)
+
+let print_instance d = print_endline (Parse.to_string d)
+
+(* leq *)
+let leq_cmd =
+  let run d1 d2 =
+    let d1 = parse_instance_arg d1 and d2 = parse_instance_arg d2 in
+    match Hom.find d1 d2 with
+    | Some h ->
+      Printf.printf "true\n";
+      Format.printf "witness: %a@." Valuation.pp h;
+      0
+    | None ->
+      Printf.printf "false\n";
+      1
+  in
+  let d1 = instance_pos ~pos:0 ~doc:"Less informative instance." in
+  let d2 = instance_pos ~pos:1 ~doc:"More informative instance." in
+  Cmd.v
+    (Cmd.info "leq"
+       ~doc:"Decide the information ordering D1 <= D2 (homomorphism).")
+    Term.(const run $ d1 $ d2)
+
+(* cwa *)
+let cwa_cmd =
+  let run d1 d2 =
+    let d1 = parse_instance_arg d1 and d2 = parse_instance_arg d2 in
+    let result = Ordering.cwa_leq d1 d2 in
+    Printf.printf "%b\n" result;
+    if Codd.is_codd d1 then
+      Printf.printf "via Prop. 8 (hoare + Hall): %b\n"
+        (Ordering.cwa_leq_codd d1 d2);
+    if result then 0 else 1
+  in
+  let d1 = instance_pos ~pos:0 ~doc:"Less informative instance." in
+  let d2 = instance_pos ~pos:1 ~doc:"More informative instance." in
+  Cmd.v
+    (Cmd.info "cwa" ~doc:"Decide the closed-world ordering (onto homomorphism).")
+    Term.(const run $ d1 $ d2)
+
+(* member *)
+let member_cmd =
+  let run d r =
+    let d = parse_instance_arg d and r = parse_instance_arg r in
+    if not (Instance.is_complete r) then begin
+      Printf.eprintf "the second instance must be complete\n";
+      2
+    end
+    else begin
+      let result = Semantics.mem r d in
+      Printf.printf "%b\n" result;
+      if result then 0 else 1
+    end
+  in
+  let d = instance_pos ~pos:0 ~doc:"Incomplete instance D." in
+  let r = instance_pos ~pos:1 ~doc:"Complete candidate instance." in
+  Cmd.v
+    (Cmd.info "member" ~doc:"Decide membership: is the completion in [[D]]?")
+    Term.(const run $ d $ r)
+
+(* glb *)
+let glb_cmd =
+  let run reduce ds =
+    let instances = List.map parse_instance_arg ds in
+    (match instances with
+    | [] -> Printf.eprintf "need at least one instance\n"
+    | _ ->
+      let g = Glb.family instances in
+      let g = if reduce then Core_instance.core g else g in
+      print_instance g);
+    0
+  in
+  let reduce =
+    Arg.(value & flag & info [ "core" ] ~doc:"Reduce the result to its core.")
+  in
+  let ds = Arg.(non_empty & pos_all string [] & info [] ~docv:"INSTANCE") in
+  Cmd.v
+    (Cmd.info "glb"
+       ~doc:
+         "Greatest lower bound (certain information / max-description) of \
+          the given instances.")
+    Term.(const run $ reduce $ ds)
+
+(* lub *)
+let lub_cmd =
+  let run ds =
+    let instances = List.map parse_instance_arg ds in
+    print_instance (Lub.family instances);
+    0
+  in
+  let ds = Arg.(non_empty & pos_all string [] & info [] ~docv:"INSTANCE") in
+  Cmd.v
+    (Cmd.info "lub" ~doc:"Least upper bound (disjoint union, nulls renamed).")
+    Term.(const run $ ds)
+
+(* core *)
+let core_cmd =
+  let run d =
+    print_instance (Core_instance.core (parse_instance_arg d));
+    0
+  in
+  let d = instance_pos ~pos:0 ~doc:"Instance to reduce." in
+  Cmd.v (Cmd.info "core" ~doc:"Core of a naive instance.") Term.(const run $ d)
+
+(* certain: parse a CQ of the form "ans(x,y) :- R(x,z), S(z,y)" *)
+let parse_cq s =
+  let fail msg =
+    Printf.eprintf "query parse error: %s\n" msg;
+    exit 2
+  in
+  match String.index_opt s ':' with
+  | None -> fail "expected 'ans(vars) :- atoms'"
+  | Some i ->
+    let head_part = String.trim (String.sub s 0 i) in
+    let body_part =
+      String.trim (String.sub s (i + 2) (String.length s - i - 2))
+    in
+    let head_vars =
+      match String.index_opt head_part '(' with
+      | Some j when String.length head_part > 0 && head_part.[String.length head_part - 1] = ')' ->
+        let inner =
+          String.sub head_part (j + 1) (String.length head_part - j - 2)
+        in
+        if String.trim inner = "" then []
+        else
+          String.split_on_char ',' inner |> List.map String.trim
+      | _ -> fail "malformed head"
+    in
+    (* body: use the instance parser with commas between atoms replaced by
+       relying on ';' separators; accept both *)
+    let body_src =
+      String.map (fun c -> c) body_part
+    in
+    (* naive split on ")," boundaries: replace ")," with ");" *)
+    let buf = Buffer.create (String.length body_src) in
+    String.iteri
+      (fun idx c ->
+        if c = ',' && idx > 0 && body_src.[idx - 1] = ')' then
+          Buffer.add_char buf ';'
+        else Buffer.add_char buf c)
+      body_src;
+    let body_inst, bindings =
+      try Parse.instance (Buffer.contents buf)
+      with Parse.Parse_error m -> fail m
+    in
+    (* variables come back as nulls named by the binding list; convert the
+       instance into CQ atoms with Vars for named nulls *)
+    let name_of_null v =
+      List.find_map
+        (fun (name, v') -> if Value.equal v v' then Some name else None)
+        bindings
+    in
+    let atoms =
+      List.map
+        (fun (f : Instance.fact) ->
+          ( f.rel,
+            List.map
+              (fun v ->
+                match name_of_null v with
+                | Some name -> Certdb_query.Fo.Var name
+                | None -> Certdb_query.Fo.Val v)
+              (Array.to_list f.args) ))
+        (Instance.facts body_inst)
+    in
+    (* in this syntax variables are written _x; heads may be written with
+       or without the underscore *)
+    let normalize v = if String.length v > 0 && v.[0] = '_' then String.sub v 1 (String.length v - 1) else v in
+    let head = List.map normalize head_vars in
+    try Certdb_query.Cq.make ~head atoms
+    with Invalid_argument m -> fail m
+
+let certain_cmd =
+  let run query d =
+    let d = parse_instance_arg d in
+    let q = parse_cq query in
+    let u = Certdb_query.Ucq.make [ q ] in
+    print_instance (Certdb_query.Certain.naive_eval_ucq u d);
+    0
+  in
+  let query =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "query"; "q" ] ~docv:"CQ"
+          ~doc:"Conjunctive query, e.g. 'ans(_x) :- R(_x,_y)'.")
+  in
+  let d = instance_pos ~pos:0 ~doc:"Incomplete instance." in
+  Cmd.v
+    (Cmd.info "certain"
+       ~doc:"Certain answers of a conjunctive query by naive evaluation.")
+    Term.(const run $ query $ d)
+
+(* chase *)
+let parse_tgd s =
+  let fail msg =
+    Printf.eprintf "tgd parse error: %s\n" msg;
+    exit 2
+  in
+  let split_arrow s =
+    let rec find i =
+      if i + 1 >= String.length s then None
+      else if s.[i] = '-' && s.[i + 1] = '>' then
+        Some (String.sub s 0 i, String.sub s (i + 2) (String.length s - i - 2))
+      else find (i + 1)
+    in
+    find 0
+  in
+  match split_arrow s with
+  | None -> fail "expected 'body -> head'"
+  | Some (body_s, head_s) -> (
+    try
+      (* shared variable names on the two sides must be the same nulls:
+         seed the head parse with the body's bindings *)
+      let body, bindings = Parse.instance body_s in
+      let head, _ = Parse.instance ~bindings head_s in
+      Certdb_exchange.Mapping.relational_rule ~body ~head
+    with Parse.Parse_error m -> fail m)
+
+let chase_cmd =
+  let run tgds d =
+    let source = parse_instance_arg d in
+    let mapping = List.map parse_tgd tgds in
+    let solution = Certdb_exchange.Universal.chase_relational mapping source in
+    print_instance solution;
+    0
+  in
+  let tgds =
+    Arg.(
+      non_empty
+      & opt_all string []
+      & info [ "tgd" ] ~docv:"TGD"
+          ~doc:
+            "Source-to-target dependency, e.g. 'S(_x,_y) -> T(_x,_z); \
+             T(_z,_y)'.  Repeatable.")
+  in
+  let d = instance_pos ~pos:0 ~doc:"Source instance." in
+  Cmd.v
+    (Cmd.info "chase"
+       ~doc:"Chase a source instance: canonical universal solution.")
+    Term.(const run $ tgds $ d)
+
+(* certain-fo: Boolean FO certainty *)
+let certain_fo_cmd =
+  let run query mode d =
+    let d = parse_instance_arg d in
+    let f =
+      try Certdb_query.Fo_parse.formula (resolve_arg query)
+      with Certdb_query.Fo_parse.Parse_error msg ->
+        Printf.eprintf "formula parse error: %s\n" msg;
+        exit 2
+    in
+    let result =
+      match mode with
+      | `Naive -> Certdb_query.Certain.naive_holds f d
+      | `Cwa -> Certdb_query.Certain.certain_holds_cwa f d
+      | `Owa ->
+        if Certdb_query.Fo.is_existential f then
+          Certdb_query.Certain.certain_existential f d
+        else begin
+          Printf.eprintf
+            "owa certainty is only exact for existential sentences; use \
+             --mode cwa or --mode naive\n";
+          exit 2
+        end
+    in
+    Printf.printf "%b\n" result;
+    if result then 0 else 1
+  in
+  let query =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "query"; "q" ] ~docv:"FO"
+          ~doc:"Sentence, e.g. 'exists x. R(x,1) and not S(x)'.")
+  in
+  let mode =
+    Arg.(
+      value
+      & opt (enum [ ("owa", `Owa); ("cwa", `Cwa); ("naive", `Naive) ]) `Owa
+      & info [ "mode" ]
+          ~doc:
+            "owa: exact certainty for existential sentences; cwa: certainty \
+             over groundings; naive: evaluate with nulls as values.")
+  in
+  let d = instance_pos ~pos:0 ~doc:"Incomplete instance." in
+  Cmd.v
+    (Cmd.info "certain-fo"
+       ~doc:"Certain truth of a Boolean first-order sentence.")
+    Term.(const run $ query $ mode $ d)
+
+(* tree commands *)
+let parse_tree_arg s =
+  try fst (Certdb_xml.Tree_parse.tree (resolve_arg s)) with
+  | Certdb_xml.Tree_parse.Parse_error msg ->
+    Printf.eprintf "tree parse error: %s\n" msg;
+    exit 2
+
+let tree_pos ~pos:p ~doc =
+  Arg.(required & pos p (some string) None & info [] ~docv:"TREE" ~doc)
+
+let tree_leq_cmd =
+  let run t1 t2 =
+    let t1 = parse_tree_arg t1 and t2 = parse_tree_arg t2 in
+    let result = Certdb_xml.Tree_hom.leq t1 t2 in
+    Printf.printf "%b\n" result;
+    if result then 0 else 1
+  in
+  let t1 = tree_pos ~pos:0 ~doc:"Less informative tree." in
+  let t2 = tree_pos ~pos:1 ~doc:"More informative tree." in
+  Cmd.v
+    (Cmd.info "tree-leq"
+       ~doc:"Information ordering on XML trees (homomorphism existence).")
+    Term.(const run $ t1 $ t2)
+
+let tree_glb_cmd =
+  let run ts =
+    let trees = List.map parse_tree_arg ts in
+    (match Certdb_xml.Tree_glb.family_reduced trees with
+    | Some g -> print_endline (Certdb_xml.Tree_parse.to_string g)
+    | None -> print_endline "(no glb: root labels differ)");
+    0
+  in
+  let ts = Arg.(non_empty & pos_all string [] & info [] ~docv:"TREE") in
+  Cmd.v
+    (Cmd.info "tree-glb"
+       ~doc:
+         "Certain information (max-description) of a set of XML trees: the \
+          glb in the tree class.")
+    Term.(const run $ ts)
+
+let tree_member_cmd =
+  let run t candidate =
+    let t = parse_tree_arg t and candidate = parse_tree_arg candidate in
+    if not (Certdb_xml.Tree.is_complete candidate) then begin
+      Printf.eprintf "the second tree must be complete\n";
+      2
+    end
+    else begin
+      (* trees have treewidth 1: under the Codd interpretation the
+         Theorem 6 dynamic program decides membership in PTIME *)
+      let db = Certdb_xml.Tree.to_gdb t in
+      let result =
+        if Certdb_gdm.Gdb.codd db then
+          Certdb_gdm.Membership.codd_leq db (Certdb_xml.Tree.to_gdb candidate)
+        else Certdb_xml.Tree_hom.mem candidate t
+      in
+      Printf.printf "%b\n" result;
+      if result then 0 else 1
+    end
+  in
+  let t = tree_pos ~pos:0 ~doc:"Incomplete tree T." in
+  let candidate = tree_pos ~pos:1 ~doc:"Complete candidate tree." in
+  Cmd.v
+    (Cmd.info "tree-member" ~doc:"Membership: is the complete tree in [[T]]?")
+    Term.(const run $ t $ candidate)
+
+let main_cmd =
+  let doc = "certain answers over incomplete databases (PODS'11 reproduction)" in
+  Cmd.group
+    (Cmd.info "certdb" ~version:"1.0.0" ~doc)
+    [
+      leq_cmd; cwa_cmd; member_cmd; glb_cmd; lub_cmd; core_cmd; certain_cmd;
+      certain_fo_cmd; chase_cmd; tree_leq_cmd; tree_glb_cmd; tree_member_cmd;
+    ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,85 @@
+(* Quickstart: naïve tables, the information ordering, certain answers.
+
+   Run with:  dune exec examples/quickstart.exe
+
+   Walks through Section 2.1 of the paper on its running example: an
+   incomplete database D, a completion R ∈ [[D]], certain answers of a
+   conjunctive query by naïve evaluation, and the same answer through the
+   order-theoretic characterization (Prop. 2). *)
+
+open Certdb_values
+open Certdb_relational
+open Certdb_query
+
+let section title = Format.printf "@.== %s ==@." title
+
+let () =
+  let n1 = Value.fresh_null () in
+  let n2 = Value.fresh_null () in
+  let n3 = Value.fresh_null () in
+  let c i = Value.int i in
+
+  section "An incomplete database (the paper's running example)";
+  (* D: (1,2,⊥1), (⊥2,⊥1,3), (⊥3,5,1) over a single ternary relation *)
+  let d =
+    Instance.of_list
+      [ ("D", [ [ c 1; c 2; n1 ]; [ n2; n1; c 3 ]; [ n3; c 5; c 1 ] ]) ]
+  in
+  Format.printf "D = %a@." Instance.pp d;
+
+  section "A completion R and the membership check R ∈ [[D]]";
+  let r =
+    Instance.of_list
+      [ ("D",
+         [ [ c 1; c 2; c 4 ]; [ c 3; c 4; c 3 ];
+           [ c 5; c 5; c 1 ]; [ c 3; c 7; c 8 ] ]) ]
+  in
+  Format.printf "R = %a@." Instance.pp r;
+  Format.printf "R in [[D]]?  %b@." (Semantics.mem r d);
+  (match Hom.find d r with
+   | Some h -> Format.printf "witnessing homomorphism: %a@." Valuation.pp h
+   | None -> assert false);
+
+  section "Certain answers of a conjunctive query (naive evaluation)";
+  (* Q(x) :- D(x, y, z), D(z, u, v): heads of length-2 chains *)
+  let q =
+    Cq.make ~head:[ "x" ]
+      [ ("D", [ Fo.Var "x"; Fo.Var "y"; Fo.Var "z" ]);
+        ("D", [ Fo.Var "z"; Fo.Var "u"; Fo.Var "v" ]) ]
+  in
+  Format.printf "Q: %a@." Cq.pp q;
+  let u = Ucq.make [ q ] in
+  let naive = Certain.naive_eval_ucq u d in
+  Format.printf "certain(Q, D) by naive evaluation: %a@." Instance.pp naive;
+  let reference =
+    Semantics.certain_answers_by_enumeration (fun w -> Ucq.answers u w) d
+  in
+  Format.printf "certain(Q, D) by enumerating completions: %a@."
+    Instance.pp reference;
+  Format.printf "agreement (Imielinski-Lipski): %b@."
+    (Instance.equal naive reference);
+
+  section "Prop. 2: three views of Boolean certainty";
+  (* Boolean query: is there a fact with first and last column equal? *)
+  let qb =
+    Cq.boolean [ ("D", [ Fo.Var "x"; Fo.Var "y"; Fo.Var "x" ]) ]
+  in
+  Format.printf "Q_b: %a@." Cq.pp qb;
+  Format.printf "via tableau homomorphism (D_Q <= D): %b@."
+    (Certain.certain_cq_via_hom qb d);
+  Format.printf "via containment (Q_D <= Q): %b@."
+    (Certain.certain_cq_via_containment qb d);
+  Format.printf "via naive evaluation: %b@."
+    (Certain.certain_cq_via_naive qb d);
+
+  section "The information ordering and glbs (certain information)";
+  let d1 = Instance.of_list [ ("D", [ [ c 1; c 2; n1 ]; [ n1; c 5; c 1 ] ]) ] in
+  let d2 = Instance.of_list [ ("D", [ [ c 1; c 2; c 9 ]; [ c 9; c 5; c 1 ] ]) ] in
+  Format.printf "D1 = %a@.D2 = %a@." Instance.pp d1 Instance.pp d2;
+  Format.printf "D1 <= D2?  %b   (D2 <= D1?  %b)@."
+    (Ordering.leq d1 d2) (Ordering.leq d2 d1);
+  let g = Glb.certain_information [ d1; d2 ] in
+  Format.printf "certain information in {D1, D2} (core of the glb): %a@."
+    Instance.pp g;
+  Format.printf "it is a lower bound: %b %b@."
+    (Ordering.leq g d1) (Ordering.leq g d2)

@@ -1,0 +1,86 @@
+(* A tour of the order-theoretic core (Section 3) on live database
+   objects: preorders, glbs, max-descriptions and the Galois connection,
+   the Dedekind–MacNeille completion, and the 1990s powerdomain lifts.
+
+   Run with:  dune exec examples/theory_tour.exe *)
+
+open Certdb_values
+open Certdb_relational
+
+let section title = Format.printf "@.== %s ==@." title
+let c i = Value.int i
+
+module Rel = struct
+  type t = Instance.t
+
+  let leq = Ordering.leq
+end
+
+module P = Certdb_order.Preorder.Make (Rel)
+module G = Certdb_order.Galois.Make (Rel)
+
+let () =
+  section "A small pool of instances ordered by information";
+  let x = Value.fresh_null () in
+  let d_unknown = Instance.of_list [ ("R", [ [ x; x ] ]) ] in
+  let d_half = Instance.of_list [ ("R", [ [ c 1; x ] ]) ] in
+  let d_loop = Instance.of_list [ ("R", [ [ c 1; c 1 ] ]) ] in
+  let d_edge = Instance.of_list [ ("R", [ [ c 1; c 2 ] ]) ] in
+  let d_both = Instance.union d_loop d_edge in
+  let pool = [ Instance.empty; d_unknown; d_half; d_loop; d_edge; d_both ] in
+  List.iter (fun d -> Format.printf "  %a@." Instance.pp d) pool;
+
+  section "Chains and antichains in the preorder";
+  Format.printf "empty <= R(x,x) <= R(1,1): %b@."
+    (P.is_chain [ Instance.empty; d_unknown; d_loop ]);
+  Format.printf "R(1,1) and R(1,2) incomparable: %b@."
+    (P.is_antichain [ d_loop; d_edge ]);
+  Format.printf "R(x,x) below R(1,1) but not R(1,2): %b %b@."
+    (Ordering.leq d_unknown d_loop)
+    (Ordering.leq d_unknown d_edge);
+
+  section "Glbs in the pool = certain information";
+  (match P.glb_in_pool [ d_loop; d_edge ] ~pool with
+  | Some g -> Format.printf "glb of R(1,1), R(1,2) in pool: %a@." Instance.pp g
+  | None -> Format.printf "no glb inside the pool@.");
+  let constructed = Glb.glb d_loop d_edge in
+  Format.printf "constructed glb (Prop. 5): %a@." Instance.pp constructed;
+  Format.printf "it is a glb relative to the pool: %b@."
+    (P.is_glb constructed [ d_loop; d_edge ] ~pool:(constructed :: pool));
+
+  section "Theorem 1 through the Galois connection";
+  let pool' = constructed :: pool in
+  Format.printf "Mod/Th laws hold on the pool: %b@." (G.laws_hold ~pool:pool');
+  Format.printf "the glb is a max-description of {R(1,1), R(1,2)}: %b@."
+    (G.is_max_description constructed [ d_loop; d_edge ] ~pool:pool');
+
+  section "Dedekind-MacNeille completion of the pool";
+  let arr = Array.of_list pool' in
+  let completion =
+    Certdb_order.Completion.make ~size:(Array.length arr) ~leq:(fun i j ->
+        Ordering.leq arr.(i) arr.(j))
+  in
+  Format.printf "%d instances complete to a lattice of %d cuts (lattice: %b)@."
+    (Array.length arr)
+    (Certdb_order.Completion.cardinal completion)
+    (Certdb_order.Completion.is_lattice completion);
+
+  section "Powerdomain lifts on the tuple order";
+  let module Tup = struct
+    type t = Instance.fact
+
+    let leq (f : Instance.fact) (g : Instance.fact) =
+      String.equal f.rel g.rel && Ordering.tuple_leq f.args g.args
+  end in
+  let module PD = Certdb_order.Powerdomain.Make (Tup) in
+  Format.printf "hoare lift of facts = the 1990s ordering: %b@."
+    (PD.hoare (Instance.facts d_half) (Instance.facts d_edge)
+    = Ordering.hoare_leq d_half d_edge);
+  Format.printf
+    "on this Codd-style pair it matches the semantic ordering too: %b@."
+    (Ordering.hoare_leq d_half d_edge = Ordering.leq d_half d_edge);
+
+  section "Where the lift breaks (Prop. 4) - repeated nulls";
+  Format.printf "R(x,x) hoare-below R(1,2): %b, but hom-below: %b@."
+    (Ordering.hoare_leq d_unknown d_edge)
+    (Ordering.leq d_unknown d_edge)

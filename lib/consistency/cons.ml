@@ -1,0 +1,181 @@
+open Certdb_values
+open Certdb_csp
+open Certdb_gdm
+module Int_map = Structure.Int_map
+
+let rec is_structural = function
+  | Logic.True | Logic.False | Logic.Rel _ | Logic.Label _ | Logic.NodeEq _ ->
+    true
+  | Logic.EqAttr _ -> false
+  | Logic.Not f -> is_structural f
+  | Logic.And (f, g) | Logic.Or (f, g) | Logic.Implies (f, g) ->
+    is_structural f && is_structural g
+  | Logic.Exists (_, f) | Logic.Forall (_, f) -> is_structural f
+
+let rec is_quantifier_free = function
+  | Logic.True | Logic.False | Logic.Rel _ | Logic.Label _ | Logic.NodeEq _
+  | Logic.EqAttr _ ->
+    true
+  | Logic.Not f -> is_quantifier_free f
+  | Logic.And (f, g) | Logic.Or (f, g) | Logic.Implies (f, g) ->
+    is_quantifier_free f && is_quantifier_free g
+  | Logic.Exists _ | Logic.Forall _ -> false
+
+let classify f =
+  let rec strip_exists = function
+    | Logic.Exists (_, g) -> strip_exists g
+    | g -> g
+  in
+  let rec strip_forall = function
+    | Logic.Forall (_, g) -> strip_forall g
+    | g -> g
+  in
+  let after_exists = strip_exists f in
+  if is_quantifier_free after_exists then `Existential
+  else if is_quantifier_free (strip_forall after_exists) then `Exists_forall
+  else `Other
+
+let rec count_exists = function
+  | Logic.Exists (xs, g) -> List.length xs + count_exists g
+  | _ -> 0
+
+(* All labeled structures with nodes 0..n-1 over the schema, wrapped as
+   generalized databases with fresh-constant data (structural conditions
+   ignore data). *)
+let enumerate_structures ~schema ~size () =
+  let alphabet = Gschema.alphabet schema in
+  let rels = Gschema.sigma schema in
+  let rec labelings n =
+    if n = 0 then Seq.return []
+    else
+      Seq.concat_map
+        (fun rest -> Seq.map (fun l -> l :: rest) (List.to_seq alphabet))
+        (labelings (n - 1))
+  in
+  let rec tuples_of_arity n k =
+    if k = 0 then [ [] ]
+    else
+      List.concat_map
+        (fun rest -> List.init n (fun v -> v :: rest))
+        (tuples_of_arity n (k - 1))
+  in
+  let rec subsets = function
+    | [] -> Seq.return []
+    | t :: rest ->
+      Seq.concat_map
+        (fun s -> List.to_seq [ s; t :: s ])
+        (subsets rest)
+  in
+  let structures_of_size n =
+    Seq.concat_map
+      (fun labeling ->
+        let base =
+          List.fold_left
+            (fun (i, db) (label, arity) ->
+              ( i + 1,
+                Gdb.add_node db ~node:i ~label
+                  ~data:(List.init arity (fun _ -> Value.fresh_const ())) ))
+            (0, Gdb.empty) labeling
+          |> snd
+        in
+        let rec add_rels db = function
+          | [] -> Seq.return db
+          | (rel, arity) :: rest ->
+            Seq.concat_map
+              (fun chosen ->
+                add_rels
+                  (List.fold_left (fun db t -> Gdb.add_tuple db rel t) db chosen)
+                  rest)
+              (subsets (tuples_of_arity n arity))
+        in
+        add_rels base rels)
+      (labelings n)
+  in
+  Seq.concat_map structures_of_size
+    (Seq.init size (fun i -> i + 1))
+
+let cons_existential ~schema f =
+  let bound = max 1 (count_exists f) in
+  Seq.exists (fun db -> Logic.holds db f) (enumerate_structures ~schema ~size:bound ())
+
+(* Global unifiability of the data constraints induced by a structural
+   homomorphism: every fiber's tuples must be mapped to a common complete
+   tuple by a single valuation.  Union-find over values; a class with two
+   distinct constants is a clash. *)
+let fibers_unifiable d h =
+  let parent = Hashtbl.create 16 in
+  let rec find v =
+    match Hashtbl.find_opt parent v with
+    | None -> v
+    | Some p ->
+      let r = find p in
+      Hashtbl.replace parent v r;
+      r
+  in
+  let union u v =
+    let ru = find u and rv = find v in
+    if not (Value.equal ru rv) then
+      (* keep constants as representatives *)
+      if Value.is_const ru then Hashtbl.replace parent rv ru
+      else Hashtbl.replace parent ru rv
+  in
+  let ok = ref true in
+  let fibers = Hashtbl.create 16 in
+  Int_map.iter
+    (fun v w ->
+      Hashtbl.replace fibers w
+        (v :: Option.value ~default:[] (Hashtbl.find_opt fibers w)))
+    h;
+  Hashtbl.iter
+    (fun _ vs ->
+      match vs with
+      | [] -> ()
+      | v0 :: rest ->
+        let t0 = Gdb.data d v0 in
+        List.iter
+          (fun v ->
+            let t = Gdb.data d v in
+            if Array.length t <> Array.length t0 then ok := false
+            else Array.iteri (fun i x -> union x t0.(i)) t)
+          rest)
+    fibers;
+  (* check classes: two distinct constants in one class make find map one
+     constant to another *)
+  Hashtbl.iter
+    (fun v _ ->
+      if Value.is_const v then
+        let r = find v in
+        if Value.is_const r && not (Value.equal r v) then ok := false)
+    parent;
+  !ok
+
+let cons_hom_into ~target d =
+  let found = ref false in
+  Solver.iter_homs ~source:(Gdb.structure d) ~target (fun h ->
+      if fibers_unifiable d h then begin
+        found := true;
+        `Stop
+      end
+      else `Continue);
+  !found
+
+let cons_bounded ~schema ~size_bound f d =
+  Seq.exists
+    (fun candidate ->
+      Logic.holds candidate f
+      && cons_hom_into ~target:(Gdb.structure candidate) d)
+    (enumerate_structures ~schema ~size:size_bound ())
+
+let three_colorability_condition () =
+  Logic.Exists
+    ( [ "x1"; "x2"; "x3" ],
+      Logic.Forall
+        ( [ "y" ],
+          Logic.And
+            ( Logic.disj
+                [
+                  Logic.NodeEq ("y", "x1");
+                  Logic.NodeEq ("y", "x2");
+                  Logic.NodeEq ("y", "x3");
+                ],
+              Logic.Not (Logic.Rel ("E", [ "y"; "y" ])) ) ) )

@@ -1,0 +1,49 @@
+(** The consistency problem Cons(ϕ) of Section 6: given a generalized
+    database D = 〈Mλ, ρ〉 and a structural condition ϕ on labeled
+    structures, is there a completion D′ ∈ [[D]] whose structural part
+    satisfies ϕ?
+
+    Prop. 11: for ∃*∀* conditions (Bernays–Schönfinkel) the problem is in
+    NP — a witness of size |M| + #∃-quantifiers suffices; there is an ∃*∀
+    condition making it NP-complete (via homomorphism into K₃, i.e.
+    3-colorability); for ∃* conditions it is PTIME (indeed constant per
+    fixed ϕ: satisfiability of ϕ alone decides it, by disjoint union).
+
+    Structural conditions are {!Certdb_gdm.Logic} sentences mentioning only
+    σ-relations, labels and node equality (no attribute atoms). *)
+
+open Certdb_csp
+open Certdb_gdm
+
+(** [is_structural f] — no [EqAttr] atoms. *)
+val is_structural : Logic.t -> bool
+
+(** Quantifier-prefix classification after implication elimination:
+    [`Existential] (exists-star), [`Exists_forall] (exists-forall), or [`Other]. *)
+val classify : Logic.t -> [ `Existential | `Exists_forall | `Other ]
+
+(** [cons_existential ~schema f] — Cons(ϕ) for ∃* conditions, independent
+    of the input database: true iff ϕ is satisfiable over the schema's
+    labels, decided by small-model search (models of size ≤ number of
+    variables). *)
+val cons_existential : schema:Gschema.t -> Logic.t -> bool
+
+(** [cons_hom_into ~target d] — consistency with "the completion maps
+    homomorphically into the fixed structure [target]" (the shape of the
+    NP-hard ∃*∀ instances): decides whether some completion's structural
+    part admits it, i.e. whether there is a structural homomorphism
+    [Mλ → target] whose node fibers have unifiable data. *)
+val cons_hom_into : target:Structure.t -> Gdb.t -> bool
+
+(** [cons_bounded ~schema ~size_bound f d] — generic bounded-model search
+    for ∃*∀* conditions: enumerate labeled structures up to [size_bound]
+    nodes over the schema, keep those satisfying [f], and test whether [d]
+    maps into one of them with unifiable fibers.  Exponential in
+    [size_bound]; for small inputs only. *)
+val cons_bounded : schema:Gschema.t -> size_bound:int -> Logic.t -> Gdb.t -> bool
+
+(** [three_colorability_condition ()] — the ∃*∀ sentence over graphs
+    (σ = {E}, single label "v") describing "the structure is K₃-like":
+    three nodes covering the universe with no monochrome edge.  Used by the
+    NP-hardness experiment. *)
+val three_colorability_condition : unit -> Logic.t

@@ -1,0 +1,77 @@
+module Int_set = Structure.Int_set
+module Int_map = Structure.Int_map
+
+let stats = ref 0
+let last_stats () = !stats
+
+(* A candidate b for node v is supported by constraint (rel, tup) at
+   position i (tup.(i) = v) if some target tuple tt of rel has tt.(i) = b
+   and tt.(j) in candidates(tup.(j)) for every j. *)
+let supported target candidates rel tup i b =
+  List.exists
+    (fun tt ->
+      Array.length tt = Array.length tup
+      && tt.(i) = b
+      && begin
+           let ok = ref true in
+           Array.iteri
+             (fun j u ->
+               if not (Int_set.mem tt.(j) (Int_map.find u candidates)) then
+                 ok := false)
+             tup;
+           !ok
+         end)
+    (Structure.tuples_of target rel)
+
+let prune ?restrict ~source ~target () =
+  stats := 0;
+  let initial =
+    List.fold_left
+      (fun m v ->
+        let base =
+          List.fold_left
+            (fun s w ->
+              if Structure.same_label source v target w then Int_set.add w s
+              else s)
+            Int_set.empty (Structure.nodes target)
+        in
+        let cands =
+          match restrict with
+          | None -> base
+          | Some r -> Int_set.inter base (r v)
+        in
+        Int_map.add v cands m)
+      Int_map.empty (Structure.nodes source)
+  in
+  let constraints = Structure.all_tuples source in
+  let candidates = ref initial in
+  let changed = ref true in
+  let failed = ref false in
+  while !changed && not !failed do
+    changed := false;
+    List.iter
+      (fun (rel, tup) ->
+        Array.iteri
+          (fun i v ->
+            incr stats;
+            let dom = Int_map.find v !candidates in
+            let dom' =
+              Int_set.filter (fun b -> supported target !candidates rel tup i b) dom
+            in
+            if not (Int_set.equal dom dom') then begin
+              changed := true;
+              candidates := Int_map.add v dom' !candidates;
+              if Int_set.is_empty dom' then failed := true
+            end)
+          tup)
+      constraints
+  done;
+  if !failed then None else Some !candidates
+
+let find_hom ?restrict ~source ~target () =
+  match prune ?restrict ~source ~target () with
+  | None -> None
+  | Some candidates ->
+    Solver.find_hom
+      ~restrict:(fun v -> Int_map.find v candidates)
+      ~source ~target ()

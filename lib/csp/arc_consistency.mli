@@ -1,0 +1,26 @@
+(** AC-3 arc consistency for homomorphism problems: prunes per-node
+    candidate sets until every candidate has a support in every constraint
+    (tuple of the source structure).  Useful as a preprocessing step before
+    backtracking — exercised by the solver ablation. *)
+
+(** [prune ?restrict ~source ~target ()] — the largest arc-consistent
+    candidate assignment, or [None] if some node's candidates become empty
+    (in which case no homomorphism exists). *)
+val prune :
+  ?restrict:(int -> Structure.Int_set.t) ->
+  source:Structure.t ->
+  target:Structure.t ->
+  unit ->
+  Structure.Int_set.t Structure.Int_map.t option
+
+(** [find_hom ?restrict ~source ~target ()] — AC-3 preprocessing followed
+    by the MRV backtracking solver on the pruned domains. *)
+val find_hom :
+  ?restrict:(int -> Structure.Int_set.t) ->
+  source:Structure.t ->
+  target:Structure.t ->
+  unit ->
+  Solver.hom option
+
+(** Revision count of the last [prune] (for the ablation bench). *)
+val last_stats : unit -> int

@@ -1,0 +1,215 @@
+module Int_set = Structure.Int_set
+module Int_map = Structure.Int_map
+
+let stats = ref 0
+let last_stats () = !stats
+
+let base_candidates ~source ~target ~restrict v =
+  let labelled =
+    List.fold_left
+      (fun s w ->
+        if Structure.same_label source v target w then Int_set.add w s else s)
+      Int_set.empty (Structure.nodes target)
+  in
+  Int_set.inter labelled (restrict v)
+
+(* Assign each fact of [source] to the first bag containing all its
+   variables; a valid decomposition always has one. *)
+let facts_per_bag decomposition source =
+  let nbags = Array.length decomposition.Treewidth.bags in
+  let per_bag = Array.make (max nbags 1) [] in
+  Structure.fold_tuples
+    (fun rel t () ->
+      let rec find i =
+        if i >= nbags then
+          invalid_arg "Bounded_tw: decomposition does not cover a fact"
+        else if
+          Array.for_all
+            (fun v -> Int_set.mem v decomposition.Treewidth.bags.(i))
+            t
+        then i
+        else find (i + 1)
+      in
+      if Array.length t > 0 then begin
+        let i = find 0 in
+        per_bag.(i) <- (rel, t) :: per_bag.(i)
+      end)
+    source ();
+  per_bag
+
+(* Post-order traversal of the decomposition forest. *)
+let post_order decomposition =
+  let children = Treewidth.children decomposition in
+  let order = ref [] in
+  let rec visit i =
+    List.iter visit children.(i);
+    order := i :: !order
+  in
+  List.iter visit (Treewidth.roots decomposition);
+  List.rev !order
+
+type tables = {
+  decomposition : Treewidth.t;
+  (* per bag: sorted variables of the bag *)
+  bag_vars : int array array;
+  (* per bag: key (projection onto parent intersection) → representative
+     full assignment of the bag (parallel to bag_vars) *)
+  table : (int array, int array) Hashtbl.t array;
+  (* per bag: positions in bag_vars that project onto the parent key *)
+  proj_positions : int array array;
+}
+
+let solve ?decomposition ~source ~target ~restrict () =
+  let decomposition =
+    match decomposition with
+    | Some d -> d
+    | None -> Treewidth.of_structure source
+  in
+  let nbags = Array.length decomposition.Treewidth.bags in
+  if nbags = 0 then
+    Some
+      {
+        decomposition;
+        bag_vars = [||];
+        table = [||];
+        proj_positions = [||];
+      }
+  else begin
+    stats := 0;
+    let bag_vars =
+      Array.map (fun b -> Array.of_list (Int_set.elements b))
+        decomposition.Treewidth.bags
+    in
+    let facts = facts_per_bag decomposition source in
+    let children = Treewidth.children decomposition in
+    let cands = Hashtbl.create 16 in
+    let candidates_of v =
+      match Hashtbl.find_opt cands v with
+      | Some c -> c
+      | None ->
+        let c = base_candidates ~source ~target ~restrict v in
+        Hashtbl.add cands v c;
+        c
+    in
+    (* positions of bag i's variables that lie in the parent's bag *)
+    let proj_positions =
+      Array.mapi
+        (fun i vars ->
+          let p = decomposition.Treewidth.parent.(i) in
+          if p < 0 then [||]
+          else
+            let pbag = decomposition.Treewidth.bags.(p) in
+            let ps = ref [] in
+            Array.iteri
+              (fun j v -> if Int_set.mem v pbag then ps := j :: !ps)
+              vars;
+            Array.of_list (List.rev !ps))
+        bag_vars
+    in
+    let table = Array.init nbags (fun _ -> Hashtbl.create 64) in
+    (* child's positions that lie in bag i, and the corresponding values of
+       a bag-i assignment: to query child tables we need, for child j, the
+       projection of j's variables onto bag i = exactly j's
+       proj_positions. We must compute the key from the parent assignment:
+       for each position jp in proj_positions.(j), the variable
+       bag_vars.(j).(jp) also occurs in bag i at some position. *)
+    let parent_positions_for_child i j =
+      Array.map
+        (fun jp ->
+          let v = bag_vars.(j).(jp) in
+          let rec find k =
+            if bag_vars.(i).(k) = v then k else find (k + 1)
+          in
+          find 0)
+        proj_positions.(j)
+    in
+    let ok = ref true in
+    List.iter
+      (fun i ->
+        if !ok then begin
+          let vars = bag_vars.(i) in
+          let n = Array.length vars in
+          let assignment = Array.make n 0 in
+          let child_pos =
+            List.map
+              (fun j -> (j, parent_positions_for_child i j))
+              children.(i)
+          in
+          let local_facts = facts.(i) in
+          let var_pos = Hashtbl.create 8 in
+          Array.iteri (fun k v -> Hashtbl.replace var_pos v k) vars;
+          let fact_ok () =
+            List.for_all
+              (fun (rel, t) ->
+                Structure.mem_tuple target rel
+                  (Array.map
+                     (fun v -> assignment.(Hashtbl.find var_pos v))
+                     t))
+              local_facts
+          in
+          let children_ok () =
+            List.for_all
+              (fun (j, pos) ->
+                let key = Array.map (fun k -> assignment.(k)) pos in
+                Hashtbl.mem table.(j) key)
+              child_pos
+          in
+          let record () =
+            let key =
+              Array.map (fun k -> assignment.(k)) proj_positions.(i)
+            in
+            if not (Hashtbl.mem table.(i) key) then
+              Hashtbl.add table.(i) key (Array.copy assignment)
+          in
+          let rec enumerate k =
+            if k = n then begin
+              incr stats;
+              if fact_ok () && children_ok () then record ()
+            end
+            else
+              Int_set.iter
+                (fun b ->
+                  assignment.(k) <- b;
+                  enumerate (k + 1))
+                (candidates_of vars.(k))
+          in
+          enumerate 0;
+          if Hashtbl.length table.(i) = 0 then ok := false
+        end)
+      (post_order decomposition);
+    if !ok then Some { decomposition; bag_vars; table; proj_positions }
+    else None
+  end
+
+let r_hom ?decomposition ~source ~target ~restrict () =
+  Option.is_some (solve ?decomposition ~source ~target ~restrict ())
+
+let r_hom_witness ?decomposition ~source ~target ~restrict () =
+  match solve ?decomposition ~source ~target ~restrict () with
+  | None -> None
+  | Some t ->
+    let hom = ref Int_map.empty in
+    let children = Treewidth.children t.decomposition in
+    let rec fill i (key : int array) =
+      let assignment = Hashtbl.find t.table.(i) key in
+      Array.iteri
+        (fun k b -> hom := Int_map.add t.bag_vars.(i).(k) b !hom)
+        assignment;
+      List.iter
+        (fun j ->
+          let key_j =
+            Array.map
+              (fun jp ->
+                Int_map.find t.bag_vars.(j).(jp) !hom)
+              t.proj_positions.(j)
+          in
+          fill j key_j)
+        children.(i)
+    in
+    List.iter (fun r -> fill r [||]) (Treewidth.roots t.decomposition);
+    Some !hom
+
+let full_restrict target _ = Int_set.of_list (Structure.nodes target)
+
+let hom ?decomposition ~source ~target () =
+  r_hom ?decomposition ~source ~target ~restrict:(full_restrict target) ()

@@ -1,0 +1,45 @@
+(** The polynomial-time R-compatible homomorphism test of Theorem 6
+    (Lemma 4): given structures [A], [B], a candidate relation
+    [R ⊆ A × B], and a tree decomposition of [A] of width [k], decide by
+    dynamic programming over the decomposition whether there is a
+    homomorphism [A → B] whose graph is contained in [R].  Runtime is
+    [O(#bags · |B|^(k+1) · cost)] — polynomial for fixed [k].
+
+    The paper proves this via an encoding into conjunctive queries with
+    [k+1] variables [29, 42]; the join-tree dynamic program below is the
+    standard operational counterpart of that argument. *)
+
+(** [r_hom ?decomposition ~source ~target ~restrict ()] decides the
+    existence of an R-compatible homomorphism, where [restrict v] is the set
+    [R(v) ⊆ B].  Labels are enforced in addition to [restrict].  A
+    decomposition of [source] is computed with the min-degree heuristic when
+    not supplied. *)
+val r_hom :
+  ?decomposition:Treewidth.t ->
+  source:Structure.t ->
+  target:Structure.t ->
+  restrict:(int -> Structure.Int_set.t) ->
+  unit ->
+  bool
+
+(** Same, returning a witness homomorphism extracted from the DP tables. *)
+val r_hom_witness :
+  ?decomposition:Treewidth.t ->
+  source:Structure.t ->
+  target:Structure.t ->
+  restrict:(int -> Structure.Int_set.t) ->
+  unit ->
+  Solver.hom option
+
+(** [hom ~source ~target ()] — unrestricted bounded-treewidth homomorphism
+    test ([R = A × B] modulo labels). *)
+val hom :
+  ?decomposition:Treewidth.t ->
+  source:Structure.t ->
+  target:Structure.t ->
+  unit ->
+  bool
+
+(** Number of bag assignments enumerated by the last run (for the ablation
+    bench). *)
+val last_stats : unit -> int

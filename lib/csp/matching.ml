@@ -1,0 +1,110 @@
+type graph = { left : int; right : int; adj : int list array }
+
+let make ~left ~right ~edges =
+  let adj = Array.make (max left 1) [] in
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= left || v < 0 || v >= right then
+        invalid_arg "Matching.make: vertex out of range";
+      adj.(u) <- v :: adj.(u))
+    edges;
+  { left; right; adj }
+
+let inf = max_int
+
+(* Hopcroft–Karp.  match_l.(u) = matched right vertex of left u (or None);
+   match_r.(v) likewise. *)
+let max_matching g =
+  let match_l = Array.make (max g.left 1) None in
+  let match_r = Array.make (max g.right 1) None in
+  let dist = Array.make (max g.left 1) inf in
+  let bfs () =
+    let q = Queue.create () in
+    for u = 0 to g.left - 1 do
+      if match_l.(u) = None then begin
+        dist.(u) <- 0;
+        Queue.add u q
+      end
+      else dist.(u) <- inf
+    done;
+    let found = ref false in
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      List.iter
+        (fun v ->
+          match match_r.(v) with
+          | None -> found := true
+          | Some u' ->
+            if dist.(u') = inf then begin
+              dist.(u') <- dist.(u) + 1;
+              Queue.add u' q
+            end)
+        g.adj.(u)
+    done;
+    !found
+  in
+  let rec dfs u =
+    List.exists
+      (fun v ->
+        match match_r.(v) with
+        | None ->
+          match_l.(u) <- Some v;
+          match_r.(v) <- Some u;
+          true
+        | Some u' ->
+          if dist.(u') = dist.(u) + 1 && dfs u' then begin
+            match_l.(u) <- Some v;
+            match_r.(v) <- Some u;
+            true
+          end
+          else false)
+      g.adj.(u)
+    ||
+    begin
+      dist.(u) <- inf;
+      false
+    end
+  in
+  let size = ref 0 in
+  while bfs () do
+    for u = 0 to g.left - 1 do
+      if match_l.(u) = None && dfs u then incr size
+    done
+  done;
+  (!size, match_l)
+
+let saturates_left g =
+  let size, _ = max_matching g in
+  size = g.left
+
+(* Hall violator: from an unmatched left vertex, the left vertices reachable
+   by alternating paths form a set U with |N(U)| = |U| - 1. *)
+let hall_violation g =
+  let size, match_l = max_matching g in
+  if size = g.left then None
+  else begin
+    let match_r = Array.make (max g.right 1) None in
+    Array.iteri
+      (fun u v -> match v with Some v -> match_r.(v) <- Some u | None -> ())
+      match_l;
+    let u0 = ref (-1) in
+    Array.iteri (fun u v -> if v = None && !u0 < 0 && u < g.left then u0 := u) match_l;
+    let seen_l = Array.make (max g.left 1) false in
+    let seen_r = Array.make (max g.right 1) false in
+    let rec explore u =
+      if not seen_l.(u) then begin
+        seen_l.(u) <- true;
+        List.iter
+          (fun v ->
+            if not seen_r.(v) then begin
+              seen_r.(v) <- true;
+              match match_r.(v) with Some u' -> explore u' | None -> ()
+            end)
+          g.adj.(u)
+      end
+    in
+    explore !u0;
+    let witness = ref [] in
+    Array.iteri (fun u b -> if b && u < g.left then witness := u :: !witness) seen_l;
+    Some (List.rev !witness)
+  end

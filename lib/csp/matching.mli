@@ -1,0 +1,27 @@
+(** Maximum bipartite matching (Hopcroft–Karp) and Hall's condition, used by
+    Prop. 8: over Codd databases, [D ⊑cwa D′] iff [D ⪯ D′] and [⪯⁻¹]
+    satisfies Hall's condition — i.e. the bipartite relation from tuples of
+    [D′] to the tuples of [D] below them admits a matching saturating
+    [D′]. *)
+
+type graph = {
+  left : int; (* left vertices are 0..left-1 *)
+  right : int; (* right vertices are 0..right-1 *)
+  adj : int list array; (* adjacency from left vertices *)
+}
+
+val make : left:int -> right:int -> edges:(int * int) list -> graph
+
+(** [max_matching g] returns the size of a maximum matching together with
+    the partial map left→right. *)
+val max_matching : graph -> int * int option array
+
+(** [saturates_left g] iff a maximum matching covers every left vertex —
+    equivalently (König/Hall) the relation satisfies Hall's condition
+    [|N(U)| ≥ |U|] for all [U ⊆ left]. *)
+val saturates_left : graph -> bool
+
+(** [hall_violation g] returns a witness set [U] with [|N(U)| < |U|] when
+    Hall's condition fails ([None] otherwise).  Computed from the
+    alternating-reachability certificate of an unmatched vertex. *)
+val hall_violation : graph -> int list option

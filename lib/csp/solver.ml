@@ -1,0 +1,232 @@
+module Int_set = Structure.Int_set
+module Int_map = Structure.Int_map
+
+type hom = int Int_map.t
+
+let stats = ref 0
+let last_stats () = !stats
+
+let is_hom ~source ~target h =
+  List.for_all
+    (fun v ->
+      match Int_map.find_opt v h with
+      | None -> false
+      | Some w ->
+        Structure.mem_node target w && Structure.same_label source v target w)
+    (Structure.nodes source)
+  && Structure.fold_tuples
+       (fun rel t ok ->
+         ok
+         && Structure.mem_tuple target rel
+              (Array.map (fun v -> Int_map.find v h) t))
+       source true
+
+(* Constraints of the CSP: one per source fact. *)
+type cstr = { rel : string; vars : int array }
+
+let constraints_of source =
+  Structure.fold_tuples
+    (fun rel t acc -> { rel; vars = t } :: acc)
+    source []
+
+let constraints_by_var cstrs =
+  List.fold_left
+    (fun m c ->
+      Array.fold_left
+        (fun m v ->
+          Int_map.update v
+            (function Some cs -> Some (c :: cs) | None -> Some [ c ])
+            m)
+        m c.vars)
+    Int_map.empty cstrs
+
+let initial_candidates ?restrict ~source ~target () =
+  List.fold_left
+    (fun m v ->
+      let base =
+        List.fold_left
+          (fun s w ->
+            if Structure.same_label source v target w then Int_set.add w s
+            else s)
+          Int_set.empty (Structure.nodes target)
+      in
+      let cands =
+        match restrict with
+        | None -> base
+        | Some r -> Int_set.inter base (r v)
+      in
+      Int_map.add v cands m)
+    Int_map.empty (Structure.nodes source)
+
+(* [supports target assignment c w b] iff some target tuple of [c.rel] is
+   consistent with [assignment] extended by [w ↦ b] on the variables of
+   [c]. *)
+let supports target assignment c w b =
+  List.exists
+    (fun tt ->
+      Array.length tt = Array.length c.vars
+      && (let ok = ref true in
+          Array.iteri
+            (fun i v ->
+              if !ok then
+                if v = w then (if tt.(i) <> b then ok := false)
+                else
+                  match Int_map.find_opt v assignment with
+                  | Some img -> if tt.(i) <> img then ok := false
+                  | None -> ())
+            c.vars;
+          !ok))
+    (Structure.tuples_of target c.rel)
+
+let search ?restrict ~source ~target ~mrv on_solution =
+  let cstrs = constraints_of source in
+  let by_var = constraints_by_var cstrs in
+  let cstrs_of v =
+    match Int_map.find_opt v by_var with Some cs -> cs | None -> []
+  in
+  let vars = Structure.nodes source in
+  stats := 0;
+  let exception Stop in
+  (* candidates: remaining domain for unassigned vars. *)
+  let rec go assignment candidates unassigned =
+    match unassigned with
+    | [] -> if on_solution assignment = `Stop then raise Stop
+    | _ ->
+      let v =
+        if mrv then
+          List.fold_left
+            (fun best v ->
+              let card v = Int_set.cardinal (Int_map.find v candidates) in
+              match best with
+              | None -> Some v
+              | Some b -> if card v < card b then Some v else best)
+            None unassigned
+          |> Option.get
+        else List.hd unassigned
+      in
+      let rest = List.filter (fun w -> w <> v) unassigned in
+      Int_set.iter
+        (fun b ->
+          incr stats;
+          let assignment' = Int_map.add v b assignment in
+          (* prune the domains of neighbors through constraints on v *)
+          let ok = ref true in
+          let candidates' =
+            List.fold_left
+              (fun cands c ->
+                if not !ok then cands
+                else if
+                  (* fully assigned constraint: check directly *)
+                  Array.for_all (fun u -> Int_map.mem u assignment') c.vars
+                then
+                  if
+                    Structure.mem_tuple target c.rel
+                      (Array.map (fun u -> Int_map.find u assignment') c.vars)
+                  then cands
+                  else begin
+                    ok := false;
+                    cands
+                  end
+                else
+                  Array.fold_left
+                    (fun cands u ->
+                      if Int_map.mem u assignment' then cands
+                      else
+                        let dom = Int_map.find u cands in
+                        let dom' =
+                          Int_set.filter
+                            (fun b' -> supports target assignment' c u b')
+                            dom
+                        in
+                        if Int_set.is_empty dom' then ok := false;
+                        Int_map.add u dom' cands)
+                    cands c.vars)
+              candidates (cstrs_of v)
+          in
+          if !ok then go assignment' candidates' rest)
+        (Int_map.find v candidates)
+  in
+  let candidates = initial_candidates ?restrict ~source ~target () in
+  if Int_map.for_all (fun _ d -> not (Int_set.is_empty d)) candidates then (
+    try go Int_map.empty candidates vars with Stop -> ())
+
+let find_hom ?restrict ~source ~target () =
+  let found = ref None in
+  search ?restrict ~source ~target ~mrv:true (fun h ->
+      found := Some h;
+      `Stop);
+  !found
+
+let exists_hom ?restrict ~source ~target () =
+  Option.is_some (find_hom ?restrict ~source ~target ())
+
+(* Naive lexicographic backtracking without propagation, for the ablation
+   benchmark. *)
+let find_hom_naive ?restrict ~source ~target () =
+  let cstrs = constraints_of source in
+  let vars = Array.of_list (Structure.nodes source) in
+  let candidates = initial_candidates ?restrict ~source ~target () in
+  stats := 0;
+  let consistent assignment =
+    List.for_all
+      (fun c ->
+        (not (Array.for_all (fun u -> Int_map.mem u assignment) c.vars))
+        || Structure.mem_tuple target c.rel
+             (Array.map (fun u -> Int_map.find u assignment) c.vars))
+      cstrs
+  in
+  let n = Array.length vars in
+  let rec go i assignment =
+    if i = n then Some assignment
+    else
+      Int_set.fold
+        (fun b acc ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+            incr stats;
+            let assignment' = Int_map.add vars.(i) b assignment in
+            if consistent assignment' then go (i + 1) assignment' else None)
+        (Int_map.find vars.(i) candidates)
+        None
+  in
+  go 0 Int_map.empty
+
+let iter_homs ?restrict ~source ~target f =
+  search ?restrict ~source ~target ~mrv:true f
+
+let count_homs ?restrict ~source ~target () =
+  let n = ref 0 in
+  iter_homs ?restrict ~source ~target (fun _ ->
+      incr n;
+      `Continue);
+  !n
+
+let find_onto_hom ~source ~target () =
+  let found = ref None in
+  let target_nodes = Int_set.of_list (Structure.nodes target) in
+  iter_homs ~source ~target (fun h ->
+      let image =
+        Int_map.fold (fun _ w s -> Int_set.add w s) h Int_set.empty
+      in
+      let facts_covered =
+        Structure.fold_tuples
+          (fun rel t ok ->
+            ok
+            && Structure.fold_tuples
+                 (fun rel' t' found ->
+                   found
+                   || String.equal rel rel'
+                      && Array.length t = Array.length t'
+                      && Array.for_all2
+                           (fun v w -> Int_map.find v h = w)
+                           t' t)
+                 source false)
+          target true
+      in
+      if Int_set.subset target_nodes image && facts_covered then begin
+        found := Some h;
+        `Stop
+      end
+      else `Continue);
+  !found

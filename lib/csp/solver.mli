@@ -1,0 +1,68 @@
+(** Homomorphism search between finite labeled structures — the constraint
+    satisfaction problem of Section 6 ([Membership] reduces to it, Prop. 9
+    characterizes the information ordering by it).
+
+    A homomorphism [h : A → B] maps nodes to nodes, preserves labels, and
+    maps every tuple of [A] to a tuple of [B].  The optional [restrict]
+    argument constrains the graph of [h] to a relation [R ⊆ A × B]
+    (the R-compatible homomorphisms of Theorem 6's proof).
+
+    The default solver uses MRV variable ordering and forward checking;
+    [find_hom_naive] is a lexicographic backtracker kept for the ablation
+    benchmark. *)
+
+type hom = int Structure.Int_map.t
+
+(** [is_hom ~source ~target h] checks that [h] is a total label-preserving
+    homomorphism. *)
+val is_hom : source:Structure.t -> target:Structure.t -> hom -> bool
+
+(** [find_hom ?restrict ~source ~target ()] returns a homomorphism if one
+    exists.  [restrict v] limits the candidates for source node [v]. *)
+val find_hom :
+  ?restrict:(int -> Structure.Int_set.t) ->
+  source:Structure.t ->
+  target:Structure.t ->
+  unit ->
+  hom option
+
+val exists_hom :
+  ?restrict:(int -> Structure.Int_set.t) ->
+  source:Structure.t ->
+  target:Structure.t ->
+  unit ->
+  bool
+
+(** [find_hom_naive] — no variable-ordering heuristic, no propagation. *)
+val find_hom_naive :
+  ?restrict:(int -> Structure.Int_set.t) ->
+  source:Structure.t ->
+  target:Structure.t ->
+  unit ->
+  hom option
+
+(** [iter_homs ~source ~target f] calls [f] on every homomorphism; [f]
+    returning [`Stop] aborts the enumeration. *)
+val iter_homs :
+  ?restrict:(int -> Structure.Int_set.t) ->
+  source:Structure.t ->
+  target:Structure.t ->
+  (hom -> [ `Continue | `Stop ]) ->
+  unit
+
+val count_homs :
+  ?restrict:(int -> Structure.Int_set.t) ->
+  source:Structure.t ->
+  target:Structure.t ->
+  unit ->
+  int
+
+(** [find_onto_hom ~source ~target ()] searches for a homomorphism whose
+    node image covers all of [target]'s nodes and whose fact image covers
+    all of [target]'s facts (the onto homomorphisms of the CWA ordering). *)
+val find_onto_hom :
+  source:Structure.t -> target:Structure.t -> unit -> hom option
+
+(** Search statistics of the last [find_hom]/[find_hom_naive] call on this
+    domain: number of branching decisions explored. *)
+val last_stats : unit -> int

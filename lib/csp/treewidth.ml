@@ -1,0 +1,198 @@
+module Int_set = Structure.Int_set
+module Int_map = Structure.Int_map
+
+type t = { bags : Int_set.t array; parent : int array }
+
+let width d =
+  Array.fold_left (fun w b -> max w (Int_set.cardinal b - 1)) (-1) d.bags
+
+let children d =
+  let cs = Array.make (Array.length d.parent) [] in
+  Array.iteri (fun i p -> if p >= 0 then cs.(p) <- i :: cs.(p)) d.parent;
+  cs
+
+let roots d =
+  let rs = ref [] in
+  Array.iteri (fun i p -> if p < 0 then rs := i :: !rs) d.parent;
+  List.rev !rs
+
+let is_valid s d =
+  let adj = Structure.gaifman s in
+  let all_nodes = Structure.nodes s in
+  let node_covered v = Array.exists (fun b -> Int_set.mem v b) d.bags in
+  let edge_covered v w =
+    Array.exists (fun b -> Int_set.mem v b && Int_set.mem w b) d.bags
+  in
+  let connected v =
+    (* bags containing v must form a connected subforest: count the bags
+       containing v whose parent does not contain v; must be ≤ 1. *)
+    let count = ref 0 in
+    Array.iteri
+      (fun i b ->
+        if Int_set.mem v b then
+          let p = d.parent.(i) in
+          if p < 0 || not (Int_set.mem v d.bags.(p)) then incr count)
+      d.bags;
+    !count <= 1
+  in
+  List.for_all node_covered all_nodes
+  && Int_map.for_all
+       (fun v ns -> Int_set.for_all (fun w -> edge_covered v w) ns)
+       adj
+  && List.for_all connected all_nodes
+
+let of_elimination_order s order =
+  let adj0 = Structure.gaifman s in
+  let adj = Hashtbl.create 16 in
+  Int_map.iter (fun v ns -> Hashtbl.replace adj v ns) adj0;
+  let neighbors v =
+    match Hashtbl.find_opt adj v with Some ns -> ns | None -> Int_set.empty
+  in
+  let n = List.length order in
+  let bags = Array.make (max n 1) Int_set.empty in
+  let position = Hashtbl.create 16 in
+  List.iteri (fun i v -> Hashtbl.replace position v i) order;
+  (* eliminate in order, recording bags and filling neighborhoods *)
+  List.iteri
+    (fun i v ->
+      let ns = neighbors v in
+      bags.(i) <- Int_set.add v ns;
+      (* connect neighbors pairwise, remove v *)
+      Int_set.iter
+        (fun u ->
+          let nu = Int_set.remove v (neighbors u) in
+          let nu = Int_set.union nu (Int_set.remove u ns) in
+          Hashtbl.replace adj u nu)
+        ns;
+      Hashtbl.remove adj v)
+    order;
+  let parent = Array.make (max n 1) (-1) in
+  Array.iteri
+    (fun i b ->
+      let later =
+        Int_set.filter
+          (fun u -> Hashtbl.find position u > i)
+          b
+      in
+      match Int_set.elements later with
+      | [] -> ()
+      | us ->
+        let first =
+          List.fold_left
+            (fun best u ->
+              if Hashtbl.find position u < Hashtbl.find position best then u
+              else best)
+            (List.hd us) us
+        in
+        parent.(i) <- Hashtbl.find position first)
+    bags;
+  if n = 0 then { bags = [||]; parent = [||] } else { bags; parent }
+
+let order_by_heuristic heuristic s =
+  let adj0 = Structure.gaifman s in
+  let adj = Hashtbl.create 16 in
+  Int_map.iter (fun v ns -> Hashtbl.replace adj v ns) adj0;
+  let neighbors v =
+    match Hashtbl.find_opt adj v with Some ns -> ns | None -> Int_set.empty
+  in
+  let remaining = ref (Int_set.of_list (Structure.nodes s)) in
+  let fill_cost v =
+    let ns = neighbors v in
+    let missing = ref 0 in
+    Int_set.iter
+      (fun u ->
+        Int_set.iter
+          (fun w ->
+            if u < w && not (Int_set.mem w (neighbors u)) then incr missing)
+          ns)
+      ns;
+    !missing
+  in
+  let cost v =
+    match heuristic with
+    | `Min_degree -> Int_set.cardinal (neighbors v)
+    | `Min_fill -> fill_cost v
+  in
+  let order = ref [] in
+  while not (Int_set.is_empty !remaining) do
+    let v =
+      Int_set.fold
+        (fun v best ->
+          match best with
+          | None -> Some v
+          | Some b -> if cost v < cost b then Some v else best)
+        !remaining None
+      |> Option.get
+    in
+    order := v :: !order;
+    let ns = neighbors v in
+    Int_set.iter
+      (fun u ->
+        let nu = Int_set.remove v (neighbors u) in
+        let nu = Int_set.union nu (Int_set.remove u ns) in
+        Hashtbl.replace adj u nu)
+      ns;
+    Hashtbl.remove adj v;
+    remaining := Int_set.remove v !remaining
+  done;
+  List.rev !order
+
+let of_structure ?(heuristic = `Min_degree) s =
+  of_elimination_order s (order_by_heuristic heuristic s)
+
+(* Branch-and-bound over elimination orders: the width of an order is the
+   maximum neighborhood size at elimination time; prune branches whose
+   running width already reaches the best found. *)
+let exact s =
+  let nodes = Structure.nodes s in
+  if List.length nodes > 12 then
+    invalid_arg "Treewidth.exact: too many nodes (max 12)";
+  let adj0 = Structure.gaifman s in
+  let best_width = ref max_int in
+  let best_order = ref nodes in
+  let rec search adj remaining order width_so_far =
+    if width_so_far >= !best_width then ()
+    else if Int_set.is_empty remaining then begin
+      best_width := width_so_far;
+      best_order := List.rev order
+    end
+    else
+      Int_set.iter
+        (fun v ->
+          let ns =
+            match Int_map.find_opt v adj with
+            | Some ns -> ns
+            | None -> Int_set.empty
+          in
+          let degree = Int_set.cardinal ns in
+          let width' = max width_so_far degree in
+          if width' < !best_width then begin
+            (* eliminate v: connect its neighbors pairwise *)
+            let adj' =
+              Int_set.fold
+                (fun u acc ->
+                  let nu =
+                    match Int_map.find_opt u acc with
+                    | Some nu -> nu
+                    | None -> Int_set.empty
+                  in
+                  let nu = Int_set.remove v (Int_set.union nu (Int_set.remove u ns)) in
+                  Int_map.add u nu acc)
+                ns (Int_map.remove v adj)
+            in
+            search adj' (Int_set.remove v remaining) (v :: order) width'
+          end)
+        remaining
+  in
+  search adj0 (Int_set.of_list nodes) [] 0;
+  of_elimination_order s !best_order
+
+let pp ppf d =
+  Array.iteri
+    (fun i b ->
+      Format.fprintf ppf "bag %d (parent %d): {%a}@," i d.parent.(i)
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+           Format.pp_print_int)
+        (Int_set.elements b))
+    d.bags

@@ -1,0 +1,11 @@
+
+let certain_ucq mapping ~source q =
+  let solution = Universal.chase_relational mapping source in
+  Certdb_query.Certain.naive_eval_ucq q solution
+
+let certain_ucq_via_core mapping ~source q =
+  let core =
+    Universal.core_solution_relational mapping
+      (Certdb_gdm.Encode.of_instance source)
+  in
+  Certdb_query.Certain.naive_eval_ucq q core

@@ -1,0 +1,17 @@
+(** Certain answers in data exchange: the standard consequence of
+    universality (Theorem 5 + the naïve-evaluation theorem) — for a union
+    of conjunctive queries over the target schema, the certain answers over
+    all solutions equal the naïve evaluation of the query on any universal
+    solution (e.g. the canonical one produced by the chase). *)
+
+open Certdb_relational
+
+(** [certain_ucq mapping ~source q] — chase, then naïve-evaluate. *)
+val certain_ucq :
+  Mapping.t -> source:Instance.t -> Certdb_query.Ucq.t -> Instance.t
+
+(** [certain_ucq_via_core mapping ~source q] — same answers through the
+    (smaller) core solution; equality with [certain_ucq] is guaranteed
+    because hom-equivalent solutions give the same naïve UCQ answers. *)
+val certain_ucq_via_core :
+  Mapping.t -> source:Instance.t -> Certdb_query.Ucq.t -> Instance.t

@@ -1,0 +1,100 @@
+open Certdb_values
+open Certdb_relational
+
+type tgd = {
+  tgd_body : Instance.t;
+  tgd_head : Instance.t;
+}
+
+type egd = {
+  egd_body : Instance.t;
+  left : Value.t;
+  right : Value.t;
+}
+
+type t = {
+  tgds : tgd list;
+  egds : egd list;
+}
+
+let tgd ~body ~head = { tgd_body = body; tgd_head = head }
+
+let egd ~body ~left ~right =
+  if not (Value.is_null left) then
+    invalid_arg "Constraints.egd: left side must be a null of the body";
+  { egd_body = body; left; right }
+
+let make ?(tgds = []) ?(egds = []) () = { tgds; egds }
+
+let frontier_restriction body head h =
+  let fr = Value.Set.inter (Instance.nulls body) (Instance.nulls head) in
+  List.fold_left
+    (fun acc (n, v) -> if Value.Set.mem n fr then Valuation.bind acc n v else acc)
+    Valuation.empty (Valuation.bindings h)
+
+let tgd_violations d (r : tgd) =
+  let violations = ref [] in
+  Hom.iter r.tgd_body d (fun h ->
+      let head' = Instance.apply (frontier_restriction r.tgd_body r.tgd_head h) r.tgd_head in
+      if not (Hom.exists head' d) then violations := head' :: !violations;
+      `Continue);
+  List.rev !violations
+
+let egd_violations d (r : egd) =
+  let violations = ref [] in
+  Hom.iter r.egd_body d (fun h ->
+      let l = Valuation.apply h r.left and rr = Valuation.apply h r.right in
+      if not (Value.equal l rr) then violations := (l, rr) :: !violations;
+      `Continue);
+  List.rev !violations
+
+let satisfies d c =
+  List.for_all (fun r -> tgd_violations d r = []) c.tgds
+  && List.for_all (fun r -> egd_violations d r = []) c.egds
+
+exception Chase_failure of string
+
+let unify_step d (l, r) =
+  match Value.is_null l, Value.is_null r with
+  | false, false ->
+    raise
+      (Chase_failure
+         (Format.asprintf "egd equates distinct constants %a and %a" Value.pp
+            l Value.pp r))
+  | true, _ ->
+    (* prefer the (possibly constant) right-hand side as representative *)
+    Instance.apply (Valuation.bind Valuation.empty l r) d
+  | false, true -> Instance.apply (Valuation.bind Valuation.empty r l) d
+
+let chase ?(max_rounds = 100) d c =
+  let rec round d n =
+    (* egds first: they only shrink the instance *)
+    let step =
+      match List.concat_map (egd_violations d) c.egds with
+      | (l, r) :: _ -> Some (fun () -> unify_step d (l, r))
+      | [] -> (
+        match List.concat_map (tgd_violations d) c.tgds with
+        | [] -> None
+        | head' :: _ ->
+          Some
+            (fun () ->
+              let fresh, _ =
+                Instance.rename_apart ~avoid:(Instance.nulls d) head'
+              in
+              Instance.union d fresh))
+    in
+    match step with
+    | None -> d
+    | Some apply ->
+      if n >= max_rounds then
+        invalid_arg
+          "Constraints.chase: round limit exceeded (non-terminating?)";
+      round (apply ()) (n + 1)
+  in
+  round d 0
+
+let universal_solution_with_constraints mapping ~source ~target_constraints =
+  let canonical = Universal.chase_relational mapping source in
+  match chase canonical target_constraints with
+  | solution -> Some solution
+  | exception Chase_failure _ -> None

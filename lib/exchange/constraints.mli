@@ -1,0 +1,56 @@
+(** Target constraints and the general chase.  Section 7 of the paper
+    points at constraints as the place where least upper bounds (and hence
+    canonical solutions) break; this module provides the machinery to
+    explore that: equality-generating dependencies (egds), target
+    tuple-generating dependencies (tgds), and a bounded fixpoint chase over
+    naïve instances.
+
+    A tgd is a pair of instances (body, head) whose shared nulls are
+    frontier variables (as in {!Mapping}); an egd is a body instance plus a
+    pair of its nulls that must be equal whenever the body matches. *)
+
+open Certdb_values
+open Certdb_relational
+
+type tgd = {
+  tgd_body : Instance.t;
+  tgd_head : Instance.t;
+}
+
+type egd = {
+  egd_body : Instance.t;
+  left : Value.t; (* a null of the body *)
+  right : Value.t; (* a null or constant of the body *)
+}
+
+type t = {
+  tgds : tgd list;
+  egds : egd list;
+}
+
+val tgd : body:Instance.t -> head:Instance.t -> tgd
+val egd : body:Instance.t -> left:Value.t -> right:Value.t -> egd
+val make : ?tgds:tgd list -> ?egds:egd list -> unit -> t
+
+(** [satisfies d c] — does [d] (viewed naïvely, nulls as values) satisfy
+    every constraint?  A tgd is satisfied when every body match extends to
+    a head match agreeing on the frontier; an egd when every body match
+    equates the two designated values. *)
+val satisfies : Instance.t -> t -> bool
+
+exception Chase_failure of string
+(** An egd required two distinct constants to be equal. *)
+
+(** [chase ?max_rounds d c] — fixpoint chase: apply unsatisfied tgds
+    (inventing fresh nulls for head-only variables) and egds (unifying
+    values, preferring constants as representatives).
+    @raise Chase_failure on an egd clash.
+    @raise Invalid_argument if [max_rounds] (default 100) is exceeded —
+    the chase need not terminate for arbitrary tgds. *)
+val chase : ?max_rounds:int -> Instance.t -> t -> Instance.t
+
+(** [universal_solution_with_constraints mapping ~source ~target_constraints]
+    — canonical solution followed by the target chase; [None] when the
+    chase fails (no solution exists). *)
+val universal_solution_with_constraints :
+  Mapping.t -> source:Instance.t -> target_constraints:t -> Instance.t option

@@ -1,0 +1,59 @@
+open Certdb_values
+open Certdb_gdm
+
+type rule = {
+  body : Gdb.t;
+  head : Gdb.t;
+}
+
+type t = rule list
+
+let rule ~body ~head = { body; head }
+
+let relational_rule ~body ~head =
+  { body = Encode.of_instance body; head = Encode.of_instance head }
+
+let frontier r = Value.Set.inter (Gdb.nulls r.body) (Gdb.nulls r.head)
+
+let triggers r source =
+  let acc = ref [] in
+  Ghom.iter r.body source (fun h ->
+      acc := h :: !acc;
+      `Continue);
+  List.rev !acc
+
+let m_of_d mapping source =
+  List.concat_map
+    (fun r ->
+      let fr = frontier r in
+      List.map
+        (fun (h : Ghom.t) ->
+          (* h₂ restricted to the frontier instantiates the head; nulls
+             private to the head are renamed apart so that distinct
+             triggers do not share them. *)
+          let h2_frontier =
+            List.fold_left
+              (fun acc (n, v) ->
+                if Value.Set.mem n fr then Valuation.bind acc n v else acc)
+              Valuation.empty
+              (Valuation.bindings h.valuation)
+          in
+          let instantiated = Gdb.apply h2_frontier r.head in
+          (* rename apart only the head-invented nulls: values that flowed
+             in from the source through the frontier must keep their
+             identity across pieces *)
+          let preserved =
+            Valuation.range h2_frontier
+            |> Value.Set.filter Value.is_null
+            |> Value.Set.union (Gdb.nulls source)
+          in
+          let renaming =
+            Value.Set.fold
+              (fun n acc ->
+                if Value.Set.mem n preserved then acc
+                else Valuation.bind acc n (Value.fresh_null ()))
+              (Gdb.nulls instantiated) Valuation.empty
+          in
+          Gdb.apply renaming instantiated)
+        (triggers r source))
+    mapping

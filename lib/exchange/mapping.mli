@@ -1,0 +1,36 @@
+(** Schema mappings for data exchange in the generalized model
+    (Section 5.3): rules I → I′ where I, I′ are generalized databases over
+    the source and target schemas, and the nulls shared between I and I′
+    play the role of frontier variables. *)
+
+open Certdb_values
+open Certdb_gdm
+open Certdb_relational
+
+type rule = {
+  body : Gdb.t; (* I *)
+  head : Gdb.t; (* I′ *)
+}
+
+type t = rule list
+
+(** [rule ~body ~head] — nulls occurring in both sides are the frontier. *)
+val rule : body:Gdb.t -> head:Gdb.t -> rule
+
+(** [relational_rule ~body ~head] — a relational st-tgd given as two naïve
+    instances whose shared nulls are the frontier (e.g.
+    [S(x,y,u) → T(x,z), T(z,y)] is [body = {S(⊥x,⊥y,⊥u)}],
+    [head = {T(⊥x,⊥z), T(⊥z,⊥y)}]). *)
+val relational_rule : body:Instance.t -> head:Instance.t -> rule
+
+val frontier : rule -> Value.Set.t
+
+(** [triggers rule source] — all homomorphisms from the rule body into the
+    source. *)
+val triggers : rule -> Gdb.t -> Ghom.t list
+
+(** [m_of_d mapping source] — the set M(D) of single-rule applications:
+    for each rule I → I′ and each trigger (h₁,h₂) ∈ Hom(I, D), the
+    instance h₂(I′) (head-only nulls renamed apart per trigger, as in the
+    disjoint-union lub). *)
+val m_of_d : t -> Gdb.t -> Gdb.t list

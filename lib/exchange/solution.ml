@@ -1,0 +1,49 @@
+open Certdb_values
+open Certdb_gdm
+
+let is_solution mapping ~source candidate =
+  List.for_all
+    (fun (r : Mapping.rule) ->
+      let fr = Mapping.frontier r in
+      List.for_all
+        (fun (h : Ghom.t) ->
+          (* instantiate the head's frontier nulls with h₂ and ask for a
+             homomorphism of the result — this forces g₂ to coincide with
+             h₂ on the frontier *)
+          let h2_frontier =
+            List.fold_left
+              (fun acc (n, v) ->
+                if Value.Set.mem n fr then Valuation.bind acc n v else acc)
+              Valuation.empty
+              (Valuation.bindings h.valuation)
+          in
+          let head' = Gdb.apply h2_frontier r.head in
+          Ghom.exists head' candidate)
+        (Mapping.triggers r source))
+    mapping
+
+let is_universal_vs mapping ~source candidate ~solutions =
+  is_solution mapping ~source candidate
+  && List.for_all (fun s -> Gordering.leq candidate s) solutions
+
+let random_solutions mapping ~source ~seed ~count =
+  let canonical = Universal.canonical_solution mapping source in
+  let st = Random.State.make [| seed |] in
+  List.init count (fun i ->
+      let grounded =
+        if i mod 2 = 0 then Gdb.ground canonical else canonical
+      in
+      (* add a noise node with a label drawn from the existing ones *)
+      match Gdb.nodes grounded with
+      | [] -> grounded
+      | vs ->
+        let v = List.nth vs (Random.State.int st (List.length vs)) in
+        let fresh_id = 1 + List.fold_left max 0 vs in
+        let data =
+          Array.to_list
+            (Array.map
+               (fun _ -> Value.fresh_const ())
+               (Gdb.data grounded v))
+        in
+        Gdb.add_node grounded ~node:fresh_id ~label:(Gdb.label grounded v)
+          ~data)

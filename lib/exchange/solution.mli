@@ -1,0 +1,20 @@
+(** Solutions in data exchange (Section 5.3): [D′] is a solution for
+    source [D] under mapping [M] if for every rule I → I′ and every
+    homomorphism (h₁,h₂) : I → D there is a homomorphism (g₁,g₂) : I′ → D′
+    with g₂ agreeing with h₂ on the frontier nulls. *)
+
+open Certdb_gdm
+
+val is_solution : Mapping.t -> source:Gdb.t -> Gdb.t -> bool
+
+(** [is_universal_vs mapping ~source candidate ~solutions] — [candidate] is
+    a solution and maps homomorphically into every supplied solution
+    (a finite-sample check of universality). *)
+val is_universal_vs :
+  Mapping.t -> source:Gdb.t -> Gdb.t -> solutions:Gdb.t list -> bool
+
+(** [random_solutions mapping ~source ~seed ~count] — sample solutions by
+    grounding the canonical solution in [count] different ways and adding
+    noise nodes; useful to exercise universality checks. *)
+val random_solutions :
+  Mapping.t -> source:Gdb.t -> seed:int -> count:int -> Gdb.t list

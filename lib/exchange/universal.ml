@@ -1,0 +1,18 @@
+open Certdb_gdm
+open Certdb_relational
+
+let canonical_solution mapping source =
+  List.fold_left
+    (fun acc piece ->
+      let u, _, _ = Gdb.disjoint_union acc piece in
+      u)
+    Gdb.empty
+    (Mapping.m_of_d mapping source)
+
+let core_solution_relational mapping source =
+  let canonical = canonical_solution mapping source in
+  Core_instance.core (Encode.to_instance canonical)
+
+let chase_relational mapping source =
+  let gdm_source = Encode.of_instance source in
+  Encode.to_instance (canonical_solution mapping gdm_source)

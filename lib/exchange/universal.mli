@@ -1,0 +1,21 @@
+(** Universal solutions as least upper bounds (Theorem 5): the K-universal
+    solutions are exactly the ∼-class of [∨K M(D)].  With no structural
+    restriction the lub is the disjoint union after renaming nulls apart —
+    the canonical universal solution; its core is the core solution. *)
+
+open Certdb_gdm
+open Certdb_relational
+
+(** [canonical_solution m d] — [⊔ M(D)], nulls renamed apart. *)
+val canonical_solution : Mapping.t -> Gdb.t -> Gdb.t
+
+(** [core_solution_relational m d] — for relational mappings (σ = ∅): the
+    core of the canonical solution, computed on the relational instance.
+    @raise Invalid_argument if the canonical solution has σ-facts. *)
+val core_solution_relational : Mapping.t -> Gdb.t -> Instance.t
+
+(** [chase_relational m d] — the relational chase with st-tgds: apply every
+    rule to every trigger in the source instance [d]; one round suffices
+    for source-to-target dependencies.  Returns the canonical solution as a
+    naïve instance. *)
+val chase_relational : Mapping.t -> Instance.t -> Instance.t

@@ -1,0 +1,69 @@
+open Certdb_values
+open Certdb_xml
+
+type rule = {
+  body : Tree.t;
+  head : Tree.t;
+}
+
+type t = rule list
+
+let rule ~body ~head = { body; head }
+
+let triggers (r : rule) source =
+  (* all homomorphisms of the body into the source: enumerate via the gdm
+     coding *)
+  let body_db = Tree.to_gdb r.body and source_db = Tree.to_gdb source in
+  let homs = ref [] in
+  Certdb_gdm.Ghom.iter body_db source_db (fun h ->
+      homs := h.Certdb_gdm.Ghom.valuation :: !homs;
+      `Continue);
+  List.rev !homs
+
+let frontier (r : rule) =
+  Value.Set.inter (Tree.nulls r.body) (Tree.nulls r.head)
+
+let m_of_d mapping source =
+  List.concat_map
+    (fun r ->
+      let fr = frontier r in
+      List.map
+        (fun h ->
+          let h_frontier =
+            List.fold_left
+              (fun acc (n, v) ->
+                if Value.Set.mem n fr then Valuation.bind acc n v else acc)
+              Valuation.empty (Valuation.bindings h)
+          in
+          let instantiated = Tree.apply h_frontier r.head in
+          (* rename apart only the head-invented nulls; frontier values
+             from the source keep their identity *)
+          let preserved =
+            Valuation.range h_frontier
+            |> Value.Set.filter Value.is_null
+            |> Value.Set.union (Tree.nulls source)
+          in
+          let renaming =
+            Value.Set.fold
+              (fun n acc ->
+                if Value.Set.mem n preserved then acc
+                else Valuation.bind acc n (Value.fresh_null ()))
+              (Tree.nulls instantiated) Valuation.empty
+          in
+          Tree.apply renaming instantiated)
+        (triggers r source))
+    mapping
+
+let is_solution mapping ~source candidate =
+  List.for_all
+    (fun head' -> Tree_hom.leq head' candidate)
+    (m_of_d mapping source)
+
+let is_universal_vs mapping ~source candidate ~solutions =
+  is_solution mapping ~source candidate
+  && List.for_all (fun s -> Tree_hom.leq candidate s) solutions
+
+let incomparable_solutions mapping ~source s1 s2 =
+  is_solution mapping ~source s1
+  && is_solution mapping ~source s2
+  && Tree_hom.incomparable s1 s2

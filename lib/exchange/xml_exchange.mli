@@ -1,0 +1,38 @@
+(** XML data exchange (Section 5.3, with K = unranked trees): rules map
+    tree patterns (incomplete trees) to tree heads; a solution is a tree
+    into which every triggered head maps.  Because least upper bounds can
+    fail for trees (Prop. 10), there is no canonical solution in general —
+    [solutions_m_of_d] exposes M(D), [is_solution] checks candidates, and
+    [find_incomparable_solutions] exhibits the loss of canonicity the paper
+    explains. *)
+
+open Certdb_xml
+
+type rule = {
+  body : Tree.t; (* an incomplete tree acting as a pattern *)
+  head : Tree.t;
+}
+
+type t = rule list
+
+val rule : body:Tree.t -> head:Tree.t -> rule
+
+(** [m_of_d mapping source] — the instantiated heads, one per trigger
+    (homomorphism of the body into the source); frontier nulls shared
+    between body and head receive the trigger's values, head-only nulls
+    are renamed apart. *)
+val m_of_d : t -> Tree.t -> Tree.t list
+
+(** [is_solution mapping ~source candidate] — every instantiated head maps
+    homomorphically into [candidate]. *)
+val is_solution : t -> source:Tree.t -> Tree.t -> bool
+
+(** [is_universal_vs mapping ~source candidate ~solutions] — a solution
+    below every supplied solution. *)
+val is_universal_vs :
+  t -> source:Tree.t -> Tree.t -> solutions:Tree.t list -> bool
+
+(** [incomparable_solutions mapping ~source s1 s2] — both are solutions and
+    neither maps into the other: a certificate that no universal solution
+    can dominate the pair canonically (the Prop. 10 phenomenon). *)
+val incomparable_solutions : t -> source:Tree.t -> Tree.t -> Tree.t -> bool

@@ -1,0 +1,74 @@
+open Certdb_values
+open Certdb_csp
+
+let escape s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | '"' -> "\\\""
+         | '\\' -> "\\\\"
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let of_gdb ?(name = "gdb") db =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
+  List.iter
+    (fun v ->
+      let data =
+        Gdb.data db v |> Array.to_list |> List.map Value.to_string
+        |> String.concat ", "
+      in
+      let label =
+        if data = "" then Gdb.label db v
+        else Printf.sprintf "%s(%s)" (Gdb.label db v) data
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\"];\n" v (escape label)))
+    (Gdb.nodes db);
+  Structure.fold_tuples
+    (fun rel t () ->
+      match Array.length t with
+      | 2 ->
+        Buffer.add_string buf
+          (Printf.sprintf "  n%d -> n%d [label=\"%s\"];\n" t.(0) t.(1)
+             (escape rel))
+      | _ ->
+        (* hyperedges: a small auxiliary node *)
+        let hub = Printf.sprintf "h_%s_%s" rel
+            (String.concat "_" (List.map string_of_int (Array.to_list t)))
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "  %s [shape=point,label=\"%s\"];\n" hub (escape rel));
+        Array.iteri
+          (fun i v ->
+            Buffer.add_string buf
+              (Printf.sprintf "  %s -> n%d [label=\"%d\"];\n" hub v i))
+          t)
+    (Gdb.structure db) ();
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let of_structure ?(name = "structure") s =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
+  List.iter
+    (fun v ->
+      let label =
+        match Structure.label_of s v with
+        | Some l -> Printf.sprintf "%d:%s" v l
+        | None -> string_of_int v
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\"];\n" v (escape label)))
+    (Structure.nodes s);
+  Structure.fold_tuples
+    (fun rel t () ->
+      if Array.length t = 2 then
+        Buffer.add_string buf
+          (Printf.sprintf "  n%d -> n%d [label=\"%s\"];\n" t.(0) t.(1)
+             (escape rel)))
+    s ();
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,9 @@
+(** Graphviz (DOT) rendering of the library's objects, for debugging and
+    documentation: generalized databases (and through them trees and
+    graphs), with node labels showing the Σ-label and data tuple. *)
+
+(** [of_gdb ?name db] — a [digraph]; σ-relations become labeled edges. *)
+val of_gdb : ?name:string -> Gdb.t -> string
+
+(** [of_structure ?name s] — structural part only. *)
+val of_structure : ?name:string -> Certdb_csp.Structure.t -> string

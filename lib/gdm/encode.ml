@@ -1,0 +1,23 @@
+open Certdb_relational
+open Certdb_csp
+
+let of_instance d =
+  let _, db =
+    List.fold_left
+      (fun (i, db) (f : Instance.fact) ->
+        ( i + 1,
+          Gdb.add_node db ~node:i ~label:f.rel
+            ~data:(Array.to_list f.args) ))
+      (0, Gdb.empty) (Instance.facts d)
+  in
+  db
+
+let to_instance db =
+  if Structure.rel_names (Gdb.structure db) <> [] then
+    invalid_arg "Encode.to_instance: structural relations present";
+  List.fold_left
+    (fun acc v ->
+      Instance.add_fact acc (Gdb.label db v) (Array.to_list (Gdb.data db v)))
+    Instance.empty (Gdb.nodes db)
+
+let schema_of d = Gschema.relational (Schema.relations (Instance.schema d))

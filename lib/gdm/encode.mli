@@ -1,0 +1,15 @@
+(** Coding relational databases as generalized databases (Section 5.1):
+    σ = ∅, the structural part is a bare set with one node per fact,
+    labeled by the fact's relation name; ρ carries the fact's tuple. *)
+
+open Certdb_relational
+
+(** [of_instance d] — node ids are assigned in fact order. *)
+val of_instance : Instance.t -> Gdb.t
+
+(** [to_instance db] — inverse direction (requires σ-facts to be absent).
+    @raise Invalid_argument if the structural part has relations. *)
+val to_instance : Gdb.t -> Instance.t
+
+(** [schema_of d] — the generalized schema of the coded instance. *)
+val schema_of : Instance.t -> Gschema.t

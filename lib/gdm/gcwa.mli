@@ -1,0 +1,11 @@
+(** Closed-world ordering for generalized databases — the §7 future-work
+    direction, realized the same way as for relations: [D ⊑cwa D′] iff some
+    homomorphism is onto ([h₁] covers every node of [D′] and every σ-fact
+    of [D′] is the image of a fact of [D]).  Restricted to the relational
+    coding this coincides with {!Certdb_relational.Ordering.cwa_leq}. *)
+
+val leq : Gdb.t -> Gdb.t -> bool
+val find : Gdb.t -> Gdb.t -> Ghom.t option
+
+(** [equiv d d'] — mutual [⊑cwa]. *)
+val equiv : Gdb.t -> Gdb.t -> bool

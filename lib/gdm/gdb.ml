@@ -1,0 +1,173 @@
+open Certdb_values
+open Certdb_csp
+module Int_map = Structure.Int_map
+module Int_set = Structure.Int_set
+
+type t = {
+  structure : Structure.t;
+  data : Value.t array Int_map.t;
+}
+
+let empty = { structure = Structure.empty; data = Int_map.empty }
+
+let add_node db ~node ~label ~data =
+  if Structure.mem_node db.structure node then
+    invalid_arg "Gdb.add_node: node exists";
+  {
+    structure = Structure.add_node ~label db.structure node;
+    data = Int_map.add node (Array.of_list data) db.data;
+  }
+
+let add_tuple db rel nodes =
+  { db with structure = Structure.add_tuple db.structure rel (Array.of_list nodes) }
+
+let make ~nodes ~tuples =
+  let db =
+    List.fold_left
+      (fun db (node, label, data) -> add_node db ~node ~label ~data)
+      empty nodes
+  in
+  List.fold_left
+    (fun db (rel, ts) -> List.fold_left (fun db t -> add_tuple db rel t) db ts)
+    db tuples
+
+let structure db = db.structure
+let nodes db = Structure.nodes db.structure
+let size db = Structure.size db.structure
+
+let label db v =
+  match Structure.label_of db.structure v with
+  | Some l -> l
+  | None -> invalid_arg "Gdb.label: unlabeled or missing node"
+
+let data db v =
+  match Int_map.find_opt v db.data with
+  | Some d -> d
+  | None -> invalid_arg "Gdb.data: missing node"
+
+let mem_node db v = Structure.mem_node db.structure v
+
+let conforms db schema =
+  List.for_all
+    (fun v ->
+      match Gschema.label_arity schema (label db v) with
+      | Some k -> Array.length (data db v) = k
+      | None -> false)
+    (nodes db)
+  && List.for_all
+       (fun rel ->
+         match Gschema.rel_arity schema rel with
+         | Some k ->
+           List.for_all
+             (fun t -> Array.length t = k)
+             (Structure.tuples_of db.structure rel)
+         | None -> false)
+       (Structure.rel_names db.structure)
+
+let values_satisfying p db =
+  Int_map.fold
+    (fun _ tuple acc ->
+      Array.fold_left
+        (fun acc v -> if p v then Value.Set.add v acc else acc)
+        acc tuple)
+    db.data Value.Set.empty
+
+let nulls db = values_satisfying Value.is_null db
+let constants db = values_satisfying Value.is_const db
+let is_complete db = Value.Set.is_empty (nulls db)
+
+let apply h db =
+  { db with data = Int_map.map (Valuation.apply_array h) db.data }
+
+let ground db =
+  let h = Valuation.grounding_of_nulls ~avoid:(constants db) (nulls db) in
+  apply h db
+
+let rename_apart ~avoid db =
+  let renaming =
+    Value.Set.fold
+      (fun n h ->
+        let rec fresh () =
+          let n' = Value.fresh_null () in
+          if Value.Set.mem n' avoid then fresh () else n'
+        in
+        Valuation.bind h n (fresh ()))
+      (nulls db) Valuation.empty
+  in
+  (apply renaming db, renaming)
+
+let map_nodes db f =
+  let data =
+    Int_map.fold
+      (fun v tuple acc ->
+        let v' = f v in
+        (match Int_map.find_opt v' acc with
+        | Some existing when existing <> tuple ->
+          invalid_arg "Gdb.map_nodes: merged nodes with different data"
+        | _ -> ());
+        Int_map.add v' tuple acc)
+      db.data Int_map.empty
+  in
+  (* Structure.map_nodes silently lets the last label win; check agreement
+     first. *)
+  List.iter
+    (fun v ->
+      List.iter
+        (fun w ->
+          if v < w && f v = f w && label db v <> label db w then
+            invalid_arg "Gdb.map_nodes: merged nodes with different labels")
+        (nodes db))
+    (nodes db);
+  { structure = Structure.map_nodes db.structure f; data }
+
+let disjoint_union db1 db2 =
+  let s, inj1, inj2 = Structure.disjoint_union db1.structure db2.structure in
+  let data =
+    Int_map.fold
+      (fun v tuple acc -> Int_map.add (inj2 v) tuple acc)
+      db2.data
+      (Int_map.fold
+         (fun v tuple acc -> Int_map.add (inj1 v) tuple acc)
+         db1.data Int_map.empty)
+  in
+  ({ structure = s; data }, inj1, inj2)
+
+let restrict db keep =
+  {
+    structure = Structure.restrict db.structure keep;
+    data = Int_map.filter (fun v _ -> Int_set.mem v keep) db.data;
+  }
+
+let codd db =
+  let seen = Hashtbl.create 16 in
+  Int_map.for_all
+    (fun _ tuple ->
+      Array.for_all
+        (fun v ->
+          if Value.is_null v then
+            if Hashtbl.mem seen v then false
+            else begin
+              Hashtbl.add seen v ();
+              true
+            end
+          else true)
+        tuple)
+    db.data
+
+let equal db1 db2 =
+  Structure.equal db1.structure db2.structure
+  && Int_map.equal ( = ) db1.data db2.data
+
+let pp ppf db =
+  let pp_node ppf v =
+    Format.fprintf ppf "%d:%s(%a)" v (label db v)
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+         Value.pp)
+      (Array.to_list (data db v))
+  in
+  Format.fprintf ppf "@[<v>nodes: %a@,structure: %a@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+       pp_node)
+    (nodes db) Structure.pp db.structure

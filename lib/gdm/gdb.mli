@@ -1,0 +1,69 @@
+(** Generalized databases D = 〈Mλ, ρ〉 (Section 5.1): a finite labeled
+    σ-structure [Mλ] with a tuple [ρ(ν)] of data values (over C ∪ N)
+    attached to each node, of length [ar(λ(ν))]. *)
+
+open Certdb_values
+open Certdb_csp
+
+type t = private {
+  structure : Structure.t; (* carries nodes, labels, σ-relations *)
+  data : Value.t array Structure.Int_map.t;
+}
+
+val empty : t
+
+(** [add_node db ~node ~label ~data] — @raise Invalid_argument if the node
+    exists already. *)
+val add_node : t -> node:int -> label:string -> data:Value.t list -> t
+
+(** [add_tuple db rel nodes] adds a σ-fact over existing nodes. *)
+val add_tuple : t -> string -> int list -> t
+
+val make :
+  nodes:(int * string * Value.t list) list ->
+  tuples:(string * int list list) list ->
+  t
+
+val structure : t -> Structure.t
+val nodes : t -> int list
+val size : t -> int
+val label : t -> int -> string
+val data : t -> int -> Value.t array
+val mem_node : t -> int -> bool
+
+(** [conforms db schema] — labels declared, data lengths = [ar(label)],
+    σ-facts declared with correct arities. *)
+val conforms : t -> Gschema.t -> bool
+
+val nulls : t -> Value.Set.t
+val constants : t -> Value.Set.t
+
+(** [is_complete db] iff no data value is a null. *)
+val is_complete : t -> bool
+
+(** [apply h db] maps all data tuples through the valuation. *)
+val apply : Valuation.t -> t -> t
+
+(** [ground db] replaces nulls by distinct fresh constants. *)
+val ground : t -> t
+
+(** [rename_apart ~avoid db] renames nulls injectively to fresh nulls. *)
+val rename_apart : avoid:Value.Set.t -> t -> t * Valuation.t
+
+(** [map_nodes db f] renames/merges nodes through [f]; when [f] merges two
+    nodes their labels and data tuples must agree.
+    @raise Invalid_argument otherwise. *)
+val map_nodes : t -> (int -> int) -> t
+
+(** [disjoint_union db1 db2] renames the second operand's nodes (and
+    nothing else) apart. *)
+val disjoint_union : t -> t -> t * (int -> int) * (int -> int)
+
+(** [restrict db keep] — induced sub-database. *)
+val restrict : t -> Structure.Int_set.t -> t
+
+(** [codd db] iff each null occurs at most once across all data tuples. *)
+val codd : t -> bool
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,51 @@
+open Certdb_values
+
+let value st ~null_prob ~domain =
+  if Random.State.float st 1.0 < null_prob then Value.fresh_null ()
+  else Value.int (Random.State.int st domain)
+
+let tree ~seed ~nodes ~labels ~null_prob ~domain () =
+  let st = Random.State.make [| seed |] in
+  let labels = Array.of_list labels in
+  if Array.length labels = 0 then invalid_arg "Ggen.tree: no labels";
+  let db = ref Gdb.empty in
+  for i = 0 to nodes - 1 do
+    let label = labels.(Random.State.int st (Array.length labels)) in
+    db := Gdb.add_node !db ~node:i ~label ~data:[ value st ~null_prob ~domain ]
+  done;
+  for i = 1 to nodes - 1 do
+    db := Gdb.add_tuple !db "child" [ Random.State.int st i; i ]
+  done;
+  !db
+
+let ladder ~seed ~rungs ~null_prob ~domain () =
+  let st = Random.State.make [| seed |] in
+  let db = ref Gdb.empty in
+  let n = 2 * rungs in
+  for i = 0 to n - 1 do
+    db :=
+      Gdb.add_node !db ~node:i ~label:"a"
+        ~data:[ value st ~null_prob ~domain ]
+  done;
+  for r = 0 to rungs - 1 do
+    let top = 2 * r and bottom = (2 * r) + 1 in
+    db := Gdb.add_tuple !db "E" [ top; bottom ];
+    if r > 0 then begin
+      db := Gdb.add_tuple !db "E" [ 2 * (r - 1); top ];
+      db := Gdb.add_tuple !db "E" [ (2 * (r - 1)) + 1; bottom ]
+    end
+  done;
+  !db
+
+let flat ~seed ~nodes ~labels_arities ~null_prob ~domain () =
+  let st = Random.State.make [| seed |] in
+  let labels = Array.of_list labels_arities in
+  if Array.length labels = 0 then invalid_arg "Ggen.flat: no labels";
+  let db = ref Gdb.empty in
+  for i = 0 to nodes - 1 do
+    let label, arity = labels.(Random.State.int st (Array.length labels)) in
+    db :=
+      Gdb.add_node !db ~node:i ~label
+        ~data:(List.init arity (fun _ -> value st ~null_prob ~domain))
+  done;
+  !db

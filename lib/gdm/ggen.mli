@@ -1,0 +1,32 @@
+(** Random generalized-database generators shared by tests and benchmarks:
+    tree-shaped structures (treewidth 1), ladders (treewidth 2), and flat
+    (σ = ∅) databases. *)
+
+(** [tree ~seed ~nodes ~labels ~null_prob ~domain ()] — random tree over
+    the ["child"] relation; each node carries one data value, null with
+    probability [null_prob], else a constant below [domain].  Nulls are
+    fresh, so the result is Codd. *)
+val tree :
+  seed:int ->
+  nodes:int ->
+  labels:string list ->
+  null_prob:float ->
+  domain:int ->
+  unit ->
+  Gdb.t
+
+(** [ladder ~seed ~rungs ~null_prob ~domain ()] — 2×[rungs] grid over an
+    ["E"] relation (treewidth 2), single label ["a"]. *)
+val ladder :
+  seed:int -> rungs:int -> null_prob:float -> domain:int -> unit -> Gdb.t
+
+(** [flat ~seed ~nodes ~labels_arities ~null_prob ~domain ()] — σ = ∅
+    database with labels drawn from [labels_arities]. *)
+val flat :
+  seed:int ->
+  nodes:int ->
+  labels_arities:(string * int) list ->
+  null_prob:float ->
+  domain:int ->
+  unit ->
+  Gdb.t

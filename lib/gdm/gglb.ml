@@ -1,0 +1,60 @@
+open Certdb_values
+open Certdb_csp
+module Int_map = Structure.Int_map
+
+let attach_data ~reg ~iota ~iota' d d' product_structure =
+  List.fold_left
+    (fun acc v ->
+      let data =
+        Merge.arrays reg (Gdb.data d (iota v)) (Gdb.data d' (iota' v))
+      in
+      match Structure.label_of product_structure v with
+      | Some l -> Gdb.add_node acc ~node:v ~label:l ~data:(Array.to_list data)
+      | None -> invalid_arg "Gglb: unlabeled product node")
+    Gdb.empty
+    (Structure.nodes product_structure)
+
+let copy_tuples src db =
+  Structure.fold_tuples
+    (fun rel t acc -> Gdb.add_tuple acc rel (Array.to_list t))
+    src db
+
+let glb_sigma_full d d' =
+  let s = Gdb.structure d and s' = Gdb.structure d' in
+  let product, decode = Structure.product s s' in
+  let iota v = fst (decode v) and iota' v = snd (decode v) in
+  let reg = Merge.create () in
+  let result = copy_tuples product (attach_data ~reg ~iota ~iota' d d' product) in
+  let left =
+    {
+      Ghom.node_map =
+        List.fold_left
+          (fun m v -> Int_map.add v (iota v) m)
+          Int_map.empty (Gdb.nodes result);
+      valuation = Merge.left_valuation reg;
+    }
+  in
+  let right =
+    {
+      Ghom.node_map =
+        List.fold_left
+          (fun m v -> Int_map.add v (iota' v) m)
+          Int_map.empty (Gdb.nodes result);
+      valuation = Merge.right_valuation reg;
+    }
+  in
+  (result, left, right)
+
+let glb_sigma d d' =
+  let g, _, _ = glb_sigma_full d d' in
+  g
+
+let glb_in_class ~class_glb d d' =
+  let s = Gdb.structure d and s' = Gdb.structure d' in
+  let g, iota, iota' = class_glb s s' in
+  let reg = Merge.create () in
+  copy_tuples g (attach_data ~reg ~iota ~iota' d d' g)
+
+let family_sigma = function
+  | [] -> invalid_arg "Gglb.family_sigma: empty family"
+  | d :: ds -> List.fold_left glb_sigma d ds

@@ -1,0 +1,33 @@
+(** Greatest lower bounds of generalized databases (Theorem 4).
+
+    [glb_sigma d d'] is [D ∧Σ D′]: the product of the structural parts
+    restricted to equal labels, with data merged by ⊗ (equation (2) with
+    [K] = all Σ-colored structures).  It is the glb in the class of all
+    generalized databases of the schema.
+
+    [glb_in_class ~class_glb d d'] is the parametric [D ∧K D′]: the caller
+    supplies the glb of the structural parts within a class [K] together
+    with the two homomorphisms [ι, ι′] into the operands (as node maps);
+    data is attached by [ρ ⊗ ρ′ (ν) = ρ(ι ν) ⊗ ρ′(ι′ ν)]. *)
+
+open Certdb_csp
+
+(** Returns the glb plus the two witnessing homomorphisms into the
+    operands. *)
+val glb_sigma_full : Gdb.t -> Gdb.t -> Gdb.t * Ghom.t * Ghom.t
+
+val glb_sigma : Gdb.t -> Gdb.t -> Gdb.t
+
+(** [glb_in_class ~class_glb d d'] where
+    [class_glb s s' = (g, iota, iota')] gives the structural glb within K
+    and its projections.  Returns the K-glb of the databases. *)
+val glb_in_class :
+  class_glb:
+    (Structure.t -> Structure.t -> Structure.t * (int -> int) * (int -> int)) ->
+  Gdb.t ->
+  Gdb.t ->
+  Gdb.t
+
+(** [family_sigma dbs] folds [glb_sigma] over a non-empty list.
+    @raise Invalid_argument on []. *)
+val family_sigma : Gdb.t list -> Gdb.t

@@ -1,0 +1,90 @@
+open Certdb_values
+open Certdb_csp
+module Int_map = Structure.Int_map
+module Int_set = Structure.Int_set
+
+type t = {
+  node_map : int Int_map.t;
+  valuation : Valuation.t;
+}
+
+let is_hom h d d' =
+  let s = Gdb.structure d and s' = Gdb.structure d' in
+  Solver.is_hom ~source:s ~target:s' h.node_map
+  && List.for_all
+       (fun v ->
+         let v' = Int_map.find v h.node_map in
+         Gdb.data d' v' = Valuation.apply_array h.valuation (Gdb.data d v))
+       (Gdb.nodes d)
+
+(* Backtracking on source nodes with dynamic fewest-candidates ordering;
+   the valuation is threaded through data unification, the structural
+   tuples are checked as soon as fully assigned. *)
+let search ?restrict d d' on_solution =
+  let s = Gdb.structure d and s' = Gdb.structure d' in
+  let target_nodes = Structure.nodes s' in
+  let tuples = Structure.all_tuples s in
+  let candidates (_node_map, valuation) v =
+    let base =
+      List.filter_map
+        (fun w ->
+          if not (Structure.same_label s v s' w) then None
+          else
+            match
+              Valuation.extend_match valuation (Gdb.data d v) (Gdb.data d' w)
+            with
+            | Some val' -> Some (w, val')
+            | None -> None)
+        target_nodes
+    in
+    match restrict with
+    | None -> base
+    | Some r -> List.filter (fun (w, _) -> Int_set.mem w (r v)) base
+  in
+  let structural_ok node_map =
+    List.for_all
+      (fun (rel, tup) ->
+        (not (Array.for_all (fun v -> Int_map.mem v node_map) tup))
+        || Structure.mem_tuple s' rel
+             (Array.map (fun v -> Int_map.find v node_map) tup))
+      tuples
+  in
+  let exception Stop in
+  let rec go state remaining =
+    match remaining with
+    | [] ->
+      let node_map, valuation = state in
+      if on_solution { node_map; valuation } = `Stop then raise Stop
+    | _ ->
+      let scored = List.map (fun v -> (v, candidates state v)) remaining in
+      let best, cands =
+        List.fold_left
+          (fun (bv, bc) (v, c) ->
+            if List.length c < List.length bc then (v, c) else (bv, bc))
+          (List.hd scored) (List.tl scored)
+      in
+      let rest = List.filter (fun v -> v <> best) remaining in
+      List.iter
+        (fun (w, val') ->
+          let node_map' = Int_map.add best w (fst state) in
+          if structural_ok node_map' then go (node_map', val') rest)
+        cands
+  in
+  try go (Int_map.empty, Valuation.empty) (Gdb.nodes d) with Stop -> ()
+
+let find ?restrict d d' =
+  let found = ref None in
+  search ?restrict d d' (fun h ->
+      found := Some h;
+      `Stop);
+  !found
+
+let exists ?restrict d d' = Option.is_some (find ?restrict d d')
+let iter ?restrict d d' f = search ?restrict d d' f
+
+let count d d' =
+  let n = ref 0 in
+  iter d d' (fun _ ->
+      incr n;
+      `Continue);
+  !n

@@ -1,0 +1,29 @@
+(** Homomorphisms between generalized databases (Section 5.1): pairs
+    (h₁, h₂) of a structural homomorphism on nodes and a valuation on nulls
+    such that [ρ′(h₁(ν)) = h₂(ρ(ν))] for every node. *)
+
+open Certdb_values
+open Certdb_csp
+
+type t = {
+  node_map : int Structure.Int_map.t; (* h₁ *)
+  valuation : Valuation.t; (* h₂ *)
+}
+
+val is_hom : t -> Gdb.t -> Gdb.t -> bool
+
+(** [find ?restrict d d'] — [restrict ν] limits candidate target nodes. *)
+val find :
+  ?restrict:(int -> Structure.Int_set.t) -> Gdb.t -> Gdb.t -> t option
+
+val exists :
+  ?restrict:(int -> Structure.Int_set.t) -> Gdb.t -> Gdb.t -> bool
+
+val iter :
+  ?restrict:(int -> Structure.Int_set.t) ->
+  Gdb.t ->
+  Gdb.t ->
+  (t -> [ `Continue | `Stop ]) ->
+  unit
+
+val count : Gdb.t -> Gdb.t -> int

@@ -1,0 +1,11 @@
+(** The information ordering on generalized databases:
+    [D ⊑ D′ ⇔ [[D′]] ⊆ [[D]]], characterized by homomorphism existence
+    (Prop. 9). *)
+
+val leq : Gdb.t -> Gdb.t -> bool
+val equiv : Gdb.t -> Gdb.t -> bool
+val strictly_less : Gdb.t -> Gdb.t -> bool
+val incomparable : Gdb.t -> Gdb.t -> bool
+
+(** [mem d' d] — the membership problem: complete [d'] ∈ [[d]]. *)
+val mem : Gdb.t -> Gdb.t -> bool

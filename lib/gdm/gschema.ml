@@ -1,0 +1,31 @@
+type t = {
+  alphabet : (string * int) list;
+  sigma : (string * int) list;
+}
+
+let make ~alphabet ~sigma =
+  let check_dups what l =
+    let names = List.map fst l in
+    let sorted = List.sort_uniq String.compare names in
+    if List.length sorted <> List.length names then
+      invalid_arg (Printf.sprintf "Gschema.make: duplicate %s" what)
+  in
+  check_dups "label" alphabet;
+  check_dups "relation" sigma;
+  { alphabet; sigma }
+
+let alphabet s = s.alphabet
+let sigma s = s.sigma
+let label_arity s a = List.assoc_opt a s.alphabet
+let rel_arity s r = List.assoc_opt r s.sigma
+let max_label_arity s = List.fold_left (fun m (_, k) -> max m k) 0 s.alphabet
+let relational rels = make ~alphabet:rels ~sigma:[]
+let xml ~alphabet = make ~alphabet ~sigma:[ ("child", 2) ]
+
+let pp ppf s =
+  let pp_pair ppf (n, k) = Format.fprintf ppf "%s/%d" n k in
+  Format.fprintf ppf "Sigma = {%a}; sigma = {%a}"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_pair)
+    s.alphabet
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_pair)
+    s.sigma

@@ -1,0 +1,28 @@
+(** Generalized schemas S = 〈Σ, σ, ar〉 (Section 5.1): a finite alphabet Σ
+    of node labels with attribute arities [ar], and a relational vocabulary
+    σ for the structural part. *)
+
+type t
+
+(** [make ~alphabet ~sigma] — [alphabet] pairs each label with its
+    attribute arity, [sigma] pairs each structural relation with its
+    arity. *)
+val make : alphabet:(string * int) list -> sigma:(string * int) list -> t
+
+val alphabet : t -> (string * int) list
+val sigma : t -> (string * int) list
+
+(** [label_arity s a] — [ar(a)], or [None] if [a ∉ Σ]. *)
+val label_arity : t -> string -> int option
+
+val rel_arity : t -> string -> int option
+val max_label_arity : t -> int
+
+(** The schema of plain relational databases coded as generalized
+    databases: σ = ∅, one label per relation name (Section 5.1). *)
+val relational : (string * int) list -> t
+
+(** The schema of unranked trees with a child relation ["child"]. *)
+val xml : alphabet:(string * int) list -> t
+
+val pp : Format.formatter -> t -> unit

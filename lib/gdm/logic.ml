@@ -1,0 +1,102 @@
+open Certdb_values
+open Certdb_csp
+module String_map = Map.Make (String)
+
+type t =
+  | True
+  | False
+  | Rel of string * string list
+  | Label of string * string
+  | NodeEq of string * string
+  | EqAttr of int * string * int * string
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Exists of string list * t
+  | Forall of string list * t
+
+let conj = function
+  | [] -> True
+  | f :: fs -> List.fold_left (fun acc g -> And (acc, g)) f fs
+
+let disj = function
+  | [] -> False
+  | f :: fs -> List.fold_left (fun acc g -> Or (acc, g)) f fs
+
+let rec is_existential_positive = function
+  | True | False | Rel _ | Label _ | NodeEq _ | EqAttr _ -> true
+  | And (f, g) | Or (f, g) ->
+    is_existential_positive f && is_existential_positive g
+  | Exists (_, f) -> is_existential_positive f
+  | Not _ | Implies _ | Forall _ -> false
+
+let rec is_quantifier_free = function
+  | True | False | Rel _ | Label _ | NodeEq _ | EqAttr _ -> true
+  | Not f -> is_quantifier_free f
+  | And (f, g) | Or (f, g) | Implies (f, g) ->
+    is_quantifier_free f && is_quantifier_free g
+  | Exists _ | Forall _ -> false
+
+let rec is_existential = function
+  | True | False | Rel _ | Label _ | NodeEq _ | EqAttr _ -> true
+  | And (f, g) | Or (f, g) -> is_existential f && is_existential g
+  | Not f -> is_quantifier_free f
+  | Implies (f, g) -> is_quantifier_free f && is_quantifier_free g
+  | Exists (_, f) -> is_existential f
+  | Forall _ -> false
+
+let lookup env x =
+  match String_map.find_opt x env with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Logic.eval: unbound variable %s" x)
+
+let eval db env f =
+  let domain = Gdb.nodes db in
+  let rec go env = function
+    | True -> true
+    | False -> false
+    | Rel (rel, xs) ->
+      let tup = Array.of_list (List.map (lookup env) xs) in
+      Structure.mem_tuple (Gdb.structure db) rel tup
+    | Label (a, x) -> String.equal (Gdb.label db (lookup env x)) a
+    | NodeEq (x, y) -> lookup env x = lookup env y
+    | EqAttr (i, x, j, y) ->
+      let dx = Gdb.data db (lookup env x) and dy = Gdb.data db (lookup env y) in
+      i >= 1 && j >= 1
+      && i <= Array.length dx
+      && j <= Array.length dy
+      && Value.equal dx.(i - 1) dy.(j - 1)
+    | Not g -> not (go env g)
+    | And (g1, g2) -> go env g1 && go env g2
+    | Or (g1, g2) -> go env g1 || go env g2
+    | Implies (g1, g2) -> (not (go env g1)) || go env g2
+    | Exists (xs, g) -> quantify env xs g List.exists
+    | Forall (xs, g) -> quantify env xs g List.for_all
+  and quantify env xs g combine =
+    match xs with
+    | [] -> go env g
+    | x :: rest ->
+      combine
+        (fun v -> quantify (String_map.add x v env) rest g combine)
+        domain
+  in
+  go env f
+
+let holds db f = eval db String_map.empty f
+
+let rec pp ppf = function
+  | True -> Format.fprintf ppf "true"
+  | False -> Format.fprintf ppf "false"
+  | Rel (r, xs) -> Format.fprintf ppf "%s(%s)" r (String.concat "," xs)
+  | Label (a, x) -> Format.fprintf ppf "P_%s(%s)" a x
+  | NodeEq (x, y) -> Format.fprintf ppf "%s = %s" x y
+  | EqAttr (i, x, j, y) -> Format.fprintf ppf "%s.%d = %s.%d" x i y j
+  | Not f -> Format.fprintf ppf "~(%a)" pp f
+  | And (f, g) -> Format.fprintf ppf "(%a /\\ %a)" pp f pp g
+  | Or (f, g) -> Format.fprintf ppf "(%a \\/ %a)" pp f pp g
+  | Implies (f, g) -> Format.fprintf ppf "(%a -> %a)" pp f pp g
+  | Exists (xs, f) ->
+    Format.fprintf ppf "exists %s. %a" (String.concat "," xs) pp f
+  | Forall (xs, f) ->
+    Format.fprintf ppf "forall %s. %a" (String.concat "," xs) pp f

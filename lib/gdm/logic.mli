@@ -1,0 +1,34 @@
+(** The logic FO(S,∼) of Section 6: first-order logic over the structural
+    vocabulary σ, the labeling predicates [P_a], and attribute-equality
+    predicates [=_{ij}(x,y)] ("the i-th attribute of x equals the j-th
+    attribute of y").  Evaluation is over the relational view [D_EQ] of a
+    generalized database, with quantifiers ranging over nodes.
+
+    Attribute indices are 1-based, as in the paper. *)
+
+type t =
+  | True
+  | False
+  | Rel of string * string list (* σ-relation over node variables *)
+  | Label of string * string (* P_a(x) *)
+  | NodeEq of string * string (* first-order equality on nodes *)
+  | EqAttr of int * string * int * string (* =_{ij}(x, y) *)
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Exists of string list * t
+  | Forall of string list * t
+
+val conj : t list -> t
+val disj : t list -> t
+
+val is_existential_positive : t -> bool
+val is_existential : t -> bool
+
+(** [eval db env f] — [env] maps free node variables to nodes.  [=_{ij}]
+    is false when either attribute index exceeds the node's arity. *)
+val eval : Gdb.t -> int Stdlib.Map.Make(String).t -> t -> bool
+
+val holds : Gdb.t -> t -> bool
+val pp : Format.formatter -> t -> unit

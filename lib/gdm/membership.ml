@@ -1,0 +1,54 @@
+open Certdb_values
+open Certdb_csp
+module Int_set = Structure.Int_set
+module Int_map = Structure.Int_map
+
+let candidate_relation d d' v =
+  let data_v = Gdb.data d v in
+  List.fold_left
+    (fun acc w ->
+      if
+        String.equal (Gdb.label d v) (Gdb.label d' w)
+        && Certdb_relational.Ordering.tuple_leq data_v (Gdb.data d' w)
+      then Int_set.add w acc
+      else acc)
+    Int_set.empty (Gdb.nodes d')
+
+let generic_leq = Gordering.leq
+
+let require_codd d =
+  if not (Gdb.codd d) then
+    invalid_arg "Membership.codd_leq: source is not Codd"
+
+let codd_leq ?decomposition d d' =
+  require_codd d;
+  Bounded_tw.r_hom ?decomposition ~source:(Gdb.structure d)
+    ~target:(Gdb.structure d')
+    ~restrict:(candidate_relation d d')
+    ()
+
+let codd_leq_witness ?decomposition d d' =
+  require_codd d;
+  match
+    Bounded_tw.r_hom_witness ?decomposition ~source:(Gdb.structure d)
+      ~target:(Gdb.structure d')
+      ~restrict:(candidate_relation d d')
+      ()
+  with
+  | None -> None
+  | Some h1 ->
+    (* Codd: each null occurs once, so the per-node data bindings never
+       conflict. *)
+    let valuation =
+      Int_map.fold
+        (fun v w acc ->
+          match Valuation.extend_match acc (Gdb.data d v) (Gdb.data d' w) with
+          | Some acc' -> acc'
+          | None -> invalid_arg "Membership: R-relation inconsistent")
+        h1 Valuation.empty
+    in
+    Some { Ghom.node_map = h1; valuation }
+
+let mem d' d =
+  Gdb.is_complete d'
+  && if Gdb.codd d then codd_leq d d' else generic_leq d d'

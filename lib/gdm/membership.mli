@@ -1,0 +1,37 @@
+(** The membership/ordering problem for generalized databases (Section 6,
+    Theorem 6): deciding [D ⊑ D′].
+
+    In general this is a constraint satisfaction problem (NP-complete);
+    [generic_leq] solves it with the backtracking search of {!Ghom}.
+
+    Under the Codd interpretation (each null occurs at most once) data
+    constraints decouple across nodes: by Lemma 3, [D ⊑ D′] iff there is a
+    structural homomorphism whose graph lies inside the relation
+
+    {v R(D,D') = { (ν,ν') | λ(ν) = λ′(ν′) and ρ(ν) ⪯ ρ′(ν′) } v}
+
+    which [codd_leq] decides in polynomial time by the bounded-treewidth
+    dynamic program of {!Certdb_csp.Bounded_tw} (Lemma 4).  This subsumes
+    the PTIME algorithms of [3] for Codd tables and of [7] for XML, both
+    instances of treewidth ≤ 1. *)
+
+open Certdb_csp
+
+(** [candidate_relation d d'] — the relation [R(D,D')] as a per-node
+    candidate set. *)
+val candidate_relation : Gdb.t -> Gdb.t -> int -> Structure.Int_set.t
+
+val generic_leq : Gdb.t -> Gdb.t -> bool
+
+(** [codd_leq ?decomposition d d'] — PTIME for bounded treewidth.
+    @raise Invalid_argument if [d] is not Codd. *)
+val codd_leq : ?decomposition:Treewidth.t -> Gdb.t -> Gdb.t -> bool
+
+(** [codd_leq_witness] — also extracts a homomorphism. *)
+val codd_leq_witness :
+  ?decomposition:Treewidth.t -> Gdb.t -> Gdb.t -> Ghom.t option
+
+(** [mem d' d] — membership [D′ ∈ [[D]]] ([d'] complete), choosing the
+    PTIME path automatically when [d] is Codd and the structure has small
+    treewidth. *)
+val mem : Gdb.t -> Gdb.t -> bool

@@ -1,0 +1,72 @@
+open Certdb_csp
+module Int_set = Structure.Int_set
+module Int_map = Structure.Int_map
+
+let child_rel = "child"
+
+let parents s v =
+  List.filter_map
+    (fun t -> if t.(1) = v then Some t.(0) else None)
+    (Structure.tuples_of s child_rel)
+
+let children s v =
+  List.filter_map
+    (fun t -> if t.(0) = v then Some t.(1) else None)
+    (Structure.tuples_of s child_rel)
+
+let roots s =
+  List.filter (fun v -> parents s v = []) (Structure.nodes s)
+
+let is_tree s =
+  match Structure.nodes s with
+  | [] -> false
+  | nodes -> (
+    match roots s with
+    | [ root ] ->
+      List.for_all
+        (fun v -> v = root || List.length (parents s v) = 1)
+        nodes
+      &&
+      (* connectivity (which, with the parent counts, excludes cycles) *)
+      let reached = Hashtbl.create 16 in
+      let rec visit v =
+        if not (Hashtbl.mem reached v) then begin
+          Hashtbl.add reached v ();
+          List.iter visit (children s v)
+        end
+      in
+      visit root;
+      List.for_all (Hashtbl.mem reached) nodes
+    | _ -> false)
+
+let glb s s' =
+  if not (is_tree s && is_tree s') then
+    invalid_arg "Tree_class.glb: operand is not a tree";
+  let root = List.hd (roots s) and root' = List.hd (roots s') in
+  if not (Structure.same_label s root s' root') then
+    invalid_arg "Tree_class.glb: root labels differ";
+  let counter = ref 0 in
+  let left = Hashtbl.create 16 and right = Hashtbl.create 16 in
+  let result = ref Structure.empty in
+  let rec pair v v' =
+    let id = !counter in
+    incr counter;
+    Hashtbl.replace left id v;
+    Hashtbl.replace right id v';
+    result := Structure.add_node ?label:(Structure.label_of s v) !result id;
+    List.iter
+      (fun c ->
+        List.iter
+          (fun c' ->
+            if Structure.same_label s c s' c' then begin
+              let cid = pair c c' in
+              result := Structure.add_edge !result child_rel id cid
+            end)
+          (children s' v'))
+      (children s v);
+    id
+  in
+  ignore (pair root root');
+  (!result, Hashtbl.find left, Hashtbl.find right)
+
+let class_glb = glb

@@ -1,0 +1,22 @@
+(** The class K of unranked trees inside the generalized model: a
+    structural glb for tree-shaped structures (over a ["child"] relation),
+    to be plugged into {!Gglb.glb_in_class} — Theorem 4's [∧K] for XML.
+
+    The construction pairs the two roots when labels agree and recurses by
+    pairing equally-labeled children (the standard product-of-trees that
+    [16] uses for max-descriptions). *)
+
+open Certdb_csp
+
+(** [is_tree s] — [s] has exactly one root (no incoming ["child"] edge),
+    every other node has exactly one parent, and no cycles. *)
+val is_tree : Structure.t -> bool
+
+(** [glb s s'] — the tree glb with the two projection node maps.
+    @raise Invalid_argument if an operand is not a tree or the roots'
+    labels differ (no tree lower bound with a root exists then). *)
+val glb : Structure.t -> Structure.t -> Structure.t * (int -> int) * (int -> int)
+
+(** [class_glb] — [glb] in the shape {!Gglb.glb_in_class} expects. *)
+val class_glb :
+  Structure.t -> Structure.t -> Structure.t * (int -> int) * (int -> int)

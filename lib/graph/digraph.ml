@@ -1,0 +1,112 @@
+open Certdb_csp
+
+type t = Structure.t
+
+let edge_rel = "E"
+let of_structure s = s
+let to_structure g = g
+let empty = Structure.empty
+let add_vertex g v = Structure.add_node g v
+
+let add_edge g x y =
+  let g = add_vertex (add_vertex g x) y in
+  Structure.add_edge g edge_rel x y
+
+let make ?(vertices = []) ~edges () =
+  let g = List.fold_left add_vertex empty vertices in
+  List.fold_left (fun g (x, y) -> add_edge g x y) g edges
+
+let vertices = Structure.nodes
+
+let edges g =
+  List.map (fun t -> (t.(0), t.(1))) (Structure.tuples_of g edge_rel)
+
+let size = Structure.size
+let edge_count g = List.length (edges g)
+let mem_edge g x y = Structure.mem_tuple g edge_rel [| x; y |]
+
+let product g1 g2 = fst (Structure.product g1 g2)
+
+let disjoint_union g1 g2 =
+  let u, _, _ = Structure.disjoint_union g1 g2 in
+  u
+
+let map f g = Structure.map_nodes g f
+let restrict = Structure.restrict
+let equal = Structure.equal
+
+let pp ppf g =
+  Format.fprintf ppf "{%d vertices; %a}" (size g)
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+       (fun ppf (x, y) -> Format.fprintf ppf "%d->%d" x y))
+    (edges g)
+
+let path n =
+  let g = ref (add_vertex empty 0) in
+  for i = 0 to n - 1 do
+    g := add_edge !g i (i + 1)
+  done;
+  !g
+
+let cycle n =
+  if n < 1 then invalid_arg "Digraph.cycle";
+  let g = ref empty in
+  for i = 0 to n - 1 do
+    g := add_edge !g i ((i + 1) mod n)
+  done;
+  !g
+
+let clique n =
+  let g = ref empty in
+  for i = 0 to n - 1 do
+    g := add_vertex !g i
+  done;
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then g := add_edge !g i j
+    done
+  done;
+  !g
+
+let transitive_tournament n =
+  let g = ref empty in
+  for i = 0 to n - 1 do
+    g := add_vertex !g i
+  done;
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      g := add_edge !g i j
+    done
+  done;
+  !g
+
+let grid n m =
+  let id i j = (i * m) + j in
+  let g = ref empty in
+  for i = 0 to n - 1 do
+    for j = 0 to m - 1 do
+      g := add_vertex !g (id i j)
+    done
+  done;
+  for i = 0 to n - 1 do
+    for j = 0 to m - 1 do
+      if j + 1 < m then g := add_edge !g (id i j) (id i (j + 1));
+      if i + 1 < n then g := add_edge !g (id i j) (id (i + 1) j)
+    done
+  done;
+  !g
+
+let random ~seed ~vertices ~edge_prob () =
+  let st = Random.State.make [| seed |] in
+  let g = ref empty in
+  for i = 0 to vertices - 1 do
+    g := add_vertex !g i
+  done;
+  for i = 0 to vertices - 1 do
+    for j = 0 to vertices - 1 do
+      if i <> j && Random.State.float st 1.0 < edge_prob then
+        g := add_edge !g i j
+    done
+  done;
+  !g

@@ -1,0 +1,54 @@
+(** Directed graphs, realized as structures with a single binary relation
+    [E].  The homomorphism preorder on graphs and its lattice of cores
+    (Section 4, after [24]) furnish the counterexamples of Theorem 3. *)
+
+open Certdb_csp
+
+type t
+
+val of_structure : Structure.t -> t
+val to_structure : t -> Structure.t
+val empty : t
+val add_vertex : t -> int -> t
+val add_edge : t -> int -> int -> t
+
+(** [make ~vertices ~edges] builds a graph; vertices of edges are added
+    implicitly. *)
+val make : ?vertices:int list -> edges:(int * int) list -> unit -> t
+
+val vertices : t -> int list
+val edges : t -> (int * int) list
+val size : t -> int
+val edge_count : t -> int
+val mem_edge : t -> int -> int -> bool
+
+val product : t -> t -> t
+val disjoint_union : t -> t -> t
+
+(** [map f g] is the homomorphic image of [g] under the vertex map [f]. *)
+val map : (int -> int) -> t -> t
+
+val restrict : t -> Structure.Int_set.t -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** {1 Generator families} *)
+
+(** [path n] is the directed path [P_n] with [n] edges (n+1 vertices). *)
+val path : int -> t
+
+(** [cycle n] is the directed cycle [C_n] on [n ≥ 1] vertices. *)
+val cycle : int -> t
+
+(** [clique n] is the complete digraph [K_n] without self-loops (both edge
+    directions present). *)
+val clique : int -> t
+
+(** [transitive_tournament n] — acyclic orientation of K_n. *)
+val transitive_tournament : int -> t
+
+(** [grid n m] — directed grid with right and down edges. *)
+val grid : int -> int -> t
+
+(** [random ~seed ~vertices ~edge_prob ()] — Erdős–Rényi digraph. *)
+val random : seed:int -> vertices:int -> edge_prob:float -> unit -> t

@@ -1,0 +1,43 @@
+open Certdb_csp
+module Int_set = Structure.Int_set
+
+(* An endomorphism identifying u and v exists iff the quotient of g by
+   {u = v} maps homomorphically back into g. *)
+let folding_endo g =
+  let vs = Digraph.vertices g in
+  let rec pairs = function
+    | [] -> None
+    | u :: rest -> (
+      let attempt v =
+        let quotient = Digraph.map (fun x -> if x = v then u else x) g in
+        Graph_hom.find quotient g
+        |> Option.map (fun h -> (u, v, h))
+      in
+      match List.find_map attempt rest with
+      | Some r -> Some r
+      | None -> pairs rest)
+  in
+  pairs vs
+
+let is_core g = Option.is_none (folding_endo g)
+
+let rec core g =
+  match folding_endo g with
+  | None -> g
+  | Some (u, v, h) ->
+    (* h : quotient → g; the composite endo sends v to u's image.  Its
+       image, as an induced subgraph, is hom-equivalent to g and strictly
+       smaller. *)
+    let endo x =
+      let x' = if x = v then u else x in
+      Structure.Int_map.find x' h
+    in
+    let image =
+      List.fold_left
+        (fun s x -> Int_set.add (endo x) s)
+        Int_set.empty (Digraph.vertices g)
+    in
+    core (Digraph.restrict g image)
+
+let glb g g' = core (Digraph.product g g')
+let lub g g' = core (Digraph.disjoint_union g g')

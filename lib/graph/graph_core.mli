@@ -1,0 +1,16 @@
+(** Cores of directed graphs: the smallest retract, unique up to
+    isomorphism [24].  The core lattice underlies the glb/lub constructions
+    of Section 4 ([G ∧ G′ = core(G × G′)], [G ∨ G′ = core(G ⊔ G′)]). *)
+
+(** [is_core g] iff every endomorphism of [g] is injective. *)
+val is_core : Digraph.t -> bool
+
+(** [core g] computes a core of [g] by iterated proper folding. *)
+val core : Digraph.t -> Digraph.t
+
+(** [glb g g'] is [core (product g g')] — the greatest lower bound of [g]
+    and [g'] in the homomorphism order. *)
+val glb : Digraph.t -> Digraph.t -> Digraph.t
+
+(** [lub g g'] is [core (disjoint_union g g')] — the least upper bound. *)
+val lub : Digraph.t -> Digraph.t -> Digraph.t

@@ -1,0 +1,17 @@
+open Certdb_csp
+
+let find g g' =
+  Solver.find_hom ~source:(Digraph.to_structure g)
+    ~target:(Digraph.to_structure g') ()
+
+let exists g g' = Option.is_some (find g g')
+let leq = exists
+let equiv g g' = leq g g' && leq g' g
+let strictly_less g g' = leq g g' && not (leq g' g)
+let incomparable g g' = (not (leq g g')) && not (leq g' g)
+
+let is_hom g g' h =
+  Solver.is_hom ~source:(Digraph.to_structure g)
+    ~target:(Digraph.to_structure g') h
+
+let colorable k g = leq g (Digraph.clique k)

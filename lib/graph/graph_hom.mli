@@ -1,0 +1,28 @@
+(** Graph homomorphisms and the homomorphism preorder [G ⊑ G′] of
+    Section 4. *)
+
+open Certdb_csp
+
+(** [exists g g'] iff there is a homomorphism [g → g']. *)
+val exists : Digraph.t -> Digraph.t -> bool
+
+val find : Digraph.t -> Digraph.t -> Solver.hom option
+
+(** [leq] is [exists]: the homomorphism preorder. *)
+val leq : Digraph.t -> Digraph.t -> bool
+
+(** [equiv g g'] is hom-equivalence [g ∼ g']. *)
+val equiv : Digraph.t -> Digraph.t -> bool
+
+(** [strictly_less g g'] iff [g ⊑ g'] and not [g' ⊑ g] (written [≺]). *)
+val strictly_less : Digraph.t -> Digraph.t -> bool
+
+(** [incomparable g g'] iff neither direction has a homomorphism. *)
+val incomparable : Digraph.t -> Digraph.t -> bool
+
+(** [is_hom_image h g g'] checks a given vertex map. *)
+val is_hom : Digraph.t -> Digraph.t -> Solver.hom -> bool
+
+(** [colorable k g] iff [g] admits a homomorphism into the clique [K_k]
+    (ignoring edge directions is unnecessary: [K_k] has both directions). *)
+val colorable : int -> Digraph.t -> bool

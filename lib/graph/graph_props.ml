@@ -1,0 +1,106 @@
+let colorable_sym k g =
+  let sym =
+    List.fold_left
+      (fun acc (x, y) -> Digraph.add_edge (Digraph.add_edge acc x y) y x)
+      (List.fold_left Digraph.add_vertex Digraph.empty (Digraph.vertices g))
+      (Digraph.edges g)
+  in
+  Graph_hom.colorable k sym
+
+let chromatic_number g =
+  if Digraph.size g = 0 then 0
+  else
+    let rec search k =
+      if k > Digraph.size g then Digraph.size g
+      else if Graph_hom.colorable k g then k
+      else search (k + 1)
+    in
+    search 1
+
+(* Shortest directed closed walk (per parity) via parity-layered BFS from
+   every vertex: dist.(v, p) is the shortest walk start → v of parity p.
+   The shortest closed walk of a given parity equals the shortest cycle of
+   that parity containing the start (a closed walk of odd length always
+   contains an odd cycle; for the minimum, walk = cycle). *)
+let girth_filtered parity g =
+  let vertices = Digraph.vertices g in
+  let adj v =
+    List.filter_map
+      (fun (x, y) -> if x = v then Some y else None)
+      (Digraph.edges g)
+  in
+  let best = ref None in
+  List.iter
+    (fun start ->
+      let dist = Hashtbl.create 32 in
+      Hashtbl.replace dist (start, 0) 0;
+      let q = Queue.create () in
+      Queue.add (start, 0) q;
+      while not (Queue.is_empty q) do
+        let v, p = Queue.pop q in
+        let d = Hashtbl.find dist (v, p) in
+        List.iter
+          (fun w ->
+            let key = (w, 1 - p) in
+            if not (Hashtbl.mem dist key) then begin
+              Hashtbl.replace dist key (d + 1);
+              Queue.add key q
+            end)
+          (adj v)
+      done;
+      (* close the walk with an edge back into [start]; the seed
+         dist(start,0)=0 would otherwise hide even-length returns *)
+      List.iter
+        (fun (x, y) ->
+          if y = start then
+            List.iter
+              (fun p ->
+                match Hashtbl.find_opt dist (x, p) with
+                | Some d ->
+                  let len = d + 1 in
+                  if parity len then
+                    best :=
+                      Some
+                        (match !best with None -> len | Some b -> min b len)
+                | None -> ())
+              [ 0; 1 ])
+        (Digraph.edges g))
+    vertices;
+  !best
+
+let girth g = girth_filtered (fun _ -> true) g
+let odd_girth g = girth_filtered (fun len -> len mod 2 = 1) g
+let is_acyclic g = girth g = None
+
+let longest_path g =
+  if not (is_acyclic g) then None
+  else begin
+    let memo = Hashtbl.create 16 in
+    let adj v =
+      List.filter_map
+        (fun (x, y) -> if x = v then Some y else None)
+        (Digraph.edges g)
+    in
+    let rec longest v =
+      match Hashtbl.find_opt memo v with
+      | Some d -> d
+      | None ->
+        let d =
+          List.fold_left (fun acc w -> max acc (1 + longest w)) 0 (adj v)
+        in
+        Hashtbl.replace memo v d;
+        d
+    in
+    Some
+      (List.fold_left (fun acc v -> max acc (longest v)) 0 (Digraph.vertices g))
+  end
+
+let monotone_antimonotone_witness g g' =
+  (not (Graph_hom.leq g g'))
+  || (chromatic_number g <= chromatic_number g'
+     &&
+     match odd_girth g, odd_girth g' with
+     | Some og, Some og' -> og >= og'
+     (* an odd closed walk maps to an odd closed walk: g' must have one *)
+     | Some _, None -> false
+     | None, _ -> true)

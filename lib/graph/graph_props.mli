@@ -1,0 +1,32 @@
+(** Structural graph parameters used in Section 4's lattice-of-cores
+    discussion: the chromatic number is monotone in the homomorphism order,
+    the odd girth is antimonotone — together (Erdős [18]) they generate the
+    antichains and dense chains of the core lattice. *)
+
+(** [colorable_sym k g] — proper k-colorability of the {e symmetric
+    closure} of [g] (edge directions forgotten), via homomorphism into
+    K_k. *)
+val colorable_sym : int -> Digraph.t -> bool
+
+(** [chromatic_number g] — smallest k with a homomorphism into K_k
+    (exponential search; small graphs only). *)
+val chromatic_number : Digraph.t -> int
+
+(** [odd_girth g] — length of the shortest odd directed cycle ([None] if
+    no odd cycle). *)
+val odd_girth : Digraph.t -> int option
+
+(** [girth g] — length of the shortest directed cycle ([None] if
+    acyclic). *)
+val girth : Digraph.t -> int option
+
+val is_acyclic : Digraph.t -> bool
+
+(** [longest_path g] — number of edges of a longest directed path;
+    for cyclic graphs this is unbounded, so [None].  Linear-time DAG DP. *)
+val longest_path : Digraph.t -> int option
+
+(** [monotone_antimonotone_witness g g'] — checks the Section 4
+    observation on a pair with [g ⊑ g']: chromatic number must not
+    decrease, odd girth must not increase (when both are defined). *)
+val monotone_antimonotone_witness : Digraph.t -> Digraph.t -> bool

@@ -1,0 +1,152 @@
+open Certdb_values
+
+type t =
+  | Atom of Value.t
+  | Nested of t array list
+
+type schema =
+  | SAtom
+  | SSet of schema list
+
+let atom v = Atom v
+let set tuples = Nested tuples
+
+let rec conforms v s =
+  match v, s with
+  | Atom _, SAtom -> true
+  | Nested tuples, SSet cols ->
+    let k = List.length cols in
+    List.for_all
+      (fun tup ->
+        Array.length tup = k
+        && List.for_all2 conforms (Array.to_list tup) cols)
+      tuples
+  | _ -> false
+
+let rec nulls = function
+  | Atom (Value.Null _ as n) -> Value.Set.singleton n
+  | Atom _ -> Value.Set.empty
+  | Nested tuples ->
+    List.fold_left
+      (fun acc tup ->
+        Array.fold_left (fun acc v -> Value.Set.union acc (nulls v)) acc tup)
+      Value.Set.empty tuples
+
+let is_complete v = Value.Set.is_empty (nulls v)
+
+let rec apply h = function
+  | Atom v -> Atom (Valuation.apply h v)
+  | Nested tuples -> Nested (List.map (Array.map (apply h)) tuples)
+
+let ground v =
+  let h = Valuation.grounding_of_nulls (nulls v) in
+  apply h v
+
+(* atom order: a null is below everything; constants only below
+   themselves *)
+let atom_leq a b =
+  match a with
+  | Value.Null _ -> true
+  | Value.Const _ -> Value.equal a b
+
+let rec leq_owa v w =
+  match v, w with
+  | Atom a, Atom b -> atom_leq a b
+  | Nested xs, Nested ys ->
+    List.for_all
+      (fun x -> List.exists (fun y -> tuple_leq_owa x y) ys)
+      xs
+  | _ -> false
+
+and tuple_leq_owa x y =
+  Array.length x = Array.length y
+  && begin
+       let ok = ref true in
+       Array.iteri (fun i v -> if not (leq_owa v y.(i)) then ok := false) x;
+       !ok
+     end
+
+let rec leq_cwa v w =
+  match v, w with
+  | Atom a, Atom b -> atom_leq a b
+  | Nested xs, Nested ys ->
+    List.for_all (fun x -> List.exists (fun y -> tuple_leq_cwa x y) ys) xs
+    && List.for_all (fun y -> List.exists (fun x -> tuple_leq_cwa x y) xs) ys
+  | _ -> false
+
+and tuple_leq_cwa x y =
+  Array.length x = Array.length y
+  && begin
+       let ok = ref true in
+       Array.iteri (fun i v -> if not (leq_cwa v y.(i)) then ok := false) x;
+       !ok
+     end
+
+let equiv_owa v w = leq_owa v w && leq_owa w v
+
+(* glb: atoms merge like ⊗ (equal constants survive, anything else becomes
+   a fresh null); sets take pairwise glbs — Prop. 5 lifted through the
+   nesting.  A shared merge registry keeps the pair-null assignment
+   consistent across the whole value. *)
+let glb v w =
+  let reg = Merge.create () in
+  let rec go v w =
+    match v, w with
+    | Atom a, Atom b -> Some (Atom (Merge.value reg a b))
+    | Nested xs, Nested ys ->
+      let pairs =
+        List.concat_map
+          (fun x -> List.filter_map (fun y -> go_tuple x y) ys)
+          xs
+      in
+      Some (Nested pairs)
+    | _ -> None
+  and go_tuple x y =
+    if Array.length x <> Array.length y then None
+    else
+      let cells =
+        Array.to_list (Array.map2 (fun a b -> go a b) x y)
+      in
+      if List.for_all Option.is_some cells then
+        Some (Array.of_list (List.map Option.get cells))
+      else None
+  in
+  go v w
+
+let of_instance_relation d rel =
+  Nested
+    (List.map
+       (fun args -> Array.map (fun v -> Atom v) args)
+       (Certdb_relational.Instance.tuples d rel))
+
+let to_instance_relation v ~rel =
+  match v with
+  | Nested tuples ->
+    List.fold_left
+      (fun acc tup ->
+        let args =
+          Array.to_list
+            (Array.map
+               (function
+                 | Atom a -> a
+                 | Nested _ ->
+                   invalid_arg "Nested.to_instance_relation: nested cell")
+               tup)
+        in
+        Certdb_relational.Instance.add_fact acc rel args)
+      Certdb_relational.Instance.empty tuples
+  | Atom _ -> invalid_arg "Nested.to_instance_relation: not a set"
+
+let rec pp ppf = function
+  | Atom v -> Value.pp ppf v
+  | Nested tuples ->
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+         (fun ppf tup ->
+           Format.fprintf ppf "(%a)"
+             (Format.pp_print_list
+                ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+                pp)
+             (Array.to_list tup)))
+      tuples

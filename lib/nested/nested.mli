@@ -1,0 +1,68 @@
+(** Nested relations with null-extended partial information — the data
+    model where the 1990s ordering-based theories of incompleteness
+    ([9, 33, 34, 36]) actually succeeded, as the paper's introduction
+    recounts, before failing on XML.
+
+    A nested value is an atom (constant or null) or a set of tuples of
+    nested values.  The information ordering is the recursive
+    powerdomain lift of the atom order (null below everything):
+
+    - OWA flavour (Hoare): [X ⊑H Y] iff every tuple of X is dominated by
+      a tuple of Y;
+    - CWA flavour (Plotkin): both directions.
+
+    [glb] lifts the ⊗-merge of Prop. 5 through the nesting: the glb of
+    two sets is the set of pairwise glbs — the same product construction
+    the paper generalizes, one level up. *)
+
+open Certdb_values
+
+type t =
+  | Atom of Value.t
+  | Nested of t array list (* a set of tuples *)
+
+(** Schemas describe the nesting shape. *)
+type schema =
+  | SAtom
+  | SSet of schema list (* set of tuples with the listed column shapes *)
+
+val atom : Value.t -> t
+val set : t array list -> t
+
+(** [conforms v s]. *)
+val conforms : t -> schema -> bool
+
+val nulls : t -> Value.Set.t
+val is_complete : t -> bool
+
+(** [apply h v] — map all atoms through the valuation. *)
+val apply : Valuation.t -> t -> t
+
+val ground : t -> t
+
+(** {1 Orderings} *)
+
+(** [leq_owa v w] — recursive Hoare lift. *)
+val leq_owa : t -> t -> bool
+
+(** [leq_cwa v w] — recursive Plotkin lift. *)
+val leq_cwa : t -> t -> bool
+
+val equiv_owa : t -> t -> bool
+
+(** {1 Greatest lower bounds (OWA)} *)
+
+(** [glb v w] — the recursive ⊗/product construction; [None] when the
+    shapes disagree (atom vs set, or tuple arities differ). *)
+val glb : t -> t -> t option
+
+(** {1 Embedding of flat relations} *)
+
+(** [of_instance_relation d rel] — a flat relation as [Nested]. *)
+val of_instance_relation : Certdb_relational.Instance.t -> string -> t
+
+(** [to_instance_relation v ~rel] — back to a flat instance.
+    @raise Invalid_argument if [v] is not a set of atom tuples. *)
+val to_instance_relation : t -> rel:string -> Certdb_relational.Instance.t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,128 @@
+(* Cuts are represented by the bitmask of their lower set A; the upper set
+   is recomputed as up(A).  A set is a cut-lower-set iff down(up(A)) = A. *)
+
+type t = {
+  size : int;
+  leq : int -> int -> bool;
+  cuts : int array; (* lower-set masks, sorted *)
+  index : (int, int) Hashtbl.t; (* mask -> position in cuts *)
+}
+
+let mem mask x = mask land (1 lsl x) <> 0
+
+let make ~size ~leq =
+  let full = (1 lsl size) - 1 in
+  let up mask =
+    let r = ref 0 in
+    for y = 0 to size - 1 do
+      let dominates =
+        let ok = ref true in
+        for x = 0 to size - 1 do
+          if mem mask x && not (leq x y) then ok := false
+        done;
+        !ok
+      in
+      if dominates then r := !r lor (1 lsl y)
+    done;
+    !r
+  in
+  let down mask =
+    let r = ref 0 in
+    for y = 0 to size - 1 do
+      let below =
+        let ok = ref true in
+        for x = 0 to size - 1 do
+          if mem mask x && not (leq y x) then ok := false
+        done;
+        !ok
+      in
+      if below then r := !r lor (1 lsl y)
+    done;
+    !r
+  in
+  let seen = Hashtbl.create 64 in
+  for s = 0 to full do
+    let a = down (up s) in
+    if not (Hashtbl.mem seen a) then Hashtbl.add seen a ()
+  done;
+  let cuts =
+    Hashtbl.fold (fun a () acc -> a :: acc) seen [] |> List.sort compare
+    |> Array.of_list
+  in
+  let index = Hashtbl.create 64 in
+  Array.iteri (fun i a -> Hashtbl.replace index a i) cuts;
+  { size; leq; cuts; index }
+
+let cardinal c = Array.length c.cuts
+
+let down_closure c mask =
+  (* recompute down(up(mask)) in the stored preorder *)
+  let up m =
+    let r = ref 0 in
+    for y = 0 to c.size - 1 do
+      let ok = ref true in
+      for x = 0 to c.size - 1 do
+        if mem m x && not (c.leq x y) then ok := false
+      done;
+      if !ok then r := !r lor (1 lsl y)
+    done;
+    !r
+  in
+  let down m =
+    let r = ref 0 in
+    for y = 0 to c.size - 1 do
+      let ok = ref true in
+      for x = 0 to c.size - 1 do
+        if mem m x && not (c.leq y x) then ok := false
+      done;
+      if !ok then r := !r lor (1 lsl y)
+    done;
+    !r
+  in
+  down (up mask)
+
+let embed c x =
+  let a = down_closure c (1 lsl x) in
+  Hashtbl.find c.index a
+
+let cut_leq c i j =
+  let a1 = c.cuts.(i) and a2 = c.cuts.(j) in
+  a1 land a2 = a1
+
+let meet c i j =
+  let a = down_closure c (c.cuts.(i) land c.cuts.(j)) in
+  (* intersection of cut lower sets is already closed; the closure is a
+     no-op defensively *)
+  Hashtbl.find c.index a
+
+let join c i j =
+  let a = down_closure c (c.cuts.(i) lor c.cuts.(j)) in
+  Hashtbl.find c.index a
+
+let is_lattice c =
+  let n = cardinal c in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let m = meet c i j and u = join c i j in
+      if not (cut_leq c m i && cut_leq c m j) then ok := false;
+      if not (cut_leq c i u && cut_leq c j u) then ok := false;
+      (* greatest lower bound property *)
+      for k = 0 to n - 1 do
+        if cut_leq c k i && cut_leq c k j && not (cut_leq c k m) then
+          ok := false;
+        if cut_leq c i k && cut_leq c j k && not (cut_leq c u k) then
+          ok := false
+      done
+    done
+  done;
+  !ok
+
+let embedding_preserves_order c ~leq =
+  let ok = ref true in
+  for x = 0 to c.size - 1 do
+    for y = 0 to c.size - 1 do
+      if leq x y <> cut_leq c (embed c x) (embed c y) then ok := false
+    done
+  done;
+  !ok

@@ -1,0 +1,38 @@
+(** Dedekind–MacNeille completion of a finite preorder — the smallest
+    complete lattice the preorder embeds into.  The proof of Theorem 3 uses
+    it: if every subset of the (countable) preorder of naïve tables had a
+    glb, the completion of an embedded 〈Q, <〉 would be countable, which it
+    is not.  On finite fragments the completion is computable; this module
+    builds it by the standard cut construction and is exercised by tests as
+    the executable face of that argument. *)
+
+(** A completion of the elements [0 .. n-1] under a preorder [leq]. *)
+type t
+
+(** [make ~size ~leq] — computes all cuts (A, B) with A = lower bounds of
+    B and B = upper bounds of A; exponential in [size], fine for the small
+    fragments used here. *)
+val make : size:int -> leq:(int -> int -> bool) -> t
+
+(** Number of cuts (lattice elements). *)
+val cardinal : t -> int
+
+(** [embed c x] — index of the principal cut of element [x]. *)
+val embed : t -> int -> int
+
+(** [cut_leq c i j] — lattice order between cuts. *)
+val cut_leq : t -> int -> int -> bool
+
+(** [meet c i j] / [join c i j] — lattice operations (always defined:
+    the completion is a complete lattice). *)
+val meet : t -> int -> int -> int
+
+val join : t -> int -> int -> int
+
+(** [is_lattice c] — self-check: every pair of cuts has a meet and a
+    join. *)
+val is_lattice : t -> bool
+
+(** [embedding_preserves_order c ~leq] — self-check: [x ⊑ y] iff
+    [embed x ≤ embed y]. *)
+val embedding_preserves_order : t -> leq:(int -> int -> bool) -> bool

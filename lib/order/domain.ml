@@ -1,0 +1,91 @@
+module type COMPLETE_DOMAIN = sig
+  type t
+
+  val leq : t -> t -> bool
+  val is_complete : t -> bool
+  val pi_cpl : t -> t
+end
+
+module Make (D : COMPLETE_DOMAIN) = struct
+  type elt = D.t
+
+  module P = Preorder.Make (D)
+
+  let retraction_laws ~pool =
+    List.for_all
+      (fun x ->
+        let p = D.pi_cpl x in
+        D.is_complete p && D.leq p x
+        && ((not (D.is_complete x)) || P.equiv p x))
+      pool
+    && P.monotone D.pi_cpl ~leq':D.leq ~on:pool
+
+  let up_cpl x ~pool =
+    List.filter (fun c -> D.is_complete c && D.leq x c) pool
+
+  let models x ~pool = List.filter (fun y -> D.leq x y) pool
+  let theory x ~pool = List.filter (fun y -> D.leq y x) pool
+
+  let models_of_set xs ~pool =
+    List.filter (fun y -> List.for_all (fun x -> D.leq x y) xs) pool
+
+  let theory_of_set xs ~pool =
+    List.filter (fun y -> List.for_all (fun x -> D.leq y x) xs) pool
+
+  (* Mod(Th(X)) over the pool: elements above every lower bound of X. *)
+  let models_of_theory xs ~pool =
+    let th = theory_of_set xs ~pool in
+    models_of_set th ~pool
+
+  let same_elements l1 l2 =
+    List.length l1 = List.length l2
+    && List.for_all (fun x -> List.memq x l2) l1
+
+  let is_max_description x xs ~pool =
+    same_elements (models x ~pool) (models_of_theory xs ~pool)
+
+  let theorem1_agrees xs ~pool =
+    List.for_all
+      (fun x -> is_max_description x xs ~pool = P.is_glb x xs ~pool)
+      pool
+
+  let certain_cpl q _x ~completions ~pool =
+    let answers = List.map q completions in
+    let cpl_pool = List.filter D.is_complete pool in
+    P.glb_in_pool answers ~pool:cpl_pool
+
+  let naive_eval q x = D.pi_cpl (q x)
+
+  let naive_evaluation_ok q x ~completions ~pool =
+    match certain_cpl q x ~completions ~pool with
+    | None -> false
+    | Some c -> P.equiv c (naive_eval q x)
+
+  let incompatible ~pool c c' =
+    not (List.exists (fun u -> D.leq c u && D.leq c' u) pool)
+
+  let complete_saturation q ~on ~up_cpl ~pool =
+    List.for_all
+      (fun x ->
+        let qx = q x in
+        if not (D.is_complete qx) then true
+        else
+          let ups = up_cpl x in
+          (* (i) some complete c above x has q(c) = q(x) (up to ∼) *)
+          List.exists (fun c -> P.equiv (q c) qx) ups
+          (* (ii) any complete c' strictly below q(x) is incompatible with
+             q(c) for some complete c above x *)
+          && List.for_all
+               (fun c' ->
+                 (not (D.is_complete c'))
+                 || (not (D.leq c' qx))
+                 || P.equiv c' qx
+                 || List.exists (fun c -> incompatible ~pool (q c) c') ups)
+               pool)
+      on
+
+  let corollary1 q x ~pool =
+    let up = models x ~pool in
+    let images = List.map q up in
+    P.is_glb (q x) images ~pool
+end

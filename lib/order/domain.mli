@@ -1,0 +1,90 @@
+(** Database domains with complete objects (Section 3 of the paper) and the
+    executable content of Theorem 1 (max-descriptions are glbs), Lemma 1
+    (bases), Corollary 1, and Theorem 2 (monotonicity + complete saturation
+    ⇒ naïve evaluation).
+
+    All checks are carried out relative to explicit finite pools, as in
+    {!Preorder}. *)
+
+module type COMPLETE_DOMAIN = sig
+  type t
+
+  val leq : t -> t -> bool
+
+  (** [is_complete x] iff [x ∈ C], the objects without nulls. *)
+  val is_complete : t -> bool
+
+  (** [pi_cpl x] is the unique maximal complete object under [x] (e.g.
+      dropping rows with nulls from a naïve table). *)
+  val pi_cpl : t -> t
+end
+
+module Make (D : COMPLETE_DOMAIN) : sig
+  type elt = D.t
+
+  module P : module type of Preorder.Make (D)
+
+  (** {1 Structural laws of complete objects} *)
+
+  (** [retraction_laws ~pool] checks, over [pool], the three requirements on
+      complete objects: [pi_cpl x ⊑ x], [pi_cpl] is the identity on complete
+      objects, and [pi_cpl] is monotone. *)
+  val retraction_laws : pool:elt list -> bool
+
+  (** [up_cpl x ~pool] is [↑cpl x ∩ pool]: the complete objects of [pool]
+      above [x]. *)
+  val up_cpl : elt -> pool:elt list -> elt list
+
+  (** {1 Max-descriptions and Theorem 1} *)
+
+  (** [models x ~pool] is [Mod(x) = ↑x] restricted to [pool]; [theory] is
+      [Th(x) = ↓x]. *)
+  val models : elt -> pool:elt list -> elt list
+
+  val theory : elt -> pool:elt list -> elt list
+  val models_of_set : elt list -> pool:elt list -> elt list
+  val theory_of_set : elt list -> pool:elt list -> elt list
+
+  (** [is_max_description x xs ~pool] iff [Mod(x) = Mod(Th(xs))] over
+      [pool]. *)
+  val is_max_description : elt -> elt list -> pool:elt list -> bool
+
+  (** [theorem1_agrees xs ~pool] verifies Theorem 1 on the pool: an element
+      is a max-description of [xs] iff it is a glb of [xs]. *)
+  val theorem1_agrees : elt list -> pool:elt list -> bool
+
+  (** {1 Certain answers} *)
+
+  (** [certain_cpl q x ~completions ~pool] is
+      [∧cpl { q(c) | c ∈ completions }], the glb computed among complete
+      objects of [pool]; [completions] should sample [↑cpl x].  Returns
+      [None] when the pool exhibits no glb. *)
+  val certain_cpl :
+    (elt -> elt) -> elt -> completions:elt list -> pool:elt list -> elt option
+
+  (** [naive_eval q x] is [pi_cpl (q x)]. *)
+  val naive_eval : (elt -> elt) -> elt -> elt
+
+  (** [naive_evaluation_ok q x ~completions ~pool] iff
+      [certain_cpl q x ∼ naive_eval q x] (Theorem 2's conclusion). *)
+  val naive_evaluation_ok :
+    (elt -> elt) -> elt -> completions:elt list -> pool:elt list -> bool
+
+  (** {1 Complete saturation (Theorem 2's premises)} *)
+
+  (** [complete_saturation q ~on ~up_cpl ~pool] checks the two saturation
+      conditions for query [q] on each [x ∈ on], where [up_cpl x] supplies a
+      finite sample of complete objects above [x] and incompatibility of two
+      complete objects means they have no common upper bound in [pool]. *)
+  val complete_saturation :
+    (elt -> elt) ->
+    on:elt list ->
+    up_cpl:(elt -> elt list) ->
+    pool:elt list ->
+    bool
+
+  (** [corollary1 q x] iff [certain(Q, ↑x) = Q(x)]: over the semantics
+      [[x]] = ↑x, certain answers of a monotone query are computed by
+      application.  Checked as [q x] being a glb of [q(↑x ∩ pool)]. *)
+  val corollary1 : (elt -> elt) -> elt -> pool:elt list -> bool
+end

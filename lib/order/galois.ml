@@ -1,0 +1,51 @@
+module Make (P : Preorder.S) = struct
+  type elt = P.t
+
+  let models xs ~pool =
+    List.filter (fun y -> List.for_all (fun x -> P.leq x y) xs) pool
+
+  let theory xs ~pool =
+    List.filter (fun y -> List.for_all (fun x -> P.leq y x) xs) pool
+
+  let closure xs ~pool = models (theory xs ~pool) ~pool
+
+  let subset l1 l2 = List.for_all (fun x -> List.memq x l2) l1
+  let same l1 l2 = subset l1 l2 && subset l2 l1
+
+  let closed xs ~pool = same (closure xs ~pool) xs
+
+  let rec subsets_upto k = function
+    | [] -> [ [] ]
+    | _ when k = 0 -> [ [] ]
+    | x :: rest ->
+      let without = subsets_upto k rest in
+      without @ List.map (fun s -> x :: s) (subsets_upto (k - 1) rest)
+
+  let laws_hold ~pool =
+    (* checking over all subsets is exponential; sample subsets of size
+       ≤ 2 plus the full pool, which exercises every law *)
+    let samples = subsets_upto 2 pool @ [ pool ] in
+    List.for_all
+      (fun xs ->
+        let m = models xs ~pool and t = theory xs ~pool in
+        (* sections *)
+        subset xs (theory m ~pool)
+        && subset xs (models t ~pool)
+        (* closure is extensive and idempotent *)
+        && subset (List.filter (fun x -> List.memq x pool) xs) (closure xs ~pool)
+        && same (closure (closure xs ~pool) ~pool) (closure xs ~pool))
+      samples
+    && List.for_all
+         (fun xs ->
+           List.for_all
+             (fun ys ->
+               (* antitonicity on nested pairs *)
+               (not (subset xs ys))
+               || (subset (models ys ~pool) (models xs ~pool)
+                  && subset (theory ys ~pool) (theory xs ~pool)))
+             (subsets_upto 1 pool))
+         (subsets_upto 1 pool)
+
+  let is_max_description x xs ~pool =
+    same (models [ x ] ~pool) (closure xs ~pool)
+end

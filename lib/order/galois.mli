@@ -1,0 +1,35 @@
+(** The model/theory Galois connection behind max-descriptions
+    (Section 2.2 and Theorem 1, after [43]): over a preordered set viewed
+    as both models and formulas, [Mod] and [Th] form an antitone Galois
+    connection, and [Mod ∘ Th] is a closure operator whose closed sets are
+    the model classes of objects — which is exactly why max-descriptions
+    are glbs.
+
+    All computations are over finite pools, as in {!Preorder}. *)
+
+module Make (P : Preorder.S) : sig
+  type elt = P.t
+
+  (** [models xs ~pool] — ⋂ Mod(x) = elements above every [x ∈ xs]. *)
+  val models : elt list -> pool:elt list -> elt list
+
+  (** [theory xs ~pool] — ⋂ Th(x) = elements below every [x ∈ xs]. *)
+  val theory : elt list -> pool:elt list -> elt list
+
+  (** [closure xs ~pool] — [Mod (Th xs)] over the pool. *)
+  val closure : elt list -> pool:elt list -> elt list
+
+  (** The Galois laws, checked over the pool:
+      antitone: [xs ⊆ ys ⇒ models ys ⊆ models xs] (and dually);
+      section:  [xs ⊆ theory (models xs)] and [xs ⊆ models (theory xs)];
+      closure operator: extensive, monotone, idempotent. *)
+  val laws_hold : pool:elt list -> bool
+
+  (** [closed xs ~pool] — [xs] equals its closure (as sets of pool
+      members). *)
+  val closed : elt list -> pool:elt list -> bool
+
+  (** [is_max_description x xs ~pool] — [Mod {x} = closure xs]: the [16]
+      definition, which Theorem 1 identifies with [x = ∧xs]. *)
+  val is_max_description : elt -> elt list -> pool:elt list -> bool
+end

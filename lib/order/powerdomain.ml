@@ -1,0 +1,29 @@
+module Make (P : Preorder.S) = struct
+  type elt = P.t
+
+  let hoare xs ys =
+    List.for_all (fun x -> List.exists (fun y -> P.leq x y) ys) xs
+
+  let smyth xs ys =
+    List.for_all (fun y -> List.exists (fun x -> P.leq x y) xs) ys
+
+  let plotkin xs ys = hoare xs ys && smyth xs ys
+
+  module Hoare = struct
+    type t = elt list
+
+    let leq = hoare
+  end
+
+  module Smyth = struct
+    type t = elt list
+
+    let leq = smyth
+  end
+
+  module Plotkin = struct
+    type t = elt list
+
+    let leq = plotkin
+  end
+end

@@ -1,0 +1,26 @@
+(** The classical powerdomain liftings from programming-language semantics
+    ([22]; used for databases in [9, 34, 36, 39]) that Section 4 measures
+    against the semantic information ordering:
+
+    - Hoare (lower):   X ⊑H Y iff ∀x∈X ∃y∈Y. x ⊑ y
+    - Smyth (upper):   X ⊑S Y iff ∀y∈Y ∃x∈X. x ⊑ y
+    - Plotkin (convex): both.
+
+    Over tuples ordered by "null below everything" these give the orderings
+    ⪯ (Hoare — OWA flavour) and the Plotkin ordering used for CWA; Prop. 4
+    and Prop. 8 locate them relative to ⊑ and ⊑cwa. *)
+
+module Make (P : Preorder.S) : sig
+  type elt = P.t
+
+  val hoare : elt list -> elt list -> bool
+  val smyth : elt list -> elt list -> bool
+  val plotkin : elt list -> elt list -> bool
+
+  (** Each lift is itself a preorder on finite sets; these instantiate
+      {!Preorder.Make} over lists. *)
+  module Hoare : Preorder.S with type t = elt list
+
+  module Smyth : Preorder.S with type t = elt list
+  module Plotkin : Preorder.S with type t = elt list
+end

@@ -1,0 +1,71 @@
+module type S = sig
+  type t
+
+  val leq : t -> t -> bool
+end
+
+module Make (P : S) = struct
+  type elt = P.t
+
+  let equiv x y = P.leq x y && P.leq y x
+  let is_lower_bound y xs = List.for_all (fun x -> P.leq y x) xs
+  let is_upper_bound y xs = List.for_all (fun x -> P.leq x y) xs
+
+  let lower_bounds_in_pool xs ~pool =
+    List.filter (fun y -> is_lower_bound y xs) pool
+
+  let upper_bounds_in_pool xs ~pool =
+    List.filter (fun y -> is_upper_bound y xs) pool
+
+  let is_glb y xs ~pool =
+    is_lower_bound y xs
+    && List.for_all (fun y' -> P.leq y' y) (lower_bounds_in_pool xs ~pool)
+
+  let is_lub y xs ~pool =
+    is_upper_bound y xs
+    && List.for_all (fun y' -> P.leq y y') (upper_bounds_in_pool xs ~pool)
+
+  let glb_in_pool xs ~pool =
+    let lbs = lower_bounds_in_pool xs ~pool in
+    List.find_opt (fun y -> List.for_all (fun y' -> P.leq y' y) lbs) lbs
+
+  let lub_in_pool xs ~pool =
+    let ubs = upper_bounds_in_pool xs ~pool in
+    List.find_opt (fun y -> List.for_all (fun y' -> P.leq y y') ubs) ubs
+
+  let maximal xs =
+    List.filter
+      (fun x -> List.for_all (fun y -> not (P.leq x y) || P.leq y x) xs)
+      xs
+
+  let minimal xs =
+    List.filter
+      (fun x -> List.for_all (fun y -> not (P.leq y x) || P.leq x y) xs)
+      xs
+
+  let is_antichain xs =
+    let rec go = function
+      | [] -> true
+      | x :: rest ->
+        List.for_all (fun y -> (not (P.leq x y)) && not (P.leq y x)) rest
+        && go rest
+    in
+    go xs
+
+  let is_chain xs =
+    let rec go = function
+      | [] | [ _ ] -> true
+      | x :: (y :: _ as rest) -> P.leq x y && go rest
+    in
+    go xs
+
+  let is_basis b xs =
+    List.for_all (fun x -> List.exists (fun y -> P.leq y x) b) xs
+    && List.for_all (fun y -> List.exists (fun x -> P.leq x y) xs) b
+
+  let monotone f ~leq' ~on =
+    List.for_all
+      (fun x ->
+        List.for_all (fun y -> (not (P.leq x y)) || leq' (f x) (f y)) on)
+      on
+end

@@ -1,0 +1,75 @@
+(** Preorders and the order-theoretic vocabulary of Section 3: information
+    orderings, lower/upper bounds, greatest lower bounds, bases.
+
+    The carriers of the paper's database domains are infinite (all naïve
+    databases over a schema, all trees, ...), so the derived operations work
+    over explicit finite {e pools}: a pool is a finite list of objects taken
+    as the universe for bound computations.  This is exactly how the paper
+    uses the theory computationally (finite bases, finite sets of query
+    answers). *)
+
+module type S = sig
+  type t
+
+  (** [leq x y] is the preorder [x ⊑ y] ("x is less informative than y"). *)
+  val leq : t -> t -> bool
+end
+
+(** Derived operations over a preorder. *)
+module Make (P : S) : sig
+  type elt = P.t
+
+  (** [equiv x y] is the associated equivalence [x ∼ y], i.e.
+      [x ⊑ y ∧ y ⊑ x]. *)
+  val equiv : elt -> elt -> bool
+
+  (** [is_lower_bound y xs] iff [y ⊑ x] for all [x ∈ xs]. *)
+  val is_lower_bound : elt -> elt list -> bool
+
+  val is_upper_bound : elt -> elt list -> bool
+
+  (** [is_glb y xs ~pool] iff [y] is a lower bound of [xs] and every lower
+      bound of [xs] found in [pool] is [⊑ y].  With an adequate pool this is
+      the paper's [y = ∧xs] (as an equivalence class). *)
+  val is_glb : elt -> elt list -> pool:elt list -> bool
+
+  val is_lub : elt -> elt list -> pool:elt list -> bool
+
+  (** [glb_in_pool xs ~pool] searches [pool] for a maximal lower bound of
+      [xs] that dominates every lower bound in [pool]; [None] when the pool
+      exhibits no glb (e.g. two incomparable maximal lower bounds). *)
+  val glb_in_pool : elt list -> pool:elt list -> elt option
+
+  val lub_in_pool : elt list -> pool:elt list -> elt option
+
+  (** [lower_bounds_in_pool xs ~pool] lists the members of [pool] that are
+      lower bounds of [xs]. *)
+  val lower_bounds_in_pool : elt list -> pool:elt list -> elt list
+
+  val upper_bounds_in_pool : elt list -> pool:elt list -> elt list
+
+  (** [maximal xs] lists the [⊑]-maximal elements of [xs] (one per
+      ∼-equivalence class). *)
+  val maximal : elt list -> elt list
+
+  val minimal : elt list -> elt list
+
+  (** [is_antichain xs] iff elements of [xs] are pairwise [⊑]-incomparable. *)
+  val is_antichain : elt list -> bool
+
+  (** [is_chain xs] iff [xs] is totally ordered by [⊑] as given. *)
+  val is_chain : elt list -> bool
+
+  (** [is_basis b xs] is Lemma 1's premise: [↑b = ↑xs], checked as: every
+      [x ∈ xs] dominates some [y ∈ b] and [b ⊆ xs]-upward-equivalent, i.e.
+      each [y ∈ b] is dominated by... concretely we verify
+      [∀x∈xs ∃y∈b, y ⊑ x] and [∀y∈b ∃x∈xs, x ⊑ y]. *)
+  val is_basis : elt list -> elt list -> bool
+
+  (** [monotone f ~on] checks [x ⊑ y ⇒ f x ⊑ f y] over all pairs drawn from
+      [on], where the image ordering is given by [leq'] (defaults to
+      [P.leq] when the query maps the domain to itself is not assumed —
+      callers supply [leq']). *)
+  val monotone :
+    (elt -> 'b) -> leq':('b -> 'b -> bool) -> on:elt list -> bool
+end

@@ -1,0 +1,50 @@
+(** Positive relational algebra — the procedural language for which the
+    paper notes certain answers are computable in polynomial time by naïve
+    evaluation (Section 2.1).  Operators: base relation, selection
+    (equality conditions only — positivity), projection, natural-join-like
+    equijoin on column positions, renaming (column permutation), union, and
+    cross product.
+
+    Evaluation over an incomplete instance treats nulls as values; the
+    naïve-evaluation wrapper then discards tuples containing nulls.
+    Columns are 0-based. *)
+
+open Certdb_values
+open Certdb_relational
+
+type condition =
+  | Col_eq_col of int * int (* σ_{i = j} *)
+  | Col_eq_const of int * Value.t (* σ_{i = c} *)
+
+type t =
+  | Rel of string (* base relation *)
+  | Select of condition * t
+  | Project of int list * t (* keep the listed columns, in order *)
+  | Product of t * t
+  | Join of (int * int) list * t * t (* equijoin on position pairs *)
+  | Union of t * t
+  | Rename of int list * t (* permutation of columns *)
+
+(** [arity schema q] — the output arity, checking well-formedness.
+    @raise Invalid_argument on arity errors or unknown relations. *)
+val arity : Schema.t -> t -> int
+
+(** [eval q d] — evaluate over an instance, nulls as values.  The result
+    is a set of tuples. *)
+val eval : t -> Instance.t -> Value.t array list
+
+(** [eval_instance ~name q d] — the result as an instance of relation
+    [name]. *)
+val eval_instance : name:string -> t -> Instance.t -> Instance.t
+
+(** [naive_eval ~name q d] — evaluate and drop tuples containing nulls:
+    certain answers, for this (positive) language. *)
+val naive_eval : name:string -> t -> Instance.t -> Instance.t
+
+(** [to_fo q ~schema] — translate into first-order logic: returns the
+    output variable names (one per column) and an existential positive
+    formula; used to cross-check the two evaluators.
+    @raise Invalid_argument on arity errors. *)
+val to_fo : t -> schema:Schema.t -> string list * Fo.t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,55 @@
+open Certdb_values
+open Certdb_relational
+
+let drop_null_tuples d =
+  Instance.filter
+    (fun (f : Instance.fact) -> Array.for_all Value.is_const f.args)
+    d
+
+let naive_eval_fo ~head q d = drop_null_tuples (Fo.answers ~head d q)
+let naive_eval_ucq u d = drop_null_tuples (Ucq.answers u d)
+let naive_holds q d = Fo.holds d q
+
+let certain_fo ~head q d =
+  Semantics.certain_answers_by_enumeration (fun r -> Fo.answers ~head r q) d
+
+let certain_holds_fo ?(worlds = []) q d =
+  let sample = List.map snd (Semantics.sample_completions d) in
+  List.for_all (fun r -> Fo.holds r q) (sample @ worlds)
+
+let certain_holds_fo_owa q d =
+  List.for_all (fun r -> Fo.holds r q) (Semantics.sample_worlds d)
+
+(* For existential sentences, certainty over all of [[d]] reduces to the
+   complete homomorphic images of d: existential FO is preserved under
+   extensions, and every member of [[d]] extends such an image.  For the
+   relational coding (σ = ∅) images are exactly the groundings — the set
+   representation collapses merged facts by itself. *)
+let certain_existential q d =
+  if not (Fo.is_existential q) then
+    invalid_arg "Certain.certain_existential: not an existential sentence";
+  List.for_all (fun (_, r) -> Fo.holds r q) (Semantics.sample_completions d)
+
+let certain_ucq = naive_eval_ucq
+
+let certain_cq_via_hom q d =
+  let tableau, _ = Cq.freeze q in
+  Ordering.leq tableau d
+
+let certain_cq_via_containment q d = Cq.contained (Cq.of_instance d) q
+let certain_cq_via_naive q d = Cq.holds q d
+
+let certain_holds_cwa q d =
+  List.for_all (fun (_, r) -> Fo.holds r q) (Semantics.sample_completions d)
+
+let possible_holds_cwa q d =
+  List.exists (fun (_, r) -> Fo.holds r q) (Semantics.sample_completions d)
+
+let possible_ucq u d =
+  List.fold_left
+    (fun acc (_, r) -> Instance.union acc (Ucq.answers u r))
+    Instance.empty
+    (Semantics.sample_completions d)
+
+let naive_eval_is_certain ~head q d =
+  Instance.equal (naive_eval_fo ~head q d) (certain_fo ~head q d)

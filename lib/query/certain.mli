@@ -1,0 +1,92 @@
+(** Certain answers over naïve databases (Section 2.1) and the paper's
+    characterizations:
+
+    - [certain(Q,D) = ⋂ { Q(R) | R ∈ [[D]] }] — reference implementation by
+      enumeration of a finite completion sample;
+    - naïve evaluation [Q_naïve(D)]: run [Q] treating nulls as values, then
+      drop tuples with nulls — computes certain answers exactly for UCQs;
+    - Prop. 2: for Boolean CQs, [certain(Q,D) = true] iff [D_Q ⊑ D] iff
+      [Q_D ⊆ Q]. *)
+
+open Certdb_relational
+
+(** {1 Naïve evaluation} *)
+
+(** [naive_eval_fo ~head q d] — evaluate, then remove answer tuples
+    containing nulls. *)
+val naive_eval_fo : head:string list -> Fo.t -> Instance.t -> Instance.t
+
+(** [naive_eval_ucq u d] — naïve evaluation through the tableau-based CQ
+    evaluator (faster than FO enumeration). *)
+val naive_eval_ucq : Ucq.t -> Instance.t -> Instance.t
+
+(** [naive_holds q d] — Boolean naïve evaluation: [d |= q] with nulls as
+    values. *)
+val naive_holds : Fo.t -> Instance.t -> bool
+
+(** {1 Certain answers — reference implementations} *)
+
+(** [certain_fo ~head q d] — by enumeration over
+    {!Semantics.sample_completions}.  Exponential; small inputs only. *)
+val certain_fo : head:string list -> Fo.t -> Instance.t -> Instance.t
+
+(** [certain_holds_fo ?worlds q d] — certain truth of a Boolean FO query
+    over the completion sample, optionally extended with caller-supplied
+    worlds from [[d]] (needed to refute certainty of non-monotone
+    queries). *)
+val certain_holds_fo : ?worlds:Instance.t list -> Fo.t -> Instance.t -> bool
+
+(** [certain_holds_fo_owa q d] — over {!Semantics.sample_worlds}, which
+    includes proper supersets of the groundings. *)
+val certain_holds_fo_owa : Fo.t -> Instance.t -> bool
+
+(** [certain_existential q d] — {e exact} certain truth for Boolean
+    existential FO (negation allowed, no universals): existential sentences
+    are preserved under extensions, so certainty reduces to the complete
+    homomorphic images of [d] (the Theorem 7(b) argument of the paper,
+    applied to relations): groundings of the nulls composed with merges of
+    facts made equal.  Exponential in the null count.
+    @raise Invalid_argument if [q] is not existential. *)
+val certain_existential : Fo.t -> Instance.t -> bool
+
+(** {1 Closed-world certainty and possibility}
+
+    Under CWA the semantics of [d] is exactly its groundings [{h(d)}] —
+    no supersets (§7 of the paper contrasts the two regimes).  Certainty
+    and possibility are then decidable for all of FO by grounding
+    enumeration (exponential in the nulls). *)
+
+(** [certain_holds_cwa q d] — [q] true in every grounding. *)
+val certain_holds_cwa : Fo.t -> Instance.t -> bool
+
+(** [possible_holds_cwa q d] — [q] true in some grounding. *)
+val possible_holds_cwa : Fo.t -> Instance.t -> bool
+
+(** [possible_ucq u d] — tuples appearing in [Q(h(d))] for some grounding
+    [h]: the possible answers.  Under OWA possibility is trivial for
+    monotone queries over supersets, so the CWA reading is the useful
+    one. *)
+val possible_ucq : Ucq.t -> Instance.t -> Instance.t
+
+(** [certain_ucq u d] — certain answers of a UCQ, by naïve evaluation
+    (provably equal to the enumeration semantics). *)
+val certain_ucq : Ucq.t -> Instance.t -> Instance.t
+
+(** {1 Prop. 2 — the three equivalent views for Boolean CQs} *)
+
+(** [certain_cq_via_hom q d] — [D_Q ⊑ D]. *)
+val certain_cq_via_hom : Cq.t -> Instance.t -> bool
+
+(** [certain_cq_via_containment q d] — [Q_D ⊆ Q]. *)
+val certain_cq_via_containment : Cq.t -> Instance.t -> bool
+
+(** [certain_cq_via_naive q d] — naïve Boolean evaluation. *)
+val certain_cq_via_naive : Cq.t -> Instance.t -> bool
+
+(** {1 Agreement checks (used by tests and by experiment E1/E2)} *)
+
+(** [naive_eval_is_certain ~head q d] iff naïve evaluation and the
+    enumeration reference agree on [d]. *)
+val naive_eval_is_certain : head:string list -> Fo.t -> Instance.t -> bool
+
+val drop_null_tuples : Instance.t -> Instance.t

@@ -1,0 +1,174 @@
+open Certdb_values
+open Certdb_relational
+module String_map = Map.Make (String)
+
+type term =
+  | Var of string
+  | Val of Value.t
+
+type t =
+  | True
+  | False
+  | Atom of string * term list
+  | Eq of term * term
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Exists of string list * t
+  | Forall of string list * t
+
+let conj = function
+  | [] -> True
+  | f :: fs -> List.fold_left (fun acc g -> And (acc, g)) f fs
+
+let disj = function
+  | [] -> False
+  | f :: fs -> List.fold_left (fun acc g -> Or (acc, g)) f fs
+
+let var x = Var x
+let const v = Val v
+let atom rel args = Atom (rel, args)
+
+let free_vars f =
+  let rec go bound acc = function
+    | True | False -> acc
+    | Atom (_, ts) ->
+      List.fold_left
+        (fun acc t ->
+          match t with
+          | Var x when not (List.mem x bound) && not (List.mem x acc) ->
+            x :: acc
+          | _ -> acc)
+        acc ts
+    | Eq (t1, t2) ->
+      List.fold_left
+        (fun acc t ->
+          match t with
+          | Var x when not (List.mem x bound) && not (List.mem x acc) ->
+            x :: acc
+          | _ -> acc)
+        acc [ t1; t2 ]
+    | Not g -> go bound acc g
+    | And (g1, g2) | Or (g1, g2) | Implies (g1, g2) ->
+      go bound (go bound acc g1) g2
+    | Exists (xs, g) | Forall (xs, g) -> go (xs @ bound) acc g
+  in
+  List.rev (go [] [] f)
+
+let constants f =
+  let rec go acc = function
+    | True | False -> acc
+    | Atom (_, ts) ->
+      List.fold_left
+        (fun acc t -> match t with Val v -> Value.Set.add v acc | Var _ -> acc)
+        acc ts
+    | Eq (t1, t2) ->
+      List.fold_left
+        (fun acc t -> match t with Val v -> Value.Set.add v acc | Var _ -> acc)
+        acc [ t1; t2 ]
+    | Not g -> go acc g
+    | And (g1, g2) | Or (g1, g2) | Implies (g1, g2) -> go (go acc g1) g2
+    | Exists (_, g) | Forall (_, g) -> go acc g
+  in
+  go Value.Set.empty f
+
+let rec is_existential_positive = function
+  | True | False | Atom _ | Eq _ -> true
+  | And (f, g) | Or (f, g) ->
+    is_existential_positive f && is_existential_positive g
+  | Exists (_, f) -> is_existential_positive f
+  | Not _ | Implies _ | Forall _ -> false
+
+let rec is_existential = function
+  | True | False | Atom _ | Eq _ -> true
+  | And (f, g) | Or (f, g) -> is_existential f && is_existential g
+  | Not f -> is_quantifier_free f
+  | Implies (f, g) -> is_quantifier_free f && is_quantifier_free (Not g)
+  | Exists (_, f) -> is_existential f
+  | Forall _ -> false
+
+and is_quantifier_free = function
+  | True | False | Atom _ | Eq _ -> true
+  | Not f -> is_quantifier_free f
+  | And (f, g) | Or (f, g) | Implies (f, g) ->
+    is_quantifier_free f && is_quantifier_free g
+  | Exists _ | Forall _ -> false
+
+let eval_term env = function
+  | Val v -> v
+  | Var x -> (
+    match String_map.find_opt x env with
+    | Some v -> v
+    | None -> invalid_arg (Printf.sprintf "Fo.eval: unbound variable %s" x))
+
+let eval d env f =
+  let domain =
+    Value.Set.elements
+      (Value.Set.union (Instance.active_domain d) (constants f))
+  in
+  let rec go env = function
+    | True -> true
+    | False -> false
+    | Atom (rel, ts) ->
+      let args = List.map (eval_term env) ts in
+      Instance.mem d (Instance.fact rel args)
+    | Eq (t1, t2) -> Value.equal (eval_term env t1) (eval_term env t2)
+    | Not g -> not (go env g)
+    | And (g1, g2) -> go env g1 && go env g2
+    | Or (g1, g2) -> go env g1 || go env g2
+    | Implies (g1, g2) -> (not (go env g1)) || go env g2
+    | Exists (xs, g) -> quantify env xs g List.exists
+    | Forall (xs, g) -> quantify env xs g List.for_all
+  and quantify : 'a. _ -> _ -> _ -> (((Value.t -> bool) -> Value.t list -> bool)) -> bool =
+   fun env xs g combine ->
+    match xs with
+    | [] -> go env g
+    | x :: rest ->
+      combine (fun v -> quantify (String_map.add x v env) rest g combine) domain
+  in
+  go env f
+
+let holds d f = eval d String_map.empty f
+
+let answers ~head d f =
+  let domain =
+    Value.Set.elements
+      (Value.Set.union (Instance.active_domain d) (constants f))
+  in
+  let rec assignments env = function
+    | [] -> if eval d env f then [ env ] else []
+    | x :: rest ->
+      List.concat_map
+        (fun v -> assignments (String_map.add x v env) rest)
+        domain
+  in
+  List.fold_left
+    (fun acc env ->
+      Instance.add_fact acc "ans"
+        (List.map (fun x -> String_map.find x env) head))
+    Instance.empty
+    (assignments String_map.empty head)
+
+let pp_term ppf = function
+  | Var x -> Format.fprintf ppf "%s" x
+  | Val v -> Value.pp ppf v
+
+let rec pp ppf = function
+  | True -> Format.fprintf ppf "true"
+  | False -> Format.fprintf ppf "false"
+  | Atom (rel, ts) ->
+    Format.fprintf ppf "%s(%a)" rel
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+         pp_term)
+      ts
+  | Eq (t1, t2) -> Format.fprintf ppf "%a = %a" pp_term t1 pp_term t2
+  | Not f -> Format.fprintf ppf "~(%a)" pp f
+  | And (f, g) -> Format.fprintf ppf "(%a /\\ %a)" pp f pp g
+  | Or (f, g) -> Format.fprintf ppf "(%a \\/ %a)" pp f pp g
+  | Implies (f, g) -> Format.fprintf ppf "(%a -> %a)" pp f pp g
+  | Exists (xs, f) ->
+    Format.fprintf ppf "exists %s. %a" (String.concat "," xs) pp f
+  | Forall (xs, f) ->
+    Format.fprintf ppf "forall %s. %a" (String.concat "," xs) pp f

@@ -1,0 +1,57 @@
+(** First-order queries over relational instances, with active-domain
+    semantics.  Evaluating an FO sentence directly on an incomplete
+    instance treats nulls as plain values ([⊥1 = ⊥1], [⊥1 ≠ ⊥2],
+    [⊥1 ≠ c]) — this is the first stage of naïve evaluation. *)
+
+open Certdb_values
+open Certdb_relational
+
+type term =
+  | Var of string
+  | Val of Value.t
+
+type t =
+  | True
+  | False
+  | Atom of string * term list
+  | Eq of term * term
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Exists of string list * t
+  | Forall of string list * t
+
+(** Smart constructors. *)
+val conj : t list -> t
+
+val disj : t list -> t
+val var : string -> term
+val const : Value.t -> term
+val atom : string -> term list -> t
+
+val free_vars : t -> string list
+val constants : t -> Value.Set.t
+
+(** [is_existential_positive f] — no negation/implication/universal;
+    i.e. a union of conjunctive queries up to logical equivalence. *)
+val is_existential_positive : t -> bool
+
+(** [is_existential f] — negations allowed, universal quantifiers not
+    (after implication elimination; [Implies] counts as a negation). *)
+val is_existential : t -> bool
+
+(** [eval d env f] evaluates with quantifiers ranging over the active
+    domain of [d] plus the constants of [f] (and values of [env]). *)
+val eval : Instance.t -> Value.t Stdlib.Map.Make(String).t -> t -> bool
+
+(** [holds d f] — [eval] with the empty environment; [f] must be a
+    sentence. *)
+val holds : Instance.t -> t -> bool
+
+(** [answers ~head d f] — the set of assignments of [head] (drawn from the
+    evaluation domain) satisfying [f], as an instance of a single relation
+    ["ans"]. *)
+val answers : head:string list -> Instance.t -> t -> Instance.t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,185 @@
+open Certdb_values
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+type token =
+  | Ident of string
+  | Number of int
+  | Quoted of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Dot
+  | Arrow
+  | Equals
+
+let keywords = [ "exists"; "forall"; "and"; "or"; "not"; "true"; "false" ]
+
+let tokenize s =
+  let n = String.length s in
+  let tokens = ref [] in
+  let i = ref 0 in
+  let is_ident_char c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_'
+  in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '(' then (tokens := Lparen :: !tokens; incr i)
+    else if c = ')' then (tokens := Rparen :: !tokens; incr i)
+    else if c = ',' then (tokens := Comma :: !tokens; incr i)
+    else if c = '.' then (tokens := Dot :: !tokens; incr i)
+    else if c = '=' then (tokens := Equals :: !tokens; incr i)
+    else if c = '-' && !i + 1 < n && s.[!i + 1] = '>' then begin
+      tokens := Arrow :: !tokens;
+      i := !i + 2
+    end
+    else if c = '"' then begin
+      let j = ref (!i + 1) in
+      while !j < n && s.[!j] <> '"' do incr j done;
+      if !j >= n then fail "unterminated string literal";
+      tokens := Quoted (String.sub s (!i + 1) (!j - !i - 1)) :: !tokens;
+      i := !j + 1
+    end
+    else if c = '-' || (c >= '0' && c <= '9') then begin
+      let j = ref (!i + 1) in
+      while !j < n && s.[!j] >= '0' && s.[!j] <= '9' do incr j done;
+      (match int_of_string_opt (String.sub s !i (!j - !i)) with
+      | Some k -> tokens := Number k :: !tokens
+      | None -> fail "bad number");
+      i := !j
+    end
+    else if is_ident_char c then begin
+      let j = ref (!i + 1) in
+      while !j < n && is_ident_char s.[!j] do incr j done;
+      tokens := Ident (String.sub s !i (!j - !i)) :: !tokens;
+      i := !j
+    end
+    else fail "unexpected character %C" c
+  done;
+  List.rev !tokens
+
+let formula s =
+  let tokens = ref (tokenize s) in
+  let peek () = match !tokens with [] -> None | t :: _ -> Some t in
+  let advance () =
+    match !tokens with
+    | [] -> fail "unexpected end of input"
+    | t :: rest ->
+      tokens := rest;
+      t
+  in
+  let expect what t' =
+    let t = advance () in
+    if t <> t' then fail "expected %s" what
+  in
+  let parse_term () =
+    match advance () with
+    | Ident x when not (List.mem x keywords) -> Fo.Var x
+    | Number k -> Fo.Val (Value.int k)
+    | Quoted str -> Fo.Val (Value.str str)
+    | _ -> fail "expected a term"
+  in
+  let parse_varlist () =
+    let rec loop acc =
+      match advance () with
+      | Ident x when not (List.mem x keywords) -> (
+        match peek () with
+        | Some Comma ->
+          ignore (advance ());
+          loop (x :: acc)
+        | Some Dot ->
+          ignore (advance ());
+          List.rev (x :: acc)
+        | _ -> fail "expected ',' or '.' in the quantifier prefix")
+      | _ -> fail "expected a variable"
+    in
+    loop []
+  in
+  (* precedence: quantifiers < -> < or < and < not/atoms *)
+  let rec parse_formula () =
+    match peek () with
+    | Some (Ident "exists") ->
+      ignore (advance ());
+      let xs = parse_varlist () in
+      Fo.Exists (xs, parse_formula ())
+    | Some (Ident "forall") ->
+      ignore (advance ());
+      let xs = parse_varlist () in
+      Fo.Forall (xs, parse_formula ())
+    | _ -> parse_implies ()
+  and parse_implies () =
+    let lhs = parse_or () in
+    match peek () with
+    | Some Arrow ->
+      ignore (advance ());
+      Fo.Implies (lhs, parse_formula ())
+    | _ -> lhs
+  and parse_or () =
+    let lhs = parse_and () in
+    match peek () with
+    | Some (Ident "or") ->
+      ignore (advance ());
+      Fo.Or (lhs, parse_or ())
+    | _ -> lhs
+  and parse_and () =
+    let lhs = parse_unary () in
+    match peek () with
+    | Some (Ident "and") ->
+      ignore (advance ());
+      Fo.And (lhs, parse_and ())
+    | _ -> lhs
+  and parse_unary () =
+    match peek () with
+    | Some (Ident "not") ->
+      ignore (advance ());
+      Fo.Not (parse_unary ())
+    | Some (Ident "true") ->
+      ignore (advance ());
+      Fo.True
+    | Some (Ident "false") ->
+      ignore (advance ());
+      Fo.False
+    | Some (Ident ("exists" | "forall")) -> parse_formula ()
+    | Some Lparen ->
+      ignore (advance ());
+      let f = parse_formula () in
+      expect "')'" Rparen;
+      f
+    | Some (Ident rel) -> (
+      ignore (advance ());
+      match peek () with
+      | Some Lparen ->
+        ignore (advance ());
+        let args = ref [] in
+        (match peek () with
+        | Some Rparen -> ignore (advance ())
+        | _ ->
+          let rec loop () =
+            args := parse_term () :: !args;
+            match advance () with
+            | Comma -> loop ()
+            | Rparen -> ()
+            | _ -> fail "expected ',' or ')'"
+          in
+          loop ());
+        Fo.Atom (rel, List.rev !args)
+      | Some Equals ->
+        ignore (advance ());
+        Fo.Eq (Fo.Var rel, parse_term ())
+      | _ -> fail "expected '(' or '=' after %s" rel)
+    | Some (Number _ | Quoted _) -> (
+      let lhs = parse_term () in
+      match advance () with
+      | Equals -> Fo.Eq (lhs, parse_term ())
+      | _ -> fail "expected '=' after a constant")
+    | _ -> fail "expected a formula"
+  in
+  let f = parse_formula () in
+  if !tokens <> [] then fail "trailing input after the formula";
+  f

@@ -1,0 +1,16 @@
+(** Concrete syntax for first-order queries, used by the [certdb] CLI:
+
+    {v
+      exists x, y. R(x, y) and not S(x)
+      forall x. R(x, 1) -> x = 2
+    v}
+
+    Keywords: [exists], [forall], [and], [or], [not], [true], [false];
+    implication is [->], equality [=].  Inside atom arguments, bare
+    identifiers are variables; integers and double-quoted strings are
+    constants. *)
+
+exception Parse_error of string
+
+(** @raise Parse_error on malformed input. *)
+val formula : string -> Fo.t

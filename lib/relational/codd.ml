@@ -1,0 +1,54 @@
+open Certdb_values
+
+let is_codd d =
+  let seen = Hashtbl.create 16 in
+  List.for_all
+    (fun (f : Instance.fact) ->
+      Array.for_all
+        (fun v ->
+          if Value.is_null v then
+            if Hashtbl.mem seen v then false
+            else begin
+              Hashtbl.add seen v ();
+              true
+            end
+          else true)
+        f.args)
+    (Instance.facts d)
+
+let coddify d =
+  List.fold_left
+    (fun acc (f : Instance.fact) ->
+      let args =
+        Array.map
+          (fun v -> if Value.is_null v then Value.fresh_null () else v)
+          f.args
+      in
+      Instance.add acc { f with args })
+    Instance.empty (Instance.facts d)
+
+let leq d d' =
+  if not (is_codd d) then invalid_arg "Codd.leq: instance is not Codd";
+  Ordering.hoare_leq d d'
+
+let random_naive ~seed ~schema ~facts ~null_prob ~domain ~null_pool () =
+  let st = Random.State.make [| seed |] in
+  let rels = Array.of_list schema in
+  if Array.length rels = 0 then invalid_arg "Codd.random_naive: empty schema";
+  let value () =
+    if Random.State.float st 1.0 < null_prob then
+      Value.null (1_000_000 + Random.State.int st null_pool)
+    else Value.int (Random.State.int st domain)
+  in
+  let rec build acc k =
+    if k = 0 then acc
+    else
+      let rel, arity = rels.(Random.State.int st (Array.length rels)) in
+      let args = List.init arity (fun _ -> value ()) in
+      build (Instance.add_fact acc rel args) (k - 1)
+  in
+  build Instance.empty facts
+
+let random ~seed ~schema ~facts ~null_prob ~domain () =
+  coddify
+    (random_naive ~seed ~schema ~facts ~null_prob ~domain ~null_pool:1 ())

@@ -1,0 +1,38 @@
+(** Codd databases: naïve databases in which every null occurs at most
+    once.  On them [⊑] collapses to the polynomial-time ordering [⪯]
+    (Prop. 4) and CWA comparison is [⪯] + Hall (Prop. 8). *)
+
+val is_codd : Instance.t -> bool
+
+(** [coddify d] replaces repeated null occurrences by fresh nulls, yielding
+    the "Codd approximation" of [d] (strictly less informative when [d]
+    reuses nulls). *)
+val coddify : Instance.t -> Instance.t
+
+(** [leq d d'] decides [d ⊑ d'] in polynomial time.
+    @raise Invalid_argument when [d] is not Codd. *)
+val leq : Instance.t -> Instance.t -> bool
+
+(** [random ~seed ~schema ~facts ~null_prob ~domain ()] generates a random
+    Codd instance: constants drawn from [0..domain-1], fresh nulls with
+    probability [null_prob]. *)
+val random :
+  seed:int ->
+  schema:(string * int) list ->
+  facts:int ->
+  null_prob:float ->
+  domain:int ->
+  unit ->
+  Instance.t
+
+(** [random_naive] — same, but nulls are drawn from a small pool and may
+    repeat (naïve instance). *)
+val random_naive :
+  seed:int ->
+  schema:(string * int) list ->
+  facts:int ->
+  null_prob:float ->
+  domain:int ->
+  null_pool:int ->
+  unit ->
+  Instance.t

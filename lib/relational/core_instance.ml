@@ -1,0 +1,58 @@
+open Certdb_values
+
+(* h(D) ⊆ D for an endomorphism h, so iterating [apply h] yields a
+   decreasing chain of subinstances; its limit is the image of the
+   idempotent power of h. *)
+let iterate_image h d =
+  let rec go d =
+    let d' = Instance.apply h d in
+    if Instance.equal d' d then d else go d'
+  in
+  go d
+
+(* Find an endomorphism whose idempotent image is strictly smaller.  For
+   every pair of distinct facts (f, g) of the same relation we enumerate
+   the endomorphisms extending the unifier of f into g; if D is not a core
+   it has a proper retraction r, and r extends such a unifier for any fact
+   f outside r(D), so the search is complete. *)
+let shrinking_step d =
+  let n = Instance.cardinal d in
+  let result = ref None in
+  let try_seed seed =
+    Hom.iter_seeded ~init:seed d d (fun h ->
+        let image = iterate_image h d in
+        if Instance.cardinal image < n then begin
+          result := Some (image, h);
+          `Stop
+        end
+        else `Continue)
+  in
+  let fs = Instance.facts d in
+  List.iter
+    (fun (f : Instance.fact) ->
+      if !result = None then
+        List.iter
+          (fun (g : Instance.fact) ->
+            if
+              !result = None
+              && String.equal f.rel g.rel
+              && Instance.compare_fact f g <> 0
+            then
+              match Valuation.unify_arrays Valuation.empty f.args g.args with
+              | Some seed -> try_seed seed
+              | None -> ())
+          fs)
+    fs;
+  !result
+
+let is_core d = Option.is_none (shrinking_step d)
+
+let core_with_retraction d =
+  let rec go d retraction =
+    match shrinking_step d with
+    | None -> (d, retraction)
+    | Some (image, h) -> go image (Valuation.compose retraction h)
+  in
+  go d Valuation.empty
+
+let core d = fst (core_with_retraction d)

@@ -1,0 +1,12 @@
+(** Cores of naïve databases: the smallest instance hom-equivalent to the
+    input.  Used as the canonical representative of a ∼-equivalence class
+    (e.g. the core solution in data exchange, the reduced form of ⊗-product
+    glbs). *)
+
+val is_core : Instance.t -> bool
+
+val core : Instance.t -> Instance.t
+
+(** [core_with_retraction d] also returns the valuation mapping [d] onto
+    the core. *)
+val core_with_retraction : Instance.t -> Instance.t * Certdb_values.Valuation.t

@@ -1,0 +1,271 @@
+open Certdb_values
+
+type cond =
+  | CTrue
+  | CFalse
+  | CEq of Value.t * Value.t
+  | CNeq of Value.t * Value.t
+  | CAnd of cond * cond
+  | COr of cond * cond
+  | CNot of cond
+
+let cand = function
+  | [] -> CTrue
+  | c :: cs -> List.fold_left (fun acc c' -> CAnd (acc, c')) c cs
+
+let cor = function
+  | [] -> CFalse
+  | c :: cs -> List.fold_left (fun acc c' -> COr (acc, c')) c cs
+
+let rec eval_cond h = function
+  | CTrue -> true
+  | CFalse -> false
+  | CEq (a, b) -> Value.equal (Valuation.apply h a) (Valuation.apply h b)
+  | CNeq (a, b) -> not (Value.equal (Valuation.apply h a) (Valuation.apply h b))
+  | CAnd (c1, c2) -> eval_cond h c1 && eval_cond h c2
+  | COr (c1, c2) -> eval_cond h c1 || eval_cond h c2
+  | CNot c -> not (eval_cond h c)
+
+let rec cond_nulls = function
+  | CTrue | CFalse -> Value.Set.empty
+  | CEq (a, b) | CNeq (a, b) ->
+    Value.Set.filter Value.is_null (Value.Set.of_list [ a; b ])
+  | CAnd (c1, c2) | COr (c1, c2) ->
+    Value.Set.union (cond_nulls c1) (cond_nulls c2)
+  | CNot c -> cond_nulls c
+
+let rec simplify = function
+  | CTrue -> CTrue
+  | CFalse -> CFalse
+  | CEq (a, b) when Value.equal a b -> CTrue
+  | CEq (a, b) when Value.is_const a && Value.is_const b -> CFalse
+  | CEq _ as c -> c
+  | CNeq (a, b) when Value.equal a b -> CFalse
+  | CNeq (a, b) when Value.is_const a && Value.is_const b -> CTrue
+  | CNeq _ as c -> c
+  | CAnd (c1, c2) -> (
+    match simplify c1, simplify c2 with
+    | CFalse, _ | _, CFalse -> CFalse
+    | CTrue, c | c, CTrue -> c
+    | c1', c2' -> CAnd (c1', c2'))
+  | COr (c1, c2) -> (
+    match simplify c1, simplify c2 with
+    | CTrue, _ | _, CTrue -> CTrue
+    | CFalse, c | c, CFalse -> c
+    | c1', c2' -> COr (c1', c2'))
+  | CNot c -> (
+    match simplify c with
+    | CTrue -> CFalse
+    | CFalse -> CTrue
+    | CEq (a, b) -> CNeq (a, b)
+    | CNeq (a, b) -> CEq (a, b)
+    | c' -> CNot c')
+
+let rec pp_cond ppf = function
+  | CTrue -> Format.fprintf ppf "true"
+  | CFalse -> Format.fprintf ppf "false"
+  | CEq (a, b) -> Format.fprintf ppf "%a = %a" Value.pp a Value.pp b
+  | CNeq (a, b) -> Format.fprintf ppf "%a <> %a" Value.pp a Value.pp b
+  | CAnd (c1, c2) -> Format.fprintf ppf "(%a /\\ %a)" pp_cond c1 pp_cond c2
+  | COr (c1, c2) -> Format.fprintf ppf "(%a \\/ %a)" pp_cond c1 pp_cond c2
+  | CNot c -> Format.fprintf ppf "~(%a)" pp_cond c
+
+type row = {
+  args : Value.t array;
+  guard : cond;
+}
+
+type t = {
+  arity : int;
+  rows : row list;
+}
+
+let of_rows ~arity rows =
+  List.iter
+    (fun r ->
+      if Array.length r.args <> arity then
+        invalid_arg "Ctable.of_rows: arity mismatch")
+    rows;
+  { arity; rows = List.map (fun r -> { r with guard = simplify r.guard }) rows }
+
+let of_naive ~arity tuples =
+  of_rows ~arity (List.map (fun args -> { args; guard = CTrue }) tuples)
+
+let of_instance_relation d rel =
+  let tuples = Instance.tuples d rel in
+  match tuples with
+  | [] -> { arity = 0; rows = [] }
+  | t :: _ -> of_naive ~arity:(Array.length t) tuples
+
+let rows t = t.rows
+let arity t = t.arity
+
+let nulls t =
+  List.fold_left
+    (fun acc r ->
+      Array.fold_left
+        (fun acc v -> if Value.is_null v then Value.Set.add v acc else acc)
+        (Value.Set.union acc (cond_nulls r.guard))
+        r.args)
+    Value.Set.empty t.rows
+
+let rec cond_constants = function
+  | CTrue | CFalse -> Value.Set.empty
+  | CEq (a, b) | CNeq (a, b) ->
+    Value.Set.filter Value.is_const (Value.Set.of_list [ a; b ])
+  | CAnd (c1, c2) | COr (c1, c2) ->
+    Value.Set.union (cond_constants c1) (cond_constants c2)
+  | CNot c -> cond_constants c
+
+let constants t =
+  List.fold_left
+    (fun acc r ->
+      Array.fold_left
+        (fun acc v -> if Value.is_const v then Value.Set.add v acc else acc)
+        (Value.Set.union acc (cond_constants r.guard))
+        r.args)
+    Value.Set.empty t.rows
+
+module Tuple_set = Set.Make (struct
+  type t = Value.t array
+
+  let compare (a : Value.t array) b = Stdlib.compare a b
+end)
+
+let ground h t =
+  List.fold_left
+    (fun acc r ->
+      if eval_cond h r.guard then
+        Tuple_set.add (Valuation.apply_array h r.args) acc
+      else acc)
+    Tuple_set.empty t.rows
+  |> Tuple_set.elements
+
+let sample_valuations t =
+  let ns = Value.Set.elements (nulls t) in
+  let k = List.length ns in
+  let fresh = List.init (k + 1) (fun _ -> Value.fresh_const ()) in
+  let candidates = Value.Set.elements (constants t) @ fresh in
+  let rec assign acc = function
+    | [] -> [ acc ]
+    | n :: rest ->
+      List.concat_map (fun c -> assign (Valuation.bind acc n c) rest) candidates
+  in
+  assign Valuation.empty ns
+
+let rep_sample t = List.map (fun h -> ground h t) (sample_valuations t)
+
+let select_eq_col i j t =
+  if i < 0 || j < 0 || i >= t.arity || j >= t.arity then
+    invalid_arg "Ctable.select_eq_col: column out of range";
+  {
+    t with
+    rows =
+      List.map
+        (fun r ->
+          { r with guard = simplify (CAnd (r.guard, CEq (r.args.(i), r.args.(j)))) })
+        t.rows;
+  }
+
+let select_eq_const i c t =
+  if i < 0 || i >= t.arity then
+    invalid_arg "Ctable.select_eq_const: column out of range";
+  {
+    t with
+    rows =
+      List.map
+        (fun r ->
+          { r with guard = simplify (CAnd (r.guard, CEq (r.args.(i), c))) })
+        t.rows;
+  }
+
+let project cols t =
+  List.iter
+    (fun c ->
+      if c < 0 || c >= t.arity then
+        invalid_arg "Ctable.project: column out of range")
+    cols;
+  {
+    arity = List.length cols;
+    rows =
+      List.map
+        (fun r ->
+          { r with args = Array.of_list (List.map (fun c -> r.args.(c)) cols) })
+        t.rows;
+  }
+
+let product t1 t2 =
+  {
+    arity = t1.arity + t2.arity;
+    rows =
+      List.concat_map
+        (fun r1 ->
+          List.map
+            (fun r2 ->
+              {
+                args = Array.append r1.args r2.args;
+                guard = simplify (CAnd (r1.guard, r2.guard));
+              })
+            t2.rows)
+        t1.rows;
+  }
+
+let join pairs t1 t2 =
+  let p = product t1 t2 in
+  List.fold_left
+    (fun acc (i, j) -> select_eq_col i (t1.arity + j) acc)
+    p pairs
+
+let union t1 t2 =
+  if t1.arity <> t2.arity then invalid_arg "Ctable.union: arity mismatch";
+  { arity = t1.arity; rows = t1.rows @ t2.rows }
+
+(* difference per [26]: a row (ā, γ) of t1 survives when γ holds and for
+   every row (b̄, δ) of t2, not (δ ∧ ā = b̄). *)
+let difference t1 t2 =
+  if t1.arity <> t2.arity then invalid_arg "Ctable.difference: arity mismatch";
+  {
+    arity = t1.arity;
+    rows =
+      List.map
+        (fun r1 ->
+          let blockers =
+            List.map
+              (fun r2 ->
+                let agree =
+                  cand
+                    (List.init t1.arity (fun i ->
+                         CEq (r1.args.(i), r2.args.(i))))
+                in
+                CNot (CAnd (r2.guard, agree)))
+              t2.rows
+          in
+          { r1 with guard = simplify (cand (r1.guard :: blockers)) })
+        t1.rows;
+  }
+
+let certain_tuples t =
+  match rep_sample t with
+  | [] -> []
+  | first :: rest ->
+    let first_consts =
+      List.filter (fun tu -> Array.for_all Value.is_const tu) first
+    in
+    List.filter
+      (fun tu -> List.for_all (fun world -> List.mem tu world) rest)
+      first_consts
+
+let possible_tuples t =
+  List.sort_uniq compare (List.concat (rep_sample t))
+
+let pp ppf t =
+  let pp_row ppf r =
+    Format.fprintf ppf "(%a) if %a"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         Value.pp)
+      (Array.to_list r.args) pp_cond r.guard
+  in
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_row)
+    t.rows

@@ -1,0 +1,95 @@
+(** Conditional tables (c-tables) of Imieliński–Lipski [26] — the strong
+    representation system for full relational algebra that naïve tables
+    cannot provide.  The paper's Section 1–2 background rests on this
+    hierarchy: Codd tables ⊂ naïve tables ⊂ c-tables.
+
+    A c-table row is a tuple over [C ∪ N] guarded by a local condition: a
+    boolean combination of (in)equalities between values.  Under a
+    grounding valuation [h], the row contributes [h(args)] iff [h]
+    satisfies the condition.  The representation is closed-world:
+    [rep(T) = { h(T) | h grounds the nulls }].
+
+    The algebra below implements the [26] construction: selection and join
+    push conditions into the guards, and difference — impossible on naïve
+    tables — produces negated agreement guards. *)
+
+open Certdb_values
+
+(** {1 Conditions} *)
+
+type cond =
+  | CTrue
+  | CFalse
+  | CEq of Value.t * Value.t
+  | CNeq of Value.t * Value.t
+  | CAnd of cond * cond
+  | COr of cond * cond
+  | CNot of cond
+
+val cand : cond list -> cond
+val cor : cond list -> cond
+
+(** [eval_cond h c] — truth under a grounding (free nulls are compared
+    syntactically, as in naïve evaluation). *)
+val eval_cond : Valuation.t -> cond -> bool
+
+val cond_nulls : cond -> Value.Set.t
+val simplify : cond -> cond
+val pp_cond : Format.formatter -> cond -> unit
+
+(** {1 Tables} *)
+
+type row = {
+  args : Value.t array;
+  guard : cond;
+}
+
+type t
+(** A single-relation c-table (the algebra is single-relation, as in
+    [26]). *)
+
+val of_rows : arity:int -> row list -> t
+val of_instance_relation : Instance.t -> string -> t
+
+(** [of_naive tuples] — a naïve table as a c-table (all guards true). *)
+val of_naive : arity:int -> Value.t array list -> t
+
+val rows : t -> row list
+val arity : t -> int
+val nulls : t -> Value.Set.t
+
+(** [ground h t] — the complete relation under a grounding valuation: the
+    set of instantiated tuples whose guard holds. *)
+val ground : Valuation.t -> t -> Value.t array list
+
+(** [sample_valuations t] — groundings into adom ∪ k+1 fresh constants. *)
+val sample_valuations : t -> Valuation.t list
+
+(** [rep_sample t] — the sampled closed-world representation
+    [{ h(T) }]. *)
+val rep_sample : t -> Value.t array list list
+
+(** {1 Algebra (strong representation system)} *)
+
+val select_eq_col : int -> int -> t -> t
+val select_eq_const : int -> Value.t -> t -> t
+val project : int list -> t -> t
+val product : t -> t -> t
+val join : (int * int) list -> t -> t -> t
+val union : t -> t -> t
+
+(** [difference t1 t2] — the [26] construction: a row of [t1] survives iff
+    its guard holds and no row of [t2] matches it (guards become negated
+    agreement conditions). *)
+val difference : t -> t -> t
+
+(** {1 Certain answers} *)
+
+(** [certain_tuples t] — tuples of constants present in {e every} sampled
+    grounding. *)
+val certain_tuples : t -> Value.t array list
+
+(** [possible_tuples t] — tuples present in {e some} sampled grounding. *)
+val possible_tuples : t -> Value.t array list
+
+val pp : Format.formatter -> t -> unit

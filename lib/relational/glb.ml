@@ -1,0 +1,30 @@
+open Certdb_values
+
+let pair d d' =
+  let reg = Merge.create () in
+  let result =
+    List.fold_left
+      (fun acc (f : Instance.fact) ->
+        List.fold_left
+          (fun acc (g : Instance.fact) ->
+            if
+              String.equal f.rel g.rel
+              && Array.length f.args = Array.length g.args
+            then
+              Instance.add acc
+                { f with args = Merge.arrays reg f.args g.args }
+            else acc)
+          acc (Instance.facts d'))
+      Instance.empty (Instance.facts d)
+  in
+  (result, Merge.left_valuation reg, Merge.right_valuation reg)
+
+let glb d d' =
+  let r, _, _ = pair d d' in
+  r
+
+let family = function
+  | [] -> invalid_arg "Glb.family: empty family"
+  | x :: xs -> List.fold_left glb x xs
+
+let certain_information xs = Core_instance.core (family xs)

@@ -1,0 +1,26 @@
+(** Greatest lower bounds of naïve databases in the information ordering
+    (Prop. 5): the ⊗-product
+
+    {v R ∧ R' = { t ⊗ t' | t ∈ R, t' ∈ R' } v}
+
+    computed relation by relation, where ⊗ merges tuples per equation (1).
+    For a finite family [X] of instances, [∧X] always exists and has at
+    most [(‖X‖/n)^n] tuples per relation. *)
+
+open Certdb_values
+
+(** [pair d d'] returns the glb together with the two projection
+    homomorphisms (witnessing that it is a lower bound). *)
+val pair : Instance.t -> Instance.t -> Instance.t * Valuation.t * Valuation.t
+
+(** [glb d d'] is [fst3 (pair d d')]. *)
+val glb : Instance.t -> Instance.t -> Instance.t
+
+(** [family xs] folds [glb] over a non-empty list.
+    @raise Invalid_argument on []. *)
+val family : Instance.t list -> Instance.t
+
+(** [certain_information xs] is [family xs] reduced to its core — the
+    canonical representative of the certain information in [xs]
+    (max-description, by Theorem 1). *)
+val certain_information : Instance.t list -> Instance.t

@@ -1,0 +1,125 @@
+open Certdb_values
+
+let is_hom h d d' =
+  List.for_all
+    (fun (f : Instance.fact) ->
+      Instance.mem d' { f with args = Valuation.apply_array h f.args })
+    (Instance.facts d)
+
+(* Backtracking over source facts with dynamic fewest-candidates-first
+   ordering.  [init] seeds the valuation (used by core computation and by
+   tests that pin specific bindings). *)
+let search ?(init = Valuation.empty) ?(onto = false) d d' on_solution =
+  let source_facts = Instance.facts d in
+  let target_facts = Instance.facts d' in
+  (* index the target by relation once: the candidate computation runs at
+     every node of the search tree *)
+  let by_rel = Hashtbl.create 8 in
+  List.iter
+    (fun (g : Instance.fact) ->
+      Hashtbl.replace by_rel g.rel
+        (g :: (Option.value ~default:[] (Hashtbl.find_opt by_rel g.rel))))
+    (List.rev target_facts);
+  let candidates h (f : Instance.fact) =
+    List.filter_map
+      (fun (g : Instance.fact) ->
+        Option.map
+          (fun h' -> (g, h'))
+          (Valuation.extend_match h f.args g.args))
+      (Option.value ~default:[] (Hashtbl.find_opt by_rel f.rel))
+  in
+  let exception Stop in
+  let check_onto covered =
+    (not onto)
+    || List.for_all (fun g -> List.mem g covered) target_facts
+  in
+  let rec go h remaining covered =
+    match remaining with
+    | [] ->
+      if check_onto covered && on_solution h = `Stop then raise Stop
+    | _ ->
+      (* pick the remaining fact with fewest unifiable targets *)
+      let scored =
+        List.map (fun f -> (f, candidates h f)) remaining
+      in
+      let best, cands =
+        List.fold_left
+          (fun (bf, bc) (f, c) ->
+            if List.length c < List.length bc then (f, c) else (bf, bc))
+          (List.hd scored) (List.tl scored)
+      in
+      let rest = List.filter (fun f -> Instance.compare_fact f best <> 0) remaining in
+      List.iter
+        (fun ((g : Instance.fact), h') -> go h' rest (g :: covered))
+        cands
+  in
+  (try go init source_facts [] with Stop -> ())
+
+let restrict_to_nulls d h =
+  let ns = Instance.nulls d in
+  List.fold_left
+    (fun acc (n, v) ->
+      if Value.Set.mem n ns then Valuation.bind acc n v else acc)
+    Valuation.empty (Valuation.bindings h)
+
+let find_seeded ?init d d' =
+  let found = ref None in
+  search ?init d d' (fun h ->
+      found := Some (restrict_to_nulls d h);
+      `Stop);
+  !found
+
+let find d d' = find_seeded d d'
+let exists d d' = Option.is_some (find d d')
+
+let find_onto d d' =
+  let found = ref None in
+  search ~onto:true d d' (fun h ->
+      found := Some (restrict_to_nulls d h);
+      `Stop);
+  !found
+
+let exists_onto d d' = Option.is_some (find_onto d d')
+
+let iter d d' f = search d d' (fun h -> f (restrict_to_nulls d h))
+
+let iter_seeded ?init d d' f =
+  search ?init d d' (fun h -> f (restrict_to_nulls d h))
+
+let count d d' =
+  (* distinct homomorphisms on the nulls of [d]; the fact-indexed search can
+     reach the same valuation along different fact orders, so deduplicate *)
+  let seen = Hashtbl.create 16 in
+  iter d d' (fun h ->
+      let key = List.map (fun (n, v) -> (n, v)) (Valuation.bindings h) in
+      if not (Hashtbl.mem seen key) then Hashtbl.add seen key ();
+      `Continue);
+  Hashtbl.length seen
+
+(* An endomorphism that identifies some fact [f] with a different fact [g]:
+   seeds for core folding. *)
+let endomorphism_folding d =
+  let fs = Instance.facts d in
+  let rec pairs = function
+    | [] -> None
+    | (f : Instance.fact) :: rest ->
+      let attempt (g : Instance.fact) =
+        if
+          String.equal f.rel g.rel
+          && Instance.compare_fact f g <> 0
+        then
+          match Valuation.unify_arrays Valuation.empty f.args g.args with
+          | Some seed ->
+            let found = ref None in
+            search ~init:seed d d (fun h ->
+                found := Some (restrict_to_nulls d h);
+                `Stop);
+            !found
+          | None -> None
+        else None
+      in
+      (match List.find_map attempt fs with
+      | Some h -> Some h
+      | None -> pairs rest)
+  in
+  pairs fs

@@ -1,0 +1,44 @@
+(** Database homomorphisms between naïve instances: maps on nulls (identity
+    on constants) sending every fact of the source into the target
+    (Section 2.1).  [D ⊑ D′] iff such a homomorphism exists (Prop. 3). *)
+
+open Certdb_values
+
+(** [is_hom h d d'] checks that the valuation [h] maps every fact of [d]
+    into [d']. *)
+val is_hom : Valuation.t -> Instance.t -> Instance.t -> bool
+
+(** [find d d'] searches for a homomorphism [d → d']. *)
+val find : Instance.t -> Instance.t -> Valuation.t option
+
+val exists : Instance.t -> Instance.t -> bool
+
+(** [find_onto d d'] searches for a homomorphism whose fact image is all of
+    [d'] — the CWA ordering's witness ([D ⊑cwa D′]). *)
+val find_onto : Instance.t -> Instance.t -> Valuation.t option
+
+val exists_onto : Instance.t -> Instance.t -> bool
+
+(** [iter d d' f] enumerates homomorphisms until [f] returns [`Stop].  Only
+    bindings of nulls occurring in [d] are reported. *)
+val iter :
+  Instance.t -> Instance.t -> (Valuation.t -> [ `Continue | `Stop ]) -> unit
+
+val count : Instance.t -> Instance.t -> int
+
+(** [iter_seeded ?init d d' f] is [iter] starting from the partial valuation
+    [init]. *)
+val iter_seeded :
+  ?init:Valuation.t ->
+  Instance.t ->
+  Instance.t ->
+  (Valuation.t -> [ `Continue | `Stop ]) ->
+  unit
+
+(** [find_seeded ?init d d'] is [find] starting from the partial valuation
+    [init] (pinning chosen null bindings). *)
+val find_seeded : ?init:Valuation.t -> Instance.t -> Instance.t -> Valuation.t option
+
+(** [endomorphism_folding d] finds, if any, an endomorphism of [d] that
+    identifies two distinct facts (the seed of core folding). *)
+val endomorphism_folding : Instance.t -> Valuation.t option

@@ -1,0 +1,121 @@
+open Certdb_values
+
+type fact = { rel : string; args : Value.t array }
+
+let fact rel args = { rel; args = Array.of_list args }
+
+let compare_fact f1 f2 =
+  match String.compare f1.rel f2.rel with
+  | 0 ->
+    let c = Int.compare (Array.length f1.args) (Array.length f2.args) in
+    if c <> 0 then c
+    else
+      let rec go i =
+        if i = Array.length f1.args then 0
+        else
+          match Value.compare f1.args.(i) f2.args.(i) with
+          | 0 -> go (i + 1)
+          | c -> c
+      in
+      go 0
+  | c -> c
+
+let pp_fact ppf f =
+  Format.fprintf ppf "%s(%a)" f.rel
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       Value.pp)
+    (Array.to_list f.args)
+
+module Fact_set = Set.Make (struct
+  type t = fact
+
+  let compare = compare_fact
+end)
+
+type t = Fact_set.t
+
+let empty = Fact_set.empty
+let add t f = Fact_set.add f t
+let add_fact t rel args = add t (fact rel args)
+let of_facts fs = List.fold_left add empty fs
+
+let of_list l =
+  List.fold_left
+    (fun t (rel, tuples) ->
+      List.fold_left (fun t args -> add_fact t rel args) t tuples)
+    empty l
+
+let facts t = Fact_set.elements t
+
+let tuples t rel =
+  Fact_set.fold
+    (fun f acc -> if String.equal f.rel rel then f.args :: acc else acc)
+    t []
+  |> List.rev
+
+let relations t =
+  Fact_set.fold
+    (fun f acc -> if List.mem f.rel acc then acc else f.rel :: acc)
+    t []
+  |> List.rev
+
+let mem t f = Fact_set.mem f t
+let cardinal = Fact_set.cardinal
+let is_empty = Fact_set.is_empty
+let union = Fact_set.union
+let filter = Fact_set.filter
+let fold f t init = Fact_set.fold f t init
+
+let schema t =
+  fold (fun f s -> Schema.add s f.rel (Array.length f.args)) t Schema.empty
+
+let values_satisfying p t =
+  fold
+    (fun f acc ->
+      Array.fold_left
+        (fun acc v -> if p v then Value.Set.add v acc else acc)
+        acc f.args)
+    t Value.Set.empty
+
+let nulls t = values_satisfying Value.is_null t
+let constants t = values_satisfying Value.is_const t
+let active_domain t = values_satisfying (fun _ -> true) t
+let is_complete t = Value.Set.is_empty (nulls t)
+
+let pi_cpl t =
+  filter (fun f -> Array.for_all Value.is_const f.args) t
+
+let apply h t =
+  fold
+    (fun f acc -> add acc { f with args = Valuation.apply_array h f.args })
+    t empty
+
+let rename_apart ~avoid t =
+  let renaming =
+    Value.Set.fold
+      (fun n h ->
+        let rec fresh () =
+          let n' = Value.fresh_null () in
+          if Value.Set.mem n' avoid then fresh () else n'
+        in
+        Valuation.bind h n (fresh ()))
+      (nulls t) Valuation.empty
+  in
+  (apply renaming t, renaming)
+
+let ground t =
+  let grounding =
+    Valuation.grounding_of_nulls ~avoid:(constants t) (nulls t)
+  in
+  apply grounding t
+
+let equal = Fact_set.equal
+let compare = Fact_set.compare
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>{%a}@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       pp_fact)
+    (facts t)

@@ -1,0 +1,64 @@
+(** Incomplete relational instances — naïve databases (Section 2.1): finite
+    sets of facts [R(v̄)] with values over [C ∪ N].  A null may occur any
+    number of times; instances where each null occurs at most once are Codd
+    databases (see {!Codd}). *)
+
+open Certdb_values
+
+type fact = { rel : string; args : Value.t array }
+
+val fact : string -> Value.t list -> fact
+val pp_fact : Format.formatter -> fact -> unit
+val compare_fact : fact -> fact -> int
+
+type t
+
+val empty : t
+val add : t -> fact -> t
+val add_fact : t -> string -> Value.t list -> t
+val of_facts : fact list -> t
+
+(** [of_list l] builds an instance from [(rel, args)] pairs. *)
+val of_list : (string * Value.t list list) list -> t
+
+val facts : t -> fact list
+val tuples : t -> string -> Value.t array list
+val relations : t -> string list
+val mem : t -> fact -> bool
+val cardinal : t -> int
+val is_empty : t -> bool
+val union : t -> t -> t
+val filter : (fact -> bool) -> t -> t
+val fold : (fact -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** [schema t] is the schema inferred from the facts.
+    @raise Invalid_argument if a relation occurs with two arities. *)
+val schema : t -> Schema.t
+
+(** {1 Values} *)
+
+val nulls : t -> Value.Set.t
+val constants : t -> Value.Set.t
+val active_domain : t -> Value.Set.t
+
+(** [is_complete t] iff no null occurs in [t]. *)
+val is_complete : t -> bool
+
+(** [pi_cpl t] removes every fact containing a null — the greatest complete
+    object below [t] (the retraction [πcpl] of Section 3). *)
+val pi_cpl : t -> t
+
+(** [apply h t] is [h(t)]: the image of every fact under the valuation. *)
+val apply : Valuation.t -> t -> t
+
+(** [rename_apart ~avoid t] renames the nulls of [t] injectively to fresh
+    nulls outside [avoid]; returns the renamed instance and the renaming. *)
+val rename_apart : avoid:Value.Set.t -> t -> t * Valuation.t
+
+(** [ground t] replaces each null by a distinct fresh constant (the
+    canonical completion used throughout the paper's proofs). *)
+val ground : t -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,9 @@
+open Certdb_values
+
+let pair d d' =
+  let avoid = Value.Set.union (Instance.nulls d) (Instance.nulls d') in
+  let renamed, _ = Instance.rename_apart ~avoid d' in
+  Instance.union d renamed
+
+let family = List.fold_left pair Instance.empty
+let canonical xs = Core_instance.core (family xs)

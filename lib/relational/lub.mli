@@ -1,0 +1,15 @@
+(** Least upper bounds of naïve databases: disjoint union after renaming
+    nulls apart (Section 4, "the lattice of cores"; used by Theorem 5 where
+    [∨M(D)] is the canonical universal solution and its core is the core
+    solution). *)
+
+(** [pair d d'] is [d ⊔ d'] with the nulls of [d'] renamed apart from
+    those of [d]; the result is a least upper bound of [{d, d'}] in [⊑]. *)
+val pair : Instance.t -> Instance.t -> Instance.t
+
+(** [family xs] folds [pair]; [Instance.empty] for []. *)
+val family : Instance.t list -> Instance.t
+
+(** [canonical xs] is [core (family xs)] — the canonical representative of
+    [∨X]. *)
+val canonical : Instance.t list -> Instance.t

@@ -1,0 +1,43 @@
+(** The orderings on naïve databases studied in Sections 2 and 4:
+
+    - the information ordering [⊑] ([D ⊑ D′ ⇔ [[D′]] ⊆ [[D]]]),
+      characterized by homomorphisms (Prop. 3);
+    - the 1990s ordering [⪯] (tuple-wise dominance lifted by the Hoare
+      powerdomain order), which coincides with [⊑] exactly on Codd
+      databases (Prop. 4);
+    - the CWA ordering [⊑cwa] (onto homomorphisms), which over Codd
+      databases is [⪯] plus Hall's condition on [⪯⁻¹] (Prop. 8);
+    - the Plotkin lift [≼] used for CWA in the 1990s. *)
+
+open Certdb_values
+
+(** [tuple_leq t t'] — [⪯] on tuples: positionwise, each null is below
+    everything, each constant only below itself. *)
+val tuple_leq : Value.t array -> Value.t array -> bool
+
+(** [leq d d'] — the information ordering [⊑] via homomorphism existence. *)
+val leq : Instance.t -> Instance.t -> bool
+
+val equiv : Instance.t -> Instance.t -> bool
+val strictly_less : Instance.t -> Instance.t -> bool
+val incomparable : Instance.t -> Instance.t -> bool
+
+(** [hoare_leq d d'] — [D ⪯ D′]: every fact of [d] is dominated by a fact
+    of [d'] (same relation).  Quadratic time. *)
+val hoare_leq : Instance.t -> Instance.t -> bool
+
+(** [plotkin_leq d d'] — the Plotkin lift: [hoare_leq d d'] and every fact
+    of [d'] dominates some fact of [d]. *)
+val plotkin_leq : Instance.t -> Instance.t -> bool
+
+(** [cwa_leq d d'] — [⊑cwa]: existence of an onto homomorphism. *)
+val cwa_leq : Instance.t -> Instance.t -> bool
+
+(** [cwa_leq_codd d d'] — the Prop. 8 characterization, valid when [d] is
+    Codd: [d ⪯ d'] and [⪯⁻¹] satisfies Hall's condition (checked with
+    Hopcroft–Karp).  Polynomial time. *)
+val cwa_leq_codd : Instance.t -> Instance.t -> bool
+
+(** [hall_condition d d'] — does the relation from facts of [d'] to the
+    facts of [d] below them admit a matching saturating [d']? *)
+val hall_condition : Instance.t -> Instance.t -> bool

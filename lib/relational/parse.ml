@@ -1,0 +1,174 @@
+open Certdb_values
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* Tokenizer: identifiers, integers, quoted strings, punctuation. *)
+type token =
+  | Ident of string
+  | Number of int
+  | Quoted of string
+  | Null_name of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Semi
+
+let tokenize s =
+  let n = String.length s in
+  let tokens = ref [] in
+  let i = ref 0 in
+  let is_ident_char c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_'
+  in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '(' then begin
+      tokens := Lparen :: !tokens;
+      incr i
+    end
+    else if c = ')' then begin
+      tokens := Rparen :: !tokens;
+      incr i
+    end
+    else if c = ',' then begin
+      tokens := Comma :: !tokens;
+      incr i
+    end
+    else if c = ';' then begin
+      tokens := Semi :: !tokens;
+      incr i
+    end
+    else if c = '"' then begin
+      let j = ref (!i + 1) in
+      while !j < n && s.[!j] <> '"' do
+        incr j
+      done;
+      if !j >= n then fail "unterminated string literal";
+      tokens := Quoted (String.sub s (!i + 1) (!j - !i - 1)) :: !tokens;
+      i := !j + 1
+    end
+    else if c = '-' || (c >= '0' && c <= '9') then begin
+      let j = ref (!i + 1) in
+      while !j < n && s.[!j] >= '0' && s.[!j] <= '9' do
+        incr j
+      done;
+      let lit = String.sub s !i (!j - !i) in
+      (match int_of_string_opt lit with
+      | Some k -> tokens := Number k :: !tokens
+      | None -> fail "bad number %S" lit);
+      i := !j
+    end
+    else if c = '_' then begin
+      let j = ref (!i + 1) in
+      while !j < n && is_ident_char s.[!j] do
+        incr j
+      done;
+      if !j = !i + 1 then fail "null name expected after '_'";
+      tokens := Null_name (String.sub s (!i + 1) (!j - !i - 1)) :: !tokens;
+      i := !j
+    end
+    else if is_ident_char c then begin
+      let j = ref (!i + 1) in
+      while !j < n && is_ident_char s.[!j] do
+        incr j
+      done;
+      tokens := Ident (String.sub s !i (!j - !i)) :: !tokens;
+      i := !j
+    end
+    else fail "unexpected character %C" c
+  done;
+  List.rev !tokens
+
+let instance ?(bindings = []) s =
+  let tokens = ref (tokenize s) in
+  let nulls = Hashtbl.create 8 in
+  List.iter (fun (name, v) -> Hashtbl.replace nulls name v) bindings;
+  let null_of name =
+    match Hashtbl.find_opt nulls name with
+    | Some v -> v
+    | None ->
+      let v = Value.fresh_null () in
+      Hashtbl.add nulls name v;
+      v
+  in
+  let next () =
+    match !tokens with
+    | [] -> None
+    | t :: rest ->
+      tokens := rest;
+      Some t
+  in
+  let expect what pred =
+    match next () with
+    | Some t when pred t -> t
+    | _ -> fail "expected %s" what
+  in
+  let parse_value () =
+    match next () with
+    | Some (Number k) -> Value.int k
+    | Some (Quoted str) -> Value.str str
+    | Some (Ident str) -> Value.str str
+    | Some (Null_name name) -> null_of name
+    | _ -> fail "expected a value"
+  in
+  let parse_fact rel =
+    ignore (expect "'('" (fun t -> t = Lparen));
+    let args = ref [] in
+    (match !tokens with
+    | Rparen :: rest -> tokens := rest
+    | _ ->
+      let rec loop () =
+        args := parse_value () :: !args;
+        match next () with
+        | Some Comma -> loop ()
+        | Some Rparen -> ()
+        | _ -> fail "expected ',' or ')'"
+      in
+      loop ());
+    Instance.fact rel (List.rev !args)
+  in
+  let facts = ref [] in
+  let rec loop () =
+    match next () with
+    | None -> ()
+    | Some (Ident rel) ->
+      facts := parse_fact rel :: !facts;
+      (match next () with
+      | Some Semi -> loop ()
+      | None -> ()
+      | _ -> fail "expected ';' between facts")
+    | Some Semi -> loop ()
+    | _ -> fail "expected a relation name"
+  in
+  loop ();
+  let bindings =
+    Hashtbl.fold (fun name v acc -> (name, v) :: acc) nulls []
+  in
+  (Instance.of_facts (List.rev !facts), bindings)
+
+let value s =
+  match tokenize s with
+  | [ Number k ] -> Value.int k
+  | [ Quoted str ] | [ Ident str ] -> Value.str str
+  | [ Null_name _ ] -> Value.fresh_null ()
+  | _ -> fail "expected a single value"
+
+let value_to_string v =
+  match v with
+  | Value.Const (Value.Int k) -> string_of_int k
+  | Value.Const (Value.Str s) -> Printf.sprintf "%S" s
+  | Value.Null i -> Printf.sprintf "_n%d" i
+
+let to_string d =
+  Instance.facts d
+  |> List.map (fun (f : Instance.fact) ->
+         Printf.sprintf "%s(%s)" f.rel
+           (String.concat ", "
+              (List.map value_to_string (Array.to_list f.args))))
+  |> String.concat "; "

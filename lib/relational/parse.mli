@@ -1,0 +1,32 @@
+(** A small concrete syntax for naïve databases and facts, used by the
+    [certdb] command-line tool and handy in tests:
+
+    {v
+      R(1, 2, _x); R(_y, _x, 3); S("ann", _z)
+    v}
+
+    Values: integers, double-quoted strings, and nulls written [_name]
+    (each distinct name denotes a distinct null; names are scoped to one
+    parse). *)
+
+open Certdb_values
+
+(** [instance ?bindings s] parses a semicolon-separated list of facts.
+    Returns the instance and the name→null bindings used; [bindings] seeds
+    the table so that several fragments can share nulls by name (e.g. the
+    two sides of a tgd).
+    @raise Parse_error on malformed input. *)
+val instance :
+  ?bindings:(string * Value.t) list ->
+  string ->
+  Instance.t * (string * Value.t) list
+
+exception Parse_error of string
+
+(** [value s] parses a single value ([42], ["str"], [_x] — the null name is
+    fresh). *)
+val value : string -> Value.t
+
+(** [to_string d] prints an instance back in the concrete syntax (null
+    names are [_n<id>]). *)
+val to_string : Instance.t -> string

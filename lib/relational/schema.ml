@@ -1,0 +1,37 @@
+module String_map = Map.Make (String)
+
+type t = int String_map.t
+
+let empty = String_map.empty
+
+let add t name arity =
+  match String_map.find_opt name t with
+  | Some a when a <> arity ->
+    invalid_arg
+      (Printf.sprintf "Schema.add: %s redeclared with arity %d (was %d)" name
+         arity a)
+  | _ -> String_map.add name arity t
+
+let of_list l = List.fold_left (fun t (n, a) -> add t n a) empty l
+let arity t name = String_map.find_opt name t
+let mem t name = String_map.mem name t
+let relations t = String_map.bindings t
+
+let union t1 t2 =
+  String_map.union
+    (fun name a1 a2 ->
+      if a1 = a2 then Some a1
+      else
+        invalid_arg
+          (Printf.sprintf "Schema.union: %s has arities %d and %d" name a1 a2))
+    t1 t2
+
+let conforms t ~rel ~arity =
+  match String_map.find_opt rel t with Some a -> a = arity | None -> false
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       (fun ppf (n, a) -> Format.fprintf ppf "%s/%d" n a))
+    (relations t)

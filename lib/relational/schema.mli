@@ -1,0 +1,16 @@
+(** Relational schemas: finite sets of relation names with arities. *)
+
+type t
+
+val empty : t
+val add : t -> string -> int -> t
+val of_list : (string * int) list -> t
+val arity : t -> string -> int option
+val mem : t -> string -> bool
+val relations : t -> (string * int) list
+val union : t -> t -> t
+
+(** [conforms schema ~rel ~arity] iff [rel] is declared with [arity]. *)
+val conforms : t -> rel:string -> arity:int -> bool
+
+val pp : Format.formatter -> t -> unit

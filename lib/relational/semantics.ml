@@ -1,0 +1,53 @@
+open Certdb_values
+
+let mem r d =
+  Instance.is_complete r && Hom.exists d r
+
+let sample_valuations ?(extra = Value.Set.empty) d =
+  let nulls = Value.Set.elements (Instance.nulls d) in
+  let k = List.length nulls in
+  (* k+1 fresh constants: every null can be distinct from all others and,
+     for any single fresh constant, some valuation avoids it — so spurious
+     answer tuples over fresh constants cannot survive the intersection. *)
+  let fresh = List.init (k + 1) (fun _ -> Value.fresh_const ()) in
+  let candidates =
+    Value.Set.elements
+      (Value.Set.union (Instance.constants d) extra)
+    @ fresh
+  in
+  let rec assign acc = function
+    | [] -> [ acc ]
+    | n :: rest ->
+      List.concat_map
+        (fun c -> assign (Valuation.bind acc n c) rest)
+        candidates
+  in
+  assign Valuation.empty nulls
+
+let sample_completions ?extra d =
+  List.map (fun h -> (h, Instance.apply h d)) (sample_valuations ?extra d)
+
+(* OWA worlds beyond plain groundings: each grounding optionally augmented
+   with one extra fact per relation over fresh constants.  These catch the
+   typical failures of naïve evaluation on non-monotone queries, which are
+   insensitive to groundings but break under supersets. *)
+let sample_worlds ?extra d =
+  let completions = List.map snd (sample_completions ?extra d) in
+  let noisy r =
+    let sch = Instance.schema r in
+    List.fold_left
+      (fun acc (rel, arity) ->
+        Instance.add_fact acc rel
+          (List.init arity (fun _ -> Value.fresh_const ())))
+      r (Schema.relations sch)
+  in
+  completions @ List.map noisy completions
+
+let certain_answers_by_enumeration q d =
+  match sample_completions d with
+  | [] -> q d
+  | (_, r0) :: rest ->
+    List.fold_left
+      (fun acc (_, r) ->
+        Instance.filter (fun f -> Instance.mem (q r) f) acc)
+      (q r0) rest

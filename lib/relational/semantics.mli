@@ -1,0 +1,39 @@
+(** The semantics [[D]] of incomplete databases: the complete databases
+    admitting a homomorphism from [D] (Section 2.1).
+
+    [[D]] is infinite; for testing and for reference implementations of
+    certain answers we use the standard finite-witness sample: valuations
+    of the nulls into the active domain of [D] (plus the constants of an
+    optional extra set) together with as many fresh constants as there are
+    nulls.  For the FO-definable properties exercised in this repository,
+    genericity makes this sample adequate (each proof in the paper's
+    appendix uses exactly such fresh-constant completions). *)
+
+open Certdb_values
+
+(** [mem r d] — the membership problem: is the complete instance [r] in
+    [[d]]?  (NP in general; see {!Codd.leq} and the GDM membership module
+    for the PTIME cases.) *)
+val mem : Instance.t -> Instance.t -> bool
+
+(** [sample_completions ?extra d] enumerates the grounding valuations of
+    [d] into [adom(d) ∪ extra ∪ {fresh constants}], and the corresponding
+    completions.  The number of completions is [m^k] for [k] nulls and [m]
+    candidate constants — use on small instances only. *)
+val sample_completions :
+  ?extra:Value.Set.t -> Instance.t -> (Valuation.t * Instance.t) list
+
+(** [sample_valuations ?extra d] — just the grounding valuations. *)
+val sample_valuations : ?extra:Value.Set.t -> Instance.t -> Valuation.t list
+
+(** [sample_worlds ?extra d] — a finite OWA sample of [[d]]: all sampled
+    completions plus, for each, a strict superset with one extra fact per
+    relation over fresh constants.  Unlike plain groundings this can refute
+    certainty of non-monotone queries (the failures Prop. 1 is about). *)
+val sample_worlds : ?extra:Value.Set.t -> Instance.t -> Instance.t list
+
+(** [certain_answers_by_enumeration q d] — reference implementation of
+    [certain(Q, D) = ⋂ { Q(R) | R ∈ [[D]] }] over the finite sample, where
+    [q] evaluates the query on a complete instance.  Exponential. *)
+val certain_answers_by_enumeration :
+  (Instance.t -> Instance.t) -> Instance.t -> Instance.t

@@ -1,0 +1,44 @@
+type key = Value.t * Value.t
+
+module Key_map = Map.Make (struct
+  type t = key
+
+  let compare (a, b) (c, d) =
+    match Value.compare a c with 0 -> Value.compare b d | n -> n
+end)
+
+type t = { mutable table : Value.t Key_map.t }
+
+let create () = { table = Key_map.empty }
+
+let value reg x y =
+  match x, y with
+  | Value.Const _, Value.Const _ when Value.equal x y -> x
+  | _ -> (
+    match Key_map.find_opt (x, y) reg.table with
+    | Some n -> n
+    | None ->
+      let n = Value.fresh_null () in
+      reg.table <- Key_map.add (x, y) n reg.table;
+      n)
+
+let arrays reg xs ys =
+  if Array.length xs <> Array.length ys then
+    invalid_arg "Merge.arrays: length mismatch";
+  Array.map2 (value reg) xs ys
+
+let lists reg xs ys =
+  if List.length xs <> List.length ys then
+    invalid_arg "Merge.lists: length mismatch";
+  List.map2 (value reg) xs ys
+
+let left_valuation reg =
+  Key_map.fold (fun (x, _) n h -> Valuation.bind h n x) reg.table
+    Valuation.empty
+
+let right_valuation reg =
+  Key_map.fold (fun (_, y) n h -> Valuation.bind h n y) reg.table
+    Valuation.empty
+
+let pairs reg =
+  Key_map.fold (fun (x, y) n acc -> (x, y, n) :: acc) reg.table []

@@ -1,0 +1,31 @@
+(** The tuple-merge operation [⊗] of equation (1) in the paper, shared by
+    the relational glb (Prop. 5) and the generalized-database glb (Thm 4):
+
+    {v (a1..am) ⊗ (b1..bm) = (c1..cm)
+       where ci = ai           if ai = bi ∈ C
+                | ⊥(ai,bi)     otherwise v}
+
+    The pair nulls [⊥(x,y)] are allocated from a registry so that the same
+    pair always yields the same null within one merge session, and all the
+    allocated nulls are fresh (outside any previously created null). *)
+
+type t
+(** A merge session: remembers the 1-1 assignment (x,y) ↦ ⊥xy. *)
+
+val create : unit -> t
+
+(** [value reg x y] is [x ⊗ y]. *)
+val value : t -> Value.t -> Value.t -> Value.t
+
+val arrays : t -> Value.t array -> Value.t array -> Value.t array
+val lists : t -> Value.t list -> Value.t list -> Value.t list
+
+(** [left_valuation reg] maps every allocated [⊥xy] back to [x]; this is the
+    homomorphism witnessing [R ⊗ R' ⊑ R] in Prop. 5.  Likewise
+    [right_valuation]. *)
+val left_valuation : t -> Valuation.t
+
+val right_valuation : t -> Valuation.t
+
+(** [pairs reg] lists the allocated pair nulls with their components. *)
+val pairs : t -> (Value.t * Value.t * Value.t) list

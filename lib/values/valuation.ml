@@ -1,0 +1,114 @@
+type t = Value.t Value.Map.t
+
+let empty = Value.Map.empty
+
+let bind h n v =
+  if not (Value.is_null n) then
+    invalid_arg "Valuation.bind: domain element is not a null";
+  match Value.Map.find_opt n h with
+  | Some v' when not (Value.equal v v') ->
+    invalid_arg "Valuation.bind: conflicting binding"
+  | _ -> Value.Map.add n v h
+
+let bind_opt h n v =
+  if not (Value.is_null n) then None
+  else
+    match Value.Map.find_opt n h with
+    | Some v' -> if Value.equal v v' then Some h else None
+    | None -> Some (Value.Map.add n v h)
+
+let find h n = Value.Map.find_opt n h
+
+let apply h v =
+  if Value.is_const v then v
+  else match Value.Map.find_opt v h with Some v' -> v' | None -> v
+
+let apply_list h vs = List.map (apply h) vs
+let apply_array h vs = Array.map (apply h) vs
+
+let unify h u v =
+  let u' = apply h u in
+  if Value.equal u' v then Some h
+  else if Value.is_null u' then bind_opt h u' v
+  else None
+
+let rec unify_lists h us vs =
+  match us, vs with
+  | [], [] -> Some h
+  | u :: us', v :: vs' -> (
+    match unify h u v with
+    | Some h' -> unify_lists h' us' vs'
+    | None -> None)
+  | _ -> None
+
+let unify_arrays h us vs =
+  if Array.length us <> Array.length vs then None
+  else
+    let n = Array.length us in
+    let rec go h i =
+      if i = n then Some h
+      else
+        match unify h us.(i) vs.(i) with
+        | Some h' -> go h' (i + 1)
+        | None -> None
+    in
+    go h 0
+
+let extend_match_value h u v =
+  if Value.is_const u then if Value.equal u v then Some h else None
+  else
+    match Value.Map.find_opt u h with
+    | Some w -> if Value.equal w v then Some h else None
+    | None -> Some (Value.Map.add u v h)
+
+let extend_match h us vs =
+  let n = Array.length us in
+  if n <> Array.length vs then None
+  else
+    let rec go h i =
+      if i = n then Some h
+      else
+        match extend_match_value h us.(i) vs.(i) with
+        | Some h' -> go h' (i + 1)
+        | None -> None
+    in
+    go h 0
+
+let of_list l = List.fold_left (fun h (n, v) -> bind h n v) empty l
+let bindings h = Value.Map.bindings h
+let domain h = Value.Map.fold (fun n _ s -> Value.Set.add n s) h Value.Set.empty
+let range h = Value.Map.fold (fun _ v s -> Value.Set.add v s) h Value.Set.empty
+let cardinal = Value.Map.cardinal
+let is_grounding h = Value.Map.for_all (fun _ v -> Value.is_const v) h
+
+let is_injective h =
+  let seen = Hashtbl.create 16 in
+  Value.Map.for_all
+    (fun _ v ->
+      if Hashtbl.mem seen v then false
+      else begin
+        Hashtbl.add seen v ();
+        true
+      end)
+    h
+
+let compose f g =
+  let applied = Value.Map.map (fun v -> apply g v) f in
+  Value.Map.union (fun _ v _ -> Some v) applied g
+
+let grounding_of_nulls ?(avoid = Value.Set.empty) nulls =
+  let rec fresh () =
+    let c = Value.fresh_const () in
+    if Value.Set.mem c avoid then fresh () else c
+  in
+  Value.Set.fold (fun n h -> bind h n (fresh ())) nulls empty
+
+let pp ppf h =
+  let pp_binding ppf (n, v) =
+    Format.fprintf ppf "%a -> %a" Value.pp n Value.pp v
+  in
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       pp_binding)
+    (bindings h)

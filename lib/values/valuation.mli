@@ -1,0 +1,70 @@
+(** Valuations of nulls: finite partial maps from nulls to values.  A
+    valuation [h] is extended to the identity on constants, as in the paper's
+    definition of homomorphisms.  Valuations whose range contains only
+    constants witness membership of a completion in [[D]]. *)
+
+type t
+
+val empty : t
+
+(** [bind h n v] binds null [n] to [v].  @raise Invalid_argument if [n] is
+    not a null, or if [n] is already bound to a different value. *)
+val bind : t -> Value.t -> Value.t -> t
+
+(** [bind_opt h n v] is [Some (bind h n v)] unless [n] is bound to a
+    conflicting value, in which case it is [None]. *)
+val bind_opt : t -> Value.t -> Value.t -> t option
+
+val find : t -> Value.t -> Value.t option
+
+(** [apply h v] is [h(v)]: the binding of [v] if [v] is a bound null, [v]
+    itself if [v] is a constant or an unbound null. *)
+val apply : t -> Value.t -> Value.t
+
+val apply_list : t -> Value.t list -> Value.t list
+val apply_array : t -> Value.t array -> Value.t array
+
+(** [unify h u v] refines [h] so that [h(u) = v], binding the null [u] when
+    needed.  Returns [None] on clash (distinct constants, or a conflicting
+    earlier binding). *)
+val unify : t -> Value.t -> Value.t -> t option
+
+(** [unify_lists h us vs] unifies pointwise; [None] on length mismatch or
+    clash. *)
+val unify_lists : t -> Value.t list -> Value.t list -> t option
+
+val unify_arrays : t -> Value.t array -> Value.t array -> t option
+
+(** [extend_match h us vs] extends [h] so that the {e image} of [us] under
+    the homomorphism [h] equals [vs]: constants must match exactly, a bound
+    null's image must match exactly (a homomorphism applies once, never
+    iterated), an unbound null gets bound.  This is the unification step of
+    every homomorphism search in the library; contrast with {!unify}, which
+    chases bindings. *)
+val extend_match : t -> Value.t array -> Value.t array -> t option
+
+(** [extend_match_value h u v] — single-position [extend_match]. *)
+val extend_match_value : t -> Value.t -> Value.t -> t option
+
+val of_list : (Value.t * Value.t) list -> t
+val bindings : t -> (Value.t * Value.t) list
+val domain : t -> Value.Set.t
+val range : t -> Value.Set.t
+val cardinal : t -> int
+
+(** [is_grounding h] holds when every value in the range of [h] is a
+    constant. *)
+val is_grounding : t -> bool
+
+(** [is_injective h] holds when no two nulls are bound to the same value. *)
+val is_injective : t -> bool
+
+(** [compose f g] is the valuation mapping [n] to [g(f(n))] for [n] in the
+    domain of [f], and agreeing with [g] on nulls outside it. *)
+val compose : t -> t -> t
+
+(** [grounding_of_nulls ?avoid nulls] maps each null in [nulls] to a distinct
+    fresh constant not occurring in [avoid]. *)
+val grounding_of_nulls : ?avoid:Value.Set.t -> Value.Set.t -> t
+
+val pp : Format.formatter -> t -> unit

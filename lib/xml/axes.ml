@@ -1,0 +1,77 @@
+open Certdb_gdm
+
+type axis =
+  [ `Child
+  | `Descendant
+  | `Next_sibling
+  | `Sibling_order
+  ]
+
+let rel_name = function
+  | `Child -> "child"
+  | `Descendant -> "descendant"
+  | `Next_sibling -> "next_sibling"
+  | `Sibling_order -> "sibling_order"
+
+type walked = W of int * Tree.t * walked list
+
+let to_gdb ~axes t =
+  let counter = ref 0 in
+  (* first pass: assign preorder ids *)
+  let rec walk (t : Tree.t) =
+    let id = !counter in
+    incr counter;
+    let children = List.map walk t.children in
+    W (id, t, children)
+  in
+  let root = walk t in
+  let db = ref Gdb.empty in
+  let rec add_nodes (W (id, t, children)) =
+    db := Gdb.add_node !db ~node:id ~label:t.label ~data:(Array.to_list t.data);
+    List.iter add_nodes children
+  in
+  add_nodes root;
+  let rec all_ids (W (id, _, children)) =
+    id :: List.concat_map all_ids children
+  in
+  let rec add_edges (W (id, _, children)) =
+    let child_ids = List.map (fun (W (cid, _, _)) -> cid) children in
+    if List.mem `Child axes then
+      List.iter
+        (fun cid -> db := Gdb.add_tuple !db (rel_name `Child) [ id; cid ])
+        child_ids;
+    if List.mem `Descendant axes then
+      List.iter
+        (fun c ->
+          List.iter
+            (fun did ->
+              db := Gdb.add_tuple !db (rel_name `Descendant) [ id; did ])
+            (all_ids c))
+        children;
+    if List.mem `Next_sibling axes then begin
+      let rec pairs = function
+        | a :: (b :: _ as rest) ->
+          db := Gdb.add_tuple !db (rel_name `Next_sibling) [ a; b ];
+          pairs rest
+        | _ -> ()
+      in
+      pairs child_ids
+    end;
+    if List.mem `Sibling_order axes then
+      List.iteri
+        (fun i a ->
+          List.iteri
+            (fun j b ->
+              if i < j then
+                db := Gdb.add_tuple !db (rel_name `Sibling_order) [ a; b ])
+            child_ids)
+        child_ids;
+    List.iter add_edges children
+  in
+  add_edges root;
+  !db
+
+let leq ~axes t t' = Gordering.leq (to_gdb ~axes t) (to_gdb ~axes t')
+
+let schema ~axes ~alphabet =
+  Gschema.make ~alphabet ~sigma:(List.map (fun a -> (rel_name a, 2)) axes)

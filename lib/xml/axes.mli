@@ -1,0 +1,30 @@
+(** Richer structural vocabularies for trees (Section 5.1 remarks that σ
+    may contain axes beyond the child relation — e.g. next-sibling).  This
+    module codes a tree into a generalized database over a chosen set of
+    axes; homomorphisms of the resulting databases then preserve those
+    axes, which reconciles the ordered-tree homomorphisms of Prop. 6 with
+    the uniform GDM view (a gdm-hom over [`Sibling_order] is exactly an
+    order-preserving tree homomorphism). *)
+
+open Certdb_gdm
+
+type axis =
+  [ `Child
+  | `Descendant
+  | `Next_sibling
+  | `Sibling_order (* x strictly before y among the same node's children *)
+  ]
+
+(** Relation name used for each axis in the structural vocabulary. *)
+val rel_name : axis -> string
+
+(** [to_gdb ~axes t] — nodes numbered in preorder (root 0), one σ-relation
+    per requested axis. *)
+val to_gdb : axes:axis list -> Tree.t -> Gdb.t
+
+(** [leq ~axes t t'] — the information ordering with the given axes in the
+    vocabulary. *)
+val leq : axes:axis list -> Tree.t -> Tree.t -> bool
+
+(** [schema ~axes ~alphabet] — the corresponding generalized schema. *)
+val schema : axes:axis list -> alphabet:(string * int) list -> Gschema.t

@@ -1,0 +1,48 @@
+let prop10_quadruple () =
+  let t1 = Tree.node "a" [ Tree.leaf "b" ] in
+  let t2 = Tree.node "a" [ Tree.leaf "c" ] in
+  let t' = Tree.node "a" [ Tree.leaf "b"; Tree.leaf "c" ] in
+  let t'' =
+    Tree.node "d"
+      [ Tree.node "a" [ Tree.leaf "b" ]; Tree.node "a" [ Tree.leaf "c" ] ]
+  in
+  (t1, t2, t', t'')
+
+(* Small data-free trees: all shapes with ≤ 2 levels below the root over
+   labels {a,b,c,d}, each node having at most 2 children drawn from
+   leaves. *)
+let small_tree_pool () =
+  let labels = [ "a"; "b"; "c"; "d" ] in
+  let leaves = List.map Tree.leaf labels in
+  let depth2 =
+    List.concat_map
+      (fun l ->
+        List.concat_map
+          (fun c1 ->
+            Tree.node l [ c1 ]
+            :: List.map (fun c2 -> Tree.node l [ c1; c2 ]) leaves)
+          leaves)
+      labels
+  in
+  let depth3 =
+    List.concat_map
+      (fun l ->
+        List.filter_map
+          (fun (t : Tree.t) ->
+            if t.children <> [] then Some (Tree.node l [ t ]) else None)
+          depth2)
+      [ "a"; "d" ]
+  in
+  leaves @ depth2 @ depth3
+
+let prop10_check () =
+  let t1, t2, t', t'' = prop10_quadruple () in
+  let upper t = Tree_hom.leq t1 t && Tree_hom.leq t2 t in
+  (* both t' and t'' are upper bounds *)
+  upper t' && upper t''
+  (* and no pool element is an upper bound below both *)
+  && not
+       (List.exists
+          (fun t ->
+            upper t && Tree_hom.leq t t' && Tree_hom.leq t t'')
+          (small_tree_pool ()))

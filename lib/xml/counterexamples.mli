@@ -1,0 +1,19 @@
+(** The paper's tree counterexamples.
+
+    Prop. 10: least upper bounds need not exist for unordered labeled
+    trees.  With [t1 = a[b]], [t2 = a[c]], both [t' = a[b;c]] and
+    [t'' = d[a[b]; a[c]]] are upper bounds, but any common upper bound [t]
+    of [t1, t2] below both would need its images of the two a-nodes to
+    either share a node (then [t ⋢ t'']) or be disjoint (then [t ⋢ t']). *)
+
+(** [(t1, t2, t', t'')] as above. *)
+val prop10_quadruple : unit -> Tree.t * Tree.t * Tree.t * Tree.t
+
+(** [prop10_check ()] — runs the complete argument over the quadruple plus
+    a pool of candidate bounds; returns true when the counterexample
+    behaves as Prop. 10 states. *)
+val prop10_check : unit -> bool
+
+(** A pool of small data-free trees over labels a,b,c,d (depth ≤ 3), used
+    to search for bounds exhaustively. *)
+val small_tree_pool : unit -> Tree.t list

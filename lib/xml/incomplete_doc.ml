@@ -1,0 +1,197 @@
+open Certdb_values
+
+type edge =
+  | Child
+  | Descendant
+
+type t = {
+  label : string option;
+  data : Value.t array;
+  edges : (edge * t) list;
+}
+
+let node ?label ?(data = []) edges =
+  { label; data = Array.of_list data; edges }
+
+let rec of_tree (t : Tree.t) =
+  {
+    label = Some t.label;
+    data = t.data;
+    edges = List.map (fun c -> (Child, of_tree c)) t.children;
+  }
+
+let rec size d = 1 + List.fold_left (fun n (_, c) -> n + size c) 0 d.edges
+
+let nulls d =
+  let rec go acc d =
+    let acc =
+      Array.fold_left
+        (fun acc v -> if Value.is_null v then Value.Set.add v acc else acc)
+        acc d.data
+    in
+    List.fold_left (fun acc (_, c) -> go acc c) acc d.edges
+  in
+  go Value.Set.empty d
+
+let rec tree_subtrees (t : Tree.t) = t :: List.concat_map tree_subtrees t.children
+let tree_descendants (t : Tree.t) = List.concat_map tree_subtrees t.children
+
+(* match the description node d against the tree node t, threading the
+   valuation; full backtracking over edge targets *)
+let rec match_at h d (t : Tree.t) =
+  let label_ok =
+    match d.label with None -> true | Some l -> String.equal l t.label
+  in
+  if not label_ok then None
+  else
+    match Valuation.extend_match h d.data t.data with
+    | None -> None
+    | Some h -> match_edges h d.edges t
+
+and match_edges h edges (t : Tree.t) =
+  match edges with
+  | [] -> Some h
+  | (kind, child_desc) :: rest ->
+    let candidates =
+      match kind with
+      | Child -> t.children
+      | Descendant -> tree_descendants t
+    in
+    let rec try_candidates = function
+      | [] -> None
+      | c :: cs -> (
+        match match_at h child_desc c with
+        | Some h' -> (
+          match match_edges h' rest t with
+          | Some h'' -> Some h''
+          | None -> try_candidates cs)
+        | None -> try_candidates cs)
+    in
+    try_candidates candidates
+
+let satisfied_with d t = match_at Valuation.empty d t
+let member d t = Tree.is_complete t && Option.is_some (satisfied_with d t)
+
+let sample_completions ~alphabet ~chain_bound d =
+  if chain_bound < 1 then invalid_arg "Incomplete_doc: chain_bound >= 1";
+  (* 1. resolve structure: wildcard labels over the alphabet (respecting
+     data arity), descendant edges into chains of wildcard interior nodes
+     of length 1..chain_bound *)
+  let labels_of_arity k =
+    List.filter (fun (_, a) -> a = k) alphabet |> List.map fst
+  in
+  let rec structures d =
+    let label_choices =
+      match d.label with
+      | Some l -> (
+        match List.assoc_opt l alphabet with
+        | Some a when a = Array.length d.data -> [ l ]
+        | _ -> [])
+      | None -> labels_of_arity (Array.length d.data)
+    in
+    let edge_choices =
+      (* each edge yields a list of alternative (child tree) expansions *)
+      List.map
+        (fun (kind, c) ->
+          let subs = structures c in
+          match kind with
+          | Child -> subs
+          | Descendant ->
+            (* chains of length 1..chain_bound ending in the child; the
+               interior nodes take 0-ary alphabet labels *)
+            let interiors = labels_of_arity 0 in
+            let rec chains len sub =
+              if len = 1 then [ sub ]
+              else
+                List.concat_map
+                  (fun l ->
+                    List.map
+                      (fun inner -> Tree.node l [ inner ])
+                      (chains (len - 1) sub))
+                  interiors
+            in
+            List.concat_map
+              (fun sub ->
+                List.concat_map
+                  (fun len -> chains len sub)
+                  (List.init chain_bound (fun i -> i + 1)))
+              subs)
+        d.edges
+    in
+    let rec product = function
+      | [] -> [ [] ]
+      | choices :: rest ->
+        List.concat_map
+          (fun c -> List.map (fun tail -> c :: tail) (product rest))
+          choices
+    in
+    List.concat_map
+      (fun l ->
+        List.map
+          (fun children -> Tree.node ~data:(Array.to_list d.data) l children)
+          (product edge_choices))
+      label_choices
+  in
+  (* 2. ground the data nulls *)
+  List.concat_map
+    (fun skeleton ->
+      let ns = Value.Set.elements (Tree.nulls skeleton) in
+      let k = List.length ns in
+      let fresh = List.init (k + 1) (fun _ -> Value.fresh_const ()) in
+      let candidates =
+        Value.Set.elements (Tree.constants skeleton) @ fresh
+      in
+      let rec assign acc = function
+        | [] -> [ acc ]
+        | n :: rest ->
+          List.concat_map
+            (fun c -> assign (Valuation.bind acc n c) rest)
+            candidates
+      in
+      List.map (fun h -> Tree.apply h skeleton) (assign Valuation.empty ns))
+    (structures d)
+
+let leq ~alphabet ~chain_bound d d' =
+  List.for_all
+    (fun t -> Option.is_some (satisfied_with d t))
+    (sample_completions ~alphabet ~chain_bound d')
+
+let rec consistent ~alphabet d =
+  let label_ok =
+    match d.label with
+    | Some l -> (
+      match List.assoc_opt l alphabet with
+      | Some a -> a = Array.length d.data
+      | None -> false)
+    | None ->
+      List.exists (fun (_, a) -> a = Array.length d.data) alphabet
+  in
+  let descendant_ok =
+    (* a descendant edge needs a 0-ary label available for interior nodes
+       only if the chain must be longer than 1 — length 1 always works, so
+       descendant edges are as consistent as their targets *)
+    true
+  in
+  label_ok && descendant_ok
+  && List.for_all (fun (_, c) -> consistent ~alphabet c) d.edges
+
+let rec pp ppf d =
+  let label = match d.label with Some l -> l | None -> "*" in
+  let pp_data ppf data =
+    if Array.length data > 0 then
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+           Value.pp)
+        (Array.to_list data)
+  in
+  if d.edges = [] then Format.fprintf ppf "%s%a" label pp_data d.data
+  else
+    Format.fprintf ppf "%s%a[%a]" label pp_data d.data
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+         (fun ppf (kind, c) ->
+           match kind with
+           | Child -> pp ppf c
+           | Descendant -> Format.fprintf ppf "//%a" pp c))
+      d.edges

@@ -1,0 +1,61 @@
+(** Structurally incomplete XML documents, after [4, 7]: beyond data nulls,
+    a document description may leave structure unknown — an edge may be a
+    {e child} or a {e descendant} edge, and a node's label may be a
+    wildcard.  (The paper's Section 2.2 uses the data-nulls fragment; this
+    module implements the richer model the cited works study, with the
+    membership and consistency problems of Section 6.)
+
+    Semantics: a complete tree [T ∈ [[p]]] iff there are mappings of the
+    description's nodes to [T]'s nodes sending the root to the root, child
+    edges to edges, descendant edges to proper descendant paths, respecting
+    labels (wildcards match anything) and data through a single valuation
+    of the nulls. *)
+
+open Certdb_values
+
+type edge =
+  | Child
+  | Descendant
+
+type t = {
+  label : string option; (* [None] is a wildcard *)
+  data : Value.t array;
+  edges : (edge * t) list;
+}
+
+val node : ?label:string -> ?data:Value.t list -> (edge * t) list -> t
+
+(** [of_tree t] — every edge a child edge, labels fixed. *)
+val of_tree : Tree.t -> t
+
+val size : t -> int
+val nulls : t -> Value.Set.t
+
+(** [member doc t] — the membership problem: is the complete tree [t] in
+    [[doc]]?  (NP in general — exponential backtracking; polynomial for
+    data-null-free descriptions on small inputs.) *)
+val member : t -> Tree.t -> bool
+
+(** [satisfied_with doc t] — a witnessing valuation of the data nulls. *)
+val satisfied_with : t -> Tree.t -> Valuation.t option
+
+(** [sample_completions ~alphabet ~chain_bound doc] — a finite sample of
+    [[doc]]: wildcards resolved over [alphabet] (label, arity) pairs,
+    descendant edges expanded into chains of length 1..[chain_bound] with
+    alphabet-labeled fresh interior nodes, nulls grounded.  Exponential;
+    small descriptions only. *)
+val sample_completions :
+  alphabet:(string * int) list -> chain_bound:int -> t -> Tree.t list
+
+(** [leq doc doc' ~alphabet ~chain_bound] — sampled information ordering:
+    every sampled completion of [doc'] satisfies [doc].  Sound for refuting
+    [⊑]; complete only w.r.t. the sample. *)
+val leq :
+  alphabet:(string * int) list -> chain_bound:int -> t -> t -> bool
+
+(** [consistent ~alphabet doc] — the consistency problem: does [doc] have a
+    completion over the alphabet?  Fails when some wildcard node's data
+    arity matches no label, or a fixed label's arity disagrees. *)
+val consistent : alphabet:(string * int) list -> t -> bool
+
+val pp : Format.formatter -> t -> unit

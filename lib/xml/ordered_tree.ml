@@ -1,0 +1,52 @@
+open Certdb_values
+
+(* Order-preserving matching with full backtracking on the shared data
+   valuation: the children of a matched node must embed, in order and
+   injectively, into the children of the image. *)
+let rec match_at valuation (t : Tree.t) (t' : Tree.t) =
+  if not (String.equal t.label t'.label) then None
+  else
+    match Valuation.extend_match valuation t.data t'.data with
+    | None -> None
+    | Some valuation -> embed valuation t.children t'.children
+
+and embed valuation cs ds =
+  match cs with
+  | [] -> Some valuation
+  | c :: cs' ->
+    let rec try_positions = function
+      | [] -> None
+      | d :: ds' -> (
+        match match_at valuation c d with
+        | Some v' -> (
+          match embed v' cs' ds' with
+          | Some v'' -> Some v''
+          | None -> try_positions ds')
+        | None -> try_positions ds')
+    in
+    try_positions ds
+
+let rec subtrees t = t :: List.concat_map subtrees t.Tree.children
+
+let find_hom t t' =
+  List.find_map (fun n' -> match_at Valuation.empty t n') (subtrees t')
+
+let exists_hom t t' = Option.is_some (find_hom t t')
+let leq = exists_hom
+let equiv t t' = leq t t' && leq t' t
+
+let prop6_pair () =
+  ( Tree.node "a" [ Tree.leaf "b"; Tree.leaf "c" ],
+    Tree.node "a" [ Tree.leaf "c"; Tree.leaf "b" ] )
+
+let is_lower_bound y ts = List.for_all (fun t -> leq y t) ts
+
+let maximal_lower_bounds_in_pool ts ~pool =
+  let lbs = List.filter (fun y -> is_lower_bound y ts) pool in
+  List.filter
+    (fun y -> List.for_all (fun z -> (not (leq y z)) || leq z y) lbs)
+    lbs
+
+let has_glb_in_pool ts ~pool =
+  let lbs = List.filter (fun y -> is_lower_bound y ts) pool in
+  List.exists (fun y -> List.for_all (fun z -> leq z y) lbs) lbs

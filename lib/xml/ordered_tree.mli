@@ -1,0 +1,32 @@
+(** Sibling-ordered XML trees.  Homomorphisms additionally preserve the
+    strict sibling order: if x precedes y among the children of a node,
+    h₁(x) precedes h₁(y) among the children of h₁(x)'s parent.
+
+    Prop. 6: with sibling order, even two-element finite sets of trees can
+    lack a glb — [witness_no_glb] exhibits the paper's counterexample
+    (roots labeled a, children b,c in the two orders). *)
+
+open Certdb_values
+
+(** [exists_hom t t'] — order-preserving homomorphism (rooted at any target
+    node). *)
+val exists_hom : Tree.t -> Tree.t -> bool
+
+val leq : Tree.t -> Tree.t -> bool
+val equiv : Tree.t -> Tree.t -> bool
+
+(** [find_hom t t'] returns the data valuation of a witnessing
+    homomorphism. *)
+val find_hom : Tree.t -> Tree.t -> Valuation.t option
+
+(** The pair (T, T′) of Prop. 6: a[b;c] and a[c;b]. *)
+val prop6_pair : unit -> Tree.t * Tree.t
+
+(** [maximal_lower_bounds_in_pool ts ~pool] — the ⊑-maximal lower bounds of
+    [ts] found in [pool]; Prop. 6's failure shows as two or more
+    incomparable maxima. *)
+val maximal_lower_bounds_in_pool : Tree.t list -> pool:Tree.t list -> Tree.t list
+
+(** [has_glb_in_pool ts ~pool] — whether some pool element is a glb of
+    [ts] relative to the pool. *)
+val has_glb_in_pool : Tree.t list -> pool:Tree.t list -> bool

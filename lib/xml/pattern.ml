@@ -1,0 +1,144 @@
+open Certdb_values
+module String_map = Map.Make (String)
+
+type term =
+  | Var of string
+  | Val of Value.t
+
+type axis =
+  | Child
+  | Descendant
+
+type t = {
+  label : string option;
+  data : term list;
+  children : (axis * t) list;
+}
+
+let node ?label ?(data = []) children = { label; data; children }
+
+type binding = Value.t String_map.t
+
+(* unify one pattern term against a tree value: constants must be equal,
+   bound variables must match exactly, unbound variables bind *)
+let unify_term env term v =
+  match term with
+  | Val c -> if Value.equal c v then Some env else None
+  | Var x -> (
+    match String_map.find_opt x env with
+    | Some v' -> if Value.equal v v' then Some env else None
+    | None -> Some (String_map.add x v env))
+
+let rec unify_data env terms values i =
+  match terms with
+  | [] -> if i = Array.length values then Some env else None
+  | t :: rest ->
+    if i >= Array.length values then None
+    else
+      match unify_term env t values.(i) with
+      | Some env' -> unify_data env' rest values (i + 1)
+      | None -> None
+
+let rec subtrees t = t :: List.concat_map subtrees t.Tree.children
+let proper_descendants t = List.concat_map subtrees t.Tree.children
+
+(* match pattern p with its root at tree node t, threading the binding *)
+let rec match_at env p (t : Tree.t) =
+  let label_ok =
+    match p.label with None -> true | Some l -> String.equal l t.label
+  in
+  if not label_ok then None
+  else
+    (* an empty data list leaves the node's data unconstrained *)
+    let data_result =
+      if p.data = [] then Some env else unify_data env p.data t.data 0
+    in
+    match data_result with
+    | None -> None
+    | Some env -> match_children env p.children t
+
+and match_children env specs t =
+  match specs with
+  | [] -> Some env
+  | (axis, child_pattern) :: rest ->
+    let candidates =
+      match axis with
+      | Child -> t.Tree.children
+      | Descendant -> proper_descendants t
+    in
+    let rec try_candidates = function
+      | [] -> None
+      | c :: cs -> (
+        match match_at env child_pattern c with
+        | Some env' -> (
+          match match_children env' rest t with
+          | Some env'' -> Some env''
+          | None -> try_candidates cs)
+        | None -> try_candidates cs)
+    in
+    try_candidates candidates
+
+let anchor_points ~require_root t =
+  if require_root then [ t ] else subtrees t
+
+let find_match ?(require_root = false) p t =
+  List.find_map
+    (fun anchor -> match_at String_map.empty p anchor)
+    (anchor_points ~require_root t)
+
+let matches ?require_root p t = Option.is_some (find_match ?require_root p t)
+
+let all_matches ?(require_root = false) p t =
+  (* exhaustive: fold over anchors collecting every binding; the matcher
+     above returns the first, so re-run it per anchor with memoized
+     enumeration *)
+  let results = ref [] in
+  let rec enum_at env p (tr : Tree.t) k =
+    let label_ok =
+      match p.label with None -> true | Some l -> String.equal l tr.label
+    in
+    if label_ok then
+      let data_result =
+        if p.data = [] then Some env else unify_data env p.data tr.data 0
+      in
+      match data_result with
+      | None -> ()
+      | Some env -> enum_children env p.children tr k
+  and enum_children env specs tr k =
+    match specs with
+    | [] -> k env
+    | (axis, child_pattern) :: rest ->
+      let candidates =
+        match axis with
+        | Child -> tr.Tree.children
+        | Descendant -> proper_descendants tr
+      in
+      List.iter
+        (fun c ->
+          enum_at env child_pattern c (fun env' ->
+              enum_children env' rest tr k))
+        candidates
+  in
+  List.iter
+    (fun anchor ->
+      enum_at String_map.empty p anchor (fun env ->
+          if not (List.exists (String_map.equal Value.equal env) !results)
+          then results := env :: !results))
+    (anchor_points ~require_root t);
+  List.rev !results
+
+let certain_match p t = matches p t
+
+let answers p t ~out =
+  all_matches p t
+  |> List.filter_map (fun env ->
+         let tuple =
+           List.map
+             (fun x ->
+               match String_map.find_opt x env with
+               | Some v -> v
+               | None -> invalid_arg ("Pattern.answers: unbound output " ^ x))
+             out
+         in
+         if List.for_all Value.is_const tuple then Some tuple else None)
+  |> List.sort_uniq compare

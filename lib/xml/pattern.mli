@@ -1,0 +1,49 @@
+(** Tree patterns — the pattern-based view of incompleteness in XML that
+    the paper points to ([4, 7, 8]): nodes with a label or a wildcard, data
+    terms that are constants or variables, and child / descendant axes.
+    Patterns are existential positive, so certain answering over incomplete
+    trees is by naïve matching (Theorem 2 / Theorem 7(a) specialized to
+    trees). *)
+
+open Certdb_values
+
+type term =
+  | Var of string
+  | Val of Value.t
+
+type axis =
+  | Child
+  | Descendant
+
+type t = {
+  label : string option; (* [None] is the wildcard *)
+  data : term list; (* [] leaves the node's data unconstrained *)
+  children : (axis * t) list;
+}
+
+val node : ?label:string -> ?data:term list -> (axis * t) list -> t
+
+(** Bindings of pattern variables produced by a match. *)
+type binding = Value.t Stdlib.Map.Make(String).t
+
+(** [find_match ?require_root p t] — a match of [p] anywhere in [t]
+    ([require_root] pins the pattern root to the tree root).  Variables
+    bind consistently across the whole pattern; the same variable twice
+    demands equal data values. *)
+val find_match : ?require_root:bool -> t -> Tree.t -> binding option
+
+val matches : ?require_root:bool -> t -> Tree.t -> bool
+
+(** [all_matches p t] — every distinct binding. *)
+val all_matches : ?require_root:bool -> t -> Tree.t -> binding list
+
+(** [certain_match p t] — is [p] certain over the incomplete tree [t]
+    (i.e., does it match every completion)?  Computed by naïve matching,
+    then checking the binding uses no nulls when variables are exported —
+    for Boolean certainty, a match whose data comparisons hold already
+    syntactically is certain (patterns are existential positive). *)
+val certain_match : t -> Tree.t -> bool
+
+(** [answers p t ~out] — certain answers for the tuple of output variables
+    [out]: all bindings of [out] to constants from naïve matching. *)
+val answers : t -> Tree.t -> out:string list -> Value.t list list

@@ -1,0 +1,135 @@
+open Certdb_values
+open Certdb_gdm
+open Certdb_relational
+
+type t = {
+  label : string;
+  data : Value.t array;
+  children : t list;
+}
+
+let node ?(data = []) label children =
+  { label; data = Array.of_list data; children }
+
+let leaf ?data label = node ?data label []
+
+let rec size t = 1 + List.fold_left (fun n c -> n + size c) 0 t.children
+
+let rec depth t =
+  1 + List.fold_left (fun d c -> max d (depth c)) 0 t.children
+
+let labels t =
+  let rec go acc t =
+    let acc = if List.mem t.label acc then acc else t.label :: acc in
+    List.fold_left go acc t.children
+  in
+  List.rev (go [] t)
+
+let fold_values f t init =
+  let rec go acc t =
+    let acc = Array.fold_left f acc t.data in
+    List.fold_left go acc t.children
+  in
+  go init t
+
+let nulls t =
+  fold_values
+    (fun acc v -> if Value.is_null v then Value.Set.add v acc else acc)
+    t Value.Set.empty
+
+let constants t =
+  fold_values
+    (fun acc v -> if Value.is_const v then Value.Set.add v acc else acc)
+    t Value.Set.empty
+
+let is_complete t = Value.Set.is_empty (nulls t)
+
+let rec apply h t =
+  {
+    t with
+    data = Valuation.apply_array h t.data;
+    children = List.map (apply h) t.children;
+  }
+
+let ground t =
+  let h = Valuation.grounding_of_nulls ~avoid:(constants t) (nulls t) in
+  apply h t
+
+let rename_apart ~avoid t =
+  let renaming =
+    Value.Set.fold
+      (fun n h ->
+        let rec fresh () =
+          let n' = Value.fresh_null () in
+          if Value.Set.mem n' avoid then fresh () else n'
+        in
+        Valuation.bind h n (fresh ()))
+      (nulls t) Valuation.empty
+  in
+  apply renaming t
+
+let to_gdb t =
+  let counter = ref 0 in
+  let rec go db parent t =
+    let id = !counter in
+    incr counter;
+    let db =
+      Gdb.add_node db ~node:id ~label:t.label ~data:(Array.to_list t.data)
+    in
+    let db =
+      match parent with
+      | None -> db
+      | Some p -> Gdb.add_tuple db "child" [ p; id ]
+    in
+    List.fold_left (fun db c -> go db (Some id) c) db t.children
+  in
+  go Gdb.empty None t
+
+let of_instance d =
+  let children =
+    List.map
+      (fun (f : Instance.fact) ->
+        leaf ~data:(Array.to_list f.args) f.rel)
+      (Instance.facts d)
+  in
+  node "r" children
+
+let random ~seed ~labels ~max_depth ~max_children ~null_prob ~domain () =
+  let st = Random.State.make [| seed |] in
+  let labels = Array.of_list labels in
+  if Array.length labels = 0 then invalid_arg "Tree.random: no labels";
+  let value () =
+    if Random.State.float st 1.0 < null_prob then Value.fresh_null ()
+    else Value.int (Random.State.int st domain)
+  in
+  let rec build d =
+    let lbl, arity = labels.(Random.State.int st (Array.length labels)) in
+    let data = List.init arity (fun _ -> value ()) in
+    let nkids = if d >= max_depth then 0 else Random.State.int st (max_children + 1) in
+    node ~data lbl (List.init nkids (fun _ -> build (d + 1)))
+  in
+  build 1
+
+let rec equal t1 t2 =
+  String.equal t1.label t2.label
+  && t1.data = t2.data
+  && List.length t1.children = List.length t2.children
+  && List.for_all2 equal t1.children t2.children
+
+let rec pp ppf t =
+  let pp_data ppf d =
+    if Array.length d > 0 then
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+           Value.pp)
+        (Array.to_list d)
+  in
+  if t.children = [] then
+    Format.fprintf ppf "%s%a" t.label pp_data t.data
+  else
+    Format.fprintf ppf "%s%a[%a]" t.label pp_data t.data
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+         pp)
+      t.children

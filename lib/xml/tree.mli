@@ -1,0 +1,55 @@
+(** Incomplete XML documents (Section 2.2): unranked trees whose nodes
+    carry a label from a finite alphabet and a tuple of data values over
+    [C ∪ N] of the label's arity.  A tree is complete when its data values
+    are all constants. *)
+
+open Certdb_values
+open Certdb_gdm
+open Certdb_relational
+
+type t = {
+  label : string;
+  data : Value.t array;
+  children : t list;
+}
+
+val node : ?data:Value.t list -> string -> t list -> t
+val leaf : ?data:Value.t list -> string -> t
+
+val size : t -> int
+val depth : t -> int
+val labels : t -> string list
+val nulls : t -> Value.Set.t
+val constants : t -> Value.Set.t
+val is_complete : t -> bool
+
+(** [apply h t] maps all data through the valuation. *)
+val apply : Valuation.t -> t -> t
+
+val ground : t -> t
+val rename_apart : avoid:Value.Set.t -> t -> t
+
+(** [to_gdb t] — the generalized-database coding: nodes numbered in
+    preorder (root = 0), one binary relation ["child"]. *)
+val to_gdb : t -> Gdb.t
+
+(** [of_instance d] — coding of a naïve relational database as an XML
+    document of depth 2 (used by Corollary 2): a root labeled ["r"] with
+    one child per fact, labeled by the fact's relation and carrying its
+    tuple. *)
+val of_instance : Instance.t -> t
+
+(** [random ~seed ~labels ~max_depth ~max_children ~null_prob ~domain ()] —
+    random tree; [labels] pairs label names with arities. *)
+val random :
+  seed:int ->
+  labels:(string * int) list ->
+  max_depth:int ->
+  max_children:int ->
+  null_prob:float ->
+  domain:int ->
+  unit ->
+  t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,69 @@
+open Certdb_values
+
+(* duplicate siblings (syntactically equal subtrees, which the shared merge
+   registry produces readily) are redundant: folding them onto one copy is
+   the identity on all values *)
+let dedupe_children cs =
+  List.fold_left
+    (fun kept c ->
+      if List.exists (Tree.equal c) kept then kept else c :: kept)
+    [] cs
+  |> List.rev
+
+let glb t1 t2 =
+  let reg = Merge.create () in
+  let rec pair (t1 : Tree.t) (t2 : Tree.t) =
+    if not (String.equal t1.label t2.label) then None
+    else if Array.length t1.data <> Array.length t2.data then None
+    else
+      let data = Merge.arrays reg t1.data t2.data in
+      let children =
+        List.concat_map
+          (fun c1 ->
+            List.filter_map (fun c2 -> pair c1 c2) t2.Tree.children)
+          t1.Tree.children
+        |> dedupe_children
+      in
+      Some { Tree.label = t1.label; data; children }
+  in
+  pair t1 t2
+
+let family = function
+  | [] -> invalid_arg "Tree_glb.family: empty family"
+  | t :: ts ->
+    List.fold_left
+      (fun acc t' -> match acc with None -> None | Some g -> glb g t')
+      (Some t) ts
+
+let certain_information = family
+
+(* [reduce] drops a child of the root whenever the whole tree maps
+   homomorphically (root-anchored) into the tree without that child: the
+   remainder is then ∼-equivalent (the inclusion is a homomorphism in the
+   other direction).  This is a root-level core reduction — exactly what is
+   needed to keep glb folds over result forests from multiplying. *)
+let reduce (t : Tree.t) =
+  let drop_one (t : Tree.t) =
+    let n = List.length t.Tree.children in
+    let rec try_i i =
+      if i >= n then None
+      else
+        let t' =
+          { t with Tree.children = List.filteri (fun j _ -> j <> i) t.Tree.children }
+        in
+        if Tree_hom.exists ~require_root:true t t' then Some t' else try_i (i + 1)
+    in
+    try_i 0
+  in
+  let rec go t = match drop_one t with Some t' -> go t' | None -> t in
+  go t
+
+let family_reduced = function
+  | [] -> invalid_arg "Tree_glb.family_reduced: empty family"
+  | t :: ts ->
+    List.fold_left
+      (fun acc t' ->
+        match acc with
+        | None -> None
+        | Some g -> Option.map reduce (glb g t'))
+      (Some (reduce t)) ts

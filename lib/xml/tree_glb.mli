@@ -1,0 +1,27 @@
+(** Greatest lower bounds of unordered XML trees in the class K of
+    unranked trees (Section 5.2; the max-description construction of [16]):
+    pair the roots when their labels agree, then recursively pair children
+    with equal labels level by level, merging data with ⊗.
+
+    When root labels differ no tree lower bound with those roots exists;
+    [glb] then returns [None] (in [16] documents share a designated root
+    label, so this does not arise there). *)
+
+val glb : Tree.t -> Tree.t -> Tree.t option
+
+(** [family ts] folds [glb]; [None] if any step fails.
+    @raise Invalid_argument on []. *)
+val family : Tree.t list -> Tree.t option
+
+(** [certain_information ts] — the max-description of a finite set of
+    trees: [family ts] (Theorem 1 identifies max-descriptions with
+    glbs). *)
+val certain_information : Tree.t list -> Tree.t option
+
+(** [reduce t] — a ∼-preserving shrink of [t]: drops a child of the root
+    whenever the whole tree maps homomorphically (root-anchored) into the
+    tree without it.  Folding a large family of glbs without reduction
+    multiplies children; [family_reduced] interleaves it. *)
+val reduce : Tree.t -> Tree.t
+
+val family_reduced : Tree.t list -> Tree.t option

@@ -1,0 +1,22 @@
+open Certdb_csp
+open Certdb_gdm
+
+let find ?(require_root = false) t t' =
+  let d = Tree.to_gdb t and d' = Tree.to_gdb t' in
+  let restrict =
+    if require_root then
+      Some
+        (fun v ->
+          if v = 0 then Structure.Int_set.singleton 0
+          else Structure.Int_set.of_list (Gdb.nodes d'))
+    else None
+  in
+  Ghom.find ?restrict d d'
+
+let exists ?require_root t t' = Option.is_some (find ?require_root t t')
+let leq t t' = exists t t'
+let equiv t t' = leq t t' && leq t' t
+let strictly_less t t' = leq t t' && not (leq t' t)
+let incomparable t t' = (not (leq t t')) && not (leq t' t)
+let models t t' = leq t' t
+let mem t' t = Tree.is_complete t' && leq t t'

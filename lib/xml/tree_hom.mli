@@ -1,0 +1,26 @@
+(** Homomorphisms between XML trees (Section 2.2): pairs (h₁, h₂) mapping
+    nodes to nodes (preserving the child relation and labels) and nulls to
+    values, with [ρ′(h₁ x) = h₂(ρ x)].
+
+    The definition does not force the root to map to the root; complete
+    documents have a designated root label, which pins it in practice.
+    [leq] is the information ordering [T ⊑ T′] (Prop. 3 for trees). *)
+
+open Certdb_gdm
+
+(** [find ?require_root t t'] — [require_root] (default [false]) restricts
+    h₁ to send root to root. *)
+val find : ?require_root:bool -> Tree.t -> Tree.t -> Ghom.t option
+
+val exists : ?require_root:bool -> Tree.t -> Tree.t -> bool
+val leq : Tree.t -> Tree.t -> bool
+val equiv : Tree.t -> Tree.t -> bool
+val strictly_less : Tree.t -> Tree.t -> bool
+val incomparable : Tree.t -> Tree.t -> bool
+
+(** [models t t'] — [T |= T′] in the notation of [16]: [t] satisfies the
+    description [t'], i.e. there is a homomorphism [t' → t]. *)
+val models : Tree.t -> Tree.t -> bool
+
+(** [mem t' t] — the membership problem: complete [t'] ∈ [[t]]. *)
+val mem : Tree.t -> Tree.t -> bool

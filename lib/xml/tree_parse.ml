@@ -1,0 +1,167 @@
+open Certdb_values
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+type token =
+  | Ident of string
+  | Number of int
+  | Quoted of string
+  | Null_name of string
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Comma
+  | Semi
+
+let tokenize s =
+  let n = String.length s in
+  let tokens = ref [] in
+  let i = ref 0 in
+  let is_ident_char c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_'
+  in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '(' then (tokens := Lparen :: !tokens; incr i)
+    else if c = ')' then (tokens := Rparen :: !tokens; incr i)
+    else if c = '[' then (tokens := Lbracket :: !tokens; incr i)
+    else if c = ']' then (tokens := Rbracket :: !tokens; incr i)
+    else if c = ',' then (tokens := Comma :: !tokens; incr i)
+    else if c = ';' then (tokens := Semi :: !tokens; incr i)
+    else if c = '"' then begin
+      let j = ref (!i + 1) in
+      while !j < n && s.[!j] <> '"' do incr j done;
+      if !j >= n then fail "unterminated string literal";
+      tokens := Quoted (String.sub s (!i + 1) (!j - !i - 1)) :: !tokens;
+      i := !j + 1
+    end
+    else if c = '-' || (c >= '0' && c <= '9') then begin
+      let j = ref (!i + 1) in
+      while !j < n && s.[!j] >= '0' && s.[!j] <= '9' do incr j done;
+      let lit = String.sub s !i (!j - !i) in
+      (match int_of_string_opt lit with
+      | Some k -> tokens := Number k :: !tokens
+      | None -> fail "bad number %S" lit);
+      i := !j
+    end
+    else if c = '_' then begin
+      let j = ref (!i + 1) in
+      while !j < n && is_ident_char s.[!j] do incr j done;
+      if !j = !i + 1 then fail "null name expected after '_'";
+      tokens := Null_name (String.sub s (!i + 1) (!j - !i - 1)) :: !tokens;
+      i := !j
+    end
+    else if is_ident_char c then begin
+      let j = ref (!i + 1) in
+      while !j < n && is_ident_char s.[!j] do incr j done;
+      tokens := Ident (String.sub s !i (!j - !i)) :: !tokens;
+      i := !j
+    end
+    else fail "unexpected character %C" c
+  done;
+  List.rev !tokens
+
+let tree ?(bindings = []) s =
+  let tokens = ref (tokenize s) in
+  let nulls = Hashtbl.create 8 in
+  List.iter (fun (name, v) -> Hashtbl.replace nulls name v) bindings;
+  let null_of name =
+    match Hashtbl.find_opt nulls name with
+    | Some v -> v
+    | None ->
+      let v = Value.fresh_null () in
+      Hashtbl.add nulls name v;
+      v
+  in
+  let peek () = match !tokens with [] -> None | t :: _ -> Some t in
+  let advance () =
+    match !tokens with
+    | [] -> fail "unexpected end of input"
+    | t :: rest ->
+      tokens := rest;
+      t
+  in
+  let parse_value () =
+    match advance () with
+    | Number k -> Value.int k
+    | Quoted str | Ident str -> Value.str str
+    | Null_name name -> null_of name
+    | _ -> fail "expected a value"
+  in
+  let rec parse_node () =
+    let label =
+      match advance () with
+      | Ident l -> l
+      | _ -> fail "expected a label"
+    in
+    let data =
+      match peek () with
+      | Some Lparen ->
+        ignore (advance ());
+        let args = ref [] in
+        (match peek () with
+        | Some Rparen -> ignore (advance ())
+        | _ ->
+          let rec loop () =
+            args := parse_value () :: !args;
+            match advance () with
+            | Comma -> loop ()
+            | Rparen -> ()
+            | _ -> fail "expected ',' or ')'"
+          in
+          loop ());
+        List.rev !args
+      | _ -> []
+    in
+    let children =
+      match peek () with
+      | Some Lbracket ->
+        ignore (advance ());
+        let kids = ref [] in
+        (match peek () with
+        | Some Rbracket -> ignore (advance ())
+        | _ ->
+          let rec loop () =
+            kids := parse_node () :: !kids;
+            match advance () with
+            | Semi -> loop ()
+            | Rbracket -> ()
+            | _ -> fail "expected ';' or ']'"
+          in
+          loop ());
+        List.rev !kids
+      | _ -> []
+    in
+    Tree.node ~data label children
+  in
+  let t = parse_node () in
+  if !tokens <> [] then fail "trailing input after the tree";
+  let bindings = Hashtbl.fold (fun name v acc -> (name, v) :: acc) nulls [] in
+  (t, bindings)
+
+let value_to_string v =
+  match v with
+  | Value.Const (Value.Int k) -> string_of_int k
+  | Value.Const (Value.Str s) -> Printf.sprintf "%S" s
+  | Value.Null i -> Printf.sprintf "_n%d" i
+
+let rec to_string (t : Tree.t) =
+  let data =
+    if Array.length t.data = 0 then ""
+    else
+      Printf.sprintf "(%s)"
+        (String.concat ", " (List.map value_to_string (Array.to_list t.data)))
+  in
+  let children =
+    if t.children = [] then ""
+    else
+      Printf.sprintf "[%s]" (String.concat "; " (List.map to_string t.children))
+  in
+  t.label ^ data ^ children

@@ -1,0 +1,21 @@
+(** Concrete syntax for data trees, mirroring {!Certdb_relational.Parse}:
+
+    {v
+      catalog[ book(1, 1999)[ author("ann") ]; book(2, _y) ]
+    v}
+
+    A node is [label], optionally [label(values…)], optionally followed by
+    [\[children; …\]].  Values are integers, quoted strings, bare
+    identifiers (strings), or nulls [_name] (same name = same null within
+    one parse). *)
+
+open Certdb_values
+
+exception Parse_error of string
+
+(** [tree s] parses one tree; returns it with the null bindings used.
+    @raise Parse_error on malformed input. *)
+val tree : ?bindings:(string * Value.t) list -> string -> Tree.t * (string * Value.t) list
+
+(** [to_string t] prints a tree back in the concrete syntax. *)
+val to_string : Tree.t -> string

@@ -1,0 +1,60 @@
+open Certdb_values
+module String_map = Map.Make (String)
+
+type template = {
+  label : string;
+  data : Pattern.term list;
+  children : template list;
+}
+
+type t = {
+  pattern : Pattern.t;
+  template : template;
+}
+
+let template ?(data = []) label children = { label; data; children }
+let make ~pattern ~template = { pattern; template }
+
+let rec instantiate (binding : Pattern.binding) tmpl =
+  let value = function
+    | Pattern.Val v -> v
+    | Pattern.Var x -> (
+      match String_map.find_opt x binding with
+      | Some v -> v
+      | None ->
+        invalid_arg
+          (Printf.sprintf "Xml_query: template variable %s unbound" x))
+  in
+  Tree.node ~data:(List.map value tmpl.data) tmpl.label
+    (List.map (instantiate binding) tmpl.children)
+
+let apply q t =
+  let bindings = Pattern.all_matches q.pattern t in
+  Tree.node "result" (List.map (fun b -> instantiate b q.template) bindings)
+
+let sample_completions t =
+  let nulls = Value.Set.elements (Tree.nulls t) in
+  let k = List.length nulls in
+  let fresh = List.init (k + 1) (fun _ -> Value.fresh_const ()) in
+  let candidates = Value.Set.elements (Tree.constants t) @ fresh in
+  let rec assign acc = function
+    | [] -> [ acc ]
+    | n :: rest ->
+      List.concat_map
+        (fun c -> assign (Valuation.bind acc n c) rest)
+        candidates
+  in
+  List.map (fun h -> Tree.apply h t) (assign Valuation.empty nulls)
+
+let certain_by_enumeration q t =
+  let outputs = List.map (apply q) (sample_completions t) in
+  match outputs with
+  | [] -> Some (apply q t)
+  | _ -> Tree_glb.family_reduced outputs
+
+let naive_certain_agrees q t =
+  match certain_by_enumeration q t with
+  | None -> false
+  | Some certain ->
+    let naive = apply q t in
+    Tree_hom.equiv certain naive

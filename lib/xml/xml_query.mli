@@ -1,0 +1,44 @@
+(** XML-to-XML queries in the style of [16] (David–Libkin–Murlak, "Certain
+    answers for XML queries"): a query is a tree pattern with variables and
+    an output template; applied to a document it emits, under a fixed
+    result root, one instantiated template per pattern match.
+
+    Certain answers over an incomplete tree are the certain information —
+    the max-description / glb (Theorem 1) — of the query's outputs over the
+    completions.  Queries of this shape are monotone, so (Corollary 1 /
+    Theorem 2) the glb over completions is ∼-equivalent to direct naïve
+    application; both are provided, and the agreement is exercised by tests
+    and the E7 family of experiments. *)
+
+type template = {
+  label : string;
+  data : Pattern.term list;
+  children : template list;
+}
+
+type t = {
+  pattern : Pattern.t;
+  template : template;
+}
+
+val template : ?data:Pattern.term list -> string -> template list -> template
+val make : pattern:Pattern.t -> template:template -> t
+
+(** [apply q t] — naïve application: match the pattern (nulls are values),
+    instantiate the template per binding under a ["result"] root.
+    @raise Invalid_argument if the template uses a variable the pattern
+    does not bind. *)
+val apply : t -> Tree.t -> Tree.t
+
+(** [sample_completions t] — groundings of the tree's nulls into its
+    constants plus k+1 fresh constants. *)
+val sample_completions : Tree.t -> Tree.t list
+
+(** [certain_by_enumeration q t] — the glb (max-description) of
+    [apply q] over the sampled completions; [None] only if the tree glb
+    fails, which cannot happen here (all outputs share the result root). *)
+val certain_by_enumeration : t -> Tree.t -> Tree.t option
+
+(** [naive_certain_agrees q t] — checks [certain_by_enumeration q t ∼
+    apply q t] (the Corollary 1 shape). *)
+val naive_certain_agrees : t -> Tree.t -> bool

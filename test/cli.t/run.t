@@ -1,0 +1,79 @@
+Locate the binary (dune places cram deps at workspace-relative paths):
+
+  $ CERTDB=$(find . ../.. -name 'certdb.exe' 2>/dev/null | head -1)
+  $ echo found
+  found
+
+Information ordering:
+
+  $ $CERTDB leq "R(1,_x)" "R(1,2)"
+  true
+  witness: {_|_1 -> 2}
+
+  $ $CERTDB leq "R(1,1)" "R(1,2)"
+  false
+  [1]
+
+Certain information (glb) with core reduction (null ids normalized):
+
+  $ $CERTDB glb --core "R(1,_x); R(_x,2)" "R(1,9); R(9,2)" | sed 's/_n[0-9]*/_n?/g'
+  R(1, _n?); R(_n?, 2)
+
+Membership:
+
+  $ $CERTDB member "R(1,_x)" "R(1,2); R(3,4)"
+  true
+
+  $ $CERTDB member "R(1,_x)" "R(3,4)"
+  false
+  [1]
+
+Closed-world ordering with the Prop. 8 check on Codd inputs:
+
+  $ $CERTDB cwa "R(_x)" "R(1); R(2)"
+  false
+  via Prop. 8 (hoare + Hall): false
+  [1]
+
+Certain answers of a conjunctive query:
+
+  $ $CERTDB certain -q "ans(_x) :- R(_x,_y), R(_y,_x)" "R(1,2); R(2,1); R(3,_u)"
+  ans(1); ans(2)
+
+The chase:
+
+  $ $CERTDB chase --tgd "S(_x,_y) -> T(_x,_z); T(_z,_y)" "S(1,2)" | sed 's/_n[0-9]*/_n?/g'
+  T(1, _n?); T(_n?, 2)
+
+Tree commands:
+
+  $ $CERTDB tree-leq "catalog[book(1,_y)]" "catalog[book(1,1999); book(2,2000)]"
+  true
+
+  $ $CERTDB tree-glb "r[a(1)]" "r[a(1); a(2)]"
+  r[a(1)]
+
+  $ $CERTDB tree-member "r[a(_x)]" "r[a(7)]"
+  true
+
+Parse errors exit with code 2:
+
+  $ $CERTDB leq "R(" "R(1)"
+  parse error: expected a value
+  [2]
+
+Reading an instance from a file with @:
+
+  $ printf 'R(1,_x); R(_x,2)' > inst.txt
+  $ $CERTDB leq @inst.txt "R(1,9); R(9,2)"
+  true
+  witness: {_|_1 -> 9}
+
+First-order certainty:
+
+  $ $CERTDB certain-fo -q "exists x. R(x) and not S(x)" --mode cwa "R(_u)"
+  true
+
+  $ $CERTDB certain-fo -q "forall x. R(x) -> x = 1" --mode cwa "R(1); R(_u)"
+  false
+  [1]

@@ -1,0 +1,134 @@
+(* Tests for the consistency problem (Section 6, Prop. 11). *)
+
+open Certdb_values
+open Certdb_csp
+open Certdb_gdm
+open Certdb_consistency
+
+let check = Alcotest.(check bool)
+
+let graph_schema = Gschema.make ~alphabet:[ ("v", 0) ] ~sigma:[ ("E", 2) ]
+
+(* an undirected version: add both directions *)
+let gdb_of_undirected edges vertices =
+  let db =
+    List.fold_left
+      (fun db v -> Gdb.add_node db ~node:v ~label:"v" ~data:[])
+      Gdb.empty vertices
+  in
+  List.fold_left
+    (fun db (x, y) ->
+      Gdb.add_tuple (Gdb.add_tuple db "E" [ x; y ]) "E" [ y; x ])
+    db edges
+
+let k3_structure () =
+  let open Certdb_graph in
+  Digraph.to_structure (Digraph.clique 3)
+  |> fun s ->
+  (* label all nodes "v" to match the schema *)
+  List.fold_left
+    (fun acc v -> Structure.add_node ~label:"v" acc v)
+    s (Structure.nodes s)
+
+let test_classify () =
+  let f = Cons.three_colorability_condition () in
+  check "structural" true (Cons.is_structural f);
+  check "exists-forall" true (Cons.classify f = `Exists_forall);
+  let g = Logic.Exists ([ "x" ], Logic.Label ("v", "x")) in
+  check "existential" true (Cons.classify g = `Existential);
+  let h = Logic.Forall ([ "x" ], Logic.Exists ([ "y" ], Logic.Rel ("E", [ "x"; "y" ]))) in
+  check "other" true (Cons.classify h = `Other)
+
+let test_cons_existential () =
+  let sat = Logic.Exists ([ "x" ], Logic.Label ("v", "x")) in
+  check "satisfiable" true (Cons.cons_existential ~schema:graph_schema sat);
+  let unsat = Logic.Exists ([ "x" ], Logic.And (Logic.Label ("v", "x"), Logic.Not (Logic.Label ("v", "x")))) in
+  check "unsatisfiable" false (Cons.cons_existential ~schema:graph_schema unsat);
+  let edge = Logic.Exists ([ "x"; "y" ], Logic.Rel ("E", [ "x"; "y" ])) in
+  check "edge satisfiable" true (Cons.cons_existential ~schema:graph_schema edge)
+
+let test_cons_hom_into_3col () =
+  (* triangle is 3-colorable, K4 is not *)
+  let tri = gdb_of_undirected [ (0, 1); (1, 2); (2, 0) ] [ 0; 1; 2 ] in
+  check "triangle" true (Cons.cons_hom_into ~target:(k3_structure ()) tri);
+  let k4 =
+    gdb_of_undirected
+      [ (0, 1); (0, 2); (0, 3); (1, 2); (1, 3); (2, 3) ]
+      [ 0; 1; 2; 3 ]
+  in
+  check "K4" false (Cons.cons_hom_into ~target:(k3_structure ()) k4);
+  (* 5-cycle is 3-colorable but not 2-colorable *)
+  let c5 = gdb_of_undirected [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 0) ] [ 0; 1; 2; 3; 4 ] in
+  check "C5 3-colorable" true (Cons.cons_hom_into ~target:(k3_structure ()) c5)
+
+let test_cons_bounded_agrees_with_3col () =
+  let phi = Cons.three_colorability_condition () in
+  let cases =
+    [
+      (gdb_of_undirected [ (0, 1); (1, 2); (2, 0) ] [ 0; 1; 2 ], true);
+      ( gdb_of_undirected
+          [ (0, 1); (0, 2); (0, 3); (1, 2); (1, 3); (2, 3) ]
+          [ 0; 1; 2; 3 ],
+        false );
+      (gdb_of_undirected [ (0, 1) ] [ 0; 1 ], true);
+    ]
+  in
+  List.iter
+    (fun (d, expected) ->
+      check "bounded search = 3-colorability" expected
+        (Cons.cons_bounded ~schema:graph_schema ~size_bound:3 phi d))
+    cases
+
+let test_fiber_unification () =
+  (* two nodes with data (⊥1) and (5) merged by a hom into one target node:
+     consistent; data (4) and (5): clash *)
+  let n1 = Value.null 4001 in
+  let mergeable =
+    Gdb.make ~nodes:[ (0, "v", [ n1 ]); (1, "v", [ Value.int 5 ]) ] ~tuples:[]
+  in
+  let clashing =
+    Gdb.make
+      ~nodes:[ (0, "v", [ Value.int 4 ]); (1, "v", [ Value.int 5 ]) ]
+      ~tuples:[]
+  in
+  let single =
+    Structure.make ~nodes:[ (0, Some "v") ] ~tuples:[]
+  in
+  (* schema with arity-1 label for this test *)
+  check "mergeable fibers" true (Cons.cons_hom_into ~target:single mergeable);
+  check "clashing fibers" false (Cons.cons_hom_into ~target:single clashing)
+
+let test_cons_with_data_constraints () =
+  (* with the triangle over nulls as data: still consistent *)
+  let n i = Value.null (4100 + i) in
+  let db =
+    Gdb.make
+      ~nodes:[ (0, "v", [ n 0 ]); (1, "v", [ n 1 ]); (2, "v", [ n 2 ]) ]
+      ~tuples:[ ("E", [ [ 0; 1 ]; [ 1; 2 ]; [ 2; 0 ] ]) ]
+  in
+  let target =
+    let s = k3_structure () in
+    s
+  in
+  (* arity mismatch: target fibers map arity-1 data; cons_hom_into only
+     needs fibers unifiable among themselves *)
+  check "triangle with nulls consistent" true (Cons.cons_hom_into ~target db)
+
+let () =
+  Alcotest.run "consistency"
+    [
+      ( "classify",
+        [ Alcotest.test_case "classify" `Quick test_classify ] );
+      ( "existential",
+        [ Alcotest.test_case "cons ∃*" `Quick test_cons_existential ] );
+      ( "np-case",
+        [
+          Alcotest.test_case "hom into K3" `Quick test_cons_hom_into_3col;
+          Alcotest.test_case "bounded search" `Quick test_cons_bounded_agrees_with_3col;
+        ] );
+      ( "fibers",
+        [
+          Alcotest.test_case "unification" `Quick test_fiber_unification;
+          Alcotest.test_case "data constraints" `Quick test_cons_with_data_constraints;
+        ] );
+    ]

@@ -1,0 +1,315 @@
+(* Tests for the CSP substrate: structures, solver, matching, treewidth,
+   bounded-treewidth dynamic programming. *)
+
+open Certdb_csp
+module IS = Structure.Int_set
+
+let check = Alcotest.(check bool)
+
+let triangle =
+  Structure.make
+    ~nodes:[ (0, None); (1, None); (2, None) ]
+    ~tuples:[ ("E", [ [| 0; 1 |]; [| 1; 2 |]; [| 2; 0 |] ]) ]
+
+let square =
+  Structure.make
+    ~nodes:[ (0, None); (1, None); (2, None); (3, None) ]
+    ~tuples:[ ("E", [ [| 0; 1 |]; [| 1; 2 |]; [| 2; 3 |]; [| 3; 0 |] ]) ]
+
+let labelled_pair =
+  Structure.make
+    ~nodes:[ (0, Some "a"); (1, Some "b") ]
+    ~tuples:[ ("E", [ [| 0; 1 |] ]) ]
+
+let test_structure_basics () =
+  Alcotest.(check int) "size" 3 (Structure.size triangle);
+  Alcotest.(check int) "tuples" 3 (Structure.tuple_count triangle);
+  check "mem tuple" true (Structure.mem_tuple triangle "E" [| 0; 1 |]);
+  check "no reverse edge" false (Structure.mem_tuple triangle "E" [| 1; 0 |]);
+  check "labels" true
+    (Structure.label_of labelled_pair 0 = Some "a")
+
+let test_structure_product () =
+  let p, decode = Structure.product triangle triangle in
+  Alcotest.(check int) "product nodes" 9 (Structure.size p);
+  (* product has an edge for each compatible pair: 3*3 = 9 edges *)
+  Alcotest.(check int) "product edges" 9 (Structure.tuple_count p);
+  let v = List.hd (Structure.nodes p) in
+  let a, b = decode v in
+  check "decode in range" true (a >= 0 && a < 3 && b >= 0 && b < 3)
+
+let test_product_labels () =
+  let p, _ = Structure.product labelled_pair labelled_pair in
+  Alcotest.(check int) "only like-labelled pairs" 2 (Structure.size p)
+
+let test_disjoint_union () =
+  let u, inj1, inj2 = Structure.disjoint_union triangle square in
+  Alcotest.(check int) "union nodes" 7 (Structure.size u);
+  Alcotest.(check int) "union tuples" 7 (Structure.tuple_count u);
+  check "injections disjoint" true (inj1 0 <> inj2 0)
+
+let test_restrict () =
+  let r = Structure.restrict triangle (IS.of_list [ 0; 1 ]) in
+  Alcotest.(check int) "restricted nodes" 2 (Structure.size r);
+  Alcotest.(check int) "restricted edges" 1 (Structure.tuple_count r)
+
+let test_gaifman () =
+  let g = Structure.gaifman triangle in
+  check "neighbors" true
+    (IS.equal (Structure.Int_map.find 0 g) (IS.of_list [ 1; 2 ]))
+
+let test_solver_basic () =
+  check "triangle -> triangle" true
+    (Solver.exists_hom ~source:triangle ~target:triangle ());
+  check "square -> square" true
+    (Solver.exists_hom ~source:square ~target:square ());
+  (* no hom C3 -> C4: directed cycles map iff length divisible *)
+  check "triangle -/-> square" false
+    (Solver.exists_hom ~source:triangle ~target:square ());
+  check "square -/-> triangle" false
+    (Solver.exists_hom ~source:square ~target:triangle ())
+
+let test_solver_labels () =
+  let flipped =
+    Structure.make
+      ~nodes:[ (0, Some "b"); (1, Some "a") ]
+      ~tuples:[ ("E", [ [| 0; 1 |] ]) ]
+  in
+  check "labels preserved" true
+    (Solver.exists_hom ~source:labelled_pair ~target:labelled_pair ());
+  check "label mismatch" false
+    (Solver.exists_hom ~source:labelled_pair ~target:flipped ())
+
+let test_solver_witness () =
+  match Solver.find_hom ~source:square ~target:square () with
+  | None -> Alcotest.fail "expected endomorphism"
+  | Some h -> check "witness checks" true (Solver.is_hom ~source:square ~target:square h)
+
+let test_solver_restrict () =
+  let r v = if v = 0 then IS.singleton 1 else IS.of_list [ 0; 1; 2 ] in
+  (match Solver.find_hom ~restrict:r ~source:triangle ~target:triangle () with
+  | Some h -> Alcotest.(check int) "restricted image" 1 (Structure.Int_map.find 0 h)
+  | None -> Alcotest.fail "expected restricted hom");
+  let empty_r _ = IS.empty in
+  check "empty restriction" false
+    (Solver.exists_hom ~restrict:empty_r ~source:triangle ~target:triangle ())
+
+let test_solver_agreement_with_naive () =
+  for seed = 0 to 20 do
+    let mk s p =
+      let open Certdb_graph in
+      Digraph.to_structure (Digraph.random ~seed:s ~vertices:5 ~edge_prob:p ())
+    in
+    let a = mk seed 0.3 and b = mk (seed + 100) 0.5 in
+    check
+      (Printf.sprintf "seed %d: mrv = naive" seed)
+      (Option.is_some (Solver.find_hom ~source:a ~target:b ()))
+      (Option.is_some (Solver.find_hom_naive ~source:a ~target:b ()))
+  done
+
+let test_count_homs () =
+  (* homs from a single edge into a triangle: 3 edges to pick *)
+  let edge =
+    Structure.make ~nodes:[ (0, None); (1, None) ]
+      ~tuples:[ ("E", [ [| 0; 1 |] ]) ]
+  in
+  Alcotest.(check int) "edge into triangle" 3
+    (Solver.count_homs ~source:edge ~target:triangle ())
+
+let test_onto () =
+  let edge =
+    Structure.make ~nodes:[ (0, None); (1, None) ]
+      ~tuples:[ ("E", [ [| 0; 1 |] ]) ]
+  in
+  check "no onto edge -> triangle" false
+    (Option.is_some (Solver.find_onto_hom ~source:edge ~target:triangle ()));
+  check "onto triangle -> triangle" true
+    (Option.is_some (Solver.find_onto_hom ~source:triangle ~target:triangle ()))
+
+(* matching *)
+let test_matching_perfect () =
+  let g =
+    Matching.make ~left:3 ~right:3
+      ~edges:[ (0, 0); (0, 1); (1, 1); (1, 2); (2, 2) ]
+  in
+  let size, ml = Matching.max_matching g in
+  Alcotest.(check int) "perfect matching" 3 size;
+  check "all matched" true (Array.for_all Option.is_some ml);
+  check "saturates" true (Matching.saturates_left g)
+
+let test_matching_hall_violation () =
+  (* two left vertices share a single right neighbor *)
+  let g = Matching.make ~left:2 ~right:2 ~edges:[ (0, 0); (1, 0) ] in
+  check "not saturating" false (Matching.saturates_left g);
+  match Matching.hall_violation g with
+  | Some u -> check "violator has >= 2 vertices" true (List.length u >= 2)
+  | None -> Alcotest.fail "expected a Hall violator"
+
+let test_matching_empty () =
+  let g = Matching.make ~left:0 ~right:0 ~edges:[] in
+  check "empty saturates" true (Matching.saturates_left g)
+
+(* treewidth *)
+let test_treewidth_path () =
+  let open Certdb_graph in
+  let p = Digraph.to_structure (Digraph.path 6) in
+  let d = Treewidth.of_structure p in
+  check "valid decomposition" true (Treewidth.is_valid p d);
+  Alcotest.(check int) "path width 1" 1 (Treewidth.width d)
+
+let test_treewidth_cycle () =
+  let open Certdb_graph in
+  let c = Digraph.to_structure (Digraph.cycle 8) in
+  let d = Treewidth.of_structure c in
+  check "valid decomposition" true (Treewidth.is_valid c d);
+  Alcotest.(check int) "cycle width 2" 2 (Treewidth.width d)
+
+let test_treewidth_clique () =
+  let open Certdb_graph in
+  let k = Digraph.to_structure (Digraph.clique 4) in
+  let d = Treewidth.of_structure k in
+  check "valid decomposition" true (Treewidth.is_valid k d);
+  Alcotest.(check int) "clique width n-1" 3 (Treewidth.width d)
+
+let test_treewidth_exact () =
+  let open Certdb_graph in
+  (* exact widths on known graphs *)
+  let cases =
+    [ (Digraph.to_structure (Digraph.path 5), 1);
+      (Digraph.to_structure (Digraph.cycle 6), 2);
+      (Digraph.to_structure (Digraph.clique 4), 3);
+      (Digraph.to_structure (Digraph.grid 2 3), 2) ]
+  in
+  List.iter
+    (fun (s, expected) ->
+      let d = Treewidth.exact s in
+      check "exact valid" true (Treewidth.is_valid s d);
+      Alcotest.(check int) "exact width" expected (Treewidth.width d))
+    cases;
+  (* heuristics never beat the optimum *)
+  for seed = 0 to 8 do
+    let g =
+      Digraph.to_structure (Digraph.random ~seed ~vertices:7 ~edge_prob:0.3 ())
+    in
+    let opt = Treewidth.width (Treewidth.exact g) in
+    List.iter
+      (fun h ->
+        check
+          (Printf.sprintf "seed %d heuristic >= exact" seed)
+          true
+          (Treewidth.width (Treewidth.of_structure ~heuristic:h g) >= opt))
+      [ `Min_degree; `Min_fill ]
+  done;
+  Alcotest.check_raises "size guard"
+    (Invalid_argument "Treewidth.exact: too many nodes (max 12)") (fun () ->
+      ignore (Treewidth.exact (Digraph.to_structure (Digraph.clique 13))))
+
+let test_treewidth_random_valid () =
+  for seed = 0 to 10 do
+    let open Certdb_graph in
+    let g =
+      Digraph.to_structure
+        (Digraph.random ~seed ~vertices:8 ~edge_prob:0.3 ())
+    in
+    List.iter
+      (fun h ->
+        let d = Treewidth.of_structure ~heuristic:h g in
+        check (Printf.sprintf "seed %d valid" seed) true
+          (Treewidth.is_valid g d))
+      [ `Min_degree; `Min_fill ]
+  done
+
+(* bounded-treewidth DP vs backtracking solver *)
+let test_bounded_tw_agreement () =
+  for seed = 0 to 25 do
+    let open Certdb_graph in
+    (* tree-like sources: paths and cycles (small width) *)
+    let source =
+      Digraph.to_structure
+        (if seed mod 2 = 0 then Digraph.path (3 + (seed mod 4))
+         else Digraph.cycle (3 + (seed mod 4)))
+    in
+    let target =
+      Digraph.to_structure
+        (Digraph.random ~seed:(seed + 50) ~vertices:5 ~edge_prob:0.4 ())
+    in
+    check
+      (Printf.sprintf "seed %d: dp = solver" seed)
+      (Solver.exists_hom ~source ~target ())
+      (Bounded_tw.hom ~source ~target ())
+  done
+
+let test_bounded_tw_witness () =
+  let open Certdb_graph in
+  let source = Digraph.to_structure (Digraph.path 4) in
+  let target = Digraph.to_structure (Digraph.cycle 3) in
+  let restrict _ = IS.of_list (Structure.nodes target) in
+  match Bounded_tw.r_hom_witness ~source ~target ~restrict () with
+  | None -> Alcotest.fail "path should map into cycle"
+  | Some h ->
+    check "witness is hom" true (Solver.is_hom ~source ~target h)
+
+let test_bounded_tw_restrict () =
+  let open Certdb_graph in
+  let source = Digraph.to_structure (Digraph.path 2) in
+  let target = Digraph.to_structure (Digraph.cycle 3) in
+  (* forbid node 0 of the path from mapping anywhere: unsatisfiable *)
+  let restrict v = if v = 0 then IS.empty else IS.of_list (Structure.nodes target) in
+  check "empty restriction blocks" false
+    (Bounded_tw.r_hom ~source ~target ~restrict ());
+  (* pin path start to cycle node 1 *)
+  let restrict v =
+    if v = 0 then IS.singleton 1 else IS.of_list (Structure.nodes target)
+  in
+  (match Bounded_tw.r_hom_witness ~source ~target ~restrict () with
+  | Some h -> Alcotest.(check int) "pinned" 1 (Structure.Int_map.find 0 h)
+  | None -> Alcotest.fail "pinned hom should exist")
+
+let test_bounded_tw_empty_source () =
+  check "empty source has hom" true
+    (Bounded_tw.hom ~source:Structure.empty ~target:triangle ())
+
+let () =
+  Alcotest.run "csp"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "basics" `Quick test_structure_basics;
+          Alcotest.test_case "product" `Quick test_structure_product;
+          Alcotest.test_case "product labels" `Quick test_product_labels;
+          Alcotest.test_case "disjoint union" `Quick test_disjoint_union;
+          Alcotest.test_case "restrict" `Quick test_restrict;
+          Alcotest.test_case "gaifman" `Quick test_gaifman;
+        ] );
+      ( "solver",
+        [
+          Alcotest.test_case "basic" `Quick test_solver_basic;
+          Alcotest.test_case "labels" `Quick test_solver_labels;
+          Alcotest.test_case "witness" `Quick test_solver_witness;
+          Alcotest.test_case "restrict" `Quick test_solver_restrict;
+          Alcotest.test_case "mrv vs naive" `Quick test_solver_agreement_with_naive;
+          Alcotest.test_case "count" `Quick test_count_homs;
+          Alcotest.test_case "onto" `Quick test_onto;
+        ] );
+      ( "matching",
+        [
+          Alcotest.test_case "perfect" `Quick test_matching_perfect;
+          Alcotest.test_case "hall violation" `Quick test_matching_hall_violation;
+          Alcotest.test_case "empty" `Quick test_matching_empty;
+        ] );
+      ( "treewidth",
+        [
+          Alcotest.test_case "path" `Quick test_treewidth_path;
+          Alcotest.test_case "cycle" `Quick test_treewidth_cycle;
+          Alcotest.test_case "clique" `Quick test_treewidth_clique;
+          Alcotest.test_case "random valid" `Quick test_treewidth_random_valid;
+          Alcotest.test_case "exact" `Quick test_treewidth_exact;
+        ] );
+      ( "bounded_tw",
+        [
+          Alcotest.test_case "agreement" `Quick test_bounded_tw_agreement;
+          Alcotest.test_case "witness" `Quick test_bounded_tw_witness;
+          Alcotest.test_case "restriction" `Quick test_bounded_tw_restrict;
+          Alcotest.test_case "empty source" `Quick test_bounded_tw_empty_source;
+        ] );
+    ]

@@ -1,0 +1,180 @@
+(* Tests for conditional tables (Imieliński–Lipski [26]): condition
+   algebra, grounding semantics, the strong representation property of the
+   relational-algebra operations, and the difference construction that
+   naïve tables cannot express. *)
+
+open Certdb_values
+open Certdb_relational
+
+let check = Alcotest.(check bool)
+let c i = Value.int i
+let n1 = Value.null 1501
+let n2 = Value.null 1502
+
+let test_cond_eval () =
+  let h = Valuation.bind Valuation.empty n1 (c 3) in
+  check "eq holds" true (Ctable.eval_cond h (CEq (n1, c 3)));
+  check "eq fails" false (Ctable.eval_cond h (CEq (n1, c 4)));
+  check "neq" true (Ctable.eval_cond h (CNeq (n1, c 4)));
+  check "and" true
+    (Ctable.eval_cond h (CAnd (CEq (n1, c 3), CNeq (n1, c 4))));
+  check "or" true (Ctable.eval_cond h (COr (CFalse, CEq (n1, c 3))));
+  check "not" true (Ctable.eval_cond h (CNot CFalse))
+
+let test_simplify () =
+  check "x = x is true" true (Ctable.simplify (CEq (n1, n1)) = CTrue);
+  check "1 = 2 is false" true (Ctable.simplify (CEq (c 1, c 2)) = CFalse);
+  check "1 <> 2 is true" true (Ctable.simplify (CNeq (c 1, c 2)) = CTrue);
+  check "and false" true
+    (Ctable.simplify (CAnd (CEq (n1, c 1), CFalse)) = CFalse);
+  check "not not" true
+    (Ctable.simplify (CNot (CNot (CEq (n1, c 1)))) = CEq (n1, c 1))
+
+let test_ground () =
+  let t =
+    Ctable.of_rows ~arity:1
+      [
+        { args = [| n1 |]; guard = CEq (n1, c 1) };
+        { args = [| c 9 |]; guard = CTrue };
+      ]
+  in
+  let h1 = Valuation.bind Valuation.empty n1 (c 1) in
+  let h2 = Valuation.bind Valuation.empty n1 (c 2) in
+  Alcotest.(check int) "guard satisfied: 2 tuples" 2
+    (List.length (Ctable.ground h1 t));
+  Alcotest.(check int) "guard violated: 1 tuple" 1
+    (List.length (Ctable.ground h2 t))
+
+(* strong representation: for each operation op, and each grounding h,
+   ground h (op T) = op (ground h T). *)
+let reference_op op world =
+  (* world is a list of tuples; apply the set-level operation *)
+  op world
+
+let test_strong_representation_select () =
+  let t =
+    Ctable.of_rows ~arity:2
+      [
+        { args = [| n1; c 2 |]; guard = CTrue };
+        { args = [| c 1; n2 |]; guard = CTrue };
+      ]
+  in
+  let selected = Ctable.select_eq_col 0 1 t in
+  List.iter
+    (fun h ->
+      let lhs = Ctable.ground h selected in
+      let rhs =
+        reference_op
+          (List.filter (fun tu -> Value.equal tu.(0) tu.(1)))
+          (Ctable.ground h t)
+      in
+      check "select commutes with grounding" true
+        (List.sort compare lhs = List.sort compare rhs))
+    (Ctable.sample_valuations t)
+
+let test_strong_representation_difference () =
+  let t1 = Ctable.of_rows ~arity:1 [ { args = [| n1 |]; guard = CTrue } ] in
+  let t2 = Ctable.of_rows ~arity:1 [ { args = [| c 1 |]; guard = CTrue } ] in
+  let diff = Ctable.difference t1 t2 in
+  List.iter
+    (fun h ->
+      let lhs = Ctable.ground h diff in
+      let w1 = Ctable.ground h t1 and w2 = Ctable.ground h t2 in
+      let rhs = List.filter (fun tu -> not (List.mem tu w2)) w1 in
+      check "difference commutes with grounding" true
+        (List.sort compare lhs = List.sort compare rhs))
+    (Ctable.sample_valuations (Ctable.union t1 t2))
+
+let test_difference_expressiveness () =
+  (* T1 = {(⊥)}, T2 = {(1)}: T1 - T2 = {(⊥) if ⊥ <> 1} — representable as
+     a c-table, not as a naïve table.  Check semantics directly. *)
+  let t1 = Ctable.of_rows ~arity:1 [ { args = [| n1 |]; guard = CTrue } ] in
+  let t2 = Ctable.of_rows ~arity:1 [ { args = [| c 1 |]; guard = CTrue } ] in
+  let diff = Ctable.difference t1 t2 in
+  let h_eq = Valuation.bind Valuation.empty n1 (c 1) in
+  let h_neq = Valuation.bind Valuation.empty n1 (c 5) in
+  Alcotest.(check int) "⊥=1: empty" 0 (List.length (Ctable.ground h_eq diff));
+  Alcotest.(check int) "⊥=5: singleton" 1
+    (List.length (Ctable.ground h_neq diff))
+
+let test_join_product () =
+  let t1 = Ctable.of_naive ~arity:2 [ [| c 1; n1 |] ] in
+  let t2 = Ctable.of_naive ~arity:2 [ [| n1; c 3 |]; [| c 9; c 9 |] ] in
+  let j = Ctable.join [ (1, 0) ] t1 t2 in
+  Alcotest.(check int) "rows kept symbolically" 2 (List.length (Ctable.rows j));
+  (* under h(⊥)=9 the join produces (1,9,9,9)?  t1 row is (1,9); t2 rows
+     are (9,3) and (9,9): join column 1 of t1 with column 0 of t2 gives
+     both *)
+  let h = Valuation.bind Valuation.empty n1 (c 9) in
+  Alcotest.(check int) "grounded join" 2 (List.length (Ctable.ground h j))
+
+let test_certain_possible () =
+  let t =
+    Ctable.of_rows ~arity:1
+      [
+        { args = [| c 7 |]; guard = CTrue };
+        { args = [| c 8 |]; guard = CEq (n1, c 1) };
+      ]
+  in
+  let certain = Ctable.certain_tuples t in
+  let possible = Ctable.possible_tuples t in
+  check "7 certain" true (List.mem [| c 7 |] certain);
+  check "8 not certain" false (List.mem [| c 8 |] certain);
+  check "8 possible" true (List.mem [| c 8 |] possible)
+
+let test_naive_embedding () =
+  (* a naïve table as a c-table: certain answers agree with
+     Instance/naïve-eval semantics for a projection query *)
+  let d = Instance.of_list [ ("R", [ [ c 1; n1 ]; [ c 2; c 3 ] ]) ] in
+  let t = Ctable.of_instance_relation d "R" in
+  let proj = Ctable.project [ 0 ] t in
+  let certain = Ctable.certain_tuples proj in
+  check "1 certain" true (List.mem [| c 1 |] certain);
+  check "2 certain" true (List.mem [| c 2 |] certain)
+
+let test_guard_nulls_outside_args () =
+  (* a guard can mention nulls that do not occur in the tuple *)
+  let t =
+    Ctable.of_rows ~arity:1 [ { args = [| c 5 |]; guard = CEq (n1, n2) } ]
+  in
+  check "sometimes present" true
+    (List.exists (fun w -> w <> []) (Ctable.rep_sample t));
+  check "sometimes absent" true
+    (List.exists (fun w -> w = []) (Ctable.rep_sample t));
+  check "not certain" false (List.mem [| c 5 |] (Ctable.certain_tuples t))
+
+let test_arity_errors () =
+  let t = Ctable.of_naive ~arity:2 [ [| c 1; c 2 |] ] in
+  Alcotest.check_raises "select out of range"
+    (Invalid_argument "Ctable.select_eq_col: column out of range") (fun () ->
+      ignore (Ctable.select_eq_col 0 5 t));
+  Alcotest.check_raises "union arity"
+    (Invalid_argument "Ctable.union: arity mismatch") (fun () ->
+      ignore (Ctable.union t (Ctable.of_naive ~arity:1 [ [| c 1 |] ])))
+
+let () =
+  Alcotest.run "ctable"
+    [
+      ( "conditions",
+        [
+          Alcotest.test_case "eval" `Quick test_cond_eval;
+          Alcotest.test_case "simplify" `Quick test_simplify;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "ground" `Quick test_ground;
+          Alcotest.test_case "certain/possible" `Quick test_certain_possible;
+          Alcotest.test_case "naive embedding" `Quick test_naive_embedding;
+          Alcotest.test_case "guard-only nulls" `Quick test_guard_nulls_outside_args;
+        ] );
+      ( "algebra",
+        [
+          Alcotest.test_case "select strong" `Quick test_strong_representation_select;
+          Alcotest.test_case "difference strong" `Quick
+            test_strong_representation_difference;
+          Alcotest.test_case "difference expressiveness" `Quick
+            test_difference_expressiveness;
+          Alcotest.test_case "join/product" `Quick test_join_product;
+          Alcotest.test_case "arity errors" `Quick test_arity_errors;
+        ] );
+    ]

@@ -1,0 +1,161 @@
+(* Tests for data exchange (Section 5.3, Theorem 5): mappings, solutions,
+   canonical universal solutions as lubs, core solutions. *)
+
+open Certdb_values
+open Certdb_relational
+open Certdb_gdm
+open Certdb_exchange
+
+let check = Alcotest.(check bool)
+let c i = Value.int i
+let nx = Value.null 5001
+let ny = Value.null 5002
+let nu = Value.null 5003
+let nz = Value.null 5004
+
+(* The paper's rule: S(x,y,u) → T(x,z), T(z,y). *)
+let paper_rule =
+  Mapping.relational_rule
+    ~body:(Instance.of_list [ ("S", [ [ nx; ny; nu ] ]) ])
+    ~head:(Instance.of_list [ ("T", [ [ nx; nz ]; [ nz; ny ] ]) ])
+
+let source =
+  Instance.of_list [ ("S", [ [ c 1; c 2; c 3 ]; [ c 4; c 5; c 6 ] ]) ]
+
+let gdm_source = Encode.of_instance source
+
+let test_triggers () =
+  Alcotest.(check int) "two triggers" 2
+    (List.length (Mapping.triggers paper_rule gdm_source))
+
+let test_m_of_d () =
+  let pieces = Mapping.m_of_d [ paper_rule ] gdm_source in
+  Alcotest.(check int) "two pieces" 2 (List.length pieces);
+  List.iter
+    (fun p ->
+      Alcotest.(check int) "piece has two facts" 2 (Gdb.size p);
+      (* each piece has exactly one null (its own z) *)
+      Alcotest.(check int) "one fresh null" 1
+        (Value.Set.cardinal (Gdb.nulls p)))
+    pieces;
+  (* nulls are renamed apart between pieces *)
+  match pieces with
+  | [ p1; p2 ] ->
+    check "disjoint nulls" true
+      (Value.Set.is_empty (Value.Set.inter (Gdb.nulls p1) (Gdb.nulls p2)))
+  | _ -> Alcotest.fail "expected two pieces"
+
+let test_canonical_is_solution () =
+  let canonical = Universal.canonical_solution [ paper_rule ] gdm_source in
+  check "solution" true
+    (Solution.is_solution [ paper_rule ] ~source:gdm_source canonical);
+  Alcotest.(check int) "four facts" 4 (Gdb.size canonical)
+
+let test_canonical_is_universal () =
+  let canonical = Universal.canonical_solution [ paper_rule ] gdm_source in
+  let solutions =
+    Solution.random_solutions [ paper_rule ] ~source:gdm_source ~seed:5
+      ~count:4
+  in
+  List.iter
+    (fun s ->
+      check "sampled solutions really solve" true
+        (Solution.is_solution [ paper_rule ] ~source:gdm_source s))
+    solutions;
+  check "universal vs sample" true
+    (Solution.is_universal_vs [ paper_rule ] ~source:gdm_source canonical
+       ~solutions)
+
+let test_non_solution_detected () =
+  let junk = Encode.of_instance (Instance.of_list [ ("T", [ [ c 1; c 1 ] ]) ]) in
+  check "junk is not a solution" false
+    (Solution.is_solution [ paper_rule ] ~source:gdm_source junk);
+  check "empty is not a solution" false
+    (Solution.is_solution [ paper_rule ] ~source:gdm_source Gdb.empty)
+
+let test_frontier_constrains_solution () =
+  (* a candidate where T-chains don't respect the frontier values is not a
+     solution *)
+  let bad =
+    Encode.of_instance
+      (Instance.of_list [ ("T", [ [ c 1; c 9 ]; [ c 9; c 9 ] ]) ])
+  in
+  check "wrong endpoints rejected" false
+    (Solution.is_solution [ paper_rule ] ~source:gdm_source bad);
+  let good =
+    Encode.of_instance
+      (Instance.of_list
+         [ ("T", [ [ c 1; c 9 ]; [ c 9; c 2 ]; [ c 4; c 9 ]; [ c 9; c 5 ] ]) ])
+  in
+  check "correct chains accepted" true
+    (Solution.is_solution [ paper_rule ] ~source:gdm_source good)
+
+let test_chase_relational () =
+  let solution = Universal.chase_relational [ paper_rule ] source in
+  Alcotest.(check int) "chase emits 4 facts" 4 (Instance.cardinal solution);
+  (* certain answers over the exchanged data: T(1,z) ∧ T(z,2) certain *)
+  let q =
+    Certdb_query.Cq.boolean
+      [ ("T", [ Certdb_query.Fo.Val (c 1); Certdb_query.Fo.Var "z" ]);
+        ("T", [ Certdb_query.Fo.Var "z"; Certdb_query.Fo.Val (c 2) ]) ]
+  in
+  check "certain over solution" true
+    (Certdb_query.Certain.certain_cq_via_naive q solution)
+
+let test_core_solution () =
+  (* duplicate source facts yield a redundant canonical solution; the core
+     solution folds the duplicates *)
+  let src =
+    Instance.of_list [ ("S", [ [ c 1; c 2; c 3 ]; [ c 1; c 2; c 9 ] ]) ]
+  in
+  let canonical = Universal.chase_relational [ paper_rule ] src in
+  Alcotest.(check int) "canonical has 4 facts" 4 (Instance.cardinal canonical);
+  let core = Universal.core_solution_relational [ paper_rule ] (Encode.of_instance src) in
+  Alcotest.(check int) "core has 2 facts" 2 (Instance.cardinal core);
+  check "core equivalent to canonical" true (Ordering.equiv core canonical)
+
+let test_multi_rule_mapping () =
+  let copy_rule =
+    Mapping.relational_rule
+      ~body:(Instance.of_list [ ("S", [ [ nx; ny; nu ] ]) ])
+      ~head:(Instance.of_list [ ("U", [ [ nx ] ]) ])
+  in
+  let m = [ paper_rule; copy_rule ] in
+  let solution = Universal.chase_relational m source in
+  check "has U fact" true
+    (Instance.mem solution (Instance.fact "U" [ c 1 ]));
+  check "is solution" true
+    (Solution.is_solution m ~source:gdm_source (Encode.of_instance solution))
+
+let test_incomplete_source () =
+  (* sources with nulls also chase correctly: frontier nulls flow through *)
+  let src = Instance.of_list [ ("S", [ [ nx; c 2; c 3 ] ]) ] in
+  let solution = Universal.chase_relational [ paper_rule ] src in
+  Alcotest.(check int) "two facts" 2 (Instance.cardinal solution);
+  (* the null from the source survives in the target *)
+  check "source null present" true
+    (not (Value.Set.is_empty (Instance.nulls solution)))
+
+let () =
+  Alcotest.run "exchange"
+    [
+      ( "mapping",
+        [
+          Alcotest.test_case "triggers" `Quick test_triggers;
+          Alcotest.test_case "m_of_d" `Quick test_m_of_d;
+        ] );
+      ( "solutions",
+        [
+          Alcotest.test_case "canonical solves" `Quick test_canonical_is_solution;
+          Alcotest.test_case "canonical universal" `Quick test_canonical_is_universal;
+          Alcotest.test_case "non-solutions" `Quick test_non_solution_detected;
+          Alcotest.test_case "frontier" `Quick test_frontier_constrains_solution;
+        ] );
+      ( "chase",
+        [
+          Alcotest.test_case "relational chase" `Quick test_chase_relational;
+          Alcotest.test_case "core solution" `Quick test_core_solution;
+          Alcotest.test_case "multi-rule" `Quick test_multi_rule_mapping;
+          Alcotest.test_case "incomplete source" `Quick test_incomplete_source;
+        ] );
+    ]

@@ -1,0 +1,155 @@
+(* The Galois-connection laws behind Theorem 1, the Prop. 2 corollary
+   certain(Q,D) = ∧{Q(D') | D ⊑ D'}, and the Prop. 8 remark about the
+   equivalent CWA characterizations. *)
+
+open Certdb_values
+open Certdb_relational
+open Certdb_query
+
+let check = Alcotest.(check bool)
+let c i = Value.int i
+
+module Rel = struct
+  type t = Instance.t
+
+  let leq = Ordering.leq
+end
+
+module G = Certdb_order.Galois.Make (Rel)
+
+let random_pool ~seed ~size =
+  List.init size (fun i ->
+      Codd.random_naive ~seed:(seed + i) ~schema:[ ("R", 2) ] ~facts:2
+        ~null_prob:0.4 ~domain:2 ~null_pool:1 ())
+
+let test_galois_laws () =
+  List.iter
+    (fun seed ->
+      let pool = random_pool ~seed ~size:7 in
+      check (Printf.sprintf "seed %d" seed) true (G.laws_hold ~pool))
+    [ 0; 40; 80 ]
+
+let test_closure_vs_glb () =
+  (* Theorem 1 through the Galois view: the glb of a pair is a
+     max-description *)
+  for seed = 0 to 5 do
+    let pool = random_pool ~seed:(seed * 17) ~size:6 in
+    match pool with
+    | x :: y :: _ ->
+      let g = Glb.glb x y in
+      let pool = g :: pool in
+      check
+        (Printf.sprintf "seed %d: glb is max-description" seed)
+        true
+        (G.is_max_description g [ x; y ] ~pool)
+    | _ -> ()
+  done
+
+let test_model_classes_closed () =
+  let pool = random_pool ~seed:300 ~size:6 in
+  List.iter
+    (fun x ->
+      check "Mod(x) is closed" true (G.closed (G.models [ x ] ~pool) ~pool))
+    pool
+
+(* certain(Q,D) = ∧ { Q(D') | D ⊑ D' } — the observation after Prop. 2:
+   running Q naively over all more-informative *incomplete* databases and
+   intersecting their complete parts gives certain answers *)
+let test_certain_via_extensions () =
+  let v = Fo.var in
+  let q = Cq.make ~head:[ "x" ] [ ("R", [ v "x"; v "y" ]) ] in
+  let u = Ucq.make [ q ] in
+  for seed = 0 to 5 do
+    let d =
+      Codd.random_naive ~seed:(seed + 900) ~schema:[ ("R", 2) ] ~facts:2
+        ~null_prob:0.5 ~domain:2 ~null_pool:1 ()
+    in
+    (* sample of ↑d: d itself, its completions, a superset *)
+    let ups =
+      d
+      :: List.map snd (Semantics.sample_completions d)
+      @ [ Instance.union d (Instance.of_list [ ("R", [ [ c 77; c 78 ] ]) ]) ]
+    in
+    let answers = List.map (fun d' -> Ucq.answers u d') ups in
+    (* intersect the complete tuples across all answers *)
+    let meet =
+      match List.map Certain.drop_null_tuples answers with
+      | [] -> Instance.empty
+      | a :: rest ->
+        List.fold_left
+          (fun acc a' -> Instance.filter (fun f -> Instance.mem a' f) acc)
+          a rest
+    in
+    check
+      (Printf.sprintf "seed %d: certain = meet over extensions" seed)
+      true
+      (Instance.equal meet (Certain.naive_eval_ucq u d))
+  done
+
+(* Prop. 8 remark: over Codd databases with Hall's condition on ⪯⁻¹, the
+   hoare direction alone already gives ⊑cwa; so (hoare + Hall) and
+   (plotkin + Hall) coincide *)
+let test_prop8_remark () =
+  for seed = 0 to 30 do
+    let d =
+      Codd.random ~seed:(seed * 7) ~schema:[ ("R", 2) ] ~facts:3
+        ~null_prob:0.5 ~domain:2 ()
+    in
+    let d' =
+      Codd.random ~seed:((seed * 7) + 1) ~schema:[ ("R", 2) ] ~facts:3
+        ~null_prob:0.0 ~domain:2 ()
+    in
+    let hall = Ordering.hall_condition d d' in
+    let hoare = Ordering.hoare_leq d d' in
+    let plotkin = Ordering.plotkin_leq d d' in
+    if hall then
+      check
+        (Printf.sprintf "seed %d: under Hall, hoare = plotkin as CWA tests" seed)
+        (hoare && hall = Ordering.cwa_leq d d')
+        (plotkin && hall = Ordering.cwa_leq d d')
+  done
+
+(* parser roundtrips as properties *)
+let prop_instance_roundtrip =
+  QCheck.Test.make ~count:40 ~name:"instance print/parse roundtrip"
+    (QCheck.int_range 0 5000) (fun seed ->
+      let d =
+        Codd.random_naive ~seed ~schema:[ ("R", 2); ("S", 1) ] ~facts:4
+          ~null_prob:0.4 ~domain:3 ~null_pool:2 ()
+      in
+      let d', _ = Parse.instance (Parse.to_string d) in
+      Ordering.equiv d d')
+
+let prop_tree_roundtrip =
+  QCheck.Test.make ~count:40 ~name:"tree print/parse roundtrip"
+    (QCheck.int_range 0 5000) (fun seed ->
+      let t =
+        Certdb_xml.Tree.random ~seed
+          ~labels:[ ("r", 0); ("a", 1); ("b", 2) ]
+          ~max_depth:3 ~max_children:3 ~null_prob:0.3 ~domain:3 ()
+      in
+      let t', _ =
+        Certdb_xml.Tree_parse.tree (Certdb_xml.Tree_parse.to_string t)
+      in
+      Certdb_xml.Tree_hom.equiv t t')
+
+let () =
+  Alcotest.run "galois-remarks"
+    [
+      ( "galois",
+        [
+          Alcotest.test_case "laws" `Quick test_galois_laws;
+          Alcotest.test_case "glb = max-description" `Quick test_closure_vs_glb;
+          Alcotest.test_case "model classes closed" `Quick
+            test_model_classes_closed;
+        ] );
+      ( "remarks",
+        [
+          Alcotest.test_case "certain via extensions" `Quick
+            test_certain_via_extensions;
+          Alcotest.test_case "prop8 remark" `Quick test_prop8_remark;
+        ] );
+      ( "roundtrips",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_instance_roundtrip; prop_tree_roundtrip ] );
+    ]

@@ -1,0 +1,128 @@
+(* Tests for the graph substrate: homomorphism order, cores, the glb/lub
+   lattice constructions, and the Theorem 3 chain of paths and cycles. *)
+
+open Certdb_graph
+
+let check = Alcotest.(check bool)
+
+let test_families () =
+  Alcotest.(check int) "path vertices" 5 (Digraph.size (Digraph.path 4));
+  Alcotest.(check int) "path edges" 4 (Digraph.edge_count (Digraph.path 4));
+  Alcotest.(check int) "cycle vertices" 4 (Digraph.size (Digraph.cycle 4));
+  Alcotest.(check int) "clique edges" 6 (Digraph.edge_count (Digraph.clique 3));
+  Alcotest.(check int) "grid vertices" 6 (Digraph.size (Digraph.grid 2 3))
+
+let test_hom_cycles () =
+  (* C_{2m} -> C_m when m divides 2m; directed cycles: C_n -> C_k iff k | n *)
+  check "C4 -> C2" true (Graph_hom.leq (Digraph.cycle 4) (Digraph.cycle 2));
+  check "C8 -> C4" true (Graph_hom.leq (Digraph.cycle 8) (Digraph.cycle 4));
+  check "C4 -/-> C8" false (Graph_hom.leq (Digraph.cycle 4) (Digraph.cycle 8));
+  check "C6 -> C3" true (Graph_hom.leq (Digraph.cycle 6) (Digraph.cycle 3));
+  check "C6 -/-> C4" false (Graph_hom.leq (Digraph.cycle 6) (Digraph.cycle 4))
+
+let test_hom_paths () =
+  check "P2 -> P5" true (Graph_hom.leq (Digraph.path 2) (Digraph.path 5));
+  check "P5 -/-> P2" false (Graph_hom.leq (Digraph.path 5) (Digraph.path 2));
+  check "P3 -> C4" true (Graph_hom.leq (Digraph.path 3) (Digraph.cycle 4))
+
+(* The Theorem 3 chain: P1 ≺ P2 ≺ ... ≺ C_{2^m} ≺ ... ≺ C4 ≺ C2 *)
+let test_theorem3_chain () =
+  for n = 1 to 4 do
+    check
+      (Printf.sprintf "P%d < P%d" n (n + 1))
+      true
+      (Graph_hom.strictly_less (Digraph.path n) (Digraph.path (n + 1)))
+  done;
+  for m = 2 to 4 do
+    let big = Digraph.cycle (1 lsl m) and small = Digraph.cycle (1 lsl (m - 1)) in
+    check
+      (Printf.sprintf "C%d < C%d" (1 lsl m) (1 lsl (m - 1)))
+      true
+      (Graph_hom.strictly_less big small)
+  done;
+  check "P7 < C8" true
+    (Graph_hom.strictly_less (Digraph.path 7) (Digraph.cycle 8))
+
+let test_colorable () =
+  check "triangle 3-colorable" true (Graph_hom.colorable 3 (Digraph.cycle 3));
+  check "triangle not 2-colorable" false
+    (Graph_hom.colorable 2 (Digraph.cycle 3));
+  check "C4 2-colorable" true (Graph_hom.colorable 2 (Digraph.cycle 4));
+  check "K4 not 3-colorable" false (Graph_hom.colorable 3 (Digraph.clique 4));
+  check "K4 4-colorable" true (Graph_hom.colorable 4 (Digraph.clique 4))
+
+let test_core_basics () =
+  (* directed cycles are cores *)
+  check "C3 is core" true (Graph_core.is_core (Digraph.cycle 3));
+  check "C4 is core" true (Graph_core.is_core (Digraph.cycle 4));
+  (* paths are cores (rigid) *)
+  check "P3 is core" true (Graph_core.is_core (Digraph.path 3));
+  (* two disjoint copies of C3 fold to one *)
+  let two = Digraph.disjoint_union (Digraph.cycle 3) (Digraph.cycle 3) in
+  check "2xC3 not core" false (Graph_core.is_core two);
+  let c = Graph_core.core two in
+  Alcotest.(check int) "core size 3" 3 (Digraph.size c);
+  check "core equivalent" true (Graph_hom.equiv c two)
+
+let test_core_c6_c3 () =
+  (* C6 ⊔ C3 folds to C3 *)
+  let u = Digraph.disjoint_union (Digraph.cycle 6) (Digraph.cycle 3) in
+  let c = Graph_core.core u in
+  Alcotest.(check int) "core of C6+C3" 3 (Digraph.size c);
+  check "equiv to C3" true (Graph_hom.equiv c (Digraph.cycle 3))
+
+let test_glb_lattice () =
+  (* C4 ∧ C6: product contains a directed cycle of length lcm? The glb of
+     C4 and C6 in the core lattice is core(C4 × C6) = C12. *)
+  let g = Graph_core.glb (Digraph.cycle 4) (Digraph.cycle 6) in
+  check "glb below C4" true (Graph_hom.leq g (Digraph.cycle 4));
+  check "glb below C6" true (Graph_hom.leq g (Digraph.cycle 6));
+  check "glb equiv C12" true (Graph_hom.equiv g (Digraph.cycle 12))
+
+let test_lub_lattice () =
+  let l = Graph_core.lub (Digraph.cycle 4) (Digraph.cycle 6) in
+  check "C4 below lub" true (Graph_hom.leq (Digraph.cycle 4) l);
+  check "C6 below lub" true (Graph_hom.leq (Digraph.cycle 6) l);
+  (* C2 is an upper bound of both, so lub ⊑ C2 *)
+  check "lub below C2" true (Graph_hom.leq l (Digraph.cycle 2))
+
+let test_glb_universal_property () =
+  for seed = 0 to 10 do
+    let g1 = Digraph.random ~seed ~vertices:4 ~edge_prob:0.4 () in
+    let g2 = Digraph.random ~seed:(seed + 20) ~vertices:4 ~edge_prob:0.4 () in
+    let h = Digraph.random ~seed:(seed + 40) ~vertices:3 ~edge_prob:0.4 () in
+    let g = Digraph.product g1 g2 in
+    check
+      (Printf.sprintf "seed %d: lower bounds factor" seed)
+      (Graph_hom.leq h g1 && Graph_hom.leq h g2)
+      (Graph_hom.leq h g)
+  done
+
+let test_incomparable () =
+  (* C3 and C4 are incomparable *)
+  check "C3 | C4" true (Graph_hom.incomparable (Digraph.cycle 3) (Digraph.cycle 4))
+
+let () =
+  Alcotest.run "graph"
+    [
+      ( "digraph",
+        [
+          Alcotest.test_case "families" `Quick test_families;
+        ] );
+      ( "hom",
+        [
+          Alcotest.test_case "cycles" `Quick test_hom_cycles;
+          Alcotest.test_case "paths" `Quick test_hom_paths;
+          Alcotest.test_case "theorem3 chain" `Quick test_theorem3_chain;
+          Alcotest.test_case "colorable" `Quick test_colorable;
+          Alcotest.test_case "incomparable" `Quick test_incomparable;
+        ] );
+      ( "core",
+        [
+          Alcotest.test_case "basics" `Quick test_core_basics;
+          Alcotest.test_case "C6+C3" `Quick test_core_c6_c3;
+          Alcotest.test_case "glb" `Quick test_glb_lattice;
+          Alcotest.test_case "lub" `Quick test_lub_lattice;
+          Alcotest.test_case "glb universal" `Quick test_glb_universal_property;
+        ] );
+    ]

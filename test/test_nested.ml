@@ -1,0 +1,194 @@
+(* Tests for null-extended nested relations — the model where the 1990s
+   ordering-based approaches worked (paper §1): powerdomain-lifted
+   orderings, the nested glb, and agreement with the flat (relational)
+   constructions on flat embeddings. *)
+
+open Certdb_values
+open Certdb_relational
+open Certdb_nested
+
+let check = Alcotest.(check bool)
+let c i = Nested.Atom (Value.int i)
+let n i = Nested.Atom (Value.null (6600 + i))
+
+let dept name emps =
+  [| Nested.Atom (Value.str name); Nested.set emps |]
+
+let test_conforms () =
+  let s = Nested.SSet [ Nested.SAtom; Nested.SSet [ Nested.SAtom ] ] in
+  let v = Nested.set [ dept "cs" [ [| c 1 |]; [| c 2 |] ] ] in
+  check "conforms" true (Nested.conforms v s);
+  check "atom shape mismatch" false (Nested.conforms (c 1) s);
+  let bad = Nested.set [ [| c 1 |] ] in
+  check "arity mismatch" false (Nested.conforms bad s)
+
+let test_nulls_ground () =
+  let v = Nested.set [ dept "cs" [ [| n 1 |] ]; dept "ee" [ [| c 5 |] ] ] in
+  Alcotest.(check int) "one null" 1 (Value.Set.cardinal (Nested.nulls v));
+  check "incomplete" false (Nested.is_complete v);
+  let g = Nested.ground v in
+  check "grounded" true (Nested.is_complete g);
+  check "below its grounding" true (Nested.leq_owa v g)
+
+let test_owa_ordering () =
+  (* a department with an unknown employee is below one listing more *)
+  let partial = Nested.set [ dept "cs" [ [| n 1 |] ] ] in
+  let full = Nested.set [ dept "cs" [ [| c 1 |]; [| c 2 |] ] ] in
+  check "partial below full" true (Nested.leq_owa partial full);
+  check "full not below partial" false (Nested.leq_owa full partial);
+  (* OWA: extra departments on the right are fine *)
+  let more = Nested.set [ dept "cs" [ [| c 1 |] ]; dept "ee" [] ] in
+  check "extra dept ok under OWA" true (Nested.leq_owa partial more)
+
+let test_cwa_ordering () =
+  let partial = Nested.set [ dept "cs" [ [| n 1 |] ] ] in
+  let more = Nested.set [ dept "cs" [ [| c 1 |] ]; dept "ee" [] ] in
+  (* CWA: the unexplained ee department blocks *)
+  check "extra dept blocks under CWA" false (Nested.leq_cwa partial more);
+  let exact = Nested.set [ dept "cs" [ [| c 1 |] ] ] in
+  check "exact ok under CWA" true (Nested.leq_cwa partial exact);
+  check "cwa implies owa" true (Nested.leq_owa partial exact)
+
+let test_orderings_reflexive_transitive () =
+  let vs =
+    [
+      Nested.set [ dept "cs" [ [| n 1 |] ] ];
+      Nested.set [ dept "cs" [ [| c 1 |] ] ];
+      Nested.set [ dept "cs" [ [| c 1 |]; [| c 2 |] ] ];
+    ]
+  in
+  List.iter (fun v -> check "refl" true (Nested.leq_owa v v)) vs;
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          List.iter
+            (fun cc ->
+              if Nested.leq_owa a b && Nested.leq_owa b cc then
+                check "trans" true (Nested.leq_owa a cc))
+            vs)
+        vs)
+    vs
+
+let test_glb_nested () =
+  let v1 = Nested.set [ dept "cs" [ [| c 1 |] ] ] in
+  let v2 = Nested.set [ dept "cs" [ [| c 2 |] ] ] in
+  match Nested.glb v1 v2 with
+  | None -> Alcotest.fail "glb exists"
+  | Some g ->
+    check "lower bound of v1" true (Nested.leq_owa g v1);
+    check "lower bound of v2" true (Nested.leq_owa g v2);
+    (* the employee ids disagreed: the glb's employee is a null *)
+    check "not complete" false (Nested.is_complete g)
+
+let test_glb_shape_mismatch () =
+  check "atom vs set" true (Nested.glb (c 1) (Nested.set []) = None)
+
+let test_glb_greatest_sampled () =
+  let v1 = Nested.set [ dept "cs" [ [| c 1 |]; [| c 2 |] ] ] in
+  let v2 = Nested.set [ dept "cs" [ [| c 1 |]; [| c 3 |] ] ] in
+  let lb = Nested.set [ dept "cs" [ [| c 1 |] ] ] in
+  match Nested.glb v1 v2 with
+  | None -> Alcotest.fail "glb exists"
+  | Some g ->
+    check "sampled lower bound flows through" true
+      ((not (Nested.leq_owa lb v1 && Nested.leq_owa lb v2))
+      || Nested.leq_owa lb g)
+
+(* flat embeddings: the nested machinery collapses to the relational one *)
+let test_flat_embedding_ordering () =
+  for seed = 0 to 15 do
+    let mk s =
+      Codd.random_naive ~seed:s ~schema:[ ("R", 2) ] ~facts:3 ~null_prob:0.4
+        ~domain:2 ~null_pool:2 ()
+    in
+    let d = mk seed and d' = mk (seed + 4000) in
+    check
+      (Printf.sprintf "seed %d: nested OWA = hoare lift" seed)
+      (Ordering.hoare_leq d d')
+      (Nested.leq_owa
+         (Nested.of_instance_relation d "R")
+         (Nested.of_instance_relation d' "R"));
+    check
+      (Printf.sprintf "seed %d: nested CWA = plotkin lift" seed)
+      (Ordering.plotkin_leq d d')
+      (Nested.leq_cwa
+         (Nested.of_instance_relation d "R")
+         (Nested.of_instance_relation d' "R"))
+  done
+
+let test_flat_embedding_glb () =
+  (* on Codd tables (where ⪯ = ⊑, Prop. 4) the nested glb matches the
+     relational ⊗-product up to ∼ *)
+  for seed = 0 to 9 do
+    let mk s =
+      Codd.random ~seed:s ~schema:[ ("R", 2) ] ~facts:3 ~null_prob:0.4
+        ~domain:2 ()
+    in
+    let d = mk seed and d' = mk (seed + 5000) in
+    match
+      Nested.glb
+        (Nested.of_instance_relation d "R")
+        (Nested.of_instance_relation d' "R")
+    with
+    | None -> Alcotest.fail "flat glb exists"
+    | Some g ->
+      let flat = Nested.to_instance_relation g ~rel:"R" in
+      check
+        (Printf.sprintf "seed %d: nested glb ~ relational glb" seed)
+        true
+        (Ordering.equiv flat (Glb.glb d d'))
+  done
+
+let test_roundtrip () =
+  let d = Instance.of_list [ ("R", [ [ Value.int 1; Value.null 6699 ] ]) ] in
+  let v = Nested.of_instance_relation d "R" in
+  check "roundtrip" true
+    (Instance.equal (Nested.to_instance_relation v ~rel:"R") d);
+  Alcotest.check_raises "nested cell rejected"
+    (Invalid_argument "Nested.to_instance_relation: nested cell") (fun () ->
+      ignore
+        (Nested.to_instance_relation
+           (Nested.set [ [| Nested.set [] |] ])
+           ~rel:"R"))
+
+(* the paper's point: this machinery was adequate for nested relations but
+   the Hoare lift diverges from homomorphism-based ⊑ once nulls repeat —
+   exactly the Prop. 4 separation, visible through the embedding *)
+let test_divergence_on_repeated_nulls () =
+  let shared = Value.null 6666 in
+  let d = Instance.of_list [ ("R", [ [ shared; shared ] ]) ] in
+  let d' = Instance.of_list [ ("R", [ [ Value.int 1; Value.int 2 ] ]) ] in
+  check "nested OWA accepts" true
+    (Nested.leq_owa
+       (Nested.of_instance_relation d "R")
+       (Nested.of_instance_relation d' "R"));
+  check "hom-based ordering refuses" false (Ordering.leq d d')
+
+let () =
+  Alcotest.run "nested"
+    [
+      ( "values",
+        [
+          Alcotest.test_case "conforms" `Quick test_conforms;
+          Alcotest.test_case "nulls/ground" `Quick test_nulls_ground;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+        ] );
+      ( "orderings",
+        [
+          Alcotest.test_case "owa" `Quick test_owa_ordering;
+          Alcotest.test_case "cwa" `Quick test_cwa_ordering;
+          Alcotest.test_case "laws" `Quick test_orderings_reflexive_transitive;
+          Alcotest.test_case "flat = powerdomain lifts" `Quick
+            test_flat_embedding_ordering;
+          Alcotest.test_case "prop4 divergence" `Quick
+            test_divergence_on_repeated_nulls;
+        ] );
+      ( "glb",
+        [
+          Alcotest.test_case "nested glb" `Quick test_glb_nested;
+          Alcotest.test_case "shape mismatch" `Quick test_glb_shape_mismatch;
+          Alcotest.test_case "greatest sampled" `Quick test_glb_greatest_sampled;
+          Alcotest.test_case "flat glb agreement" `Quick test_flat_embedding_glb;
+        ] );
+    ]

@@ -1,0 +1,159 @@
+(* Tests for the abstract ordered framework of Section 3, instantiated on a
+   small hand-built domain and on divisibility, where glbs are gcds. *)
+
+module Div = struct
+  type t = int
+
+  (* x ⊑ y iff x divides y: "less informative" = more divisors possible *)
+  let leq x y = y mod x = 0
+end
+
+module P = Certdb_order.Preorder.Make (Div)
+
+let pool_60 = [ 1; 2; 3; 4; 5; 6; 10; 12; 15; 20; 30; 60 ]
+let check = Alcotest.(check bool)
+
+let test_equiv () =
+  check "reflexive" true (P.equiv 6 6);
+  check "2 and 3 not equiv" false (P.equiv 2 3)
+
+let test_bounds () =
+  check "2 lower bound of {4,6}" true (P.is_lower_bound 2 [ 4; 6 ]);
+  check "4 not lower bound of {4,6}" false (P.is_lower_bound 4 [ 4; 6 ]);
+  check "12 upper bound of {4,6}" true (P.is_upper_bound 12 [ 4; 6 ]);
+  Alcotest.(check (list int))
+    "lower bounds of {12, 20} in pool" [ 1; 2; 4 ]
+    (List.sort compare (P.lower_bounds_in_pool [ 12; 20 ] ~pool:pool_60))
+
+let test_glb () =
+  check "gcd(12,20)=4 is glb" true (P.is_glb 4 [ 12; 20 ] ~pool:pool_60);
+  check "2 is not glb" false (P.is_glb 2 [ 12; 20 ] ~pool:pool_60);
+  Alcotest.(check (option int))
+    "glb found" (Some 4)
+    (P.glb_in_pool [ 12; 20 ] ~pool:pool_60);
+  Alcotest.(check (option int))
+    "lub found" (Some 60)
+    (P.lub_in_pool [ 12; 20 ] ~pool:pool_60)
+
+let test_no_glb_in_pool () =
+  (* pool without 4: {12,20} has lower bounds 1,2 — 2 is greatest *)
+  let pool = List.filter (fun x -> x <> 4) pool_60 in
+  Alcotest.(check (option int))
+    "glb degrades" (Some 2)
+    (P.glb_in_pool [ 12; 20 ] ~pool);
+  (* remove comparability: lower bounds {2,3} of {6} in a tiny pool with no
+     top element below 6 — construct antichain case with {12,18}: divisors
+     here are 2,3 only -> no glb *)
+  let pool' = [ 2; 3; 12; 18 ] in
+  Alcotest.(check (option int))
+    "no glb with incomparable maximal lower bounds" None
+    (P.glb_in_pool [ 12; 18 ] ~pool:pool')
+
+let test_chains_antichains () =
+  check "chain" true (P.is_chain [ 1; 2; 4; 12; 60 ]);
+  check "not chain" false (P.is_chain [ 2; 3 ]);
+  check "antichain" true (P.is_antichain [ 4; 6; 10 ]);
+  check "not antichain" false (P.is_antichain [ 2; 4 ])
+
+let test_maximal_minimal () =
+  Alcotest.(check (list int))
+    "maximal" [ 12; 20 ]
+    (List.sort compare (P.maximal [ 2; 4; 12; 20 ]));
+  Alcotest.(check (list int))
+    "minimal" [ 2 ]
+    (List.sort compare (P.minimal [ 2; 4; 12; 20 ]))
+
+let test_basis () =
+  (* {2} is a basis of {2,4,8}: ↑{2} = ↑{2,4,8}? No: ↑{2,4,8} ∋ 4 but from
+     basis def in the paper B ⊆ X with ↑B = ↑X — here ↑{2} ⊇ ↑{2,4,8};
+     equality needs every element of ↑2 to dominate some element of X,
+     which holds as 2 ∈ X.  So yes. *)
+  check "basis" true (P.is_basis [ 2 ] [ 2; 4; 8 ]);
+  check "not basis" false (P.is_basis [ 4 ] [ 2; 4; 8 ])
+
+let test_monotone () =
+  check "times 2 monotone" true
+    (P.monotone (fun x -> x * 2) ~leq':Div.leq ~on:pool_60);
+  check "61 - x not monotone" false
+    (P.monotone (fun x -> 61 - x) ~leq':Div.leq ~on:pool_60)
+
+(* Database domain with complete objects: integers paired with a
+   completeness flag is artificial; instead use finite sets of ints where
+   "complete" means only even numbers — πcpl keeps the evens.  Ordering:
+   superset inclusion on the evens and subset on odds is contrived; simpler:
+   model naïve-table-like behaviour with (complete elements, null count). *)
+module Toy = struct
+  (* (s, k): s = set of certain facts, k = number of unresolved nulls.
+     (s,k) ⊑ (t,l) iff s ⊆ t and (k = 0 implies l = 0 and s = t)...
+     keep it simple: ⊑ is s ⊆ t; complete = k = 0; πcpl = (s, 0). *)
+  type t = int list * int
+
+  let leq (s, _) (t, _) = List.for_all (fun x -> List.mem x t) s
+  let is_complete (_, k) = k = 0
+  let pi_cpl (s, _) = (s, 0)
+end
+
+module D = Certdb_order.Domain.Make (Toy)
+
+let toy_pool : Toy.t list =
+  [ ([], 0); ([ 1 ], 0); ([ 2 ], 0); ([ 1; 2 ], 0); ([ 1 ], 1); ([ 1; 2 ], 1) ]
+
+let test_retraction_laws () =
+  check "laws hold" true (D.retraction_laws ~pool:toy_pool)
+
+let test_models_theory () =
+  let m = D.models ([ 1 ], 0) ~pool:toy_pool in
+  check "models include supersets" true
+    (List.exists (fun (s, _) -> List.mem 2 s && List.mem 1 s) m);
+  let th = D.theory ([ 1 ], 0) ~pool:toy_pool in
+  check "theory includes empty" true (List.exists (fun (s, _) -> s = []) th)
+
+(* Theorem 1 on the toy pool: max-descriptions coincide with glbs. *)
+let test_theorem1 () =
+  check "theorem 1" true
+    (D.theorem1_agrees [ ([ 1 ], 0); ([ 1; 2 ], 0) ] ~pool:toy_pool);
+  check "theorem 1 (pair 2)" true
+    (D.theorem1_agrees [ ([ 1 ], 1); ([ 2 ], 0) ] ~pool:toy_pool)
+
+let test_certain_cpl () =
+  (* query: identity; completions of ([1],1) sampled as complete supersets *)
+  let completions = [ ([ 1 ], 0); ([ 1; 2 ], 0) ] in
+  match
+    D.certain_cpl (fun x -> x) ([ 1 ], 1) ~completions ~pool:toy_pool
+  with
+  | Some (s, _) -> Alcotest.(check (list int)) "glb of completions" [ 1 ] s
+  | None -> Alcotest.fail "expected a glb"
+
+let test_naive_evaluation_ok () =
+  let completions = [ ([ 1 ], 0); ([ 1; 2 ], 0) ] in
+  check "identity query naive-evaluates" true
+    (D.naive_evaluation_ok (fun x -> x) ([ 1 ], 1) ~completions ~pool:toy_pool)
+
+let test_corollary1 () =
+  check "corollary 1 for identity" true
+    (D.corollary1 (fun x -> x) ([ 1 ], 0) ~pool:toy_pool)
+
+let () =
+  Alcotest.run "order"
+    [
+      ( "preorder",
+        [
+          Alcotest.test_case "equiv" `Quick test_equiv;
+          Alcotest.test_case "bounds" `Quick test_bounds;
+          Alcotest.test_case "glb/lub" `Quick test_glb;
+          Alcotest.test_case "missing glb" `Quick test_no_glb_in_pool;
+          Alcotest.test_case "chains" `Quick test_chains_antichains;
+          Alcotest.test_case "maximal/minimal" `Quick test_maximal_minimal;
+          Alcotest.test_case "basis" `Quick test_basis;
+          Alcotest.test_case "monotone" `Quick test_monotone;
+        ] );
+      ( "domain",
+        [
+          Alcotest.test_case "retraction laws" `Quick test_retraction_laws;
+          Alcotest.test_case "models/theory" `Quick test_models_theory;
+          Alcotest.test_case "theorem 1" `Quick test_theorem1;
+          Alcotest.test_case "certain_cpl" `Quick test_certain_cpl;
+          Alcotest.test_case "naive evaluation" `Quick test_naive_evaluation_ok;
+          Alcotest.test_case "corollary 1" `Quick test_corollary1;
+        ] );
+    ]

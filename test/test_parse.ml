@@ -1,0 +1,113 @@
+(* Tests for the concrete instance syntax. *)
+
+open Certdb_values
+open Certdb_relational
+
+let check = Alcotest.(check bool)
+
+let test_basic () =
+  let d, bindings = Parse.instance "R(1, 2); S(\"ann\", _x)" in
+  Alcotest.(check int) "two facts" 2 (Instance.cardinal d);
+  check "has R fact" true
+    (Instance.mem d (Instance.fact "R" [ Value.int 1; Value.int 2 ]));
+  Alcotest.(check int) "one null" 1 (List.length bindings);
+  check "null is null" true (Value.is_null (List.assoc "x" bindings))
+
+let test_shared_nulls () =
+  let d, _ = Parse.instance "R(_x, _y); R(_y, _x)" in
+  Alcotest.(check int) "two facts" 2 (Instance.cardinal d);
+  Alcotest.(check int) "two nulls" 2
+    (Value.Set.cardinal (Instance.nulls d));
+  (* the same name is the same null *)
+  let d2, _ = Parse.instance "R(_x, _x)" in
+  Alcotest.(check int) "one null" 1 (Value.Set.cardinal (Instance.nulls d2))
+
+let test_seeded_bindings () =
+  let _, bindings = Parse.instance "S(_x, _y)" in
+  let head, _ = Parse.instance ~bindings "T(_x); T(_z)" in
+  let x = List.assoc "x" bindings in
+  check "seeded null reused" true
+    (Instance.mem head (Instance.fact "T" [ x ]))
+
+let test_values () =
+  check "int" true (Value.equal (Parse.value "42") (Value.int 42));
+  check "negative int" true (Value.equal (Parse.value "-7") (Value.int (-7)));
+  check "string" true (Value.equal (Parse.value "\"a b\"") (Value.str "a b"));
+  check "bare ident as string" true
+    (Value.equal (Parse.value "ann") (Value.str "ann"));
+  check "null" true (Value.is_null (Parse.value "_q"))
+
+let test_roundtrip () =
+  let src = "R(1, _a, \"x\"); S(_a)" in
+  let d, _ = Parse.instance src in
+  let printed = Parse.to_string d in
+  let d', _ = Parse.instance printed in
+  check "roundtrip equivalent" true (Ordering.equiv d d')
+
+let test_empty_args () =
+  let d, _ = Parse.instance "Flag()" in
+  check "0-ary fact" true (Instance.mem d (Instance.fact "Flag" []))
+
+let test_errors () =
+  let fails s =
+    match Parse.instance s with
+    | exception Parse.Parse_error _ -> true
+    | _ -> false
+  in
+  check "unterminated string" true (fails "R(\"abc)");
+  check "missing paren" true (fails "R(1");
+  check "lone underscore" true (fails "R(_)");
+  check "garbage" true (fails "R(1) ? S(2)");
+  check "no separator" true (fails "R(1) S(2)")
+
+let test_whitespace () =
+  let d, _ = Parse.instance "  R ( 1 ,\n 2 ) ;\t S ( 3 )  " in
+  Alcotest.(check int) "two facts" 2 (Instance.cardinal d)
+
+(* FO formula parsing *)
+let test_fo_parse () =
+  let open Certdb_query in
+  let f = Fo_parse.formula "exists x, y. R(x, y) and not S(x)" in
+  check "ep shape" false (Fo.is_existential_positive f);
+  check "existential" true (Fo.is_existential f);
+  let d = Instance.of_list [ ("R", [ [ Value.int 1; Value.int 2 ] ]) ] in
+  check "holds" true (Fo.holds d f);
+  let g = Fo_parse.formula "forall x. R(x, 2) -> x = 1" in
+  check "universal holds" true (Fo.holds d g);
+  let h = Fo_parse.formula "R(1, 2) or false" in
+  check "constant atom" true (Fo.holds d h);
+  let prec = Fo_parse.formula "true and false or true" in
+  check "and binds tighter than or" true (Fo.holds d prec)
+
+let test_fo_parse_errors () =
+  let open Certdb_query in
+  let fails s =
+    match Fo_parse.formula s with
+    | exception Fo_parse.Parse_error _ -> true
+    | _ -> false
+  in
+  check "trailing" true (fails "true true");
+  check "bad quantifier" true (fails "exists . R(x)");
+  check "unclosed atom" true (fails "R(x");
+  check "dangling arrow" true (fails "R(1) ->")
+
+let () =
+  Alcotest.run "parse"
+    [
+      ( "parse",
+        [
+          Alcotest.test_case "basic" `Quick test_basic;
+          Alcotest.test_case "shared nulls" `Quick test_shared_nulls;
+          Alcotest.test_case "seeded bindings" `Quick test_seeded_bindings;
+          Alcotest.test_case "values" `Quick test_values;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "empty args" `Quick test_empty_args;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "whitespace" `Quick test_whitespace;
+        ] );
+      ( "fo",
+        [
+          Alcotest.test_case "formulas" `Quick test_fo_parse;
+          Alcotest.test_case "errors" `Quick test_fo_parse_errors;
+        ] );
+    ]

@@ -1,0 +1,181 @@
+(* Tests for XML tree patterns (child/descendant axes) and XML-to-XML
+   queries with their certain answers. *)
+
+open Certdb_values
+open Certdb_xml
+
+let check = Alcotest.(check bool)
+let c i = Value.int i
+
+let catalog =
+  Tree.node "catalog"
+    [
+      Tree.node "book" ~data:[ c 1 ]
+        [ Tree.leaf "author" ~data:[ Value.str "ann" ];
+          Tree.node "meta" [ Tree.leaf "year" ~data:[ c 1999 ] ] ];
+      Tree.node "book" ~data:[ c 2 ]
+        [ Tree.leaf "author" ~data:[ Value.str "bob" ] ];
+    ]
+
+let test_child_axis () =
+  let p =
+    Pattern.node ~label:"book"
+      [ (Pattern.Child, Pattern.node ~label:"author" []) ]
+  in
+  check "book with author" true (Pattern.matches p catalog);
+  let p_year =
+    Pattern.node ~label:"book"
+      [ (Pattern.Child, Pattern.node ~label:"year" []) ]
+  in
+  check "year is not a direct child" false (Pattern.matches p_year catalog)
+
+let test_descendant_axis () =
+  let p =
+    Pattern.node ~label:"book"
+      [ (Pattern.Descendant, Pattern.node ~label:"year" []) ]
+  in
+  check "year is a descendant" true (Pattern.matches p catalog);
+  let p2 =
+    Pattern.node ~label:"catalog"
+      [ (Pattern.Descendant, Pattern.node ~label:"year" []) ]
+  in
+  check "from the root too" true (Pattern.matches ~require_root:true p2 catalog)
+
+let test_wildcard () =
+  let p =
+    Pattern.node
+      [ (Pattern.Child, Pattern.node ~label:"year" []) ]
+  in
+  (* wildcard node with a year child: the meta node *)
+  check "wildcard matches meta" true (Pattern.matches p catalog)
+
+let test_data_variables () =
+  let p =
+    Pattern.node ~label:"book" ~data:[ Pattern.Var "id" ]
+      [ (Pattern.Child,
+         Pattern.node ~label:"author" ~data:[ Pattern.Var "who" ] []) ]
+  in
+  let answers = Pattern.answers p catalog ~out:[ "id"; "who" ] in
+  Alcotest.(check int) "two books" 2 (List.length answers);
+  check "ann wrote book 1" true
+    (List.mem [ c 1; Value.str "ann" ] answers)
+
+let test_repeated_variable () =
+  (* same variable twice: equality constraint *)
+  let t =
+    Tree.node "r"
+      [ Tree.leaf "a" ~data:[ c 5 ]; Tree.leaf "b" ~data:[ c 5 ];
+        Tree.leaf "b" ~data:[ c 6 ] ]
+  in
+  let p =
+    Pattern.node ~label:"r"
+      [ (Pattern.Child, Pattern.node ~label:"a" ~data:[ Pattern.Var "v" ] []);
+        (Pattern.Child, Pattern.node ~label:"b" ~data:[ Pattern.Var "v" ] []) ]
+  in
+  match Pattern.find_match ~require_root:true p t with
+  | None -> Alcotest.fail "expected a match"
+  | Some env ->
+    let module SM = Map.Make (String) in
+    check "v = 5" true (Value.equal (SM.find "v" env) (c 5))
+
+let test_constants_in_pattern () =
+  let p =
+    Pattern.node ~label:"book" ~data:[ Pattern.Val (c 1) ] []
+  in
+  check "book 1 exists" true (Pattern.matches p catalog);
+  let p9 = Pattern.node ~label:"book" ~data:[ Pattern.Val (c 9) ] [] in
+  check "book 9 missing" false (Pattern.matches p9 catalog)
+
+let test_nulls_as_values_in_matching () =
+  let n = Value.fresh_null () in
+  let t = Tree.node "r" [ Tree.leaf "a" ~data:[ n ]; Tree.leaf "b" ~data:[ n ] ] in
+  let p =
+    Pattern.node ~label:"r"
+      [ (Pattern.Child, Pattern.node ~label:"a" ~data:[ Pattern.Var "v" ] []);
+        (Pattern.Child, Pattern.node ~label:"b" ~data:[ Pattern.Var "v" ] []) ]
+  in
+  (* the shared null satisfies v = v naively *)
+  check "naive match over nulls" true (Pattern.matches ~require_root:true p t);
+  (* but exporting v yields no certain (constant) answers *)
+  Alcotest.(check int) "no constant answers" 0
+    (List.length (Pattern.answers p t ~out:[ "v" ]))
+
+(* XML-to-XML queries *)
+let test_query_apply () =
+  let q =
+    Xml_query.make
+      ~pattern:
+        (Pattern.node ~label:"book" ~data:[ Pattern.Var "id" ]
+           [ (Pattern.Child,
+              Pattern.node ~label:"author" ~data:[ Pattern.Var "who" ] []) ])
+      ~template:
+        (Xml_query.template "entry" ~data:[ Pattern.Var "who" ]
+           [ Xml_query.template "ref" ~data:[ Pattern.Var "id" ] [] ])
+  in
+  let out = Xml_query.apply q catalog in
+  Alcotest.(check int) "two entries" 2 (List.length out.Tree.children);
+  Alcotest.(check string) "result root" "result" out.Tree.label
+
+let test_query_certain_agrees () =
+  (* incomplete input: certain answer (glb over completions) is equivalent
+     to naive application — the Corollary 1 shape *)
+  let n = Value.fresh_null () in
+  let t =
+    Tree.node "catalog"
+      [ Tree.node "book" ~data:[ c 1 ]
+          [ Tree.leaf "author" ~data:[ n ] ] ]
+  in
+  let q =
+    Xml_query.make
+      ~pattern:
+        (Pattern.node ~label:"book" ~data:[ Pattern.Var "id" ]
+           [ (Pattern.Child,
+              Pattern.node ~label:"author" ~data:[ Pattern.Var "who" ] []) ])
+      ~template:(Xml_query.template "w" ~data:[ Pattern.Var "who" ] [])
+  in
+  check "naive ~ certain" true (Xml_query.naive_certain_agrees q t)
+
+let test_query_certain_constant_part () =
+  let n = Value.fresh_null () in
+  let t =
+    Tree.node "catalog"
+      [ Tree.node "book" ~data:[ c 1 ] [];
+        Tree.node "book" ~data:[ n ] [] ]
+  in
+  let q =
+    Xml_query.make
+      ~pattern:(Pattern.node ~label:"book" ~data:[ Pattern.Var "id" ] [])
+      ~template:(Xml_query.template "id" ~data:[ Pattern.Var "id" ] [])
+  in
+  match Xml_query.certain_by_enumeration q t with
+  | None -> Alcotest.fail "glb exists"
+  | Some certain ->
+    (* the certain output contains id(1); the unknown book contributes an
+       incomplete child *)
+    let has_one =
+      List.exists
+        (fun (ch : Tree.t) -> ch.Tree.data = [| c 1 |])
+        certain.Tree.children
+    in
+    check "certain keeps id(1)" true has_one
+
+let () =
+  Alcotest.run "patterns"
+    [
+      ( "pattern",
+        [
+          Alcotest.test_case "child axis" `Quick test_child_axis;
+          Alcotest.test_case "descendant axis" `Quick test_descendant_axis;
+          Alcotest.test_case "wildcard" `Quick test_wildcard;
+          Alcotest.test_case "data variables" `Quick test_data_variables;
+          Alcotest.test_case "repeated variable" `Quick test_repeated_variable;
+          Alcotest.test_case "constants" `Quick test_constants_in_pattern;
+          Alcotest.test_case "nulls as values" `Quick test_nulls_as_values_in_matching;
+        ] );
+      ( "xml_query",
+        [
+          Alcotest.test_case "apply" `Quick test_query_apply;
+          Alcotest.test_case "certain ~ naive" `Quick test_query_certain_agrees;
+          Alcotest.test_case "certain constants" `Quick test_query_certain_constant_part;
+        ] );
+    ]

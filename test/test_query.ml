@@ -1,0 +1,267 @@
+(* Tests for FO/CQ/UCQ evaluation, naïve evaluation and certain answers:
+   the Imieliński–Lipski theorem, Prop. 1's boundary and Prop. 2. *)
+
+open Certdb_values
+open Certdb_relational
+open Certdb_query
+
+let check = Alcotest.(check bool)
+let n1 = Value.null 8001
+let n2 = Value.null 8002
+let c i = Value.int i
+let v = Fo.var
+let k i = Fo.const (c i)
+
+let test_fo_eval () =
+  let d = Instance.of_list [ ("R", [ [ c 1; c 2 ]; [ c 2; c 3 ] ]) ] in
+  check "atom holds" true (Fo.holds d (Fo.atom "R" [ k 1; k 2 ]));
+  check "atom fails" false (Fo.holds d (Fo.atom "R" [ k 2; k 1 ]));
+  check "exists" true
+    (Fo.holds d (Fo.Exists ([ "x" ], Fo.atom "R" [ v "x"; k 3 ])));
+  check "forall fails" false
+    (Fo.holds d (Fo.Forall ([ "x" ], Fo.atom "R" [ v "x"; k 2 ])));
+  check "implication" true
+    (Fo.holds d
+       (Fo.Forall
+          ( [ "x"; "y" ],
+            Fo.Implies (Fo.atom "R" [ v "x"; v "y" ], Fo.Not (Fo.Eq (v "x", v "y"))) )))
+
+let test_fo_nulls_as_values () =
+  let d = Instance.of_list [ ("R", [ [ n1; n1 ]; [ n1; n2 ] ]) ] in
+  (* naive semantics: ⊥1 = ⊥1 but ⊥1 ≠ ⊥2 *)
+  check "self equality" true
+    (Fo.holds d (Fo.Exists ([ "x" ], Fo.atom "R" [ v "x"; v "x" ])));
+  check "distinct nulls differ" true
+    (Fo.holds d
+       (Fo.Exists
+          ( [ "x"; "y" ],
+            Fo.And (Fo.atom "R" [ v "x"; v "y" ], Fo.Not (Fo.Eq (v "x", v "y"))) )))
+
+let test_fo_answers () =
+  let d = Instance.of_list [ ("R", [ [ c 1; c 2 ]; [ c 2; c 3 ] ]) ] in
+  let ans = Fo.answers ~head:[ "x" ] d (Fo.Exists ([ "y" ], Fo.atom "R" [ v "x"; v "y" ])) in
+  Alcotest.(check int) "two sources" 2 (Instance.cardinal ans)
+
+let test_cq_eval () =
+  let d = Instance.of_list [ ("R", [ [ c 1; c 2 ]; [ c 2; c 3 ] ]) ] in
+  let q = Cq.make ~head:[ "x"; "z" ]
+      [ ("R", [ v "x"; v "y" ]); ("R", [ v "y"; v "z" ]) ]
+  in
+  let ans = Cq.answers q d in
+  Alcotest.(check int) "one path" 1 (Instance.cardinal ans);
+  check "path 1-3" true
+    (Instance.mem ans (Instance.fact "ans" [ c 1; c 3 ]))
+
+let test_cq_fo_agree () =
+  for seed = 0 to 10 do
+    let d =
+      Codd.random_naive ~seed ~schema:[ ("R", 2) ] ~facts:4 ~null_prob:0.3
+        ~domain:3 ~null_pool:2 ()
+    in
+    let q =
+      Cq.make ~head:[ "x" ] [ ("R", [ v "x"; v "y" ]); ("R", [ v "y"; v "x" ]) ]
+    in
+    let via_cq = Cq.answers q d in
+    let via_fo = Fo.answers ~head:[ "x" ] d (Cq.to_fo q) in
+    check (Printf.sprintf "seed %d: CQ = FO" seed) true
+      (Instance.equal via_cq via_fo)
+  done
+
+let test_cq_tableau_roundtrip () =
+  let d = Instance.of_list [ ("R", [ [ c 1; n1 ]; [ n1; n2 ] ]) ] in
+  let q = Cq.of_instance d in
+  let tableau, _ = Cq.freeze q in
+  check "tableau equivalent to instance" true (Ordering.equiv tableau d)
+
+let test_containment () =
+  (* path-2 query contained in path-1 query *)
+  let q2 = Cq.make ~head:[ "x" ] [ ("R", [ v "x"; v "y" ]); ("R", [ v "y"; v "z" ]) ] in
+  let q1 = Cq.make ~head:[ "x" ] [ ("R", [ v "x"; v "y" ]) ] in
+  check "Q2 ⊆ Q1" true (Cq.contained q2 q1);
+  check "Q1 ⊄ Q2" false (Cq.contained q1 q2);
+  (* boolean triangle vs edge *)
+  let tri =
+    Cq.boolean [ ("R", [ v "x"; v "y" ]); ("R", [ v "y"; v "z" ]); ("R", [ v "z"; v "x" ]) ]
+  in
+  let edge = Cq.boolean [ ("R", [ v "x"; v "y" ]) ] in
+  check "triangle ⊆ edge" true (Cq.contained tri edge);
+  check "edge ⊄ triangle" false (Cq.contained edge tri)
+
+(* Imieliński–Lipski: naïve evaluation computes certain answers for UCQs. *)
+let test_naive_ucq_certain () =
+  for seed = 0 to 12 do
+    let d =
+      Codd.random_naive ~seed ~schema:[ ("R", 2) ] ~facts:3 ~null_prob:0.4
+        ~domain:2 ~null_pool:2 ()
+    in
+    let q = Cq.make ~head:[ "x" ] [ ("R", [ v "x"; v "y" ]) ] in
+    let u = Ucq.make [ q ] in
+    let naive = Certain.naive_eval_ucq u d in
+    let reference =
+      Semantics.certain_answers_by_enumeration
+        (fun r -> Ucq.answers u r)
+        d
+    in
+    check
+      (Printf.sprintf "seed %d: naive = certain" seed)
+      true
+      (Instance.equal naive reference)
+  done
+
+let test_naive_ucq_join () =
+  for seed = 0 to 12 do
+    let d =
+      Codd.random_naive ~seed:(seed + 77) ~schema:[ ("R", 2) ] ~facts:3
+        ~null_prob:0.4 ~domain:2 ~null_pool:2 ()
+    in
+    let q =
+      Cq.make ~head:[ "x"; "z" ]
+        [ ("R", [ v "x"; v "y" ]); ("R", [ v "y"; v "z" ]) ]
+    in
+    let u = Ucq.make [ q ] in
+    check
+      (Printf.sprintf "seed %d: join naive = certain" seed)
+      true
+      (Instance.equal
+         (Certain.naive_eval_ucq u d)
+         (Semantics.certain_answers_by_enumeration (fun r -> Ucq.answers u r) d))
+  done
+
+(* Prop. 1 boundary: a non-UCQ query where naive evaluation overclaims. *)
+let test_prop1_boundary () =
+  let d = Instance.of_list [ ("R", [ [ n1 ] ]) ] in
+  (* Q = ∃x R(x) ∧ ¬S(x): naively true, but the world R(a), S(a) refutes *)
+  let q =
+    Fo.Exists ([ "x" ], Fo.And (Fo.atom "R" [ v "x" ], Fo.Not (Fo.atom "S" [ v "x" ])))
+  in
+  check "naive says true" true (Certain.naive_holds q d);
+  let refuting =
+    Instance.of_list [ ("R", [ [ c 1 ] ]); ("S", [ [ c 1 ] ]) ]
+  in
+  check "refuting world in [[d]]" true (Semantics.mem refuting d);
+  check "certain is false" false
+    (Certain.certain_holds_fo ~worlds:[ refuting ] q d)
+
+let test_prop1_inequality_query () =
+  (* Q = ∃x,y R(x) ∧ R(y) ∧ x≠y on D = {R(⊥1), R(⊥2)}: naively true, but
+     the completion mapping both nulls to the same constant refutes it. *)
+  let d = Instance.of_list [ ("R", [ [ n1 ]; [ n2 ] ]) ] in
+  let q =
+    Fo.Exists
+      ( [ "x"; "y" ],
+        Fo.conj
+          [ Fo.atom "R" [ v "x" ]; Fo.atom "R" [ v "y" ];
+            Fo.Not (Fo.Eq (v "x", v "y")) ] )
+  in
+  check "naive true" true (Certain.naive_holds q d);
+  check "not certain" false (Certain.certain_holds_fo q d)
+
+(* Prop. 2: the three characterizations agree for Boolean CQs. *)
+let test_prop2 () =
+  for seed = 0 to 15 do
+    let d =
+      Codd.random_naive ~seed:(seed + 200) ~schema:[ ("R", 2) ] ~facts:3
+        ~null_prob:0.3 ~domain:2 ~null_pool:2 ()
+    in
+    let q = Cq.boolean [ ("R", [ v "x"; v "x" ]) ] in
+    let a = Certain.certain_cq_via_hom q d in
+    let b = Certain.certain_cq_via_containment q d in
+    let c' = Certain.certain_cq_via_naive q d in
+    check (Printf.sprintf "seed %d: hom = containment" seed) a b;
+    check (Printf.sprintf "seed %d: hom = naive" seed) a c'
+  done
+
+let test_prop2_certainty_matches_enumeration () =
+  for seed = 0 to 10 do
+    let d =
+      Codd.random_naive ~seed:(seed + 300) ~schema:[ ("R", 2) ] ~facts:3
+        ~null_prob:0.4 ~domain:2 ~null_pool:2 ()
+    in
+    let q = Cq.boolean [ ("R", [ v "x"; v "y" ]); ("R", [ v "y"; v "x" ]) ] in
+    check
+      (Printf.sprintf "seed %d: prop2 = enumeration" seed)
+      (List.for_all
+         (fun (_, r) -> Cq.holds q r)
+         (Semantics.sample_completions d))
+      (Certain.certain_cq_via_hom q d)
+  done
+
+(* CWA certainty and possibility *)
+let test_cwa_certain_vs_owa () =
+  (* non-monotone query: certain under CWA, refutable under OWA *)
+  let d = Instance.of_list [ ("R", [ [ n1 ] ]) ] in
+  let q =
+    Fo.Exists ([ "x" ], Fo.And (Fo.atom "R" [ v "x" ], Fo.Not (Fo.atom "S" [ v "x" ])))
+  in
+  check "certain under CWA" true (Certain.certain_holds_cwa q d);
+  let superset = Instance.of_list [ ("R", [ [ c 1 ] ]); ("S", [ [ c 1 ] ]) ] in
+  check "refuted under OWA" false
+    (Certain.certain_holds_fo ~worlds:[ superset ] q d)
+
+let test_possible () =
+  let d = Instance.of_list [ ("R", [ [ n1 ]; [ c 5 ] ]) ] in
+  (* possible that the two facts coincide *)
+  let q =
+    Fo.Exists
+      ( [ "x" ],
+        Fo.And (Fo.atom "R" [ v "x" ], Fo.Eq (v "x", k 5)) )
+  in
+  check "5 possible (indeed certain)" true (Certain.possible_holds_cwa q d);
+  let contradiction = Fo.And (Fo.atom "R" [ k 9 ], Fo.Not (Fo.atom "R" [ k 9 ])) in
+  check "contradiction impossible" false
+    (Certain.possible_holds_cwa contradiction d);
+  (* possible answers of a UCQ: the null can be anything sampled *)
+  let u = Ucq.make [ Cq.make ~head:[ "x" ] [ ("R", [ v "x" ]) ] ] in
+  let poss = Certain.possible_ucq u d in
+  check "5 among possible" true (Instance.mem poss (Instance.fact "ans" [ c 5 ]));
+  check "possible superset of certain" true
+    (Instance.fold
+       (fun f ok -> ok && Instance.mem poss f)
+       (Certain.naive_eval_ucq u d) true)
+
+let test_classifiers () =
+  let ep = Fo.Exists ([ "x" ], Fo.atom "R" [ v "x" ]) in
+  check "exist-positive" true (Fo.is_existential_positive ep);
+  check "existential" true (Fo.is_existential ep);
+  let neg = Fo.Exists ([ "x" ], Fo.Not (Fo.atom "R" [ v "x" ])) in
+  check "negation not positive" false (Fo.is_existential_positive neg);
+  check "negation still existential" true (Fo.is_existential neg);
+  let univ = Fo.Forall ([ "x" ], Fo.atom "R" [ v "x" ]) in
+  check "universal not existential" false (Fo.is_existential univ)
+
+let test_free_vars () =
+  let f = Fo.Exists ([ "y" ], Fo.And (Fo.atom "R" [ v "x"; v "y" ], Fo.Eq (v "z", k 1))) in
+  Alcotest.(check (list string)) "free vars" [ "x"; "z" ]
+    (List.sort compare (Fo.free_vars f))
+
+let () =
+  Alcotest.run "query"
+    [
+      ( "fo",
+        [
+          Alcotest.test_case "eval" `Quick test_fo_eval;
+          Alcotest.test_case "nulls as values" `Quick test_fo_nulls_as_values;
+          Alcotest.test_case "answers" `Quick test_fo_answers;
+          Alcotest.test_case "classifiers" `Quick test_classifiers;
+          Alcotest.test_case "free vars" `Quick test_free_vars;
+        ] );
+      ( "cq",
+        [
+          Alcotest.test_case "eval" `Quick test_cq_eval;
+          Alcotest.test_case "cq = fo" `Quick test_cq_fo_agree;
+          Alcotest.test_case "tableau roundtrip" `Quick test_cq_tableau_roundtrip;
+          Alcotest.test_case "containment" `Quick test_containment;
+        ] );
+      ( "certain",
+        [
+          Alcotest.test_case "naive ucq = certain" `Quick test_naive_ucq_certain;
+          Alcotest.test_case "naive join = certain" `Quick test_naive_ucq_join;
+          Alcotest.test_case "prop1 boundary" `Quick test_prop1_boundary;
+          Alcotest.test_case "prop1 inequality" `Quick test_prop1_inequality_query;
+          Alcotest.test_case "prop2 equivalences" `Quick test_prop2;
+          Alcotest.test_case "prop2 = enumeration" `Quick
+            test_prop2_certainty_matches_enumeration;
+          Alcotest.test_case "cwa vs owa certainty" `Quick test_cwa_certain_vs_owa;
+          Alcotest.test_case "possibility" `Quick test_possible;
+        ] );
+    ]

@@ -1,0 +1,230 @@
+(* Tests for the relational substrate: instances, homomorphisms, orderings,
+   glb/lub, cores, Codd tables, semantics. *)
+
+open Certdb_values
+open Certdb_relational
+
+let n1 = Value.null 9001
+let n2 = Value.null 9002
+let n3 = Value.null 9003
+let c i = Value.int i
+
+(* The paper's Section 2.1 example:
+   D: (1,2,⊥1), (⊥2,⊥1,3), (⊥3,5,1)   R: (1,2,4), (3,4,3), (5,5,1), (3,7,8) *)
+let paper_d =
+  Instance.of_list
+    [ ("D", [ [ c 1; c 2; n1 ]; [ n2; n1; c 3 ]; [ n3; c 5; c 1 ] ]) ]
+
+let paper_r =
+  Instance.of_list
+    [ ("D",
+       [ [ c 1; c 2; c 4 ];
+         [ c 3; c 4; c 3 ];
+         [ c 5; c 5; c 1 ];
+         [ c 3; c 7; c 8 ] ]) ]
+
+let check = Alcotest.(check bool)
+
+let test_paper_example () =
+  check "R in [[D]]" true (Semantics.mem paper_r paper_d);
+  check "D leq R" true (Ordering.leq paper_d paper_r);
+  check "R not leq D" false (Ordering.leq paper_r paper_d)
+
+let test_hom_identity () =
+  check "D leq D" true (Ordering.leq paper_d paper_d);
+  check "empty leq D" true (Ordering.leq Instance.empty paper_d);
+  check "D not leq empty" false (Ordering.leq paper_d Instance.empty)
+
+let test_hom_witness () =
+  match Hom.find paper_d paper_r with
+  | None -> Alcotest.fail "expected a homomorphism"
+  | Some h ->
+    check "witness is a hom" true (Hom.is_hom h paper_d paper_r);
+    check "witness grounds" true (Valuation.is_grounding h)
+
+let test_hom_repeated_nulls () =
+  (* R(⊥1,⊥1) requires both positions equal in the target *)
+  let d = Instance.of_list [ ("R", [ [ n1; n1 ] ]) ] in
+  let t1 = Instance.of_list [ ("R", [ [ c 1; c 2 ] ]) ] in
+  let t2 = Instance.of_list [ ("R", [ [ c 2; c 2 ] ]) ] in
+  check "no hom to (1,2)" false (Ordering.leq d t1);
+  check "hom to (2,2)" true (Ordering.leq d t2)
+
+let test_onto_hom () =
+  let d = Instance.of_list [ ("R", [ [ n1 ]; [ n2 ] ]) ] in
+  let r1 = Instance.of_list [ ("R", [ [ c 1 ]; [ c 2 ] ]) ] in
+  let r2 = Instance.of_list [ ("R", [ [ c 1 ]; [ c 2 ]; [ c 3 ] ]) ] in
+  check "onto two facts" true (Ordering.cwa_leq d r1);
+  check "not onto three facts" false (Ordering.cwa_leq d r2);
+  check "owa still fine" true (Ordering.leq d r2)
+
+let test_pi_cpl () =
+  let p = Instance.pi_cpl paper_d in
+  check "pi_cpl drops nulls" true (Instance.is_complete p);
+  Alcotest.(check int) "one complete fact" 0 (Instance.cardinal p);
+  let d = Instance.of_list [ ("R", [ [ c 1 ]; [ n1 ] ]) ] in
+  Alcotest.(check int) "keeps complete facts" 1
+    (Instance.cardinal (Instance.pi_cpl d))
+
+let test_ground () =
+  let g = Instance.ground paper_d in
+  check "ground is complete" true (Instance.is_complete g);
+  check "ground in [[D]]" true (Semantics.mem g paper_d)
+
+(* Prop. 4: ⪯ coincides with ⊑ on Codd databases. *)
+let test_prop4_codd_agree () =
+  for seed = 0 to 30 do
+    let d =
+      Codd.random ~seed ~schema:[ ("R", 2) ] ~facts:4 ~null_prob:0.4
+        ~domain:3 ()
+    in
+    let d' =
+      Codd.random ~seed:(seed + 1000) ~schema:[ ("R", 2) ] ~facts:4
+        ~null_prob:0.4 ~domain:3 ()
+    in
+    check
+      (Printf.sprintf "seed %d: hoare_leq = leq" seed)
+      (Ordering.hoare_leq d d') (Ordering.leq d d')
+  done
+
+(* ... and differs on naïve databases: D = {R(⊥1,⊥1)}, D' = {R(1,2)}:
+   ⪯ holds tuple-wise but there is no homomorphism. *)
+let test_prop4_naive_separation () =
+  let d = Instance.of_list [ ("R", [ [ n1; n1 ] ]) ] in
+  let d' = Instance.of_list [ ("R", [ [ c 1; c 2 ] ]) ] in
+  check "hoare holds" true (Ordering.hoare_leq d d');
+  check "leq fails" false (Ordering.leq d d')
+
+(* Prop. 8: over Codd databases ⊑cwa = ⪯ + Hall. *)
+let test_prop8 () =
+  for seed = 0 to 40 do
+    let d =
+      Codd.random ~seed ~schema:[ ("R", 2) ] ~facts:3 ~null_prob:0.5
+        ~domain:2 ()
+    in
+    let d' =
+      Codd.random ~seed:(seed + 500) ~schema:[ ("R", 2) ] ~facts:3
+        ~null_prob:0.0 ~domain:2 ()
+    in
+    check
+      (Printf.sprintf "seed %d: cwa via onto-hom = Hall characterization" seed)
+      (Ordering.cwa_leq d d')
+      (Ordering.cwa_leq_codd d d')
+  done
+
+(* Prop. 5: the ⊗-product is a glb. *)
+let test_glb_is_lower_bound () =
+  let r1 = Instance.of_list [ ("R", [ [ c 1; n1 ]; [ n1; c 2 ] ]) ] in
+  let r2 = Instance.of_list [ ("R", [ [ c 1; c 3 ]; [ n2; c 2 ] ]) ] in
+  let g, left, right = Glb.pair r1 r2 in
+  check "g leq r1" true (Hom.is_hom left g r1);
+  check "g leq r2" true (Hom.is_hom right g r2);
+  check "g leq r1 (search)" true (Ordering.leq g r1);
+  check "g leq r2 (search)" true (Ordering.leq g r2)
+
+let test_glb_is_greatest () =
+  for seed = 0 to 15 do
+    let mk s =
+      Codd.random_naive ~seed:s ~schema:[ ("R", 2) ] ~facts:3 ~null_prob:0.4
+        ~domain:2 ~null_pool:2 ()
+    in
+    let r1 = mk seed and r2 = mk (seed + 100) and d = mk (seed + 200) in
+    let g = Glb.glb r1 r2 in
+    if Ordering.leq d r1 && Ordering.leq d r2 then
+      check
+        (Printf.sprintf "seed %d: lower bound flows through glb" seed)
+        true (Ordering.leq d g)
+  done
+
+let test_glb_size_bound () =
+  let r1 = Instance.of_list [ ("R", [ [ c 1; n1 ]; [ n1; c 2 ] ]) ] in
+  let r2 = Instance.of_list [ ("R", [ [ c 1; c 3 ]; [ n2; c 2 ] ]) ] in
+  let g = Glb.glb r1 r2 in
+  check "product size" true (Instance.cardinal g <= 4)
+
+(* lub: disjoint union is an upper bound, and least among sampled bounds. *)
+let test_lub () =
+  let r1 = Instance.of_list [ ("R", [ [ c 1; n1 ] ]) ] in
+  let r2 = Instance.of_list [ ("R", [ [ n1; c 2 ] ]) ] in
+  let u = Lub.pair r1 r2 in
+  check "r1 leq u" true (Ordering.leq r1 u);
+  check "r2 leq u" true (Ordering.leq r2 u);
+  (* any other upper bound dominates u *)
+  let v = Instance.of_list [ ("R", [ [ c 1; c 2 ]; [ c 2; c 2 ] ]) ] in
+  if Ordering.leq r1 v && Ordering.leq r2 v then
+    check "u leq other upper bound" true (Ordering.leq u v)
+
+let test_core () =
+  (* {R(⊥1), R(c)} folds to {R(c)} *)
+  let d = Instance.of_list [ ("R", [ [ n1 ]; [ c 1 ] ]) ] in
+  let cr = Core_instance.core d in
+  Alcotest.(check int) "core size 1" 1 (Instance.cardinal cr);
+  check "core equivalent" true (Ordering.equiv d cr);
+  (* swap cycle is its own core *)
+  let sw = Instance.of_list [ ("R", [ [ n1; n2 ]; [ n2; n1 ] ]) ] in
+  check "2-cycle is a core" true (Core_instance.is_core sw);
+  (* with a reflexive fact the cycle folds *)
+  let sw2 = Instance.union sw (Instance.of_list [ ("R", [ [ c 5; c 5 ] ]) ]) in
+  Alcotest.(check int) "folds onto loop" 1
+    (Instance.cardinal (Core_instance.core sw2))
+
+let test_codd () =
+  check "paper_d not codd" false (Codd.is_codd paper_d);
+  let cd = Codd.coddify paper_d in
+  check "coddified is codd" true (Codd.is_codd cd);
+  check "coddify less informative" true (Ordering.leq cd paper_d)
+
+let test_rename_apart () =
+  let d', h = Instance.rename_apart ~avoid:(Instance.nulls paper_d) paper_d in
+  check "renamed equivalent" true (Ordering.equiv d' paper_d);
+  check "injective renaming" true (Valuation.is_injective h);
+  check "disjoint nulls" true
+    (Value.Set.is_empty
+       (Value.Set.inter (Instance.nulls d') (Instance.nulls paper_d)))
+
+let test_semantics_sample () =
+  let d = Instance.of_list [ ("R", [ [ n1; c 1 ] ]) ] in
+  let worlds = Semantics.sample_completions d in
+  check "samples non-empty" true (List.length worlds > 0);
+  List.iter
+    (fun (h, r) ->
+      check "grounding" true (Valuation.is_grounding h);
+      check "in [[d]]" true (Semantics.mem r d))
+    worlds
+
+let () =
+  Alcotest.run "relational"
+    [
+      ( "hom",
+        [
+          Alcotest.test_case "paper example" `Quick test_paper_example;
+          Alcotest.test_case "identity and empty" `Quick test_hom_identity;
+          Alcotest.test_case "witness validity" `Quick test_hom_witness;
+          Alcotest.test_case "repeated nulls" `Quick test_hom_repeated_nulls;
+          Alcotest.test_case "onto homs" `Quick test_onto_hom;
+        ] );
+      ( "orderings",
+        [
+          Alcotest.test_case "prop4 agreement on Codd" `Quick
+            test_prop4_codd_agree;
+          Alcotest.test_case "prop4 separation on naive" `Quick
+            test_prop4_naive_separation;
+          Alcotest.test_case "prop8 cwa = hall" `Quick test_prop8;
+        ] );
+      ( "bounds",
+        [
+          Alcotest.test_case "glb lower bound" `Quick test_glb_is_lower_bound;
+          Alcotest.test_case "glb greatest" `Quick test_glb_is_greatest;
+          Alcotest.test_case "glb size" `Quick test_glb_size_bound;
+          Alcotest.test_case "lub" `Quick test_lub;
+        ] );
+      ( "instances",
+        [
+          Alcotest.test_case "pi_cpl" `Quick test_pi_cpl;
+          Alcotest.test_case "ground" `Quick test_ground;
+          Alcotest.test_case "core" `Quick test_core;
+          Alcotest.test_case "codd" `Quick test_codd;
+          Alcotest.test_case "rename apart" `Quick test_rename_apart;
+          Alcotest.test_case "semantics sample" `Quick test_semantics_sample;
+        ] );
+    ]

@@ -1,0 +1,166 @@
+(* Theorem 2 and Prop. 7 exercised on the real relational domain: UCQs are
+   monotone and have the complete saturation property, hence naïve
+   evaluation computes their certain answers; a query with negation breaks
+   the saturation premises and the conclusion. *)
+
+open Certdb_values
+open Certdb_relational
+open Certdb_query
+
+module Rel_domain = struct
+  type t = Instance.t
+
+  let leq = Ordering.leq
+  let is_complete = Instance.is_complete
+  let pi_cpl = Instance.pi_cpl
+end
+
+module D = Certdb_order.Domain.Make (Rel_domain)
+module P = Certdb_order.Preorder.Make (Rel_domain)
+
+let check = Alcotest.(check bool)
+let v = Fo.var
+
+(* queries as instance → instance maps over the fixed schema {R/2};
+   answers are materialized in a relation "ans" *)
+let ucq_query =
+  let q = Cq.make ~head:[ "x" ] [ ("R", [ v "x"; v "y" ]) ] in
+  fun d -> Ucq.answers (Ucq.make [ q ]) d
+
+let join_query =
+  let q =
+    Cq.make ~head:[ "x"; "z" ]
+      [ ("R", [ v "x"; v "y" ]); ("R", [ v "y"; v "z" ]) ]
+  in
+  fun d -> Ucq.answers (Ucq.make [ q ]) d
+
+(* a non-monotone query: R-sources with no outgoing R-edge from their
+   target *)
+let negation_query d =
+  let f =
+    Fo.Exists
+      ( [ "y" ],
+        Fo.And
+          ( Fo.atom "R" [ v "x"; v "y" ],
+            Fo.Not (Fo.Exists ([ "z" ], Fo.atom "R" [ v "y"; v "z" ])) ) )
+  in
+  Fo.answers ~head:[ "x" ] d f
+
+let instance_of_seed seed =
+  Codd.random_naive ~seed ~schema:[ ("R", 2) ] ~facts:3 ~null_prob:0.4
+    ~domain:2 ~null_pool:2 ()
+
+let pool_for d =
+  (* d, its completions, and a few supersets — a finite fragment of the
+     domain rich enough for the saturation checks *)
+  let completions = List.map snd (Semantics.sample_completions d) in
+  let extra =
+    List.map
+      (fun r ->
+        Instance.union r
+          (Instance.of_list [ ("R", [ [ Value.int 41; Value.int 43 ] ]) ]))
+      completions
+  in
+  (d :: completions) @ extra
+
+let test_ucq_monotone () =
+  for seed = 0 to 4 do
+    let d = instance_of_seed seed in
+    let on = pool_for d in
+    check
+      (Printf.sprintf "seed %d: ucq monotone" seed)
+      true
+      (P.monotone ucq_query ~leq':Ordering.leq ~on)
+  done
+
+let test_ucq_saturation () =
+  for seed = 0 to 4 do
+    let d = instance_of_seed seed in
+    let pool = pool_for d in
+    let up_cpl x = List.filter (fun c -> Instance.is_complete c && Ordering.leq x c) pool in
+    check
+      (Printf.sprintf "seed %d: ucq saturation" seed)
+      true
+      (D.complete_saturation ucq_query ~on:[ d ] ~up_cpl ~pool)
+  done
+
+let test_theorem2_conclusion_ucq () =
+  (* naive evaluation = certain answers, via the domain-level machinery *)
+  for seed = 0 to 4 do
+    let d = instance_of_seed seed in
+    let completions = List.map snd (Semantics.sample_completions d) in
+    let answers = List.map ucq_query completions in
+    let naive = D.naive_eval ucq_query d in
+    (* the naive answer is a complete lower bound of all answers *)
+    check
+      (Printf.sprintf "seed %d: naive below all answers" seed)
+      true
+      (List.for_all (fun a -> Ordering.leq naive a) answers);
+    (* and matches the enumeration-based intersection *)
+    let reference =
+      Semantics.certain_answers_by_enumeration ucq_query d
+    in
+    check
+      (Printf.sprintf "seed %d: naive = certain" seed)
+      true
+      (Instance.equal naive reference)
+  done
+
+let test_theorem2_conclusion_join () =
+  for seed = 0 to 4 do
+    let d = instance_of_seed seed in
+    check
+      (Printf.sprintf "seed %d: join naive = certain" seed)
+      true
+      (Instance.equal
+         (D.naive_eval join_query d)
+         (Semantics.certain_answers_by_enumeration join_query d))
+  done
+
+let test_negation_breaks_naive () =
+  (* D = { R(1,⊥) }: naively, ⊥ has no successor so ans(1) is produced;
+     but the completion R(1,1) has a successor for the target — not
+     certain *)
+  let n = Value.fresh_null () in
+  let d = Instance.of_list [ ("R", [ [ Value.int 1; n ] ]) ] in
+  let naive = D.naive_eval negation_query d in
+  check "naively ans(1)" true
+    (Instance.mem naive (Instance.fact "ans" [ Value.int 1 ]));
+  let loop_world = Instance.of_list [ ("R", [ [ Value.int 1; Value.int 1 ] ]) ] in
+  check "loop world in [[d]]" true (Semantics.mem loop_world d);
+  check "ans(1) fails in the loop world" false
+    (Instance.mem (negation_query loop_world) (Instance.fact "ans" [ Value.int 1 ]));
+  (* and indeed the query is not monotone on this fragment *)
+  check "not monotone" false
+    (P.monotone negation_query ~leq':Ordering.leq ~on:[ d; loop_world ])
+
+let test_models_theory_sets () =
+  let d1 = Instance.of_list [ ("R", [ [ Value.int 1; Value.int 2 ] ]) ] in
+  let d2 = Instance.of_list [ ("R", [ [ Value.int 2; Value.int 3 ] ]) ] in
+  let both = Instance.union d1 d2 in
+  let pool = [ Instance.empty; d1; d2; both ] in
+  (* models of {d1, d2} = elements above both *)
+  let m = D.models_of_set [ d1; d2 ] ~pool in
+  check "both is a model" true (List.memq both m);
+  check "d1 alone is not" false (List.memq d1 m);
+  let th = D.theory_of_set [ d1; d2 ] ~pool in
+  check "empty is in the theory" true (List.memq Instance.empty th);
+  check "d1 is not in the common theory" false (List.memq d1 th)
+
+let () =
+  Alcotest.run "saturation"
+    [
+      ( "theorem2",
+        [
+          Alcotest.test_case "ucq monotone" `Quick test_ucq_monotone;
+          Alcotest.test_case "ucq saturation" `Quick test_ucq_saturation;
+          Alcotest.test_case "naive = certain (atoms)" `Quick
+            test_theorem2_conclusion_ucq;
+          Alcotest.test_case "naive = certain (join)" `Quick
+            test_theorem2_conclusion_join;
+          Alcotest.test_case "negation breaks it" `Quick
+            test_negation_breaks_naive;
+        ] );
+      ( "galois",
+        [ Alcotest.test_case "models/theory of sets" `Quick test_models_theory_sets ] );
+    ]

@@ -1,0 +1,139 @@
+(* Stress tests (kept under a few seconds each): the polynomial paths must
+   stay comfortable at sizes where exponential fallbacks would explode. *)
+
+open Certdb_values
+open Certdb_relational
+open Certdb_gdm
+
+let check = Alcotest.(check bool)
+
+let test_codd_membership_200 () =
+  let d = Ggen.tree ~seed:5 ~nodes:200 ~labels:[ "a"; "b" ] ~null_prob:0.4 ~domain:3 () in
+  let d' =
+    Gdb.ground
+      (Ggen.tree ~seed:6 ~nodes:220 ~labels:[ "a"; "b" ] ~null_prob:0.0 ~domain:3 ())
+  in
+  (* just exercise it; the answer value is data-dependent *)
+  let result = Membership.codd_leq d d' in
+  check "terminates" true (result || not result)
+
+let test_codd_membership_positive_200 () =
+  let d = Ggen.tree ~seed:7 ~nodes:200 ~labels:[ "a" ] ~null_prob:0.6 ~domain:2 () in
+  let d' = Gdb.ground d in
+  check "grounding is a member" true (Membership.codd_leq d d')
+
+let test_hoare_ordering_500_facts () =
+  let d =
+    Codd.random ~seed:1 ~schema:[ ("R", 2) ] ~facts:500 ~null_prob:0.3
+      ~domain:20 ()
+  in
+  let d' =
+    Codd.random ~seed:2 ~schema:[ ("R", 2) ] ~facts:500 ~null_prob:0.0
+      ~domain:20 ()
+  in
+  let result = Ordering.hoare_leq d d' in
+  check "terminates" true (result || not result)
+
+let test_hall_300 () =
+  let d =
+    Codd.random ~seed:3 ~schema:[ ("R", 2) ] ~facts:300 ~null_prob:0.5
+      ~domain:5 ()
+  in
+  let d' =
+    Codd.random ~seed:4 ~schema:[ ("R", 2) ] ~facts:300 ~null_prob:0.0
+      ~domain:5 ()
+  in
+  let result = Ordering.cwa_leq_codd d d' in
+  check "terminates" true (result || not result)
+
+let test_hom_positive_large () =
+  (* a satisfiable hom instance: d into its own grounding, 120 facts *)
+  let d =
+    Codd.random_naive ~seed:9 ~schema:[ ("R", 2); ("S", 1) ] ~facts:120
+      ~null_prob:0.3 ~domain:10 ~null_pool:6 ()
+  in
+  check "hom into grounding" true (Ordering.leq d (Instance.ground d))
+
+let test_glb_family_of_five () =
+  let tables =
+    List.init 5 (fun i ->
+        Instance.of_list
+          [ ("R", List.init 3 (fun j -> [ Value.int ((10 * i) + j); Value.fresh_null () ])) ])
+  in
+  let g = Glb.family tables in
+  check "size = 3^5" true (Instance.cardinal g = 243);
+  check "is lower bound of all" true
+    (List.for_all (fun t -> Ordering.leq g t) tables)
+
+let test_chase_100_facts () =
+  let open Certdb_exchange in
+  let nx = Value.null 9901 and ny = Value.null 9902 and nz = Value.null 9903 in
+  let m =
+    [
+      Mapping.relational_rule
+        ~body:(Instance.of_list [ ("S", [ [ nx; ny ] ]) ])
+        ~head:(Instance.of_list [ ("T", [ [ nx; nz ]; [ nz; ny ] ]) ]);
+    ]
+  in
+  let source =
+    Instance.of_list
+      [ ("S", List.init 100 (fun i -> [ Value.int i; Value.int (i + 1000) ])) ]
+  in
+  let solution = Universal.chase_relational m source in
+  Alcotest.(check int) "200 facts" 200 (Instance.cardinal solution)
+
+let test_pattern_matching_large_tree () =
+  let open Certdb_xml in
+  let t =
+    Tree.node "root"
+      (List.init 300 (fun i ->
+           Tree.node "item" ~data:[ Value.int i ]
+             [ Tree.leaf "tag" ~data:[ Value.int (i mod 7) ] ]))
+  in
+  let p =
+    Pattern.node ~label:"item" ~data:[ Pattern.Var "id" ]
+      [ (Pattern.Child, Pattern.node ~label:"tag" ~data:[ Pattern.Val (Value.int 3) ] []) ]
+  in
+  let answers = Pattern.answers p t ~out:[ "id" ] in
+  check "found the 3-tagged items" true (List.length answers > 30)
+
+let test_tree_glb_wide () =
+  let open Certdb_xml in
+  let mk offset =
+    Tree.node "r"
+      (List.init 12 (fun i -> Tree.leaf "a" ~data:[ Value.int (offset + (i mod 6)) ]))
+  in
+  match Tree_glb.glb (mk 0) (mk 3) with
+  | Some g ->
+    check "bounded by product" true (Tree.size g <= 1 + (12 * 12));
+    check "lower bound" true (Tree_hom.leq g (mk 0) && Tree_hom.leq g (mk 3))
+  | None -> Alcotest.fail "glb exists"
+
+let test_treewidth_large_tree () =
+  let open Certdb_csp in
+  let d = Ggen.tree ~seed:11 ~nodes:400 ~labels:[ "a" ] ~null_prob:0.0 ~domain:2 () in
+  let dec = Treewidth.of_structure (Gdb.structure d) in
+  check "valid" true (Treewidth.is_valid (Gdb.structure d) dec);
+  Alcotest.(check int) "width 1" 1 (Treewidth.width dec)
+
+let () =
+  Alcotest.run "stress"
+    [
+      ( "polynomial-paths",
+        [
+          Alcotest.test_case "codd membership 200" `Slow test_codd_membership_200;
+          Alcotest.test_case "codd membership positive 200" `Slow
+            test_codd_membership_positive_200;
+          Alcotest.test_case "hoare 500" `Slow test_hoare_ordering_500_facts;
+          Alcotest.test_case "hall 300" `Slow test_hall_300;
+          Alcotest.test_case "hom positive 120" `Slow test_hom_positive_large;
+          Alcotest.test_case "treewidth 400" `Slow test_treewidth_large_tree;
+        ] );
+      ( "constructions",
+        [
+          Alcotest.test_case "glb family 3^5" `Slow test_glb_family_of_five;
+          Alcotest.test_case "chase 100" `Slow test_chase_100_facts;
+          Alcotest.test_case "patterns 300" `Slow test_pattern_matching_large_tree;
+          Alcotest.test_case "tree glb wide" `Slow test_tree_glb_wide;
+        ] );
+    ]

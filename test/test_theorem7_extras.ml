@@ -1,0 +1,163 @@
+(* Tests for the Theorem 4/7 extensions: the tree-class structural glb
+   plugged into ∧K, certain data answers, the relational existential
+   bridge, and DOT rendering. *)
+
+open Certdb_values
+open Certdb_csp
+open Certdb_gdm
+
+let check = Alcotest.(check bool)
+let c i = Value.int i
+
+(* --- tree class --- *)
+let tree_structure edges labels =
+  let s =
+    List.fold_left
+      (fun s (v, l) -> Structure.add_node ~label:l s v)
+      Structure.empty labels
+  in
+  List.fold_left (fun s (x, y) -> Structure.add_edge s "child" x y) s edges
+
+let test_is_tree () =
+  let t = tree_structure [ (0, 1); (0, 2) ] [ (0, "r"); (1, "a"); (2, "b") ] in
+  check "star is a tree" true (Tree_class.is_tree t);
+  let cycle = tree_structure [ (0, 1); (1, 0) ] [ (0, "r"); (1, "a") ] in
+  check "cycle is not" false (Tree_class.is_tree cycle);
+  let forest =
+    tree_structure [] [ (0, "r"); (1, "a") ]
+  in
+  check "forest is not" false (Tree_class.is_tree forest);
+  check "empty is not" false (Tree_class.is_tree Structure.empty)
+
+let test_tree_class_glb_matches_tree_glb () =
+  let open Certdb_xml in
+  for seed = 0 to 9 do
+    let mk s =
+      let t =
+        Tree.random ~seed:s
+          ~labels:[ ("r", 1); ("a", 1); ("b", 1) ]
+          ~max_depth:3 ~max_children:2 ~null_prob:0.3 ~domain:2 ()
+      in
+      { t with Tree.label = "r" }
+    in
+    let t1 = mk seed and t2 = mk (seed + 800) in
+    (* ∧K through the generalized construction *)
+    let via_gdm =
+      Gglb.glb_in_class ~class_glb:Tree_class.class_glb (Tree.to_gdb t1)
+        (Tree.to_gdb t2)
+    in
+    (* direct tree construction *)
+    match Tree_glb.glb t1 t2 with
+    | None -> Alcotest.fail "tree glb must exist (equal root labels)"
+    | Some g ->
+      check
+        (Printf.sprintf "seed %d: ∧K ~ tree glb" seed)
+        true
+        (Gordering.equiv via_gdm (Tree.to_gdb g))
+  done
+
+let test_tree_class_glb_errors () =
+  let t1 = tree_structure [] [ (0, "a") ] in
+  let t2 = tree_structure [] [ (0, "b") ] in
+  Alcotest.check_raises "root labels differ"
+    (Invalid_argument "Tree_class.glb: root labels differ") (fun () ->
+      ignore (Tree_class.glb t1 t2))
+
+(* --- certain data answers --- *)
+let test_certain_data_answers () =
+  let n = Value.fresh_null () in
+  let db =
+    Gdb.make
+      ~nodes:[ (0, "a", [ c 1 ]); (1, "a", [ n ]); (2, "b", [ c 1 ]) ]
+      ~tuples:[ ("E", [ [ 0; 2 ]; [ 1; 2 ] ]) ]
+  in
+  let f = Logic.Rel ("E", [ "x"; "y" ]) in
+  let answers =
+    Query_answering.certain_data_answers ~out:[ ("x", 1); ("y", 1) ] db f
+  in
+  (* (1,1) is certain; (⊥,1) is dropped *)
+  check "constant pair kept" true (List.mem [ c 1; c 1 ] answers);
+  Alcotest.(check int) "only one" 1 (List.length answers)
+
+let test_certain_data_answers_rejects_negation () =
+  let db = Gdb.make ~nodes:[ (0, "a", [ c 1 ]) ] ~tuples:[] in
+  Alcotest.check_raises "not ep"
+    (Invalid_argument
+       "Query_answering.certain_data_answers: not existential positive")
+    (fun () ->
+      ignore
+        (Query_answering.certain_data_answers ~out:[ ("x", 1) ] db
+           (Logic.Not (Logic.Label ("a", "x")))))
+
+(* --- relational existential bridge --- *)
+let test_relational_certain_existential () =
+  let open Certdb_relational in
+  let open Certdb_query in
+  let v = Fo.var in
+  let n1 = Value.fresh_null () and n2 = Value.fresh_null () in
+  (* the inequality query of Prop. 1: not certain on {R(⊥1), R(⊥2)} *)
+  let d = Instance.of_list [ ("R", [ [ n1 ]; [ n2 ] ]) ] in
+  let q =
+    Fo.Exists
+      ( [ "x"; "y" ],
+        Fo.conj
+          [ Fo.atom "R" [ v "x" ]; Fo.atom "R" [ v "y" ];
+            Fo.Not (Fo.Eq (v "x", v "y")) ] )
+  in
+  check "not certain" false (Certain.certain_existential q d);
+  (* but certain on {R(1), R(⊥)} where ⊥ could still equal 1... no:
+     h(⊥)=1 collapses both facts — still refuted *)
+  let d2 = Instance.of_list [ ("R", [ [ Value.int 1 ]; [ n1 ] ]) ] in
+  check "still not certain" false (Certain.certain_existential q d2);
+  (* with two distinct constants it is certain *)
+  let d3 = Instance.of_list [ ("R", [ [ Value.int 1 ]; [ Value.int 2 ] ]) ] in
+  check "certain on constants" true (Certain.certain_existential q d3);
+  Alcotest.check_raises "universal rejected"
+    (Invalid_argument "Certain.certain_existential: not an existential sentence")
+    (fun () ->
+      ignore
+        (Certain.certain_existential
+           (Fo.Forall ([ "x" ], Fo.atom "R" [ v "x" ]))
+           d))
+
+(* --- dot --- *)
+let test_dot_rendering () =
+  let db =
+    Gdb.make ~nodes:[ (0, "a", [ c 1 ]); (1, "b", []) ]
+      ~tuples:[ ("E", [ [ 0; 1 ] ]) ]
+  in
+  let dot = Dot.of_gdb db in
+  check "digraph header" true (String.length dot > 0 && String.sub dot 0 7 = "digraph");
+  let contains needle haystack =
+    let n = String.length needle and h = String.length haystack in
+    let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+    go 0
+  in
+  check "node with data" true (contains "a(1)" dot);
+  check "edge" true (contains "n0 -> n1" dot);
+  let sdot = Dot.of_structure (Gdb.structure db) in
+  check "structure render" true (contains "n0 -> n1" sdot)
+
+let () =
+  Alcotest.run "theorem7-extras"
+    [
+      ( "tree-class",
+        [
+          Alcotest.test_case "is_tree" `Quick test_is_tree;
+          Alcotest.test_case "∧K = tree glb" `Quick
+            test_tree_class_glb_matches_tree_glb;
+          Alcotest.test_case "errors" `Quick test_tree_class_glb_errors;
+        ] );
+      ( "data-answers",
+        [
+          Alcotest.test_case "certain data" `Quick test_certain_data_answers;
+          Alcotest.test_case "rejects negation" `Quick
+            test_certain_data_answers_rejects_negation;
+        ] );
+      ( "relational-existential",
+        [
+          Alcotest.test_case "bridge" `Quick test_relational_certain_existential;
+        ] );
+      ( "dot",
+        [ Alcotest.test_case "rendering" `Quick test_dot_rendering ] );
+    ]

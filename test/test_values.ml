@@ -1,0 +1,186 @@
+(* Tests for values, valuations and the ⊗-merge. *)
+
+open Certdb_values
+
+let check = Alcotest.(check bool)
+
+let test_value_basics () =
+  check "const eq" true (Value.equal (Value.int 3) (Value.int 3));
+  check "const neq" false (Value.equal (Value.int 3) (Value.int 4));
+  check "int vs str" false (Value.equal (Value.int 3) (Value.str "3"));
+  check "null eq" true (Value.equal (Value.null 1) (Value.null 1));
+  check "null vs const" false (Value.equal (Value.null 3) (Value.int 3));
+  check "is_null" true (Value.is_null (Value.null 1));
+  check "is_const" true (Value.is_const (Value.str "a"))
+
+let test_fresh () =
+  let a = Value.fresh_null () and b = Value.fresh_null () in
+  check "fresh nulls distinct" false (Value.equal a b);
+  let c = Value.fresh_const () and d = Value.fresh_const () in
+  check "fresh consts distinct" false (Value.equal c d);
+  check "fresh const is const" true (Value.is_const c)
+
+let test_ordering_total () =
+  let vs =
+    [ Value.int 1; Value.int 2; Value.str "a"; Value.null 1; Value.null 2 ]
+  in
+  List.iter
+    (fun x ->
+      List.iter
+        (fun y ->
+          let c1 = Value.compare x y and c2 = Value.compare y x in
+          check "antisymmetric" true
+            (if c1 = 0 then c2 = 0 else c1 * c2 < 0))
+        vs)
+    vs
+
+let test_valuation_apply () =
+  let n = Value.null 500 in
+  let h = Valuation.bind Valuation.empty n (Value.int 7) in
+  check "apply bound" true (Value.equal (Valuation.apply h n) (Value.int 7));
+  check "apply const is id" true
+    (Value.equal (Valuation.apply h (Value.int 9)) (Value.int 9));
+  check "apply unbound null is id" true
+    (Value.equal (Valuation.apply h (Value.null 501)) (Value.null 501))
+
+let test_valuation_bind_conflict () =
+  let n = Value.null 502 in
+  let h = Valuation.bind Valuation.empty n (Value.int 1) in
+  check "bind same ok" true
+    (Option.is_some (Valuation.bind_opt h n (Value.int 1)));
+  check "bind conflict" false
+    (Option.is_some (Valuation.bind_opt h n (Value.int 2)));
+  Alcotest.check_raises "bind raises on const domain"
+    (Invalid_argument "Valuation.bind: domain element is not a null")
+    (fun () -> ignore (Valuation.bind Valuation.empty (Value.int 1) (Value.int 1)))
+
+let test_unify () =
+  let n1 = Value.null 503 and n2 = Value.null 504 in
+  (match Valuation.unify_lists Valuation.empty
+           [ n1; Value.int 2; n1 ]
+           [ Value.int 5; Value.int 2; Value.int 5 ]
+   with
+  | Some h ->
+    check "n1 -> 5" true (Value.equal (Valuation.apply h n1) (Value.int 5))
+  | None -> Alcotest.fail "unify should succeed");
+  check "clash on repeated null" false
+    (Option.is_some
+       (Valuation.unify_lists Valuation.empty [ n1; n1 ]
+          [ Value.int 1; Value.int 2 ]));
+  check "clash on constants" false
+    (Option.is_some
+       (Valuation.unify Valuation.empty (Value.int 1) (Value.int 2)));
+  check "null target ok" true
+    (Option.is_some (Valuation.unify Valuation.empty n1 n2))
+
+let test_compose () =
+  let n1 = Value.null 505 and n2 = Value.null 506 in
+  let f = Valuation.bind Valuation.empty n1 n2 in
+  let g = Valuation.bind Valuation.empty n2 (Value.int 3) in
+  let fg = Valuation.compose f g in
+  check "compose applies g after f" true
+    (Value.equal (Valuation.apply fg n1) (Value.int 3));
+  check "compose keeps g" true
+    (Value.equal (Valuation.apply fg n2) (Value.int 3))
+
+let test_grounding () =
+  let nulls =
+    Value.Set.of_list [ Value.null 507; Value.null 508; Value.null 509 ]
+  in
+  let h = Valuation.grounding_of_nulls nulls in
+  check "grounding" true (Valuation.is_grounding h);
+  check "injective" true (Valuation.is_injective h);
+  Alcotest.(check int) "all bound" 3 (Valuation.cardinal h)
+
+let test_merge () =
+  let reg = Merge.create () in
+  let a = Value.int 1 and b = Value.int 2 in
+  check "equal consts merge to themselves" true
+    (Value.equal (Merge.value reg a a) a);
+  let m1 = Merge.value reg a b in
+  check "distinct consts merge to null" true (Value.is_null m1);
+  let m2 = Merge.value reg a b in
+  check "same pair same null" true (Value.equal m1 m2);
+  let m3 = Merge.value reg b a in
+  check "swapped pair different null" false (Value.equal m1 m3);
+  let l = Merge.left_valuation reg and r = Merge.right_valuation reg in
+  check "left projection" true (Value.equal (Valuation.apply l m1) a);
+  check "right projection" true (Value.equal (Valuation.apply r m1) b)
+
+let test_merge_null_pairs () =
+  let reg = Merge.create () in
+  let n = Value.null 510 in
+  let m = Merge.value reg n n in
+  check "null pair merges to fresh null" true (Value.is_null m);
+  check "not the same null" false (Value.equal m n)
+
+let test_merge_arrays () =
+  let reg = Merge.create () in
+  let xs = [| Value.int 1; Value.int 2 |] in
+  let ys = [| Value.int 1; Value.int 3 |] in
+  let zs = Merge.arrays reg xs ys in
+  check "first kept" true (Value.equal zs.(0) (Value.int 1));
+  check "second merged" true (Value.is_null zs.(1));
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Merge.arrays: length mismatch") (fun () ->
+      ignore (Merge.arrays reg xs [| Value.int 1 |]))
+
+(* property tests *)
+let value_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map Value.int (int_range 0 5);
+        map Value.null (int_range 0 5);
+        map Value.str (oneofl [ "a"; "b" ]);
+      ])
+
+let arb_value = QCheck.make ~print:Value.to_string value_gen
+
+let prop_compare_reflexive =
+  QCheck.Test.make ~name:"compare reflexive" arb_value (fun v ->
+      Value.compare v v = 0)
+
+let prop_compare_transitive =
+  QCheck.Test.make ~name:"compare transitive"
+    QCheck.(triple arb_value arb_value arb_value)
+    (fun (a, b, c) ->
+      (not (Value.compare a b <= 0 && Value.compare b c <= 0))
+      || Value.compare a c <= 0)
+
+let prop_merge_projections =
+  QCheck.Test.make ~name:"merge projections recover operands"
+    QCheck.(pair arb_value arb_value)
+    (fun (x, y) ->
+      let reg = Merge.create () in
+      let m = Merge.value reg x y in
+      let l = Merge.left_valuation reg and r = Merge.right_valuation reg in
+      Value.equal (Valuation.apply l m) x && Value.equal (Valuation.apply r m) y)
+
+let () =
+  Alcotest.run "values"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "basics" `Quick test_value_basics;
+          Alcotest.test_case "fresh" `Quick test_fresh;
+          Alcotest.test_case "total order" `Quick test_ordering_total;
+        ] );
+      ( "valuation",
+        [
+          Alcotest.test_case "apply" `Quick test_valuation_apply;
+          Alcotest.test_case "bind conflicts" `Quick test_valuation_bind_conflict;
+          Alcotest.test_case "unify" `Quick test_unify;
+          Alcotest.test_case "compose" `Quick test_compose;
+          Alcotest.test_case "grounding" `Quick test_grounding;
+        ] );
+      ( "merge",
+        [
+          Alcotest.test_case "pairs" `Quick test_merge;
+          Alcotest.test_case "null pairs" `Quick test_merge_null_pairs;
+          Alcotest.test_case "arrays" `Quick test_merge_arrays;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_compare_reflexive; prop_compare_transitive; prop_merge_projections ] );
+    ]

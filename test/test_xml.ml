@@ -1,0 +1,208 @@
+(* Tests for incomplete XML trees: homomorphisms, the information
+   ordering, tree glbs (max-descriptions), ordered trees (Prop. 6), the
+   lub counterexample (Prop. 10), and the relational coding. *)
+
+open Certdb_values
+open Certdb_xml
+
+let check = Alcotest.(check bool)
+let n1 = Value.null 7001
+let n2 = Value.null 7002
+let n3 = Value.null 7003
+let c i = Value.int i
+
+(* The paper's Section 2.2 example tree:
+   r [ a(1,⊥1) [ b(⊥1) ]; a(⊥2,2) [ c(⊥3); c(⊥2) ] ] *)
+let paper_tree =
+  Tree.node "r"
+    [
+      Tree.node "a" ~data:[ c 1; n1 ] [ Tree.leaf "b" ~data:[ n1 ] ];
+      Tree.node "a" ~data:[ n2; c 2 ]
+        [ Tree.leaf "c" ~data:[ n3 ]; Tree.leaf "c" ~data:[ n2 ] ];
+    ]
+
+let test_tree_basics () =
+  Alcotest.(check int) "size" 6 (Tree.size paper_tree);
+  Alcotest.(check int) "depth" 3 (Tree.depth paper_tree);
+  Alcotest.(check int) "nulls" 3 (Value.Set.cardinal (Tree.nulls paper_tree));
+  check "incomplete" false (Tree.is_complete paper_tree)
+
+let test_ground () =
+  let g = Tree.ground paper_tree in
+  check "complete" true (Tree.is_complete g);
+  check "ground in [[t]]" true (Tree_hom.mem g paper_tree)
+
+let test_hom_data_coupling () =
+  (* a(⊥1)[b(⊥1)]: the two occurrences must agree in the image *)
+  let t = Tree.node "a" ~data:[ n1 ] [ Tree.leaf "b" ~data:[ n1 ] ] in
+  let good = Tree.node "a" ~data:[ c 5 ] [ Tree.leaf "b" ~data:[ c 5 ] ] in
+  let bad = Tree.node "a" ~data:[ c 5 ] [ Tree.leaf "b" ~data:[ c 6 ] ] in
+  check "coupled ok" true (Tree_hom.leq t good);
+  check "coupled mismatch" false (Tree_hom.leq t bad)
+
+let test_hom_structure () =
+  let t = Tree.node "a" [ Tree.leaf "b" ] in
+  let t' = Tree.node "a" [ Tree.leaf "b"; Tree.leaf "c" ] in
+  check "subtree embeds" true (Tree_hom.leq t t');
+  check "reverse fails" false (Tree_hom.leq t' t);
+  (* child relation must be preserved: a[b] does not map into b[a] *)
+  let flipped = Tree.node "b" [ Tree.leaf "a" ] in
+  check "no label-flip" false (Tree_hom.leq t flipped)
+
+let test_hom_non_root () =
+  (* without require_root, a pattern can match deep in the target *)
+  let pat = Tree.node "a" [ Tree.leaf "b" ] in
+  let target = Tree.node "r" [ Tree.node "a" [ Tree.leaf "b" ] ] in
+  check "matches below root" true (Tree_hom.leq pat target);
+  check "require_root blocks" false
+    (Tree_hom.exists ~require_root:true pat target)
+
+let test_models () =
+  let desc = Tree.node "r" [ Tree.node "a" ~data:[ n1; n2 ] [] ] in
+  check "T |= T'" true (Tree_hom.models paper_tree desc)
+
+let test_glb_is_lower_bound () =
+  for seed = 0 to 14 do
+    let mk s =
+      Tree.random ~seed:s
+        ~labels:[ ("r", 0); ("a", 1); ("b", 1) ]
+        ~max_depth:3 ~max_children:2 ~null_prob:0.3 ~domain:2 ()
+    in
+    let t1 = { (mk seed) with Tree.label = "r"; data = [||] } in
+    let t2 = { (mk (seed + 100)) with Tree.label = "r"; data = [||] } in
+    match Tree_glb.glb t1 t2 with
+    | None -> Alcotest.fail "roots share label r: glb must exist"
+    | Some g ->
+      check (Printf.sprintf "seed %d: glb leq t1" seed) true (Tree_hom.leq g t1);
+      check (Printf.sprintf "seed %d: glb leq t2" seed) true (Tree_hom.leq g t2)
+  done
+
+let test_glb_is_greatest () =
+  for seed = 0 to 9 do
+    let mk s =
+      let t =
+        Tree.random ~seed:s
+          ~labels:[ ("r", 0); ("a", 1) ]
+          ~max_depth:3 ~max_children:2 ~null_prob:0.4 ~domain:2 ()
+      in
+      { t with Tree.label = "r"; data = [||] }
+    in
+    let t1 = mk seed and t2 = mk (seed + 50) and d = mk (seed + 150) in
+    match Tree_glb.glb t1 t2 with
+    | None -> Alcotest.fail "glb must exist"
+    | Some g ->
+      if Tree_hom.leq d t1 && Tree_hom.leq d t2 then
+        check
+          (Printf.sprintf "seed %d: lower bound factors through glb" seed)
+          true (Tree_hom.leq d g)
+  done
+
+let test_glb_label_clash () =
+  let t1 = Tree.leaf "a" and t2 = Tree.leaf "b" in
+  check "no glb across roots" true (Tree_glb.glb t1 t2 = None)
+
+let test_glb_data_merge () =
+  let t1 = Tree.node "r" [ Tree.leaf "a" ~data:[ c 1 ] ] in
+  let t2 = Tree.node "r" [ Tree.leaf "a" ~data:[ c 1 ] ] in
+  (match Tree_glb.glb t1 t2 with
+  | Some g ->
+    check "same constant kept" true
+      (Tree.equal g (Tree.node "r" [ Tree.leaf "a" ~data:[ c 1 ] ]))
+  | None -> Alcotest.fail "glb exists");
+  let t3 = Tree.node "r" [ Tree.leaf "a" ~data:[ c 2 ] ] in
+  match Tree_glb.glb t1 t3 with
+  | Some g -> (
+    match g with
+    | { Tree.children = [ { Tree.data = [| v |]; _ } ]; _ } ->
+      check "conflicting constants merge to null" true (Value.is_null v)
+    | _ -> Alcotest.fail "unexpected glb shape")
+  | None -> Alcotest.fail "glb exists"
+
+(* Ordered trees: Prop. 6. *)
+let test_ordered_hom () =
+  let t = Tree.node "a" [ Tree.leaf "b"; Tree.leaf "c" ] in
+  let t_same = Tree.node "a" [ Tree.leaf "b"; Tree.leaf "x"; Tree.leaf "c" ] in
+  let t_swap = Tree.node "a" [ Tree.leaf "c"; Tree.leaf "b" ] in
+  check "order embeds" true (Ordered_tree.leq t t_same);
+  check "swap blocked" false (Ordered_tree.leq t t_swap);
+  (* unordered homs don't care *)
+  check "unordered allows swap" true (Tree_hom.leq t t_swap)
+
+let test_prop6 () =
+  let t, t' = Ordered_tree.prop6_pair () in
+  let pool =
+    [
+      Tree.leaf "a";
+      Tree.node "a" [ Tree.leaf "b" ];
+      Tree.node "a" [ Tree.leaf "c" ];
+      Tree.node "a" [ Tree.leaf "b"; Tree.leaf "c" ];
+      Tree.node "a" [ Tree.leaf "c"; Tree.leaf "b" ];
+      Tree.leaf "b";
+      Tree.leaf "c";
+    ]
+  in
+  let maxima = Ordered_tree.maximal_lower_bounds_in_pool [ t; t' ] ~pool in
+  check "at least two incomparable maxima" true (List.length maxima >= 2);
+  check "no glb in pool" false
+    (Ordered_tree.has_glb_in_pool [ t; t' ] ~pool)
+
+let test_prop10 () = check "prop10 counterexample" true (Counterexamples.prop10_check ())
+
+(* Corollary 2 coding: relational orderings are preserved. *)
+let test_relational_coding () =
+  let open Certdb_relational in
+  for seed = 0 to 10 do
+    let mk s =
+      Codd.random_naive ~seed:s ~schema:[ ("R", 2) ] ~facts:3 ~null_prob:0.4
+        ~domain:2 ~null_pool:2 ()
+    in
+    let d = mk seed and d' = mk (seed + 400) in
+    check
+      (Printf.sprintf "seed %d: coding preserves ordering" seed)
+      (Ordering.leq d d')
+      (Tree_hom.exists ~require_root:true (Tree.of_instance d)
+         (Tree.of_instance d'))
+  done
+
+let test_gdb_roundtrip () =
+  let db = Tree.to_gdb paper_tree in
+  Alcotest.(check int) "node count" (Tree.size paper_tree) (Certdb_gdm.Gdb.size db);
+  check "conforms to xml schema" true
+    (Certdb_gdm.Gdb.conforms db
+       (Certdb_gdm.Gschema.xml
+          ~alphabet:[ ("r", 0); ("a", 2); ("b", 1); ("c", 1) ]))
+
+let () =
+  Alcotest.run "xml"
+    [
+      ( "trees",
+        [
+          Alcotest.test_case "basics" `Quick test_tree_basics;
+          Alcotest.test_case "ground" `Quick test_ground;
+          Alcotest.test_case "gdb roundtrip" `Quick test_gdb_roundtrip;
+        ] );
+      ( "homs",
+        [
+          Alcotest.test_case "data coupling" `Quick test_hom_data_coupling;
+          Alcotest.test_case "structure" `Quick test_hom_structure;
+          Alcotest.test_case "non-root" `Quick test_hom_non_root;
+          Alcotest.test_case "models" `Quick test_models;
+        ] );
+      ( "glb",
+        [
+          Alcotest.test_case "lower bound" `Quick test_glb_is_lower_bound;
+          Alcotest.test_case "greatest" `Quick test_glb_is_greatest;
+          Alcotest.test_case "label clash" `Quick test_glb_label_clash;
+          Alcotest.test_case "data merge" `Quick test_glb_data_merge;
+        ] );
+      ( "ordered",
+        [
+          Alcotest.test_case "ordered homs" `Quick test_ordered_hom;
+          Alcotest.test_case "prop6" `Quick test_prop6;
+          Alcotest.test_case "prop10" `Quick test_prop10;
+        ] );
+      ( "coding",
+        [
+          Alcotest.test_case "relational" `Quick test_relational_coding;
+        ] );
+    ]

@@ -1,0 +1,164 @@
+(* Tests for the tree concrete syntax and the structurally incomplete
+   document model of [4,7] (descendant edges, wildcards). *)
+
+open Certdb_values
+open Certdb_xml
+
+let check = Alcotest.(check bool)
+let c i = Value.int i
+
+(* --- tree parsing --- *)
+let test_parse_basic () =
+  let t, _ = Tree_parse.tree "catalog[book(1, 1999)[author(\"ann\")]; book(2, _y)]" in
+  Alcotest.(check string) "root" "catalog" t.Tree.label;
+  Alcotest.(check int) "children" 2 (List.length t.Tree.children);
+  Alcotest.(check int) "size" 4 (Tree.size t);
+  Alcotest.(check int) "one null" 1 (Value.Set.cardinal (Tree.nulls t))
+
+let test_parse_shared_nulls () =
+  let t, bindings = Tree_parse.tree "r[a(_x); b(_x)]" in
+  Alcotest.(check int) "one null" 1 (Value.Set.cardinal (Tree.nulls t));
+  Alcotest.(check int) "one binding" 1 (List.length bindings)
+
+let test_parse_roundtrip () =
+  let src = "r[a(1, _v)[b]; c(\"s\")]" in
+  let t, _ = Tree_parse.tree src in
+  let t', _ = Tree_parse.tree (Tree_parse.to_string t) in
+  check "roundtrip equivalent" true (Tree_hom.equiv t t')
+
+let test_parse_errors () =
+  let fails s =
+    match Tree_parse.tree s with
+    | exception Tree_parse.Parse_error _ -> true
+    | _ -> false
+  in
+  check "missing bracket" true (fails "r[a");
+  check "trailing garbage" true (fails "r[a] b");
+  check "lone underscore" true (fails "r(_)");
+  check "empty" true (fails "")
+
+let test_parse_leaf_forms () =
+  let t1, _ = Tree_parse.tree "a" in
+  check "bare leaf" true (Tree.equal t1 (Tree.leaf "a"));
+  let t2, _ = Tree_parse.tree "a()" in
+  check "empty data" true (Tree.equal t2 (Tree.leaf "a"));
+  let t3, _ = Tree_parse.tree "a[]" in
+  check "empty children" true (Tree.equal t3 (Tree.leaf "a"))
+
+(* --- incomplete documents --- *)
+let alphabet = [ ("r", 0); ("a", 1); ("b", 1); ("m", 0) ]
+
+let doc_with_descendant =
+  (* r[ //a(⊥) ]: somewhere below the root there is an a-node *)
+  Incomplete_doc.node ~label:"r"
+    [ (Incomplete_doc.Descendant,
+       Incomplete_doc.node ~label:"a" ~data:[ Value.null 3301 ] []) ]
+
+let test_member_child_vs_descendant () =
+  let shallow = Tree.node "r" [ Tree.leaf "a" ~data:[ c 1 ] ] in
+  let deep = Tree.node "r" [ Tree.node "m" [ Tree.leaf "a" ~data:[ c 1 ] ] ] in
+  check "shallow member" true (Incomplete_doc.member doc_with_descendant shallow);
+  check "deep member" true (Incomplete_doc.member doc_with_descendant deep);
+  let none = Tree.node "r" [ Tree.leaf "m" ] in
+  check "no a-node" false (Incomplete_doc.member doc_with_descendant none)
+
+let test_member_wildcard () =
+  let doc =
+    Incomplete_doc.node ~label:"r"
+      [ (Incomplete_doc.Child, Incomplete_doc.node ~data:[ Value.null 3302 ] []) ]
+  in
+  (* wildcard child with one attribute: a or b both fit *)
+  check "a fits" true
+    (Incomplete_doc.member doc (Tree.node "r" [ Tree.leaf "a" ~data:[ c 1 ] ]));
+  check "b fits" true
+    (Incomplete_doc.member doc (Tree.node "r" [ Tree.leaf "b" ~data:[ c 2 ] ]));
+  check "arity 0 does not fit" false
+    (Incomplete_doc.member doc (Tree.node "r" [ Tree.leaf "m" ]))
+
+let test_member_data_coupling () =
+  let n = Value.null 3303 in
+  let doc =
+    Incomplete_doc.node ~label:"r"
+      [ (Incomplete_doc.Child, Incomplete_doc.node ~label:"a" ~data:[ n ] []);
+        (Incomplete_doc.Child, Incomplete_doc.node ~label:"b" ~data:[ n ] []) ]
+  in
+  let same =
+    Tree.node "r" [ Tree.leaf "a" ~data:[ c 5 ]; Tree.leaf "b" ~data:[ c 5 ] ]
+  in
+  let diff =
+    Tree.node "r" [ Tree.leaf "a" ~data:[ c 5 ]; Tree.leaf "b" ~data:[ c 6 ] ]
+  in
+  check "coupled ok" true (Incomplete_doc.member doc same);
+  check "coupled mismatch" false (Incomplete_doc.member doc diff)
+
+let test_of_tree () =
+  let t = Tree.node "r" [ Tree.leaf "a" ~data:[ c 1 ] ] in
+  let doc = Incomplete_doc.of_tree t in
+  check "tree is its own member" true (Incomplete_doc.member doc t);
+  Alcotest.(check int) "size preserved" (Tree.size t) (Incomplete_doc.size doc)
+
+let test_sample_completions () =
+  let completions =
+    Incomplete_doc.sample_completions ~alphabet ~chain_bound:2
+      doc_with_descendant
+  in
+  check "non-empty sample" true (List.length completions > 0);
+  List.iter
+    (fun t ->
+      check "complete" true (Tree.is_complete t);
+      check "satisfies the description" true
+        (Incomplete_doc.member doc_with_descendant t))
+    completions;
+  (* some completion has depth 3 (interior chain node) *)
+  check "a deep completion exists" true
+    (List.exists (fun t -> Tree.depth t >= 3) completions)
+
+let test_leq_sampled () =
+  (* r[//a(⊥)] is less informative than r[a(1)] as a description *)
+  let precise =
+    Incomplete_doc.node ~label:"r"
+      [ (Incomplete_doc.Child, Incomplete_doc.node ~label:"a" ~data:[ c 1 ] []) ]
+  in
+  check "descendant description below child description" true
+    (Incomplete_doc.leq ~alphabet ~chain_bound:2 doc_with_descendant precise);
+  check "not conversely" false
+    (Incomplete_doc.leq ~alphabet ~chain_bound:2 precise doc_with_descendant)
+
+let test_consistency () =
+  check "consistent" true
+    (Incomplete_doc.consistent ~alphabet doc_with_descendant);
+  (* wildcard with arity 5: no label fits *)
+  let bad =
+    Incomplete_doc.node ~label:"r"
+      [ (Incomplete_doc.Child,
+         Incomplete_doc.node
+           ~data:[ c 1; c 2; c 3; c 4; c 5 ] []) ]
+  in
+  check "inconsistent arity" false (Incomplete_doc.consistent ~alphabet bad);
+  (* unknown label *)
+  let unknown = Incomplete_doc.node ~label:"zzz" [] in
+  check "unknown label" false (Incomplete_doc.consistent ~alphabet unknown)
+
+let () =
+  Alcotest.run "xml-extras"
+    [
+      ( "tree-parse",
+        [
+          Alcotest.test_case "basic" `Quick test_parse_basic;
+          Alcotest.test_case "shared nulls" `Quick test_parse_shared_nulls;
+          Alcotest.test_case "roundtrip" `Quick test_parse_roundtrip;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "leaf forms" `Quick test_parse_leaf_forms;
+        ] );
+      ( "incomplete-doc",
+        [
+          Alcotest.test_case "child vs descendant" `Quick
+            test_member_child_vs_descendant;
+          Alcotest.test_case "wildcard" `Quick test_member_wildcard;
+          Alcotest.test_case "data coupling" `Quick test_member_data_coupling;
+          Alcotest.test_case "of_tree" `Quick test_of_tree;
+          Alcotest.test_case "completions" `Quick test_sample_completions;
+          Alcotest.test_case "sampled leq" `Quick test_leq_sampled;
+          Alcotest.test_case "consistency" `Quick test_consistency;
+        ] );
+    ]
