@@ -20,16 +20,16 @@ let run () =
     "naive-steps" "mrv(ms)" "naive(ms)";
   List.iter
     (fun (name, source, target) ->
-      let _, mrv_ms =
-        Bench_util.time_ms (fun () ->
-            ignore (Solver.find_hom ~source ~target ()))
+      let (_, mrv_ms), mrv_steps =
+        Bench_util.with_counter "csp.solver.decisions" (fun () ->
+            Bench_util.time_ms (fun () ->
+                ignore (Solver.find_hom ~source ~target ())))
       in
-      let mrv_steps = Solver.last_stats () in
-      let _, naive_ms =
-        Bench_util.time_ms (fun () ->
-            ignore (Solver.find_hom_naive ~source ~target ()))
+      let (_, naive_ms), naive_steps =
+        Bench_util.with_counter "csp.solver.naive.decisions" (fun () ->
+            Bench_util.time_ms (fun () ->
+                ignore (Solver.find_hom_naive ~source ~target ())))
       in
-      let naive_steps = Solver.last_stats () in
       Bench_util.row "%-22s %-12d %-12d %-10.2f %-10.2f" name mrv_steps
         naive_steps mrv_ms naive_ms)
     [
@@ -53,11 +53,11 @@ let run () =
     "ac3+mrv(ms)" "mrv(ms)";
   List.iter
     (fun (name, source, target) ->
-      let _, ac3_ms =
-        Bench_util.time_ms (fun () ->
-            ignore (Arc_consistency.find_hom ~source ~target ()))
+      let (_, ac3_ms), revs =
+        Bench_util.with_counter "csp.ac3.revisions" (fun () ->
+            Bench_util.time_ms (fun () ->
+                ignore (Arc_consistency.find_hom ~source ~target ())))
       in
-      let revs = Arc_consistency.last_stats () in
       let _, mrv_ms =
         Bench_util.time_ms (fun () ->
             ignore (Solver.find_hom ~source ~target ()))
@@ -89,13 +89,16 @@ let run () =
       let d = mk_tree ~seed:5 ~nodes in
       let d' = Gdb.ground (mk_tree ~seed:6 ~nodes:(nodes + 4)) in
       let source = Gdb.structure d and target = Gdb.structure d' in
-      ignore
-        (Bounded_tw.r_hom ~source ~target
-           ~restrict:(Membership.candidate_relation d d')
-           ());
-      let with_r = Bounded_tw.last_stats () in
-      ignore (Bounded_tw.hom ~source ~target ());
-      let without_r = Bounded_tw.last_stats () in
+      let _, with_r =
+        Bench_util.with_counter "csp.btw.bag_assignments" (fun () ->
+            Bounded_tw.r_hom ~source ~target
+              ~restrict:(Membership.candidate_relation d d')
+              ())
+      in
+      let _, without_r =
+        Bench_util.with_counter "csp.btw.bag_assignments" (fun () ->
+            Bounded_tw.hom ~source ~target ())
+      in
       Bench_util.row "%-8d %-14d %-14d" nodes with_r without_r)
     [ 8; 16; 32 ];
 

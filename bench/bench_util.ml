@@ -1,5 +1,9 @@
 (* Shared helpers for the experiment harness: section headers, row
-   printing, wall-clock timing, and Bechamel micro-benchmark runs. *)
+   printing, wall-clock timing, counter reads against the lib/obs
+   registry, machine-readable JSON records, and Bechamel micro-benchmark
+   runs. *)
+
+module Obs = Certdb_obs.Obs
 
 let banner title =
   Printf.printf "\n=============================================================\n";
@@ -17,12 +21,63 @@ let time_ms f =
   let t1 = Unix.gettimeofday () in
   (r, (t1 -. t0) *. 1000.)
 
-(* Median wall-clock over [n] runs. *)
-let time_ms_median ?(runs = 3) f =
+(* Median wall-clock over [runs] timed runs, after [warmup] untimed runs
+   that let allocation and code paths settle. *)
+let time_ms_median ?(runs = 3) ?(warmup = 1) f =
+  for _ = 1 to warmup do
+    ignore (f ())
+  done;
   let samples =
-    List.init runs (fun _ -> snd (time_ms f)) |> List.sort compare
+    List.init runs (fun _ -> snd (time_ms f)) |> List.sort Float.compare
   in
   List.nth samples (runs / 2)
+
+(* [with_counter name f] runs [f] and returns its result paired with the
+   delta of the obs counter [name] across the call. *)
+let with_counter name f =
+  let c = Obs.counter name in
+  let before = Obs.counter_value c in
+  let r = f () in
+  (r, Obs.counter_value c - before)
+
+(* One machine-readable record of a bench run: wall-clock plus the whole
+   metric snapshot (decision counters, instance-size gauges, span
+   timers). *)
+let bench_record ~name ~title ~wall_ms (m : Obs.metrics) =
+  let open Obs.Json in
+  Obj
+    [
+      ("experiment", String name);
+      ("title", String title);
+      ("wall_ms", Float wall_ms);
+      ("counters", Obj (List.map (fun (n, v) -> (n, Int v)) m.Obs.counters));
+      ("gauges", Obj (List.map (fun (n, v) -> (n, Float v)) m.Obs.gauges));
+      ( "timers",
+        Obj
+          (List.map
+             (fun (n, (s : Obs.timer_stats)) ->
+               ( n,
+                 Obj
+                   [
+                     ("count", Int s.Obs.count);
+                     ("total_ms", Float s.Obs.total_ms);
+                     ("mean_ms", Float s.Obs.mean_ms);
+                   ] ))
+             m.Obs.timers) );
+    ]
+
+let write_bench_json ~path records =
+  let doc =
+    Obs.Json.Obj
+      [
+        ("schema", Obs.Json.String "certdb-bench/v1");
+        ("unix_time", Obs.Json.Float (Unix.time ()));
+        ("records", Obs.Json.List records);
+      ]
+  in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Obs.Json.to_string doc);
+      Out_channel.output_char oc '\n')
 
 (* Bechamel micro-benchmarks: measure each (name, thunk) and print ns/run
    estimated by OLS on the monotonic clock. *)

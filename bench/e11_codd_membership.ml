@@ -41,8 +41,8 @@ let run () =
   Bench_util.row "all three algorithms agree: %d/%d" !agree trials;
 
   Bench_util.subsection "scaling on tree-shaped instances (treewidth 1)";
-  Bench_util.row "%-8s %-8s %-12s %-12s %-14s" "nodes" "width" "dp(ms)"
-    "mrv(ms)" "naive-bt(ms)";
+  Bench_util.row "%-8s %-8s %-12s %-12s %-12s %-12s %-14s" "nodes" "width"
+    "dp(ms)" "dp-bags" "mrv(ms)" "mrv-steps" "naive-bt(ms)";
   List.iter
     (fun nodes ->
       let d =
@@ -57,6 +57,11 @@ let run () =
       let dp_ms =
         Bench_util.time_ms_median (fun () -> ignore (Membership.codd_leq ~decomposition d d'))
       in
+      (* work counters for one run, read back through the obs registry *)
+      let _, dp_bags =
+        Bench_util.with_counter "csp.btw.bag_assignments" (fun () ->
+            ignore (Membership.codd_leq ~decomposition d d'))
+      in
       (* the generic solver is exponential on unsatisfiable instances; past
          32 nodes it no longer terminates in reasonable time — exactly the
          separation Theorem 6 is about *)
@@ -65,13 +70,21 @@ let run () =
           Bench_util.time_ms_median (fun () -> ignore (Membership.generic_leq d d'))
         else Float.nan
       in
+      let mrv_steps =
+        if nodes <= 32 then
+          snd
+            (Bench_util.with_counter "csp.solver.decisions" (fun () ->
+                 ignore (Membership.generic_leq d d')))
+        else -1
+      in
       let naive_ms =
         if nodes <= 32 then
           Bench_util.time_ms_median (fun () -> ignore (naive_backtrack_leq d d'))
         else Float.nan
       in
-      Bench_util.row "%-8d %-8d %-12.3f %-12.3f %-14.3f" nodes
-        (Treewidth.width decomposition) dp_ms mrv_ms naive_ms)
+      Bench_util.row "%-8d %-8d %-12.3f %-12d %-12.3f %-12d %-14.3f" nodes
+        (Treewidth.width decomposition) dp_ms dp_bags mrv_ms mrv_steps
+        naive_ms)
     [ 8; 16; 32; 64; 128 ];
 
   Bench_util.subsection "scaling on ladders (treewidth 2)";

@@ -7,7 +7,11 @@
      dune exec bench/main.exe                 # all experiments
      dune exec bench/main.exe -- e4 e11       # selected experiments
      dune exec bench/main.exe -- micro        # micro-benchmarks only
-     dune exec bench/main.exe -- all micro    # everything *)
+     dune exec bench/main.exe -- all micro    # everything
+     dune exec bench/main.exe -- all --json bench_out.json
+                                              # + one JSON record per
+                                              #   experiment (wall ms,
+                                              #   obs counters/timers) *)
 
 let experiments =
   [
@@ -46,9 +50,37 @@ let run_micros () =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  (* --json FILE: emit one machine-readable record per experiment *)
+  let rec extract_json acc = function
+    | "--json" :: path :: rest -> (Some path, List.rev_append acc rest)
+    | "--json" :: [] ->
+      prerr_endline "bench: --json needs a file argument";
+      exit 2
+    | x :: rest -> extract_json (x :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  let json_path, args = extract_json [] args in
+  let records = ref [] in
+  let recorded name title run =
+    Certdb_obs.Obs.reset ();
+    let (), wall_ms = Bench_util.time_ms run in
+    if json_path <> None then
+      records :=
+        Bench_util.bench_record ~name ~title ~wall_ms
+          (Certdb_obs.Obs.snapshot ())
+        :: !records
+  in
   let want name = args = [] || List.mem name args || List.mem "all" args in
-  List.iter (fun (name, _, run) -> if want name then run ()) experiments;
+  List.iter
+    (fun (name, title, run) -> if want name then recorded name title run)
+    experiments;
   if List.mem "micro" args then run_micros ();
   if List.mem "ablations" args || args = [] || List.mem "all" args then
-    Ablations.run ();
+    recorded "ablations" "solver / DP / glb ablations" Ablations.run;
+  (match json_path with
+  | None -> ()
+  | Some path ->
+    Bench_util.write_bench_json ~path (List.rev !records);
+    Printf.printf "wrote %d bench records to %s\n%!" (List.length !records)
+      path);
   Bench_util.banner "done"

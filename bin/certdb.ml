@@ -16,6 +16,31 @@
 open Cmdliner
 open Certdb_values
 open Certdb_relational
+module Obs = Certdb_obs.Obs
+
+(* --stats / --stats-json: print the metrics snapshot (counters, gauges,
+   span timers populated by the instrumented hot paths) to stderr after
+   the subcommand has run, without disturbing its stdout or exit code. *)
+let stats_flag =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:"Print a metrics snapshot (search counters, timers) to stderr.")
+
+let stats_json_flag =
+  Arg.(
+    value & flag
+    & info [ "stats-json" ]
+        ~doc:"Print the metrics snapshot as a single JSON object to stderr.")
+
+let emit_stats stats stats_json code =
+  if stats_json then prerr_endline (Obs.json_string (Obs.snapshot ()))
+  else if stats then
+    Format.eprintf "%a%!" Obs.pp_metrics (Obs.snapshot ());
+  code
+
+let with_stats term =
+  Term.(const emit_stats $ stats_flag $ stats_json_flag $ term)
 
 (* an argument starting with '@' names a file holding the text *)
 let resolve_arg s =
@@ -58,7 +83,7 @@ let leq_cmd =
   Cmd.v
     (Cmd.info "leq"
        ~doc:"Decide the information ordering D1 <= D2 (homomorphism).")
-    Term.(const run $ d1 $ d2)
+    (with_stats Term.(const run $ d1 $ d2))
 
 (* cwa *)
 let cwa_cmd =
@@ -75,7 +100,7 @@ let cwa_cmd =
   let d2 = instance_pos ~pos:1 ~doc:"More informative instance." in
   Cmd.v
     (Cmd.info "cwa" ~doc:"Decide the closed-world ordering (onto homomorphism).")
-    Term.(const run $ d1 $ d2)
+    (with_stats Term.(const run $ d1 $ d2))
 
 (* member *)
 let member_cmd =
@@ -95,7 +120,7 @@ let member_cmd =
   let r = instance_pos ~pos:1 ~doc:"Complete candidate instance." in
   Cmd.v
     (Cmd.info "member" ~doc:"Decide membership: is the completion in [[D]]?")
-    Term.(const run $ d $ r)
+    (with_stats Term.(const run $ d $ r))
 
 (* glb *)
 let glb_cmd =
@@ -118,7 +143,7 @@ let glb_cmd =
        ~doc:
          "Greatest lower bound (certain information / max-description) of \
           the given instances.")
-    Term.(const run $ reduce $ ds)
+    (with_stats Term.(const run $ reduce $ ds))
 
 (* lub *)
 let lub_cmd =
@@ -130,7 +155,7 @@ let lub_cmd =
   let ds = Arg.(non_empty & pos_all string [] & info [] ~docv:"INSTANCE") in
   Cmd.v
     (Cmd.info "lub" ~doc:"Least upper bound (disjoint union, nulls renamed).")
-    Term.(const run $ ds)
+    (with_stats Term.(const run $ ds))
 
 (* core *)
 let core_cmd =
@@ -139,7 +164,7 @@ let core_cmd =
     0
   in
   let d = instance_pos ~pos:0 ~doc:"Instance to reduce." in
-  Cmd.v (Cmd.info "core" ~doc:"Core of a naive instance.") Term.(const run $ d)
+  Cmd.v (Cmd.info "core" ~doc:"Core of a naive instance.") (with_stats Term.(const run $ d))
 
 (* certain: parse a CQ of the form "ans(x,y) :- R(x,z), S(z,y)" *)
 let parse_cq s =
@@ -227,7 +252,7 @@ let certain_cmd =
   Cmd.v
     (Cmd.info "certain"
        ~doc:"Certain answers of a conjunctive query by naive evaluation.")
-    Term.(const run $ query $ d)
+    (with_stats Term.(const run $ query $ d))
 
 (* chase *)
 let parse_tgd s =
@@ -276,7 +301,7 @@ let chase_cmd =
   Cmd.v
     (Cmd.info "chase"
        ~doc:"Chase a source instance: canonical universal solution.")
-    Term.(const run $ tgds $ d)
+    (with_stats Term.(const run $ tgds $ d))
 
 (* certain-fo: Boolean FO certainty *)
 let certain_fo_cmd =
@@ -325,7 +350,7 @@ let certain_fo_cmd =
   Cmd.v
     (Cmd.info "certain-fo"
        ~doc:"Certain truth of a Boolean first-order sentence.")
-    Term.(const run $ query $ mode $ d)
+    (with_stats Term.(const run $ query $ mode $ d))
 
 (* tree commands *)
 let parse_tree_arg s =
@@ -349,7 +374,7 @@ let tree_leq_cmd =
   Cmd.v
     (Cmd.info "tree-leq"
        ~doc:"Information ordering on XML trees (homomorphism existence).")
-    Term.(const run $ t1 $ t2)
+    (with_stats Term.(const run $ t1 $ t2))
 
 let tree_glb_cmd =
   let run ts =
@@ -365,7 +390,7 @@ let tree_glb_cmd =
        ~doc:
          "Certain information (max-description) of a set of XML trees: the \
           glb in the tree class.")
-    Term.(const run $ ts)
+    (with_stats Term.(const run $ ts))
 
 let tree_member_cmd =
   let run t candidate =
@@ -391,7 +416,86 @@ let tree_member_cmd =
   let candidate = tree_pos ~pos:1 ~doc:"Complete candidate tree." in
   Cmd.v
     (Cmd.info "tree-member" ~doc:"Membership: is the complete tree in [[T]]?")
-    Term.(const run $ t $ candidate)
+    (with_stats Term.(const run $ t $ candidate))
+
+(* stats: observability self-test.  Runs a small fixed workload through
+   every instrumented subsystem (CSP solver, relational hom search, glb,
+   chase, naive evaluation, XML tree hom) and prints the snapshot; exits
+   nonzero if a hot-path counter stayed at zero, so CI can use it as a
+   telemetry smoke test. *)
+let stats_cmd =
+  let run json =
+    Obs.reset ();
+    (* CSP solver: C4 -> C2 edge-preserving map (4 decisions minimum) *)
+    let cycle n =
+      let s =
+        List.fold_left
+          (fun s v -> Certdb_csp.Structure.add_node s v)
+          Certdb_csp.Structure.empty
+          (List.init n Fun.id)
+      in
+      List.fold_left
+        (fun s v -> Certdb_csp.Structure.add_edge s "E" v ((v + 1) mod n))
+        s (List.init n Fun.id)
+    in
+    ignore
+      (Certdb_csp.Solver.find_hom ~source:(cycle 4) ~target:(cycle 2) ());
+    ignore
+      (Certdb_csp.Arc_consistency.find_hom ~source:(cycle 6) ~target:(cycle 3)
+         ());
+    (* relational: ordering, glb, lub on a fixed pair *)
+    let d = parse_instance_arg "R(1,_x); R(_x,2)"
+    and d' = parse_instance_arg "R(1,9); R(9,2)" in
+    ignore (Hom.find d d');
+    ignore (Glb.glb d d');
+    ignore (Lub.pair d d');
+    (* chase + naive evaluation *)
+    let tgd = parse_tgd "S(_x,_y) -> T(_x,_z); T(_z,_y)" in
+    ignore
+      (Certdb_exchange.Universal.chase_relational [ tgd ]
+         (parse_instance_arg "S(1,2)"));
+    let q = parse_cq "ans(_x) :- R(_x,_y)" in
+    ignore
+      (Certdb_query.Certain.naive_eval_ucq
+         (Certdb_query.Ucq.make [ q ])
+         d);
+    (* XML tree hom *)
+    ignore
+      (Certdb_xml.Tree_hom.leq
+         (parse_tree_arg "r[a(_x)]")
+         (parse_tree_arg "r[a(7)]"));
+    let m = Obs.snapshot () in
+    if json then print_endline (Obs.json_string m)
+    else Format.printf "%a%!" Obs.pp_metrics m;
+    let nonzero name =
+      match Obs.find_counter m name with Some n when n > 0 -> true | _ -> false
+    in
+    let required =
+      [
+        "csp.solver.decisions"; "csp.ac3.revisions"; "rel.hom.nodes";
+        "rel.glb.pairs"; "rel.lub.pairs"; "exchange.chase.steps";
+        "query.naive_evals"; "xml.tree_hom.searches"; "gdm.ghom.nodes";
+      ]
+    in
+    let missing = List.filter (fun n -> not (nonzero n)) required in
+    if missing = [] then 0
+    else begin
+      Printf.eprintf "self-test: counters stayed at zero: %s\n"
+        (String.concat ", " missing);
+      1
+    end
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the snapshot as JSON instead of text.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Observability self-test: run a fixed workload through the \
+          instrumented hot paths and print the metrics snapshot.")
+    Term.(const run $ json)
 
 let main_cmd =
   let doc = "certain answers over incomplete databases (PODS'11 reproduction)" in
@@ -400,6 +504,7 @@ let main_cmd =
     [
       leq_cmd; cwa_cmd; member_cmd; glb_cmd; lub_cmd; core_cmd; certain_cmd;
       certain_fo_cmd; chase_cmd; tree_leq_cmd; tree_glb_cmd; tree_member_cmd;
+      stats_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

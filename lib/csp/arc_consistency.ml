@@ -1,8 +1,14 @@
 module Int_set = Structure.Int_set
 module Int_map = Structure.Int_map
+module Obs = Certdb_obs.Obs
 
-let stats = ref 0
-let last_stats () = !stats
+let revisions = Obs.counter "csp.ac3.revisions"
+let prunes = Obs.counter "csp.ac3.prunes"
+let wipeouts = Obs.counter "csp.ac3.wipeouts"
+
+(* Deprecated [last_stats] shim over the obs counters (see solver.mli). *)
+let last = ref (fun () -> 0)
+let last_stats () = max 0 (!last ())
 
 (* A candidate b for node v is supported by constraint (rel, tup) at
    position i (tup.(i) = v) if some target tuple tt of rel has tt.(i) = b
@@ -24,7 +30,9 @@ let supported target candidates rel tup i b =
     (Structure.tuples_of target rel)
 
 let prune ?restrict ~source ~target () =
-  stats := 0;
+  (let mark = Obs.counter_value revisions in
+   last := fun () -> Obs.counter_value revisions - mark);
+  Obs.with_span "csp.ac3.prune" @@ fun () ->
   let initial =
     List.fold_left
       (fun m v ->
@@ -53,15 +61,19 @@ let prune ?restrict ~source ~target () =
       (fun (rel, tup) ->
         Array.iteri
           (fun i v ->
-            incr stats;
+            Obs.incr revisions;
             let dom = Int_map.find v !candidates in
             let dom' =
               Int_set.filter (fun b -> supported target !candidates rel tup i b) dom
             in
             if not (Int_set.equal dom dom') then begin
               changed := true;
+              Obs.add prunes (Int_set.cardinal dom - Int_set.cardinal dom');
               candidates := Int_map.add v dom' !candidates;
-              if Int_set.is_empty dom' then failed := true
+              if Int_set.is_empty dom' then begin
+                Obs.incr wipeouts;
+                failed := true
+              end
             end)
           tup)
       constraints

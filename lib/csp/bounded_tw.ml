@@ -1,8 +1,14 @@
 module Int_set = Structure.Int_set
 module Int_map = Structure.Int_map
+module Obs = Certdb_obs.Obs
 
-let stats = ref 0
-let last_stats () = !stats
+let bag_assignments = Obs.counter "csp.btw.bag_assignments"
+let solves = Obs.counter "csp.btw.solves"
+let bags_gauge = Obs.gauge "csp.btw.bags"
+
+(* Deprecated [last_stats] shim over the obs counters (see solver.mli). *)
+let last = ref (fun () -> 0)
+let last_stats () = max 0 (!last ())
 
 let base_candidates ~source ~target ~restrict v =
   let labelled =
@@ -60,6 +66,7 @@ type tables = {
 }
 
 let solve ?decomposition ~source ~target ~restrict () =
+  Obs.with_span "csp.btw.solve" @@ fun () ->
   let decomposition =
     match decomposition with
     | Some d -> d
@@ -75,7 +82,10 @@ let solve ?decomposition ~source ~target ~restrict () =
         proj_positions = [||];
       }
   else begin
-    stats := 0;
+    Obs.incr solves;
+    Obs.set_int bags_gauge nbags;
+    (let mark = Obs.counter_value bag_assignments in
+     last := fun () -> Obs.counter_value bag_assignments - mark);
     let bag_vars =
       Array.map (fun b -> Array.of_list (Int_set.elements b))
         decomposition.Treewidth.bags
@@ -163,7 +173,7 @@ let solve ?decomposition ~source ~target ~restrict () =
           in
           let rec enumerate k =
             if k = n then begin
-              incr stats;
+              Obs.incr bag_assignments;
               if fact_ok () && children_ok () then record ()
             end
             else

@@ -1,10 +1,27 @@
 module Int_set = Structure.Int_set
 module Int_map = Structure.Int_map
+module Obs = Certdb_obs.Obs
 
 type hom = int Int_map.t
 
-let stats = ref 0
-let last_stats () = !stats
+(* Observability: every branching decision, forward-checking prune and MRV
+   variable selection feeds the process-wide metric registry. *)
+let decisions = Obs.counter "csp.solver.decisions"
+let naive_decisions = Obs.counter "csp.solver.naive.decisions"
+let fc_prunes = Obs.counter "csp.solver.fc_prunes"
+let wipeouts = Obs.counter "csp.solver.wipeouts"
+let mrv_selects = Obs.counter "csp.solver.mrv_selects"
+let solutions = Obs.counter "csp.solver.solutions"
+let searches = Obs.counter "csp.solver.searches"
+
+(* Deprecated [last_stats] shim: the decision count of the most recent
+   search, re-expressed as a delta of the obs counters. *)
+let last = ref (fun () -> 0)
+let last_stats () = max 0 (!last ())
+
+let track_last counter =
+  let mark = Obs.counter_value counter in
+  last := fun () -> Obs.counter_value counter - mark
 
 let is_hom ~source ~target h =
   List.for_all
@@ -85,15 +102,19 @@ let search ?restrict ~source ~target ~mrv on_solution =
     match Int_map.find_opt v by_var with Some cs -> cs | None -> []
   in
   let vars = Structure.nodes source in
-  stats := 0;
+  Obs.incr searches;
+  track_last decisions;
   let exception Stop in
   (* candidates: remaining domain for unassigned vars. *)
   let rec go assignment candidates unassigned =
     match unassigned with
-    | [] -> if on_solution assignment = `Stop then raise Stop
+    | [] ->
+      Obs.incr solutions;
+      if on_solution assignment = `Stop then raise Stop
     | _ ->
       let v =
-        if mrv then
+        if mrv then begin
+          Obs.incr mrv_selects;
           List.fold_left
             (fun best v ->
               let card v = Int_set.cardinal (Int_map.find v candidates) in
@@ -102,12 +123,13 @@ let search ?restrict ~source ~target ~mrv on_solution =
               | Some b -> if card v < card b then Some v else best)
             None unassigned
           |> Option.get
+        end
         else List.hd unassigned
       in
       let rest = List.filter (fun w -> w <> v) unassigned in
       Int_set.iter
         (fun b ->
-          incr stats;
+          Obs.incr decisions;
           let assignment' = Int_map.add v b assignment in
           (* prune the domains of neighbors through constraints on v *)
           let ok = ref true in
@@ -138,7 +160,12 @@ let search ?restrict ~source ~target ~mrv on_solution =
                             (fun b' -> supports target assignment' c u b')
                             dom
                         in
-                        if Int_set.is_empty dom' then ok := false;
+                        Obs.add fc_prunes
+                          (Int_set.cardinal dom - Int_set.cardinal dom');
+                        if Int_set.is_empty dom' then begin
+                          Obs.incr wipeouts;
+                          ok := false
+                        end;
                         Int_map.add u dom' cands)
                     cands c.vars)
               candidates (cstrs_of v)
@@ -151,11 +178,12 @@ let search ?restrict ~source ~target ~mrv on_solution =
     try go Int_map.empty candidates vars with Stop -> ())
 
 let find_hom ?restrict ~source ~target () =
-  let found = ref None in
-  search ?restrict ~source ~target ~mrv:true (fun h ->
-      found := Some h;
-      `Stop);
-  !found
+  Obs.with_span "csp.solver.find_hom" (fun () ->
+      let found = ref None in
+      search ?restrict ~source ~target ~mrv:true (fun h ->
+          found := Some h;
+          `Stop);
+      !found)
 
 let exists_hom ?restrict ~source ~target () =
   Option.is_some (find_hom ?restrict ~source ~target ())
@@ -166,7 +194,7 @@ let find_hom_naive ?restrict ~source ~target () =
   let cstrs = constraints_of source in
   let vars = Array.of_list (Structure.nodes source) in
   let candidates = initial_candidates ?restrict ~source ~target () in
-  stats := 0;
+  track_last naive_decisions;
   let consistent assignment =
     List.for_all
       (fun c ->
@@ -184,7 +212,7 @@ let find_hom_naive ?restrict ~source ~target () =
           match acc with
           | Some _ -> acc
           | None ->
-            incr stats;
+            Obs.incr naive_decisions;
             let assignment' = Int_map.add vars.(i) b assignment in
             if consistent assignment' then go (i + 1) assignment' else None)
         (Int_map.find vars.(i) candidates)

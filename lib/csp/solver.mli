@@ -64,5 +64,10 @@ val find_onto_hom :
   source:Structure.t -> target:Structure.t -> unit -> hom option
 
 (** Search statistics of the last [find_hom]/[find_hom_naive] call on this
-    domain: number of branching decisions explored. *)
+    domain: number of branching decisions explored.
+
+    Deprecated compatibility shim: the count is now a delta of the
+    [Certdb_obs.Obs] counters [csp.solver.decisions] /
+    [csp.solver.naive.decisions]; prefer [Obs.snapshot] and the full
+    metric registry. *)
 val last_stats : unit -> int

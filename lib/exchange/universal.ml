@@ -1,9 +1,17 @@
 open Certdb_gdm
 open Certdb_relational
+module Obs = Certdb_obs.Obs
+
+let chase_steps = Obs.counter "exchange.chase.steps"
+let chase_facts = Obs.counter "exchange.chase.facts"
+let chases = Obs.counter "exchange.chase.runs"
 
 let canonical_solution mapping source =
+  Obs.incr chases;
+  Obs.with_span "exchange.chase" @@ fun () ->
   List.fold_left
     (fun acc piece ->
+      Obs.incr chase_steps;
       let u, _, _ = Gdb.disjoint_union acc piece in
       u)
     Gdb.empty
@@ -15,4 +23,6 @@ let core_solution_relational mapping source =
 
 let chase_relational mapping source =
   let gdm_source = Encode.of_instance source in
-  Encode.to_instance (canonical_solution mapping gdm_source)
+  let result = Encode.to_instance (canonical_solution mapping gdm_source) in
+  Obs.add chase_facts (Instance.cardinal result);
+  result

@@ -2,6 +2,12 @@ open Certdb_values
 open Certdb_csp
 module Int_map = Structure.Int_map
 module Int_set = Structure.Int_set
+module Obs = Certdb_obs.Obs
+
+let searches = Obs.counter "gdm.ghom.searches"
+let nodes_counter = Obs.counter "gdm.ghom.nodes"
+let candidate_checks = Obs.counter "gdm.ghom.candidate_checks"
+let solutions = Obs.counter "gdm.ghom.solutions"
 
 type t = {
   node_map : int Int_map.t;
@@ -28,6 +34,7 @@ let search ?restrict d d' on_solution =
     let base =
       List.filter_map
         (fun w ->
+          Obs.incr candidate_checks;
           if not (Structure.same_label s v s' w) then None
           else
             match
@@ -51,9 +58,11 @@ let search ?restrict d d' on_solution =
   in
   let exception Stop in
   let rec go state remaining =
+    Obs.incr nodes_counter;
     match remaining with
     | [] ->
       let node_map, valuation = state in
+      Obs.incr solutions;
       if on_solution { node_map; valuation } = `Stop then raise Stop
     | _ ->
       let scored = List.map (fun v -> (v, candidates state v)) remaining in
@@ -70,7 +79,9 @@ let search ?restrict d d' on_solution =
           if structural_ok node_map' then go (node_map', val') rest)
         cands
   in
-  try go (Int_map.empty, Valuation.empty) (Gdb.nodes d) with Stop -> ()
+  Obs.incr searches;
+  Obs.with_span "gdm.ghom.search" (fun () ->
+      try go (Int_map.empty, Valuation.empty) (Gdb.nodes d) with Stop -> ())
 
 let find ?restrict d d' =
   let found = ref None in

@@ -1,0 +1,285 @@
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape buf s =
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s
+
+  let rec write buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f ->
+      if Float.is_finite f then
+        (* shortest representation that survives a JSON round-trip and is
+           a valid JSON number (no trailing '.', no 'inf'/'nan') *)
+        Buffer.add_string buf (Printf.sprintf "%.12g" f)
+      else Buffer.add_string buf "null"
+    | String s ->
+      Buffer.add_char buf '"';
+      escape buf s;
+      Buffer.add_char buf '"'
+    | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf x)
+        xs;
+      Buffer.add_char buf ']'
+    | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          escape buf k;
+          Buffer.add_string buf "\":";
+          write buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+  let to_string j =
+    let buf = Buffer.create 256 in
+    write buf j;
+    Buffer.contents buf
+
+  let pp ppf j = Format.pp_print_string ppf (to_string j)
+end
+
+let enabled_flag = ref true
+let enabled () = !enabled_flag
+let set_enabled b = enabled_flag := b
+
+let clock_ms = ref (fun () -> Unix.gettimeofday () *. 1000.)
+let set_clock_ms f = clock_ms := f
+let now_ms () = !clock_ms ()
+
+(* The registry: one hashtable per metric kind, keyed by name.  Metric
+   handles are the mutable cells themselves, so recording an event after
+   the handle is obtained touches no hashtable. *)
+
+type counter = { c_name : string; mutable c_value : int }
+type gauge = { g_name : string; mutable g_value : float }
+
+type timer = {
+  t_name : string;
+  mutable t_count : int;
+  mutable t_total : float;
+  mutable t_min : float;
+  mutable t_max : float;
+}
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+let timers : (string, timer) Hashtbl.t = Hashtbl.create 32
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+    let c = { c_name = name; c_value = 0 } in
+    Hashtbl.add counters name c;
+    c
+
+let incr c = if !enabled_flag then c.c_value <- c.c_value + 1
+let add c n = if !enabled_flag then c.c_value <- c.c_value + n
+let counter_value c = c.c_value
+
+let gauge name =
+  match Hashtbl.find_opt gauges name with
+  | Some g -> g
+  | None ->
+    let g = { g_name = name; g_value = 0. } in
+    Hashtbl.add gauges name g;
+    g
+
+let set g v = if !enabled_flag then g.g_value <- v
+let set_int g n = set g (float_of_int n)
+let gauge_value g = g.g_value
+
+let timer name =
+  match Hashtbl.find_opt timers name with
+  | Some t -> t
+  | None ->
+    let t =
+      { t_name = name; t_count = 0; t_total = 0.; t_min = infinity;
+        t_max = neg_infinity }
+    in
+    Hashtbl.add timers name t;
+    t
+
+let record_ms t ms =
+  if !enabled_flag then begin
+    t.t_count <- t.t_count + 1;
+    t.t_total <- t.t_total +. ms;
+    if ms < t.t_min then t.t_min <- ms;
+    if ms > t.t_max then t.t_max <- ms
+  end
+
+let time t f =
+  let t0 = now_ms () in
+  Fun.protect ~finally:(fun () -> record_ms t (now_ms () -. t0)) f
+
+type timer_stats = {
+  count : int;
+  total_ms : float;
+  min_ms : float;
+  max_ms : float;
+  mean_ms : float;
+}
+
+(* Spans: a stack of open intervals.  Completing a span feeds the timer
+   registered under the span's (label-decorated) name. *)
+
+type span = { sp_timer : timer; sp_start : float; sp_id : int }
+
+let span_stack : span list ref = ref []
+let span_ids = ref 0
+let span_depth () = List.length !span_stack
+
+let span_name name labels =
+  match labels with
+  | None | Some [] -> name
+  | Some kvs ->
+    let rendered =
+      String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) kvs)
+    in
+    name ^ "{" ^ rendered ^ "}"
+
+let enter_span ?labels name =
+  Stdlib.incr span_ids;
+  let sp =
+    { sp_timer = timer (span_name name labels); sp_start = now_ms ();
+      sp_id = !span_ids }
+  in
+  span_stack := sp :: !span_stack;
+  sp
+
+let exit_span sp =
+  record_ms sp.sp_timer (now_ms () -. sp.sp_start);
+  (* tolerate mis-paired exits: pop up to and including this span if it is
+     still open, leave the stack alone otherwise *)
+  let rec drop = function
+    | s :: rest when s.sp_id = sp.sp_id -> Some rest
+    | _ :: rest -> drop rest
+    | [] -> None
+  in
+  match drop !span_stack with
+  | Some rest -> span_stack := rest
+  | None -> ()
+
+let with_span ?labels name f =
+  let sp = enter_span ?labels name in
+  Fun.protect ~finally:(fun () -> exit_span sp) f
+
+(* Snapshots *)
+
+type metrics = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  timers : (string * timer_stats) list;
+}
+
+let sorted_of_tbl tbl value =
+  Hashtbl.fold (fun name x acc -> (name, value x) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let stats_of_timer t =
+  {
+    count = t.t_count;
+    total_ms = t.t_total;
+    min_ms = (if t.t_count = 0 then 0. else t.t_min);
+    max_ms = (if t.t_count = 0 then 0. else t.t_max);
+    mean_ms = (if t.t_count = 0 then 0. else t.t_total /. float_of_int t.t_count);
+  }
+
+let snapshot () =
+  {
+    counters = sorted_of_tbl counters (fun c -> c.c_value);
+    gauges = sorted_of_tbl gauges (fun g -> g.g_value);
+    timers = sorted_of_tbl timers stats_of_timer;
+  }
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.c_value <- 0) counters;
+  Hashtbl.iter (fun _ g -> g.g_value <- 0.) gauges;
+  Hashtbl.iter
+    (fun _ t ->
+      t.t_count <- 0;
+      t.t_total <- 0.;
+      t.t_min <- infinity;
+      t.t_max <- neg_infinity)
+    timers;
+  span_stack := []
+
+let find_counter m name = List.assoc_opt name m.counters
+let find_gauge m name = List.assoc_opt name m.gauges
+let find_timer m name = List.assoc_opt name m.timers
+
+let pp_metrics ppf m =
+  let width =
+    List.fold_left
+      (fun w (name, _) -> max w (String.length name))
+      0
+      (m.counters @ List.map (fun (n, _) -> (n, 0)) m.gauges
+      @ List.map (fun (n, _) -> (n, 0)) m.timers)
+  in
+  Format.fprintf ppf "== metrics ==@.";
+  if m.counters <> [] then begin
+    Format.fprintf ppf "counters:@.";
+    List.iter
+      (fun (name, v) -> Format.fprintf ppf "  %-*s %d@." width name v)
+      m.counters
+  end;
+  if m.gauges <> [] then begin
+    Format.fprintf ppf "gauges:@.";
+    List.iter
+      (fun (name, v) -> Format.fprintf ppf "  %-*s %g@." width name v)
+      m.gauges
+  end;
+  if m.timers <> [] then begin
+    Format.fprintf ppf "timers (ms):@.";
+    List.iter
+      (fun (name, s) ->
+        Format.fprintf ppf "  %-*s count=%d total=%.3f mean=%.3f min=%.3f max=%.3f@."
+          width name s.count s.total_ms s.mean_ms s.min_ms s.max_ms)
+      m.timers
+  end
+
+let to_json m =
+  let timer_json s =
+    Json.Obj
+      [
+        ("count", Json.Int s.count);
+        ("total_ms", Json.Float s.total_ms);
+        ("mean_ms", Json.Float s.mean_ms);
+        ("min_ms", Json.Float s.min_ms);
+        ("max_ms", Json.Float s.max_ms);
+      ]
+  in
+  Json.Obj
+    [
+      ("counters", Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) m.counters));
+      ("gauges", Json.Obj (List.map (fun (n, v) -> (n, Json.Float v)) m.gauges));
+      ("timers", Json.Obj (List.map (fun (n, s) -> (n, timer_json s)) m.timers));
+    ]
+
+let json_string m = Json.to_string (to_json m)

@@ -1,5 +1,9 @@
 open Certdb_values
 open Certdb_relational
+module Obs = Certdb_obs.Obs
+
+let ops = Obs.counter "query.algebra.ops"
+let out_tuples = Obs.counter "query.algebra.tuples"
 
 type condition =
   | Col_eq_col of int * int
@@ -63,6 +67,7 @@ module Tuple_set = Set.Make (struct
 end)
 
 let rec eval_set q d =
+  Obs.incr ops;
   match q with
   | Rel r -> Tuple_set.of_list (Instance.tuples d r)
   | Select (cond, q) ->
@@ -107,7 +112,11 @@ let rec eval_set q d =
         Tuple_set.add t' acc)
       (eval_set q d) Tuple_set.empty
 
-let eval q d = Tuple_set.elements (eval_set q d)
+let eval q d =
+  Obs.with_span "query.algebra.eval" @@ fun () ->
+  let result = Tuple_set.elements (eval_set q d) in
+  Obs.add out_tuples (List.length result);
+  result
 
 let eval_instance ~name q d =
   List.fold_left

@@ -1,16 +1,37 @@
 open Certdb_values
 open Certdb_relational
+module Obs = Certdb_obs.Obs
+
+let naive_evals = Obs.counter "query.naive_evals"
+let certain_checks = Obs.counter "query.certain_checks"
+let answer_tuples = Obs.counter "query.answer_tuples"
 
 let drop_null_tuples d =
   Instance.filter
     (fun (f : Instance.fact) -> Array.for_all Value.is_const f.args)
     d
 
-let naive_eval_fo ~head q d = drop_null_tuples (Fo.answers ~head d q)
-let naive_eval_ucq u d = drop_null_tuples (Ucq.answers u d)
-let naive_holds q d = Fo.holds d q
+let count_answers d =
+  Obs.add answer_tuples (Instance.cardinal d);
+  d
+
+let naive_eval_fo ~head q d =
+  Obs.incr naive_evals;
+  Obs.with_span "query.naive_eval" @@ fun () ->
+  count_answers (drop_null_tuples (Fo.answers ~head d q))
+
+let naive_eval_ucq u d =
+  Obs.incr naive_evals;
+  Obs.with_span "query.naive_eval" @@ fun () ->
+  count_answers (drop_null_tuples (Ucq.answers u d))
+
+let naive_holds q d =
+  Obs.incr naive_evals;
+  Obs.with_span "query.naive_eval" @@ fun () -> Fo.holds d q
 
 let certain_fo ~head q d =
+  Obs.incr certain_checks;
+  Obs.with_span "query.certain_fo" @@ fun () ->
   Semantics.certain_answers_by_enumeration (fun r -> Fo.answers ~head r q) d
 
 let certain_holds_fo ?(worlds = []) q d =
@@ -28,6 +49,8 @@ let certain_holds_fo_owa q d =
 let certain_existential q d =
   if not (Fo.is_existential q) then
     invalid_arg "Certain.certain_existential: not an existential sentence";
+  Obs.incr certain_checks;
+  Obs.with_span "query.certain_existential" @@ fun () ->
   List.for_all (fun (_, r) -> Fo.holds r q) (Semantics.sample_completions d)
 
 let certain_ucq = naive_eval_ucq
@@ -40,6 +63,8 @@ let certain_cq_via_containment q d = Cq.contained (Cq.of_instance d) q
 let certain_cq_via_naive q d = Cq.holds q d
 
 let certain_holds_cwa q d =
+  Obs.incr certain_checks;
+  Obs.with_span "query.certain_cwa" @@ fun () ->
   List.for_all (fun (_, r) -> Fo.holds r q) (Semantics.sample_completions d)
 
 let possible_holds_cwa q d =

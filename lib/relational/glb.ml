@@ -1,6 +1,12 @@
 open Certdb_values
+module Obs = Certdb_obs.Obs
+
+let pairs = Obs.counter "rel.glb.pairs"
+let merged_facts = Obs.counter "rel.glb.merged_facts"
 
 let pair d d' =
+  Obs.incr pairs;
+  Obs.with_span "rel.glb.pair" @@ fun () ->
   let reg = Merge.create () in
   let result =
     List.fold_left
@@ -17,6 +23,7 @@ let pair d d' =
           acc (Instance.facts d'))
       Instance.empty (Instance.facts d)
   in
+  Obs.add merged_facts (Instance.cardinal result);
   (result, Merge.left_valuation reg, Merge.right_valuation reg)
 
 let glb d d' =

@@ -1,4 +1,10 @@
 open Certdb_values
+module Obs = Certdb_obs.Obs
+
+let searches = Obs.counter "rel.hom.searches"
+let nodes = Obs.counter "rel.hom.nodes"
+let candidate_checks = Obs.counter "rel.hom.candidate_checks"
+let solutions = Obs.counter "rel.hom.solutions"
 
 let is_hom h d d' =
   List.for_all
@@ -23,6 +29,7 @@ let search ?(init = Valuation.empty) ?(onto = false) d d' on_solution =
   let candidates h (f : Instance.fact) =
     List.filter_map
       (fun (g : Instance.fact) ->
+        Obs.incr candidate_checks;
         Option.map
           (fun h' -> (g, h'))
           (Valuation.extend_match h f.args g.args))
@@ -34,8 +41,10 @@ let search ?(init = Valuation.empty) ?(onto = false) d d' on_solution =
     || List.for_all (fun g -> List.mem g covered) target_facts
   in
   let rec go h remaining covered =
+    Obs.incr nodes;
     match remaining with
     | [] ->
+      Obs.incr solutions;
       if check_onto covered && on_solution h = `Stop then raise Stop
     | _ ->
       (* pick the remaining fact with fewest unifiable targets *)
@@ -53,7 +62,9 @@ let search ?(init = Valuation.empty) ?(onto = false) d d' on_solution =
         (fun ((g : Instance.fact), h') -> go h' rest (g :: covered))
         cands
   in
-  (try go init source_facts [] with Stop -> ())
+  Obs.incr searches;
+  Obs.with_span "rel.hom.search" (fun () ->
+      try go init source_facts [] with Stop -> ())
 
 let restrict_to_nulls d h =
   let ns = Instance.nulls d in

@@ -1,7 +1,12 @@
 open Certdb_csp
 open Certdb_gdm
+module Obs = Certdb_obs.Obs
+
+let searches = Obs.counter "xml.tree_hom.searches"
 
 let find ?(require_root = false) t t' =
+  Obs.incr searches;
+  Obs.with_span "xml.tree_hom.find" @@ fun () ->
   let d = Tree.to_gdb t and d' = Tree.to_gdb t' in
   let restrict =
     if require_root then

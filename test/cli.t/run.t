@@ -77,3 +77,63 @@ First-order certainty:
   $ $CERTDB certain-fo -q "forall x. R(x) -> x = 1" --mode cwa "R(1); R(_u)"
   false
   [1]
+
+Observability: --stats prints a metrics snapshot to stderr after the
+subcommand runs (timing fields redacted for determinism):
+
+  $ $CERTDB leq --stats "R(1,_x)" "R(1,2)" 2>&1 | sed -E 's/[0-9]+\.[0-9]+/<ms>/g'
+  true
+  witness: {_|_1 -> 2}
+  == metrics ==
+  counters:
+    csp.ac3.prunes             0
+    csp.ac3.revisions          0
+    csp.ac3.wipeouts           0
+    csp.btw.bag_assignments    0
+    csp.btw.solves             0
+    csp.solver.decisions       0
+    csp.solver.fc_prunes       0
+    csp.solver.mrv_selects     0
+    csp.solver.naive.decisions 0
+    csp.solver.searches        0
+    csp.solver.solutions       0
+    csp.solver.wipeouts        0
+    exchange.chase.facts       0
+    exchange.chase.runs        0
+    exchange.chase.steps       0
+    gdm.ghom.candidate_checks  0
+    gdm.ghom.nodes             0
+    gdm.ghom.searches          0
+    gdm.ghom.solutions         0
+    query.answer_tuples        0
+    query.certain_checks       0
+    query.naive_evals          0
+    rel.glb.merged_facts       0
+    rel.glb.pairs              0
+    rel.hom.candidate_checks   1
+    rel.hom.nodes              2
+    rel.hom.searches           1
+    rel.hom.solutions          1
+    rel.lub.pairs              0
+    xml.tree_hom.searches      0
+  gauges:
+    csp.btw.bags               0
+  timers (ms):
+    rel.hom.search             count=1 total=<ms> mean=<ms> min=<ms> max=<ms>
+
+--stats-json emits a single JSON object to stderr, leaving stdout alone:
+
+  $ $CERTDB glb --stats-json "R(1,_x)" "R(1,2)" 2>&1 >/dev/null | tr ',' '\n' | grep -E 'rel\.glb\.(pairs|merged_facts)'
+  "rel.glb.merged_facts":1
+  "rel.glb.pairs":1
+
+The stats self-test runs a fixed workload through every instrumented
+subsystem and exits nonzero if a hot-path counter stays at zero:
+
+  $ $CERTDB stats > /dev/null && echo self-test-ok
+  self-test-ok
+
+  $ $CERTDB stats --json | tr ',' '\n' | grep -E '"(csp.solver.decisions|exchange.chase.steps|xml.tree_hom.searches)":'
+  "csp.solver.decisions":10
+  "exchange.chase.steps":1
+  "xml.tree_hom.searches":1}
