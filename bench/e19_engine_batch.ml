@@ -1,0 +1,108 @@
+(* E19 — the Engine.Batch domain pool: throughput of independent hom
+   searches at 1 vs N worker domains, on the E5 task family (relational
+   information ordering over random Codd pairs) and the E11 family
+   (generic GDM membership on tree-shaped instances).  The answers and
+   their order are identical at every job count; the speedup gauges land
+   in the bench JSON (about 1.0 on a single-core host, >= 2 expected at
+   --jobs 4 on multi-core CI). *)
+
+open Certdb_relational
+open Certdb_gdm
+module Engine = Certdb_csp.Engine
+module Obs = Certdb_obs.Obs
+
+let e5_tasks n =
+  List.init n (fun i ->
+      let d =
+        Codd.random ~seed:(2 * i) ~schema:[ ("R", 2) ] ~facts:24
+          ~null_prob:0.4 ~domain:4 ()
+      in
+      let d' =
+        Codd.random ~seed:((2 * i) + 1) ~schema:[ ("R", 2) ] ~facts:28
+          ~null_prob:0.0 ~domain:4 ()
+      in
+      (d, d'))
+
+let e11_tasks n =
+  List.init n (fun i ->
+      let d =
+        Ggen.tree ~seed:i ~nodes:16 ~labels:[ "a"; "b" ] ~null_prob:0.4
+          ~domain:3 ()
+      in
+      let d' =
+        Gdb.ground
+          (Ggen.tree ~seed:(i + 500) ~nodes:20 ~labels:[ "a"; "b" ]
+             ~null_prob:0.0 ~domain:3 ())
+      in
+      (d, d'))
+
+(* Per-task node budget: keeps the adversarial unsatisfiable instances of
+   the family from dominating the batch; Unknown is a legitimate result
+   and must be identical at every job count. *)
+let limits = Engine.Limits.make ~nodes:200_000 ()
+
+let solve_e5 jobs tasks =
+  Engine.Batch.map ~jobs
+    (fun (d, d') -> (Ordering.leq_b ~limits d d' :> Engine.decision))
+    tasks
+
+let solve_e11 jobs tasks =
+  Engine.Batch.map ~jobs
+    (fun (d, d') -> Membership.generic_leq_b ~limits d d')
+    tasks
+
+let decision_name = function
+  | `True -> "true"
+  | `False -> "false"
+  | `Unknown _ -> "unknown"
+
+let family name tasks solve =
+  Bench_util.subsection
+    (Printf.sprintf "%s family: %d independent budgeted searches" name
+       (List.length tasks));
+  let baseline = solve 1 tasks in
+  let t1 = Bench_util.time_ms_median (fun () -> solve 1 tasks) in
+  Bench_util.row "%-8s %-12s %-12s %-10s" "jobs" "wall(ms)" "speedup"
+    "same-order";
+  Bench_util.row "%-8d %-12.2f %-12.2f %-10s" 1 t1 1.0 "yes";
+  List.iter
+    (fun jobs ->
+      let results = solve jobs tasks in
+      let tn = Bench_util.time_ms_median (fun () -> solve jobs tasks) in
+      let same = results = baseline in
+      let speedup = t1 /. tn in
+      Obs.set
+        (Obs.gauge (Printf.sprintf "bench.batch.%s.speedup_j%d" name jobs))
+        speedup;
+      Bench_util.row "%-8d %-12.2f %-12.2f %-10s" jobs tn speedup
+        (if same then "yes" else "NO");
+      if not same then
+        failwith
+          (Printf.sprintf "E19: %s results diverge at --jobs %d" name jobs))
+    [ 2; 4 ];
+  let tally =
+    List.fold_left
+      (fun acc r ->
+        let k = decision_name r in
+        (k, 1 + Option.value ~default:0 (List.assoc_opt k acc))
+        :: List.remove_assoc k acc)
+      [] baseline
+  in
+  Bench_util.row "answers: %s"
+    (String.concat ", "
+       (List.map (fun (k, n) -> Printf.sprintf "%s=%d" k n) tally))
+
+let run () =
+  Bench_util.banner
+    "E19  Engine.Batch: domain-parallel throughput on E5/E11 families";
+  Bench_util.row "recommended domain count: %d" (Engine.Batch.default_jobs ());
+  family "e5" (e5_tasks 24) solve_e5;
+  family "e11" (e11_tasks 16) solve_e11
+
+let micro () =
+  let tasks = e5_tasks 8 in
+  Bench_util.micro
+    [
+      ("e19/batch-e5-j1", fun () -> ignore (solve_e5 1 tasks));
+      ("e19/batch-e5-j4", fun () -> ignore (solve_e5 4 tasks));
+    ]

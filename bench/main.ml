@@ -33,6 +33,7 @@ let experiments =
     ("e16", "XML exchange: loss of canonicity", E16_xml_exchange.run);
     ("e17", "Prop. 3/9: ordering = homomorphism", E17_prop3.run);
     ("e18", "1990s lifts: nested relations vs XML", E18_nineties.run);
+    ("e19", "Engine.Batch: domain-parallel hom-search throughput", E19_engine_batch.run);
   ]
 
 let micros =
@@ -41,7 +42,7 @@ let micros =
     E05_codd_orderings.micro; E06_cwa_hall.micro; E07_xml_glb.micro;
     E08_gdm_glb.micro; E09_exchange_lub.micro; E10_consistency.micro;
     E11_codd_membership.micro; E12_query_answering.micro;
-    E14_patterns.micro; E15_ctables.micro;
+    E14_patterns.micro; E15_ctables.micro; E19_engine_batch.micro;
   ]
 
 let run_micros () =

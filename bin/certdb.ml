@@ -167,11 +167,11 @@ let core_cmd =
   Cmd.v (Cmd.info "core" ~doc:"Core of a naive instance.") (with_stats Term.(const run $ d))
 
 (* certain: parse a CQ of the form "ans(x,y) :- R(x,z), S(z,y)" *)
-let parse_cq s =
-  let fail msg =
-    Printf.eprintf "query parse error: %s\n" msg;
-    exit 2
-  in
+exception Cq_syntax of string
+
+let parse_cq_result s =
+  match
+    let fail msg = raise (Cq_syntax msg) in
   match String.index_opt s ':' with
   | None -> fail "expected 'ans(vars) :- atoms'"
   | Some i ->
@@ -230,8 +230,18 @@ let parse_cq s =
        or without the underscore *)
     let normalize v = if String.length v > 0 && v.[0] = '_' then String.sub v 1 (String.length v - 1) else v in
     let head = List.map normalize head_vars in
-    try Certdb_query.Cq.make ~head atoms
-    with Invalid_argument m -> fail m
+    (try Certdb_query.Cq.make ~head atoms
+     with Invalid_argument m -> fail m)
+  with
+  | q -> Ok q
+  | exception Cq_syntax m -> Error m
+
+let parse_cq s =
+  match parse_cq_result s with
+  | Ok q -> q
+  | Error msg ->
+    Printf.eprintf "query parse error: %s\n" msg;
+    exit 2
 
 let certain_cmd =
   let run query d =
@@ -418,6 +428,166 @@ let tree_member_cmd =
     (Cmd.info "tree-member" ~doc:"Membership: is the complete tree in [[T]]?")
     (with_stats Term.(const run $ t $ candidate))
 
+(* batch: JSONL of independent budgeted problems, fanned out over a pool
+   of domains (Csp.Engine.Batch).  One JSON object per input line:
+
+     {"op":"leq","d1":"R(1,_x)","d2":"R(1,2)","node_budget":1000}
+     {"op":"member","d":"R(1,_x)","r":"R(1,2)"}
+     {"op":"certain","query":"ans() :- R(_x,_y)","d":"R(1,_u)"}
+
+   Optional fields: "id" (echoed; defaults to the line index),
+   "node_budget", "backtrack_budget", "timeout_ms".  Output is JSONL in
+   input order regardless of --jobs, one of status sat / unsat / unknown
+   (with the tripped limit as "reason") / error. *)
+module Json = Obs.Json
+module Engine = Certdb_csp.Engine
+
+let batch_parse_line idx line =
+  match Json.of_string line with
+  | exception Json.Parse_error m -> ("line-" ^ string_of_int idx, "?", Error ("json: " ^ m))
+  | j ->
+    let str k =
+      match Json.member k j with Some (Json.String s) -> Some s | _ -> None
+    in
+    let int_field k =
+      match Json.member k j with Some (Json.Int n) -> Some n | _ -> None
+    in
+    let float_field k =
+      match Json.member k j with
+      | Some (Json.Int n) -> Some (float_of_int n)
+      | Some (Json.Float f) -> Some f
+      | _ -> None
+    in
+    let id = Option.value (str "id") ~default:(string_of_int idx) in
+    let op = Option.value (str "op") ~default:"?" in
+    let limits =
+      Engine.Limits.make
+        ?nodes:(int_field "node_budget")
+        ?backtracks:(int_field "backtrack_budget")
+        ?timeout_ms:(float_field "timeout_ms")
+        ()
+    in
+    let instance k =
+      match str k with
+      | None -> Error (Printf.sprintf "missing field %S" k)
+      | Some s -> (
+        match Parse.instance s with
+        | d, _ -> Ok d
+        | exception Parse.Parse_error m ->
+          Error (Printf.sprintf "%s: parse error: %s" k m))
+    in
+    let ( let* ) = Result.bind in
+    let work =
+      match op with
+      | "leq" ->
+        let* d1 = instance "d1" in
+        let* d2 = instance "d2" in
+        Ok
+          (fun () ->
+            match Hom.find_b ~limits d1 d2 with
+            | Engine.Sat h ->
+              `Sat
+                [ ("witness", Json.String (Format.asprintf "%a" Valuation.pp h)) ]
+            | Engine.Unsat -> `Unsat
+            | Engine.Unknown r -> `Unknown r)
+      | "member" ->
+        let* d = instance "d" in
+        let* r = instance "r" in
+        Ok
+          (fun () ->
+            match Semantics.mem_b ~limits r d with
+            | `True -> `Sat []
+            | `False -> `Unsat
+            | `Unknown reason -> `Unknown reason)
+      | "certain" -> (
+        let* d = instance "d" in
+        match str "query" with
+        | None -> Error "missing field \"query\""
+        | Some qs -> (
+          match parse_cq_result qs with
+          | Error m -> Error ("query: " ^ m)
+          | Ok q ->
+            Ok
+              (fun () ->
+                match Certdb_query.Certain.certain_cq_via_hom_b ~limits q d with
+                | `True -> `Sat []
+                | `False -> `Unsat
+                | `Unknown reason -> `Unknown reason)))
+      | other -> Error (Printf.sprintf "unknown op %S" other)
+    in
+    (id, op, work)
+
+let batch_run_job (idx, (id, op, work)) =
+  let fields =
+    match work with
+    | Error msg -> [ ("status", Json.String "error"); ("error", Json.String msg) ]
+    | Ok f -> (
+      match f () with
+      | `Sat extra -> ("status", Json.String "sat") :: extra
+      | `Unsat -> [ ("status", Json.String "unsat") ]
+      | `Unknown r ->
+        [
+          ("status", Json.String "unknown");
+          ("reason", Json.String (Engine.reason_to_string r));
+        ]
+      | exception e ->
+        [ ("status", Json.String "error"); ("error", Json.String (Printexc.to_string e)) ])
+  in
+  Json.Obj
+    (("id", Json.String id)
+    :: ("index", Json.Int idx)
+    :: ("op", Json.String op)
+    :: fields)
+
+let batch_cmd =
+  let run jobs file =
+    let contents =
+      if file = "-" then In_channel.input_all stdin
+      else
+        match In_channel.with_open_text file In_channel.input_all with
+        | contents -> contents
+        | exception Sys_error msg ->
+          Printf.eprintf "cannot read %s: %s\n" file msg;
+          exit 2
+    in
+    let lines =
+      String.split_on_char '\n' contents
+      |> List.map String.trim
+      |> List.filter (fun l -> l <> "")
+    in
+    (* Parse every line in the calling domain — the parser mints fresh
+       nulls and ids deterministically — so workers only run the solved
+       searches. *)
+    let tasks = List.mapi (fun idx l -> (idx, batch_parse_line idx l)) lines in
+    let results = Engine.Batch.map ~jobs batch_run_job tasks in
+    List.iter (fun j -> print_endline (Json.to_string j)) results;
+    let errored =
+      List.exists
+        (fun j -> Json.member "status" j = Some (Json.String "error"))
+        results
+    in
+    if errored then 1 else 0
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt int (Engine.Batch.default_jobs ())
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Worker domains (default: the recommended domain count).")
+  in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"JSONL input file, or - for stdin.")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Solve a JSONL stream of independent budgeted problems on a \
+          domain pool; output is JSONL in input order.")
+    (with_stats Term.(const run $ jobs $ file))
+
 (* stats: observability self-test.  Runs a small fixed workload through
    every instrumented subsystem (CSP solver, relational hom search, glb,
    chase, naive evaluation, XML tree hom) and prints the snapshot; exits
@@ -504,7 +674,7 @@ let main_cmd =
     [
       leq_cmd; cwa_cmd; member_cmd; glb_cmd; lub_cmd; core_cmd; certain_cmd;
       certain_fo_cmd; chase_cmd; tree_leq_cmd; tree_glb_cmd; tree_member_cmd;
-      stats_cmd;
+      batch_cmd; stats_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -6,10 +6,6 @@ let revisions = Obs.counter "csp.ac3.revisions"
 let prunes = Obs.counter "csp.ac3.prunes"
 let wipeouts = Obs.counter "csp.ac3.wipeouts"
 
-(* Deprecated [last_stats] shim over the obs counters (see solver.mli). *)
-let last = ref (fun () -> 0)
-let last_stats () = max 0 (!last ())
-
 (* A candidate b for node v is supported by constraint (rel, tup) at
    position i (tup.(i) = v) if some target tuple tt of rel has tt.(i) = b
    and tt.(j) in candidates(tup.(j)) for every j. *)
@@ -30,8 +26,6 @@ let supported target candidates rel tup i b =
     (Structure.tuples_of target rel)
 
 let prune ?restrict ~source ~target () =
-  (let mark = Obs.counter_value revisions in
-   last := fun () -> Obs.counter_value revisions - mark);
   Obs.with_span "csp.ac3.prune" @@ fun () ->
   let initial =
     List.fold_left
@@ -87,3 +81,15 @@ let find_hom ?restrict ~source ~target () =
     Solver.find_hom
       ~restrict:(fun v -> Int_map.find v candidates)
       ~source ~target ()
+
+let find_hom_b ?restrict ?(limits = Engine.Limits.unlimited) ~source ~target
+    () =
+  match prune ?restrict ~source ~target () with
+  | None -> Engine.Unsat
+  | Some candidates ->
+    let config =
+      Engine.Config.make ~limits
+        ~restrict:(fun v -> Int_map.find v candidates)
+        ()
+    in
+    Engine.solve ~config ~source ~target ()

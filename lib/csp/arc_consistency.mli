@@ -7,20 +7,30 @@
     candidate assignment, or [None] if some node's candidates become empty
     (in which case no homomorphism exists). *)
 val prune :
-  ?restrict:(int -> Structure.Int_set.t) ->
+  ?restrict:Structure.candidates ->
   source:Structure.t ->
   target:Structure.t ->
   unit ->
   Structure.Int_set.t Structure.Int_map.t option
 
-(** [find_hom ?restrict ~source ~target ()] — AC-3 preprocessing followed
-    by the MRV backtracking solver on the pruned domains. *)
+(** [find_hom ?restrict ?limits ~source ~target ()] — AC-3 preprocessing
+    followed by the MRV backtracking engine on the pruned domains.
+    [limits] bounds only the backtracking phase; an unlimited search never
+    returns [None] spuriously, and a budgeted one is available through
+    [find_hom_b]. *)
 val find_hom :
-  ?restrict:(int -> Structure.Int_set.t) ->
+  ?restrict:Structure.candidates ->
   source:Structure.t ->
   target:Structure.t ->
   unit ->
   Solver.hom option
 
-(** Revision count of the last [prune] (for the ablation bench). *)
-val last_stats : unit -> int
+(** Budgeted variant: AC-3 preprocessing, then {!Engine.solve} under
+    [limits]. *)
+val find_hom_b :
+  ?restrict:Structure.candidates ->
+  ?limits:Engine.Limits.t ->
+  source:Structure.t ->
+  target:Structure.t ->
+  unit ->
+  Solver.hom Engine.outcome

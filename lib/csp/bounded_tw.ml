@@ -6,10 +6,6 @@ let bag_assignments = Obs.counter "csp.btw.bag_assignments"
 let solves = Obs.counter "csp.btw.solves"
 let bags_gauge = Obs.gauge "csp.btw.bags"
 
-(* Deprecated [last_stats] shim over the obs counters (see solver.mli). *)
-let last = ref (fun () -> 0)
-let last_stats () = max 0 (!last ())
-
 let base_candidates ~source ~target ~restrict v =
   let labelled =
     List.fold_left
@@ -84,8 +80,6 @@ let solve ?decomposition ~source ~target ~restrict () =
   else begin
     Obs.incr solves;
     Obs.set_int bags_gauge nbags;
-    (let mark = Obs.counter_value bag_assignments in
-     last := fun () -> Obs.counter_value bag_assignments - mark);
     let bag_vars =
       Array.map (fun b -> Array.of_list (Int_set.elements b))
         decomposition.Treewidth.bags

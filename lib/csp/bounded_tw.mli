@@ -18,7 +18,7 @@ val r_hom :
   ?decomposition:Treewidth.t ->
   source:Structure.t ->
   target:Structure.t ->
-  restrict:(int -> Structure.Int_set.t) ->
+  restrict:Structure.candidates ->
   unit ->
   bool
 
@@ -27,7 +27,7 @@ val r_hom_witness :
   ?decomposition:Treewidth.t ->
   source:Structure.t ->
   target:Structure.t ->
-  restrict:(int -> Structure.Int_set.t) ->
+  restrict:Structure.candidates ->
   unit ->
   Solver.hom option
 
@@ -39,7 +39,3 @@ val hom :
   target:Structure.t ->
   unit ->
   bool
-
-(** Number of bag assignments enumerated by the last run (for the ablation
-    bench). *)
-val last_stats : unit -> int

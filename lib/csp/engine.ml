@@ -1,0 +1,460 @@
+module Int_set = Structure.Int_set
+module Int_map = Structure.Int_map
+module Obs = Certdb_obs.Obs
+
+type hom = int Int_map.t
+
+(* Observability: the engine owns the solver-side hot-path counters (the
+   legacy csp.solver.* names are kept so dashboards and the certdb stats
+   self-test keep working across the Solver -> Engine migration). *)
+let decisions = Obs.counter "csp.solver.decisions"
+let fc_prunes = Obs.counter "csp.solver.fc_prunes"
+let wipeouts = Obs.counter "csp.solver.wipeouts"
+let mrv_selects = Obs.counter "csp.solver.mrv_selects"
+let solutions = Obs.counter "csp.solver.solutions"
+let searches = Obs.counter "csp.solver.searches"
+let unknowns = Obs.counter "csp.engine.unknowns"
+let exists_skipped_vars = Obs.counter "csp.engine.exists_skipped_vars"
+
+type reason = Node_budget | Backtrack_budget | Deadline | Cancelled
+
+let reason_to_string = function
+  | Node_budget -> "node-budget"
+  | Backtrack_budget -> "backtrack-budget"
+  | Deadline -> "deadline"
+  | Cancelled -> "cancelled"
+
+type 'a outcome = Sat of 'a | Unsat | Unknown of reason
+
+let map_outcome f = function
+  | Sat x -> Sat (f x)
+  | Unsat -> Unsat
+  | Unknown r -> Unknown r
+
+type decision = [ `True | `False | `Unknown of reason ]
+
+let decision_of_outcome = function
+  | Sat _ -> `True
+  | Unsat -> `False
+  | Unknown r -> `Unknown r
+
+module Cancel = struct
+  type t = bool Atomic.t
+
+  let create () = Atomic.make false
+  let cancel t = Atomic.set t true
+  let cancelled t = Atomic.get t
+end
+
+module Limits = struct
+  type t = {
+    nodes : int option;
+    backtracks : int option;
+    timeout_ms : float option;
+    cancel : Cancel.t option;
+  }
+
+  let unlimited = { nodes = None; backtracks = None; timeout_ms = None; cancel = None }
+
+  let make ?nodes ?backtracks ?timeout_ms ?cancel () =
+    { nodes; backtracks; timeout_ms; cancel }
+
+  let is_unlimited l =
+    l.nodes = None && l.backtracks = None && l.timeout_ms = None
+    && l.cancel = None
+end
+
+module Budget = struct
+  exception Interrupted of reason
+
+  (* How many node ticks between wall-clock polls: [Obs.now_ms] costs a
+     syscall, an atomic cancellation probe does not, so the cancel token
+     is checked at every tick and the clock only periodically. *)
+  let clock_interval = 64
+
+  type t = {
+    mutable nodes_left : int; (* max_int encodes "unlimited" *)
+    mutable backtracks_left : int;
+    deadline : float; (* absolute ms on the Obs clock; infinity = none *)
+    cancel : Cancel.t option;
+    mutable until_clock_check : int;
+  }
+
+  let start (l : Limits.t) =
+    {
+      nodes_left = Option.value ~default:max_int l.nodes;
+      backtracks_left = Option.value ~default:max_int l.backtracks;
+      deadline =
+        (match l.timeout_ms with
+        | None -> infinity
+        | Some ms -> Obs.now_ms () +. ms);
+      cancel = l.cancel;
+      until_clock_check = clock_interval;
+    }
+
+  (* A tracker for unlimited limits never mutates (nodes_left stays at
+     max_int, the clock is never polled), so this shared one is safe to
+     use from any number of domains at once. *)
+  let unlimited = start Limits.unlimited
+
+  let check_clocks b =
+    (match b.cancel with
+    | Some c when Cancel.cancelled c -> raise (Interrupted Cancelled)
+    | _ -> ());
+    if b.deadline < infinity then begin
+      b.until_clock_check <- b.until_clock_check - 1;
+      if b.until_clock_check <= 0 then begin
+        b.until_clock_check <- clock_interval;
+        if Obs.now_ms () > b.deadline then raise (Interrupted Deadline)
+      end
+    end
+
+  let tick_node b =
+    if b.nodes_left <> max_int then begin
+      if b.nodes_left <= 0 then raise (Interrupted Node_budget);
+      b.nodes_left <- b.nodes_left - 1
+    end;
+    check_clocks b
+
+  let tick_backtrack b =
+    if b.backtracks_left <> max_int then begin
+      if b.backtracks_left <= 0 then raise (Interrupted Backtrack_budget);
+      b.backtracks_left <- b.backtracks_left - 1
+    end
+
+  let run limits f =
+    let b = start limits in
+    match f b with
+    | Some x -> Sat x
+    | None -> Unsat
+    | exception Interrupted r ->
+      Obs.incr unknowns;
+      Unknown r
+end
+
+module Config = struct
+  type var_order = Mrv | Lex
+  type propagation = Forward_check | No_propagation
+
+  type t = {
+    limits : Limits.t;
+    var_order : var_order;
+    propagation : propagation;
+    restrict : Structure.candidates option;
+  }
+
+  let default =
+    {
+      limits = Limits.unlimited;
+      var_order = Mrv;
+      propagation = Forward_check;
+      restrict = None;
+    }
+
+  let make ?(limits = Limits.unlimited) ?(var_order = Mrv)
+      ?(propagation = Forward_check) ?restrict () =
+    { limits; var_order; propagation; restrict }
+
+  let with_restrict restrict t = { t with restrict = Some restrict }
+end
+
+let is_hom ~source ~target h =
+  List.for_all
+    (fun v ->
+      match Int_map.find_opt v h with
+      | None -> false
+      | Some w ->
+        Structure.mem_node target w && Structure.same_label source v target w)
+    (Structure.nodes source)
+  && Structure.fold_tuples
+       (fun rel t ok ->
+         ok
+         && Structure.mem_tuple target rel
+              (Array.map (fun v -> Int_map.find v h) t))
+       source true
+
+(* Constraints of the CSP: one per source fact. *)
+type cstr = { rel : string; vars : int array }
+
+let constraints_of source =
+  Structure.fold_tuples
+    (fun rel t acc -> { rel; vars = t } :: acc)
+    source []
+
+let constraints_by_var cstrs =
+  List.fold_left
+    (fun m c ->
+      Array.fold_left
+        (fun m v ->
+          Int_map.update v
+            (function Some cs -> Some (c :: cs) | None -> Some [ c ])
+            m)
+        m c.vars)
+    Int_map.empty cstrs
+
+let initial_candidates ?restrict ~source ~target () =
+  List.fold_left
+    (fun m v ->
+      let base =
+        List.fold_left
+          (fun s w ->
+            if Structure.same_label source v target w then Int_set.add w s
+            else s)
+          Int_set.empty (Structure.nodes target)
+      in
+      let cands =
+        match restrict with
+        | None -> base
+        | Some r -> Int_set.inter base (r v)
+      in
+      Int_map.add v cands m)
+    Int_map.empty (Structure.nodes source)
+
+(* [supports target assignment c w b] iff some target tuple of [c.rel] is
+   consistent with [assignment] extended by [w ↦ b] on the variables of
+   [c]. *)
+let supports target assignment c w b =
+  List.exists
+    (fun tt ->
+      Array.length tt = Array.length c.vars
+      && (let ok = ref true in
+          Array.iteri
+            (fun i v ->
+              if !ok then
+                if v = w then (if tt.(i) <> b then ok := false)
+                else
+                  match Int_map.find_opt v assignment with
+                  | Some img -> if tt.(i) <> img then ok := false
+                  | None -> ())
+            c.vars;
+          !ok))
+    (Structure.tuples_of target c.rel)
+
+(* The budgeted backtracking core.  When [skip_free] is set, variables
+   occurring in no constraint are excluded from branching (their only
+   obligation is a non-empty candidate set, checked up front) and reported
+   to [on_solution], which receives the assignment over the branching
+   variables, the live candidate map, and the skipped variables — so
+   solve-mode can extend the assignment greedily while exists-mode skips
+   the work entirely.  Raises [Budget.Interrupted] when a limit trips. *)
+exception Stop
+
+let run_search ~(config : Config.t) ~budget ~skip_free ~source ~target
+    on_solution =
+  Obs.incr searches;
+  let cstrs = constraints_of source in
+  let by_var = constraints_by_var cstrs in
+  let cstrs_of v =
+    match Int_map.find_opt v by_var with Some cs -> cs | None -> []
+  in
+  let all_vars = Structure.nodes source in
+  let branch_vars, free_vars =
+    if skip_free then List.partition (fun v -> Int_map.mem v by_var) all_vars
+    else (all_vars, [])
+  in
+  let fc = config.propagation = Config.Forward_check in
+  let mrv = config.var_order = Config.Mrv in
+  let rec go assignment candidates unassigned =
+    match unassigned with
+    | [] ->
+      Obs.incr solutions;
+      if on_solution assignment candidates free_vars = `Stop then raise Stop
+    | _ ->
+      let v =
+        if mrv then begin
+          Obs.incr mrv_selects;
+          List.fold_left
+            (fun best v ->
+              let card v = Int_set.cardinal (Int_map.find v candidates) in
+              match best with
+              | None -> Some v
+              | Some b -> if card v < card b then Some v else best)
+            None unassigned
+          |> Option.get
+        end
+        else List.hd unassigned
+      in
+      let rest = List.filter (fun w -> w <> v) unassigned in
+      Int_set.iter
+        (fun b ->
+          Budget.tick_node budget;
+          Obs.incr decisions;
+          let assignment' = Int_map.add v b assignment in
+          (* prune the domains of neighbors through constraints on v *)
+          let ok = ref true in
+          let candidates' =
+            List.fold_left
+              (fun cands c ->
+                if not !ok then cands
+                else if
+                  (* fully assigned constraint: check directly *)
+                  Array.for_all (fun u -> Int_map.mem u assignment') c.vars
+                then
+                  if
+                    Structure.mem_tuple target c.rel
+                      (Array.map (fun u -> Int_map.find u assignment') c.vars)
+                  then cands
+                  else begin
+                    ok := false;
+                    cands
+                  end
+                else if not fc then cands
+                else
+                  Array.fold_left
+                    (fun cands u ->
+                      if Int_map.mem u assignment' then cands
+                      else
+                        let dom = Int_map.find u cands in
+                        let dom' =
+                          Int_set.filter
+                            (fun b' -> supports target assignment' c u b')
+                            dom
+                        in
+                        Obs.add fc_prunes
+                          (Int_set.cardinal dom - Int_set.cardinal dom');
+                        if Int_set.is_empty dom' then begin
+                          Obs.incr wipeouts;
+                          ok := false
+                        end;
+                        Int_map.add u dom' cands)
+                    cands c.vars)
+              candidates (cstrs_of v)
+          in
+          if !ok then go assignment' candidates' rest
+          else Budget.tick_backtrack budget)
+        (Int_map.find v candidates)
+  in
+  let candidates =
+    initial_candidates ?restrict:config.restrict ~source ~target ()
+  in
+  if Int_map.for_all (fun _ d -> not (Int_set.is_empty d)) candidates then (
+    try
+      go Int_map.empty candidates branch_vars;
+      `Exhausted
+    with Stop -> `Stopped)
+  else `Exhausted
+
+(* {1 Public entry points} *)
+
+let solve ?(config = Config.default) ~source ~target () =
+  Obs.with_span "csp.engine.solve" @@ fun () ->
+  Budget.run config.limits (fun budget ->
+      let found = ref None in
+      (match
+         run_search ~config ~budget ~skip_free:true ~source ~target
+           (fun assignment candidates free_vars ->
+             (* unconstrained variables: any label-compatible candidate
+                works, so extend greedily without search *)
+             let h =
+               List.fold_left
+                 (fun h v ->
+                   Obs.incr decisions;
+                   Int_map.add v (Int_set.min_elt (Int_map.find v candidates)) h)
+                 assignment free_vars
+             in
+             found := Some h;
+             `Stop)
+       with
+      | `Exhausted | `Stopped -> ());
+      !found)
+
+let satisfiable ?(config = Config.default) ~source ~target () =
+  Obs.with_span "csp.engine.satisfiable" @@ fun () ->
+  Budget.run config.limits (fun budget ->
+      let found = ref false in
+      (match
+         run_search ~config ~budget ~skip_free:true ~source ~target
+           (fun _ _ free_vars ->
+             Obs.add exists_skipped_vars (List.length free_vars);
+             found := true;
+             `Stop)
+       with
+      | `Exhausted | `Stopped -> ());
+      if !found then Some () else None)
+
+let iter ?(config = Config.default) ~source ~target f =
+  Obs.with_span "csp.engine.iter" @@ fun () ->
+  let budget = Budget.start config.limits in
+  match
+    run_search ~config ~budget ~skip_free:false ~source ~target
+      (fun assignment _ _ -> f assignment)
+  with
+  | `Exhausted -> `Exhausted
+  | `Stopped -> `Stopped
+  | exception Budget.Interrupted r ->
+    Obs.incr unknowns;
+    `Interrupted r
+
+let count ?(config = Config.default) ~source ~target () =
+  let n = ref 0 in
+  match
+    iter ~config ~source ~target (fun _ ->
+        incr n;
+        `Continue)
+  with
+  | `Exhausted | `Stopped -> Sat !n
+  | `Interrupted r -> Unknown r
+
+(* {1 The domain-parallel batch layer} *)
+
+module Batch = struct
+  let runs = Obs.counter "csp.batch.runs"
+  let tasks_total = Obs.counter "csp.batch.tasks"
+  let worker_tasks wid = Obs.counter (Printf.sprintf "csp.batch.worker%d.tasks" wid)
+
+  let default_jobs () = max 1 (Domain.recommended_domain_count ())
+
+  let map ?jobs f xs =
+    let n = List.length xs in
+    let jobs =
+      match jobs with Some j -> max 1 j | None -> default_jobs ()
+    in
+    let jobs = min jobs (max 1 n) in
+    Obs.incr runs;
+    let input = Array.of_list xs in
+    (* each slot is written by exactly one worker; Domain.join publishes
+       the writes to the coordinating domain *)
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let work wid () =
+      let mine = worker_tasks wid in
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          let r =
+            try Ok (f input.(i))
+            with e -> Error (e, Printexc.get_raw_backtrace ())
+          in
+          results.(i) <- Some r;
+          Obs.incr mine;
+          Obs.incr tasks_total;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    if jobs = 1 then work 0 ()
+    else begin
+      let workers =
+        List.init (jobs - 1) (fun k -> Domain.spawn (work (k + 1)))
+      in
+      work 0 ();
+      List.iter Domain.join workers
+    end;
+    Array.to_list results
+    |> List.map (function
+         | Some (Ok r) -> r
+         | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+         | None -> assert false)
+
+  type task = {
+    config : Config.t;
+    source : Structure.t;
+    target : Structure.t;
+  }
+
+  let solve_all ?jobs tasks =
+    map ?jobs
+      (fun t -> solve ~config:t.config ~source:t.source ~target:t.target ())
+      tasks
+end

@@ -1,0 +1,221 @@
+(** The hom-search engine: budgeted, cancellable homomorphism search
+    between finite labeled structures.
+
+    Every decision procedure of the paper — the information orderings of
+    Prop. 9, membership (Prop. 8 / Theorem 6 via R-compatible
+    homomorphisms), certain answers by naïve tableaux — bottoms out in
+    this search, so it is exposed as a configurable engine in the style
+    of CSP practice: a {!Config.t} bundles resource limits
+    ({!Limits.t}: node and backtrack budgets, a wall-clock deadline, a
+    {!Cancel.t} token another domain may trip), a variable-ordering
+    choice and a propagation level, and every search returns a
+    three-valued {!outcome} so that budget exhaustion is never conflated
+    with non-existence: [Sat h] carries a verified witness, [Unsat] is
+    only reported after the search space is exhausted, and [Unknown r]
+    says which limit tripped.
+
+    {!Solver.find_hom} and friends remain as thin unlimited-budget shims
+    over this module.  {!Batch} fans independent searches out across
+    OCaml domains with deterministic result ordering. *)
+
+type hom = int Structure.Int_map.t
+
+(** Why a search stopped early. *)
+type reason =
+  | Node_budget  (** the branching-decision budget ran out *)
+  | Backtrack_budget  (** the dead-end budget ran out *)
+  | Deadline  (** the wall-clock deadline passed *)
+  | Cancelled  (** the {!Cancel.t} token was tripped *)
+
+val reason_to_string : reason -> string
+
+(** Three-valued search result.  [Sat] and [Unsat] are definitive under
+    any budget; a tripped limit always surfaces as [Unknown]. *)
+type 'a outcome = Sat of 'a | Unsat | Unknown of reason
+
+val map_outcome : ('a -> 'b) -> 'a outcome -> 'b outcome
+
+(** Three-valued verdict for budgeted decision procedures built on the
+    engine (orderings, membership, certainty). *)
+type decision = [ `True | `False | `Unknown of reason ]
+
+val decision_of_outcome : 'a outcome -> decision
+
+(** Cancellation tokens: an atomic flag safe to trip from any domain. *)
+module Cancel : sig
+  type t
+
+  val create : unit -> t
+  val cancel : t -> unit
+  val cancelled : t -> bool
+end
+
+(** Resource limits, all off by default. *)
+module Limits : sig
+  type t = {
+    nodes : int option;  (** max branching decisions *)
+    backtracks : int option;  (** max dead ends *)
+    timeout_ms : float option;  (** wall-clock, relative to search start *)
+    cancel : Cancel.t option;
+  }
+
+  val unlimited : t
+
+  val make :
+    ?nodes:int ->
+    ?backtracks:int ->
+    ?timeout_ms:float ->
+    ?cancel:Cancel.t ->
+    unit ->
+    t
+
+  val is_unlimited : t -> bool
+end
+
+(** The runtime counterpart of {!Limits.t}: a mutable tracker that other
+    search procedures (the relational fact-based search, [Gdm.Ghom], the
+    enumeration loops of query answering) thread through their own hot
+    loops so every budget has one semantics. *)
+module Budget : sig
+  exception Interrupted of reason
+
+  type t
+
+  val start : Limits.t -> t
+
+  (** A shared tracker for {!Limits.unlimited}: it never mutates, so it
+      is safe to use concurrently from any number of domains. *)
+  val unlimited : t
+
+  (** [tick_node b] accounts one search node / branching decision.
+      @raise Interrupted when a limit trips. *)
+  val tick_node : t -> unit
+
+  (** [tick_backtrack b] accounts one dead end.
+      @raise Interrupted when the backtrack budget trips. *)
+  val tick_backtrack : t -> unit
+
+  (** [run limits f] starts a tracker, runs [f], and converts its
+      [Some]/[None] result to [Sat]/[Unsat], mapping an [Interrupted]
+      escape to [Unknown]. *)
+  val run : Limits.t -> (t -> 'a option) -> 'a outcome
+end
+
+(** Search configuration. *)
+module Config : sig
+  type var_order = Mrv  (** fewest remaining candidates first *) | Lex
+
+  type propagation =
+    | Forward_check  (** prune neighbor domains at every assignment *)
+    | No_propagation  (** check constraints only when fully assigned *)
+
+  type t = {
+    limits : Limits.t;
+    var_order : var_order;
+    propagation : propagation;
+    restrict : Structure.candidates option;
+        (** constrain the graph of the hom to a relation [R ⊆ A × B]
+            (Theorem 6's R-compatible homomorphisms) *)
+  }
+
+  (** MRV + forward checking, unlimited budget, no restriction. *)
+  val default : t
+
+  val make :
+    ?limits:Limits.t ->
+    ?var_order:var_order ->
+    ?propagation:propagation ->
+    ?restrict:Structure.candidates ->
+    unit ->
+    t
+
+  val with_restrict : Structure.candidates -> t -> t
+end
+
+(** [is_hom ~source ~target h] checks that [h] is a total
+    label-preserving homomorphism. *)
+val is_hom : source:Structure.t -> target:Structure.t -> hom -> bool
+
+(**/**)
+
+(* Internal plumbing shared with [Solver]'s naive ablation baseline. *)
+
+type cstr = { rel : string; vars : int array }
+
+val constraints_of : Structure.t -> cstr list
+
+val initial_candidates :
+  ?restrict:Structure.candidates ->
+  source:Structure.t ->
+  target:Structure.t ->
+  unit ->
+  Structure.Int_set.t Structure.Int_map.t
+
+(**/**)
+
+(** [solve ?config ~source ~target ()] searches for one homomorphism.
+    [Sat h] is a verified witness; [Unsat] means none exists. *)
+val solve :
+  ?config:Config.t ->
+  source:Structure.t ->
+  target:Structure.t ->
+  unit ->
+  hom outcome
+
+(** [satisfiable ?config ~source ~target ()] decides existence without
+    materializing a witness: variables occurring in no constraint are
+    never branched on (their candidate sets are only checked non-empty),
+    so it explores no more — and on instances with unconstrained nodes
+    strictly fewer — nodes than [solve]. *)
+val satisfiable :
+  ?config:Config.t ->
+  source:Structure.t ->
+  target:Structure.t ->
+  unit ->
+  unit outcome
+
+(** [iter ?config ~source ~target f] enumerates homomorphisms until [f]
+    answers [`Stop], the space is exhausted, or a limit trips. *)
+val iter :
+  ?config:Config.t ->
+  source:Structure.t ->
+  target:Structure.t ->
+  (hom -> [ `Continue | `Stop ]) ->
+  [ `Exhausted | `Stopped | `Interrupted of reason ]
+
+(** [count ?config ~source ~target ()] — [Sat n] only when the full
+    space was enumerated. *)
+val count :
+  ?config:Config.t ->
+  source:Structure.t ->
+  target:Structure.t ->
+  unit ->
+  int outcome
+
+(** Domain-parallel batch solving: a hand-rolled worker pool (OCaml
+    domains, no dependencies) that solves independent instances in
+    parallel.  Work is distributed by an atomic task index; results are
+    reported in input order regardless of [jobs]; per-worker task counts
+    land in the [csp.batch.worker<i>.tasks] counters and always sum to
+    [csp.batch.tasks]. *)
+module Batch : sig
+  (** [Domain.recommended_domain_count], at least 1. *)
+  val default_jobs : unit -> int
+
+  (** [map ?jobs f xs] applies [f] to every element on a pool of [jobs]
+      domains (default {!default_jobs}; the calling domain is one of the
+      workers).  The result list is in input order.  If [f] raises, the
+      first (by input order) exception is re-raised after the pool
+      drains. *)
+  val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+
+  type task = {
+    config : Config.t;
+    source : Structure.t;
+    target : Structure.t;
+  }
+
+  (** [solve_all ?jobs tasks] = [map ?jobs] of {!solve}, with each
+      task's own budget. *)
+  val solve_all : ?jobs:int -> task list -> hom outcome list
+end

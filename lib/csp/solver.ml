@@ -2,202 +2,41 @@ module Int_set = Structure.Int_set
 module Int_map = Structure.Int_map
 module Obs = Certdb_obs.Obs
 
-type hom = int Int_map.t
+type hom = Engine.hom
 
-(* Observability: every branching decision, forward-checking prune and MRV
-   variable selection feeds the process-wide metric registry. *)
-let decisions = Obs.counter "csp.solver.decisions"
 let naive_decisions = Obs.counter "csp.solver.naive.decisions"
-let fc_prunes = Obs.counter "csp.solver.fc_prunes"
-let wipeouts = Obs.counter "csp.solver.wipeouts"
-let mrv_selects = Obs.counter "csp.solver.mrv_selects"
-let solutions = Obs.counter "csp.solver.solutions"
-let searches = Obs.counter "csp.solver.searches"
+let is_hom = Engine.is_hom
 
-(* Deprecated [last_stats] shim: the decision count of the most recent
-   search, re-expressed as a delta of the obs counters. *)
-let last = ref (fun () -> 0)
-let last_stats () = max 0 (!last ())
+let config_of restrict =
+  match restrict with
+  | None -> Engine.Config.default
+  | Some r -> Engine.Config.with_restrict r Engine.Config.default
 
-let track_last counter =
-  let mark = Obs.counter_value counter in
-  last := fun () -> Obs.counter_value counter - mark
-
-let is_hom ~source ~target h =
-  List.for_all
-    (fun v ->
-      match Int_map.find_opt v h with
-      | None -> false
-      | Some w ->
-        Structure.mem_node target w && Structure.same_label source v target w)
-    (Structure.nodes source)
-  && Structure.fold_tuples
-       (fun rel t ok ->
-         ok
-         && Structure.mem_tuple target rel
-              (Array.map (fun v -> Int_map.find v h) t))
-       source true
-
-(* Constraints of the CSP: one per source fact. *)
-type cstr = { rel : string; vars : int array }
-
-let constraints_of source =
-  Structure.fold_tuples
-    (fun rel t acc -> { rel; vars = t } :: acc)
-    source []
-
-let constraints_by_var cstrs =
-  List.fold_left
-    (fun m c ->
-      Array.fold_left
-        (fun m v ->
-          Int_map.update v
-            (function Some cs -> Some (c :: cs) | None -> Some [ c ])
-            m)
-        m c.vars)
-    Int_map.empty cstrs
-
-let initial_candidates ?restrict ~source ~target () =
-  List.fold_left
-    (fun m v ->
-      let base =
-        List.fold_left
-          (fun s w ->
-            if Structure.same_label source v target w then Int_set.add w s
-            else s)
-          Int_set.empty (Structure.nodes target)
-      in
-      let cands =
-        match restrict with
-        | None -> base
-        | Some r -> Int_set.inter base (r v)
-      in
-      Int_map.add v cands m)
-    Int_map.empty (Structure.nodes source)
-
-(* [supports target assignment c w b] iff some target tuple of [c.rel] is
-   consistent with [assignment] extended by [w ↦ b] on the variables of
-   [c]. *)
-let supports target assignment c w b =
-  List.exists
-    (fun tt ->
-      Array.length tt = Array.length c.vars
-      && (let ok = ref true in
-          Array.iteri
-            (fun i v ->
-              if !ok then
-                if v = w then (if tt.(i) <> b then ok := false)
-                else
-                  match Int_map.find_opt v assignment with
-                  | Some img -> if tt.(i) <> img then ok := false
-                  | None -> ())
-            c.vars;
-          !ok))
-    (Structure.tuples_of target c.rel)
-
-let search ?restrict ~source ~target ~mrv on_solution =
-  let cstrs = constraints_of source in
-  let by_var = constraints_by_var cstrs in
-  let cstrs_of v =
-    match Int_map.find_opt v by_var with Some cs -> cs | None -> []
-  in
-  let vars = Structure.nodes source in
-  Obs.incr searches;
-  track_last decisions;
-  let exception Stop in
-  (* candidates: remaining domain for unassigned vars. *)
-  let rec go assignment candidates unassigned =
-    match unassigned with
-    | [] ->
-      Obs.incr solutions;
-      if on_solution assignment = `Stop then raise Stop
-    | _ ->
-      let v =
-        if mrv then begin
-          Obs.incr mrv_selects;
-          List.fold_left
-            (fun best v ->
-              let card v = Int_set.cardinal (Int_map.find v candidates) in
-              match best with
-              | None -> Some v
-              | Some b -> if card v < card b then Some v else best)
-            None unassigned
-          |> Option.get
-        end
-        else List.hd unassigned
-      in
-      let rest = List.filter (fun w -> w <> v) unassigned in
-      Int_set.iter
-        (fun b ->
-          Obs.incr decisions;
-          let assignment' = Int_map.add v b assignment in
-          (* prune the domains of neighbors through constraints on v *)
-          let ok = ref true in
-          let candidates' =
-            List.fold_left
-              (fun cands c ->
-                if not !ok then cands
-                else if
-                  (* fully assigned constraint: check directly *)
-                  Array.for_all (fun u -> Int_map.mem u assignment') c.vars
-                then
-                  if
-                    Structure.mem_tuple target c.rel
-                      (Array.map (fun u -> Int_map.find u assignment') c.vars)
-                  then cands
-                  else begin
-                    ok := false;
-                    cands
-                  end
-                else
-                  Array.fold_left
-                    (fun cands u ->
-                      if Int_map.mem u assignment' then cands
-                      else
-                        let dom = Int_map.find u cands in
-                        let dom' =
-                          Int_set.filter
-                            (fun b' -> supports target assignment' c u b')
-                            dom
-                        in
-                        Obs.add fc_prunes
-                          (Int_set.cardinal dom - Int_set.cardinal dom');
-                        if Int_set.is_empty dom' then begin
-                          Obs.incr wipeouts;
-                          ok := false
-                        end;
-                        Int_map.add u dom' cands)
-                    cands c.vars)
-              candidates (cstrs_of v)
-          in
-          if !ok then go assignment' candidates' rest)
-        (Int_map.find v candidates)
-  in
-  let candidates = initial_candidates ?restrict ~source ~target () in
-  if Int_map.for_all (fun _ d -> not (Int_set.is_empty d)) candidates then (
-    try go Int_map.empty candidates vars with Stop -> ())
+(* The unlimited-budget shims never see [Unknown]: no limit is set, so
+   nothing can trip. *)
+let definitive = function
+  | Engine.Sat x -> Some x
+  | Engine.Unsat -> None
+  | Engine.Unknown _ -> assert false
 
 let find_hom ?restrict ~source ~target () =
-  Obs.with_span "csp.solver.find_hom" (fun () ->
-      let found = ref None in
-      search ?restrict ~source ~target ~mrv:true (fun h ->
-          found := Some h;
-          `Stop);
-      !found)
+  definitive (Engine.solve ~config:(config_of restrict) ~source ~target ())
 
 let exists_hom ?restrict ~source ~target () =
-  Option.is_some (find_hom ?restrict ~source ~target ())
+  Option.is_some
+    (definitive
+       (Engine.satisfiable ~config:(config_of restrict) ~source ~target ()))
 
-(* Naive lexicographic backtracking without propagation, for the ablation
-   benchmark. *)
+(* Naive lexicographic backtracking without propagation, kept as the
+   ablation baseline and as an independent oracle for the engine's
+   property tests. *)
 let find_hom_naive ?restrict ~source ~target () =
-  let cstrs = constraints_of source in
+  let cstrs = Engine.constraints_of source in
   let vars = Array.of_list (Structure.nodes source) in
-  let candidates = initial_candidates ?restrict ~source ~target () in
-  track_last naive_decisions;
+  let candidates = Engine.initial_candidates ?restrict ~source ~target () in
   let consistent assignment =
     List.for_all
-      (fun c ->
+      (fun (c : Engine.cstr) ->
         (not (Array.for_all (fun u -> Int_map.mem u assignment) c.vars))
         || Structure.mem_tuple target c.rel
              (Array.map (fun u -> Int_map.find u assignment) c.vars))
@@ -221,14 +60,13 @@ let find_hom_naive ?restrict ~source ~target () =
   go 0 Int_map.empty
 
 let iter_homs ?restrict ~source ~target f =
-  search ?restrict ~source ~target ~mrv:true f
+  match Engine.iter ~config:(config_of restrict) ~source ~target f with
+  | `Exhausted | `Stopped -> ()
+  | `Interrupted _ -> assert false
 
 let count_homs ?restrict ~source ~target () =
-  let n = ref 0 in
-  iter_homs ?restrict ~source ~target (fun _ ->
-      incr n;
-      `Continue);
-  !n
+  definitive (Engine.count ~config:(config_of restrict) ~source ~target ())
+  |> Option.get
 
 let find_onto_hom ~source ~target () =
   let found = ref None in

@@ -7,11 +7,13 @@
     argument constrains the graph of [h] to a relation [R ⊆ A × B]
     (the R-compatible homomorphisms of Theorem 6's proof).
 
-    The default solver uses MRV variable ordering and forward checking;
+    These entry points are thin unlimited-budget shims over {!Engine};
+    callers that want node/backtrack budgets, deadlines, cancellation, or
+    a three-valued result use {!Engine.solve} and friends directly.
     [find_hom_naive] is a lexicographic backtracker kept for the ablation
-    benchmark. *)
+    benchmark and as an independent test oracle. *)
 
-type hom = int Structure.Int_map.t
+type hom = Engine.hom
 
 (** [is_hom ~source ~target h] checks that [h] is a total label-preserving
     homomorphism. *)
@@ -20,14 +22,17 @@ val is_hom : source:Structure.t -> target:Structure.t -> hom -> bool
 (** [find_hom ?restrict ~source ~target ()] returns a homomorphism if one
     exists.  [restrict v] limits the candidates for source node [v]. *)
 val find_hom :
-  ?restrict:(int -> Structure.Int_set.t) ->
+  ?restrict:Structure.candidates ->
   source:Structure.t ->
   target:Structure.t ->
   unit ->
   hom option
 
+(** [exists_hom] decides existence through {!Engine.satisfiable}: it
+    short-circuits over unconstrained nodes and never materializes the
+    witness map. *)
 val exists_hom :
-  ?restrict:(int -> Structure.Int_set.t) ->
+  ?restrict:Structure.candidates ->
   source:Structure.t ->
   target:Structure.t ->
   unit ->
@@ -35,7 +40,7 @@ val exists_hom :
 
 (** [find_hom_naive] — no variable-ordering heuristic, no propagation. *)
 val find_hom_naive :
-  ?restrict:(int -> Structure.Int_set.t) ->
+  ?restrict:Structure.candidates ->
   source:Structure.t ->
   target:Structure.t ->
   unit ->
@@ -44,14 +49,14 @@ val find_hom_naive :
 (** [iter_homs ~source ~target f] calls [f] on every homomorphism; [f]
     returning [`Stop] aborts the enumeration. *)
 val iter_homs :
-  ?restrict:(int -> Structure.Int_set.t) ->
+  ?restrict:Structure.candidates ->
   source:Structure.t ->
   target:Structure.t ->
   (hom -> [ `Continue | `Stop ]) ->
   unit
 
 val count_homs :
-  ?restrict:(int -> Structure.Int_set.t) ->
+  ?restrict:Structure.candidates ->
   source:Structure.t ->
   target:Structure.t ->
   unit ->
@@ -62,12 +67,3 @@ val count_homs :
     all of [target]'s facts (the onto homomorphisms of the CWA ordering). *)
 val find_onto_hom :
   source:Structure.t -> target:Structure.t -> unit -> hom option
-
-(** Search statistics of the last [find_hom]/[find_hom_naive] call on this
-    domain: number of branching decisions explored.
-
-    Deprecated compatibility shim: the count is now a delta of the
-    [Certdb_obs.Obs] counters [csp.solver.decisions] /
-    [csp.solver.naive.decisions]; prefer [Obs.snapshot] and the full
-    metric registry. *)
-val last_stats : unit -> int

@@ -1,4 +1,9 @@
 module Int_set = Set.Make (Int)
+
+(* The one candidate-set representation shared by every hom search
+   (Csp.Engine/Solver restricts, Gdm.Ghom, the XML tree hom): a per-node
+   function from source node to admissible target nodes. *)
+type candidates = int -> Int_set.t
 module Int_map = Map.Make (Int)
 module String_map = Map.Make (String)
 

@@ -7,6 +7,13 @@
 module Int_set : Set.S with type elt = int
 module Int_map : Map.S with type key = int
 
+(** Candidate sets for hom searches: maps each source node to the set of
+    admissible target nodes.  This is the one [restrict] representation
+    shared by {!Solver}, {!Engine}, [Gdm.Ghom] and the XML tree-hom
+    search (the relation [R] of Theorem 6's R-compatible
+    homomorphisms). *)
+type candidates = int -> Int_set.t
+
 type tuple = int array
 
 module Tuple_set : Set.S with type elt = tuple

@@ -1,5 +1,6 @@
 open Certdb_values
 open Certdb_relational
+module Engine = Certdb_csp.Engine
 
 type tgd = {
   tgd_body : Instance.t;
@@ -52,6 +53,20 @@ let satisfies d c =
   List.for_all (fun r -> tgd_violations d r = []) c.tgds
   && List.for_all (fun r -> egd_violations d r = []) c.egds
 
+let satisfies_b ?(limits = Engine.Limits.unlimited) d c =
+  Engine.decision_of_outcome
+    (Engine.Budget.run limits (fun budget ->
+         let check violations rs =
+           List.for_all
+             (fun r ->
+               Engine.Budget.tick_node budget;
+               violations d r = [])
+             rs
+         in
+         if check tgd_violations c.tgds && check egd_violations c.egds then
+           Some ()
+         else None))
+
 exception Chase_failure of string
 
 let unify_step d (l, r) =
@@ -66,8 +81,9 @@ let unify_step d (l, r) =
     Instance.apply (Valuation.bind Valuation.empty l r) d
   | false, true -> Instance.apply (Valuation.bind Valuation.empty r l) d
 
-let chase ?(max_rounds = 100) d c =
+let chase_budgeted ~budget ~max_rounds d c =
   let rec round d n =
+    Engine.Budget.tick_node budget;
     (* egds first: they only shrink the instance *)
     let step =
       match List.concat_map (egd_violations d) c.egds with
@@ -92,6 +108,15 @@ let chase ?(max_rounds = 100) d c =
       round (apply ()) (n + 1)
   in
   round d 0
+
+let chase ?(max_rounds = 100) d c =
+  chase_budgeted ~budget:Engine.Budget.unlimited ~max_rounds d c
+
+let chase_b ?(limits = Engine.Limits.unlimited) ?(max_rounds = 100) d c =
+  Engine.Budget.run limits (fun budget ->
+      match chase_budgeted ~budget ~max_rounds d c with
+      | d -> Some d
+      | exception Chase_failure _ -> None)
 
 let universal_solution_with_constraints mapping ~source ~target_constraints =
   let canonical = Universal.chase_relational mapping source in

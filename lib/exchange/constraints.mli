@@ -38,6 +38,14 @@ val make : ?tgds:tgd list -> ?egds:egd list -> unit -> t
     equates the two designated values. *)
 val satisfies : Instance.t -> t -> bool
 
+(** Budgeted [satisfies]: each constraint check accounts one engine node
+    against [limits]; a tripped limit surfaces as [`Unknown]. *)
+val satisfies_b :
+  ?limits:Certdb_csp.Engine.Limits.t ->
+  Instance.t ->
+  t ->
+  Certdb_csp.Engine.decision
+
 exception Chase_failure of string
 (** An egd required two distinct constants to be equal. *)
 
@@ -48,6 +56,17 @@ exception Chase_failure of string
     @raise Invalid_argument if [max_rounds] (default 100) is exceeded —
     the chase need not terminate for arbitrary tgds. *)
 val chase : ?max_rounds:int -> Instance.t -> t -> Instance.t
+
+(** Budgeted chase: one engine node per chase round.  [Sat d'] is the
+    chased instance, [Unsat] an egd clash (no solution exists), and
+    [Unknown r] a tripped limit — the round cap still raises
+    [Invalid_argument] as in {!chase}. *)
+val chase_b :
+  ?limits:Certdb_csp.Engine.Limits.t ->
+  ?max_rounds:int ->
+  Instance.t ->
+  t ->
+  Instance.t Certdb_csp.Engine.outcome
 
 (** [universal_solution_with_constraints mapping ~source ~target_constraints]
     — canonical solution followed by the target chase; [None] when the

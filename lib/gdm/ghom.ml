@@ -26,7 +26,7 @@ let is_hom h d d' =
 (* Backtracking on source nodes with dynamic fewest-candidates ordering;
    the valuation is threaded through data unification, the structural
    tuples are checked as soon as fully assigned. *)
-let search ?restrict d d' on_solution =
+let search ?(budget = Engine.Budget.unlimited) ?restrict d d' on_solution =
   let s = Gdb.structure d and s' = Gdb.structure d' in
   let target_nodes = Structure.nodes s' in
   let tuples = Structure.all_tuples s in
@@ -59,6 +59,7 @@ let search ?restrict d d' on_solution =
   let exception Stop in
   let rec go state remaining =
     Obs.incr nodes_counter;
+    Engine.Budget.tick_node budget;
     match remaining with
     | [] ->
       let node_map, valuation = state in
@@ -73,6 +74,7 @@ let search ?restrict d d' on_solution =
           (List.hd scored) (List.tl scored)
       in
       let rest = List.filter (fun v -> v <> best) remaining in
+      if cands = [] then Engine.Budget.tick_backtrack budget;
       List.iter
         (fun (w, val') ->
           let node_map' = Int_map.add best w (fst state) in
@@ -91,6 +93,18 @@ let find ?restrict d d' =
   !found
 
 let exists ?restrict d d' = Option.is_some (find ?restrict d d')
+
+let find_b ?restrict ?(limits = Engine.Limits.unlimited) d d' =
+  Engine.Budget.run limits (fun budget ->
+      let found = ref None in
+      search ~budget ?restrict d d' (fun h ->
+          found := Some h;
+          `Stop);
+      !found)
+
+let exists_b ?restrict ?limits d d' =
+  Engine.decision_of_outcome (find_b ?restrict ?limits d d')
+
 let iter ?restrict d d' f = search ?restrict d d' f
 
 let count d d' =

@@ -1,4 +1,5 @@
 let leq d d' = Ghom.exists d d'
+let leq_b ?limits d d' = Ghom.exists_b ?limits d d'
 let equiv d d' = leq d d' && leq d' d
 let strictly_less d d' = leq d d' && not (leq d' d)
 let incomparable d d' = (not (leq d d')) && not (leq d' d)

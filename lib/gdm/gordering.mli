@@ -3,6 +3,13 @@
     (Prop. 9). *)
 
 val leq : Gdb.t -> Gdb.t -> bool
+
+(** Budgeted [⊑]; [`Unknown r] when the search tripped a limit. *)
+val leq_b :
+  ?limits:Certdb_csp.Engine.Limits.t ->
+  Gdb.t ->
+  Gdb.t ->
+  Certdb_csp.Engine.decision
 val equiv : Gdb.t -> Gdb.t -> bool
 val strictly_less : Gdb.t -> Gdb.t -> bool
 val incomparable : Gdb.t -> Gdb.t -> bool

@@ -15,6 +15,7 @@ let candidate_relation d d' v =
     Int_set.empty (Gdb.nodes d')
 
 let generic_leq = Gordering.leq
+let generic_leq_b = Gordering.leq_b
 
 let require_codd d =
   if not (Gdb.codd d) then
@@ -52,3 +53,8 @@ let codd_leq_witness ?decomposition d d' =
 let mem d' d =
   Gdb.is_complete d'
   && if Gdb.codd d then codd_leq d d' else generic_leq d d'
+
+let mem_b ?limits d' d =
+  if not (Gdb.is_complete d') then `False
+  else if Gdb.codd d then if codd_leq d d' then `True else `False
+  else generic_leq_b ?limits d d'

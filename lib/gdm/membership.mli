@@ -23,6 +23,10 @@ val candidate_relation : Gdb.t -> Gdb.t -> int -> Structure.Int_set.t
 
 val generic_leq : Gdb.t -> Gdb.t -> bool
 
+(** Budgeted generic ordering, via {!Ghom.exists_b}. *)
+val generic_leq_b :
+  ?limits:Engine.Limits.t -> Gdb.t -> Gdb.t -> Engine.decision
+
 (** [codd_leq ?decomposition d d'] — PTIME for bounded treewidth.
     @raise Invalid_argument if [d] is not Codd. *)
 val codd_leq : ?decomposition:Treewidth.t -> Gdb.t -> Gdb.t -> bool
@@ -35,3 +39,8 @@ val codd_leq_witness :
     PTIME path automatically when [d] is Codd and the structure has small
     treewidth. *)
 val mem : Gdb.t -> Gdb.t -> bool
+
+(** Budgeted membership.  The PTIME Codd path ignores [limits] (it is
+    polynomial and never answers [`Unknown]); the generic NP path threads
+    them through the {!Ghom} search. *)
+val mem_b : ?limits:Engine.Limits.t -> Gdb.t -> Gdb.t -> Engine.decision

@@ -1,5 +1,6 @@
 open Certdb_values
 module Int_map = Certdb_csp.Structure.Int_map
+module Engine = Certdb_csp.Engine
 
 let naive_holds db f = Logic.holds db f
 
@@ -77,6 +78,20 @@ let complete_images db =
 let certain_existential db f =
   List.for_all (fun image -> Logic.holds image f) (complete_images db)
 
+(* Budgeted variant: the exponential part is the number of images, so each
+   image evaluation is accounted as one engine node. *)
+let certain_existential_b ?(limits = Engine.Limits.unlimited) db f =
+  Engine.decision_of_outcome
+    (Engine.Budget.run limits (fun budget ->
+         let ok =
+           List.for_all
+             (fun image ->
+               Engine.Budget.tick_node budget;
+               Logic.holds image f)
+             (complete_images db)
+         in
+         if ok then Some () else None))
+
 let certain_by_enumeration = certain_existential
 
 module String_map = Map.Make (String)
@@ -121,3 +136,10 @@ let certain ?(on_unsupported = default_unsupported) db f =
   if Logic.is_existential_positive f then naive_holds db f
   else if Logic.is_existential f then certain_existential db f
   else on_unsupported db f
+
+let certain_b ?limits ?(on_unsupported = default_unsupported) db f =
+  if Logic.is_existential_positive f then
+    if naive_holds db f then `True else `False
+  else if Logic.is_existential f then certain_existential_b ?limits db f
+  else if on_unsupported db f then `True
+  else `False

@@ -20,6 +20,24 @@ val naive_holds : Gdb.t -> Logic.t -> bool
       [Invalid_argument]. *)
 val certain : ?on_unsupported:(Gdb.t -> Logic.t -> bool) -> Gdb.t -> Logic.t -> bool
 
+(** Budgeted [certain]: the existential (coNP) regime accounts one engine
+    node per enumerated complete image, so a node budget or deadline in
+    [limits] bounds the enumeration and surfaces as [`Unknown].  The
+    polynomial existential-positive path never answers [`Unknown]. *)
+val certain_b :
+  ?limits:Certdb_csp.Engine.Limits.t ->
+  ?on_unsupported:(Gdb.t -> Logic.t -> bool) ->
+  Gdb.t ->
+  Logic.t ->
+  Certdb_csp.Engine.decision
+
+(** Budgeted {!certain_existential}. *)
+val certain_existential_b :
+  ?limits:Certdb_csp.Engine.Limits.t ->
+  Gdb.t ->
+  Logic.t ->
+  Certdb_csp.Engine.decision
+
 (** [certain_existential db f] — enumerate the complete homomorphic images
     of [db]: groundings of nulls into [adom ∪ fresh] composed with node
     merges among nodes made equal (same label, same grounded data); [f] is

@@ -62,6 +62,184 @@ module Json = struct
     Buffer.contents buf
 
   let pp ppf j = Format.pp_print_string ppf (to_string j)
+
+  exception Parse_error of string
+
+  (* Recursive-descent parser for the same document model; accepts any
+     JSON text produced by [to_string] plus arbitrary whitespace.  Numbers
+     parse as [Int] when they contain no '.', 'e' or 'E'. *)
+  let of_string s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected '%c'" c)
+    in
+    let literal word value =
+      if
+        !pos + String.length word <= n
+        && String.sub s !pos (String.length word) = word
+      then begin
+        pos := !pos + String.length word;
+        value
+      end
+      else fail (Printf.sprintf "expected '%s'" word)
+    in
+    let utf8_of_code buf u =
+      (* encode a BMP code point as UTF-8 *)
+      if u < 0x80 then Buffer.add_char buf (Char.chr u)
+      else if u < 0x800 then begin
+        Buffer.add_char buf (Char.chr (0xc0 lor (u lsr 6)));
+        Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3f)))
+      end
+      else begin
+        Buffer.add_char buf (Char.chr (0xe0 lor (u lsr 12)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3f)));
+        Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3f)))
+      end
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string"
+        else
+          match s.[!pos] with
+          | '"' -> advance ()
+          | '\\' ->
+            advance ();
+            (if !pos >= n then fail "unterminated escape"
+             else
+               match s.[!pos] with
+               | '"' -> Buffer.add_char buf '"'; advance ()
+               | '\\' -> Buffer.add_char buf '\\'; advance ()
+               | '/' -> Buffer.add_char buf '/'; advance ()
+               | 'b' -> Buffer.add_char buf '\b'; advance ()
+               | 'f' -> Buffer.add_char buf '\012'; advance ()
+               | 'n' -> Buffer.add_char buf '\n'; advance ()
+               | 'r' -> Buffer.add_char buf '\r'; advance ()
+               | 't' -> Buffer.add_char buf '\t'; advance ()
+               | 'u' ->
+                 advance ();
+                 if !pos + 4 > n then fail "truncated \\u escape";
+                 let hex = String.sub s !pos 4 in
+                 let u =
+                   try int_of_string ("0x" ^ hex)
+                   with _ -> fail "bad \\u escape"
+                 in
+                 pos := !pos + 4;
+                 utf8_of_code buf u
+               | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
+            go ()
+          | c ->
+            Buffer.add_char buf c;
+            advance ();
+            go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_float = ref false in
+      let rec go () =
+        match peek () with
+        | Some ('0' .. '9' | '-' | '+') ->
+          advance ();
+          go ()
+        | Some ('.' | 'e' | 'E') ->
+          is_float := true;
+          advance ();
+          go ()
+        | _ -> ()
+      in
+      go ();
+      let text = String.sub s start (!pos - start) in
+      if !is_float then
+        match float_of_string_opt text with
+        | Some f -> Float f
+        | None -> fail "bad number"
+      else
+        match int_of_string_opt text with
+        | Some i -> Int i
+        | None -> (
+          match float_of_string_opt text with
+          | Some f -> Float f
+          | None -> fail "bad number")
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some 'n' -> literal "null" Null
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some '"' -> String (parse_string ())
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let items = ref [ parse_value () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            items := parse_value () :: !items;
+            skip_ws ()
+          done;
+          expect ']';
+          List (List.rev !items)
+        end
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let field () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            (k, v)
+          in
+          let fields = ref [ field () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            fields := field () :: !fields;
+            skip_ws ()
+          done;
+          expect '}';
+          Obj (List.rev !fields)
+        end
+      | Some _ -> parse_number ()
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+
+  let member key = function
+    | Obj fields -> List.assoc_opt key fields
+    | _ -> None
 end
 
 let enabled_flag = ref true
@@ -74,9 +252,17 @@ let now_ms () = !clock_ms ()
 
 (* The registry: one hashtable per metric kind, keyed by name.  Metric
    handles are the mutable cells themselves, so recording an event after
-   the handle is obtained touches no hashtable. *)
+   the handle is obtained touches no hashtable.
 
-type counter = { c_name : string; mutable c_value : int }
+   Domain safety (the Csp.Engine.Batch worker pool runs hom searches on
+   several domains at once): counters are [Atomic.t], so concurrent
+   increments from worker domains never lose events and per-domain counts
+   add up; registry creation, timer samples and resets take a global
+   mutex (they are rare compared to counter bumps); the span stack is
+   domain-local storage, so spans opened on one domain never interleave
+   with another domain's stack. *)
+
+type counter = { c_name : string; c_value : int Atomic.t }
 type gauge = { g_name : string; mutable g_value : float }
 
 type timer = {
@@ -87,23 +273,31 @@ type timer = {
   mutable t_max : float;
 }
 
+let registry_mutex = Mutex.create ()
+
+let locked f =
+  Mutex.lock registry_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
+
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
 let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
 let timers : (string, timer) Hashtbl.t = Hashtbl.create 32
 
 let counter name =
+  locked @@ fun () ->
   match Hashtbl.find_opt counters name with
   | Some c -> c
   | None ->
-    let c = { c_name = name; c_value = 0 } in
+    let c = { c_name = name; c_value = Atomic.make 0 } in
     Hashtbl.add counters name c;
     c
 
-let incr c = if !enabled_flag then c.c_value <- c.c_value + 1
-let add c n = if !enabled_flag then c.c_value <- c.c_value + n
-let counter_value c = c.c_value
+let incr c = if !enabled_flag then ignore (Atomic.fetch_and_add c.c_value 1)
+let add c n = if !enabled_flag then ignore (Atomic.fetch_and_add c.c_value n)
+let counter_value c = Atomic.get c.c_value
 
 let gauge name =
+  locked @@ fun () ->
   match Hashtbl.find_opt gauges name with
   | Some g -> g
   | None ->
@@ -116,6 +310,7 @@ let set_int g n = set g (float_of_int n)
 let gauge_value g = g.g_value
 
 let timer name =
+  locked @@ fun () ->
   match Hashtbl.find_opt timers name with
   | Some t -> t
   | None ->
@@ -127,12 +322,12 @@ let timer name =
     t
 
 let record_ms t ms =
-  if !enabled_flag then begin
+  if !enabled_flag then
+    locked @@ fun () ->
     t.t_count <- t.t_count + 1;
     t.t_total <- t.t_total +. ms;
     if ms < t.t_min then t.t_min <- ms;
     if ms > t.t_max then t.t_max <- ms
-  end
 
 let time t f =
   let t0 = now_ms () in
@@ -146,14 +341,16 @@ type timer_stats = {
   mean_ms : float;
 }
 
-(* Spans: a stack of open intervals.  Completing a span feeds the timer
-   registered under the span's (label-decorated) name. *)
+(* Spans: a domain-local stack of open intervals.  Completing a span feeds
+   the timer registered under the span's (label-decorated) name. *)
 
 type span = { sp_timer : timer; sp_start : float; sp_id : int }
 
-let span_stack : span list ref = ref []
-let span_ids = ref 0
-let span_depth () = List.length !span_stack
+let span_stack : span list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let span_ids = Atomic.make 0
+let span_depth () = List.length !(Domain.DLS.get span_stack)
 
 let span_name name labels =
   match labels with
@@ -165,12 +362,12 @@ let span_name name labels =
     name ^ "{" ^ rendered ^ "}"
 
 let enter_span ?labels name =
-  Stdlib.incr span_ids;
   let sp =
     { sp_timer = timer (span_name name labels); sp_start = now_ms ();
-      sp_id = !span_ids }
+      sp_id = Atomic.fetch_and_add span_ids 1 }
   in
-  span_stack := sp :: !span_stack;
+  let stack = Domain.DLS.get span_stack in
+  stack := sp :: !stack;
   sp
 
 let exit_span sp =
@@ -182,8 +379,9 @@ let exit_span sp =
     | _ :: rest -> drop rest
     | [] -> None
   in
-  match drop !span_stack with
-  | Some rest -> span_stack := rest
+  let stack = Domain.DLS.get span_stack in
+  match drop !stack with
+  | Some rest -> stack := rest
   | None -> ()
 
 let with_span ?labels name f =
@@ -212,23 +410,25 @@ let stats_of_timer t =
   }
 
 let snapshot () =
+  locked @@ fun () ->
   {
-    counters = sorted_of_tbl counters (fun c -> c.c_value);
+    counters = sorted_of_tbl counters (fun c -> Atomic.get c.c_value);
     gauges = sorted_of_tbl gauges (fun g -> g.g_value);
     timers = sorted_of_tbl timers stats_of_timer;
   }
 
 let reset () =
-  Hashtbl.iter (fun _ c -> c.c_value <- 0) counters;
-  Hashtbl.iter (fun _ g -> g.g_value <- 0.) gauges;
-  Hashtbl.iter
-    (fun _ t ->
-      t.t_count <- 0;
-      t.t_total <- 0.;
-      t.t_min <- infinity;
-      t.t_max <- neg_infinity)
-    timers;
-  span_stack := []
+  (locked @@ fun () ->
+   Hashtbl.iter (fun _ c -> Atomic.set c.c_value 0) counters;
+   Hashtbl.iter (fun _ g -> g.g_value <- 0.) gauges;
+   Hashtbl.iter
+     (fun _ t ->
+       t.t_count <- 0;
+       t.t_total <- 0.;
+       t.t_min <- infinity;
+       t.t_max <- neg_infinity)
+     timers);
+  Domain.DLS.get span_stack := []
 
 let find_counter m name = List.assoc_opt name m.counters
 let find_gauge m name = List.assoc_opt name m.gauges

@@ -11,11 +11,17 @@
     [exchange.chase.steps], ...).  Counters count discrete events, gauges
     record the last observed size, timers aggregate span durations in
     milliseconds.  Instrumentation is on by default and costs one
-    hashtable-free mutable increment per event; [set_enabled false] turns
-    every recording operation into a no-op. *)
+    hashtable-free atomic increment per event; [set_enabled false] turns
+    every recording operation into a no-op.
 
-(** Minimal JSON document model with a rendering function — enough for
-    the metrics snapshot and the bench trajectory files. *)
+    The registry is domain-safe: counters are atomic (increments from the
+    [Csp.Engine.Batch] worker domains never lose events, so per-domain
+    counters add up in the final snapshot), registry creation and timer
+    samples are mutex-guarded, and the span stack is domain-local. *)
+
+(** Minimal JSON document model with rendering and parsing — enough for
+    the metrics snapshot, the bench trajectory files and the [certdb
+    batch] JSONL task format. *)
 module Json : sig
   type t =
     | Null
@@ -28,6 +34,17 @@ module Json : sig
 
   val to_string : t -> string
   val pp : Format.formatter -> t -> unit
+
+  exception Parse_error of string
+
+  (** [of_string s] parses one JSON document.  Numbers without a fraction
+      or exponent become [Int], all others [Float].
+      @raise Parse_error on malformed input. *)
+  val of_string : string -> t
+
+  (** [member key j] is the value of field [key] when [j] is an [Obj]
+      containing it. *)
+  val member : string -> t -> t option
 end
 
 (** {1 Global switch} *)

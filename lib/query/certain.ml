@@ -59,6 +59,10 @@ let certain_cq_via_hom q d =
   let tableau, _ = Cq.freeze q in
   Ordering.leq tableau d
 
+let certain_cq_via_hom_b ?limits q d =
+  let tableau, _ = Cq.freeze q in
+  Ordering.leq_b ?limits tableau d
+
 let certain_cq_via_containment q d = Cq.contained (Cq.of_instance d) q
 let certain_cq_via_naive q d = Cq.holds q d
 

@@ -77,6 +77,14 @@ val certain_ucq : Ucq.t -> Instance.t -> Instance.t
 (** [certain_cq_via_hom q d] — [D_Q ⊑ D]. *)
 val certain_cq_via_hom : Cq.t -> Instance.t -> bool
 
+(** Budgeted [D_Q ⊑ D] through the engine: [`Unknown r] when the hom
+    search tripped a limit of [limits], never a wrong [`True]/[`False]. *)
+val certain_cq_via_hom_b :
+  ?limits:Certdb_csp.Engine.Limits.t ->
+  Cq.t ->
+  Instance.t ->
+  Certdb_csp.Engine.decision
+
 (** [certain_cq_via_containment q d] — [Q_D ⊆ Q]. *)
 val certain_cq_via_containment : Cq.t -> Instance.t -> bool
 

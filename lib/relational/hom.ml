@@ -1,5 +1,6 @@
 open Certdb_values
 module Obs = Certdb_obs.Obs
+module Engine = Certdb_csp.Engine
 
 let searches = Obs.counter "rel.hom.searches"
 let nodes = Obs.counter "rel.hom.nodes"
@@ -15,7 +16,8 @@ let is_hom h d d' =
 (* Backtracking over source facts with dynamic fewest-candidates-first
    ordering.  [init] seeds the valuation (used by core computation and by
    tests that pin specific bindings). *)
-let search ?(init = Valuation.empty) ?(onto = false) d d' on_solution =
+let search ?(budget = Engine.Budget.unlimited) ?(init = Valuation.empty)
+    ?(onto = false) d d' on_solution =
   let source_facts = Instance.facts d in
   let target_facts = Instance.facts d' in
   (* index the target by relation once: the candidate computation runs at
@@ -42,6 +44,7 @@ let search ?(init = Valuation.empty) ?(onto = false) d d' on_solution =
   in
   let rec go h remaining covered =
     Obs.incr nodes;
+    Engine.Budget.tick_node budget;
     match remaining with
     | [] ->
       Obs.incr solutions;
@@ -58,6 +61,7 @@ let search ?(init = Valuation.empty) ?(onto = false) d d' on_solution =
           (List.hd scored) (List.tl scored)
       in
       let rest = List.filter (fun f -> Instance.compare_fact f best <> 0) remaining in
+      if cands = [] then Engine.Budget.tick_backtrack budget;
       List.iter
         (fun ((g : Instance.fact), h') -> go h' rest (g :: covered))
         cands
@@ -83,6 +87,17 @@ let find_seeded ?init d d' =
 let find d d' = find_seeded d d'
 let exists d d' = Option.is_some (find d d')
 
+let find_b ?(limits = Engine.Limits.unlimited) d d' =
+  Engine.Budget.run limits (fun budget ->
+      let found = ref None in
+      search ~budget d d' (fun h ->
+          found := Some (restrict_to_nulls d h);
+          `Stop);
+      !found)
+
+let exists_b ?limits d d' =
+  Engine.decision_of_outcome (find_b ?limits d d')
+
 let find_onto d d' =
   let found = ref None in
   search ~onto:true d d' (fun h ->
@@ -91,6 +106,17 @@ let find_onto d d' =
   !found
 
 let exists_onto d d' = Option.is_some (find_onto d d')
+
+let find_onto_b ?(limits = Engine.Limits.unlimited) d d' =
+  Engine.Budget.run limits (fun budget ->
+      let found = ref None in
+      search ~budget ~onto:true d d' (fun h ->
+          found := Some (restrict_to_nulls d h);
+          `Stop);
+      !found)
+
+let exists_onto_b ?limits d d' =
+  Engine.decision_of_outcome (find_onto_b ?limits d d')
 
 let iter d d' f = search d d' (fun h -> f (restrict_to_nulls d h))
 

@@ -3,6 +3,7 @@
     (Section 2.1).  [D ⊑ D′] iff such a homomorphism exists (Prop. 3). *)
 
 open Certdb_values
+module Engine = Certdb_csp.Engine
 
 (** [is_hom h d d'] checks that the valuation [h] maps every fact of [d]
     into [d']. *)
@@ -13,11 +14,32 @@ val find : Instance.t -> Instance.t -> Valuation.t option
 
 val exists : Instance.t -> Instance.t -> bool
 
+(** [find_b ?limits d d'] — the budgeted search.  [Sat h] carries a
+    witness, [Unsat] means the search space was exhausted, and
+    [Unknown r] reports the limit that tripped ({!Engine.reason}). *)
+val find_b :
+  ?limits:Engine.Limits.t ->
+  Instance.t ->
+  Instance.t ->
+  Valuation.t Engine.outcome
+
+val exists_b :
+  ?limits:Engine.Limits.t -> Instance.t -> Instance.t -> Engine.decision
+
 (** [find_onto d d'] searches for a homomorphism whose fact image is all of
     [d'] — the CWA ordering's witness ([D ⊑cwa D′]). *)
 val find_onto : Instance.t -> Instance.t -> Valuation.t option
 
 val exists_onto : Instance.t -> Instance.t -> bool
+
+val find_onto_b :
+  ?limits:Engine.Limits.t ->
+  Instance.t ->
+  Instance.t ->
+  Valuation.t Engine.outcome
+
+val exists_onto_b :
+  ?limits:Engine.Limits.t -> Instance.t -> Instance.t -> Engine.decision
 
 (** [iter d d' f] enumerates homomorphisms until [f] returns [`Stop].  Only
     bindings of nulls occurring in [d] are reported. *)

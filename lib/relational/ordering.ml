@@ -15,6 +15,7 @@ let tuple_leq t t' =
      end
 
 let leq d d' = Hom.exists d d'
+let leq_b ?limits d d' = Hom.exists_b ?limits d d'
 let equiv d d' = leq d d' && leq d' d
 let strictly_less d d' = leq d d' && not (leq d' d)
 let incomparable d d' = (not (leq d d')) && not (leq d' d)
@@ -34,6 +35,7 @@ let plotkin_leq d d' =
        (Instance.facts d')
 
 let cwa_leq d d' = Hom.exists_onto d d'
+let cwa_leq_b ?limits d d' = Hom.exists_onto_b ?limits d d'
 
 let hall_condition d d' =
   (* left vertices: facts of d'; right: facts of d; edge when the d-fact is

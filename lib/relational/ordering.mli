@@ -18,6 +18,14 @@ val tuple_leq : Value.t array -> Value.t array -> bool
 (** [leq d d'] — the information ordering [⊑] via homomorphism existence. *)
 val leq : Instance.t -> Instance.t -> bool
 
+(** Budgeted [⊑]: [`Unknown r] when the hom search tripped a limit, so a
+    budget can never flip the answer. *)
+val leq_b :
+  ?limits:Certdb_csp.Engine.Limits.t ->
+  Instance.t ->
+  Instance.t ->
+  Certdb_csp.Engine.decision
+
 val equiv : Instance.t -> Instance.t -> bool
 val strictly_less : Instance.t -> Instance.t -> bool
 val incomparable : Instance.t -> Instance.t -> bool
@@ -32,6 +40,13 @@ val plotkin_leq : Instance.t -> Instance.t -> bool
 
 (** [cwa_leq d d'] — [⊑cwa]: existence of an onto homomorphism. *)
 val cwa_leq : Instance.t -> Instance.t -> bool
+
+(** Budgeted [⊑cwa]. *)
+val cwa_leq_b :
+  ?limits:Certdb_csp.Engine.Limits.t ->
+  Instance.t ->
+  Instance.t ->
+  Certdb_csp.Engine.decision
 
 (** [cwa_leq_codd d d'] — the Prop. 8 characterization, valid when [d] is
     Codd: [d ⪯ d'] and [⪯⁻¹] satisfies Hall's condition (checked with

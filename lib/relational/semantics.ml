@@ -3,6 +3,10 @@ open Certdb_values
 let mem r d =
   Instance.is_complete r && Hom.exists d r
 
+let mem_b ?limits r d =
+  if not (Instance.is_complete r) then `False
+  else Hom.exists_b ?limits d r
+
 let sample_valuations ?(extra = Value.Set.empty) d =
   let nulls = Value.Set.elements (Instance.nulls d) in
   let k = List.length nulls in

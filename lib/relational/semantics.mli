@@ -16,6 +16,14 @@ open Certdb_values
     for the PTIME cases.) *)
 val mem : Instance.t -> Instance.t -> bool
 
+(** Budgeted membership: [`Unknown r] when the underlying hom search
+    tripped a limit of [limits]. *)
+val mem_b :
+  ?limits:Certdb_csp.Engine.Limits.t ->
+  Instance.t ->
+  Instance.t ->
+  Certdb_csp.Engine.decision
+
 (** [sample_completions ?extra d] enumerates the grounding valuations of
     [d] into [adom(d) ∪ extra ∪ {fresh constants}], and the corresponding
     completions.  The number of completions is [m^k] for [k] nulls and [m]

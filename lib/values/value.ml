@@ -34,20 +34,19 @@ let int i = Const (Int i)
 let str s = Const (Str s)
 let null i = Null i
 
-let null_counter = ref 0
-let const_counter = ref 0
+(* Atomic so that fresh values drawn from concurrent domains (the batch
+   layer) are still globally unique. *)
+let null_counter = Atomic.make 0
+let const_counter = Atomic.make 0
 
-let fresh_null () =
-  incr null_counter;
-  Null !null_counter
+let fresh_null () = Null (1 + Atomic.fetch_and_add null_counter 1)
 
 let reset_fresh () =
-  null_counter := 0;
-  const_counter := 0
+  Atomic.set null_counter 0;
+  Atomic.set const_counter 0
 
 let fresh_const () =
-  incr const_counter;
-  Const (Str (Printf.sprintf "#%d" !const_counter))
+  Const (Str (Printf.sprintf "#%d" (1 + Atomic.fetch_and_add const_counter 1)))
 
 let pp_const ppf = function
   | Int i -> Format.fprintf ppf "%d" i

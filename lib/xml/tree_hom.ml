@@ -4,11 +4,10 @@ module Obs = Certdb_obs.Obs
 
 let searches = Obs.counter "xml.tree_hom.searches"
 
-let find ?(require_root = false) t t' =
-  Obs.incr searches;
-  Obs.with_span "xml.tree_hom.find" @@ fun () ->
-  let d = Tree.to_gdb t and d' = Tree.to_gdb t' in
-  let restrict =
+(* Compose a caller restriction with the root-pinning one; both use the
+   shared Structure.candidates representation. *)
+let effective_restrict ~require_root ~restrict d' =
+  let root_restrict =
     if require_root then
       Some
         (fun v ->
@@ -16,12 +15,39 @@ let find ?(require_root = false) t t' =
           else Structure.Int_set.of_list (Gdb.nodes d'))
     else None
   in
+  match (root_restrict, restrict) with
+  | None, None -> None
+  | Some r, None | None, Some r -> Some r
+  | Some r1, Some r2 ->
+    Some (fun v -> Structure.Int_set.inter (r1 v) (r2 v))
+
+let find ?(require_root = false) ?restrict t t' =
+  Obs.incr searches;
+  Obs.with_span "xml.tree_hom.find" @@ fun () ->
+  let d = Tree.to_gdb t and d' = Tree.to_gdb t' in
+  let restrict = effective_restrict ~require_root ~restrict d' in
   Ghom.find ?restrict d d'
 
-let exists ?require_root t t' = Option.is_some (find ?require_root t t')
+let find_b ?(require_root = false) ?restrict ?limits t t' =
+  Obs.incr searches;
+  Obs.with_span "xml.tree_hom.find" @@ fun () ->
+  let d = Tree.to_gdb t and d' = Tree.to_gdb t' in
+  let restrict = effective_restrict ~require_root ~restrict d' in
+  Ghom.find_b ?restrict ?limits d d'
+
+let exists ?require_root ?restrict t t' =
+  Option.is_some (find ?require_root ?restrict t t')
+
+let exists_b ?require_root ?restrict ?limits t t' =
+  Engine.decision_of_outcome (find_b ?require_root ?restrict ?limits t t')
+
 let leq t t' = exists t t'
+let leq_b ?limits t t' = exists_b ?limits t t'
 let equiv t t' = leq t t' && leq t' t
 let strictly_less t t' = leq t t' && not (leq t' t)
 let incomparable t t' = (not (leq t t')) && not (leq t' t)
 let models t t' = leq t' t
 let mem t' t = Tree.is_complete t' && leq t t'
+
+let mem_b ?limits t' t =
+  if not (Tree.is_complete t') then `False else leq_b ?limits t t'

@@ -6,14 +6,49 @@
     documents have a designated root label, which pins it in practice.
     [leq] is the information ordering [T ⊑ T′] (Prop. 3 for trees). *)
 
+open Certdb_csp
 open Certdb_gdm
 
-(** [find ?require_root t t'] — [require_root] (default [false]) restricts
-    h₁ to send root to root. *)
-val find : ?require_root:bool -> Tree.t -> Tree.t -> Ghom.t option
+(** [find ?require_root ?restrict t t'] — [require_root] (default [false])
+    restricts h₁ to send root to root; [restrict] further constrains
+    candidate target nodes in the shared {!Structure.candidates}
+    representation (intersected with the root pin when both are given). *)
+val find :
+  ?require_root:bool ->
+  ?restrict:Structure.candidates ->
+  Tree.t ->
+  Tree.t ->
+  Ghom.t option
 
-val exists : ?require_root:bool -> Tree.t -> Tree.t -> bool
+val exists :
+  ?require_root:bool ->
+  ?restrict:Structure.candidates ->
+  Tree.t ->
+  Tree.t ->
+  bool
+
+(** Budgeted search; [Unknown r] reports the tripped limit of [limits]. *)
+val find_b :
+  ?require_root:bool ->
+  ?restrict:Structure.candidates ->
+  ?limits:Engine.Limits.t ->
+  Tree.t ->
+  Tree.t ->
+  Ghom.t Engine.outcome
+
+val exists_b :
+  ?require_root:bool ->
+  ?restrict:Structure.candidates ->
+  ?limits:Engine.Limits.t ->
+  Tree.t ->
+  Tree.t ->
+  Engine.decision
+
 val leq : Tree.t -> Tree.t -> bool
+
+(** Budgeted [⊑] on trees. *)
+val leq_b : ?limits:Engine.Limits.t -> Tree.t -> Tree.t -> Engine.decision
+
 val equiv : Tree.t -> Tree.t -> bool
 val strictly_less : Tree.t -> Tree.t -> bool
 val incomparable : Tree.t -> Tree.t -> bool
@@ -24,3 +59,6 @@ val models : Tree.t -> Tree.t -> bool
 
 (** [mem t' t] — the membership problem: complete [t'] ∈ [[t]]. *)
 val mem : Tree.t -> Tree.t -> bool
+
+(** Budgeted membership. *)
+val mem_b : ?limits:Engine.Limits.t -> Tree.t -> Tree.t -> Engine.decision

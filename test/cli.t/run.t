@@ -78,6 +78,29 @@ First-order certainty:
   false
   [1]
 
+Batch: a JSONL stream of independent budgeted problems solved on a
+domain pool; output order equals input order regardless of --jobs, and
+a tripped budget is reported as unknown, never as a wrong answer:
+
+  $ cat > batch.jsonl <<'EOF'
+  > {"op":"leq","d1":"R(1,_x)","d2":"R(1,2)"}
+  > {"id":"starved","op":"leq","d1":"R(_a,_b); R(_b,_c); R(_c,_a)","d2":"R(1,2); R(2,1)","node_budget":2}
+  > {"op":"member","d":"R(1,_x)","r":"R(1,2); R(3,4)"}
+  > {"op":"certain","query":"ans() :- R(_x,_y)","d":"R(1,_u)"}
+  > EOF
+  $ $CERTDB batch --jobs 2 batch.jsonl
+  {"id":"0","index":0,"op":"leq","status":"sat","witness":"{_|_1 -> 2}"}
+  {"id":"starved","index":1,"op":"leq","status":"unknown","reason":"node-budget"}
+  {"id":"2","index":2,"op":"member","status":"sat"}
+  {"id":"3","index":3,"op":"certain","status":"sat"}
+
+An error line makes the exit code 1, but the other lines still run:
+
+  $ printf '{"op":"bogus"}\n{"op":"member","d":"R(5,_x)","r":"R(1,2)"}\n' | $CERTDB batch --jobs 2 -
+  {"id":"0","index":0,"op":"bogus","status":"error","error":"unknown op \"bogus\""}
+  {"id":"1","index":1,"op":"member","status":"unsat"}
+  [1]
+
 Observability: --stats prints a metrics snapshot to stderr after the
 subcommand runs (timing fields redacted for determinism):
 
@@ -86,40 +109,44 @@ subcommand runs (timing fields redacted for determinism):
   witness: {_|_1 -> 2}
   == metrics ==
   counters:
-    csp.ac3.prunes             0
-    csp.ac3.revisions          0
-    csp.ac3.wipeouts           0
-    csp.btw.bag_assignments    0
-    csp.btw.solves             0
-    csp.solver.decisions       0
-    csp.solver.fc_prunes       0
-    csp.solver.mrv_selects     0
-    csp.solver.naive.decisions 0
-    csp.solver.searches        0
-    csp.solver.solutions       0
-    csp.solver.wipeouts        0
-    exchange.chase.facts       0
-    exchange.chase.runs        0
-    exchange.chase.steps       0
-    gdm.ghom.candidate_checks  0
-    gdm.ghom.nodes             0
-    gdm.ghom.searches          0
-    gdm.ghom.solutions         0
-    query.answer_tuples        0
-    query.certain_checks       0
-    query.naive_evals          0
-    rel.glb.merged_facts       0
-    rel.glb.pairs              0
-    rel.hom.candidate_checks   1
-    rel.hom.nodes              2
-    rel.hom.searches           1
-    rel.hom.solutions          1
-    rel.lub.pairs              0
-    xml.tree_hom.searches      0
+    csp.ac3.prunes                 0
+    csp.ac3.revisions              0
+    csp.ac3.wipeouts               0
+    csp.batch.runs                 0
+    csp.batch.tasks                0
+    csp.btw.bag_assignments        0
+    csp.btw.solves                 0
+    csp.engine.exists_skipped_vars 0
+    csp.engine.unknowns            0
+    csp.solver.decisions           0
+    csp.solver.fc_prunes           0
+    csp.solver.mrv_selects         0
+    csp.solver.naive.decisions     0
+    csp.solver.searches            0
+    csp.solver.solutions           0
+    csp.solver.wipeouts            0
+    exchange.chase.facts           0
+    exchange.chase.runs            0
+    exchange.chase.steps           0
+    gdm.ghom.candidate_checks      0
+    gdm.ghom.nodes                 0
+    gdm.ghom.searches              0
+    gdm.ghom.solutions             0
+    query.answer_tuples            0
+    query.certain_checks           0
+    query.naive_evals              0
+    rel.glb.merged_facts           0
+    rel.glb.pairs                  0
+    rel.hom.candidate_checks       1
+    rel.hom.nodes                  2
+    rel.hom.searches               1
+    rel.hom.solutions              1
+    rel.lub.pairs                  0
+    xml.tree_hom.searches          0
   gauges:
-    csp.btw.bags               0
+    csp.btw.bags                   0
   timers (ms):
-    rel.hom.search             count=1 total=<ms> mean=<ms> min=<ms> max=<ms>
+    rel.hom.search                 count=1 total=<ms> mean=<ms> min=<ms> max=<ms>
 
 --stats-json emits a single JSON object to stderr, leaving stdout alone:
 

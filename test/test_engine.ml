@@ -1,0 +1,288 @@
+(* Csp.Engine: three-valued outcomes, budget semantics, cancellation
+   (including cross-domain), the exists short-circuit, and the Batch
+   domain pool's deterministic ordering and per-worker accounting. *)
+
+open Certdb_csp
+module Obs = Certdb_obs.Obs
+
+let check = Alcotest.(check bool)
+
+let triangle =
+  Structure.make
+    ~nodes:[ (0, None); (1, None); (2, None) ]
+    ~tuples:[ ("E", [ [| 0; 1 |]; [| 1; 2 |]; [| 2; 0 |] ]) ]
+
+(* complete graph on n nodes, no self-loops *)
+let clique n =
+  let nodes = List.init n (fun v -> (v, None)) in
+  let edges =
+    List.concat_map
+      (fun a ->
+        List.filter_map
+          (fun b -> if a <> b then Some [| a; b |] else None)
+          (List.init n Fun.id))
+      (List.init n Fun.id)
+  in
+  Structure.make ~nodes ~tuples:[ ("E", edges) ]
+
+(* deterministic pseudo-random digraph from a seed *)
+let random_structure seed =
+  let st = Random.State.make [| seed |] in
+  let n = 2 + Random.State.int st 4 in
+  let nodes = List.init n (fun v -> (v, None)) in
+  let edges = ref [] in
+  for a = 0 to n - 1 do
+    for b = 0 to n - 1 do
+      if Random.State.float st 1.0 < 0.35 then edges := [| a; b |] :: !edges
+    done
+  done;
+  Structure.make ~nodes ~tuples:[ ("E", !edges) ]
+
+(* --- agreement with the naive baseline; no Unknown when unlimited --- *)
+
+let qcheck_agreement =
+  QCheck.Test.make ~count:200 ~name:"engine agrees with find_hom_naive"
+    QCheck.(pair (int_range 0 5000) (int_range 0 5000))
+    (fun (s1, s2) ->
+      let source = random_structure s1 and target = random_structure s2 in
+      let naive = Solver.find_hom_naive ~source ~target () in
+      match Engine.solve ~source ~target () with
+      | Engine.Unknown _ ->
+        QCheck.Test.fail_report "Unknown under an unlimited budget"
+      | Engine.Sat h ->
+        Engine.is_hom ~source ~target h && Option.is_some naive
+      | Engine.Unsat -> Option.is_none naive)
+
+let qcheck_satisfiable_agreement =
+  QCheck.Test.make ~count:200 ~name:"satisfiable agrees with solve"
+    QCheck.(pair (int_range 0 5000) (int_range 0 5000))
+    (fun (s1, s2) ->
+      let source = random_structure s1 and target = random_structure s2 in
+      let s = Engine.satisfiable ~source ~target () in
+      let f = Engine.solve ~source ~target () in
+      match (s, f) with
+      | Engine.Sat (), Engine.Sat _ | Engine.Unsat, Engine.Unsat -> true
+      | _ -> false)
+
+(* --- budgets --- *)
+
+let test_node_budget () =
+  let config =
+    Engine.Config.make ~limits:(Engine.Limits.make ~nodes:1 ()) ()
+  in
+  (match Engine.solve ~config ~source:triangle ~target:triangle () with
+  | Engine.Unknown Engine.Node_budget -> ()
+  | Engine.Sat _ -> Alcotest.fail "1-node budget returned Sat"
+  | Engine.Unsat -> Alcotest.fail "1-node budget returned Unsat"
+  | Engine.Unknown r ->
+    Alcotest.failf "wrong reason: %s" (Engine.reason_to_string r));
+  (* budgets never flip an answer: a generous budget gives the real one *)
+  let config =
+    Engine.Config.make ~limits:(Engine.Limits.make ~nodes:100_000 ()) ()
+  in
+  match Engine.solve ~config ~source:triangle ~target:triangle () with
+  | Engine.Sat h -> check "witness" true (Engine.is_hom ~source:triangle ~target:triangle h)
+  | _ -> Alcotest.fail "triangle -> triangle should be Sat"
+
+let test_backtrack_budget () =
+  (* K4 -> K3 has no hom and forces dead ends *)
+  let config =
+    Engine.Config.make ~limits:(Engine.Limits.make ~backtracks:1 ()) ()
+  in
+  match Engine.solve ~config ~source:(clique 4) ~target:(clique 3) () with
+  | Engine.Unknown Engine.Backtrack_budget -> ()
+  | Engine.Unknown r ->
+    Alcotest.failf "wrong reason: %s" (Engine.reason_to_string r)
+  | Engine.Sat _ -> Alcotest.fail "K4 -> K3 cannot be Sat"
+  | Engine.Unsat ->
+    Alcotest.fail "1-backtrack budget should trip before exhausting"
+
+let test_precancelled () =
+  let cancel = Engine.Cancel.create () in
+  Engine.Cancel.cancel cancel;
+  let config =
+    Engine.Config.make ~limits:(Engine.Limits.make ~cancel ()) ()
+  in
+  match Engine.solve ~config ~source:triangle ~target:triangle () with
+  | Engine.Unknown Engine.Cancelled -> ()
+  | _ -> Alcotest.fail "pre-cancelled token must yield Unknown Cancelled"
+
+let test_cross_domain_cancel () =
+  (* K8 -> K7: unsatisfiable with a huge search space; a second domain
+     trips the token after ~30ms and the search must come back promptly
+     with Unknown Cancelled. *)
+  let cancel = Engine.Cancel.create () in
+  let config =
+    Engine.Config.make ~limits:(Engine.Limits.make ~cancel ()) ()
+  in
+  let canceller =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.03;
+        Engine.Cancel.cancel cancel)
+  in
+  let t0 = Unix.gettimeofday () in
+  let result = Engine.solve ~config ~source:(clique 8) ~target:(clique 7) () in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Domain.join canceller;
+  (match result with
+  | Engine.Unknown Engine.Cancelled -> ()
+  | Engine.Unsat ->
+    (* legal if the machine finished the whole space before the cancel;
+       keep the test meaningful by requiring it was at least fast *)
+    ()
+  | Engine.Sat _ -> Alcotest.fail "K8 -> K7 cannot be Sat"
+  | Engine.Unknown r ->
+    Alcotest.failf "wrong reason: %s" (Engine.reason_to_string r));
+  check "terminates promptly after cancel" true (elapsed < 10.)
+
+let test_deadline () =
+  let config =
+    Engine.Config.make ~limits:(Engine.Limits.make ~timeout_ms:5. ()) ()
+  in
+  match Engine.solve ~config ~source:(clique 9) ~target:(clique 8) () with
+  | Engine.Unknown Engine.Deadline -> ()
+  | Engine.Unknown r ->
+    Alcotest.failf "wrong reason: %s" (Engine.reason_to_string r)
+  | Engine.Sat _ -> Alcotest.fail "K9 -> K8 cannot be Sat"
+  | Engine.Unsat -> Alcotest.fail "5ms deadline should trip on K9 -> K8"
+
+(* --- the exists short-circuit --- *)
+
+let test_exists_short_circuit () =
+  (* triangle plus an isolated node: solve must still assign the isolated
+     node; satisfiable skips it, so it makes strictly fewer decisions *)
+  let source = Structure.add_node triangle 3 in
+  let decisions = Obs.counter "csp.solver.decisions" in
+  let measure f =
+    let before = Obs.counter_value decisions in
+    f ();
+    Obs.counter_value decisions - before
+  in
+  let find_d =
+    measure (fun () ->
+        match Engine.solve ~source ~target:triangle () with
+        | Engine.Sat _ -> ()
+        | _ -> Alcotest.fail "expected Sat")
+  in
+  let exists_d =
+    measure (fun () ->
+        match Engine.satisfiable ~source ~target:triangle () with
+        | Engine.Sat () -> ()
+        | _ -> Alcotest.fail "expected Sat")
+  in
+  check "exists expands strictly fewer nodes" true (exists_d < find_d);
+  (* enumeration still counts assignments of the free node *)
+  (* the directed 3-cycle has 3 self-homs (rotations); the isolated node
+     can land on any of the 3 target nodes *)
+  match Engine.count ~source ~target:triangle () with
+  | Engine.Sat n ->
+    Alcotest.(check int) "count includes free-variable choices" (3 * 3) n
+  | _ -> Alcotest.fail "count should be Sat"
+
+(* --- Batch --- *)
+
+let test_batch_order () =
+  let inputs = List.init 40 Fun.id in
+  let doubled = Engine.Batch.map ~jobs:4 (fun x -> 2 * x) inputs in
+  Alcotest.(check (list int)) "jobs:4 preserves input order"
+    (List.map (fun x -> 2 * x) inputs)
+    doubled;
+  let tasks =
+    List.init 12 (fun i ->
+        {
+          Engine.Batch.config = Engine.Config.default;
+          source = (if i mod 2 = 0 then triangle else clique 4);
+          target = triangle;
+        })
+  in
+  let j1 = Engine.Batch.solve_all ~jobs:1 tasks in
+  let j4 = Engine.Batch.solve_all ~jobs:4 tasks in
+  check "same outcomes at jobs:1 and jobs:4" true
+    (List.for_all2
+       (fun a b ->
+         match (a, b) with
+         | Engine.Sat _, Engine.Sat _ -> true
+         | Engine.Unsat, Engine.Unsat -> true
+         | _ -> false)
+       j1 j4);
+  List.iteri
+    (fun i r ->
+      match r with
+      | Engine.Sat h ->
+        check "even tasks Sat with verified witness" true
+          (i mod 2 = 0
+          && Engine.is_hom ~source:triangle ~target:triangle h)
+      | Engine.Unsat -> check "odd tasks Unsat" true (i mod 2 = 1)
+      | Engine.Unknown _ -> Alcotest.fail "unlimited batch returned Unknown")
+    j4
+
+let test_batch_counters_add_up () =
+  Obs.reset ();
+  let tasks =
+    List.init 17 (fun _ ->
+        {
+          Engine.Batch.config = Engine.Config.default;
+          source = triangle;
+          target = triangle;
+        })
+  in
+  ignore (Engine.Batch.solve_all ~jobs:4 tasks);
+  let m = Obs.snapshot () in
+  let total =
+    match Obs.find_counter m "csp.batch.tasks" with
+    | Some n -> n
+    | None -> Alcotest.fail "csp.batch.tasks not registered"
+  in
+  Alcotest.(check int) "one task accounted per input" 17 total;
+  let worker_sum =
+    List.fold_left
+      (fun acc (name, v) ->
+        if
+          String.length name > 16
+          && String.sub name 0 16 = "csp.batch.worker"
+        then acc + v
+        else acc)
+      0 m.Obs.counters
+  in
+  Alcotest.(check int) "per-worker counters sum to the total" total worker_sum
+
+let test_batch_error_propagation () =
+  let boom = Failure "task 3 exploded" in
+  (match
+     Engine.Batch.map ~jobs:2
+       (fun i -> if i = 3 then raise boom else i)
+       [ 0; 1; 2; 3; 4 ]
+   with
+  | _ -> Alcotest.fail "expected the task's exception to re-raise"
+  | exception Failure m -> Alcotest.(check string) "first error wins" "task 3 exploded" m)
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "agreement",
+        [
+          QCheck_alcotest.to_alcotest qcheck_agreement;
+          QCheck_alcotest.to_alcotest qcheck_satisfiable_agreement;
+        ] );
+      ( "budgets",
+        [
+          Alcotest.test_case "node budget" `Quick test_node_budget;
+          Alcotest.test_case "backtrack budget" `Quick test_backtrack_budget;
+          Alcotest.test_case "pre-cancelled" `Quick test_precancelled;
+          Alcotest.test_case "cross-domain cancel" `Quick
+            test_cross_domain_cancel;
+          Alcotest.test_case "deadline" `Quick test_deadline;
+        ] );
+      ( "exists",
+        [
+          Alcotest.test_case "short-circuit" `Quick test_exists_short_circuit;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "deterministic order" `Quick test_batch_order;
+          Alcotest.test_case "counters add up" `Quick
+            test_batch_counters_add_up;
+          Alcotest.test_case "error propagation" `Quick
+            test_batch_error_propagation;
+        ] );
+    ]
