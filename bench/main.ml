@@ -34,6 +34,7 @@ let experiments =
     ("e17", "Prop. 3/9: ordering = homomorphism", E17_prop3.run);
     ("e18", "1990s lifts: nested relations vs XML", E18_nineties.run);
     ("e19", "Engine.Batch: domain-parallel hom-search throughput", E19_engine_batch.run);
+    ("e20", "Resilient: retry/escalation policies under starved budgets", E20_resilience.run);
   ]
 
 let micros =
@@ -43,6 +44,7 @@ let micros =
     E08_gdm_glb.micro; E09_exchange_lub.micro; E10_consistency.micro;
     E11_codd_membership.micro; E12_query_answering.micro;
     E14_patterns.micro; E15_ctables.micro; E19_engine_batch.micro;
+    E20_resilience.micro;
   ]
 
 let run_micros () =

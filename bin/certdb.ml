@@ -243,13 +243,64 @@ let parse_cq s =
     Printf.eprintf "query parse error: %s\n" msg;
     exit 2
 
+(* shared retry/budget flags (certain --degrade, batch) *)
+let max_attempts_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "max-attempts" ] ~docv:"N"
+        ~doc:
+          "Budgeted attempts per problem: an unknown outcome is retried \
+           with node/backtrack budgets multiplied by the --escalate factor \
+           each time.")
+
+let escalate_arg =
+  Arg.(
+    value & opt float 4.0
+    & info [ "escalate" ] ~docv:"K"
+        ~doc:"Per-retry budget multiplier (attempt i runs under budget x \
+              K^(i-1)).")
+
+let validate_policy max_attempts escalate =
+  if max_attempts < 1 then begin
+    Printf.eprintf "--max-attempts must be >= 1\n";
+    exit 2
+  end;
+  if escalate < 1.0 then begin
+    Printf.eprintf "--escalate must be >= 1.0\n";
+    exit 2
+  end
+
 let certain_cmd =
-  let run query d =
+  let run query degrade nodes backtracks timeout_ms max_attempts escalate d =
     let d = parse_instance_arg d in
     let q = parse_cq query in
-    let u = Certdb_query.Ucq.make [ q ] in
-    print_instance (Certdb_query.Certain.naive_eval_ucq u d);
-    0
+    if not degrade then begin
+      let u = Certdb_query.Ucq.make [ q ] in
+      print_instance (Certdb_query.Certain.naive_eval_ucq u d);
+      0
+    end
+    else if q.Certdb_query.Cq.head <> [] then begin
+      Printf.eprintf
+        "--degrade applies to Boolean queries (empty head): the graded \
+         answer is a single certified truth value\n";
+      2
+    end
+    else begin
+      validate_policy max_attempts escalate;
+      let limits =
+        Certdb_csp.Engine.Limits.make ?nodes ?backtracks ?timeout_ms ()
+      in
+      let policy =
+        Certdb_csp.Resilient.Policy.make ~max_attempts ~escalation:escalate ()
+      in
+      match Certdb_query.Certain.certain_cq_resilient ~policy ~limits q d with
+      | `Exact b ->
+        Printf.printf "exact: %b\n" b;
+        if b then 0 else 1
+      | `Lower_bound b ->
+        Printf.printf "lower-bound: %b\n" b;
+        if b then 0 else 1
+    end
   in
   let query =
     Arg.(
@@ -258,11 +309,45 @@ let certain_cmd =
       & info [ "query"; "q" ] ~docv:"CQ"
           ~doc:"Conjunctive query, e.g. 'ans(_x) :- R(_x,_y)'.")
   in
+  let degrade =
+    Arg.(
+      value & flag
+      & info [ "degrade" ]
+          ~doc:
+            "Boolean query only: decide certainty by the budgeted Prop. 2 \
+             hom check with retries, degrading to sound naive evaluation \
+             ('lower-bound: ...') instead of reporting unknown when every \
+             attempt trips its budget.")
+  in
+  let nodes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "node-budget" ] ~docv:"N" ~doc:"Search node budget per attempt.")
+  in
+  let backtracks =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "backtrack-budget" ] ~docv:"N"
+          ~doc:"Backtrack budget per attempt.")
+  in
+  let timeout_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout-ms" ] ~docv:"MS" ~doc:"Wall-clock deadline per attempt.")
+  in
   let d = instance_pos ~pos:0 ~doc:"Incomplete instance." in
   Cmd.v
     (Cmd.info "certain"
-       ~doc:"Certain answers of a conjunctive query by naive evaluation.")
-    (with_stats Term.(const run $ query $ d))
+       ~doc:
+         "Certain answers of a conjunctive query by naive evaluation; with \
+          --degrade, graded Boolean certainty that never answers unknown.")
+    (with_stats
+       Term.(
+         const run $ query $ degrade $ nodes $ backtracks $ timeout_ms
+         $ max_attempts_arg $ escalate_arg $ d))
 
 (* chase *)
 let parse_tgd s =
@@ -441,8 +526,9 @@ let tree_member_cmd =
    (with the tripped limit as "reason") / error. *)
 module Json = Obs.Json
 module Engine = Certdb_csp.Engine
+module Resilient = Certdb_csp.Resilient
 
-let batch_parse_line idx line =
+let batch_parse_line ?cancel idx line =
   match Json.of_string line with
   | exception Json.Parse_error m -> ("line-" ^ string_of_int idx, "?", Error ("json: " ^ m))
   | j ->
@@ -465,7 +551,7 @@ let batch_parse_line idx line =
         ?nodes:(int_field "node_budget")
         ?backtracks:(int_field "backtrack_budget")
         ?timeout_ms:(float_field "timeout_ms")
-        ()
+        ?cancel ()
     in
     let instance k =
       match str k with
@@ -477,28 +563,32 @@ let batch_parse_line idx line =
           Error (Printf.sprintf "%s: parse error: %s" k m))
     in
     let ( let* ) = Result.bind in
+    (* each op is a closure over the problem taking the (possibly
+       escalated) limits of the current attempt *)
     let work =
       match op with
       | "leq" ->
         let* d1 = instance "d1" in
         let* d2 = instance "d2" in
         Ok
-          (fun () ->
-            match Hom.find_b ~limits d1 d2 with
-            | Engine.Sat h ->
-              `Sat
-                [ ("witness", Json.String (Format.asprintf "%a" Valuation.pp h)) ]
-            | Engine.Unsat -> `Unsat
-            | Engine.Unknown r -> `Unknown r)
+          ( limits,
+            fun limits ->
+              match Hom.find_b ~limits d1 d2 with
+              | Engine.Sat h ->
+                `Sat
+                  [ ("witness", Json.String (Format.asprintf "%a" Valuation.pp h)) ]
+              | Engine.Unsat -> `Unsat
+              | Engine.Unknown r -> `Unknown r )
       | "member" ->
         let* d = instance "d" in
         let* r = instance "r" in
         Ok
-          (fun () ->
-            match Semantics.mem_b ~limits r d with
-            | `True -> `Sat []
-            | `False -> `Unsat
-            | `Unknown reason -> `Unknown reason)
+          ( limits,
+            fun limits ->
+              match Semantics.mem_b ~limits r d with
+              | `True -> `Sat []
+              | `False -> `Unsat
+              | `Unknown reason -> `Unknown reason )
       | "certain" -> (
         let* d = instance "d" in
         match str "query" with
@@ -508,39 +598,63 @@ let batch_parse_line idx line =
           | Error m -> Error ("query: " ^ m)
           | Ok q ->
             Ok
-              (fun () ->
-                match Certdb_query.Certain.certain_cq_via_hom_b ~limits q d with
-                | `True -> `Sat []
-                | `False -> `Unsat
-                | `Unknown reason -> `Unknown reason)))
+              ( limits,
+                fun limits ->
+                  match
+                    Certdb_query.Certain.certain_cq_via_hom_b ~limits q d
+                  with
+                  | `True -> `Sat []
+                  | `False -> `Unsat
+                  | `Unknown reason -> `Unknown reason )))
       | other -> Error (Printf.sprintf "unknown op %S" other)
     in
     (id, op, work)
 
-let batch_run_job (idx, (id, op, work)) =
-  let fields =
-    match work with
-    | Error msg -> [ ("status", Json.String "error"); ("error", Json.String msg) ]
-    | Ok f -> (
-      match f () with
-      | `Sat extra -> ("status", Json.String "sat") :: extra
-      | `Unsat -> [ ("status", Json.String "unsat") ]
-      | `Unknown r ->
-        [
-          ("status", Json.String "unknown");
-          ("reason", Json.String (Engine.reason_to_string r));
-        ]
-      | exception e ->
-        [ ("status", Json.String "error"); ("error", Json.String (Printexc.to_string e)) ])
-  in
+let describe_exn = function
+  | Certdb_obs.Fault.Injected point -> "injected fault at " ^ point
+  | e -> Printexc.to_string e
+
+let batch_row idx id op fields =
   Json.Obj
     (("id", Json.String id)
     :: ("index", Json.Int idx)
     :: ("op", Json.String op)
     :: fields)
 
+let batch_run_job ~policy (idx, (id, op, work)) =
+  let fields =
+    match work with
+    | Error msg -> [ ("status", Json.String "error"); ("error", Json.String msg) ]
+    | Ok (limits, f) -> (
+      match
+        Resilient.run ~policy ~limits (fun ~attempt:_ limits ->
+            match f limits with
+            | `Sat extra -> Engine.Sat extra
+            | `Unsat -> Engine.Unsat
+            | `Unknown reason -> Engine.Unknown reason)
+      with
+      | r ->
+        let base =
+          match r.Resilient.outcome with
+          | Engine.Sat extra -> ("status", Json.String "sat") :: extra
+          | Engine.Unsat -> [ ("status", Json.String "unsat") ]
+          | Engine.Unknown reason ->
+            [
+              ("status", Json.String "unknown");
+              ("reason", Json.String (Engine.reason_to_string reason));
+            ]
+        in
+        if policy.Resilient.Policy.max_attempts > 1 then
+          base @ [ ("attempts", Json.Int r.Resilient.attempts) ]
+        else base
+      | exception e ->
+        [ ("status", Json.String "error"); ("error", Json.String (describe_exn e)) ])
+  in
+  batch_row idx id op fields
+
 let batch_cmd =
-  let run jobs file =
+  let run jobs max_attempts escalate on_error file =
+    validate_policy max_attempts escalate;
     let contents =
       if file = "-" then In_channel.input_all stdin
       else
@@ -555,18 +669,50 @@ let batch_cmd =
       |> List.map String.trim
       |> List.filter (fun l -> l <> "")
     in
+    let policy =
+      Resilient.Policy.make ~max_attempts ~escalation:escalate
+        ~restart_seed:None ~propagate_first:false ()
+    in
+    let cancel, failure_policy =
+      match on_error with
+      | `Continue -> (None, Engine.Batch.Continue)
+      | `Fail_fast ->
+        let c = Engine.Cancel.create () in
+        (Some c, Engine.Batch.Fail_fast c)
+    in
     (* Parse every line in the calling domain — the parser mints fresh
        nulls and ids deterministically — so workers only run the solved
-       searches. *)
-    let tasks = List.mapi (fun idx l -> (idx, batch_parse_line idx l)) lines in
-    let results = Engine.Batch.map ~jobs batch_run_job tasks in
-    List.iter (fun j -> print_endline (Json.to_string j)) results;
-    let errored =
-      List.exists
-        (fun j -> Json.member "status" j = Some (Json.String "error"))
-        results
+       searches.  Under --on-error fail-fast every task's limits carry the
+       shared cancel token, so in-flight searches stop early too. *)
+    let tasks =
+      List.mapi (fun idx l -> (idx, batch_parse_line ?cancel idx l)) lines
     in
-    if errored then 1 else 0
+    let results =
+      Engine.Batch.map_result ~jobs ~on_error:failure_policy
+        (batch_run_job ~policy) tasks
+    in
+    let rows =
+      List.map2
+        (fun (idx, (id, op, _)) result ->
+          match result with
+          | Ok row -> row
+          | Error (Engine.Batch.Raised { exn; _ }) ->
+            batch_row idx id op
+              [
+                ("status", Json.String "error");
+                ("error", Json.String (describe_exn exn));
+              ]
+          | Error Engine.Batch.Skipped ->
+            batch_row idx id op [ ("status", Json.String "skipped") ])
+        tasks results
+    in
+    List.iter (fun j -> print_endline (Json.to_string j)) rows;
+    let bad j =
+      match Json.member "status" j with
+      | Some (Json.String ("error" | "skipped")) -> true
+      | _ -> false
+    in
+    if List.exists bad rows then 1 else 0
   in
   let jobs =
     Arg.(
@@ -574,6 +720,17 @@ let batch_cmd =
       & opt int (Engine.Batch.default_jobs ())
       & info [ "jobs"; "j" ] ~docv:"N"
           ~doc:"Worker domains (default: the recommended domain count).")
+  in
+  let on_error =
+    Arg.(
+      value
+      & opt (enum [ ("continue", `Continue); ("fail-fast", `Fail_fast) ]) `Continue
+      & info [ "on-error" ] ~docv:"POLICY"
+          ~doc:
+            "continue: isolate task failures as structured error records; \
+             fail-fast: stop popping tasks after the first failure and \
+             cancel in-flight searches (unstarted tasks are reported as \
+             skipped).")
   in
   let file =
     Arg.(
@@ -586,7 +743,8 @@ let batch_cmd =
        ~doc:
          "Solve a JSONL stream of independent budgeted problems on a \
           domain pool; output is JSONL in input order.")
-    (with_stats Term.(const run $ jobs $ file))
+    (with_stats
+       Term.(const run $ jobs $ max_attempts_arg $ escalate_arg $ on_error $ file))
 
 (* stats: observability self-test.  Runs a small fixed workload through
    every instrumented subsystem (CSP solver, relational hom search, glb,

@@ -48,7 +48,11 @@ let prune ?restrict ~source ~target () =
   let constraints = Structure.all_tuples source in
   let candidates = ref initial in
   let changed = ref true in
-  let failed = ref false in
+  (* a domain empty at initialization (label mismatch, or an empty
+     restriction) is already a wipeout — certify it rather than letting
+     revision terminate quietly around it *)
+  let failed = ref (Int_map.exists (fun _ s -> Int_set.is_empty s) initial) in
+  if !failed then Obs.incr wipeouts;
   while !changed && not !failed do
     changed := false;
     List.iter

@@ -1,6 +1,7 @@
 module Int_set = Structure.Int_set
 module Int_map = Structure.Int_map
 module Obs = Certdb_obs.Obs
+module Fault = Certdb_obs.Fault
 
 type hom = int Int_map.t
 
@@ -16,13 +17,19 @@ let searches = Obs.counter "csp.solver.searches"
 let unknowns = Obs.counter "csp.engine.unknowns"
 let exists_skipped_vars = Obs.counter "csp.engine.exists_skipped_vars"
 
-type reason = Node_budget | Backtrack_budget | Deadline | Cancelled
+type reason =
+  | Node_budget
+  | Backtrack_budget
+  | Deadline
+  | Cancelled
+  | Crashed of string
 
 let reason_to_string = function
   | Node_budget -> "node-budget"
   | Backtrack_budget -> "backtrack-budget"
   | Deadline -> "deadline"
   | Cancelled -> "cancelled"
+  | Crashed point -> "crashed:" ^ point
 
 type 'a outcome = Sat of 'a | Unsat | Unknown of reason
 
@@ -75,19 +82,27 @@ module Budget = struct
   type t = {
     mutable nodes_left : int; (* max_int encodes "unlimited" *)
     mutable backtracks_left : int;
-    deadline : float; (* absolute ms on the Obs clock; infinity = none *)
+    timeout_ms : float; (* relative ms allowance; infinity = none *)
+    (* The wall clock ([Obs.now_ms], normally [Unix.gettimeofday]) is not
+       monotone: an NTP step backwards would disarm an absolute deadline
+       for as long as the step was large.  Instead the tracker accumulates
+       only the positive deltas between successive polls, so elapsed time
+       never decreases and forward progress after a backward step still
+       counts against the allowance. *)
+    mutable last_now_ms : float;
+    mutable elapsed_ms : float;
     cancel : Cancel.t option;
     mutable until_clock_check : int;
   }
 
   let start (l : Limits.t) =
+    let timeout_ms = Option.value ~default:infinity l.timeout_ms in
     {
       nodes_left = Option.value ~default:max_int l.nodes;
       backtracks_left = Option.value ~default:max_int l.backtracks;
-      deadline =
-        (match l.timeout_ms with
-        | None -> infinity
-        | Some ms -> Obs.now_ms () +. ms);
+      timeout_ms;
+      last_now_ms = (if timeout_ms < infinity then Obs.now_ms () else 0.);
+      elapsed_ms = 0.;
       cancel = l.cancel;
       until_clock_check = clock_interval;
     }
@@ -101,15 +116,20 @@ module Budget = struct
     (match b.cancel with
     | Some c when Cancel.cancelled c -> raise (Interrupted Cancelled)
     | _ -> ());
-    if b.deadline < infinity then begin
+    if b.timeout_ms < infinity then begin
       b.until_clock_check <- b.until_clock_check - 1;
       if b.until_clock_check <= 0 then begin
         b.until_clock_check <- clock_interval;
-        if Obs.now_ms () > b.deadline then raise (Interrupted Deadline)
+        let now = Obs.now_ms () in
+        if now > b.last_now_ms then
+          b.elapsed_ms <- b.elapsed_ms +. (now -. b.last_now_ms);
+        b.last_now_ms <- now;
+        if b.elapsed_ms > b.timeout_ms then raise (Interrupted Deadline)
       end
     end
 
   let tick_node b =
+    Fault.hit "csp.search.node";
     if b.nodes_left <> max_int then begin
       if b.nodes_left <= 0 then raise (Interrupted Node_budget);
       b.nodes_left <- b.nodes_left - 1
@@ -130,10 +150,15 @@ module Budget = struct
     | exception Interrupted r ->
       Obs.incr unknowns;
       Unknown r
+    | exception Fault.Injected point ->
+      (* an injected crash inside a budgeted search degrades to Unknown:
+         the search died, but that is still not evidence of Unsat *)
+      Obs.incr unknowns;
+      Unknown (Crashed point)
 end
 
 module Config = struct
-  type var_order = Mrv | Lex
+  type var_order = Mrv | Lex | Seeded of int
   type propagation = Forward_check | No_propagation
 
   type t = {
@@ -239,6 +264,18 @@ let supports target assignment c w b =
    the work entirely.  Raises [Budget.Interrupted] when a limit trips. *)
 exception Stop
 
+(* Fisher–Yates with an explicit PRNG state: restart policies rely on the
+   permutation being a pure function of the seed. *)
+let seeded_shuffle st l =
+  let a = Array.of_list l in
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  Array.to_list a
+
 let run_search ~(config : Config.t) ~budget ~skip_free ~source ~target
     on_solution =
   Obs.incr searches;
@@ -251,6 +288,24 @@ let run_search ~(config : Config.t) ~budget ~skip_free ~source ~target
   let branch_vars, free_vars =
     if skip_free then List.partition (fun v -> Int_map.mem v by_var) all_vars
     else (all_vars, [])
+  in
+  let branch_vars =
+    match config.var_order with
+    | Config.Seeded s ->
+      seeded_shuffle (Random.State.make [| s; 0x5eed |]) branch_vars
+    | Config.Mrv | Config.Lex -> branch_vars
+  in
+  (* Seeded also perturbs the value order per variable, deterministically
+     in (seed, var), so two attempts with different seeds explore
+     genuinely different prefixes of the search tree. *)
+  let iter_values v f dom =
+    match config.var_order with
+    | Config.Seeded s ->
+      List.iter f
+        (seeded_shuffle
+           (Random.State.make [| s; v; 0x5eed |])
+           (Int_set.elements dom))
+    | Config.Mrv | Config.Lex -> Int_set.iter f dom
   in
   let fc = config.propagation = Config.Forward_check in
   let mrv = config.var_order = Config.Mrv in
@@ -275,7 +330,7 @@ let run_search ~(config : Config.t) ~budget ~skip_free ~source ~target
         else List.hd unassigned
       in
       let rest = List.filter (fun w -> w <> v) unassigned in
-      Int_set.iter
+      iter_values v
         (fun b ->
           Budget.tick_node budget;
           Obs.incr decisions;
@@ -384,6 +439,9 @@ let iter ?(config = Config.default) ~source ~target f =
   | exception Budget.Interrupted r ->
     Obs.incr unknowns;
     `Interrupted r
+  | exception Fault.Injected point ->
+    Obs.incr unknowns;
+    `Interrupted (Crashed point)
 
 let count ?(config = Config.default) ~source ~target () =
   let n = ref 0 in
@@ -400,11 +458,19 @@ let count ?(config = Config.default) ~source ~target () =
 module Batch = struct
   let runs = Obs.counter "csp.batch.runs"
   let tasks_total = Obs.counter "csp.batch.tasks"
+  let errors_total = Obs.counter "csp.batch.errors"
+  let skipped_total = Obs.counter "csp.batch.skipped"
   let worker_tasks wid = Obs.counter (Printf.sprintf "csp.batch.worker%d.tasks" wid)
 
   let default_jobs () = max 1 (Domain.recommended_domain_count ())
 
-  let map ?jobs f xs =
+  type error =
+    | Raised of { exn : exn; backtrace : Printexc.raw_backtrace }
+    | Skipped
+
+  type failure_policy = Continue | Fail_fast of Cancel.t
+
+  let map_result ?jobs ?(on_error = Continue) f xs =
     let n = List.length xs in
     let jobs =
       match jobs with Some j -> max 1 j | None -> default_jobs ()
@@ -416,19 +482,37 @@ module Batch = struct
        the writes to the coordinating domain *)
     let results = Array.make n None in
     let next = Atomic.make 0 in
+    let stop = match on_error with Continue -> None | Fail_fast c -> Some c in
+    let stopped () =
+      match stop with Some c -> Cancel.cancelled c | None -> false
+    in
     let work wid () =
       let mine = worker_tasks wid in
       let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          let r =
-            try Ok (f input.(i))
-            with e -> Error (e, Printexc.get_raw_backtrace ())
-          in
-          results.(i) <- Some r;
-          Obs.incr mine;
-          Obs.incr tasks_total;
-          loop ()
+        if not (stopped ()) then begin
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            let r =
+              try
+                (* deterministic fault point: keyed to the task index, not
+                   the pop order, so a schedule poisons the same tasks at
+                   any [jobs] *)
+                Fault.hit_k "csp.batch.task" (i + 1);
+                Ok (f input.(i))
+              with e ->
+                Error (Raised { exn = e; backtrace = Printexc.get_raw_backtrace () })
+            in
+            (match (r, stop) with
+            | Error _, Some c ->
+              Obs.incr errors_total;
+              Cancel.cancel c
+            | Error _, None -> Obs.incr errors_total
+            | Ok _, _ -> ());
+            results.(i) <- Some r;
+            Obs.incr mine;
+            Obs.incr tasks_total;
+            loop ()
+          end
         end
       in
       loop ()
@@ -441,11 +525,22 @@ module Batch = struct
       work 0 ();
       List.iter Domain.join workers
     end;
+    (* under Fail_fast, tasks never popped after the trip are reported as
+       Skipped — slots already claimed keep their real result *)
     Array.to_list results
     |> List.map (function
-         | Some (Ok r) -> r
-         | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
-         | None -> assert false)
+         | Some r -> r
+         | None ->
+           Obs.incr skipped_total;
+           Error Skipped)
+
+  let map ?jobs f xs =
+    map_result ?jobs ~on_error:Continue f xs
+    |> List.map (function
+         | Ok r -> r
+         | Error (Raised { exn; backtrace }) ->
+           Printexc.raise_with_backtrace exn backtrace
+         | Error Skipped -> assert false (* Continue never skips *))
 
   type task = {
     config : Config.t;

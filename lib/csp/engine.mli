@@ -26,6 +26,11 @@ type reason =
   | Backtrack_budget  (** the dead-end budget ran out *)
   | Deadline  (** the wall-clock deadline passed *)
   | Cancelled  (** the {!Cancel.t} token was tripped *)
+  | Crashed of string
+      (** the search died mid-flight (an injected fault or other crash
+          converted by {!Budget.run}); the payload names the fault
+          point.  Like every [Unknown], this carries no evidence either
+          way. *)
 
 val reason_to_string : reason -> string
 
@@ -97,13 +102,26 @@ module Budget : sig
 
   (** [run limits f] starts a tracker, runs [f], and converts its
       [Some]/[None] result to [Sat]/[Unsat], mapping an [Interrupted]
-      escape to [Unknown]. *)
+      escape to [Unknown] and an injected fault
+      ([Certdb_obs.Fault.Injected]) to [Unknown (Crashed _)].
+
+      Deadlines are robust to a non-monotone wall clock: the tracker
+      accumulates only positive deltas between clock polls, so a clock
+      stepped backwards (NTP) can delay the deadline by at most one poll
+      interval and can never disarm it. *)
   val run : Limits.t -> (t -> 'a option) -> 'a outcome
 end
 
 (** Search configuration. *)
 module Config : sig
-  type var_order = Mrv  (** fewest remaining candidates first *) | Lex
+  type var_order =
+    | Mrv  (** fewest remaining candidates first *)
+    | Lex
+    | Seeded of int
+        (** deterministic seeded permutation of the variable order and of
+            each variable's value order — the randomized-restart knob:
+            retrying an [Unknown] search under a fresh seed explores a
+            different prefix of the tree (see {!Resilient}) *)
 
   type propagation =
     | Forward_check  (** prune neighbor domains at every assignment *)
@@ -202,11 +220,43 @@ module Batch : sig
   (** [Domain.recommended_domain_count], at least 1. *)
   val default_jobs : unit -> int
 
-  (** [map ?jobs f xs] applies [f] to every element on a pool of [jobs]
-      domains (default {!default_jobs}; the calling domain is one of the
-      workers).  The result list is in input order.  If [f] raises, the
-      first (by input order) exception is re-raised after the pool
-      drains. *)
+  (** Per-task failure. *)
+  type error =
+    | Raised of { exn : exn; backtrace : Printexc.raw_backtrace }
+        (** the task itself raised *)
+    | Skipped
+        (** never started: {!Fail_fast} tripped before this task was
+            popped from the queue *)
+
+  (** What a raising task does to the rest of the batch. *)
+  type failure_policy =
+    | Continue  (** isolate the failure; every other task still runs *)
+    | Fail_fast of Cancel.t
+        (** trip the token on the first failure: workers stop popping new
+            tasks, and in-flight searches whose {!Limits.t} carry the
+            same token abort with [Unknown Cancelled] *)
+
+  (** [map_result ?jobs ?on_error f xs] applies [f] to every element on
+      a pool of [jobs] domains (default {!default_jobs}; the calling
+      domain is one of the workers), isolating failures per task: slot
+      [i] of the result (input order, regardless of [jobs]) is [Ok y],
+      [Error (Raised _)] if [f xs_i] raised, or [Error Skipped] if a
+      {!Fail_fast} trip stopped the queue first.  A poisoned task never
+      destroys completed work.  Default policy {!Continue}. *)
+  val map_result :
+    ?jobs:int ->
+    ?on_error:failure_policy ->
+    ('a -> 'b) ->
+    'a list ->
+    ('b, error) result list
+
+  (** [map ?jobs f xs] = {!map_result} with {!Continue}, unwrapped.  The
+      result list is in input order.  If [f] raises, every remaining task
+      still runs to completion and the first (by {e input} order, not
+      failure order) exception is re-raised only after all workers have
+      drained — completed results are computed and then discarded.
+      Callers that need those results, or early shutdown, should use
+      {!map_result} directly. *)
   val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 
   type task = {

@@ -83,6 +83,7 @@ let unify_step d (l, r) =
 
 let chase_budgeted ~budget ~max_rounds d c =
   let rec round d n =
+    Certdb_obs.Fault.hit "exchange.chase.step";
     Engine.Budget.tick_node budget;
     (* egds first: they only shrink the instance *)
     let step =

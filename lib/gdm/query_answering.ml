@@ -1,6 +1,8 @@
 open Certdb_values
 module Int_map = Certdb_csp.Structure.Int_map
 module Engine = Certdb_csp.Engine
+module Resilient = Certdb_csp.Resilient
+module Obs = Certdb_obs.Obs
 
 let naive_holds db f = Logic.holds db f
 
@@ -143,3 +145,54 @@ let certain_b ?limits ?(on_unsupported = default_unsupported) db f =
   else if Logic.is_existential f then certain_existential_b ?limits db f
   else if on_unsupported db f then `True
   else `False
+
+(* {2 Graceful degradation} *)
+
+let resilient_exact = Obs.counter "gdm.resilient.exact"
+let resilient_degraded = Obs.counter "gdm.resilient.degraded"
+
+(* The completion grounding every null to a distinct fresh constant (the
+   trivial member of [complete_images]): cheap to build, and any sentence
+   false on it is certainly not certain. *)
+let fresh_completion db =
+  let g =
+    Value.Set.fold
+      (fun n acc -> Valuation.bind acc n (Value.fresh_const ()))
+      (Gdb.nulls db) Valuation.empty
+  in
+  Gdb.apply g db
+
+let certain_resilient ?policy ?(limits = Engine.Limits.unlimited)
+    ?(on_unsupported = default_unsupported) db f =
+  if Logic.is_existential_positive f then begin
+    (* Theorem 7(a): naïve evaluation is exact here, no search at all *)
+    Obs.incr resilient_exact;
+    `Exact (naive_holds db f)
+  end
+  else if Logic.is_existential f then begin
+    let r =
+      Resilient.run ?policy ~limits (fun ~attempt:_ limits ->
+          match certain_existential_b ~limits db f with
+          | `True -> Engine.Sat ()
+          | `False -> Engine.Unsat
+          | `Unknown reason -> Engine.Unknown reason)
+    in
+    match r.Resilient.outcome with
+    | Engine.Sat () ->
+      Obs.incr resilient_exact;
+      `Exact true
+    | Engine.Unsat ->
+      Obs.incr resilient_exact;
+      `Exact false
+    | Engine.Unknown _ ->
+      Obs.incr resilient_degraded;
+      (* with negation in [f], evaluating one completion certifies only
+         refutation: false on a single image settles non-certainty, true
+         on it says nothing about the others *)
+      if not (Logic.holds (fresh_completion db) f) then `Exact false
+      else `Lower_bound false
+  end
+  else begin
+    Obs.incr resilient_exact;
+    `Exact (on_unsupported db f)
+  end

@@ -38,6 +38,29 @@ val certain_existential_b :
   Logic.t ->
   Certdb_csp.Engine.decision
 
+(** [certain_resilient ?policy ?limits ?on_unsupported db f] — certain
+    truth that degrades instead of giving up (the gdm analogue of
+    [Certain.certain_cq_resilient]):
+
+    - existential positive [f]: [`Exact], by naïve evaluation (Theorem
+      7(a) — exact, polynomial, no search to trip);
+    - existential [f]: the coNP image enumeration under the
+      retry/escalation ladder of {!Certdb_csp.Resilient}; if every
+      attempt trips, one cheap completion (all nulls fresh) is checked —
+      [f] false there is a sound refutation ([`Exact false]), otherwise
+      nothing is certified ([`Lower_bound false]; a sentence with
+      negation true on one completion says nothing about the rest);
+    - otherwise [on_unsupported] decides, as in {!certain_b}.
+
+    Never returns an [`Unknown]. *)
+val certain_resilient :
+  ?policy:Certdb_csp.Resilient.Policy.t ->
+  ?limits:Certdb_csp.Engine.Limits.t ->
+  ?on_unsupported:(Gdb.t -> Logic.t -> bool) ->
+  Gdb.t ->
+  Logic.t ->
+  [ `Exact of bool | `Lower_bound of bool ]
+
 (** [certain_existential db f] — enumerate the complete homomorphic images
     of [db]: groundings of nulls into [adom ∪ fresh] composed with node
     merges among nodes made equal (same label, same grounded data); [f] is

@@ -1,0 +1,151 @@
+exception Injected of string
+
+type trigger =
+  | Nth of int
+  | Every of int
+  | Seeded of { seed : int; per_mille : int }
+
+type entry = { point : string; trigger : trigger; hits : int Atomic.t }
+
+(* The whole schedule is one immutable array behind a ref: [hit] on worker
+   domains only reads the array and bumps per-entry atomics, so arming
+   from the coordinating domain publishes a consistent schedule. *)
+let schedule : entry array ref = ref [||]
+
+let injected_total = Obs.counter "fault.injected"
+
+let armed () = Array.length !schedule > 0
+
+let arm entries =
+  schedule :=
+    Array.of_list
+      (List.map
+         (fun (point, trigger) -> { point; trigger; hits = Atomic.make 0 })
+         entries)
+
+let disarm () = schedule := [||]
+
+(* splitmix64 finalizer: a high-quality deterministic hash for the seeded
+   trigger, so firing depends only on (seed, point, hit index). *)
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let seeded_fires ~seed ~point ~n ~per_mille =
+  let h =
+    mix64
+      (Int64.of_int
+         ((seed * 0x9e3779b1) lxor (Hashtbl.hash point * 0x85ebca6b) lxor n))
+  in
+  Int64.to_int (Int64.rem (Int64.logand h Int64.max_int) 1000L) < per_mille
+
+let fire e =
+  Obs.incr injected_total;
+  Obs.incr (Obs.counter ("fault." ^ e.point ^ ".injected"));
+  raise (Injected e.point)
+
+let selects e n =
+  match e.trigger with
+  | Nth k -> n = k
+  | Every k -> k > 0 && n mod k = 0
+  | Seeded { seed; per_mille } ->
+    seeded_fires ~seed ~point:e.point ~n ~per_mille
+
+let hit point =
+  let entries = !schedule in
+  if Array.length entries > 0 then
+    Array.iter
+      (fun e ->
+        if String.equal e.point point then begin
+          let n = 1 + Atomic.fetch_and_add e.hits 1 in
+          if selects e n then fire e
+        end)
+      entries
+
+let hit_k point k =
+  let entries = !schedule in
+  if Array.length entries > 0 then
+    Array.iter
+      (fun e -> if String.equal e.point point && selects e k then fire e)
+      entries
+
+let parse_entry s =
+  let trigger_of ~sep ~make rest =
+    match int_of_string_opt rest with
+    | Some n when n > 0 -> Ok (make n)
+    | _ -> Error (Printf.sprintf "bad count after '%c' in %S" sep s)
+  in
+  match String.index_opt s '@' with
+  | Some i ->
+    let point = String.sub s 0 i in
+    trigger_of ~sep:'@'
+      ~make:(fun n -> (point, Nth n))
+      (String.sub s (i + 1) (String.length s - i - 1))
+  | None -> (
+    match String.index_opt s '%' with
+    | Some i ->
+      let point = String.sub s 0 i in
+      trigger_of ~sep:'%'
+        ~make:(fun n -> (point, Every n))
+        (String.sub s (i + 1) (String.length s - i - 1))
+    | None -> (
+      match String.index_opt s '~' with
+      | Some i -> (
+        let point = String.sub s 0 i in
+        let rest = String.sub s (i + 1) (String.length s - i - 1) in
+        match String.index_opt rest ':' with
+        | None -> Error (Printf.sprintf "expected SEED:PER_MILLE in %S" s)
+        | Some j -> (
+          let seed = int_of_string_opt (String.sub rest 0 j) in
+          let pm =
+            int_of_string_opt
+              (String.sub rest (j + 1) (String.length rest - j - 1))
+          in
+          match (seed, pm) with
+          | Some seed, Some per_mille when per_mille >= 0 ->
+            Ok (point, Seeded { seed; per_mille })
+          | _ -> Error (Printf.sprintf "bad SEED:PER_MILLE in %S" s)))
+      | None ->
+        Error
+          (Printf.sprintf
+             "entry %S: expected point@N, point%%N or point~SEED:PM" s)))
+
+let arm_from_string spec =
+  let entries =
+    String.split_on_char ',' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | e :: rest -> (
+      match parse_entry e with
+      | Ok entry -> go (entry :: acc) rest
+      | Error _ as err -> err)
+  in
+  match go [] entries with
+  | Ok entries ->
+    arm entries;
+    Ok ()
+  | Error msg -> Error msg
+
+let with_armed entries f =
+  let saved = !schedule in
+  arm entries;
+  Fun.protect ~finally:(fun () -> schedule := saved) f
+
+(* Arm from the environment at program start (module initialization runs
+   before any domain is spawned).  A malformed spec is a hard error: a
+   fault schedule that silently fails to arm would let a fault-injection
+   CI job pass without testing anything. *)
+let () =
+  match Sys.getenv_opt "CERTDB_FAULT" with
+  | None | Some "" -> ()
+  | Some spec -> (
+    match arm_from_string spec with
+    | Ok () -> ()
+    | Error msg ->
+      prerr_endline ("CERTDB_FAULT: " ^ msg);
+      exit 2)

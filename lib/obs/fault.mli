@@ -1,0 +1,68 @@
+(** Deterministic fault injection for resilience testing.
+
+    A {e fault point} is a named site in a hot path ([Fault.hit "point"])
+    that normally does nothing.  When a schedule is {e armed} — either
+    programmatically with {!arm} or through the [CERTDB_FAULT] environment
+    variable read at program start — the point raises {!Injected} on the
+    hits selected by its trigger, simulating a crash exactly where the
+    schedule says.  Everything is deterministic: triggers fire on hit
+    indices (per-point counters), and the randomized trigger is a pure
+    hash of [(seed, point, hit index)], so the same schedule always
+    poisons the same operations.
+
+    Points currently wired in:
+    - ["csp.search.node"] — every {!Engine.Budget.tick_node}, i.e. each
+      node of every hom search (the CSP engine, the relational fact
+      search, [Gdm.Ghom], the enumeration loops of query answering).
+      Budgeted searches convert the injected crash into
+      [Unknown (Crashed _)]; unbudgeted shims let it escape.
+    - ["exchange.chase.step"] — each chase round of
+      [Constraints.chase_budgeted].
+    - ["csp.batch.task"] — before each task of an [Engine.Batch] worker;
+      surfaces as a per-task [Error] through [Batch.map_result].
+
+    [CERTDB_FAULT] grammar: comma-separated entries, each one of
+    - [point@N] — fire on exactly the N-th hit of [point] (1-based, once);
+    - [point%N] — fire on every N-th hit;
+    - [point~SEED:PM] — seeded Bernoulli: fire a hit with probability
+      PM/1000, decided by a hash of [(SEED, point, hit index)].
+
+    Example: [CERTDB_FAULT="csp.batch.task@2,csp.search.node~7:25"]. *)
+
+(** Raised by {!hit} when the armed schedule selects the current hit.
+    The payload is the point name. *)
+exception Injected of string
+
+type trigger =
+  | Nth of int  (** fire on exactly the n-th hit (1-based), once *)
+  | Every of int  (** fire on every n-th hit *)
+  | Seeded of { seed : int; per_mille : int }
+      (** fire a given hit with probability [per_mille/1000], decided
+          deterministically by hashing [(seed, point, hit index)] *)
+
+(** [arm schedule] replaces the active schedule and zeroes every per-point
+    hit count.  Arming with [[]] is {!disarm}. *)
+val arm : (string * trigger) list -> unit
+
+(** Parse the [CERTDB_FAULT] grammar and {!arm} the result. *)
+val arm_from_string : string -> (unit, string) result
+
+val disarm : unit -> unit
+val armed : unit -> bool
+
+(** [hit point] accounts one hit of [point].
+    @raise Injected when the armed schedule selects this hit.  A no-op
+    (one branch) when nothing is armed. *)
+val hit : string -> unit
+
+(** [hit_k point k] evaluates the schedule against the explicit hit
+    index [k] (1-based) instead of the per-point counter.  Use at points
+    where work is distributed across domains — keyed to the work item,
+    the schedule poisons the same items under any parallelism, where the
+    shared counter of {!hit} would depend on scheduling order.
+    @raise Injected when the schedule selects index [k]. *)
+val hit_k : string -> int -> unit
+
+(** [with_armed schedule f] runs [f] under [schedule] and restores the
+    previously armed schedule afterwards, even if [f] raises. *)
+val with_armed : (string * trigger) list -> (unit -> 'a) -> 'a

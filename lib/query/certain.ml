@@ -66,6 +66,46 @@ let certain_cq_via_hom_b ?limits q d =
 let certain_cq_via_containment q d = Cq.contained (Cq.of_instance d) q
 let certain_cq_via_naive q d = Cq.holds q d
 
+(* {2 Graceful degradation} *)
+
+module Engine = Certdb_csp.Engine
+module Resilient = Certdb_csp.Resilient
+
+let resilient_exact = Obs.counter "query.resilient.exact"
+let resilient_degraded = Obs.counter "query.resilient.degraded"
+
+let outcome_of_decision = function
+  | `True -> Engine.Sat ()
+  | `False -> Engine.Unsat
+  | `Unknown r -> Engine.Unknown r
+
+let certain_cq_resilient ?policy ?(limits = Engine.Limits.unlimited) q d =
+  Obs.incr certain_checks;
+  let r =
+    Resilient.run ?policy ~limits (fun ~attempt:_ limits ->
+        outcome_of_decision (certain_cq_via_hom_b ~limits q d))
+  in
+  match r.Resilient.outcome with
+  | Engine.Sat () ->
+    Obs.incr resilient_exact;
+    `Exact true
+  | Engine.Unsat ->
+    Obs.incr resilient_exact;
+    `Exact false
+  | Engine.Unknown _ ->
+    (* every retry tripped: degrade to naïve evaluation, which is sound
+       for certain answers (Theorem 4) and never budgeted.  It is still
+       a hom-shaped evaluation, so a permanent injected crash at
+       csp.search.node would kill this last rung too — [false] is the
+       trivially sound floor, and the graded contract survives *)
+    Obs.incr resilient_degraded;
+    let lower =
+      match certain_cq_via_naive q d with
+      | b -> b
+      | exception Certdb_obs.Fault.Injected _ -> false
+    in
+    `Lower_bound lower
+
 let certain_holds_cwa q d =
   Obs.incr certain_checks;
   Obs.with_span "query.certain_cwa" @@ fun () ->

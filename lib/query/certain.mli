@@ -85,6 +85,33 @@ val certain_cq_via_hom_b :
   Instance.t ->
   Certdb_csp.Engine.decision
 
+(** [certain_cq_resilient ?policy ?limits q d] — Boolean CQ certainty
+    that degrades instead of giving up.  The exact procedure is the
+    Prop. 2 hom check [D_Q ⊑ D] under the retry/escalation ladder of
+    {!Certdb_csp.Resilient}; if every attempt trips its budget the
+    answer degrades to naïve evaluation, which is {e sound} for certain
+    answers (Theorem 4 — for plain CQs over naïve tables it is in fact
+    exact, but the resilient API certifies only the sound direction,
+    the guarantee that generalizes to the gdm/xml regimes):
+
+    - [`Exact b] — the hom search settled it: [b] is the certain answer;
+    - [`Lower_bound true] — budgets exhausted, but naïve evaluation
+      certifies the query {e is} certainly true;
+    - [`Lower_bound false] — budgets exhausted and nothing certified:
+      the query may or may not be certain.
+
+    Never returns an [`Unknown], and never lets an injected crash
+    ([Certdb_obs.Fault.Injected]) escape: if the naïve fallback itself
+    crashes, the answer is the trivially sound [`Lower_bound false].
+    [query.resilient.exact] / [query.resilient.degraded] count which
+    rung answered. *)
+val certain_cq_resilient :
+  ?policy:Certdb_csp.Resilient.Policy.t ->
+  ?limits:Certdb_csp.Engine.Limits.t ->
+  Cq.t ->
+  Instance.t ->
+  [ `Exact of bool | `Lower_bound of bool ]
+
 (** [certain_cq_via_containment q d] — [Q_D ⊆ Q]. *)
 val certain_cq_via_containment : Cq.t -> Instance.t -> bool
 

@@ -40,6 +40,20 @@ Certain answers of a conjunctive query:
   $ $CERTDB certain -q "ans(_x) :- R(_x,_y), R(_y,_x)" "R(1,2); R(2,1); R(3,_u)"
   ans(1); ans(2)
 
+Graded Boolean certainty: --degrade answers exact when the budgeted hom
+check settles, and degrades to a sound naive lower bound (never an
+unknown) when every attempt trips its budget:
+
+  $ $CERTDB certain --degrade -q "ans() :- R(_x,_y), R(_y,_x)" "R(1,2); R(2,1)"
+  exact: true
+
+  $ $CERTDB certain --degrade --node-budget 0 --max-attempts 1 -q "ans() :- R(_x,_y), R(_y,_x)" "R(1,2); R(2,1)"
+  lower-bound: true
+
+  $ $CERTDB certain --degrade -q "ans(_x) :- R(_x,_y)" "R(1,2)"
+  --degrade applies to Boolean queries (empty head): the graded answer is a single certified truth value
+  [2]
+
 The chase:
 
   $ $CERTDB chase --tgd "S(_x,_y) -> T(_x,_z); T(_z,_y)" "S(1,2)" | sed 's/_n[0-9]*/_n?/g'
@@ -101,6 +115,52 @@ An error line makes the exit code 1, but the other lines still run:
   {"id":"1","index":1,"op":"member","status":"unsat"}
   [1]
 
+A malformed JSONL line mid-stream is isolated the same way — a
+structured error record, and the rest of the stream still runs:
+
+  $ printf '{"op":"member","d":"R(1,_x)","r":"R(1,2)"}\n{"op":"leq","broken\n{"op":"member","d":"R(5,_x)","r":"R(1,2)"}\n' | $CERTDB batch --jobs 2 -
+  {"id":"0","index":0,"op":"member","status":"sat"}
+  {"id":"line-1","index":1,"op":"?","status":"error","error":"json: unterminated string at offset 19"}
+  {"id":"2","index":2,"op":"member","status":"unsat"}
+  [1]
+
+--max-attempts retries an unknown with escalated budgets: the starved
+task from above settles on attempt 2 once its node budget is multiplied
+by --escalate:
+
+  $ $CERTDB batch --jobs 2 --max-attempts 3 --escalate 10 batch.jsonl
+  {"id":"0","index":0,"op":"leq","status":"sat","witness":"{_|_1 -> 2}","attempts":1}
+  {"id":"starved","index":1,"op":"leq","status":"unsat","attempts":2}
+  {"id":"2","index":2,"op":"member","status":"sat","attempts":1}
+  {"id":"3","index":3,"op":"certain","status":"sat","attempts":1}
+
+Deterministic fault injection (CERTDB_FAULT): poison the second batch
+task; under the default --on-error continue the crash is isolated as an
+error record and every other task still runs:
+
+  $ CERTDB_FAULT='csp.batch.task@2' $CERTDB batch --jobs 2 batch.jsonl
+  {"id":"0","index":0,"op":"leq","status":"sat","witness":"{_|_1 -> 2}"}
+  {"id":"starved","index":1,"op":"leq","status":"error","error":"injected fault at csp.batch.task"}
+  {"id":"2","index":2,"op":"member","status":"sat"}
+  {"id":"3","index":3,"op":"certain","status":"sat"}
+  [1]
+
+Under --on-error fail-fast the first failure stops the pool: tasks not
+yet started are reported as skipped:
+
+  $ CERTDB_FAULT='csp.batch.task@2' $CERTDB batch --jobs 1 --on-error fail-fast batch.jsonl
+  {"id":"0","index":0,"op":"leq","status":"sat","witness":"{_|_1 -> 2}"}
+  {"id":"starved","index":1,"op":"leq","status":"error","error":"injected fault at csp.batch.task"}
+  {"id":"2","index":2,"op":"member","status":"skipped"}
+  {"id":"3","index":3,"op":"certain","status":"skipped"}
+  [1]
+
+A malformed CERTDB_FAULT spec refuses to start:
+
+  $ CERTDB_FAULT='no-trigger-here' $CERTDB leq "R(1)" "R(1)"
+  CERTDB_FAULT: entry "no-trigger-here": expected point@N, point%N or point~SEED:PM
+  [2]
+
 Observability: --stats prints a metrics snapshot to stderr after the
 subcommand runs (timing fields redacted for determinism):
 
@@ -109,44 +169,57 @@ subcommand runs (timing fields redacted for determinism):
   witness: {_|_1 -> 2}
   == metrics ==
   counters:
-    csp.ac3.prunes                 0
-    csp.ac3.revisions              0
-    csp.ac3.wipeouts               0
-    csp.batch.runs                 0
-    csp.batch.tasks                0
-    csp.btw.bag_assignments        0
-    csp.btw.solves                 0
-    csp.engine.exists_skipped_vars 0
-    csp.engine.unknowns            0
-    csp.solver.decisions           0
-    csp.solver.fc_prunes           0
-    csp.solver.mrv_selects         0
-    csp.solver.naive.decisions     0
-    csp.solver.searches            0
-    csp.solver.solutions           0
-    csp.solver.wipeouts            0
-    exchange.chase.facts           0
-    exchange.chase.runs            0
-    exchange.chase.steps           0
-    gdm.ghom.candidate_checks      0
-    gdm.ghom.nodes                 0
-    gdm.ghom.searches              0
-    gdm.ghom.solutions             0
-    query.answer_tuples            0
-    query.certain_checks           0
-    query.naive_evals              0
-    rel.glb.merged_facts           0
-    rel.glb.pairs                  0
-    rel.hom.candidate_checks       1
-    rel.hom.nodes                  2
-    rel.hom.searches               1
-    rel.hom.solutions              1
-    rel.lub.pairs                  0
-    xml.tree_hom.searches          0
+    csp.ac3.prunes                  0
+    csp.ac3.revisions               0
+    csp.ac3.wipeouts                0
+    csp.batch.errors                0
+    csp.batch.runs                  0
+    csp.batch.skipped               0
+    csp.batch.tasks                 0
+    csp.btw.bag_assignments         0
+    csp.btw.solves                  0
+    csp.engine.exists_skipped_vars  0
+    csp.engine.unknowns             0
+    csp.resilient.attempts          0
+    csp.resilient.exhausted         0
+    csp.resilient.propagation_unsat 0
+    csp.resilient.recovered         0
+    csp.resilient.retries           0
+    csp.resilient.runs              0
+    csp.solver.decisions            0
+    csp.solver.fc_prunes            0
+    csp.solver.mrv_selects          0
+    csp.solver.naive.decisions      0
+    csp.solver.searches             0
+    csp.solver.solutions            0
+    csp.solver.wipeouts             0
+    exchange.chase.facts            0
+    exchange.chase.runs             0
+    exchange.chase.steps            0
+    fault.injected                  0
+    gdm.ghom.candidate_checks       0
+    gdm.ghom.nodes                  0
+    gdm.ghom.searches               0
+    gdm.ghom.solutions              0
+    query.answer_tuples             0
+    query.certain_checks            0
+    query.naive_evals               0
+    query.resilient.degraded        0
+    query.resilient.exact           0
+    rel.glb.merged_facts            0
+    rel.glb.pairs                   0
+    rel.hom.candidate_checks        1
+    rel.hom.nodes                   2
+    rel.hom.searches                1
+    rel.hom.solutions               1
+    rel.lub.pairs                   0
+    xml.resilient.degraded          0
+    xml.resilient.exact             0
+    xml.tree_hom.searches           0
   gauges:
-    csp.btw.bags                   0
+    csp.btw.bags                    0
   timers (ms):
-    rel.hom.search                 count=1 total=<ms> mean=<ms> min=<ms> max=<ms>
+    rel.hom.search                  count=1 total=<ms> mean=<ms> min=<ms> max=<ms>
 
 --stats-json emits a single JSON object to stderr, leaving stdout alone:
 

@@ -256,6 +256,118 @@ let test_batch_error_propagation () =
   | _ -> Alcotest.fail "expected the task's exception to re-raise"
   | exception Failure m -> Alcotest.(check string) "first error wins" "task 3 exploded" m)
 
+(* --- monotone deadline clock: a backward wall-clock step must not
+   disarm (or extend) the deadline --- *)
+
+let test_monotone_deadline_clock () =
+  let now = ref 1000. in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_clock_ms (fun () -> Unix.gettimeofday () *. 1000.))
+  @@ fun () ->
+  Obs.set_clock_ms (fun () -> !now);
+  let b = Engine.Budget.start { Engine.Limits.unlimited with timeout_ms = Some 100. } in
+  (* the budget polls the clock every 64 node ticks *)
+  let poll () = for _ = 1 to 64 do Engine.Budget.tick_node b done in
+  now := 1050.;
+  poll ();
+  (* NTP-style backward step: 900ms into the past.  An absolute-deadline
+     implementation would now see deadline = 1100 vs now = 150 and grant
+     ~950ms of extra life; the monotone clock must keep elapsed at 50. *)
+  now := 150.;
+  poll ();
+  now := 210.;
+  (* elapsed = 50 + 60 = 110 > 100: the deadline must fire *)
+  (match poll () with
+  | () -> Alcotest.fail "deadline disarmed by a backward clock step"
+  | exception Engine.Budget.Interrupted Engine.Deadline -> ())
+
+(* --- Batch.map_result: per-item isolation and failure policies --- *)
+
+module Fault = Certdb_obs.Fault
+
+let poisoned = [ 3; 20; 41; 77; 90 ]
+
+let poisoned_schedule =
+  List.map (fun k -> ("csp.batch.task", Fault.Nth k)) poisoned
+
+let run_poisoned_batch ~jobs =
+  Fault.with_armed poisoned_schedule (fun () ->
+      Engine.Batch.map_result ~jobs (fun i -> i * i) (List.init 100 Fun.id))
+
+let check_poisoned_results results =
+  Alcotest.(check int) "100 results" 100 (List.length results);
+  List.iteri
+    (fun i r ->
+      let k = i + 1 in
+      match r with
+      | Ok v ->
+        check "non-poisoned task succeeds" true (not (List.mem k poisoned));
+        Alcotest.(check int) "result in input slot" (i * i) v
+      | Error (Engine.Batch.Raised { exn = Fault.Injected p; _ }) ->
+        check "poisoned task errors" true (List.mem k poisoned);
+        Alcotest.(check string) "fault point" "csp.batch.task" p
+      | Error (Engine.Batch.Raised { exn; _ }) ->
+        Alcotest.fail ("unexpected exception: " ^ Printexc.to_string exn)
+      | Error Engine.Batch.Skipped ->
+        Alcotest.fail "no task should be skipped under Continue")
+    results
+
+let test_map_result_poisoned () =
+  Obs.reset ();
+  let j1 = run_poisoned_batch ~jobs:1 in
+  let j4 = run_poisoned_batch ~jobs:4 in
+  check_poisoned_results j1;
+  check_poisoned_results j4;
+  (* the schedule is keyed to the task index, so parallelism cannot move
+     the poison *)
+  check "identical shape at jobs:1 and jobs:4" true
+    (List.for_all2
+       (fun a b ->
+         match (a, b) with
+         | Ok x, Ok y -> x = y
+         | Error _, Error _ -> true
+         | _ -> false)
+       j1 j4);
+  let m = Obs.snapshot () in
+  Alcotest.(check (option int))
+    "errors counted once per poisoned task per run" (Some 10)
+    (Obs.find_counter m "csp.batch.errors")
+
+let test_map_result_fail_fast () =
+  Obs.reset ();
+  let cancel = Engine.Cancel.create () in
+  let results =
+    Engine.Batch.map_result ~jobs:1 ~on_error:(Engine.Batch.Fail_fast cancel)
+      (fun i -> if i = 2 then failwith "poisoned" else i)
+      [ 0; 1; 2; 3; 4 ]
+  in
+  (match results with
+  | [ Ok 0; Ok 1; Error (Engine.Batch.Raised _); Error Engine.Batch.Skipped;
+      Error Engine.Batch.Skipped ] -> ()
+  | _ -> Alcotest.fail "expected [Ok; Ok; Raised; Skipped; Skipped]");
+  check "failure trips the shared token" true (Engine.Cancel.cancelled cancel);
+  let m = Obs.snapshot () in
+  Alcotest.(check (option int))
+    "skipped tasks counted" (Some 2)
+    (Obs.find_counter m "csp.batch.skipped")
+
+let test_map_result_continue_no_skips () =
+  let results =
+    Engine.Batch.map_result ~jobs:4
+      (fun i -> if i mod 3 = 0 then failwith "boom" else i)
+      (List.init 20 Fun.id)
+  in
+  Alcotest.(check int) "all slots filled" 20 (List.length results);
+  List.iteri
+    (fun i r ->
+      match r with
+      | Ok v -> check "survivor keeps its slot" true (v = i && i mod 3 <> 0)
+      | Error (Engine.Batch.Raised _) -> check "raiser in its slot" true (i mod 3 = 0)
+      | Error Engine.Batch.Skipped ->
+        Alcotest.fail "Continue must never skip")
+    results
+
 let () =
   Alcotest.run "engine"
     [
@@ -272,6 +384,8 @@ let () =
           Alcotest.test_case "cross-domain cancel" `Quick
             test_cross_domain_cancel;
           Alcotest.test_case "deadline" `Quick test_deadline;
+          Alcotest.test_case "monotone deadline clock" `Quick
+            test_monotone_deadline_clock;
         ] );
       ( "exists",
         [
@@ -284,5 +398,11 @@ let () =
             test_batch_counters_add_up;
           Alcotest.test_case "error propagation" `Quick
             test_batch_error_propagation;
+          Alcotest.test_case "map_result poisoned determinism" `Quick
+            test_map_result_poisoned;
+          Alcotest.test_case "map_result fail-fast" `Quick
+            test_map_result_fail_fast;
+          Alcotest.test_case "map_result continue never skips" `Quick
+            test_map_result_continue_no_skips;
         ] );
     ]
