@@ -1,0 +1,118 @@
+(* E21 — the certificate-driven planner: routing Boolean CQ certainty by
+   hypergraph shape vs always running the Prop. 2 hom ladder vs always
+   running naive evaluation.  Three query families stress the three
+   routes (paths are GYO-acyclic, cycles have width 2, cliques exceed the
+   width threshold), over random naive instances mixing constants with
+   repeated nulls.  Every strategy's answers are checked against the
+   unlimited hom oracle, so the planner can only change cost, never an
+   answer; the route mix is visible in the query.plan.* counters of the
+   --json record. *)
+
+open Certdb_values
+open Certdb_query
+module Instance = Certdb_relational.Instance
+module Plan = Certdb_analysis.Plan
+module Obs = Certdb_obs.Obs
+
+let v x = Fo.Var x
+let var i = v (Printf.sprintf "x%d" i)
+
+(* path-k: R(x1,x2), ..., R(xk,xk+1) — GYO-acyclic *)
+let path_q k =
+  Cq.boolean (List.init k (fun i -> ("R", [ var i; var (i + 1) ])))
+
+(* cycle-k: width-2 but cyclic *)
+let cycle_q k =
+  Cq.boolean
+    (List.init k (fun i -> ("R", [ var i; var ((i + 1) mod k) ])))
+
+(* clique-k: width k-1 — past the default threshold for k >= 4 *)
+let clique_q k =
+  let ids = List.init k Fun.id in
+  Cq.boolean
+    (List.concat_map
+       (fun a ->
+         List.filter_map
+           (fun b -> if a < b then Some ("R", [ var a; var b ]) else None)
+           ids)
+       ids)
+
+let families =
+  [
+    ("path-6", path_q 6);
+    ("cycle-5", cycle_q 5);
+    ("clique-4", clique_q 4);
+  ]
+
+(* random naive instances: constants 1..4 plus two shared nulls, dense
+   enough that a fair share of the certainty checks come out true *)
+let instances n =
+  List.init n (fun i ->
+      let st = Random.State.make [| 0xe21; i |] in
+      let value () =
+        if Random.State.float st 1.0 < 0.75 then
+          Value.int (1 + Random.State.int st 4)
+        else Value.null (8200 + Random.State.int st 2)
+      in
+      let facts = 4 + Random.State.int st 8 in
+      Instance.of_list
+        [ ("R", List.init facts (fun _ -> [ value (); value () ])) ])
+
+let strategies =
+  [
+    ( "planner",
+      fun q d ->
+        match Plan.certain q d with `Exact b | `Lower_bound b -> b );
+    ("always-hom", Certain.certain_cq_via_hom);
+    ("always-naive", Certain.certain_cq_via_naive);
+  ]
+
+let run () =
+  Bench_util.banner
+    "E21  Planner: certificate-driven routing vs fixed strategies";
+  let ds = instances 40 in
+  Bench_util.row "%d random instances per family" (List.length ds);
+  Bench_util.row "%-10s %-9s %-13s %-9s %-10s %-10s" "family" "route"
+    "strategy" "certain" "wall(ms)" "sound";
+  List.iter
+    (fun (fname, q) ->
+      let route = Plan.route_to_string (Plan.route_cq q).Plan.route in
+      let oracle = List.map (Certain.certain_cq_via_hom q) ds in
+      List.iter
+        (fun (sname, strategy) ->
+          let answers = List.map (strategy q) ds in
+          let ms =
+            Bench_util.time_ms_median (fun () ->
+                List.iter (fun d -> ignore (strategy q d)) ds)
+          in
+          let sound = List.for_all2 Bool.equal answers oracle in
+          let certain = List.length (List.filter Fun.id answers) in
+          Bench_util.row "%-10s %-9s %-13s %-9d %-10.2f %-10s" fname route
+            sname certain ms
+            (if sound then "yes" else "NO");
+          if not sound then
+            failwith
+              (Printf.sprintf
+                 "E21: strategy %S on family %S contradicted the hom oracle"
+                 sname fname))
+        strategies)
+    families;
+  Bench_util.row "\nroute mix of the planner runs (query.plan.* counters):";
+  List.iter
+    (fun name ->
+      Bench_util.row "  %-28s %d" name
+        (Obs.counter_value (Obs.counter ("query.plan." ^ name))))
+    [ "naive_eval"; "acyclic_join"; "bounded_width"; "hom_ladder" ]
+
+let micro () =
+  let ds = instances 8 in
+  let all strategy q () = List.iter (fun d -> ignore (strategy q d)) ds in
+  Bench_util.micro
+    [
+      ( "e21/planner-path6",
+        all (fun q d -> Plan.certain q d) (path_q 6) );
+      ("e21/hom-path6", all Certain.certain_cq_via_hom (path_q 6));
+      ( "e21/planner-clique4",
+        all (fun q d -> Plan.certain q d) (clique_q 4) );
+      ("e21/hom-clique4", all Certain.certain_cq_via_hom (clique_q 4));
+    ]

@@ -275,9 +275,25 @@ let certain_cmd =
     let d = parse_instance_arg d in
     let q = parse_cq query in
     if not degrade then begin
-      let u = Certdb_query.Ucq.make [ q ] in
-      print_instance (Certdb_query.Certain.naive_eval_ucq u d);
-      0
+      (* the planner routes on the query's certificates: non-Boolean
+         CQs/UCQs to naive evaluation (Theorem 4), Boolean CQs to the
+         cheapest sound decision procedure (acyclic join / bounded-width
+         DP / hom ladder) — the routed answer equals naive evaluation's *)
+      if q.Certdb_query.Cq.head <> [] then begin
+        let u = Certdb_query.Ucq.make [ q ] in
+        print_instance (Certdb_analysis.Plan.certain_answers u d);
+        0
+      end
+      else begin
+        let b =
+          match Certdb_analysis.Plan.certain q d with
+          | `Exact b | `Lower_bound b -> b
+        in
+        print_instance
+          (if b then Instance.add_fact Instance.empty "ans" []
+           else Instance.empty);
+        0
+      end
     end
     else if q.Certdb_query.Cq.head <> [] then begin
       Printf.eprintf
@@ -350,38 +366,102 @@ let certain_cmd =
          $ max_attempts_arg $ escalate_arg $ d))
 
 (* chase *)
-let parse_tgd s =
-  let fail msg =
-    Printf.eprintf "tgd parse error: %s\n" msg;
-    exit 2
+let split_arrow s =
+  let rec find i =
+    if i + 1 >= String.length s then None
+    else if s.[i] = '-' && s.[i + 1] = '>' then
+      Some (String.sub s 0 i, String.sub s (i + 2) (String.length s - i - 2))
+    else find (i + 1)
   in
-  let split_arrow s =
-    let rec find i =
-      if i + 1 >= String.length s then None
-      else if s.[i] = '-' && s.[i + 1] = '>' then
-        Some (String.sub s 0 i, String.sub s (i + 2) (String.length s - i - 2))
-      else find (i + 1)
-    in
-    find 0
-  in
-  match split_arrow s with
-  | None -> fail "expected 'body -> head'"
+  find 0
+
+(* "body -> head" with shared variable names meaning the same nulls: the
+   head parse is seeded with the body's bindings *)
+let parse_dependency_result s =
+  match split_arrow (resolve_arg s) with
+  | None -> Error "expected 'body -> head'"
   | Some (body_s, head_s) -> (
-    try
-      (* shared variable names on the two sides must be the same nulls:
-         seed the head parse with the body's bindings *)
+    match
       let body, bindings = Parse.instance body_s in
       let head, _ = Parse.instance ~bindings head_s in
-      Certdb_exchange.Mapping.relational_rule ~body ~head
-    with Parse.Parse_error m -> fail m)
+      (body, head)
+    with
+    | pair -> Ok pair
+    | exception Parse.Parse_error m -> Error m)
+
+let parse_dependency s =
+  match parse_dependency_result s with
+  | Ok pair -> pair
+  | Error msg ->
+    Printf.eprintf "tgd parse error: %s\n" msg;
+    exit 2
+
+let parse_tgd s =
+  let body, head = parse_dependency s in
+  Certdb_exchange.Mapping.relational_rule ~body ~head
+
+let parse_target_tgd s =
+  let body, head = parse_dependency s in
+  Certdb_exchange.Constraints.tgd ~body ~head
+
+(* "body -> l = r": reuse the instance parser on a synthetic EQ(l, r)
+   atom so both sides share the body's null bindings *)
+let parse_egd_result s =
+  match split_arrow (resolve_arg s) with
+  | None -> Error "expected 'body -> left = right'"
+  | Some (body_s, eq_s) -> (
+    match String.index_opt eq_s '=' with
+    | None -> Error "expected 'left = right' after ->"
+    | Some i -> (
+      let l = String.trim (String.sub eq_s 0 i) in
+      let r =
+        String.trim (String.sub eq_s (i + 1) (String.length eq_s - i - 1))
+      in
+      match
+        let body, bindings = Parse.instance body_s in
+        let eq, _ = Parse.instance ~bindings (Printf.sprintf "EQ(%s, %s)" l r) in
+        match Instance.facts eq with
+        | [ { args = [| left; right |]; _ } ] ->
+          Certdb_exchange.Constraints.egd ~body ~left ~right
+        | _ -> invalid_arg "egd: expected exactly two sides"
+      with
+      | egd -> Ok egd
+      | exception Parse.Parse_error m -> Error m
+      | exception Invalid_argument m -> Error m))
+
+let parse_egd s =
+  match parse_egd_result s with
+  | Ok egd -> egd
+  | Error msg ->
+    Printf.eprintf "egd parse error: %s\n" msg;
+    exit 2
 
 let chase_cmd =
-  let run tgds d =
+  let run tgds target_tgds target_egds d =
     let source = parse_instance_arg d in
     let mapping = List.map parse_tgd tgds in
     let solution = Certdb_exchange.Universal.chase_relational mapping source in
-    print_instance solution;
-    0
+    if target_tgds = [] && target_egds = [] then begin
+      print_instance solution;
+      0
+    end
+    else begin
+      let constraints =
+        Certdb_exchange.Constraints.make
+          ~tgds:(List.map parse_target_tgd target_tgds)
+          ~egds:(List.map parse_egd target_egds)
+          ()
+      in
+      (* no explicit round cap: weakly acyclic target constraints run
+         with the certified derived bound (exchange.chase.certified) *)
+      match Certdb_exchange.Constraints.chase solution constraints with
+      | chased ->
+        print_instance chased;
+        0
+      | exception Certdb_exchange.Constraints.Chase_failure msg ->
+        Printf.eprintf "chase failed: %s\n" msg;
+        1
+    end
   in
   let tgds =
     Arg.(
@@ -392,11 +472,30 @@ let chase_cmd =
             "Source-to-target dependency, e.g. 'S(_x,_y) -> T(_x,_z); \
              T(_z,_y)'.  Repeatable.")
   in
+  let target_tgds =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "target-tgd" ] ~docv:"TGD"
+          ~doc:
+            "Target tgd chased into the canonical solution.  Weakly \
+             acyclic sets run with the certified round bound.  Repeatable.")
+  in
+  let target_egds =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "target-egd" ] ~docv:"EGD"
+          ~doc:
+            "Target egd, e.g. 'T(_x,_y); T(_x,_z) -> _y = _z'.  Repeatable.")
+  in
   let d = instance_pos ~pos:0 ~doc:"Source instance." in
   Cmd.v
     (Cmd.info "chase"
-       ~doc:"Chase a source instance: canonical universal solution.")
-    (with_stats Term.(const run $ tgds $ d))
+       ~doc:
+         "Chase a source instance: canonical universal solution, \
+          optionally followed by the target-constraint chase.")
+    (with_stats Term.(const run $ tgds $ target_tgds $ target_egds $ d))
 
 (* certain-fo: Boolean FO certainty *)
 let certain_fo_cmd =
@@ -825,14 +924,370 @@ let stats_cmd =
           instrumented hot paths and print the metrics snapshot.")
     Term.(const run $ json)
 
+(* analyze: static classification with machine-checkable certificates,
+   plus the planner's routing decision.  Exit code: 0 when every analyzed
+   class is positive (safe / terminating), 1 when some class is negative
+   (unsafe FO, diverging tgd set), 2 on parse errors. *)
+module Safety = Certdb_analysis.Safety
+module Monotone = Certdb_analysis.Monotone
+module Hypergraph = Certdb_analysis.Hypergraph
+module Wa = Certdb_analysis.Wa
+module Plan = Certdb_analysis.Plan
+
+let pos_str p = Format.asprintf "%a" Wa.pp_position p
+let json_strings l = Json.List (List.map (fun s -> Json.String s) l)
+
+let safety_report f =
+  match Safety.analyze f with
+  | Safety.Safe { range_restricted; derivation } ->
+    ( true,
+      Printf.sprintf "safety: safe (range-restricted: %s; derivation: %d steps)"
+        (match range_restricted with
+        | [] -> "(sentence)"
+        | vs -> String.concat ", " vs)
+        (List.length derivation),
+      ( "safety",
+        Json.Obj
+          [
+            ("class", Json.String "safe");
+            ("range_restricted", json_strings range_restricted);
+            ( "derivation",
+              Json.List
+                (List.map
+                   (fun (s : Safety.step) ->
+                     Json.Obj
+                       [
+                         ("formula", Json.String s.formula);
+                         ("range_restricted", json_strings s.range_restricted);
+                       ])
+                   derivation) );
+          ] ) )
+  | Safety.Unsafe { variable; context } ->
+    ( false,
+      Printf.sprintf "safety: unsafe (variable %s escapes in '%s')" variable
+        context,
+      ( "safety",
+        Json.Obj
+          [
+            ("class", Json.String "unsafe");
+            ("variable", Json.String variable);
+            ("context", Json.String context);
+          ] ) )
+
+let monotone_report f =
+  match Monotone.analyze f with
+  | Monotone.Monotone ->
+    ( true,
+      "monotonicity: monotone (existential-positive)",
+      ("monotonicity", Json.Obj [ ("class", Json.String "monotone") ]) )
+  | Monotone.Not_syntactically_monotone { construct; offender } ->
+    let cname =
+      match construct with
+      | `Negation -> "negation"
+      | `Implication -> "implication"
+      | `Universal -> "universal"
+    in
+    ( true,
+      Printf.sprintf "monotonicity: not syntactically monotone (%s in '%s')"
+        cname offender,
+      ( "monotonicity",
+        Json.Obj
+          [
+            ("class", Json.String "not-syntactically-monotone");
+            ("construct", Json.String cname);
+            ("offender", Json.String offender);
+          ] ) )
+
+let hypergraph_report q =
+  let hg = Hypergraph.analyze q in
+  let width = hg.Hypergraph.width_estimate in
+  match hg.Hypergraph.certificate with
+  | Hypergraph.Acyclic { steps } ->
+    ( true,
+      Printf.sprintf
+        "hypergraph: acyclic (GYO reduction: %d steps); width estimate: %d"
+        (List.length steps) width,
+      ( "hypergraph",
+        Json.Obj
+          [
+            ("class", Json.String "acyclic");
+            ( "gyo_steps",
+              Json.List
+                (List.map
+                   (function
+                     | Hypergraph.Remove_vertex { vertex; edge } ->
+                       Json.Obj
+                         [
+                           ("step", Json.String "remove-vertex");
+                           ("vertex", Json.String vertex);
+                           ("edge", Json.Int edge);
+                         ]
+                     | Hypergraph.Absorb { edge; into } ->
+                       Json.Obj
+                         [
+                           ("step", Json.String "absorb");
+                           ("edge", Json.Int edge);
+                           ("into", Json.Int into);
+                         ])
+                   steps) );
+            ("width_estimate", Json.Int width);
+          ] ),
+      hg )
+  | Hypergraph.Cyclic { residual } ->
+    ( true,
+      Printf.sprintf "hypergraph: cyclic (residual: %s); width estimate: %d"
+        (String.concat ", "
+           (List.map
+              (fun (i, vs) ->
+                Printf.sprintf "#%d{%s}" i (String.concat "," vs))
+              residual))
+        width,
+      ( "hypergraph",
+        Json.Obj
+          [
+            ("class", Json.String "cyclic");
+            ( "residual",
+              Json.List
+                (List.map
+                   (fun (i, vs) ->
+                     Json.Obj
+                       [ ("atom", Json.Int i); ("vars", json_strings vs) ])
+                   residual) );
+            ("width_estimate", Json.Int width);
+          ] ),
+      hg )
+
+let plan_report q =
+  let dec = Plan.route_cq q in
+  let route = Plan.route_to_string dec.Plan.route in
+  ( true,
+    "plan: " ^ route,
+    ("plan", Json.Obj [ ("route", Json.String route) ]) )
+
+let wa_report ?instance c =
+  match Wa.analyze ?instance c with
+  | Wa.Terminates { round_bound; max_rank; ranks } ->
+    ( true,
+      Printf.sprintf
+        "weak-acyclicity: terminates (max rank %d, round bound %d, %d \
+         positions)"
+        max_rank round_bound (List.length ranks),
+      ( "weak_acyclicity",
+        Json.Obj
+          [
+            ("class", Json.String "terminates");
+            ("max_rank", Json.Int max_rank);
+            ("round_bound", Json.Int round_bound);
+            ( "ranks",
+              Json.Obj
+                (List.map (fun (p, r) -> (pos_str p, Json.Int r)) ranks) );
+          ] ) )
+  | Wa.Diverges { cycle; special = u, v } ->
+    ( false,
+      Printf.sprintf
+        "weak-acyclicity: diverges (special edge %s -> %s; cycle: %s)"
+        (pos_str u) (pos_str v)
+        (String.concat " -> " (List.map pos_str cycle)),
+      ( "weak_acyclicity",
+        Json.Obj
+          [
+            ("class", Json.String "diverges");
+            ("special", json_strings [ pos_str u; pos_str v ]);
+            ("cycle", json_strings (List.map pos_str cycle));
+          ] ) )
+
+let parse_formula_arg s =
+  try Certdb_query.Fo_parse.formula (resolve_arg s)
+  with Certdb_query.Fo_parse.Parse_error msg ->
+    Printf.eprintf "formula parse error: %s\n" msg;
+    exit 2
+
+(* the shipped example certificates (mirrored in examples/analyze/ and
+   exercised by the cram tests): re-verify that each classifier still
+   produces the expected class, and that the planner's routed answer
+   agrees with the naive oracle on a routed instance *)
+let analyze_self_test () =
+  let fo = Certdb_query.Fo_parse.formula in
+  let dep s = parse_target_tgd s in
+  let constraints ts = Certdb_exchange.Constraints.make ~tgds:ts () in
+  let checks =
+    [
+      ( "safe formula is Safe",
+        lazy
+          (match Safety.analyze (fo "exists x. R(x) and not S(x)") with
+          | Safety.Safe _ -> true
+          | Safety.Unsafe _ -> false) );
+      ( "unrestricted variable is Unsafe with the culprit",
+        lazy
+          (match Safety.analyze (fo "exists x, y. R(x)") with
+          | Safety.Unsafe { variable = "y"; _ } -> true
+          | _ -> false) );
+      ( "existential-positive formula is Monotone",
+        lazy (Monotone.analyze (fo "exists x. R(x) or S(x)") = Monotone.Monotone) );
+      ( "negation reported as the offender",
+        lazy
+          (match Monotone.analyze (fo "exists x. R(x) and not S(x)") with
+          | Monotone.Not_syntactically_monotone { construct = `Negation; _ } ->
+            true
+          | _ -> false) );
+      ( "path CQ is GYO-acyclic and routed to the acyclic join",
+        lazy
+          (let q = parse_cq "ans() :- R(_x,_y), S(_y,_z)" in
+           match
+             ((Hypergraph.analyze q).Hypergraph.certificate, Plan.route_cq q)
+           with
+           | Hypergraph.Acyclic _, { Plan.route = Plan.Acyclic_join; _ } ->
+             true
+           | _ -> false) );
+      ( "triangle CQ is cyclic with a residual certificate",
+        lazy
+          (let q = parse_cq "ans() :- R(_x,_y), R(_y,_z), R(_z,_x)" in
+           match (Hypergraph.analyze q).Hypergraph.certificate with
+           | Hypergraph.Cyclic { residual = _ :: _ } -> true
+           | _ -> false) );
+      ( "weakly acyclic tgd set terminates with a positive bound",
+        lazy
+          (match Wa.analyze (constraints [ dep "R(_x,_y) -> S(_y,_z)" ]) with
+          | Wa.Terminates { round_bound; _ } -> round_bound > 0
+          | Wa.Diverges _ -> false) );
+      ( "diverging tgd set yields a special-edge cycle",
+        lazy
+          (match Wa.analyze (constraints [ dep "R(_x,_y) -> R(_y,_z)" ]) with
+          | Wa.Diverges { special = ("R", _), ("R", _); cycle = _ :: _ } ->
+            true
+          | _ -> false) );
+      ( "planner-routed certainty agrees with the naive oracle",
+        lazy
+          (let q = parse_cq "ans() :- R(_x,_y), R(_y,_x)" in
+           let d = parse_instance_arg "R(1,2); R(2,1); R(3,_u)" in
+           let routed =
+             match Plan.certain q d with `Exact b | `Lower_bound b -> b
+           in
+           routed = Certdb_query.Certain.certain_cq_via_naive q d) );
+    ]
+  in
+  let failed =
+    List.filter_map
+      (fun (name, check) ->
+        let ok = try Lazy.force check with _ -> false in
+        Printf.printf "%s %s\n" (if ok then "ok  " else "FAIL") name;
+        if ok then None else Some name)
+      checks
+  in
+  if failed = [] then 0
+  else begin
+    Printf.eprintf "analyze --self-test: %d certificate(s) failed\n"
+      (List.length failed);
+    1
+  end
+
+let analyze_cmd =
+  let run query fo tgds instance json self_test =
+    if self_test then analyze_self_test ()
+    else begin
+      let instance = Option.map parse_instance_arg instance in
+      let sections = ref [] in
+      let add (ok, human, field) = sections := (ok, human, field) :: !sections in
+      (match fo with
+      | Some fs ->
+        let f = parse_formula_arg fs in
+        add (safety_report f);
+        add (monotone_report f)
+      | None -> ());
+      (match query with
+      | Some qs ->
+        let q = parse_cq (resolve_arg qs) in
+        let f = Certdb_query.Cq.to_fo q in
+        add (safety_report f);
+        add (monotone_report f);
+        let ok, human, field, _hg = hypergraph_report q in
+        add (ok, human, field);
+        add (plan_report q)
+      | None -> ());
+      (match tgds with
+      | [] -> ()
+      | ts ->
+        let c =
+          Certdb_exchange.Constraints.make ~tgds:(List.map parse_target_tgd ts)
+            ()
+        in
+        add (wa_report ?instance c));
+      match List.rev !sections with
+      | [] ->
+        Printf.eprintf "nothing to analyze: pass --query, --fo, or --tgd\n";
+        2
+      | sections ->
+        if json then
+          print_endline
+            (Json.to_string
+               (Json.Obj (List.map (fun (_, _, field) -> field) sections)))
+        else
+          List.iter (fun (_, human, _) -> print_endline human) sections;
+        if List.for_all (fun (ok, _, _) -> ok) sections then 0 else 1
+    end
+  in
+  let query =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "query"; "q" ] ~docv:"CQ"
+          ~doc:
+            "Conjunctive query to classify (safety, monotonicity, \
+             hypergraph, plan).")
+  in
+  let fo =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fo" ] ~docv:"FO"
+          ~doc:"First-order sentence to classify (safety, monotonicity).")
+  in
+  let tgds =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "tgd" ] ~docv:"TGD"
+          ~doc:"Tgd of the dependency set to classify (weak acyclicity). \
+                Repeatable.")
+  in
+  let instance =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "instance" ] ~docv:"INSTANCE"
+          ~doc:
+            "Instance the weak-acyclicity round bound is derived against \
+             (default: empty).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit one JSON object (class + certificate per analysis).")
+  in
+  let self_test =
+    Arg.(
+      value & flag
+      & info [ "self-test" ]
+          ~doc:"Re-verify the shipped example certificates and exit.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Static analysis with certificates: FO safety and monotonicity, \
+          CQ hypergraph acyclicity/treewidth with the planner route, and \
+          weak acyclicity of tgd sets with the derived chase bound.")
+    (with_stats
+       Term.(const run $ query $ fo $ tgds $ instance $ json $ self_test))
+
 let main_cmd =
   let doc = "certain answers over incomplete databases (PODS'11 reproduction)" in
   Cmd.group
     (Cmd.info "certdb" ~version:"1.0.0" ~doc)
     [
       leq_cmd; cwa_cmd; member_cmd; glb_cmd; lub_cmd; core_cmd; certain_cmd;
-      certain_fo_cmd; chase_cmd; tree_leq_cmd; tree_glb_cmd; tree_member_cmd;
-      batch_cmd; stats_cmd;
+      certain_fo_cmd; chase_cmd; analyze_cmd; tree_leq_cmd; tree_glb_cmd;
+      tree_member_cmd; batch_cmd; stats_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,139 @@
+open Certdb_query
+module Obs = Certdb_obs.Obs
+module Structure = Certdb_csp.Structure
+module Treewidth = Certdb_csp.Treewidth
+
+let checks = Obs.counter "csp.analysis.hypergraph"
+
+module S = Set.Make (String)
+
+type gyo_step =
+  | Remove_vertex of {
+      vertex : string;
+      edge : int;
+    }
+  | Absorb of {
+      edge : int;
+      into : int;
+    }
+
+type certificate =
+  | Acyclic of { steps : gyo_step list }
+  | Cyclic of { residual : (int * string list) list }
+
+type t = {
+  atom_count : int;
+  var_count : int;
+  certificate : certificate;
+  width_estimate : int;
+}
+
+let atom_vars (a : Cq.atom) =
+  S.of_list
+    (List.filter_map
+       (function Fo.Var x -> Some x | Fo.Val _ -> None)
+       a.args)
+
+(* GYO reduction: repeatedly delete an ear vertex (occurring in exactly
+   one hyperedge) or a hyperedge contained in another; the hypergraph is
+   α-acyclic iff the reduction consumes every hyperedge.  Equal edges are
+   broken by absorbing the higher index into the lower. *)
+let gyo edges0 =
+  let edges = ref edges0 in
+  let steps = ref [] in
+  let remove_vertex () =
+    let occurrences v =
+      List.filter (fun (_, vs) -> S.mem v vs) !edges
+    in
+    List.find_map
+      (fun (i, vs) ->
+        S.fold
+          (fun v acc ->
+            match acc with
+            | Some _ -> acc
+            | None -> (
+              match occurrences v with
+              | [ (j, _) ] when j = i -> Some (v, i)
+              | _ -> None))
+          vs None)
+      !edges
+  in
+  let absorb () =
+    List.find_map
+      (fun (i, vs) ->
+        List.find_map
+          (fun (j, ws) ->
+            if i <> j && S.subset vs ws && (not (S.equal vs ws) || i > j)
+            then Some (i, j)
+            else None)
+          !edges)
+      !edges
+  in
+  let progress = ref true in
+  while !progress && !edges <> [] do
+    match remove_vertex () with
+    | Some (v, i) ->
+      steps := Remove_vertex { vertex = v; edge = i } :: !steps;
+      (* a fully consumed hyperedge leaves the reduction *)
+      edges :=
+        List.filter_map
+          (fun (j, vs) ->
+            if j <> i then Some (j, vs)
+            else
+              let vs = S.remove v vs in
+              if S.is_empty vs then None else Some (j, vs))
+          !edges
+    | None -> (
+      match absorb () with
+      | Some (i, j) ->
+        steps := Absorb { edge = i; into = j } :: !steps;
+        edges := List.filter (fun (k, _) -> k <> i) !edges
+      | None -> progress := false)
+  done;
+  if !edges = [] then Acyclic { steps = List.rev !steps }
+  else
+    Cyclic
+      { residual = List.map (fun (i, vs) -> (i, S.elements vs)) !edges }
+
+let width_estimate vars atoms =
+  if S.is_empty vars then 0
+  else begin
+    let ids = Hashtbl.create 16 in
+    List.iteri (fun i v -> Hashtbl.replace ids v i) (S.elements vars);
+    let structure =
+      Structure.make
+        ~nodes:(List.init (S.cardinal vars) (fun i -> (i, None)))
+        ~tuples:
+          (List.filter_map
+             (fun a ->
+               match S.elements (atom_vars a) with
+               | [] -> None
+               | vs ->
+                 Some
+                   ( a.Cq.rel,
+                     [
+                       Array.of_list
+                         (List.map (fun v -> Hashtbl.find ids v) vs);
+                     ] ))
+             atoms)
+    in
+    max 0 (snd (Treewidth.estimate structure))
+  end
+
+let analyze (q : Cq.t) =
+  Obs.incr checks;
+  let edges =
+    List.mapi (fun i a -> (i, atom_vars a)) q.atoms
+    (* variable-free atoms are trivial hyperedges; they never obstruct
+       acyclicity, so drop them up front *)
+    |> List.filter (fun (_, vs) -> not (S.is_empty vs))
+  in
+  let vars =
+    List.fold_left (fun acc (_, vs) -> S.union acc vs) S.empty edges
+  in
+  {
+    atom_count = List.length q.atoms;
+    var_count = S.cardinal vars;
+    certificate = gyo edges;
+    width_estimate = width_estimate vars q.atoms;
+  }

@@ -1,0 +1,29 @@
+open Certdb_query
+module Obs = Certdb_obs.Obs
+
+let checks = Obs.counter "csp.analysis.monotone"
+
+type certificate =
+  | Monotone
+  | Not_syntactically_monotone of {
+      construct : [ `Negation | `Implication | `Universal ];
+      offender : string;
+    }
+
+let rec offender (f : Fo.t) =
+  match f with
+  | True | False | Atom _ | Eq _ -> None
+  | Not _ -> Some (`Negation, f)
+  | Implies _ -> Some (`Implication, f)
+  | Forall _ -> Some (`Universal, f)
+  | And (g, h) | Or (g, h) -> (
+    match offender g with Some o -> Some o | None -> offender h)
+  | Exists (_, g) -> offender g
+
+let analyze f =
+  Obs.incr checks;
+  match offender f with
+  | None -> Monotone
+  | Some (construct, sub) ->
+    Not_syntactically_monotone
+      { construct; offender = Format.asprintf "%a" Fo.pp sub }

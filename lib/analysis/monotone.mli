@@ -1,0 +1,20 @@
+(** Syntactic monotonicity classification.
+
+    Existential-positive queries are monotone, and for monotone queries
+    naïve evaluation on one world is a sound lower bound for the certain
+    answers.  The classifier reports either [Monotone] (the query is
+    existential-positive, hence monotone) or the first offending
+    construct — a negation, implication, or universal quantifier — as a
+    counterexample-shaped certificate.  Syntactic only: a logically
+    monotone query written with double negation is reported as not
+    syntactically monotone. *)
+
+type certificate =
+  | Monotone  (** existential-positive *)
+  | Not_syntactically_monotone of {
+      construct : [ `Negation | `Implication | `Universal ];
+      offender : string;  (** pretty-printed offending subformula *)
+    }
+
+(** [analyze f] — classify [f].  Counted by [csp.analysis.monotone]. *)
+val analyze : Certdb_query.Fo.t -> certificate

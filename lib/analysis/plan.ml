@@ -1,0 +1,59 @@
+open Certdb_query
+module Obs = Certdb_obs.Obs
+
+let plan_naive = Obs.counter "query.plan.naive_eval"
+let plan_acyclic = Obs.counter "query.plan.acyclic_join"
+let plan_bounded = Obs.counter "query.plan.bounded_width"
+let plan_hom = Obs.counter "query.plan.hom_ladder"
+
+type route =
+  | Naive_eval
+  | Acyclic_join
+  | Bounded_width of int
+  | Hom_ladder
+
+type decision = {
+  route : route;
+  hypergraph : Hypergraph.t option;
+}
+
+let route_to_string = function
+  | Naive_eval -> "naive-eval"
+  | Acyclic_join -> "acyclic-join"
+  | Bounded_width w -> Printf.sprintf "bounded-width(%d)" w
+  | Hom_ladder -> "hom-ladder"
+
+let count_route = function
+  | Naive_eval -> Obs.incr plan_naive
+  | Acyclic_join -> Obs.incr plan_acyclic
+  | Bounded_width _ -> Obs.incr plan_bounded
+  | Hom_ladder -> Obs.incr plan_hom
+
+let default_width_threshold = 2
+
+let route_cq ?(width_threshold = default_width_threshold) (q : Cq.t) =
+  if q.head <> [] then { route = Naive_eval; hypergraph = None }
+  else
+    let hg = Hypergraph.analyze q in
+    let route =
+      match hg.certificate with
+      | Acyclic _ -> Acyclic_join
+      | Cyclic _ ->
+        if hg.width_estimate <= width_threshold then
+          Bounded_width hg.width_estimate
+        else Hom_ladder
+    in
+    { route; hypergraph = Some hg }
+
+let certain ?policy ?limits ?width_threshold (q : Cq.t) d =
+  if q.head <> [] then invalid_arg "Plan.certain: Boolean query only";
+  let dec = route_cq ?width_threshold q in
+  count_route dec.route;
+  match dec.route with
+  | Naive_eval -> assert false (* Boolean queries never route here *)
+  | Acyclic_join | Bounded_width _ -> `Exact (Certain.certain_cq_via_btw q d)
+  | Hom_ladder -> Certain.certain_cq_resilient ?policy ?limits q d
+
+let certain_answers u d =
+  count_route Naive_eval;
+  Certain.certain_ucq u d

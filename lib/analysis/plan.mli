@@ -1,0 +1,59 @@
+(** The certificate-driven planner: route a (query, instance) pair to the
+    cheapest provably sound certain-answer algorithm.
+
+    Decision table for a Boolean CQ (the only shape with a genuine
+    choice — non-Boolean CQs/UCQs go to naïve evaluation, which is sound
+    and complete for the whole class by Theorem 4):
+
+    - GYO-acyclic hypergraph → [Acyclic_join]: the Theorem 6 dynamic
+      program over a join-tree-shaped decomposition (polynomial);
+    - cyclic but width estimate ≤ threshold → [Bounded_width w]: same DP,
+      cost [O(bags · |adom|^(w+1))];
+    - everything else → [Hom_ladder]: the budgeted Prop. 2 hom check
+      under the {!Certdb_csp.Resilient} retry/escalation ladder.
+
+    Routing never changes an answer, only its cost: every route decides
+    [D_Q ⊑ D] exactly (the ladder degrades to a sound lower bound only
+    when budgets are imposed and exhausted).  Chosen routes are counted
+    by [query.plan.naive_eval] / [query.plan.acyclic_join] /
+    [query.plan.bounded_width] / [query.plan.hom_ladder]. *)
+
+type route =
+  | Naive_eval
+  | Acyclic_join
+  | Bounded_width of int
+  | Hom_ladder
+
+type decision = {
+  route : route;
+  hypergraph : Hypergraph.t option;
+      (** the certificate behind the choice; [None] for non-Boolean
+          queries, which are routed on their shape alone *)
+}
+
+val route_to_string : route -> string
+
+(** [route_cq ?width_threshold q] — the route only, no evaluation and no
+    counter update.  [width_threshold] defaults to 2. *)
+val route_cq : ?width_threshold:int -> Certdb_query.Cq.t -> decision
+
+(** [certain ?policy ?limits ?width_threshold q d] — Boolean CQ certainty
+    through the planner.  Acyclic and bounded-width routes answer
+    [`Exact] directly; the hom ladder behaves exactly like
+    {!Certdb_query.Certain.certain_cq_resilient} (unlimited [limits]
+    always yield [`Exact]).
+    @raise Invalid_argument on a non-Boolean query. *)
+val certain :
+  ?policy:Certdb_csp.Resilient.Policy.t ->
+  ?limits:Certdb_csp.Engine.Limits.t ->
+  ?width_threshold:int ->
+  Certdb_query.Cq.t ->
+  Certdb_relational.Instance.t ->
+  [ `Exact of bool | `Lower_bound of bool ]
+
+(** [certain_answers u d] — certain answers of a UCQ by naïve evaluation
+    (Theorem 4); recorded as a [Naive_eval] route. *)
+val certain_answers :
+  Certdb_query.Ucq.t ->
+  Certdb_relational.Instance.t ->
+  Certdb_relational.Instance.t

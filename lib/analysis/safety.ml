@@ -1,0 +1,110 @@
+open Certdb_query
+module Obs = Certdb_obs.Obs
+
+let checks = Obs.counter "csp.analysis.safety"
+
+module S = Set.Make (String)
+
+type step = {
+  formula : string;
+  range_restricted : string list;
+}
+
+type certificate =
+  | Safe of {
+      range_restricted : string list;
+      derivation : step list;
+    }
+  | Unsafe of {
+      variable : string;
+      context : string;
+    }
+
+exception Escape of {
+  variable : string;
+  context : string;
+}
+
+let pp_fo f = Format.asprintf "%a" Fo.pp f
+
+let rec srnf (f : Fo.t) : Fo.t =
+  match f with
+  | True | False | Atom _ | Eq _ -> f
+  | Not g -> Not (srnf g)
+  | And (g, h) -> And (srnf g, srnf h)
+  | Or (g, h) -> Or (srnf g, srnf h)
+  | Implies (g, h) -> Or (Not (srnf g), srnf h)
+  | Exists (xs, g) -> Exists (xs, srnf g)
+  | Forall (xs, g) -> Not (Exists (xs, Not (srnf g)))
+
+let rec conjuncts = function
+  | Fo.And (g, h) -> conjuncts g @ conjuncts h
+  | f -> [ f ]
+
+(* Bottom-up range-restricted set.  Conjunctions are flattened so that
+   [x = y] conjuncts propagate restriction sideways (eq-closure);
+   disjunction intersects; negation contributes nothing (its guard must
+   come from sibling conjuncts); a quantifier whose variable is not
+   restricted by its scope aborts the derivation with the culprit. *)
+let rec rr ~steps (f : Fo.t) : S.t =
+  let record set =
+    steps := { formula = pp_fo f; range_restricted = S.elements set } :: !steps;
+    set
+  in
+  match f with
+  | True | False -> record S.empty
+  | Atom (_, ts) ->
+    record
+      (S.of_list
+         (List.filter_map
+            (function Fo.Var x -> Some x | Fo.Val _ -> None)
+            ts))
+  | Eq (Var x, Val _) | Eq (Val _, Var x) -> record (S.singleton x)
+  | Eq _ -> record S.empty
+  | And _ ->
+    let cs = conjuncts f in
+    let base =
+      List.fold_left (fun acc c -> S.union acc (rr ~steps c)) S.empty cs
+    in
+    let eqs =
+      List.filter_map
+        (function Fo.Eq (Var x, Var y) -> Some (x, y) | _ -> None)
+        cs
+    in
+    let rec close set =
+      let grown =
+        List.fold_left
+          (fun acc (x, y) ->
+            if S.mem x acc || S.mem y acc then S.add x (S.add y acc) else acc)
+          set eqs
+      in
+      if S.equal grown set then set else close grown
+    in
+    record (close base)
+  | Or (g, h) ->
+    let sg = rr ~steps g in
+    let sh = rr ~steps h in
+    record (S.inter sg sh)
+  | Not g ->
+    let (_ : S.t) = rr ~steps g in
+    record S.empty
+  | Exists (xs, g) -> (
+    let sg = rr ~steps g in
+    match List.find_opt (fun x -> not (S.mem x sg)) xs with
+    | Some x -> raise (Escape { variable = x; context = pp_fo f })
+    | None -> record (S.diff sg (S.of_list xs)))
+  | Implies _ | Forall _ ->
+    invalid_arg "Safety.rr: formula not in safe-range normal form"
+
+let analyze f =
+  Obs.incr checks;
+  let f = srnf f in
+  let steps = ref [] in
+  match rr ~steps f with
+  | exception Escape { variable; context } -> Unsafe { variable; context }
+  | set -> (
+    let free = Fo.free_vars f in
+    match List.find_opt (fun x -> not (S.mem x set)) free with
+    | Some x -> Unsafe { variable = x; context = pp_fo f }
+    | None ->
+      Safe { range_restricted = S.elements set; derivation = List.rev !steps })

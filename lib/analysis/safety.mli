@@ -1,0 +1,34 @@
+(** Range restriction (safe-range) analysis of FO queries.
+
+    Naïve evaluation only makes sense for queries whose answers are
+    confined to the active domain; the safe-range syntactic class
+    guarantees this (domain independence).  The classifier normalizes the
+    query (implications unfolded, universals rewritten to ¬∃¬) and
+    computes the range-restricted variable set bottom-up, producing a
+    machine-checkable certificate either way: the full derivation for a
+    safe query, or a concrete unrestricted variable with the subformula
+    where the restriction fails. *)
+
+type step = {
+  formula : string;  (** pretty-printed subformula *)
+  range_restricted : string list;
+      (** its range-restricted variables, bottom-up order *)
+}
+
+type certificate =
+  | Safe of {
+      range_restricted : string list;
+      derivation : step list;
+    }
+  | Unsafe of {
+      variable : string;  (** a free or quantified variable with no range *)
+      context : string;  (** the subformula where it escapes *)
+    }
+
+(** [analyze f] — classify [f].  Counted by [csp.analysis.safety]. *)
+val analyze : Certdb_query.Fo.t -> certificate
+
+(** The safe-range normal form used by the analysis ([Implies] and
+    [Forall] rewritten away); exposed so certificates can be re-checked
+    against the exact formula the derivation talks about. *)
+val srnf : Certdb_query.Fo.t -> Certdb_query.Fo.t

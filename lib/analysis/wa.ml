@@ -1,0 +1,30 @@
+open Certdb_exchange
+module Obs = Certdb_obs.Obs
+module Instance = Certdb_relational.Instance
+
+let checks = Obs.counter "csp.analysis.weak_acyclicity"
+
+type certificate =
+  | Terminates of {
+      round_bound : int;
+      max_rank : int;
+      ranks : (Constraints.position * int) list;
+    }
+  | Diverges of {
+      cycle : Constraints.position list;
+      special : Constraints.position * Constraints.position;
+    }
+
+let analyze ?(instance = Instance.empty) c =
+  Obs.incr checks;
+  match Constraints.weak_acyclicity c with
+  | Wa_diverges { cycle; special } -> Diverges { cycle; special }
+  | Wa_terminates { ranks; max_rank; _ } ->
+    let round_bound =
+      match Constraints.certified_round_bound c instance with
+      | Some b -> b
+      | None -> assert false (* weakly acyclic by the match above *)
+    in
+    Terminates { round_bound; max_rank; ranks }
+
+let pp_position ppf (rel, i) = Format.fprintf ppf "%s.%d" rel i

@@ -1,0 +1,28 @@
+(** Weak-acyclicity classification of TGD sets, re-exposed from
+    {!Certdb_exchange.Constraints} with the planner-facing certificate:
+    a terminating set carries the derived chase round bound for a given
+    instance (the bound {!Certdb_exchange.Constraints.chase} runs with in
+    [`Auto]/[`Certified] mode), a diverging set carries the cycle through
+    a special edge. *)
+
+open Certdb_exchange
+
+type certificate =
+  | Terminates of {
+      round_bound : int;
+          (** rounds sufficient for any chase of [instance] to fixpoint *)
+      max_rank : int;
+      ranks : (Constraints.position * int) list;
+    }
+  | Diverges of {
+      cycle : Constraints.position list;
+      special : Constraints.position * Constraints.position;
+    }
+
+(** [analyze ?instance c] — classify the tgd set of [c]; the round bound
+    is derived against [instance] (default empty).  Counted by
+    [csp.analysis.weak_acyclicity]. *)
+val analyze :
+  ?instance:Certdb_relational.Instance.t -> Constraints.t -> certificate
+
+val pp_position : Format.formatter -> Constraints.position -> unit

@@ -140,6 +140,12 @@ let order_by_heuristic heuristic s =
 let of_structure ?(heuristic = `Min_degree) s =
   of_elimination_order s (order_by_heuristic heuristic s)
 
+let estimate s =
+  let md = of_structure ~heuristic:`Min_degree s in
+  let mf = of_structure ~heuristic:`Min_fill s in
+  let best = if width mf < width md then mf else md in
+  (best, width best)
+
 (* Branch-and-bound over elimination orders: the width of an order is the
    maximum neighborhood size at elimination time; prune branches whose
    running width already reaches the best found. *)

@@ -25,6 +25,12 @@ val of_structure : ?heuristic:[ `Min_degree | `Min_fill ] -> Structure.t -> t
     explicit elimination order (fill-in construction). *)
 val of_elimination_order : Structure.t -> int list -> t
 
+(** [estimate s] runs both heuristics and returns the narrower
+    decomposition together with its width — the width estimate used by the
+    static-analysis planner ({!Bounded_tw} cost grows with the width, so
+    spending two heuristic passes before a DP is always worth it). *)
+val estimate : Structure.t -> t * int
+
 (** [exact s] — an optimal-width decomposition by branch-and-bound over
     elimination orders.  Exponential; intended for ≤ 10 nodes (validates
     the heuristics in tests).

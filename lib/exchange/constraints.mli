@@ -49,20 +49,70 @@ val satisfies_b :
 exception Chase_failure of string
 (** An egd required two distinct constants to be equal. *)
 
-(** [chase ?max_rounds d c] — fixpoint chase: apply unsatisfied tgds
-    (inventing fresh nulls for head-only variables) and egds (unifying
-    values, preferring constants as representatives).
+(** {2 Weak acyclicity}
+
+    Static termination analysis of the tgd set via the position dependency
+    graph (Fagin et al., data exchange).  A position is a (relation,
+    column) pair; regular edges propagate frontier nulls from body to head
+    positions, special edges point at positions where a tgd invents an
+    existential null.  The set is weakly acyclic — every chase sequence
+    terminates — iff no cycle passes through a special edge. *)
+
+type position = string * int
+
+type wa_certificate =
+  | Wa_terminates of {
+      positions : position list;
+      ranks : (position * int) list;
+          (** max number of special edges on any path into the position *)
+      max_rank : int;
+    }
+  | Wa_diverges of {
+      cycle : position list;
+          (** positions along the cycle, starting (and implicitly ending)
+              at the source of the special edge *)
+      special : position * position;
+    }
+
+(** [weak_acyclicity c] classifies the tgd set of [c], with a certificate
+    either way: position ranks when weakly acyclic, or a cycle through a
+    special edge when not. *)
+val weak_acyclicity : t -> wa_certificate
+
+(** [certified_round_bound c d] — a round bound sufficient for any chase
+    of [d] by [c] to reach a fixpoint, derived from the rank stratification
+    (polynomial in [d] for a fixed weakly acyclic [c]; saturates at 10^9
+    rather than overflowing).  [None] when the set is not weakly acyclic. *)
+val certified_round_bound : t -> Instance.t -> int option
+
+type termination =
+  [ `Auto  (** certified bound when weakly acyclic, legacy cap otherwise *)
+  | `Certified  (** derived bound; reject non-weakly-acyclic sets *)
+  | `Bounded of int  (** explicit round cap, old behaviour *) ]
+
+(** [chase ?termination ?max_rounds d c] — fixpoint chase: apply
+    unsatisfied tgds (inventing fresh nulls for head-only variables) and
+    egds (unifying values, preferring constants as representatives).
+
+    Round limit resolution: an explicit [~termination] wins; otherwise an
+    explicit [~max_rounds n] means [`Bounded n]; otherwise [`Auto].
+    [`Auto] uses the certified bound for weakly acyclic sets (counter
+    [exchange.chase.certified]) and falls back to a cap of 100 for the
+    rest (counter [exchange.chase.uncertified]).
     @raise Chase_failure on an egd clash.
-    @raise Invalid_argument if [max_rounds] (default 100) is exceeded —
-    the chase need not terminate for arbitrary tgds. *)
-val chase : ?max_rounds:int -> Instance.t -> t -> Instance.t
+    @raise Invalid_argument when the resolved round limit is exceeded, or
+    with [~termination:`Certified] on a non-weakly-acyclic tgd set. *)
+val chase :
+  ?termination:termination -> ?max_rounds:int -> Instance.t -> t -> Instance.t
 
 (** Budgeted chase: one engine node per chase round.  [Sat d'] is the
     chased instance, [Unsat] an egd clash (no solution exists), and
     [Unknown r] a tripped limit — the round cap still raises
-    [Invalid_argument] as in {!chase}. *)
+    [Invalid_argument] as in {!chase}, and termination resolution is the
+    same. *)
 val chase_b :
   ?limits:Certdb_csp.Engine.Limits.t ->
+  ?termination:termination ->
   ?max_rounds:int ->
   Instance.t ->
   t ->

@@ -21,9 +21,18 @@ let require_codd d =
   if not (Gdb.codd d) then
     invalid_arg "Membership.codd_leq: source is not Codd"
 
+(* a width-w DP costs |target|^(w+1), so spending the second elimination
+   heuristic up front (Treewidth.estimate) is always worth it *)
+let decomposition_for ?decomposition d =
+  match decomposition with
+  | Some dec -> dec
+  | None -> fst (Treewidth.estimate (Gdb.structure d))
+
 let codd_leq ?decomposition d d' =
   require_codd d;
-  Bounded_tw.r_hom ?decomposition ~source:(Gdb.structure d)
+  Bounded_tw.r_hom
+    ~decomposition:(decomposition_for ?decomposition d)
+    ~source:(Gdb.structure d)
     ~target:(Gdb.structure d')
     ~restrict:(candidate_relation d d')
     ()
@@ -31,7 +40,9 @@ let codd_leq ?decomposition d d' =
 let codd_leq_witness ?decomposition d d' =
   require_codd d;
   match
-    Bounded_tw.r_hom_witness ?decomposition ~source:(Gdb.structure d)
+    Bounded_tw.r_hom_witness
+      ~decomposition:(decomposition_for ?decomposition d)
+      ~source:(Gdb.structure d)
       ~target:(Gdb.structure d')
       ~restrict:(candidate_relation d d')
       ()

@@ -66,6 +66,105 @@ let certain_cq_via_hom_b ?limits q d =
 let certain_cq_via_containment q d = Cq.contained (Cq.of_instance d) q
 let certain_cq_via_naive q d = Cq.holds q d
 
+(* {2 Bounded-treewidth route (Theorem 6 / Lemma 4)} *)
+
+module Structure = Certdb_csp.Structure
+module Bounded_tw = Certdb_csp.Bounded_tw
+module Treewidth = Certdb_csp.Treewidth
+module Int_set = Structure.Int_set
+
+(* [D_Q ⊑ D] as an R-compatible hom problem: one unlabeled node per
+   distinct term of the query, one target node per active-domain value.
+   [restrict] carries the semantics of the information ordering — a
+   constant may map only to its own value, a variable (or a null literal)
+   anywhere — so node labels stay unused.  The DP ignores 0-ary facts, so
+   propositional atoms are checked directly against [d] first. *)
+let certain_cq_via_btw ?decomposition q d =
+  if q.Cq.head <> [] then
+    invalid_arg "Certain.certain_cq_via_btw: Boolean query only";
+  Obs.incr certain_checks;
+  Obs.with_span "query.certain_btw" @@ fun () ->
+  let zero_ary, positive =
+    List.partition (fun (a : Cq.atom) -> a.args = []) q.Cq.atoms
+  in
+  let zero_ok =
+    List.for_all
+      (fun (a : Cq.atom) ->
+        List.exists (fun t -> Array.length t = 0) (Instance.tuples d a.rel))
+      zero_ary
+  in
+  if not zero_ok then false
+  else if positive = [] then true
+  else begin
+    let term_ids = Hashtbl.create 16 in
+    let next = ref 0 in
+    let id_of_term t =
+      match Hashtbl.find_opt term_ids t with
+      | Some i -> i
+      | None ->
+        let i = !next in
+        incr next;
+        Hashtbl.replace term_ids t i;
+        i
+    in
+    let source_tuples =
+      List.map
+        (fun (a : Cq.atom) ->
+          (a.rel, [ Array.of_list (List.map id_of_term a.args) ]))
+        positive
+    in
+    let source =
+      Structure.make
+        ~nodes:(List.init !next (fun i -> (i, None)))
+        ~tuples:source_tuples
+    in
+    let values = Value.Set.elements (Instance.active_domain d) in
+    let value_ids =
+      List.fold_left
+        (fun (i, m) v -> (i + 1, Value.Map.add v i m))
+        (0, Value.Map.empty) values
+      |> snd
+    in
+    let target =
+      Structure.make
+        ~nodes:(List.mapi (fun i _ -> (i, None)) values)
+        ~tuples:
+          (List.filter_map
+             (fun (f : Instance.fact) ->
+               if Array.length f.args = 0 then None
+               else
+                 Some
+                   ( f.rel,
+                     [
+                       Array.map
+                         (fun v -> Value.Map.find v value_ids)
+                         f.args;
+                     ] ))
+             (Instance.facts d))
+    in
+    let all_targets =
+      Int_set.of_list (List.mapi (fun i _ -> i) values)
+    in
+    let term_of_id = Array.make !next (Fo.Var "") in
+    Hashtbl.iter (fun t i -> term_of_id.(i) <- t) term_ids;
+    let restrict v =
+      match term_of_id.(v) with
+      | Fo.Var _ -> all_targets
+      | Fo.Val value ->
+        if Value.is_null value then all_targets
+        else (
+          match Value.Map.find_opt value value_ids with
+          | Some i -> Int_set.singleton i
+          | None -> Int_set.empty)
+    in
+    let decomposition =
+      match decomposition with
+      | Some dec -> dec
+      | None -> fst (Treewidth.estimate source)
+    in
+    Bounded_tw.r_hom ~decomposition ~source ~target ~restrict ()
+  end
+
 (* {2 Graceful degradation} *)
 
 module Engine = Certdb_csp.Engine

@@ -112,6 +112,19 @@ val certain_cq_resilient :
   Instance.t ->
   [ `Exact of bool | `Lower_bound of bool ]
 
+(** [certain_cq_via_btw ?decomposition q d] — [D_Q ⊑ D] by the
+    bounded-treewidth dynamic program of Theorem 6: the query's terms
+    become an unlabeled structure, [d]'s active domain the target, and
+    the candidate relation pins constants to themselves while leaving
+    variables free.  Polynomial for a fixed decomposition width (the
+    planner routes acyclic / low-width queries here); agrees with
+    {!certain_cq_via_hom} on every Boolean CQ.  When [decomposition] is
+    absent the better of the two {!Certdb_csp.Treewidth} heuristics is
+    used.
+    @raise Invalid_argument on a non-Boolean query. *)
+val certain_cq_via_btw :
+  ?decomposition:Certdb_csp.Treewidth.t -> Cq.t -> Instance.t -> bool
+
 (** [certain_cq_via_containment q d] — [Q_D ⊆ Q]. *)
 val certain_cq_via_containment : Cq.t -> Instance.t -> bool
 

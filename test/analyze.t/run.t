@@ -1,0 +1,91 @@
+Locate the binary and the shipped example inputs:
+
+  $ CERTDB=$(find . ../.. -name 'certdb.exe' 2>/dev/null | head -1)
+  $ EXAMPLES=$(dirname $(find . ../.. -path '*examples/analyze/safe.fo' 2>/dev/null | head -1))
+  $ echo found
+  found
+
+A safe first-order sentence gets a derivation-backed certificate; the
+negation is reported to the monotonicity classifier:
+
+  $ $CERTDB analyze --fo @$EXAMPLES/safe.fo
+  safety: safe (range-restricted: (sentence); derivation: 5 steps)
+  monotonicity: not syntactically monotone (negation in '~(S(x))')
+
+An unrestricted variable makes the sentence unsafe — the culprit
+variable is named and the exit code is 1:
+
+  $ $CERTDB analyze --fo @$EXAMPLES/unsafe.fo
+  safety: unsafe (variable y escapes in 'exists x,y. R(x)')
+  monotonicity: monotone (existential-positive)
+  [1]
+
+A path-shaped CQ is GYO-acyclic and the planner routes it to the
+acyclic join:
+
+  $ $CERTDB analyze -q @$EXAMPLES/acyclic.cq
+  safety: safe (range-restricted: (sentence); derivation: 4 steps)
+  monotonicity: monotone (existential-positive)
+  hypergraph: acyclic (GYO reduction: 4 steps); width estimate: 1
+  plan: acyclic-join
+
+The triangle is cyclic — the certificate is the irreducible residual
+hypergraph — but its width estimate keeps it on the bounded-width DP:
+
+  $ $CERTDB analyze -q @$EXAMPLES/cyclic.cq
+  safety: safe (range-restricted: (sentence); derivation: 5 steps)
+  monotonicity: monotone (existential-positive)
+  hypergraph: cyclic (residual: #0{x,y}, #1{y,z}, #2{x,z}); width estimate: 2
+  plan: bounded-width(2)
+
+A weakly acyclic tgd set terminates with a round bound derived against
+the given instance:
+
+  $ $CERTDB analyze --tgd @$EXAMPLES/weakly_acyclic.tgd --instance "R(1,2)"
+  weak-acyclicity: terminates (max rank 1, round bound 22, 4 positions)
+
+A diverging set yields the special-edge cycle as a counterexample and
+exit code 1:
+
+  $ $CERTDB analyze --tgd @$EXAMPLES/diverging.tgd
+  weak-acyclicity: diverges (special edge R.1 -> R.1; cycle: R.1 -> R.1)
+  [1]
+
+--json emits one object with class + certificate per analysis:
+
+  $ $CERTDB analyze --json --tgd @$EXAMPLES/weakly_acyclic.tgd
+  {"weak_acyclicity":{"class":"terminates","max_rank":1,"round_bound":4,"ranks":{"R.0":0,"R.1":0,"S.0":0,"S.1":1}}}
+
+  $ $CERTDB analyze --json -q @$EXAMPLES/cyclic.cq | tr ',' '\n' | grep -E 'route|class|width'
+  {"safety":{"class":"safe"
+  "monotonicity":{"class":"monotone"}
+  "hypergraph":{"class":"cyclic"
+  "width_estimate":2}
+  "plan":{"route":"bounded-width(2)"}}
+
+Passing nothing to analyze is an error:
+
+  $ $CERTDB analyze
+  nothing to analyze: pass --query, --fo, or --tgd
+  [2]
+
+The analyses are counted (csp.analysis.*), and the chosen route is
+recorded (query.plan.*):
+
+  $ $CERTDB analyze -q @$EXAMPLES/acyclic.cq --stats-json 2>&1 >/dev/null | tr ',' '\n' | grep -E '"(csp.analysis|query.plan)' | grep -v ':0'
+  "csp.analysis.hypergraph":2
+  "csp.analysis.monotone":1
+  "csp.analysis.safety":1
+
+The self-test re-verifies every shipped example certificate:
+
+  $ $CERTDB analyze --self-test > /dev/null && echo certificates-ok
+  certificates-ok
+
+The certified chase bound is observable end to end: a weakly acyclic
+target chase runs under exchange.chase.certified, while an explicit
+round cap (the legacy behaviour) stays uncertified-free:
+
+  $ $CERTDB chase --tgd "S(_x,_y) -> T(_x,_z); T(_z,_y)" --target-tgd "T(_a,_b) -> U(_b)" "S(1,2)" --stats-json 2>&1 >/dev/null | tr ',' '\n' | grep -E 'chase.(un)?certified'
+  "exchange.chase.certified":1
+  "exchange.chase.uncertified":0

@@ -172,6 +172,10 @@ subcommand runs (timing fields redacted for determinism):
     csp.ac3.prunes                  0
     csp.ac3.revisions               0
     csp.ac3.wipeouts                0
+    csp.analysis.hypergraph         0
+    csp.analysis.monotone           0
+    csp.analysis.safety             0
+    csp.analysis.weak_acyclicity    0
     csp.batch.errors                0
     csp.batch.runs                  0
     csp.batch.skipped               0
@@ -193,9 +197,11 @@ subcommand runs (timing fields redacted for determinism):
     csp.solver.searches             0
     csp.solver.solutions            0
     csp.solver.wipeouts             0
+    exchange.chase.certified        0
     exchange.chase.facts            0
     exchange.chase.runs             0
     exchange.chase.steps            0
+    exchange.chase.uncertified      0
     fault.injected                  0
     gdm.ghom.candidate_checks       0
     gdm.ghom.nodes                  0
@@ -204,6 +210,10 @@ subcommand runs (timing fields redacted for determinism):
     query.answer_tuples             0
     query.certain_checks            0
     query.naive_evals               0
+    query.plan.acyclic_join         0
+    query.plan.bounded_width        0
+    query.plan.hom_ladder           0
+    query.plan.naive_eval           0
     query.resilient.degraded        0
     query.resilient.exact           0
     rel.glb.merged_facts            0

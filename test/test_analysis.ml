@@ -1,0 +1,379 @@
+(* Certdb_analysis: every classifier emits a certificate that can be
+   re-checked, and the certificate-driven planner never changes a certain
+   answer — only the algorithm that computes it. *)
+
+open Certdb_values
+open Certdb_query
+module Obs = Certdb_obs.Obs
+module Instance = Certdb_relational.Instance
+module Safety = Certdb_analysis.Safety
+module Monotone = Certdb_analysis.Monotone
+module Hypergraph = Certdb_analysis.Hypergraph
+module Wa = Certdb_analysis.Wa
+module Plan = Certdb_analysis.Plan
+module Constraints = Certdb_exchange.Constraints
+
+let check = Alcotest.(check bool)
+let c i = Value.int i
+let v x = Fo.Var x
+
+(* --- safety: range restriction with a derivation or a culprit --- *)
+
+let test_safety_safe () =
+  (* exists x. R(x) and not S(x): x is restricted by R before the
+     negation subtracts *)
+  let f =
+    Fo.Exists
+      ( [ "x" ],
+        Fo.And (Fo.Atom ("R", [ v "x" ]), Fo.Not (Fo.Atom ("S", [ v "x" ]))) )
+  in
+  match Safety.analyze f with
+  | Safety.Safe { derivation; _ } ->
+    check "derivation is non-empty" true (derivation <> [])
+  | Safety.Unsafe _ -> Alcotest.fail "expected Safe"
+
+let test_safety_unsafe_quantified () =
+  (* exists x, y. R(x): y ranges over nothing *)
+  let f = Fo.Exists ([ "x"; "y" ], Fo.Atom ("R", [ v "x" ])) in
+  match Safety.analyze f with
+  | Safety.Unsafe { variable; _ } ->
+    Alcotest.(check string) "culprit is y" "y" variable
+  | Safety.Safe _ -> Alcotest.fail "expected Unsafe"
+
+let test_safety_unsafe_free () =
+  (* R(x) and not S(y): free y only occurs under the negation *)
+  let f = Fo.And (Fo.Atom ("R", [ v "x" ]), Fo.Not (Fo.Atom ("S", [ v "y" ]))) in
+  match Safety.analyze f with
+  | Safety.Unsafe { variable; _ } ->
+    Alcotest.(check string) "culprit is y" "y" variable
+  | Safety.Safe _ -> Alcotest.fail "expected Unsafe"
+
+let rec srnf_clean = function
+  | Fo.Implies _ | Fo.Forall _ -> false
+  | Fo.Not f | Fo.Exists (_, f) -> srnf_clean f
+  | Fo.And (f, g) | Fo.Or (f, g) -> srnf_clean f && srnf_clean g
+  | Fo.True | Fo.False | Fo.Atom _ | Fo.Eq _ -> true
+
+let test_srnf_normalizes () =
+  let f =
+    Fo.Forall ([ "x" ], Fo.Implies (Fo.Atom ("R", [ v "x" ]), Fo.Atom ("S", [ v "x" ])))
+  in
+  check "srnf has no Implies/Forall" true (srnf_clean (Safety.srnf f));
+  (* the rewritten universal is not safe-range: x under the inner negation *)
+  match Safety.analyze f with
+  | Safety.Unsafe { variable; _ } ->
+    Alcotest.(check string) "culprit is x" "x" variable
+  | Safety.Safe _ -> Alcotest.fail "expected Unsafe"
+
+(* --- syntactic monotonicity --- *)
+
+let test_monotone () =
+  let ep =
+    Fo.Exists ([ "x" ], Fo.Or (Fo.Atom ("R", [ v "x" ]), Fo.Atom ("S", [ v "x" ])))
+  in
+  check "existential-positive is monotone" true
+    (Monotone.analyze ep = Monotone.Monotone);
+  let offending construct f =
+    match Monotone.analyze f with
+    | Monotone.Not_syntactically_monotone { construct = got; _ } ->
+      got = construct
+    | Monotone.Monotone -> false
+  in
+  check "negation reported" true
+    (offending `Negation (Fo.Not (Fo.Atom ("R", [ v "x" ]))));
+  check "implication reported" true
+    (offending `Implication (Fo.Implies (Fo.Atom ("R", [ v "x" ]), Fo.True)));
+  check "universal reported" true
+    (offending `Universal (Fo.Forall ([ "x" ], Fo.Atom ("R", [ v "x" ]))))
+
+(* --- hypergraph: GYO trace is replayable, residual is irreducible --- *)
+
+let path_cq =
+  Cq.boolean [ ("R", [ v "x"; v "y" ]); ("S", [ v "y"; v "z" ]) ]
+
+let triangle_cq =
+  Cq.boolean
+    [
+      ("R", [ v "x"; v "y" ]);
+      ("R", [ v "y"; v "z" ]);
+      ("R", [ v "z"; v "x" ]);
+    ]
+
+module S = Set.Make (String)
+
+let edges_of_cq q =
+  List.mapi
+    (fun i (a : Cq.atom) ->
+      let vs =
+        List.filter_map
+          (function Fo.Var x -> Some x | Fo.Val _ -> None)
+          a.Cq.args
+      in
+      (i, S.of_list vs))
+    q.Cq.atoms
+
+(* replay a GYO trace against the original hypergraph: every step must be
+   justified by the current state, and the trace must end with nothing
+   left *)
+let replay q steps =
+  let state = ref (List.filter (fun (_, vs) -> not (S.is_empty vs)) (edges_of_cq q)) in
+  let ok = ref true in
+  List.iter
+    (fun step ->
+      match step with
+      | Hypergraph.Remove_vertex { vertex; edge } ->
+        let holders =
+          List.filter (fun (_, vs) -> S.mem vertex vs) !state
+        in
+        (match holders with
+        | [ (i, _) ] when i = edge ->
+          state :=
+            List.filter_map
+              (fun (i, vs) ->
+                let vs = S.remove vertex vs in
+                if S.is_empty vs then None else Some (i, vs))
+              !state
+        | _ -> ok := false)
+      | Hypergraph.Absorb { edge; into } ->
+        let find i = List.assoc_opt i !state in
+        (match (find edge, find into) with
+        | Some vs, Some ws when S.subset vs ws ->
+          state := List.filter (fun (i, _) -> i <> edge) !state
+        | _ -> ok := false))
+    steps;
+  !ok && !state = []
+
+let test_gyo_acyclic () =
+  let r = Hypergraph.analyze path_cq in
+  (match r.Hypergraph.certificate with
+  | Hypergraph.Acyclic { steps } ->
+    check "trace replays to the empty hypergraph" true (replay path_cq steps)
+  | Hypergraph.Cyclic _ -> Alcotest.fail "path CQ must be acyclic");
+  Alcotest.(check int) "path width estimate" 1 r.Hypergraph.width_estimate
+
+let test_gyo_cyclic () =
+  let r = Hypergraph.analyze triangle_cq in
+  (match r.Hypergraph.certificate with
+  | Hypergraph.Cyclic { residual } ->
+    Alcotest.(check int) "all three edges irreducible" 3 (List.length residual);
+    (* irreducibility: no ear vertex, no absorbable edge *)
+    let edges = List.map (fun (_, vs) -> S.of_list vs) residual in
+    List.iter
+      (fun vs ->
+        S.iter
+          (fun x ->
+            let holders = List.filter (fun ws -> S.mem x ws) edges in
+            check "no ear vertex remains" true (List.length holders > 1))
+          vs)
+      edges
+  | Hypergraph.Acyclic _ -> Alcotest.fail "triangle must be cyclic");
+  Alcotest.(check int) "triangle width estimate" 2 r.Hypergraph.width_estimate
+
+(* --- weak acyclicity and the certified chase bound --- *)
+
+let nx = Value.null 9001
+let ny = Value.null 9002
+let nz = Value.null 9003
+
+let tgd body head = Constraints.tgd ~body ~head
+
+let wa_set =
+  (* R(x,y) -> S(y,z): one special edge, no cycle *)
+  Constraints.make
+    ~tgds:
+      [
+        tgd
+          (Instance.of_list [ ("R", [ [ nx; ny ] ]) ])
+          (Instance.of_list [ ("S", [ [ ny; nz ] ]) ]);
+      ]
+    ()
+
+let diverging_set =
+  (* R(x,y) -> R(y,z): the special edge R.1 -> R.1 closes a cycle *)
+  Constraints.make
+    ~tgds:
+      [
+        tgd
+          (Instance.of_list [ ("R", [ [ nx; ny ] ]) ])
+          (Instance.of_list [ ("R", [ [ ny; nz ] ]) ]);
+      ]
+    ()
+
+let test_wa_terminates () =
+  let d = Instance.of_list [ ("R", [ [ c 1; c 2 ] ]) ] in
+  match Wa.analyze ~instance:d wa_set with
+  | Wa.Terminates { round_bound; max_rank; ranks } ->
+    check "round bound is positive" true (round_bound > 0);
+    Alcotest.(check int) "max rank" 1 max_rank;
+    check "every rank is bounded by max_rank" true
+      (List.for_all (fun (_, r) -> r >= 0 && r <= max_rank) ranks)
+  | Wa.Diverges _ -> Alcotest.fail "expected Terminates"
+
+let test_wa_diverges () =
+  match Wa.analyze diverging_set with
+  | Wa.Diverges { cycle; special = src, dst } ->
+    check "cycle is non-empty" true (cycle <> []);
+    check "cycle passes through the special edge's source" true
+      (List.mem src cycle);
+    Alcotest.(check string) "special edge targets R" "R" (fst dst)
+  | Wa.Terminates _ -> Alcotest.fail "expected Diverges"
+
+let counter_value name = Obs.counter_value (Obs.counter name)
+
+let test_chase_auto_certified () =
+  let d = Instance.of_list [ ("R", [ [ c 1; c 2 ] ]) ] in
+  let before = counter_value "exchange.chase.certified" in
+  let chased = Constraints.chase d wa_set in
+  Alcotest.(check int) "certified bound used" (before + 1)
+    (counter_value "exchange.chase.certified");
+  (* the certified bound reaches the same fixpoint as a generous cap, up
+     to the names of the freshly invented nulls *)
+  let reference = Constraints.chase ~max_rounds:1000 d wa_set in
+  let module Hom = Certdb_relational.Hom in
+  check "certified chase reaches the fixpoint" true
+    (Instance.cardinal chased = Instance.cardinal reference
+    && Hom.exists chased reference
+    && Hom.exists reference chased);
+  (* explicit ~max_rounds is the legacy Bounded mode: no counter *)
+  let after = counter_value "exchange.chase.certified" in
+  let _ = Constraints.chase ~max_rounds:10 d wa_set in
+  Alcotest.(check int) "Bounded mode is uncounted" after
+    (counter_value "exchange.chase.certified")
+
+let test_chase_auto_uncertified () =
+  (* not weakly acyclic, but the empty instance has nothing to chase:
+     Auto falls back to the default cap and counts the fallback *)
+  let before = counter_value "exchange.chase.uncertified" in
+  let chased = Constraints.chase Instance.empty diverging_set in
+  check "nothing derived" true (Instance.is_empty chased);
+  Alcotest.(check int) "uncertified fallback counted" (before + 1)
+    (counter_value "exchange.chase.uncertified")
+
+let test_chase_certified_rejects_non_wa () =
+  match Constraints.chase ~termination:`Certified Instance.empty diverging_set with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "`Certified must reject a non-weakly-acyclic set"
+
+(* --- the planner: routes and answer preservation --- *)
+
+let test_routes () =
+  let route q = (Plan.route_cq q).Plan.route in
+  check "non-Boolean goes to naive eval" true
+    (route (Cq.make ~head:[ "x" ] [ ("R", [ v "x"; v "y" ]) ]) = Plan.Naive_eval);
+  check "path goes to the acyclic join" true
+    (route path_cq = Plan.Acyclic_join);
+  check "triangle goes to the width-2 DP" true
+    (route triangle_cq = Plan.Bounded_width 2);
+  let clique4 =
+    let vars = [ "w"; "x"; "y"; "z" ] in
+    Cq.boolean
+      (List.concat_map
+         (fun a ->
+           List.filter_map
+             (fun b -> if a < b then Some ("R", [ v a; v b ]) else None)
+             vars)
+         vars)
+  in
+  check "4-clique exceeds the default threshold" true
+    (route clique4 = Plan.Hom_ladder);
+  check "a raised threshold reclaims it" true
+    (match (Plan.route_cq ~width_threshold:3 clique4).Plan.route with
+    | Plan.Bounded_width 3 -> true
+    | _ -> false)
+
+(* random Boolean CQs over a binary R, and random instances mixing
+   constants with repeated nulls *)
+let random_cq st =
+  let vars = [| "x"; "y"; "z"; "w" |] in
+  let term () =
+    if Random.State.float st 1.0 < 0.8 then
+      Fo.Var vars.(Random.State.int st (Array.length vars))
+    else Fo.Val (c (1 + Random.State.int st 2))
+  in
+  let n = 1 + Random.State.int st 4 in
+  Cq.boolean (List.init n (fun _ -> ("R", [ term (); term () ])))
+
+let random_instance st =
+  let value () =
+    if Random.State.float st 1.0 < 0.7 then c (1 + Random.State.int st 3)
+    else Value.null (8000 + Random.State.int st 2)
+  in
+  let n = Random.State.int st 6 in
+  Instance.of_list [ ("R", List.init n (fun _ -> [ value (); value () ])) ]
+
+let qcheck_planner_agrees_with_oracle =
+  QCheck.Test.make ~count:300
+    ~name:"Plan.certain (unlimited) agrees with certain_cq_via_hom"
+    QCheck.(pair (int_range 0 10_000) (int_range 0 10_000))
+    (fun (s1, s2) ->
+      let q = random_cq (Random.State.make [| s1 |]) in
+      let d = random_instance (Random.State.make [| s2 |]) in
+      match Plan.certain q d with
+      | `Exact b -> b = Certain.certain_cq_via_hom q d
+      | `Lower_bound _ ->
+        QCheck.Test.fail_report "unlimited planner must answer `Exact")
+
+let qcheck_btw_agrees_with_hom =
+  QCheck.Test.make ~count:300
+    ~name:"certain_cq_via_btw agrees with certain_cq_via_hom"
+    QCheck.(pair (int_range 0 10_000) (int_range 0 10_000))
+    (fun (s1, s2) ->
+      let q = random_cq (Random.State.make [| s1 |]) in
+      let d = random_instance (Random.State.make [| s2 |]) in
+      Certain.certain_cq_via_btw q d = Certain.certain_cq_via_hom q d)
+
+let test_certain_answers_route () =
+  let u =
+    Ucq.make [ Cq.make ~head:[ "x" ] [ ("R", [ v "x"; v "y" ]) ] ]
+  in
+  let d =
+    Instance.of_list
+      [ ("R", [ [ c 1; c 2 ]; [ c 3; Value.null 8101 ] ]) ]
+  in
+  let before = counter_value "query.plan.naive_eval" in
+  let got = Plan.certain_answers u d in
+  Alcotest.(check int) "routed as naive eval" (before + 1)
+    (counter_value "query.plan.naive_eval");
+  check "agrees with Certain.certain_ucq" true
+    (Instance.equal got (Certain.certain_ucq u d))
+
+let () =
+  Random.self_init ();
+  Alcotest.run "analysis"
+    [
+      ( "safety",
+        [
+          Alcotest.test_case "safe with derivation" `Quick test_safety_safe;
+          Alcotest.test_case "unsafe quantified" `Quick
+            test_safety_unsafe_quantified;
+          Alcotest.test_case "unsafe free" `Quick test_safety_unsafe_free;
+          Alcotest.test_case "srnf normalizes" `Quick test_srnf_normalizes;
+        ] );
+      ( "monotonicity",
+        [ Alcotest.test_case "certificates" `Quick test_monotone ] );
+      ( "hypergraph",
+        [
+          Alcotest.test_case "GYO trace replays" `Quick test_gyo_acyclic;
+          Alcotest.test_case "cyclic residual irreducible" `Quick
+            test_gyo_cyclic;
+        ] );
+      ( "weak acyclicity",
+        [
+          Alcotest.test_case "terminates with bound" `Quick test_wa_terminates;
+          Alcotest.test_case "diverges with cycle" `Quick test_wa_diverges;
+          Alcotest.test_case "chase Auto certified" `Quick
+            test_chase_auto_certified;
+          Alcotest.test_case "chase Auto uncertified" `Quick
+            test_chase_auto_uncertified;
+          Alcotest.test_case "`Certified rejects non-WA" `Quick
+            test_chase_certified_rejects_non_wa;
+        ] );
+      ( "planner",
+        [
+          Alcotest.test_case "routes" `Quick test_routes;
+          QCheck_alcotest.to_alcotest qcheck_planner_agrees_with_oracle;
+          QCheck_alcotest.to_alcotest qcheck_btw_agrees_with_hom;
+          Alcotest.test_case "certain_answers route" `Quick
+            test_certain_answers_route;
+        ] );
+    ]
