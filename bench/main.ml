@@ -36,6 +36,7 @@ let experiments =
     ("e19", "Engine.Batch: domain-parallel hom-search throughput", E19_engine_batch.run);
     ("e20", "Resilient: retry/escalation policies under starved budgets", E20_resilience.run);
     ("e21", "Planner: certificate-driven routing vs fixed strategies", E21_planner.run);
+    ("e22", "Service: semantic cache on a Zipf-skewed replay", E22_service.run);
   ]
 
 let micros =
@@ -45,7 +46,7 @@ let micros =
     E08_gdm_glb.micro; E09_exchange_lub.micro; E10_consistency.micro;
     E11_codd_membership.micro; E12_query_answering.micro;
     E14_patterns.micro; E15_ctables.micro; E19_engine_batch.micro;
-    E20_resilience.micro; E21_planner.micro;
+    E20_resilience.micro; E21_planner.micro; E22_service.micro;
   ]
 
 let run_micros () =

@@ -166,75 +166,9 @@ let core_cmd =
   let d = instance_pos ~pos:0 ~doc:"Instance to reduce." in
   Cmd.v (Cmd.info "core" ~doc:"Core of a naive instance.") (with_stats Term.(const run $ d))
 
-(* certain: parse a CQ of the form "ans(x,y) :- R(x,z), S(z,y)" *)
-exception Cq_syntax of string
-
-let parse_cq_result s =
-  match
-    let fail msg = raise (Cq_syntax msg) in
-  match String.index_opt s ':' with
-  | None -> fail "expected 'ans(vars) :- atoms'"
-  | Some i ->
-    let head_part = String.trim (String.sub s 0 i) in
-    let body_part =
-      String.trim (String.sub s (i + 2) (String.length s - i - 2))
-    in
-    let head_vars =
-      match String.index_opt head_part '(' with
-      | Some j when String.length head_part > 0 && head_part.[String.length head_part - 1] = ')' ->
-        let inner =
-          String.sub head_part (j + 1) (String.length head_part - j - 2)
-        in
-        if String.trim inner = "" then []
-        else
-          String.split_on_char ',' inner |> List.map String.trim
-      | _ -> fail "malformed head"
-    in
-    (* body: use the instance parser with commas between atoms replaced by
-       relying on ';' separators; accept both *)
-    let body_src =
-      String.map (fun c -> c) body_part
-    in
-    (* naive split on ")," boundaries: replace ")," with ");" *)
-    let buf = Buffer.create (String.length body_src) in
-    String.iteri
-      (fun idx c ->
-        if c = ',' && idx > 0 && body_src.[idx - 1] = ')' then
-          Buffer.add_char buf ';'
-        else Buffer.add_char buf c)
-      body_src;
-    let body_inst, bindings =
-      try Parse.instance (Buffer.contents buf)
-      with Parse.Parse_error m -> fail m
-    in
-    (* variables come back as nulls named by the binding list; convert the
-       instance into CQ atoms with Vars for named nulls *)
-    let name_of_null v =
-      List.find_map
-        (fun (name, v') -> if Value.equal v v' then Some name else None)
-        bindings
-    in
-    let atoms =
-      List.map
-        (fun (f : Instance.fact) ->
-          ( f.rel,
-            List.map
-              (fun v ->
-                match name_of_null v with
-                | Some name -> Certdb_query.Fo.Var name
-                | None -> Certdb_query.Fo.Val v)
-              (Array.to_list f.args) ))
-        (Instance.facts body_inst)
-    in
-    (* in this syntax variables are written _x; heads may be written with
-       or without the underscore *)
-    let normalize v = if String.length v > 0 && v.[0] = '_' then String.sub v 1 (String.length v - 1) else v in
-    let head = List.map normalize head_vars in
-    (try Certdb_query.Cq.make ~head atoms
-     with Invalid_argument m -> fail m)
-  with
-  | q -> Ok q
-  | exception Cq_syntax m -> Error m
+(* certain: CQ concrete syntax "ans(x,y) :- R(x,z), S(z,y)", shared with
+   the batch and serve wire format *)
+let parse_cq_result = Certdb_service.Wire.parse_cq_result
 
 let parse_cq s =
   match parse_cq_result s with
@@ -626,148 +560,12 @@ let tree_member_cmd =
 module Json = Obs.Json
 module Engine = Certdb_csp.Engine
 module Resilient = Certdb_csp.Resilient
-
-let batch_parse_line ?cancel idx line =
-  match Json.of_string line with
-  | exception Json.Parse_error m -> ("line-" ^ string_of_int idx, "?", Error ("json: " ^ m))
-  | j ->
-    let str k =
-      match Json.member k j with Some (Json.String s) -> Some s | _ -> None
-    in
-    let int_field k =
-      match Json.member k j with Some (Json.Int n) -> Some n | _ -> None
-    in
-    let float_field k =
-      match Json.member k j with
-      | Some (Json.Int n) -> Some (float_of_int n)
-      | Some (Json.Float f) -> Some f
-      | _ -> None
-    in
-    let id = Option.value (str "id") ~default:(string_of_int idx) in
-    let op = Option.value (str "op") ~default:"?" in
-    let limits =
-      Engine.Limits.make
-        ?nodes:(int_field "node_budget")
-        ?backtracks:(int_field "backtrack_budget")
-        ?timeout_ms:(float_field "timeout_ms")
-        ?cancel ()
-    in
-    let instance k =
-      match str k with
-      | None -> Error (Printf.sprintf "missing field %S" k)
-      | Some s -> (
-        match Parse.instance s with
-        | d, _ -> Ok d
-        | exception Parse.Parse_error m ->
-          Error (Printf.sprintf "%s: parse error: %s" k m))
-    in
-    let ( let* ) = Result.bind in
-    (* each op is a closure over the problem taking the (possibly
-       escalated) limits of the current attempt *)
-    let work =
-      match op with
-      | "leq" ->
-        let* d1 = instance "d1" in
-        let* d2 = instance "d2" in
-        Ok
-          ( limits,
-            fun limits ->
-              match Hom.find_b ~limits d1 d2 with
-              | Engine.Sat h ->
-                `Sat
-                  [ ("witness", Json.String (Format.asprintf "%a" Valuation.pp h)) ]
-              | Engine.Unsat -> `Unsat
-              | Engine.Unknown r -> `Unknown r )
-      | "member" ->
-        let* d = instance "d" in
-        let* r = instance "r" in
-        Ok
-          ( limits,
-            fun limits ->
-              match Semantics.mem_b ~limits r d with
-              | `True -> `Sat []
-              | `False -> `Unsat
-              | `Unknown reason -> `Unknown reason )
-      | "certain" -> (
-        let* d = instance "d" in
-        match str "query" with
-        | None -> Error "missing field \"query\""
-        | Some qs -> (
-          match parse_cq_result qs with
-          | Error m -> Error ("query: " ^ m)
-          | Ok q ->
-            Ok
-              ( limits,
-                fun limits ->
-                  match
-                    Certdb_query.Certain.certain_cq_via_hom_b ~limits q d
-                  with
-                  | `True -> `Sat []
-                  | `False -> `Unsat
-                  | `Unknown reason -> `Unknown reason )))
-      | other -> Error (Printf.sprintf "unknown op %S" other)
-    in
-    (id, op, work)
-
-let describe_exn = function
-  | Certdb_obs.Fault.Injected point -> "injected fault at " ^ point
-  | e -> Printexc.to_string e
-
-let batch_row idx id op fields =
-  Json.Obj
-    (("id", Json.String id)
-    :: ("index", Json.Int idx)
-    :: ("op", Json.String op)
-    :: fields)
-
-let batch_run_job ~policy (idx, (id, op, work)) =
-  let fields =
-    match work with
-    | Error msg -> [ ("status", Json.String "error"); ("error", Json.String msg) ]
-    | Ok (limits, f) -> (
-      match
-        Resilient.run ~policy ~limits (fun ~attempt:_ limits ->
-            match f limits with
-            | `Sat extra -> Engine.Sat extra
-            | `Unsat -> Engine.Unsat
-            | `Unknown reason -> Engine.Unknown reason)
-      with
-      | r ->
-        let base =
-          match r.Resilient.outcome with
-          | Engine.Sat extra -> ("status", Json.String "sat") :: extra
-          | Engine.Unsat -> [ ("status", Json.String "unsat") ]
-          | Engine.Unknown reason ->
-            [
-              ("status", Json.String "unknown");
-              ("reason", Json.String (Engine.reason_to_string reason));
-            ]
-        in
-        if policy.Resilient.Policy.max_attempts > 1 then
-          base @ [ ("attempts", Json.Int r.Resilient.attempts) ]
-        else base
-      | exception e ->
-        [ ("status", Json.String "error"); ("error", Json.String (describe_exn e)) ])
-  in
-  batch_row idx id op fields
+module Wire = Certdb_service.Wire
+module Server = Certdb_service.Server
 
 let batch_cmd =
   let run jobs max_attempts escalate on_error file =
     validate_policy max_attempts escalate;
-    let contents =
-      if file = "-" then In_channel.input_all stdin
-      else
-        match In_channel.with_open_text file In_channel.input_all with
-        | contents -> contents
-        | exception Sys_error msg ->
-          Printf.eprintf "cannot read %s: %s\n" file msg;
-          exit 2
-    in
-    let lines =
-      String.split_on_char '\n' contents
-      |> List.map String.trim
-      |> List.filter (fun l -> l <> "")
-    in
     let policy =
       Resilient.Policy.make ~max_attempts ~escalation:escalate
         ~restart_seed:None ~propagate_first:false ()
@@ -779,39 +577,67 @@ let batch_cmd =
         let c = Engine.Cancel.create () in
         (Some c, Engine.Batch.Fail_fast c)
     in
-    (* Parse every line in the calling domain — the parser mints fresh
-       nulls and ids deterministically — so workers only run the solved
-       searches.  Under --on-error fail-fast every task's limits carry the
-       shared cancel token, so in-flight searches stop early too. *)
-    let tasks =
-      List.mapi (fun idx l -> (idx, batch_parse_line ?cancel idx l)) lines
+    (* Stream the input line by line instead of slurping the file: lines
+       are parsed in the calling domain — the parser mints fresh nulls
+       and ids deterministically — and solved in input-order chunks on
+       the worker pool, so memory is bounded by the chunk size, not the
+       file size.  Under --on-error fail-fast every task's limits carry
+       the shared cancel token: in-flight searches stop early, and once
+       the token is tripped later chunks drain as skipped rows. *)
+    let process ic =
+      let chunk_size = max 64 (8 * jobs) in
+      let saw_bad = ref false in
+      let next_idx = ref 0 in
+      let flush_chunk pending =
+        let tasks = List.rev pending in
+        let results =
+          Engine.Batch.map_result ~jobs ~on_error:failure_policy
+            (Wire.run_task ~policy) tasks
+        in
+        List.iter2
+          (fun (idx, (id, op, _)) result ->
+            let row =
+              match result with
+              | Ok row -> row
+              | Error (Engine.Batch.Raised { exn; _ }) ->
+                Wire.row ~idx ~id ~op
+                  (Wire.error_fields (Wire.describe_exn exn))
+              | Error Engine.Batch.Skipped ->
+                Wire.row ~idx ~id ~op [ ("status", Json.String "skipped") ]
+            in
+            (match Json.member "status" row with
+            | Some (Json.String ("error" | "skipped")) -> saw_bad := true
+            | _ -> ());
+            print_endline (Json.to_string row))
+          tasks results
+      in
+      let rec loop pending n =
+        match In_channel.input_line ic with
+        | None -> if pending <> [] then flush_chunk pending
+        | Some line ->
+          let line = String.trim line in
+          if line = "" then loop pending n
+          else begin
+            let idx = !next_idx in
+            incr next_idx;
+            let task = (idx, Wire.parse_task ?cancel idx line) in
+            if n + 1 >= chunk_size then begin
+              flush_chunk (task :: pending);
+              loop [] 0
+            end
+            else loop (task :: pending) (n + 1)
+          end
+      in
+      loop [] 0;
+      if !saw_bad then 1 else 0
     in
-    let results =
-      Engine.Batch.map_result ~jobs ~on_error:failure_policy
-        (batch_run_job ~policy) tasks
-    in
-    let rows =
-      List.map2
-        (fun (idx, (id, op, _)) result ->
-          match result with
-          | Ok row -> row
-          | Error (Engine.Batch.Raised { exn; _ }) ->
-            batch_row idx id op
-              [
-                ("status", Json.String "error");
-                ("error", Json.String (describe_exn exn));
-              ]
-          | Error Engine.Batch.Skipped ->
-            batch_row idx id op [ ("status", Json.String "skipped") ])
-        tasks results
-    in
-    List.iter (fun j -> print_endline (Json.to_string j)) rows;
-    let bad j =
-      match Json.member "status" j with
-      | Some (Json.String ("error" | "skipped")) -> true
-      | _ -> false
-    in
-    if List.exists bad rows then 1 else 0
+    if file = "-" then process stdin
+    else
+      match In_channel.with_open_text file process with
+      | code -> code
+      | exception Sys_error msg ->
+        Printf.eprintf "cannot read %s: %s\n" file msg;
+        exit 2
   in
   let jobs =
     Arg.(
@@ -844,6 +670,125 @@ let batch_cmd =
           domain pool; output is JSONL in input order.")
     (with_stats
        Term.(const run $ jobs $ max_attempts_arg $ escalate_arg $ on_error $ file))
+
+(* serve: the long-running query server (lib/service).  JSONL over stdio
+   or a Unix socket; named database registry; semantic cache keyed by
+   core-canonical query form x database fingerprint. *)
+let serve_cmd =
+  let run socket cache_capacity no_cache canon_budget jobs max_attempts
+      escalate nodes backtracks timeout_ms preload =
+    validate_policy max_attempts escalate;
+    let policy =
+      Resilient.Policy.make ~max_attempts ~escalation:escalate ()
+    in
+    let default_limits = Engine.Limits.make ?nodes ?backtracks ?timeout_ms () in
+    let config =
+      Server.Config.make
+        ~cache_capacity:(if no_cache then 0 else cache_capacity)
+        ~canon_budget ~policy ~default_limits ~jobs ()
+    in
+    let server = Server.create ~config () in
+    List.iter
+      (fun spec ->
+        match String.index_opt spec '=' with
+        | None ->
+          Printf.eprintf "--load expects NAME=INSTANCE\n";
+          exit 2
+        | Some i ->
+          let name = String.sub spec 0 i in
+          let source =
+            resolve_arg (String.sub spec (i + 1) (String.length spec - i - 1))
+          in
+          (match Server.load server ~name ~source with
+          | Ok _ -> ()
+          | Error m ->
+            Printf.eprintf "--load %s: parse error: %s\n" name m;
+            exit 2))
+      preload;
+    (match socket with
+    | None -> (
+      match Server.serve server stdin stdout with `Shutdown | `Eof -> ())
+    | Some path -> Server.serve_unix_socket server ~path);
+    0
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix domain socket instead of stdio (one client \
+             at a time; a client's shutdown request stops the server).")
+  in
+  let cache_capacity =
+    Arg.(
+      value & opt int 1024
+      & info [ "cache-capacity" ] ~docv:"N"
+          ~doc:"Semantic cache entries before LRU eviction.")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ] ~doc:"Disable the semantic cache entirely.")
+  in
+  let canon_budget =
+    Arg.(
+      value
+      & opt int Certdb_service.Canon.default_budget
+      & info [ "canon-budget" ] ~docv:"N"
+          ~doc:
+            "Query-canonicalisation search budget; queries exceeding it \
+             bypass the cache.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt int (Engine.Batch.default_jobs ())
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Worker domains for the batch verb.")
+  in
+  let nodes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "node-budget" ] ~docv:"N"
+          ~doc:"Default per-request search node budget.")
+  in
+  let backtracks =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "backtrack-budget" ] ~docv:"N"
+          ~doc:"Default per-request backtrack budget.")
+  in
+  let timeout_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:"Default per-request wall-clock deadline.")
+  in
+  let preload =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "load" ] ~docv:"NAME=INSTANCE"
+          ~doc:
+            "Preload a named database before serving ('@file' reads the \
+             instance from a file).  Repeatable.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the query server: JSONL requests (load / unload / query / \
+          batch / stats / shutdown) over stdio or a Unix socket, with a \
+          semantic cache keyed by core-canonical query form and database \
+          fingerprint.")
+    (with_stats
+       Term.(
+         const run $ socket $ cache_capacity $ no_cache $ canon_budget $ jobs
+         $ max_attempts_arg $ escalate_arg $ nodes $ backtracks $ timeout_ms
+         $ preload))
 
 (* stats: observability self-test.  Runs a small fixed workload through
    every instrumented subsystem (CSP solver, relational hom search, glb,
@@ -1287,7 +1232,7 @@ let main_cmd =
     [
       leq_cmd; cwa_cmd; member_cmd; glb_cmd; lub_cmd; core_cmd; certain_cmd;
       certain_fo_cmd; chase_cmd; analyze_cmd; tree_leq_cmd; tree_glb_cmd;
-      tree_member_cmd; batch_cmd; stats_cmd;
+      tree_member_cmd; batch_cmd; serve_cmd; stats_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

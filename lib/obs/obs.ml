@@ -265,12 +265,37 @@ let now_ms () = !clock_ms ()
 type counter = { c_name : string; c_value : int Atomic.t }
 type gauge = { g_name : string; mutable g_value : float }
 
+(* Quantiles come from fixed log-scale buckets: bucket 0 holds samples up
+   to [bucket_lo] ms, bucket [i >= 1] holds samples in
+   [bucket_lo * ratio^(i-1), bucket_lo * ratio^i), and the last bucket is
+   unbounded.  With ratio sqrt(2) and 64 buckets the range covers 1 µs to
+   ~2.5 days with a worst-case relative error of sqrt(2) per estimate —
+   bounded memory (one int array per timer), no reservoir, no sample
+   retention, domain-safe under the registry mutex like every other
+   timer field. *)
+let n_buckets = 64
+let bucket_lo = 0.001 (* ms *)
+let bucket_log_ratio = 0.5 *. Float.log 2.
+
+let bucket_of_ms ms =
+  if ms <= bucket_lo then 0
+  else
+    let i = 1 + int_of_float (Float.log (ms /. bucket_lo) /. bucket_log_ratio) in
+    if i >= n_buckets then n_buckets - 1 else i
+
+(* geometric midpoint of bucket [i]'s bounds — the value reported for a
+   quantile landing in that bucket *)
+let bucket_mid i =
+  if i = 0 then bucket_lo
+  else bucket_lo *. Float.exp ((float_of_int i -. 0.5) *. bucket_log_ratio)
+
 type timer = {
   t_name : string;
   mutable t_count : int;
   mutable t_total : float;
   mutable t_min : float;
   mutable t_max : float;
+  t_buckets : int array;
 }
 
 let registry_mutex = Mutex.create ()
@@ -316,7 +341,7 @@ let timer name =
   | None ->
     let t =
       { t_name = name; t_count = 0; t_total = 0.; t_min = infinity;
-        t_max = neg_infinity }
+        t_max = neg_infinity; t_buckets = Array.make n_buckets 0 }
     in
     Hashtbl.add timers name t;
     t
@@ -327,7 +352,9 @@ let record_ms t ms =
     t.t_count <- t.t_count + 1;
     t.t_total <- t.t_total +. ms;
     if ms < t.t_min then t.t_min <- ms;
-    if ms > t.t_max then t.t_max <- ms
+    if ms > t.t_max then t.t_max <- ms;
+    let b = bucket_of_ms ms in
+    t.t_buckets.(b) <- t.t_buckets.(b) + 1
 
 let time t f =
   let t0 = now_ms () in
@@ -339,6 +366,8 @@ type timer_stats = {
   min_ms : float;
   max_ms : float;
   mean_ms : float;
+  p50_ms : float;
+  p95_ms : float;
 }
 
 (* Spans: a domain-local stack of open intervals.  Completing a span feeds
@@ -400,6 +429,22 @@ let sorted_of_tbl tbl value =
   Hashtbl.fold (fun name x acc -> (name, value x) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+(* quantile q (0 < q <= 1) from the log buckets: the geometric midpoint
+   of the bucket holding the sample of rank ceil(q * count), clamped into
+   the exact observed [min, max] range *)
+let quantile_of_buckets t q =
+  if t.t_count = 0 then 0.
+  else begin
+    let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int t.t_count))) in
+    let rec find i seen =
+      if i >= n_buckets then t.t_max
+      else
+        let seen = seen + t.t_buckets.(i) in
+        if seen >= rank then bucket_mid i else find (i + 1) seen
+    in
+    Float.min t.t_max (Float.max t.t_min (find 0 0))
+  end
+
 let stats_of_timer t =
   {
     count = t.t_count;
@@ -407,6 +452,8 @@ let stats_of_timer t =
     min_ms = (if t.t_count = 0 then 0. else t.t_min);
     max_ms = (if t.t_count = 0 then 0. else t.t_max);
     mean_ms = (if t.t_count = 0 then 0. else t.t_total /. float_of_int t.t_count);
+    p50_ms = quantile_of_buckets t 0.5;
+    p95_ms = quantile_of_buckets t 0.95;
   }
 
 let snapshot () =
@@ -426,7 +473,8 @@ let reset () =
        t.t_count <- 0;
        t.t_total <- 0.;
        t.t_min <- infinity;
-       t.t_max <- neg_infinity)
+       t.t_max <- neg_infinity;
+       Array.fill t.t_buckets 0 n_buckets 0)
      timers);
   Domain.DLS.get span_stack := []
 
@@ -459,8 +507,11 @@ let pp_metrics ppf m =
     Format.fprintf ppf "timers (ms):@.";
     List.iter
       (fun (name, s) ->
-        Format.fprintf ppf "  %-*s count=%d total=%.3f mean=%.3f min=%.3f max=%.3f@."
-          width name s.count s.total_ms s.mean_ms s.min_ms s.max_ms)
+        Format.fprintf ppf
+          "  %-*s count=%d total=%.3f mean=%.3f min=%.3f max=%.3f p50=%.3f \
+           p95=%.3f@."
+          width name s.count s.total_ms s.mean_ms s.min_ms s.max_ms s.p50_ms
+          s.p95_ms)
       m.timers
   end
 
@@ -473,6 +524,8 @@ let to_json m =
         ("mean_ms", Json.Float s.mean_ms);
         ("min_ms", Json.Float s.min_ms);
         ("max_ms", Json.Float s.max_ms);
+        ("p50_ms", Json.Float s.p50_ms);
+        ("p95_ms", Json.Float s.p95_ms);
       ]
   in
   Json.Obj

@@ -96,6 +96,11 @@ type timer_stats = {
   min_ms : float;
   max_ms : float;
   mean_ms : float;
+  p50_ms : float;
+      (** median estimate from fixed log-scale buckets (64 buckets, ratio
+          [sqrt 2] from 1 µs): bounded memory, worst-case relative error
+          [sqrt 2], clamped into the exact observed [min, max] *)
+  p95_ms : float;  (** 95th-percentile estimate, same construction *)
 }
 
 (** {1 Spans}

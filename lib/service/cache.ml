@@ -1,0 +1,134 @@
+module Obs = Certdb_obs.Obs
+
+(* Intrusive doubly-linked LRU list over hashtable entries: O(1) find /
+   add / evict.  [lru_prev] points toward the least recently used end. *)
+type 'a node = {
+  key : string;
+  mutable value : 'a;
+  mutable cost_ms : float;
+  mutable prev : 'a node option;  (* toward LRU *)
+  mutable next : 'a node option;  (* toward MRU *)
+}
+
+type totals = { hits : int; misses : int; evictions : int; bypasses : int }
+
+type 'a t = {
+  capacity : int;
+  table : (string, 'a node) Hashtbl.t;
+  mutable lru : 'a node option;  (* least recently used *)
+  mutable mru : 'a node option;  (* most recently used *)
+  mutex : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable bypasses : int;
+  c_hit : Obs.counter;
+  c_miss : Obs.counter;
+  c_evict : Obs.counter;
+  c_bypass : Obs.counter;
+  g_size : Obs.gauge;
+  t_saved : Obs.timer;
+}
+
+let create ?(namespace = "service.cache") ~capacity () =
+  {
+    capacity;
+    table = Hashtbl.create (max 16 capacity);
+    lru = None;
+    mru = None;
+    mutex = Mutex.create ();
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    bypasses = 0;
+    c_hit = Obs.counter (namespace ^ ".hit");
+    c_miss = Obs.counter (namespace ^ ".miss");
+    c_evict = Obs.counter (namespace ^ ".evict");
+    c_bypass = Obs.counter (namespace ^ ".bypass");
+    g_size = Obs.gauge (namespace ^ ".size");
+    t_saved = Obs.timer (namespace ^ ".saved_ms");
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* unlink [n] from the list (must be a member) *)
+let unlink t n =
+  (match n.prev with
+  | Some p -> p.next <- n.next
+  | None -> t.lru <- n.next);
+  (match n.next with
+  | Some s -> s.prev <- n.prev
+  | None -> t.mru <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_mru t n =
+  n.prev <- t.mru;
+  n.next <- None;
+  (match t.mru with Some m -> m.next <- Some n | None -> t.lru <- Some n);
+  t.mru <- Some n
+
+let find t key =
+  locked t @@ fun () ->
+  match Hashtbl.find_opt t.table key with
+  | Some n ->
+    unlink t n;
+    push_mru t n;
+    t.hits <- t.hits + 1;
+    Obs.incr t.c_hit;
+    Obs.record_ms t.t_saved n.cost_ms;
+    Some (n.value, n.cost_ms)
+  | None ->
+    t.misses <- t.misses + 1;
+    Obs.incr t.c_miss;
+    None
+
+let add t key ~cost_ms value =
+  if t.capacity > 0 then
+    locked t @@ fun () ->
+    (match Hashtbl.find_opt t.table key with
+    | Some n ->
+      n.value <- value;
+      n.cost_ms <- cost_ms;
+      unlink t n;
+      push_mru t n
+    | None ->
+      let n = { key; value; cost_ms; prev = None; next = None } in
+      Hashtbl.replace t.table key n;
+      push_mru t n;
+      if Hashtbl.length t.table > t.capacity then begin
+        match t.lru with
+        | Some victim ->
+          unlink t victim;
+          Hashtbl.remove t.table victim.key;
+          t.evictions <- t.evictions + 1;
+          Obs.incr t.c_evict
+        | None -> ()
+      end);
+    Obs.set_int t.g_size (Hashtbl.length t.table)
+
+let bypass t =
+  locked t @@ fun () ->
+  t.bypasses <- t.bypasses + 1;
+  Obs.incr t.c_bypass
+
+let size t = locked t @@ fun () -> Hashtbl.length t.table
+let capacity t = t.capacity
+
+let totals t =
+  locked t @@ fun () ->
+  {
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    bypasses = t.bypasses;
+  }
+
+let clear t =
+  locked t @@ fun () ->
+  Hashtbl.reset t.table;
+  t.lru <- None;
+  t.mru <- None;
+  Obs.set_int t.g_size 0

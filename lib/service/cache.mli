@@ -1,0 +1,47 @@
+(** A bounded LRU cache with observability: the storage layer of the
+    semantic query cache.
+
+    Keys are strings (the {!Canon} canonical forms); values are
+    whatever the caller stores ([Server] stores graded answers).  Every
+    entry carries the cost (milliseconds) of computing it, so a hit can
+    account the work it saved.
+
+    Counters (under the cache's namespace, default [service.cache]):
+    [<ns>.hit], [<ns>.miss], [<ns>.evict], [<ns>.bypass]; the
+    [<ns>.size] gauge tracks occupancy and the [<ns>.saved_ms] timer
+    receives each hit's saved cost (so [snapshot] reports total and
+    p50/p95 of the work the cache absorbed).  Local totals are also
+    kept per cache (reported by the server's [stats] verb, independent
+    of [Obs.reset]).
+
+    Operations are mutex-guarded: the server touches the cache only
+    from its coordinating domain, but the guard makes the structure
+    safe to share. *)
+
+type 'a t
+
+(** [create ?namespace ~capacity ()] — [capacity <= 0] means the cache
+    stores nothing (every [find] misses, every [add] is dropped). *)
+val create : ?namespace:string -> capacity:int -> unit -> 'a t
+
+(** [find t key] — [Some (value, cost_ms)] and a promotion to
+    most-recently-used on a hit. *)
+val find : 'a t -> string -> ('a * float) option
+
+(** [add t key ~cost_ms v] inserts or refreshes [key], evicting the
+    least recently used entry when over capacity. *)
+val add : 'a t -> string -> cost_ms:float -> 'a -> unit
+
+(** [bypass t] records a request that could not use the cache (no
+    canonical key, or the request opted out). *)
+val bypass : 'a t -> unit
+
+val size : 'a t -> int
+val capacity : 'a t -> int
+
+type totals = { hits : int; misses : int; evictions : int; bypasses : int }
+
+val totals : 'a t -> totals
+
+(** Drop every entry (totals survive). *)
+val clear : 'a t -> unit

@@ -1,0 +1,546 @@
+open Certdb_relational
+module Obs = Certdb_obs.Obs
+module Json = Obs.Json
+module Engine = Certdb_csp.Engine
+module Resilient = Certdb_csp.Resilient
+module Cq = Certdb_query.Cq
+module Ucq = Certdb_query.Ucq
+module Plan = Certdb_analysis.Plan
+
+module Config = struct
+  type t = {
+    cache_capacity : int;
+    canon_budget : int;
+    policy : Resilient.Policy.t;
+    default_limits : Engine.Limits.t;
+    jobs : int;
+  }
+
+  let make ?(cache_capacity = 1024) ?(canon_budget = Canon.default_budget)
+      ?(policy = Resilient.Policy.default)
+      ?(default_limits = Engine.Limits.unlimited) ?jobs () =
+    let jobs =
+      match jobs with Some j -> max 1 j | None -> Engine.Batch.default_jobs ()
+    in
+    { cache_capacity; canon_budget; policy; default_limits; jobs }
+
+  let default = make ()
+end
+
+type answer =
+  | Graded of [ `Exact of bool | `Lower_bound of bool ]
+  | Tuples of Instance.t
+
+type db_entry = { instance : Instance.t; fingerprint : string }
+
+type t = {
+  config : Config.t;
+  registry : (string, db_entry) Hashtbl.t;
+  cache : answer Cache.t option;
+  memo : string option Cache.t option;
+      (* query source text -> canonical key ([None] = canonicalisation
+         gave up), so a repeated request string skips parsing, core
+         computation and the canonical-labeling search; db-independent,
+         bounded by its own LRU under [service.canon] *)
+  mutable served : int;
+  started_ms : float;
+  t_request : Obs.timer;
+  t_hit : Obs.timer;
+  t_miss : Obs.timer;
+  c_requests : Obs.counter;
+  c_errors : Obs.counter;
+}
+
+let create ?(config = Config.default) () =
+  {
+    config;
+    registry = Hashtbl.create 16;
+    cache =
+      (if config.Config.cache_capacity > 0 then
+         Some (Cache.create ~capacity:config.Config.cache_capacity ())
+       else None);
+    memo =
+      (if config.Config.cache_capacity > 0 then
+         Some
+           (Cache.create ~namespace:"service.canon"
+              ~capacity:(4 * config.Config.cache_capacity)
+              ())
+       else None);
+    served = 0;
+    started_ms = Obs.now_ms ();
+    t_request = Obs.timer "service.request";
+    t_hit = Obs.timer "service.request.hit";
+    t_miss = Obs.timer "service.request.miss";
+    c_requests = Obs.counter "service.requests";
+    c_errors = Obs.counter "service.errors";
+  }
+
+let cache_totals t = Option.map Cache.totals t.cache
+
+let load t ~name ~source =
+  match Wire.parse_instance_result source with
+  | Error m -> Error m
+  | Ok d ->
+    Hashtbl.replace t.registry name
+      { instance = d; fingerprint = Canon.db_fingerprint d };
+    Ok d
+
+let lookup t db =
+  match Hashtbl.find_opt t.registry db with
+  | Some e -> Ok e
+  | None -> Error (Printf.sprintf "unknown database %S" db)
+
+(* ---- cached evaluation ---------------------------------------------- *)
+
+(* [`Lower_bound] answers depend on the budget that produced them, so
+   their cache key carries the budget; [`Exact] answers (and non-Boolean
+   answer sets, always exact by Theorem 4) are budget-independent. *)
+let limits_sig (l : Engine.Limits.t) (p : Resilient.Policy.t) =
+  let i = function None -> "-" | Some n -> string_of_int n in
+  let f = function None -> "-" | Some x -> Printf.sprintf "%g" x in
+  Printf.sprintf "b:%s,%s,%s;a:%d;e:%g" (i l.nodes) (i l.backtracks)
+    (f l.timeout_ms) p.Resilient.Policy.max_attempts
+    p.Resilient.Policy.escalation
+
+(* a query whose cache lookup missed, ready to compute *)
+type pending = {
+  p_entry : db_entry;
+  p_limits : Engine.Limits.t;
+  p_policy : Resilient.Policy.t;
+  p_q : Cq.t;
+  p_plain : string option;  (* where an exact answer is stored *)
+  p_scoped : string option;  (* where a lower bound is stored *)
+}
+
+(* Cache lookup order: the plain key first — an exact answer cached by
+   anyone is valid under any budget — then, for budgeted requests, the
+   budget-scoped key, so a degraded answer is only reused by requests
+   imposing the same budget. *)
+let prepare t entry ~limits ~policy ~no_cache q =
+  let todo plain scoped =
+    `Todo
+      {
+        p_entry = entry;
+        p_limits = limits;
+        p_policy = policy;
+        p_q = q;
+        p_plain = plain;
+        p_scoped = scoped;
+      }
+  in
+  match t.cache with
+  | None -> todo None None
+  | Some cache when no_cache ->
+    Cache.bypass cache;
+    todo None None
+  | Some cache -> (
+    match Canon.cq_key ~budget:t.config.Config.canon_budget q with
+    | None ->
+      Cache.bypass cache;
+      todo None None
+    | Some ck -> (
+      let key = entry.fingerprint ^ "|" ^ ck in
+      let scoped =
+        if Engine.Limits.is_unlimited limits then None
+        else Some (key ^ "|" ^ limits_sig limits policy)
+      in
+      match Cache.find cache key with
+      | Some (a, _) -> `Hit a
+      | None -> (
+        match Option.bind scoped (Cache.find cache) with
+        | Some (a, _) -> `Hit a
+        | None -> todo (Some key) scoped)))
+
+let compute_pending p =
+  let t0 = Obs.now_ms () in
+  let a =
+    if p.p_q.Cq.head = [] then
+      Graded (Plan.certain ~policy:p.p_policy ~limits:p.p_limits p.p_q
+                p.p_entry.instance)
+    else Tuples (Plan.certain_answers (Ucq.make [ p.p_q ]) p.p_entry.instance)
+  in
+  (a, Obs.now_ms () -. t0)
+
+let store t p a ~cost_ms =
+  match t.cache with
+  | None -> ()
+  | Some cache -> (
+    match (a, p.p_plain, p.p_scoped) with
+    | (Graded (`Exact _) | Tuples _), Some k, _ -> Cache.add cache k ~cost_ms a
+    | Graded (`Lower_bound _), _, Some k -> Cache.add cache k ~cost_ms a
+    | _ -> ())
+
+let eval_query t ~db ?limits ?max_attempts ?(no_cache = false) q =
+  let limits = Option.value limits ~default:t.config.Config.default_limits in
+  let policy =
+    match max_attempts with
+    | None -> t.config.Config.policy
+    | Some n ->
+      { t.config.Config.policy with Resilient.Policy.max_attempts = max 1 n }
+  in
+  match lookup t db with
+  | Error _ as e -> e
+  | Ok entry -> (
+    match prepare t entry ~limits ~policy ~no_cache q with
+    | `Hit a -> Ok ((a, true) : answer * bool)
+    | `Todo p ->
+      let a, cost_ms = compute_pending p in
+      store t p a ~cost_ms;
+      Ok (a, false))
+
+(* ---- request handling ----------------------------------------------- *)
+
+let or_opt a b = match a with Some _ -> a | None -> b
+
+let request_limits t j =
+  let d = t.config.Config.default_limits in
+  Engine.Limits.make
+    ?nodes:(or_opt (Wire.int_field "node_budget" j) d.Engine.Limits.nodes)
+    ?backtracks:
+      (or_opt (Wire.int_field "backtrack_budget" j) d.Engine.Limits.backtracks)
+    ?timeout_ms:
+      (or_opt (Wire.float_field "timeout_ms" j) d.Engine.Limits.timeout_ms)
+    ?cancel:d.Engine.Limits.cancel ()
+
+let request_policy t j =
+  match Wire.int_field "max_attempts" j with
+  | None -> t.config.Config.policy
+  | Some n ->
+    { t.config.Config.policy with Resilient.Policy.max_attempts = max 1 n }
+
+(* Parse the query-shaped fields of [j] and run the cache lookup.  The
+   canonical key of the request's query text comes from the [memo] LRU
+   when the same text was served before, so the hit path skips CQ
+   parsing, core computation and the canonical-labeling search; the
+   query is only parsed when an evaluation (or a fresh canonicalisation)
+   actually needs it. *)
+let prepare_request t j =
+  match Wire.str_field "db" j with
+  | None -> Error "missing field \"db\""
+  | Some db -> (
+    match Wire.str_field "query" j with
+    | None -> Error "missing field \"query\""
+    | Some qs -> (
+      match lookup t db with
+      | Error m -> Error m
+      | Ok entry -> (
+        let limits = request_limits t j in
+        let policy = request_policy t j in
+        let no_cache =
+          Option.value (Wire.bool_field "no_cache" j) ~default:false
+        in
+        let parse () =
+          match Wire.parse_cq_result qs with
+          | Ok q -> Ok q
+          | Error m -> Error ("query: " ^ m)
+        in
+        let todo ?q plain scoped =
+          match (match q with Some q -> Ok q | None -> parse ()) with
+          | Error _ as e -> e
+          | Ok q ->
+            Ok
+              (`Todo
+                 {
+                   p_entry = entry;
+                   p_limits = limits;
+                   p_policy = policy;
+                   p_q = q;
+                   p_plain = plain;
+                   p_scoped = scoped;
+                 })
+        in
+        match (t.cache, t.memo) with
+        | Some cache, _ when no_cache ->
+          Cache.bypass cache;
+          todo None None
+        | Some cache, Some memo -> (
+          let ck =
+            match Cache.find memo qs with
+            | Some (ck, _) -> Ok (ck, None)
+            | None -> (
+              match parse () with
+              | Error _ as e -> e
+              | Ok q ->
+                let ck =
+                  Canon.cq_key ~budget:t.config.Config.canon_budget q
+                in
+                Cache.add memo qs ~cost_ms:0.0 ck;
+                Ok (ck, Some q))
+          in
+          match ck with
+          | Error _ as e -> e
+          | Ok (None, q) ->
+            Cache.bypass cache;
+            todo ?q None None
+          | Ok (Some ck, q) -> (
+            let key = entry.fingerprint ^ "|" ^ ck in
+            let scoped =
+              if Engine.Limits.is_unlimited limits then None
+              else Some (key ^ "|" ^ limits_sig limits policy)
+            in
+            match Cache.find cache key with
+            | Some (a, _) -> Ok (`Hit a)
+            | None -> (
+              match Option.bind scoped (Cache.find cache) with
+              | Some (a, _) -> Ok (`Hit a)
+              | None -> todo ?q (Some key) scoped)))
+        | _ -> todo None None)))
+
+let answer_fields ?latency_ms answer ~cached =
+  let base =
+    match answer with
+    | Graded g ->
+      let grade, b =
+        match g with
+        | `Exact b -> ("exact", b)
+        | `Lower_bound b -> ("lower-bound", b)
+      in
+      [
+        ("status", Json.String "ok");
+        ("grade", Json.String grade);
+        ("certain", Json.Bool b);
+      ]
+    | Tuples d ->
+      [
+        ("status", Json.String "ok");
+        ("grade", Json.String "exact");
+        ("answers", Json.String (Parse.to_string d));
+      ]
+  in
+  base
+  @ [ ("cached", Json.Bool cached) ]
+  @
+  match latency_ms with
+  | Some f -> [ ("latency_ms", Json.Float f) ]
+  | None -> []
+
+let query_fields t j =
+  let t0 = Obs.now_ms () in
+  match prepare_request t j with
+  | Error m -> Error m
+  | Ok prepared ->
+    let answer, cached =
+      match prepared with
+      | `Hit a -> (a, true)
+      | `Todo p ->
+        let a, cost_ms = compute_pending p in
+        store t p a ~cost_ms;
+        (a, false)
+    in
+    let dt = Obs.now_ms () -. t0 in
+    Obs.record_ms t.t_request dt;
+    Obs.record_ms (if cached then t.t_hit else t.t_miss) dt;
+    t.served <- t.served + 1;
+    Ok (answer_fields ~latency_ms:dt answer ~cached)
+
+(* the [batch] verb: cache hits and malformed sub-requests are settled in
+   the coordinating domain; misses fan out over the domain pool, and the
+   cache is written back by the coordinator (the cache is mutex-guarded,
+   but keeping writers single-domain keeps eviction order deterministic) *)
+let batch_fields t j =
+  match Json.member "requests" j with
+  | Some (Json.List reqs) ->
+    let prepared =
+      List.mapi
+        (fun i r ->
+          let sub_id =
+            Option.value (Wire.str_field "id" r) ~default:(string_of_int i)
+          in
+          let sub_op = Option.value (Wire.str_field "op" r) ~default:"query" in
+          if not (String.equal sub_op "query") then
+            ( i,
+              sub_id,
+              Error (Printf.sprintf "batch supports only \"query\", got %S" sub_op)
+            )
+          else (i, sub_id, prepare_request t r))
+        reqs
+    in
+    let todo =
+      List.filter_map
+        (function i, _, Ok (`Todo p) -> Some (i, p) | _ -> None)
+        prepared
+    in
+    let computed =
+      Engine.Batch.map_result ~jobs:t.config.Config.jobs
+        (fun (i, p) -> (i, compute_pending p))
+        todo
+    in
+    let results = Hashtbl.create (List.length todo) in
+    List.iter2
+      (fun (i, p) r ->
+        match r with
+        | Ok (_, (a, cost_ms)) ->
+          store t p a ~cost_ms;
+          Obs.record_ms t.t_miss cost_ms;
+          Hashtbl.replace results i (Ok a)
+        | Error (Engine.Batch.Raised { exn; _ }) ->
+          Hashtbl.replace results i (Error (Wire.describe_exn exn))
+        | Error Engine.Batch.Skipped ->
+          Hashtbl.replace results i (Error "skipped"))
+      todo computed;
+    let rows =
+      List.map
+        (fun (i, sub_id, pr) ->
+          let fields =
+            match pr with
+            | Error m ->
+              Obs.incr t.c_errors;
+              Wire.error_fields m
+            | Ok (`Hit a) ->
+              t.served <- t.served + 1;
+              answer_fields a ~cached:true
+            | Ok (`Todo _) -> (
+              match Hashtbl.find results i with
+              | Ok a ->
+                t.served <- t.served + 1;
+                answer_fields a ~cached:false
+              | Error m ->
+                Obs.incr t.c_errors;
+                Wire.error_fields m)
+          in
+          Wire.row ~idx:i ~id:sub_id ~op:"query" fields)
+        prepared
+    in
+    Ok [ ("status", Json.String "ok"); ("results", Json.List rows) ]
+  | Some _ | None -> Error "missing \"requests\" array"
+
+let load_fields t j =
+  match (Wire.str_field "name" j, Wire.str_field "source" j) with
+  | None, _ -> Error "missing field \"name\""
+  | _, None -> Error "missing field \"source\""
+  | Some name, Some source -> (
+    match load t ~name ~source with
+    | Error m -> Error ("source: parse error: " ^ m)
+    | Ok d ->
+      let entry = Hashtbl.find t.registry name in
+      Ok
+        [
+          ("status", Json.String "ok");
+          ("name", Json.String name);
+          ("fingerprint", Json.String entry.fingerprint);
+          ("facts", Json.Int (Instance.cardinal d));
+        ])
+
+let unload_fields t j =
+  match Wire.str_field "name" j with
+  | None -> Error "missing field \"name\""
+  | Some name ->
+    if Hashtbl.mem t.registry name then begin
+      Hashtbl.remove t.registry name;
+      Ok [ ("status", Json.String "ok"); ("name", Json.String name) ]
+    end
+    else Error (Printf.sprintf "unknown database %S" name)
+
+let stats_fields t j =
+  let full = Option.value (Wire.bool_field "full" j) ~default:false in
+  let dbs =
+    Hashtbl.fold (fun name e acc -> (name, e) :: acc) t.registry []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.map (fun (name, e) ->
+           Json.Obj
+             [
+               ("name", Json.String name);
+               ("fingerprint", Json.String e.fingerprint);
+               ("facts", Json.Int (Instance.cardinal e.instance));
+             ])
+  in
+  let cache_j =
+    match t.cache with
+    | None -> Json.Null
+    | Some c ->
+      let tot = Cache.totals c in
+      Json.Obj
+        [
+          ("capacity", Json.Int (Cache.capacity c));
+          ("size", Json.Int (Cache.size c));
+          ("hits", Json.Int tot.Cache.hits);
+          ("misses", Json.Int tot.Cache.misses);
+          ("evictions", Json.Int tot.Cache.evictions);
+          ("bypasses", Json.Int tot.Cache.bypasses);
+        ]
+  in
+  [
+    ("status", Json.String "ok");
+    ("uptime_ms", Json.Float (Obs.now_ms () -. t.started_ms));
+    ("served", Json.Int t.served);
+    ("databases", Json.List dbs);
+    ("cache", cache_j);
+  ]
+  @ if full then [ ("metrics", Obs.to_json (Obs.snapshot ())) ] else []
+
+let handle_line t ~idx line =
+  Obs.incr t.c_requests;
+  let continue j = (j, `Continue) in
+  match Json.of_string line with
+  | exception Json.Parse_error m ->
+    Obs.incr t.c_errors;
+    continue
+      (Wire.row ~idx
+         ~id:("line-" ^ string_of_int idx)
+         ~op:"?"
+         (Wire.error_fields ("json: " ^ m)))
+  | j -> (
+    let id = Option.value (Wire.str_field "id" j) ~default:(string_of_int idx) in
+    let op = Option.value (Wire.str_field "op" j) ~default:"?" in
+    let reply fields = Wire.row ~idx ~id ~op fields in
+    let of_result = function
+      | Ok fields -> reply fields
+      | Error m ->
+        Obs.incr t.c_errors;
+        reply (Wire.error_fields m)
+    in
+    match op with
+    | "load" -> continue (of_result (load_fields t j))
+    | "unload" -> continue (of_result (unload_fields t j))
+    | "query" -> continue (of_result (query_fields t j))
+    | "batch" -> continue (of_result (batch_fields t j))
+    | "stats" -> continue (reply (stats_fields t j))
+    | "shutdown" ->
+      ( reply [ ("status", Json.String "ok"); ("served", Json.Int t.served) ],
+        `Shutdown )
+    | other ->
+      continue (of_result (Error (Printf.sprintf "unknown op %S" other))))
+
+(* ---- the loop -------------------------------------------------------- *)
+
+let serve t ic oc =
+  let rec loop idx =
+    match In_channel.input_line ic with
+    | None -> `Eof
+    | Some line ->
+      if String.trim line = "" then loop idx
+      else begin
+        let row, k = handle_line t ~idx line in
+        output_string oc (Json.to_string row);
+        output_char oc '\n';
+        flush oc;
+        match k with `Continue -> loop (idx + 1) | `Shutdown -> `Shutdown
+      end
+  in
+  loop 0
+
+let serve_unix_socket t ~path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  (* a client that disconnects mid-response must not kill the server *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock 8;
+      let rec accept_loop () =
+        let conn, _ = Unix.accept sock in
+        let ic = Unix.in_channel_of_descr conn in
+        let oc = Unix.out_channel_of_descr conn in
+        let outcome =
+          try serve t ic oc
+          with Sys_error _ | Unix.Unix_error _ -> `Eof
+        in
+        (try Unix.close conn with Unix.Unix_error _ -> ());
+        match outcome with `Eof -> accept_loop () | `Shutdown -> ()
+      in
+      accept_loop ())

@@ -1,0 +1,116 @@
+(** The long-running certain-answer server: a named database registry, a
+    core-canonical semantic cache, and a JSONL request loop served over
+    stdio or a Unix socket.
+
+    {1 Protocol}
+
+    One JSON object per line in both directions.  Verbs:
+
+    {v
+    {"op":"load","name":"d","source":"R(1,2); R(2,_x)"}
+    {"op":"unload","name":"d"}
+    {"op":"query","db":"d","query":"ans() :- R(_x,_y), R(_y,_x)",
+     "node_budget":N?,"backtrack_budget":N?,"timeout_ms":F?,
+     "max_attempts":N?,"no_cache":true?}
+    {"op":"batch","requests":[ <query objects> ]}
+    {"op":"stats","full":true?}
+    {"op":"shutdown"}
+    v}
+
+    Responses echo [id] (default: the request's line index), [index]
+    and [op].  A Boolean query answers
+    [{"status":"ok","grade":"exact"|"lower-bound","certain":b,
+    "cached":b,"latency_ms":f}]; a non-Boolean query answers
+    [{"status":"ok","answers":"ans(1); ans(2)",...}] (naïve evaluation,
+    always exact by Theorem 4).  Malformed or failing requests produce
+    [{"status":"error","error":msg}] rows and the loop keeps serving;
+    only [shutdown] (or EOF) ends it.
+
+    {1 Caching}
+
+    Queries are cached by {!Canon.cq_key} of the query joined with
+    {!Canon.db_fingerprint} of the target database, so hom-equivalent
+    queries against the same instance share one entry — sound because
+    certain answers are invariant under hom-equivalence.  [`Exact]
+    answers (and non-Boolean answer sets) live under the plain key and
+    are served to any request; a [`Lower_bound] produced under an
+    exhausted budget is cached under a budget-scoped key and reused
+    only by requests imposing the same budget, so a degraded answer is
+    never served where a better one could be computed.  Engine
+    [Unknown] outcomes never reach this layer (the resilient ladder
+    grades them away) and are never cached.  Requests whose
+    canonicalisation exceeds its node budget, or that set
+    [no_cache:true], bypass the cache (counted). *)
+
+open Certdb_relational
+module Json = Certdb_obs.Obs.Json
+module Engine = Certdb_csp.Engine
+module Resilient = Certdb_csp.Resilient
+
+module Config : sig
+  type t = {
+    cache_capacity : int;  (** [<= 0] disables the cache *)
+    canon_budget : int;  (** {!Canon.cq_key} search budget *)
+    policy : Resilient.Policy.t;  (** default retry policy *)
+    default_limits : Engine.Limits.t;
+        (** per-request admission default; request fields override *)
+    jobs : int;  (** domain-pool width for the [batch] verb *)
+  }
+
+  (** 1024 entries, default policy, unlimited limits,
+      [Engine.Batch.default_jobs] workers. *)
+  val default : t
+
+  val make :
+    ?cache_capacity:int ->
+    ?canon_budget:int ->
+    ?policy:Resilient.Policy.t ->
+    ?default_limits:Engine.Limits.t ->
+    ?jobs:int ->
+    unit ->
+    t
+end
+
+type t
+
+val create : ?config:Config.t -> unit -> t
+
+(** {1 Typed entry points (tests, benches)} *)
+
+val load : t -> name:string -> source:string -> (Instance.t, string) result
+
+(** A query answer: graded Boolean certainty, or the certain answer set
+    of a non-Boolean query. *)
+type answer =
+  | Graded of [ `Exact of bool | `Lower_bound of bool ]
+  | Tuples of Instance.t
+
+(** [eval_query t ~db q] — the served evaluation: planner-routed,
+    resilient, cache-checked.  The [bool] is [true] on a cache hit. *)
+val eval_query :
+  t ->
+  db:string ->
+  ?limits:Engine.Limits.t ->
+  ?max_attempts:int ->
+  ?no_cache:bool ->
+  Certdb_query.Cq.t ->
+  (answer * bool, string) result
+
+val cache_totals : t -> Cache.totals option
+
+(** {1 The request loop} *)
+
+(** [handle_line t ~idx line] — one request through the full wire path;
+    returns the response row and whether the loop should continue. *)
+val handle_line : t -> idx:int -> string -> Json.t * [ `Continue | `Shutdown ]
+
+(** [serve t ic oc] reads JSONL requests from [ic] and writes one
+    response line per request to [oc] (flushed per line). *)
+val serve : t -> in_channel -> out_channel -> [ `Shutdown | `Eof ]
+
+(** [serve_unix_socket t ~path] binds [path] (unlinking any stale
+    socket), then accepts one client at a time, each served with
+    {!serve}, until a client issues [shutdown]; concurrency lives in
+    the [batch] verb's domain pool.  The socket file is removed on
+    return. *)
+val serve_unix_socket : t -> path:string -> unit

@@ -1,0 +1,227 @@
+open Certdb_relational
+module Json = Certdb_obs.Obs.Json
+module Engine = Certdb_csp.Engine
+module Resilient = Certdb_csp.Resilient
+
+(* CQ concrete syntax: "ans(vars) :- atoms".  The body reuses the
+   instance parser (atoms separated by ");" boundaries rewritten to
+   ";"), so variables are the parser's named nulls. *)
+exception Cq_syntax of string
+
+let parse_cq_result s =
+  match
+    let fail msg = raise (Cq_syntax msg) in
+    match String.index_opt s ':' with
+    | None -> fail "expected 'ans(vars) :- atoms'"
+    | Some i ->
+      let head_part = String.trim (String.sub s 0 i) in
+      let body_part =
+        String.trim (String.sub s (i + 2) (String.length s - i - 2))
+      in
+      let head_vars =
+        match String.index_opt head_part '(' with
+        | Some j
+          when String.length head_part > 0
+               && head_part.[String.length head_part - 1] = ')' ->
+          let inner =
+            String.sub head_part (j + 1) (String.length head_part - j - 2)
+          in
+          if String.trim inner = "" then []
+          else String.split_on_char ',' inner |> List.map String.trim
+        | _ -> fail "malformed head"
+      in
+      (* body: atoms are comma-separated; rewrite ")," boundaries to ";"
+         so the instance parser accepts them *)
+      let buf = Buffer.create (String.length body_part) in
+      String.iteri
+        (fun idx c ->
+          if c = ',' && idx > 0 && body_part.[idx - 1] = ')' then
+            Buffer.add_char buf ';'
+          else Buffer.add_char buf c)
+        body_part;
+      let body_inst, bindings =
+        try Parse.instance (Buffer.contents buf)
+        with Parse.Parse_error m -> fail m
+      in
+      (* named nulls become CQ variables *)
+      let name_of_null v =
+        List.find_map
+          (fun (name, v') -> if Certdb_values.Value.equal v v' then Some name else None)
+          bindings
+      in
+      let atoms =
+        List.map
+          (fun (f : Instance.fact) ->
+            ( f.rel,
+              List.map
+                (fun v ->
+                  match name_of_null v with
+                  | Some name -> Certdb_query.Fo.Var name
+                  | None -> Certdb_query.Fo.Val v)
+                (Array.to_list f.args) ))
+          (Instance.facts body_inst)
+      in
+      (* variables are written _x in atoms; heads may drop the
+         underscore *)
+      let normalize v =
+        if String.length v > 0 && v.[0] = '_' then
+          String.sub v 1 (String.length v - 1)
+        else v
+      in
+      let head = List.map normalize head_vars in
+      (try Certdb_query.Cq.make ~head atoms with Invalid_argument m -> fail m)
+  with
+  | q -> Ok q
+  | exception Cq_syntax m -> Error m
+
+let parse_instance_result s =
+  match Parse.instance s with
+  | d, _ -> Ok d
+  | exception Parse.Parse_error m -> Error m
+
+(* field accessors *)
+
+let str_field k j =
+  match Json.member k j with Some (Json.String s) -> Some s | _ -> None
+
+let int_field k j =
+  match Json.member k j with Some (Json.Int n) -> Some n | _ -> None
+
+let float_field k j =
+  match Json.member k j with
+  | Some (Json.Int n) -> Some (float_of_int n)
+  | Some (Json.Float f) -> Some f
+  | _ -> None
+
+let bool_field k j =
+  match Json.member k j with Some (Json.Bool b) -> Some b | _ -> None
+
+let limits_of_json ?cancel j =
+  Engine.Limits.make
+    ?nodes:(int_field "node_budget" j)
+    ?backtracks:(int_field "backtrack_budget" j)
+    ?timeout_ms:(float_field "timeout_ms" j)
+    ?cancel ()
+
+(* response rows *)
+
+let row ~idx ~id ~op fields =
+  Json.Obj
+    (("id", Json.String id)
+    :: ("index", Json.Int idx)
+    :: ("op", Json.String op)
+    :: fields)
+
+let error_fields msg =
+  [ ("status", Json.String "error"); ("error", Json.String msg) ]
+
+let describe_exn = function
+  | Certdb_obs.Fault.Injected point -> "injected fault at " ^ point
+  | e -> Printexc.to_string e
+
+(* batch tasks *)
+
+type work =
+  Engine.Limits.t
+  * (Engine.Limits.t ->
+    [ `Sat of (string * Json.t) list | `Unsat | `Unknown of Engine.reason ])
+
+type task = string * string * (work, string) result
+
+let parse_task ?cancel idx line =
+  match Json.of_string line with
+  | exception Json.Parse_error m ->
+    ("line-" ^ string_of_int idx, "?", Error ("json: " ^ m))
+  | j ->
+    let id = Option.value (str_field "id" j) ~default:(string_of_int idx) in
+    let op = Option.value (str_field "op" j) ~default:"?" in
+    let limits = limits_of_json ?cancel j in
+    let instance k =
+      match str_field k j with
+      | None -> Error (Printf.sprintf "missing field %S" k)
+      | Some s -> (
+        match parse_instance_result s with
+        | Ok d -> Ok d
+        | Error m -> Error (Printf.sprintf "%s: parse error: %s" k m))
+    in
+    let ( let* ) = Result.bind in
+    (* each op is a closure over the problem taking the (possibly
+       escalated) limits of the current attempt *)
+    let work =
+      match op with
+      | "leq" ->
+        let* d1 = instance "d1" in
+        let* d2 = instance "d2" in
+        Ok
+          ( limits,
+            fun limits ->
+              match Hom.find_b ~limits d1 d2 with
+              | Engine.Sat h ->
+                `Sat
+                  [
+                    ( "witness",
+                      Json.String
+                        (Format.asprintf "%a" Certdb_values.Valuation.pp h) );
+                  ]
+              | Engine.Unsat -> `Unsat
+              | Engine.Unknown r -> `Unknown r )
+      | "member" ->
+        let* d = instance "d" in
+        let* r = instance "r" in
+        Ok
+          ( limits,
+            fun limits ->
+              match Semantics.mem_b ~limits r d with
+              | `True -> `Sat []
+              | `False -> `Unsat
+              | `Unknown reason -> `Unknown reason )
+      | "certain" -> (
+        let* d = instance "d" in
+        match str_field "query" j with
+        | None -> Error "missing field \"query\""
+        | Some qs -> (
+          match parse_cq_result qs with
+          | Error m -> Error ("query: " ^ m)
+          | Ok q ->
+            Ok
+              ( limits,
+                fun limits ->
+                  match
+                    Certdb_query.Certain.certain_cq_via_hom_b ~limits q d
+                  with
+                  | `True -> `Sat []
+                  | `False -> `Unsat
+                  | `Unknown reason -> `Unknown reason )))
+      | other -> Error (Printf.sprintf "unknown op %S" other)
+    in
+    (id, op, work)
+
+let run_task ~policy (idx, (id, op, work)) =
+  let fields =
+    match work with
+    | Error msg -> error_fields msg
+    | Ok (limits, f) -> (
+      match
+        Resilient.run ~policy ~limits (fun ~attempt:_ limits ->
+            match f limits with
+            | `Sat extra -> Engine.Sat extra
+            | `Unsat -> Engine.Unsat
+            | `Unknown reason -> Engine.Unknown reason)
+      with
+      | r ->
+        let base =
+          match r.Resilient.outcome with
+          | Engine.Sat extra -> ("status", Json.String "sat") :: extra
+          | Engine.Unsat -> [ ("status", Json.String "unsat") ]
+          | Engine.Unknown reason ->
+            [
+              ("status", Json.String "unknown");
+              ("reason", Json.String (Engine.reason_to_string reason));
+            ]
+        in
+        if policy.Resilient.Policy.max_attempts > 1 then
+          base @ [ ("attempts", Json.Int r.Resilient.attempts) ]
+        else base
+      | exception e -> error_fields (describe_exn e))
+  in
+  row ~idx ~id ~op fields

@@ -1,0 +1,78 @@
+(** The JSONL wire format shared by [certdb batch] and [certdb serve]:
+    request parsing (field accessors, per-request {!Engine.Limits.t}
+    admission, the CQ concrete syntax), response rows, and the batch
+    task table (op name → budgeted work closure).
+
+    One JSON object per line in both directions.  Every response row
+    carries [id] (echoed from the request, defaulting to the line
+    index), [index] (the 0-based line index) and [op]; malformed
+    requests become structured [status:"error"] rows instead of killing
+    the stream. *)
+
+open Certdb_relational
+module Json = Certdb_obs.Obs.Json
+module Engine = Certdb_csp.Engine
+
+(** {1 Conjunctive-query concrete syntax}
+
+    ["ans(x,y) :- R(x,z), S(z,y)"] — variables are written [_x] inside
+    atoms (the instance parser's null syntax); head variables may drop
+    the underscore. *)
+
+val parse_cq_result : string -> (Certdb_query.Cq.t, string) result
+
+(** {1 JSON field accessors} *)
+
+val str_field : string -> Json.t -> string option
+val int_field : string -> Json.t -> int option
+
+(** [float_field k j] accepts both [Int] and [Float] payloads. *)
+val float_field : string -> Json.t -> float option
+
+val bool_field : string -> Json.t -> bool option
+
+(** [limits_of_json ?cancel j] — per-request admission: the
+    [node_budget], [backtrack_budget] and [timeout_ms] fields of a
+    request object, absent fields meaning unlimited. *)
+val limits_of_json : ?cancel:Engine.Cancel.t -> Json.t -> Engine.Limits.t
+
+(** {1 Response rows} *)
+
+(** [row ~idx ~id ~op fields] — the response envelope:
+    [{"id":…,"index":…,"op":…,…fields}]. *)
+val row : idx:int -> id:string -> op:string -> (string * Json.t) list -> Json.t
+
+val error_fields : string -> (string * Json.t) list
+
+(** [describe_exn e] — human-readable rendering, special-casing injected
+    faults ([Certdb_obs.Fault.Injected]). *)
+val describe_exn : exn -> string
+
+(** {1 Batch tasks} *)
+
+(** A parsed batch line: the request's own limits plus a closure solving
+    the problem under the (possibly escalated) limits of the current
+    attempt. *)
+type work =
+  Engine.Limits.t
+  * (Engine.Limits.t ->
+    [ `Sat of (string * Json.t) list | `Unsat | `Unknown of Engine.reason ])
+
+(** [(id, op, work-or-parse-error)] *)
+type task = string * string * (work, string) result
+
+(** [parse_task ?cancel idx line] parses one JSONL batch request
+    ([op] ∈ [leq] / [member] / [certain]).  Any parse failure — bad
+    JSON, missing field, unknown op — is [Error msg], never an
+    exception.  [cancel] is threaded into the task's limits so a
+    fail-fast trip aborts in-flight searches. *)
+val parse_task : ?cancel:Engine.Cancel.t -> int -> string -> task
+
+(** [run_task ~policy (idx, task)] runs a parsed task under the
+    {!Certdb_csp.Resilient} retry ladder and renders the response row
+    ([status] ∈ [sat] / [unsat] / [unknown] / [error], plus [attempts]
+    when the policy retries). *)
+val run_task :
+  policy:Certdb_csp.Resilient.Policy.t -> int * task -> Json.t
+
+val parse_instance_result : string -> (Instance.t, string) result

@@ -229,7 +229,7 @@ subcommand runs (timing fields redacted for determinism):
   gauges:
     csp.btw.bags                    0
   timers (ms):
-    rel.hom.search                  count=1 total=<ms> mean=<ms> min=<ms> max=<ms>
+    rel.hom.search                  count=1 total=<ms> mean=<ms> min=<ms> max=<ms> p50=<ms> p95=<ms>
 
 --stats-json emits a single JSON object to stderr, leaving stdout alone:
 

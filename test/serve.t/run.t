@@ -1,0 +1,45 @@
+Locate the binary (dune places cram deps at workspace-relative paths):
+
+  $ CERTDB=$(find . ../.. -name 'certdb.exe' 2>/dev/null | head -1)
+  $ echo found
+  found
+
+The server speaks JSONL over stdio: one request object per line, one
+response object per line, in order.  A renamed, reordered copy of an
+already-answered query is a cache hit (cached:true) because keys are
+canonical modulo hom-equivalence; errors — unknown database, unknown
+op, malformed JSON — are structured rows that never kill the stream
+(latency and uptime fields redacted for determinism):
+
+  $ cat > serve.jsonl <<'EOF'
+  > {"op":"load","name":"d","source":"R(1,2); R(2,1); R(3,_u)"}
+  > {"id":"q1","op":"query","db":"d","query":"ans() :- R(_x,_y), R(_y,_x)"}
+  > {"id":"q2","op":"query","db":"d","query":"ans() :- R(_p,_q), R(_q,_p)"}
+  > {"op":"query","db":"d","query":"ans(_x) :- R(_x,_y), R(_y,_x)"}
+  > {"op":"query","db":"missing","query":"ans() :- R(_x,_y)"}
+  > {"op":"frobnicate"}
+  > not json
+  > {"op":"stats"}
+  > {"op":"unload","name":"d"}
+  > {"op":"shutdown"}
+  > EOF
+  $ $CERTDB serve < serve.jsonl | sed -E 's/[0-9]+\.[0-9]+/<ms>/g'
+  {"id":"0","index":0,"op":"load","status":"ok","name":"d","fingerprint":"8fd43156c49c67e8","facts":3}
+  {"id":"q1","index":1,"op":"query","status":"ok","grade":"exact","certain":true,"cached":false,"latency_ms":<ms>}
+  {"id":"q2","index":2,"op":"query","status":"ok","grade":"exact","certain":true,"cached":true,"latency_ms":<ms>}
+  {"id":"3","index":3,"op":"query","status":"ok","grade":"exact","answers":"ans(1); ans(2)","cached":false,"latency_ms":<ms>}
+  {"id":"4","index":4,"op":"query","status":"error","error":"unknown database \"missing\""}
+  {"id":"5","index":5,"op":"frobnicate","status":"error","error":"unknown op \"frobnicate\""}
+  {"id":"line-6","index":6,"op":"?","status":"error","error":"json: expected 'null' at offset 0"}
+  {"id":"7","index":7,"op":"stats","status":"ok","uptime_ms":<ms>,"served":3,"databases":[{"name":"d","fingerprint":"8fd43156c49c67e8","facts":3}],"cache":{"capacity":1024,"size":2,"hits":1,"misses":2,"evictions":0,"bypasses":0}}
+  {"id":"8","index":8,"op":"unload","status":"ok","name":"d"}
+  {"id":"9","index":9,"op":"shutdown","status":"ok","served":3}
+
+--load preloads named databases at startup, and --no-cache disables the
+semantic cache entirely: the repeated (renamed) query stays a miss:
+
+  $ printf '{"op":"query","db":"d","query":"ans() :- R(_x,_y)"}\n{"op":"query","db":"d","query":"ans() :- R(_a,_b)"}\n{"op":"shutdown"}\n' \
+  >   | $CERTDB serve --no-cache --load 'd=R(1,2)' | sed -E 's/[0-9]+\.[0-9]+/<ms>/g'
+  {"id":"0","index":0,"op":"query","status":"ok","grade":"exact","certain":true,"cached":false,"latency_ms":<ms>}
+  {"id":"1","index":1,"op":"query","status":"ok","grade":"exact","certain":true,"cached":false,"latency_ms":<ms>}
+  {"id":"2","index":2,"op":"shutdown","status":"ok","served":2}

@@ -168,6 +168,38 @@ let test_gauges_timers () =
   Alcotest.(check (float 1e-9)) "min" 2. s.Obs.min_ms;
   Alcotest.(check (float 1e-9)) "max" 6. s.Obs.max_ms
 
+let test_timer_quantiles () =
+  Obs.reset ();
+  let t = Obs.timer "test.obs.quantiles" in
+  (* 100 samples 1..100 ms: the log-scale buckets estimate quantiles
+     within a sqrt 2 relative error, clamped to the observed [min, max] *)
+  for i = 1 to 100 do
+    Obs.record_ms t (float_of_int i)
+  done;
+  let s = Option.get (Obs.find_timer (Obs.snapshot ()) "test.obs.quantiles") in
+  let rel_ok q est =
+    est >= (q /. Float.sqrt 2.) -. 1e-9 && est <= (q *. Float.sqrt 2.) +. 1e-9
+  in
+  Alcotest.(check bool) "p50 within bucket error" true (rel_ok 50. s.Obs.p50_ms);
+  Alcotest.(check bool) "p95 within bucket error" true (rel_ok 95. s.Obs.p95_ms);
+  Alcotest.(check bool) "p50 <= p95" true (s.Obs.p50_ms <= s.Obs.p95_ms);
+  Alcotest.(check bool)
+    "quantiles clamped into [min, max]" true
+    (s.Obs.p50_ms >= s.Obs.min_ms && s.Obs.p95_ms <= s.Obs.max_ms);
+  (* a single sample collapses every quantile onto it exactly *)
+  let u = Obs.timer "test.obs.quantiles.single" in
+  Obs.record_ms u 3.;
+  let s1 =
+    Option.get (Obs.find_timer (Obs.snapshot ()) "test.obs.quantiles.single")
+  in
+  Alcotest.(check (float 1e-9)) "single-sample p50" 3. s1.Obs.p50_ms;
+  Alcotest.(check (float 1e-9)) "single-sample p95" 3. s1.Obs.p95_ms;
+  (* reset clears the buckets, not just the moments *)
+  Obs.reset ();
+  Obs.record_ms t 7.;
+  let s2 = Option.get (Obs.find_timer (Obs.snapshot ()) "test.obs.quantiles") in
+  Alcotest.(check (float 1e-9)) "p50 after reset" 7. s2.Obs.p50_ms
+
 let test_spans () =
   Obs.reset ();
   (* deterministic fake clock: each read advances 1 ms *)
@@ -258,6 +290,7 @@ let () =
         [
           Alcotest.test_case "counters" `Quick test_counters;
           Alcotest.test_case "gauges and timers" `Quick test_gauges_timers;
+          Alcotest.test_case "timer quantiles" `Quick test_timer_quantiles;
           Alcotest.test_case "snapshot/reset" `Quick test_snapshot_reset;
         ] );
       ("spans", [ Alcotest.test_case "nesting" `Quick test_spans ]);

@@ -1,0 +1,354 @@
+(* lib/service: the semantic cache's soundness story.  Canonical query
+   keys must be invariant under everything hom-equivalence allows
+   (variable renaming, atom reordering, redundant atoms) and must never
+   conflate queries the unlimited hom oracle distinguishes; cached
+   answers must equal freshly computed ones; the LRU must evict in
+   recency order; database fingerprints must be stable across reloads. *)
+
+open Certdb_values
+module Cq = Certdb_query.Cq
+module Fo = Certdb_query.Fo
+module Instance = Certdb_relational.Instance
+module Parse = Certdb_relational.Parse
+module Canon = Certdb_service.Canon
+module Cache = Certdb_service.Cache
+module Server = Certdb_service.Server
+module Wire = Certdb_service.Wire
+module Json = Certdb_obs.Obs.Json
+
+let check = Alcotest.(check bool)
+
+(* ---- generators ------------------------------------------------------ *)
+
+let var i = Fo.Var (Printf.sprintf "x%d" i)
+
+let gen_term =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map var (int_range 0 4));
+        (1, map (fun i -> Fo.Val (Value.int i)) (int_range 1 3));
+      ])
+
+let gen_atom =
+  QCheck.Gen.(
+    oneof
+      [
+        map2 (fun a b -> ("R", [ a; b ])) gen_term gen_term;
+        map (fun a -> ("S", [ a ])) gen_term;
+      ])
+
+let gen_atoms = QCheck.Gen.(list_size (int_range 1 5) gen_atom)
+
+(* deterministic shuffle driven by generated sort keys *)
+let gen_shuffle l =
+  QCheck.Gen.(
+    list_repeat (List.length l) (int_bound 1_000_000) >|= fun keys ->
+    List.map snd (List.sort compare (List.combine keys l)))
+
+(* an injective renaming of the x0..x4 variable space *)
+let gen_renaming =
+  QCheck.Gen.(
+    gen_shuffle [ "a"; "b"; "c"; "d"; "e" ] >|= fun fresh i ->
+    List.nth fresh i)
+
+let rename_atom rho (rel, args) =
+  ( rel,
+    List.map
+      (function
+        | Fo.Var x ->
+          let i = int_of_string (String.sub x 1 (String.length x - 1)) in
+          Fo.Var (rho i)
+        | t -> t)
+      args )
+
+let print_atoms atoms =
+  Format.asprintf "%a" Cq.pp (Cq.boolean atoms)
+
+(* ---- canonicalisation ------------------------------------------------ *)
+
+(* invariance: a renamed, reordered copy gets the same key *)
+let qcheck_canon_invariant =
+  QCheck.Test.make ~count:500 ~name:"cq_key invariant under renaming+reorder"
+    (QCheck.make
+       ~print:(fun (atoms, variant) ->
+         print_atoms atoms ^ "  vs  " ^ print_atoms variant)
+       QCheck.Gen.(
+         gen_atoms >>= fun atoms ->
+         gen_renaming >>= fun rho ->
+         gen_shuffle (List.map (rename_atom rho) atoms) >|= fun variant ->
+         (atoms, variant)))
+    (fun (atoms, variant) ->
+      Canon.cq_key (Cq.boolean atoms) = Canon.cq_key (Cq.boolean variant))
+
+(* invariance under redundancy: duplicating an atom never changes the
+   core, hence never the key *)
+let qcheck_canon_redundant =
+  QCheck.Test.make ~count:300 ~name:"cq_key ignores redundant atoms"
+    (QCheck.make ~print:print_atoms
+       QCheck.Gen.(
+         gen_atoms >>= fun atoms ->
+         int_bound (List.length atoms - 1) >|= fun i ->
+         atoms @ [ List.nth atoms i ]))
+    (fun padded ->
+      let base = List.filteri (fun i _ -> i < List.length padded - 1) padded in
+      Canon.cq_key (Cq.boolean base) = Canon.cq_key (Cq.boolean padded))
+
+(* soundness both ways on random pairs: equal keys iff hom-equivalent.
+   The variable/relation space is small so collisions actually occur. *)
+let qcheck_canon_sound =
+  QCheck.Test.make ~count:1000 ~name:"cq_key equal iff hom-equivalent"
+    (QCheck.make
+       ~print:(fun (a, b) -> print_atoms a ^ "  vs  " ^ print_atoms b)
+       QCheck.Gen.(pair gen_atoms gen_atoms))
+    (fun (a1, a2) ->
+      let q1 = Cq.boolean a1 and q2 = Cq.boolean a2 in
+      match (Canon.cq_key q1, Canon.cq_key q2) with
+      | Some k1, Some k2 ->
+        Bool.equal (String.equal k1 k2) (Cq.equivalent q1 q2)
+      | _ -> QCheck.Test.fail_report "canonicalisation budget tripped")
+
+let test_canon_budget () =
+  (* a clique of interchangeable atoms under a starved budget gives up
+     (None) instead of searching beyond it *)
+  let clique k =
+    let ids = List.init k Fun.id in
+    Cq.boolean
+      (List.concat_map
+         (fun a ->
+           List.filter_map
+             (fun b -> if a < b then Some ("R", [ var a; var b ]) else None)
+             ids)
+         ids)
+  in
+  check "starved budget returns None" true
+    (Canon.cq_key ~budget:2 (clique 4) = None);
+  check "default budget canonicalises the clique" true
+    (Canon.cq_key (clique 4) <> None)
+
+let test_canon_head_vars () =
+  (* head variables are pinned: ans(x):-R(x,y) and ans(y):-R(y,x) are
+     equivalent, but ans(x):-R(x,y) and ans(y):-R(x,y) are not *)
+  let q head atoms = Cq.make ~head atoms in
+  let k1 = Canon.cq_key (q [ "x" ] [ ("R", [ Fo.Var "x"; Fo.Var "y" ]) ]) in
+  let k2 = Canon.cq_key (q [ "y" ] [ ("R", [ Fo.Var "y"; Fo.Var "x" ]) ]) in
+  let k3 = Canon.cq_key (q [ "y" ] [ ("R", [ Fo.Var "x"; Fo.Var "y" ]) ]) in
+  check "same query modulo renaming" true (k1 = k2);
+  check "head position distinguishes" true (k1 <> k3)
+
+(* ---- database fingerprints ------------------------------------------- *)
+
+let test_fingerprint_stable () =
+  let fp s = Canon.db_fingerprint (fst (Parse.instance s)) in
+  check "reload is stable" true
+    (fp "R(1,_x); R(_x,2)" = fp "R(1,_x); R(_x,2)");
+  check "null names are immaterial" true
+    (fp "R(1,_x); R(_x,2)" = fp "R(1,_u); R(_u,2)");
+  check "fact order is immaterial" true
+    (fp "R(1,_x); S(3)" = fp "S(3); R(1,_x)");
+  check "different facts differ" true (fp "R(1,2)" <> fp "R(1,3)");
+  check "null structure matters" true
+    (fp "R(_x,_x)" <> fp "R(_x,_y)")
+
+(* ---- the LRU --------------------------------------------------------- *)
+
+let test_lru_eviction () =
+  let c = Cache.create ~capacity:2 () in
+  Cache.add c "a" ~cost_ms:1.0 1;
+  Cache.add c "b" ~cost_ms:1.0 2;
+  check "a hits" true (Cache.find c "a" = Some (1, 1.0));
+  (* a was promoted, so b is now least recently used *)
+  Cache.add c "c" ~cost_ms:1.0 3;
+  check "b evicted" true (Cache.find c "b" = None);
+  check "a survives" true (Cache.find c "a" = Some (1, 1.0));
+  check "c present" true (Cache.find c "c" = Some (3, 1.0));
+  Alcotest.(check int) "size at capacity" 2 (Cache.size c);
+  let t = Cache.totals c in
+  Alcotest.(check int) "hits" 3 t.Cache.hits;
+  Alcotest.(check int) "misses" 1 t.Cache.misses;
+  Alcotest.(check int) "evictions" 1 t.Cache.evictions
+
+let test_lru_refresh_and_bypass () =
+  let c = Cache.create ~capacity:2 () in
+  Cache.add c "a" ~cost_ms:1.0 1;
+  Cache.add c "a" ~cost_ms:2.0 10;
+  check "refresh replaces value and cost" true
+    (Cache.find c "a" = Some (10, 2.0));
+  Alcotest.(check int) "refresh does not grow" 1 (Cache.size c);
+  Cache.bypass c;
+  Alcotest.(check int) "bypass counted" 1 (Cache.totals c).Cache.bypasses;
+  Cache.clear c;
+  check "cleared" true (Cache.find c "a" = None);
+  Alcotest.(check int) "totals survive clear" 1
+    (Cache.totals c).Cache.bypasses
+
+let test_lru_zero_capacity () =
+  let c = Cache.create ~capacity:0 () in
+  Cache.add c "a" ~cost_ms:1.0 1;
+  check "stores nothing" true (Cache.find c "a" = None);
+  Alcotest.(check int) "size stays 0" 0 (Cache.size c)
+
+(* ---- the server ------------------------------------------------------ *)
+
+let mk_server ?(cache = true) () =
+  let config = Server.Config.make ~cache_capacity:(if cache then 64 else 0) () in
+  let s = Server.create ~config () in
+  (match
+     Server.load s ~name:"d" ~source:"R(1,2); R(2,3); R(3,1); R(4,_u); S(1)"
+   with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  s
+
+let answer_eq a b =
+  match (a, b) with
+  | Server.Graded g1, Server.Graded g2 -> g1 = g2
+  | Server.Tuples d1, Server.Tuples d2 -> Instance.equal d1 d2
+  | _ -> false
+
+(* cached answers always equal freshly computed ones *)
+let qcheck_cached_equals_fresh =
+  let cached = mk_server () and fresh = mk_server ~cache:false () in
+  QCheck.Test.make ~count:300 ~name:"cached answers = fresh answers"
+    (QCheck.make ~print:print_atoms gen_atoms)
+    (fun atoms ->
+      let q = Cq.boolean atoms in
+      let eval s =
+        match Server.eval_query s ~db:"d" q with
+        | Ok (a, _) -> a
+        | Error m -> QCheck.Test.fail_reportf "eval failed: %s" m
+      in
+      let f = eval fresh in
+      (* twice through the cached server: miss then (typically) hit *)
+      answer_eq (eval cached) f && answer_eq (eval cached) f)
+
+let test_server_hit_on_renamed () =
+  let s = mk_server () in
+  let q1 = Cq.boolean [ ("R", [ var 0; var 1 ]); ("R", [ var 1; var 0 ]) ] in
+  let q2 =
+    Cq.boolean [ ("R", [ Fo.Var "b"; Fo.Var "a" ]); ("R", [ Fo.Var "a"; Fo.Var "b" ]) ]
+  in
+  (match Server.eval_query s ~db:"d" q1 with
+  | Ok (_, hit) -> check "first is a miss" false hit
+  | Error m -> Alcotest.fail m);
+  match Server.eval_query s ~db:"d" q2 with
+  | Ok (a, hit) ->
+    check "renamed+reordered query hits" true hit;
+    check "answer is graded" true
+      (match a with Server.Graded _ -> true | _ -> false)
+  | Error m -> Alcotest.fail m
+
+let test_server_no_cache_never_hits () =
+  let s = mk_server ~cache:false () in
+  let q = Cq.boolean [ ("S", [ var 0 ]) ] in
+  (match Server.eval_query s ~db:"d" q with
+  | Ok (_, hit) -> check "miss without a cache" false hit
+  | Error m -> Alcotest.fail m);
+  (match Server.eval_query s ~db:"d" q with
+  | Ok (_, hit) -> check "still no hit" false hit
+  | Error m -> Alcotest.fail m);
+  check "no totals without a cache" true (Server.cache_totals s = None)
+
+let test_server_protocol () =
+  let s = mk_server () in
+  let send line =
+    let row, k = Server.handle_line s ~idx:0 line in
+    (row, k)
+  in
+  let field name row =
+    match Json.member name row with
+    | Some v -> v
+    | None -> Alcotest.fail ("missing field " ^ name ^ " in " ^ Json.to_string row)
+  in
+  let row, _ =
+    send "{\"op\":\"query\",\"db\":\"d\",\"query\":\"ans() :- R(_x,_y), R(_y,_x)\"}"
+  in
+  check "query ok" true (field "status" row = Json.String "ok");
+  check "first query not cached" true (field "cached" row = Json.Bool false);
+  let row, _ =
+    send "{\"op\":\"query\",\"db\":\"d\",\"query\":\"ans() :- R(_p,_q), R(_q,_p)\"}"
+  in
+  check "renamed query cached" true (field "cached" row = Json.Bool true);
+  let row, _ = send "{\"op\":\"query\",\"db\":\"nope\",\"query\":\"ans() :- R(_x,_y)\"}" in
+  check "unknown db is an error row" true
+    (field "status" row = Json.String "error");
+  let row, _ = send "{\"op\":\"frobnicate\"}" in
+  check "unknown op is an error row" true
+    (field "status" row = Json.String "error");
+  let row, _ = send "not json at all" in
+  check "bad json is an error row" true
+    (field "status" row = Json.String "error");
+  let row, k = send "{\"op\":\"shutdown\"}" in
+  check "shutdown ok" true (field "status" row = Json.String "ok");
+  check "shutdown stops the loop" true (k = `Shutdown)
+
+let test_server_batch_verb () =
+  let s = mk_server () in
+  let row, _ =
+    Server.handle_line s ~idx:0
+      "{\"op\":\"batch\",\"requests\":[{\"db\":\"d\",\"query\":\"ans() :- \
+       S(_x)\"},{\"db\":\"d\",\"query\":\"ans() :- S(_y)\"},{\"db\":\"d\",\"query\":\"ans() \
+       :- Missing(_x)\"}]}"
+  in
+  (match Json.member "results" row with
+  | Some (Json.List [ r1; r2; r3 ]) ->
+    check "first miss" true (Json.member "cached" r1 = Some (Json.Bool false));
+    (* requests in one batch are admitted before any compute, so an
+       in-batch duplicate cannot hit the cache yet *)
+    check "in-batch duplicate also misses" true
+      (Json.member "cached" r2 = Some (Json.Bool false));
+    check "absent relation is certain-false, not an error" true
+      (Json.member "certain" r3 = Some (Json.Bool false))
+  | _ -> Alcotest.fail ("bad batch response: " ^ Json.to_string row));
+  (* but the batch stored its results: a follow-up single query hits *)
+  let row, _ =
+    Server.handle_line s ~idx:1
+      "{\"op\":\"query\",\"db\":\"d\",\"query\":\"ans() :- S(_z)\"}"
+  in
+  check "batch results serve later queries" true
+    (Json.member "cached" row = Some (Json.Bool true))
+
+(* wire syntax round-trips *)
+let test_wire_parse () =
+  (match Wire.parse_cq_result "ans(_x) :- R(_x,_y), S(_y)" with
+  | Ok q ->
+    Alcotest.(check int) "two atoms" 2 (List.length q.Cq.atoms);
+    Alcotest.(check (list string)) "head" [ "x" ] q.Cq.head
+  | Error m -> Alcotest.fail m);
+  check "missing turnstile rejected" true
+    (Result.is_error (Wire.parse_cq_result "R(_x,_y)"));
+  check "head var must occur" true
+    (Result.is_error (Wire.parse_cq_result "ans(_z) :- R(_x,_y)"))
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "canon",
+        [
+          QCheck_alcotest.to_alcotest qcheck_canon_invariant;
+          QCheck_alcotest.to_alcotest qcheck_canon_redundant;
+          QCheck_alcotest.to_alcotest qcheck_canon_sound;
+          Alcotest.test_case "budget gives up" `Quick test_canon_budget;
+          Alcotest.test_case "head variables pinned" `Quick
+            test_canon_head_vars;
+          Alcotest.test_case "db fingerprints" `Quick test_fingerprint_stable;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "LRU eviction order" `Quick test_lru_eviction;
+          Alcotest.test_case "refresh and bypass" `Quick
+            test_lru_refresh_and_bypass;
+          Alcotest.test_case "zero capacity" `Quick test_lru_zero_capacity;
+        ] );
+      ( "server",
+        [
+          QCheck_alcotest.to_alcotest qcheck_cached_equals_fresh;
+          Alcotest.test_case "hit on renamed query" `Quick
+            test_server_hit_on_renamed;
+          Alcotest.test_case "no cache, no hits" `Quick
+            test_server_no_cache_never_hits;
+          Alcotest.test_case "protocol rows" `Quick test_server_protocol;
+          Alcotest.test_case "batch verb" `Quick test_server_batch_verb;
+          Alcotest.test_case "wire CQ syntax" `Quick test_wire_parse;
+        ] );
+    ]
