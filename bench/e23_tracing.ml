@@ -1,0 +1,66 @@
+(* E23 — tracing overhead: the e22 service replay (cache on, explain
+   never requested — the shipped default) with request-scoped tracing
+   disabled vs enabled.  Every request still runs the full served path;
+   the only difference is Trace's context bookkeeping and ring writes.
+
+   Checked invariant (the bench fails on violation): the traced replay's
+   median wall-clock is within 5% of the untraced baseline, plus a small
+   absolute allowance that absorbs scheduler noise on short runs.  This
+   is the issue's acceptance bar for leaving tracing on by default. *)
+
+module Obs = Certdb_obs.Obs
+module Trace = Certdb_obs.Trace
+
+let runs = 5
+
+let replay_wall ~enabled =
+  Trace.set_enabled enabled;
+  Bench_util.time_ms_median ~runs ~warmup:1 (fun () ->
+      Trace.clear ();
+      ignore (E22_service.replay ~cache:true))
+
+let run () =
+  Bench_util.banner "E23  Tracing overhead on the e22 service replay";
+  Bench_util.row "%d requests per replay, median of %d runs, cache on"
+    E22_service.requests runs;
+  let was = Trace.enabled () in
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_enabled was;
+      Trace.clear ())
+    (fun () ->
+      let off = replay_wall ~enabled:false in
+      let on = replay_wall ~enabled:true in
+      let overhead_pct = (on -. off) /. off *. 100.0 in
+      Bench_util.row "%-14s %-12s" "tracing" "wall(ms)";
+      Bench_util.row "%-14s %-12.3f" "off" off;
+      Bench_util.row "%-14s %-12.3f" "on" on;
+      Bench_util.row "overhead: %+.2f%% (bar: <= 5%% + 0.5ms absolute)"
+        overhead_pct;
+      let budget = (off *. 1.05) +. 0.5 in
+      if on > budget then
+        failwith
+          (Printf.sprintf
+             "e23: traced replay %.3fms exceeds the overhead budget %.3fms \
+              (untraced %.3fms)"
+             on budget off))
+
+let micro () =
+  let work () = Sys.opaque_identity (Fun.id 42) in
+  let span_on () =
+    Trace.set_enabled true;
+    ignore (Trace.with_span "e23.micro" work)
+  in
+  let span_off () =
+    Trace.set_enabled false;
+    ignore (Trace.with_span "e23.micro" work)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_enabled true;
+      Trace.clear ())
+    (fun () ->
+      Bench_util.micro
+        [
+          ("e23/span-traced", span_on); ("e23/span-untraced", span_off);
+        ])

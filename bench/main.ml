@@ -37,6 +37,7 @@ let experiments =
     ("e20", "Resilient: retry/escalation policies under starved budgets", E20_resilience.run);
     ("e21", "Planner: certificate-driven routing vs fixed strategies", E21_planner.run);
     ("e22", "Service: semantic cache on a Zipf-skewed replay", E22_service.run);
+    ("e23", "Tracing: request-span overhead on the e22 replay", E23_tracing.run);
   ]
 
 let micros =
@@ -47,6 +48,7 @@ let micros =
     E11_codd_membership.micro; E12_query_answering.micro;
     E14_patterns.micro; E15_ctables.micro; E19_engine_batch.micro;
     E20_resilience.micro; E21_planner.micro; E22_service.micro;
+    E23_tracing.micro;
   ]
 
 let run_micros () =

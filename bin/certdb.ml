@@ -17,6 +17,8 @@ open Cmdliner
 open Certdb_values
 open Certdb_relational
 module Obs = Certdb_obs.Obs
+module Trace = Certdb_obs.Trace
+module Openmetrics = Certdb_obs.Openmetrics
 
 (* --stats / --stats-json: print the metrics snapshot (counters, gauges,
    span timers populated by the instrumented hot paths) to stderr after
@@ -205,9 +207,16 @@ let validate_policy max_attempts escalate =
   end
 
 let certain_cmd =
-  let run query degrade nodes backtracks timeout_ms max_attempts escalate d =
+  let run query degrade explain nodes backtracks timeout_ms max_attempts
+      escalate d =
     let d = parse_instance_arg d in
     let q = parse_cq query in
+    (* --explain: root a trace around the evaluation and print its span
+       tree (route, rung, attempts, timings) as one JSON line on stderr,
+       leaving stdout untouched *)
+    let code, tid =
+      Trace.with_trace "certdb.certain" @@ fun tid ->
+      let code =
     if not degrade then begin
       (* the planner routes on the query's certificates: non-Boolean
          CQs/UCQs to naive evaluation (Theorem 4), Boolean CQs to the
@@ -251,6 +260,12 @@ let certain_cmd =
         Printf.printf "lower-bound: %b\n" b;
         if b then 0 else 1
     end
+      in
+      (code, tid)
+    in
+    if explain then
+      prerr_endline (Obs.Json.to_string (Trace.summary tid));
+    code
   in
   let query =
     Arg.(
@@ -268,6 +283,14 @@ let certain_cmd =
              hom check with retries, degrading to sound naive evaluation \
              ('lower-bound: ...') instead of reporting unknown when every \
              attempt trips its budget.")
+  in
+  let explain =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:
+            "Print the request's trace summary (plan route, ladder rung, \
+             attempt count, span timings) as one JSON line on stderr.")
   in
   let nodes =
     Arg.(
@@ -296,8 +319,8 @@ let certain_cmd =
           --degrade, graded Boolean certainty that never answers unknown.")
     (with_stats
        Term.(
-         const run $ query $ degrade $ nodes $ backtracks $ timeout_ms
-         $ max_attempts_arg $ escalate_arg $ d))
+         const run $ query $ degrade $ explain $ nodes $ backtracks
+         $ timeout_ms $ max_attempts_arg $ escalate_arg $ d))
 
 (* chase *)
 let split_arrow s =
@@ -674,10 +697,48 @@ let batch_cmd =
 (* serve: the long-running query server (lib/service).  JSONL over stdio
    or a Unix socket; named database registry; semantic cache keyed by
    core-canonical query form x database fingerprint. *)
+(* --metrics-file: a writer domain re-renders the OpenMetrics exposition
+   every interval, writing to a temp file and renaming over the target so
+   a scraper never reads a torn exposition *)
+let write_metrics_file path =
+  let body = Openmetrics.expose (Obs.snapshot ()) in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc body;
+  close_out oc;
+  Sys.rename tmp path
+
+let start_metrics_writer ~path ~interval_ms =
+  let stop = Atomic.make false in
+  let writer =
+    Domain.spawn (fun () ->
+        let rec loop () =
+          if not (Atomic.get stop) then begin
+            write_metrics_file path;
+            (* sleep in short slices so shutdown stays prompt *)
+            let remaining = ref (Float.max interval_ms 1.0) in
+            while (not (Atomic.get stop)) && !remaining > 0.0 do
+              let slice = Float.min 50.0 !remaining in
+              Unix.sleepf (slice /. 1000.0);
+              remaining := !remaining -. slice
+            done;
+            loop ()
+          end
+        in
+        loop ();
+        (* one final exposition so the file reflects the full run *)
+        write_metrics_file path)
+  in
+  fun () ->
+    Atomic.set stop true;
+    Domain.join writer
+
 let serve_cmd =
   let run socket cache_capacity no_cache canon_budget jobs max_attempts
-      escalate nodes backtracks timeout_ms preload =
+      escalate nodes backtracks timeout_ms slow_ms metrics_file
+      metrics_interval_ms trace_buffer preload =
     validate_policy max_attempts escalate;
+    Option.iter Trace.set_capacity trace_buffer;
     let policy =
       Resilient.Policy.make ~max_attempts ~escalation:escalate ()
     in
@@ -685,7 +746,7 @@ let serve_cmd =
     let config =
       Server.Config.make
         ~cache_capacity:(if no_cache then 0 else cache_capacity)
-        ~canon_budget ~policy ~default_limits ~jobs ()
+        ~canon_budget ~policy ~default_limits ~jobs ?slow_ms ()
     in
     let server = Server.create ~config () in
     List.iter
@@ -705,10 +766,19 @@ let serve_cmd =
             Printf.eprintf "--load %s: parse error: %s\n" name m;
             exit 2))
       preload;
-    (match socket with
-    | None -> (
-      match Server.serve server stdin stdout with `Shutdown | `Eof -> ())
-    | Some path -> Server.serve_unix_socket server ~path);
+    let stop_metrics =
+      Option.map
+        (fun path ->
+          start_metrics_writer ~path ~interval_ms:metrics_interval_ms)
+        metrics_file
+    in
+    Fun.protect
+      ~finally:(fun () -> Option.iter (fun stop -> stop ()) stop_metrics)
+      (fun () ->
+        match socket with
+        | None -> (
+          match Server.serve server stdin stdout with `Shutdown | `Eof -> ())
+        | Some path -> Server.serve_unix_socket server ~path);
     0
   in
   let socket =
@@ -777,17 +847,51 @@ let serve_cmd =
             "Preload a named database before serving ('@file' reads the \
              instance from a file).  Repeatable.")
   in
+  let slow_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:
+            "Slow-query threshold: any request at least this slow logs a \
+             JSON row with its full span tree to stderr.")
+  in
+  let metrics_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-file" ] ~docv:"PATH"
+          ~doc:
+            "Periodically write an OpenMetrics text exposition of all \
+             metrics to PATH (atomic rename), for file-based scrapers.")
+  in
+  let metrics_interval_ms =
+    Arg.(
+      value & opt float 2000.0
+      & info [ "metrics-interval-ms" ] ~docv:"MS"
+          ~doc:"Interval between --metrics-file writes.")
+  in
+  let trace_buffer =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "trace-buffer" ] ~docv:"N"
+          ~doc:
+            "Capacity of the trace ring buffer (completed spans retained \
+             for the trace verb); default 8192.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the query server: JSONL requests (load / unload / query / \
-          batch / stats / shutdown) over stdio or a Unix socket, with a \
-          semantic cache keyed by core-canonical query form and database \
-          fingerprint.")
+          batch / stats / trace / metrics / shutdown) over stdio or a \
+          Unix socket, with a semantic cache keyed by core-canonical \
+          query form and database fingerprint.")
     (with_stats
        Term.(
          const run $ socket $ cache_capacity $ no_cache $ canon_budget $ jobs
          $ max_attempts_arg $ escalate_arg $ nodes $ backtracks $ timeout_ms
+         $ slow_ms $ metrics_file $ metrics_interval_ms $ trace_buffer
          $ preload))
 
 (* stats: observability self-test.  Runs a small fixed workload through
@@ -796,7 +900,7 @@ let serve_cmd =
    nonzero if a hot-path counter stayed at zero, so CI can use it as a
    telemetry smoke test. *)
 let stats_cmd =
-  let run json =
+  let run json openmetrics =
     Obs.reset ();
     (* CSP solver: C4 -> C2 edge-preserving map (4 decisions minimum) *)
     let cycle n =
@@ -837,8 +941,24 @@ let stats_cmd =
          (parse_tree_arg "r[a(_x)]")
          (parse_tree_arg "r[a(7)]"));
     let m = Obs.snapshot () in
-    if json then print_endline (Obs.json_string m)
-    else Format.printf "%a%!" Obs.pp_metrics m;
+    let lint_ok =
+      if openmetrics then begin
+        (* print the exposition and self-lint it, so CI rejects invalid
+           or duplicate metric names the moment they appear *)
+        let body = Openmetrics.expose m in
+        print_string body;
+        match Openmetrics.lint body with
+        | Ok () -> true
+        | Error msg ->
+          Printf.eprintf "openmetrics lint: %s\n" msg;
+          false
+      end
+      else begin
+        if json then print_endline (Obs.json_string m)
+        else Format.printf "%a%!" Obs.pp_metrics m;
+        true
+      end
+    in
     let nonzero name =
       match Obs.find_counter m name with Some n when n > 0 -> true | _ -> false
     in
@@ -850,24 +970,141 @@ let stats_cmd =
       ]
     in
     let missing = List.filter (fun n -> not (nonzero n)) required in
-    if missing = [] then 0
-    else begin
+    if missing <> [] then
       Printf.eprintf "self-test: counters stayed at zero: %s\n"
         (String.concat ", " missing);
-      1
-    end
+    if missing = [] && lint_ok then 0 else 1
   in
   let json =
     Arg.(
       value & flag
       & info [ "json" ] ~doc:"Print the snapshot as JSON instead of text.")
   in
+  let openmetrics =
+    Arg.(
+      value & flag
+      & info [ "openmetrics" ]
+          ~doc:
+            "Print the snapshot as an OpenMetrics text exposition and \
+             lint it (exit 1 on invalid or duplicate metric names).")
+  in
   Cmd.v
     (Cmd.info "stats"
        ~doc:
          "Observability self-test: run a fixed workload through the \
           instrumented hot paths and print the metrics snapshot.")
-    Term.(const run $ json)
+    Term.(const run $ json $ openmetrics)
+
+(* trace: export the span ring buffer as Chrome trace-event JSON — load
+   the output in about:tracing or Perfetto.  Either replay a JSONL
+   request file in-process (the trace is produced locally) or ask a
+   running server for its buffer over the Unix socket. *)
+let trace_cmd =
+  let dump_replay file =
+    Trace.clear ();
+    let server = Server.create () in
+    let ic = open_in file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let idx = ref 0 in
+        try
+          while true do
+            let line = input_line ic in
+            incr idx;
+            if String.trim line <> "" then
+              ignore (Server.handle_line server ~idx:!idx line)
+          done
+        with End_of_file -> ());
+    Ok (Json.to_string (Trace.chrome (Trace.events ())))
+  in
+  let dump_socket path =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | exception Unix.Unix_error (e, _, _) ->
+      Unix.close fd;
+      Error (Printf.sprintf "connect %s: %s" path (Unix.error_message e))
+    | () ->
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          output_string oc "{\"op\":\"trace\"}\n";
+          flush oc;
+          match input_line ic with
+          | exception End_of_file -> Error "server closed the connection"
+          | line -> (
+            match Json.of_string line with
+            | exception Json.Parse_error m ->
+              Error (Printf.sprintf "bad response: %s" m)
+            | j -> (
+              match Json.member "chrome" j with
+              | Some chrome -> Ok (Json.to_string chrome)
+              | None ->
+                Error
+                  (Printf.sprintf "response carries no trace: %s" line))))
+  in
+  let dump_run replay socket out =
+    let result =
+      match (replay, socket) with
+      | Some file, None -> dump_replay file
+      | None, Some path -> dump_socket path
+      | _ -> Error "pass exactly one of --replay or --socket"
+    in
+    match result with
+    | Error msg ->
+      Printf.eprintf "trace dump: %s\n" msg;
+      1
+    | Ok body -> (
+      match out with
+      | None ->
+        print_endline body;
+        0
+      | Some path ->
+        let oc = open_out path in
+        output_string oc body;
+        output_char oc '\n';
+        close_out oc;
+        0)
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Replay a JSONL request file through an in-process server and \
+             dump the resulting trace.")
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Fetch the trace buffer from a running server over its Unix \
+             socket (sends the trace verb).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the JSON to FILE instead of stdout.")
+  in
+  let dump_cmd =
+    Cmd.v
+      (Cmd.info "dump"
+         ~doc:
+           "Emit the span ring buffer as Chrome trace-event JSON \
+            (about:tracing / Perfetto).")
+      Term.(const dump_run $ replay $ socket $ out)
+  in
+  Cmd.group
+    (Cmd.info "trace"
+       ~doc:"Request-scoped tracing: export recorded span trees.")
+    [ dump_cmd ]
 
 (* analyze: static classification with machine-checkable certificates,
    plus the planner's routing decision.  Exit code: 0 when every analyzed
@@ -1232,7 +1469,7 @@ let main_cmd =
     [
       leq_cmd; cwa_cmd; member_cmd; glb_cmd; lub_cmd; core_cmd; certain_cmd;
       certain_fo_cmd; chase_cmd; analyze_cmd; tree_leq_cmd; tree_glb_cmd;
-      tree_member_cmd; batch_cmd; serve_cmd; stats_cmd;
+      tree_member_cmd; batch_cmd; serve_cmd; stats_cmd; trace_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

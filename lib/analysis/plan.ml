@@ -1,5 +1,6 @@
 open Certdb_query
 module Obs = Certdb_obs.Obs
+module Trace = Certdb_obs.Trace
 
 let plan_naive = Obs.counter "query.plan.naive_eval"
 let plan_acyclic = Obs.counter "query.plan.acyclic_join"
@@ -49,11 +50,19 @@ let certain ?policy ?limits ?width_threshold (q : Cq.t) d =
   if q.head <> [] then invalid_arg "Plan.certain: Boolean query only";
   let dec = route_cq ?width_threshold q in
   count_route dec.route;
-  match dec.route with
-  | Naive_eval -> assert false (* Boolean queries never route here *)
-  | Acyclic_join | Bounded_width _ -> `Exact (Certain.certain_cq_via_btw q d)
-  | Hom_ladder -> Certain.certain_cq_resilient ?policy ?limits q d
+  (* the route label on this span is what [explain:true] surfaces; it
+     always matches the query.plan.* counter bumped just above *)
+  Trace.with_span "query.plan"
+    ~labels:[ ("route", route_to_string dec.route) ]
+    (fun () ->
+      match dec.route with
+      | Naive_eval -> assert false (* Boolean queries never route here *)
+      | Acyclic_join | Bounded_width _ ->
+        `Exact (Certain.certain_cq_via_btw q d)
+      | Hom_ladder -> Certain.certain_cq_resilient ?policy ?limits q d)
 
 let certain_answers u d =
   count_route Naive_eval;
-  Certain.certain_ucq u d
+  Trace.with_span "query.plan"
+    ~labels:[ ("route", route_to_string Naive_eval) ]
+    (fun () -> Certain.certain_ucq u d)

@@ -1,6 +1,7 @@
 module Int_set = Structure.Int_set
 module Int_map = Structure.Int_map
 module Obs = Certdb_obs.Obs
+module Trace = Certdb_obs.Trace
 
 let revisions = Obs.counter "csp.ac3.revisions"
 let prunes = Obs.counter "csp.ac3.prunes"
@@ -26,7 +27,7 @@ let supported target candidates rel tup i b =
     (Structure.tuples_of target rel)
 
 let prune ?restrict ~source ~target () =
-  Obs.with_span "csp.ac3.prune" @@ fun () ->
+  Trace.with_span "csp.ac3.prune" @@ fun () ->
   let initial =
     List.fold_left
       (fun m v ->

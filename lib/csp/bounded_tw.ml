@@ -1,6 +1,7 @@
 module Int_set = Structure.Int_set
 module Int_map = Structure.Int_map
 module Obs = Certdb_obs.Obs
+module Trace = Certdb_obs.Trace
 
 let bag_assignments = Obs.counter "csp.btw.bag_assignments"
 let solves = Obs.counter "csp.btw.solves"
@@ -62,7 +63,7 @@ type tables = {
 }
 
 let solve ?decomposition ~source ~target ~restrict () =
-  Obs.with_span "csp.btw.solve" @@ fun () ->
+  Trace.with_span "csp.btw.solve" @@ fun () ->
   let decomposition =
     match decomposition with
     | Some d -> d

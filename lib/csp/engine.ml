@@ -1,6 +1,7 @@
 module Int_set = Structure.Int_set
 module Int_map = Structure.Int_map
 module Obs = Certdb_obs.Obs
+module Trace = Certdb_obs.Trace
 module Fault = Certdb_obs.Fault
 
 type hom = int Int_map.t
@@ -9,6 +10,7 @@ type hom = int Int_map.t
    legacy csp.solver.* names are kept so dashboards and the certdb stats
    self-test keep working across the Solver -> Engine migration). *)
 let decisions = Obs.counter "csp.solver.decisions"
+let backtracks_c = Obs.counter "csp.solver.backtracks"
 let fc_prunes = Obs.counter "csp.solver.fc_prunes"
 let wipeouts = Obs.counter "csp.solver.wipeouts"
 let mrv_selects = Obs.counter "csp.solver.mrv_selects"
@@ -137,6 +139,7 @@ module Budget = struct
     check_clocks b
 
   let tick_backtrack b =
+    Obs.incr backtracks_c;
     if b.backtracks_left <> max_int then begin
       if b.backtracks_left <= 0 then raise (Interrupted Backtrack_budget);
       b.backtracks_left <- b.backtracks_left - 1
@@ -392,7 +395,7 @@ let run_search ~(config : Config.t) ~budget ~skip_free ~source ~target
 (* {1 Public entry points} *)
 
 let solve ?(config = Config.default) ~source ~target () =
-  Obs.with_span "csp.engine.solve" @@ fun () ->
+  Trace.with_span "csp.engine.solve" @@ fun () ->
   Budget.run config.limits (fun budget ->
       let found = ref None in
       (match
@@ -414,7 +417,7 @@ let solve ?(config = Config.default) ~source ~target () =
       !found)
 
 let satisfiable ?(config = Config.default) ~source ~target () =
-  Obs.with_span "csp.engine.satisfiable" @@ fun () ->
+  Trace.with_span "csp.engine.satisfiable" @@ fun () ->
   Budget.run config.limits (fun budget ->
       let found = ref false in
       (match
@@ -428,7 +431,7 @@ let satisfiable ?(config = Config.default) ~source ~target () =
       if !found then Some () else None)
 
 let iter ?(config = Config.default) ~source ~target f =
-  Obs.with_span "csp.engine.iter" @@ fun () ->
+  Trace.with_span "csp.engine.iter" @@ fun () ->
   let budget = Budget.start config.limits in
   match
     run_search ~config ~budget ~skip_free:false ~source ~target
@@ -486,6 +489,11 @@ module Batch = struct
     let stopped () =
       match stop with Some c -> Cancel.cancelled c | None -> false
     in
+    (* capture the coordinator's trace context before spawning: each task
+       span joins the submitting request's trace (worker domains have a
+       fresh span stack, so without this the nesting would silently drop);
+       with no enclosing trace every task roots its own. *)
+    let ctx = Trace.capture () in
     let work wid () =
       let mine = worker_tasks wid in
       let rec loop () =
@@ -497,8 +505,16 @@ module Batch = struct
                 (* deterministic fault point: keyed to the task index, not
                    the pop order, so a schedule poisons the same tasks at
                    any [jobs] *)
-                Fault.hit_k "csp.batch.task" (i + 1);
-                Ok (f input.(i))
+                Trace.with_context ctx (fun () ->
+                    Trace.with_span "csp.batch.task"
+                      ~labels:
+                        [
+                          ("worker", string_of_int wid);
+                          ("task", string_of_int i);
+                        ]
+                      (fun () ->
+                        Fault.hit_k "csp.batch.task" (i + 1);
+                        Ok (f input.(i))))
               with e ->
                 Error (Raised { exn = e; backtrace = Printexc.get_raw_backtrace () })
             in

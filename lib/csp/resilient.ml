@@ -1,6 +1,7 @@
 module Int_set = Structure.Int_set
 module Int_map = Structure.Int_map
 module Obs = Certdb_obs.Obs
+module Trace = Certdb_obs.Trace
 module Config = Engine.Config
 
 let runs = Obs.counter "csp.resilient.runs"
@@ -59,7 +60,11 @@ let retry (policy : Policy.t) ~limits f =
   let rec attempt i =
     Obs.incr attempts_total;
     if i > 1 then Obs.incr retries;
-    match f ~attempt:i (scale_limits policy ~attempt:i limits) with
+    match
+      Trace.with_span "csp.resilient.attempt"
+        ~labels:[ ("attempt", string_of_int i) ]
+        (fun () -> f ~attempt:i (scale_limits policy ~attempt:i limits))
+    with
     | (Engine.Sat _ | Engine.Unsat) as outcome ->
       if i > 1 then Obs.incr recovered;
       { outcome; attempts = i; rung = Search i }
@@ -75,9 +80,17 @@ let retry (policy : Policy.t) ~limits f =
   in
   attempt 1
 
+(* expose the ladder's verdict on the enclosing span, so an explained
+   request reports which rung answered and how many attempts it took *)
+let annotated r =
+  Trace.annotate "rung" (rung_to_string r.rung);
+  Trace.annotate "attempts" (string_of_int r.attempts);
+  r
+
 let run ?(policy = Policy.default) ~limits f =
   Obs.incr runs;
-  retry policy ~limits f
+  Trace.with_span "csp.resilient.run" (fun () ->
+      annotated (retry policy ~limits f))
 
 (* Perturb the engine configuration for retry [attempt]: the first
    attempt keeps the caller's ordering, later ones switch to a seeded
@@ -107,23 +120,26 @@ let propagation_certificate (config : Config.t) ~source ~target =
 let ladder ~engine_call ?(policy = Policy.default) ?(config = Config.default)
     ~source ~target () =
   Obs.incr runs;
-  match
-    if policy.propagate_first then
-      propagation_certificate config ~source ~target
-    else `Restrict_unchanged
-  with
-  | `Unsat ->
-    Obs.incr propagation_unsats;
-    { outcome = Engine.Unsat; attempts = 0; rung = Propagation }
-  | (`Restrict _ | `Restrict_unchanged) as r ->
-    let config =
-      match r with
-      | `Restrict restrict -> { config with Config.restrict = Some restrict }
-      | `Restrict_unchanged -> config
-    in
-    retry policy ~limits:config.Config.limits (fun ~attempt limits ->
-        let config = attempt_config policy ~attempt ~limits config in
-        engine_call ~config ~source ~target ())
+  Trace.with_span "csp.resilient.ladder" (fun () ->
+      annotated
+        (match
+           if policy.propagate_first then
+             propagation_certificate config ~source ~target
+           else `Restrict_unchanged
+         with
+        | `Unsat ->
+          Obs.incr propagation_unsats;
+          { outcome = Engine.Unsat; attempts = 0; rung = Propagation }
+        | (`Restrict _ | `Restrict_unchanged) as r ->
+          let config =
+            match r with
+            | `Restrict restrict ->
+              { config with Config.restrict = Some restrict }
+            | `Restrict_unchanged -> config
+          in
+          retry policy ~limits:config.Config.limits (fun ~attempt limits ->
+              let config = attempt_config policy ~attempt ~limits config in
+              engine_call ~config ~source ~target ())))
 
 let solve ?policy ?config ~source ~target () =
   ladder ~engine_call:(fun ~config ~source ~target () ->

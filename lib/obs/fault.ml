@@ -44,6 +44,7 @@ let seeded_fires ~seed ~point ~n ~per_mille =
 let fire e =
   Obs.incr injected_total;
   Obs.incr (Obs.counter ("fault." ^ e.point ^ ".injected"));
+  Trace.instant "fault.injected" ~labels:[ ("point", e.point) ];
   raise (Injected e.point)
 
 let selects e n =

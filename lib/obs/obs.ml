@@ -368,6 +368,7 @@ type timer_stats = {
   mean_ms : float;
   p50_ms : float;
   p95_ms : float;
+  p99_ms : float;
 }
 
 (* Spans: a domain-local stack of open intervals.  Completing a span feeds
@@ -454,6 +455,7 @@ let stats_of_timer t =
     mean_ms = (if t.t_count = 0 then 0. else t.t_total /. float_of_int t.t_count);
     p50_ms = quantile_of_buckets t 0.5;
     p95_ms = quantile_of_buckets t 0.95;
+    p99_ms = quantile_of_buckets t 0.99;
   }
 
 let snapshot () =
@@ -509,9 +511,9 @@ let pp_metrics ppf m =
       (fun (name, s) ->
         Format.fprintf ppf
           "  %-*s count=%d total=%.3f mean=%.3f min=%.3f max=%.3f p50=%.3f \
-           p95=%.3f@."
+           p95=%.3f p99=%.3f@."
           width name s.count s.total_ms s.mean_ms s.min_ms s.max_ms s.p50_ms
-          s.p95_ms)
+          s.p95_ms s.p99_ms)
       m.timers
   end
 
@@ -526,6 +528,7 @@ let to_json m =
         ("max_ms", Json.Float s.max_ms);
         ("p50_ms", Json.Float s.p50_ms);
         ("p95_ms", Json.Float s.p95_ms);
+        ("p99_ms", Json.Float s.p99_ms);
       ]
   in
   Json.Obj

@@ -101,6 +101,7 @@ type timer_stats = {
           [sqrt 2] from 1 µs): bounded memory, worst-case relative error
           [sqrt 2], clamped into the exact observed [min, max] *)
   p95_ms : float;  (** 95th-percentile estimate, same construction *)
+  p99_ms : float;  (** 99th-percentile estimate, same construction *)
 }
 
 (** {1 Spans}

@@ -1,0 +1,310 @@
+let content_type =
+  "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+(* Name mapping: registry names are dot-separated paths, possibly with a
+   span-label decoration ({k=v,...}); OpenMetrics names are
+   [a-zA-Z_:][a-zA-Z0-9_:]* and labels are separate.  *)
+
+let valid_name_char first c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || c = '_' || c = ':'
+  || ((not first) && c >= '0' && c <= '9')
+
+let valid_label_char first c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || c = '_'
+  || ((not first) && c >= '0' && c <= '9')
+
+let valid_name s =
+  s <> "" && String.length s > 0
+  && valid_name_char true s.[0]
+  && (let ok = ref true in
+      String.iteri (fun i c -> if i > 0 && not (valid_name_char false c) then ok := false) s;
+      !ok)
+
+let valid_label s =
+  s <> ""
+  && valid_label_char true s.[0]
+  && (let ok = ref true in
+      String.iteri (fun i c -> if i > 0 && not (valid_label_char false c) then ok := false) s;
+      !ok)
+
+(* "base{k=v,k2=v2}" -> base, [(k, v); ...]; names without a decoration
+   pass through with no labels *)
+let split_decoration name =
+  match String.index_opt name '{' with
+  | Some i when String.length name > 0 && name.[String.length name - 1] = '}' ->
+    let base = String.sub name 0 i in
+    let body = String.sub name (i + 1) (String.length name - i - 2) in
+    let labels =
+      if body = "" then []
+      else
+        String.split_on_char ',' body
+        |> List.map (fun kv ->
+               match String.index_opt kv '=' with
+               | Some j ->
+                 ( String.sub kv 0 j,
+                   String.sub kv (j + 1) (String.length kv - j - 1) )
+               | None -> (kv, ""))
+    in
+    (base, labels)
+  | _ -> (name, [])
+
+let sanitize_name base =
+  let buf = Buffer.create (String.length base + 8) in
+  Buffer.add_string buf "certdb_";
+  String.iter
+    (fun c -> Buffer.add_char buf (if valid_name_char false c then c else '_'))
+    base;
+  Buffer.contents buf
+
+let sanitize_label k =
+  let buf = Buffer.create (String.length k) in
+  String.iteri
+    (fun i c ->
+      Buffer.add_char buf (if valid_label_char (i = 0) c then c else '_'))
+    (if k = "" then "_" else k);
+  Buffer.contents buf
+
+let escape_value v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let render_labels = function
+  | [] -> ""
+  | kvs ->
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) ->
+             Printf.sprintf "%s=\"%s\"" (sanitize_label k) (escape_value v))
+           kvs)
+    ^ "}"
+
+let float_str f = Printf.sprintf "%.12g" f
+
+(* group registry entries into OpenMetrics families keyed by sanitized
+   base name (label decorations collapse into one family), preserving the
+   snapshot's sorted order *)
+let families entries =
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun (name, v) ->
+      let base, labels = split_decoration name in
+      let fam = sanitize_name base in
+      (match Hashtbl.find_opt tbl fam with
+      | None ->
+        Hashtbl.add tbl fam [ (labels, v) ];
+        order := fam :: !order
+      | Some xs -> Hashtbl.replace tbl fam ((labels, v) :: xs)))
+    entries;
+  List.rev_map (fun fam -> (fam, List.rev (Hashtbl.find tbl fam))) !order
+  |> List.rev
+
+let expose (m : Obs.metrics) =
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  List.iter
+    (fun (fam, samples) ->
+      line "# TYPE %s counter" fam;
+      List.iter
+        (fun (labels, v) -> line "%s_total%s %d" fam (render_labels labels) v)
+        samples)
+    (families m.Obs.counters);
+  List.iter
+    (fun (fam, samples) ->
+      line "# TYPE %s gauge" fam;
+      List.iter
+        (fun (labels, v) -> line "%s%s %s" fam (render_labels labels) (float_str v))
+        samples)
+    (families m.Obs.gauges);
+  List.iter
+    (fun (fam, samples) ->
+      line "# TYPE %s summary" fam;
+      line "# UNIT %s ms" fam;
+      List.iter
+        (fun (labels, (s : Obs.timer_stats)) ->
+          let q v est =
+            line "%s%s %s" fam
+              (render_labels (labels @ [ ("quantile", v) ]))
+              (float_str est)
+          in
+          q "0.5" s.Obs.p50_ms;
+          q "0.95" s.Obs.p95_ms;
+          q "0.99" s.Obs.p99_ms;
+          line "%s_count%s %d" fam (render_labels labels) s.Obs.count;
+          line "%s_sum%s %s" fam (render_labels labels) (float_str s.Obs.total_ms))
+        samples)
+    (families m.Obs.timers);
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf
+
+(* ---- lint ---- *)
+
+let known_suffixes = [ "_total"; "_count"; "_sum"; "_created"; "_bucket" ]
+
+let strip_suffix name =
+  List.find_map
+    (fun suf ->
+      let n = String.length name and m = String.length suf in
+      if n > m && String.sub name (n - m) m = suf then
+        Some (String.sub name 0 (n - m))
+      else None)
+    known_suffixes
+
+let lint s =
+  let err line_no msg line =
+    Error (Printf.sprintf "line %d: %s: %s" line_no msg line)
+  in
+  let types : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  let sampled : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let seen_eof = ref false in
+  let lines = String.split_on_char '\n' s in
+  let check_sample line_no line =
+    (* name[{labels}] value [timestamp] *)
+    let n = String.length line in
+    let i = ref 0 in
+    while !i < n && valid_name_char (!i = 0) line.[!i] do incr i done;
+    let name = String.sub line 0 !i in
+    if not (valid_name name) then err line_no "invalid metric name" line
+    else begin
+      let labels_ok = ref (Ok ()) in
+      (if !i < n && line.[!i] = '{' then begin
+         (* scan label pairs: name="value" with \-escapes *)
+         incr i;
+         let fine = ref true in
+         let rec pairs () =
+           if !i < n && line.[!i] = '}' then incr i
+           else begin
+             let j = ref !i in
+             while !j < n && valid_label_char (!j = !i) line.[!j] do incr j done;
+             let lname = String.sub line !i (!j - !i) in
+             if not (valid_label lname) then fine := false
+             else begin
+               i := !j;
+               if !i < n && line.[!i] = '=' then begin
+                 incr i;
+                 if !i < n && line.[!i] = '"' then begin
+                   incr i;
+                   let rec value () =
+                     if !i >= n then fine := false
+                     else
+                       match line.[!i] with
+                       | '"' -> incr i
+                       | '\\' ->
+                         i := !i + 2;
+                         value ()
+                       | _ ->
+                         incr i;
+                         value ()
+                   in
+                   value ();
+                   if !fine then
+                     if !i < n && line.[!i] = ',' then begin
+                       incr i;
+                       pairs ()
+                     end
+                     else if !i < n && line.[!i] = '}' then incr i
+                     else fine := false
+                 end
+                 else fine := false
+               end
+               else fine := false
+             end
+           end
+         in
+         pairs ();
+         if not !fine then labels_ok := err line_no "malformed labels" line
+       end);
+      match !labels_ok with
+      | Error _ as e -> e
+      | Ok () ->
+        if !i >= n || line.[!i] <> ' ' then
+          err line_no "expected space before value" line
+        else begin
+          let rest = String.sub line (!i + 1) (n - !i - 1) in
+          let value = match String.index_opt rest ' ' with
+            | Some j -> String.sub rest 0 j
+            | None -> rest
+          in
+          match float_of_string_opt value with
+          | None -> err line_no "unparseable sample value" line
+          | Some _ ->
+            let fam =
+              match strip_suffix name with
+              | Some base when Hashtbl.mem types base -> Some base
+              | _ -> if Hashtbl.mem types name then Some name else None
+            in
+            (match fam with
+            | None -> err line_no "sample without a # TYPE declaration" line
+            | Some fam ->
+              Hashtbl.replace sampled fam ();
+              if
+                Hashtbl.find types fam = "counter"
+                && name <> fam ^ "_total"
+                && name <> fam ^ "_created"
+              then err line_no "counter sample must end in _total" line
+              else Ok ())
+        end
+    end
+  in
+  let check_meta line_no line keyword =
+    (* "# TYPE name type" / "# UNIT name unit" *)
+    let body =
+      String.sub line (String.length keyword) (String.length line - String.length keyword)
+    in
+    match String.split_on_char ' ' body with
+    | [ name; info ] when valid_name name ->
+      if keyword = "# TYPE " then begin
+        if Hashtbl.mem types name then err line_no "duplicate # TYPE" line
+        else if Hashtbl.mem sampled name then
+          err line_no "# TYPE after samples" line
+        else if
+          not
+            (List.mem info
+               [ "counter"; "gauge"; "summary"; "histogram"; "info";
+                 "stateset"; "unknown" ])
+        then err line_no "unknown metric type" line
+        else begin
+          Hashtbl.add types name info;
+          Ok ()
+        end
+      end
+      else Ok ()
+    | _ -> err line_no "malformed metadata line" line
+  in
+  let rec go line_no = function
+    | [] -> if !seen_eof then Ok () else Error "missing # EOF terminator"
+    | [ "" ] when !seen_eof -> Ok ()
+    | line :: rest ->
+      let r =
+        if !seen_eof then err line_no "content after # EOF" line
+        else if line = "# EOF" then begin
+          seen_eof := true;
+          Ok ()
+        end
+        else if line = "" then err line_no "empty line" line
+        else if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then
+          check_meta line_no line "# TYPE "
+        else if String.length line >= 7 && String.sub line 0 7 = "# UNIT " then
+          check_meta line_no line "# UNIT "
+        else if String.length line >= 7 && String.sub line 0 7 = "# HELP " then
+          Ok ()
+        else if String.length line >= 1 && line.[0] = '#' then
+          err line_no "unknown comment line" line
+        else check_sample line_no line
+      in
+      (match r with Error _ as e -> e | Ok () -> go (line_no + 1) rest)
+  in
+  go 1 lines

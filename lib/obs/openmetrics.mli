@@ -1,0 +1,23 @@
+(** OpenMetrics text exposition of an {!Obs} snapshot, plus a lint used
+    by tests and CI to keep the exposition valid.
+
+    Name mapping: dots become underscores and every metric is prefixed
+    [certdb_] ([csp.solver.decisions] → [certdb_csp_solver_decisions]);
+    span-label decorations in registry names ([name{k=v,...}]) become
+    OpenMetrics labels.  Counters expose as [counter] families with the
+    mandatory [_total] suffix, gauges as [gauge], timers as [summary]
+    families in milliseconds ([quantile="0.5"|"0.95"|"0.99"] plus
+    [_count]/[_sum]).  The exposition ends with [# EOF] as the standard
+    requires. *)
+
+val content_type : string
+
+(** Render a snapshot as an OpenMetrics text exposition. *)
+val expose : Obs.metrics -> string
+
+(** [lint s] checks that [s] is a plausible OpenMetrics exposition:
+    valid metric and label names, one [# TYPE] per family declared before
+    its samples, no duplicate family declarations, counter samples ending
+    in [_total], parseable sample values, and a final [# EOF].  Returns
+    [Error msg] naming the first offending line. *)
+val lint : string -> (unit, string) result

@@ -1,6 +1,7 @@
 open Certdb_values
 open Certdb_relational
 module Obs = Certdb_obs.Obs
+module Trace = Certdb_obs.Trace
 
 let naive_evals = Obs.counter "query.naive_evals"
 let certain_checks = Obs.counter "query.certain_checks"
@@ -17,21 +18,21 @@ let count_answers d =
 
 let naive_eval_fo ~head q d =
   Obs.incr naive_evals;
-  Obs.with_span "query.naive_eval" @@ fun () ->
+  Trace.with_span "query.naive_eval" @@ fun () ->
   count_answers (drop_null_tuples (Fo.answers ~head d q))
 
 let naive_eval_ucq u d =
   Obs.incr naive_evals;
-  Obs.with_span "query.naive_eval" @@ fun () ->
+  Trace.with_span "query.naive_eval" @@ fun () ->
   count_answers (drop_null_tuples (Ucq.answers u d))
 
 let naive_holds q d =
   Obs.incr naive_evals;
-  Obs.with_span "query.naive_eval" @@ fun () -> Fo.holds d q
+  Trace.with_span "query.naive_eval" @@ fun () -> Fo.holds d q
 
 let certain_fo ~head q d =
   Obs.incr certain_checks;
-  Obs.with_span "query.certain_fo" @@ fun () ->
+  Trace.with_span "query.certain_fo" @@ fun () ->
   Semantics.certain_answers_by_enumeration (fun r -> Fo.answers ~head r q) d
 
 let certain_holds_fo ?(worlds = []) q d =
@@ -50,7 +51,7 @@ let certain_existential q d =
   if not (Fo.is_existential q) then
     invalid_arg "Certain.certain_existential: not an existential sentence";
   Obs.incr certain_checks;
-  Obs.with_span "query.certain_existential" @@ fun () ->
+  Trace.with_span "query.certain_existential" @@ fun () ->
   List.for_all (fun (_, r) -> Fo.holds r q) (Semantics.sample_completions d)
 
 let certain_ucq = naive_eval_ucq
@@ -83,7 +84,7 @@ let certain_cq_via_btw ?decomposition q d =
   if q.Cq.head <> [] then
     invalid_arg "Certain.certain_cq_via_btw: Boolean query only";
   Obs.incr certain_checks;
-  Obs.with_span "query.certain_btw" @@ fun () ->
+  Trace.with_span "query.certain_btw" @@ fun () ->
   let zero_ary, positive =
     List.partition (fun (a : Cq.atom) -> a.args = []) q.Cq.atoms
   in
@@ -207,7 +208,7 @@ let certain_cq_resilient ?policy ?(limits = Engine.Limits.unlimited) q d =
 
 let certain_holds_cwa q d =
   Obs.incr certain_checks;
-  Obs.with_span "query.certain_cwa" @@ fun () ->
+  Trace.with_span "query.certain_cwa" @@ fun () ->
   List.for_all (fun (_, r) -> Fo.holds r q) (Semantics.sample_completions d)
 
 let possible_holds_cwa q d =

@@ -1,5 +1,6 @@
 open Certdb_values
 module Obs = Certdb_obs.Obs
+module Trace = Certdb_obs.Trace
 module Engine = Certdb_csp.Engine
 
 let searches = Obs.counter "rel.hom.searches"
@@ -67,7 +68,7 @@ let search ?(budget = Engine.Budget.unlimited) ?(init = Valuation.empty)
         cands
   in
   Obs.incr searches;
-  Obs.with_span "rel.hom.search" (fun () ->
+  Trace.with_span "rel.hom.search" (fun () ->
       try go init source_facts [] with Stop -> ())
 
 let restrict_to_nulls d h =

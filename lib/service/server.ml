@@ -1,5 +1,7 @@
 open Certdb_relational
 module Obs = Certdb_obs.Obs
+module Trace = Certdb_obs.Trace
+module Openmetrics = Certdb_obs.Openmetrics
 module Json = Obs.Json
 module Engine = Certdb_csp.Engine
 module Resilient = Certdb_csp.Resilient
@@ -14,15 +16,16 @@ module Config = struct
     policy : Resilient.Policy.t;
     default_limits : Engine.Limits.t;
     jobs : int;
+    slow_ms : float option;
   }
 
   let make ?(cache_capacity = 1024) ?(canon_budget = Canon.default_budget)
       ?(policy = Resilient.Policy.default)
-      ?(default_limits = Engine.Limits.unlimited) ?jobs () =
+      ?(default_limits = Engine.Limits.unlimited) ?jobs ?slow_ms () =
     let jobs =
       match jobs with Some j -> max 1 j | None -> Engine.Batch.default_jobs ()
     in
-    { cache_capacity; canon_budget; policy; default_limits; jobs }
+    { cache_capacity; canon_budget; policy; default_limits; jobs; slow_ms }
 
   let default = make ()
 end
@@ -44,14 +47,15 @@ type t = {
          bounded by its own LRU under [service.canon] *)
   mutable served : int;
   started_ms : float;
-  t_request : Obs.timer;
   t_hit : Obs.timer;
   t_miss : Obs.timer;
   c_requests : Obs.counter;
   c_errors : Obs.counter;
+  slow_sink : Json.t -> unit;
 }
 
-let create ?(config = Config.default) () =
+let create ?(config = Config.default)
+    ?(slow_sink = fun row -> prerr_endline (Json.to_string row)) () =
   {
     config;
     registry = Hashtbl.create 16;
@@ -68,11 +72,11 @@ let create ?(config = Config.default) () =
        else None);
     served = 0;
     started_ms = Obs.now_ms ();
-    t_request = Obs.timer "service.request";
     t_hit = Obs.timer "service.request.hit";
     t_miss = Obs.timer "service.request.miss";
     c_requests = Obs.counter "service.requests";
     c_errors = Obs.counter "service.errors";
+    slow_sink;
   }
 
 let cache_totals t = Option.map Cache.totals t.cache
@@ -151,14 +155,26 @@ let prepare t entry ~limits ~policy ~no_cache q =
         | Some (a, _) -> `Hit a
         | None -> todo (Some key) scoped)))
 
+(* search-effort attribution for [explain]: the solver counters are
+   process-global, so the deltas around one evaluation are approximate
+   when other requests compute concurrently (the batch verb); for the
+   common single-request case they are exact *)
+let c_nodes = Obs.counter "csp.solver.decisions"
+let c_backtracks = Obs.counter "csp.solver.backtracks"
+
 let compute_pending p =
   let t0 = Obs.now_ms () in
+  let n0 = Obs.counter_value c_nodes in
+  let b0 = Obs.counter_value c_backtracks in
   let a =
     if p.p_q.Cq.head = [] then
       Graded (Plan.certain ~policy:p.p_policy ~limits:p.p_limits p.p_q
                 p.p_entry.instance)
     else Tuples (Plan.certain_answers (Ucq.make [ p.p_q ]) p.p_entry.instance)
   in
+  Trace.annotate "nodes" (string_of_int (Obs.counter_value c_nodes - n0));
+  Trace.annotate "backtracks"
+    (string_of_int (Obs.counter_value c_backtracks - b0));
   (a, Obs.now_ms () -. t0)
 
 let store t p a ~cost_ms =
@@ -314,24 +330,71 @@ let answer_fields ?latency_ms answer ~cached =
   | Some f -> [ ("latency_ms", Json.Float f) ]
   | None -> []
 
+let explain_requested j =
+  Option.value (Wire.bool_field "explain" j) ~default:false
+
+(* the label [explain] surfaces for the cache; each value corresponds to
+   the Cache counter bumped by the lookup (hit/miss/bypass), [off] when
+   the server runs with no cache at all *)
+let cache_disposition t = function
+  | `Hit _ -> "hit"
+  | `Todo p -> (
+    match t.cache with
+    | None -> "off"
+    | Some _ ->
+      if p.p_plain = None && p.p_scoped = None then "bypass" else "miss")
+
+let slow_row t j ~op ~dt ~trace =
+  let str k =
+    match Wire.str_field k j with
+    | Some s -> [ (k, Json.String s) ]
+    | None -> []
+  in
+  t.slow_sink
+    (Json.Obj
+       ([
+          ("slow_query", Json.Bool true);
+          ("op", Json.String op);
+          ("latency_ms", Json.Float dt);
+        ]
+       @ str "id" @ str "db" @ str "query"
+       @ [ ("trace", trace) ]))
+
+(* The request root span doubles as the [service.request] timer sample
+   (Trace spans feed the plain Obs timer of their name), so the aggregate
+   latency metric and the trace tree come from the same interval. *)
 let query_fields t j =
-  let t0 = Obs.now_ms () in
-  match prepare_request t j with
-  | Error m -> Error m
-  | Ok prepared ->
-    let answer, cached =
-      match prepared with
-      | `Hit a -> (a, true)
-      | `Todo p ->
-        let a, cost_ms = compute_pending p in
-        store t p a ~cost_ms;
-        (a, false)
-    in
-    let dt = Obs.now_ms () -. t0 in
-    Obs.record_ms t.t_request dt;
-    Obs.record_ms (if cached then t.t_hit else t.t_miss) dt;
-    t.served <- t.served + 1;
-    Ok (answer_fields ~latency_ms:dt answer ~cached)
+  let explain = explain_requested j in
+  let outcome, tid =
+    Trace.with_trace "service.request" (fun tid ->
+        let t0 = Obs.now_ms () in
+        match prepare_request t j with
+        | Error m -> (Error m, tid)
+        | Ok prepared ->
+          Trace.annotate "cache" (cache_disposition t prepared);
+          let answer, cached =
+            match prepared with
+            | `Hit a -> (a, true)
+            | `Todo p ->
+              let a, cost_ms = compute_pending p in
+              store t p a ~cost_ms;
+              (a, false)
+          in
+          let dt = Obs.now_ms () -. t0 in
+          Obs.record_ms (if cached then t.t_hit else t.t_miss) dt;
+          t.served <- t.served + 1;
+          (Ok (answer_fields ~latency_ms:dt answer ~cached, dt), tid))
+  in
+  (* the root span is closed here, so the ring holds the full tree *)
+  match outcome with
+  | Error _ as e -> e
+  | Ok (fields, dt) ->
+    (match t.config.Config.slow_ms with
+    | Some threshold when dt >= threshold ->
+      slow_row t j ~op:"query" ~dt ~trace:(Trace.summary tid)
+    | _ -> ());
+    Ok
+      (if explain then fields @ [ ("trace", Trace.summary tid) ] else fields)
 
 (* the [batch] verb: cache hits and malformed sub-requests are settled in
    the coordinating domain; misses fan out over the domain pool, and the
@@ -340,66 +403,102 @@ let query_fields t j =
 let batch_fields t j =
   match Json.member "requests" j with
   | Some (Json.List reqs) ->
-    let prepared =
-      List.mapi
-        (fun i r ->
-          let sub_id =
-            Option.value (Wire.str_field "id" r) ~default:(string_of_int i)
-          in
-          let sub_op = Option.value (Wire.str_field "op" r) ~default:"query" in
-          if not (String.equal sub_op "query") then
-            ( i,
-              sub_id,
-              Error (Printf.sprintf "batch supports only \"query\", got %S" sub_op)
-            )
-          else (i, sub_id, prepare_request t r))
-        reqs
-    in
-    let todo =
-      List.filter_map
-        (function i, _, Ok (`Todo p) -> Some (i, p) | _ -> None)
-        prepared
-    in
-    let computed =
-      Engine.Batch.map_result ~jobs:t.config.Config.jobs
-        (fun (i, p) -> (i, compute_pending p))
-        todo
-    in
-    let results = Hashtbl.create (List.length todo) in
-    List.iter2
-      (fun (i, p) r ->
-        match r with
-        | Ok (_, (a, cost_ms)) ->
-          store t p a ~cost_ms;
-          Obs.record_ms t.t_miss cost_ms;
-          Hashtbl.replace results i (Ok a)
-        | Error (Engine.Batch.Raised { exn; _ }) ->
-          Hashtbl.replace results i (Error (Wire.describe_exn exn))
-        | Error Engine.Batch.Skipped ->
-          Hashtbl.replace results i (Error "skipped"))
-      todo computed;
+    let explain_all = explain_requested j in
+    (* the whole batch is one trace: every task span inherits the batch's
+       trace id across the worker domains ([Engine.Batch] ships the
+       coordinator's context), so [trace dump] shows the fan-out as one
+       tree and explained sub-responses are subtrees of it *)
     let rows =
-      List.map
-        (fun (i, sub_id, pr) ->
-          let fields =
-            match pr with
-            | Error m ->
-              Obs.incr t.c_errors;
-              Wire.error_fields m
-            | Ok (`Hit a) ->
-              t.served <- t.served + 1;
-              answer_fields a ~cached:true
-            | Ok (`Todo _) -> (
-              match Hashtbl.find results i with
-              | Ok a ->
-                t.served <- t.served + 1;
-                answer_fields a ~cached:false
-              | Error m ->
-                Obs.incr t.c_errors;
-                Wire.error_fields m)
+      Trace.with_trace "service.batch" (fun tid ->
+          let prepared =
+            List.mapi
+              (fun i r ->
+                let sub_id =
+                  Option.value (Wire.str_field "id" r)
+                    ~default:(string_of_int i)
+                in
+                let sub_op =
+                  Option.value (Wire.str_field "op" r) ~default:"query"
+                in
+                if not (String.equal sub_op "query") then
+                  ( i,
+                    sub_id,
+                    r,
+                    Error
+                      (Printf.sprintf "batch supports only \"query\", got %S"
+                         sub_op) )
+                else (i, sub_id, r, prepare_request t r))
+              reqs
           in
-          Wire.row ~idx:i ~id:sub_id ~op:"query" fields)
-        prepared
+          let todo =
+            List.filter_map
+              (function i, _, r, Ok (`Todo p) -> Some (i, r, p) | _ -> None)
+              prepared
+          in
+          let computed =
+            Engine.Batch.map_result ~jobs:t.config.Config.jobs
+              (fun (i, _, p) ->
+                (* runs inside the worker's csp.batch.task span; its id
+                   roots the sub-response's explained subtree *)
+                Trace.annotate "cache" "miss";
+                (i, Trace.current_span (), compute_pending p))
+              todo
+          in
+          let results = Hashtbl.create (List.length todo) in
+          List.iter2
+            (fun (i, r, p) res ->
+              match res with
+              | Ok (_, sid, (a, cost_ms)) ->
+                store t p a ~cost_ms;
+                Obs.record_ms t.t_miss cost_ms;
+                (match t.config.Config.slow_ms with
+                | Some threshold when cost_ms >= threshold ->
+                  slow_row t r ~op:"query" ~dt:cost_ms
+                    ~trace:(Trace.summary ?root:sid tid)
+                | _ -> ());
+                Hashtbl.replace results i (Ok (sid, a))
+              | Error (Engine.Batch.Raised { exn; _ }) ->
+                Hashtbl.replace results i (Error (Wire.describe_exn exn))
+              | Error Engine.Batch.Skipped ->
+                Hashtbl.replace results i (Error "skipped"))
+            todo computed;
+          List.map
+            (fun (i, sub_id, r, pr) ->
+              let explain = explain_all || explain_requested r in
+              let fields =
+                match pr with
+                | Error m ->
+                  Obs.incr t.c_errors;
+                  Wire.error_fields m
+                | Ok (`Hit a) ->
+                  t.served <- t.served + 1;
+                  answer_fields a ~cached:true
+                  @
+                  if explain then
+                    [
+                      ( "trace",
+                        Json.Obj
+                          [
+                            ("trace_id", Json.Int tid);
+                            ("cache", Json.String "hit");
+                          ] );
+                    ]
+                  else []
+                | Ok (`Todo _) -> (
+                  match Hashtbl.find results i with
+                  | Ok (sid, a) ->
+                    t.served <- t.served + 1;
+                    answer_fields a ~cached:false
+                    @
+                    if explain then
+                      [ ("trace", Trace.summary ?root:sid tid) ]
+                    else []
+                  | Error m ->
+                    Obs.incr t.c_errors;
+                    Wire.error_fields m)
+              in
+              Wire.row ~idx:i ~id:sub_id ~op:"query" fields)
+            prepared)
     in
     Ok [ ("status", Json.String "ok"); ("results", Json.List rows) ]
   | Some _ | None -> Error "missing \"requests\" array"
@@ -468,6 +567,32 @@ let stats_fields t j =
   ]
   @ if full then [ ("metrics", Obs.to_json (Obs.snapshot ())) ] else []
 
+(* the [trace] verb: dump the ring buffer as Chrome trace-event JSON
+   (loadable in about:tracing / Perfetto); [clear:true] empties the ring
+   after the dump *)
+let trace_fields j =
+  let clear = Option.value (Wire.bool_field "clear" j) ~default:false in
+  let evs = Trace.events () in
+  let fields =
+    [
+      ("status", Json.String "ok");
+      ("events", Json.Int (List.length evs));
+      ("dropped", Json.Int (Trace.dropped ()));
+      ("chrome", Trace.chrome evs);
+    ]
+  in
+  if clear then Trace.clear ();
+  fields
+
+(* the [metrics] verb: OpenMetrics text exposition of the whole Obs
+   registry, for a scraper watching the server *)
+let metrics_fields () =
+  [
+    ("status", Json.String "ok");
+    ("content_type", Json.String Openmetrics.content_type);
+    ("body", Json.String (Openmetrics.expose (Obs.snapshot ())));
+  ]
+
 let handle_line t ~idx line =
   Obs.incr t.c_requests;
   let continue j = (j, `Continue) in
@@ -495,6 +620,8 @@ let handle_line t ~idx line =
     | "query" -> continue (of_result (query_fields t j))
     | "batch" -> continue (of_result (batch_fields t j))
     | "stats" -> continue (reply (stats_fields t j))
+    | "trace" -> continue (reply (trace_fields j))
+    | "metrics" -> continue (reply (metrics_fields ()))
     | "shutdown" ->
       ( reply [ ("status", Json.String "ok"); ("served", Json.Int t.served) ],
         `Shutdown )

@@ -11,9 +11,11 @@
     {"op":"unload","name":"d"}
     {"op":"query","db":"d","query":"ans() :- R(_x,_y), R(_y,_x)",
      "node_budget":N?,"backtrack_budget":N?,"timeout_ms":F?,
-     "max_attempts":N?,"no_cache":true?}
-    {"op":"batch","requests":[ <query objects> ]}
+     "max_attempts":N?,"no_cache":true?,"explain":true?}
+    {"op":"batch","requests":[ <query objects> ],"explain":true?}
     {"op":"stats","full":true?}
+    {"op":"trace","clear":true?}
+    {"op":"metrics"}
     {"op":"shutdown"}
     v}
 
@@ -25,6 +27,22 @@
     always exact by Theorem 4).  Malformed or failing requests produce
     [{"status":"error","error":msg}] rows and the loop keeps serving;
     only [shutdown] (or EOF) ends it.
+
+    {1 Explainability}
+
+    Every [query] runs under a request-rooted {!Certdb_obs.Trace} trace;
+    a [batch] shares one trace across its worker-domain tasks.  With
+    [explain:true] the response row gains a ["trace"] object — the
+    per-request span tree with the plan route, resilient-ladder rung and
+    attempt count, cache disposition ([hit]/[miss]/[bypass]/[off]) and
+    search effort (node/backtrack counter deltas, approximate when other
+    requests compute concurrently).  Responses without [explain] are
+    byte-identical to the pre-trace protocol.  The [trace] verb dumps
+    the ring buffer as Chrome trace-event JSON; the [metrics] verb
+    returns an OpenMetrics text exposition of the Obs registry.  When
+    {!Config.t.slow_ms} is set, any request at least that slow emits a
+    slow-query row (with its full span tree) to the [slow_sink] passed
+    to {!create} (default: stderr).
 
     {1 Caching}
 
@@ -55,10 +73,12 @@ module Config : sig
     default_limits : Engine.Limits.t;
         (** per-request admission default; request fields override *)
     jobs : int;  (** domain-pool width for the [batch] verb *)
+    slow_ms : float option;
+        (** slow-query threshold; [None] disables the slow log *)
   }
 
   (** 1024 entries, default policy, unlimited limits,
-      [Engine.Batch.default_jobs] workers. *)
+      [Engine.Batch.default_jobs] workers, no slow log. *)
   val default : t
 
   val make :
@@ -67,13 +87,16 @@ module Config : sig
     ?policy:Resilient.Policy.t ->
     ?default_limits:Engine.Limits.t ->
     ?jobs:int ->
+    ?slow_ms:float ->
     unit ->
     t
 end
 
 type t
 
-val create : ?config:Config.t -> unit -> t
+(** [slow_sink] receives one JSON row per slow request (see
+    {!Config.t.slow_ms}); defaults to a line on stderr. *)
+val create : ?config:Config.t -> ?slow_sink:(Json.t -> unit) -> unit -> t
 
 (** {1 Typed entry points (tests, benches)} *)
 

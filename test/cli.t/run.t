@@ -190,6 +190,7 @@ subcommand runs (timing fields redacted for determinism):
     csp.resilient.recovered         0
     csp.resilient.retries           0
     csp.resilient.runs              0
+    csp.solver.backtracks           0
     csp.solver.decisions            0
     csp.solver.fc_prunes            0
     csp.solver.mrv_selects          0
@@ -229,7 +230,7 @@ subcommand runs (timing fields redacted for determinism):
   gauges:
     csp.btw.bags                    0
   timers (ms):
-    rel.hom.search                  count=1 total=<ms> mean=<ms> min=<ms> max=<ms> p50=<ms> p95=<ms>
+    rel.hom.search                  count=1 total=<ms> mean=<ms> min=<ms> max=<ms> p50=<ms> p95=<ms> p99=<ms>
 
 --stats-json emits a single JSON object to stderr, leaving stdout alone:
 
@@ -247,3 +248,22 @@ subsystem and exits nonzero if a hot-path counter stays at zero:
   "csp.solver.decisions":10
   "exchange.chase.steps":1
   "xml.tree_hom.searches":1}
+
+--openmetrics prints the snapshot as an OpenMetrics text exposition and
+lints it (duplicate or invalid metric names fail the command):
+
+  $ $CERTDB stats --openmetrics > om.txt && echo lint-ok
+  lint-ok
+  $ grep -cE '^# TYPE certdb_csp_solver_decisions counter$' om.txt
+  1
+  $ grep -cE '^certdb_rel_hom_search\{quantile="0.99"\}' om.txt
+  1
+  $ tail -1 om.txt
+  # EOF
+
+certain --explain prints the request's trace summary (route, span tree)
+as one JSON line on stderr:
+
+  $ $CERTDB certain --explain -q 'ans() :- R(_x,_y), R(_y,_x)' 'R(1,2); R(2,1)' 2>&1 >/dev/null | grep -oE '"(root|route)":"[^"]*"' | sort -u
+  "root":"certdb.certain"
+  "route":"acyclic-join"

@@ -43,3 +43,41 @@ semantic cache entirely: the repeated (renamed) query stays a miss:
   {"id":"0","index":0,"op":"query","status":"ok","grade":"exact","certain":true,"cached":false,"latency_ms":<ms>}
   {"id":"1","index":1,"op":"query","status":"ok","grade":"exact","certain":true,"cached":false,"latency_ms":<ms>}
   {"id":"2","index":2,"op":"shutdown","status":"ok","served":2}
+
+explain:true attaches a trace object to the response — the plan route,
+cache disposition and span tree for that request; responses without the
+flag are unchanged (the blocks above pin the bytes):
+
+  $ printf '{"op":"query","db":"d","query":"ans() :- R(_x,_y), R(_y,_x)","explain":true}\n{"op":"shutdown"}\n' \
+  >   | $CERTDB serve --load 'd=R(1,2); R(2,1)' \
+  >   | head -1 | grep -oE '"(root|route|cache)":"[^"]*"' | sort -u
+  "cache":"miss"
+  "root":"service.request"
+  "route":"acyclic-join"
+
+The trace verb dumps the span ring buffer as Chrome trace-event JSON
+(loadable in about:tracing / Perfetto), and the metrics verb returns an
+OpenMetrics exposition:
+
+  $ printf '{"op":"query","db":"d","query":"ans() :- R(_x,_y)"}\n{"op":"trace"}\n{"op":"metrics"}\n{"op":"shutdown"}\n' \
+  >   | $CERTDB serve --load 'd=R(1,2)' > verbs.out
+  $ sed -n '2p' verbs.out | grep -oE '"(traceEvents|displayTimeUnit)":?' | sort -u
+  "displayTimeUnit":
+  "traceEvents":
+  $ sed -n '3p' verbs.out | grep -oE '"content_type":"[^"]*"'
+  "content_type":"application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+certdb trace dump replays a JSONL request file in-process and emits the
+same Chrome JSON:
+
+  $ printf '{"op":"load","name":"d","source":"R(1,2)"}\n{"op":"query","db":"d","query":"ans() :- R(_x,_y)"}\n' > replay.jsonl
+  $ $CERTDB trace dump --replay replay.jsonl | grep -oE '"displayTimeUnit":"ms"'
+  "displayTimeUnit":"ms"
+
+--slow-ms logs any request at least that slow as a JSON row (with its
+full span tree) on stderr; the response stream is untouched:
+
+  $ printf '{"op":"query","db":"d","query":"ans() :- R(_x,_y)"}\n{"op":"shutdown"}\n' \
+  >   | $CERTDB serve --load 'd=R(1,2)' --slow-ms 0 2>slow.log >/dev/null
+  $ grep -coE '"slow_query":true' slow.log
+  1

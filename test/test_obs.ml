@@ -182,10 +182,12 @@ let test_timer_quantiles () =
   in
   Alcotest.(check bool) "p50 within bucket error" true (rel_ok 50. s.Obs.p50_ms);
   Alcotest.(check bool) "p95 within bucket error" true (rel_ok 95. s.Obs.p95_ms);
+  Alcotest.(check bool) "p99 within bucket error" true (rel_ok 99. s.Obs.p99_ms);
   Alcotest.(check bool) "p50 <= p95" true (s.Obs.p50_ms <= s.Obs.p95_ms);
+  Alcotest.(check bool) "p95 <= p99" true (s.Obs.p95_ms <= s.Obs.p99_ms);
   Alcotest.(check bool)
     "quantiles clamped into [min, max]" true
-    (s.Obs.p50_ms >= s.Obs.min_ms && s.Obs.p95_ms <= s.Obs.max_ms);
+    (s.Obs.p50_ms >= s.Obs.min_ms && s.Obs.p99_ms <= s.Obs.max_ms);
   (* a single sample collapses every quantile onto it exactly *)
   let u = Obs.timer "test.obs.quantiles.single" in
   Obs.record_ms u 3.;
@@ -194,6 +196,7 @@ let test_timer_quantiles () =
   in
   Alcotest.(check (float 1e-9)) "single-sample p50" 3. s1.Obs.p50_ms;
   Alcotest.(check (float 1e-9)) "single-sample p95" 3. s1.Obs.p95_ms;
+  Alcotest.(check (float 1e-9)) "single-sample p99" 3. s1.Obs.p99_ms;
   (* reset clears the buckets, not just the moments *)
   Obs.reset ();
   Obs.record_ms t 7.;

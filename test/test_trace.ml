@@ -1,0 +1,407 @@
+(* Request-scoped tracing: span-tree invariants (one root per trace,
+   children nest within parent intervals), cross-domain trace inheritance
+   in Engine.Batch, the explain:true wire surface against the Obs
+   counters it must agree with, Chrome trace-event JSON validity, and the
+   OpenMetrics exposition + lint. *)
+
+module Obs = Certdb_obs.Obs
+module Trace = Certdb_obs.Trace
+module Openmetrics = Certdb_obs.Openmetrics
+module Json = Obs.Json
+module Engine = Certdb_csp.Engine
+module Server = Certdb_service.Server
+
+(* every test starts from an empty ring and a clean registry *)
+let fresh () =
+  Obs.reset ();
+  Trace.set_enabled true;
+  Trace.clear ()
+
+let events_of_trace tid =
+  List.filter (fun (e : Trace.event) -> e.Trace.trace_id = tid)
+    (Trace.events ())
+
+(* ---- span-tree invariants -------------------------------------------- *)
+
+(* the checks shared by the unit and qcheck cases: exactly one root,
+   every parent link resolves inside the trace, and children close
+   within their parent's interval *)
+let check_tree tid =
+  let evs =
+    List.filter (fun (e : Trace.event) -> e.Trace.kind = Trace.Span)
+      (events_of_trace tid)
+  in
+  if evs = [] then failwith "trace recorded no spans";
+  let roots = List.filter (fun e -> e.Trace.parent = None) evs in
+  if List.length roots <> 1 then
+    failwith
+      (Printf.sprintf "trace %d has %d roots, expected exactly 1" tid
+         (List.length roots));
+  let root = List.hd roots in
+  if root.Trace.span_id <> tid then
+    failwith "root span id is not the trace id";
+  let by_id = List.map (fun e -> (e.Trace.span_id, e)) evs in
+  List.iter
+    (fun (e : Trace.event) ->
+      match e.Trace.parent with
+      | None -> ()
+      | Some p -> (
+        match List.assoc_opt p by_id with
+        | None ->
+          failwith (Printf.sprintf "span %d has unknown parent %d"
+              e.Trace.span_id p)
+        | Some pe ->
+          let child_end = e.Trace.start_ms +. e.Trace.dur_ms in
+          let parent_end = pe.Trace.start_ms +. pe.Trace.dur_ms in
+          if e.Trace.start_ms < pe.Trace.start_ms -. 1e-9 then
+            failwith "child starts before its parent";
+          if child_end > parent_end +. 1e-9 then
+            failwith "child ends after its parent"))
+    evs
+
+let test_one_root_nesting () =
+  fresh ();
+  let tid =
+    Trace.with_trace "t.root" (fun tid ->
+        Trace.with_span "t.a" (fun () ->
+            Trace.with_span "t.a.1" (fun () -> ());
+            Trace.with_span "t.a.2" (fun () -> ()));
+        Trace.with_span "t.b" (fun () -> ());
+        tid)
+  in
+  check_tree tid;
+  Alcotest.(check int) "five spans" 5 (List.length (events_of_trace tid));
+  (* spans also fed the plain timers *)
+  let snap = Obs.snapshot () in
+  List.iter
+    (fun name ->
+      match Obs.find_timer snap name with
+      | Some s -> Alcotest.(check int) (name ^ " count") 1 s.Obs.count
+      | None -> Alcotest.fail (name ^ ": timer never fed"))
+    [ "t.root"; "t.a"; "t.a.1"; "t.a.2"; "t.b" ]
+
+(* random nesting programs: at each step either open a child (down) or
+   close the innermost span (up); the invariants must hold for any such
+   interleaving *)
+let test_tree_qcheck =
+  let gen = QCheck.(list_of_size Gen.(int_range 1 30) bool) in
+  QCheck.Test.make ~count:100 ~name:"trace tree invariants" gen (fun prog ->
+      fresh ();
+      let tid =
+        Trace.with_trace "q.root" (fun tid ->
+            (* interpret the program as a stack discipline over closures *)
+            let rec go depth = function
+              | [] -> ()
+              | true :: rest when depth < 6 ->
+                Trace.with_span
+                  (Printf.sprintf "q.s%d" depth)
+                  (fun () -> go (depth + 1) rest)
+              | _ :: rest -> go depth rest
+            in
+            go 0 prog;
+            tid)
+      in
+      check_tree tid;
+      true)
+
+let test_ring_wrap () =
+  fresh ();
+  let cap = Trace.capacity () in
+  Trace.set_capacity 4;
+  for i = 1 to 10 do
+    Trace.with_trace (Printf.sprintf "w.%d" i) (fun _ -> ())
+  done;
+  let n = List.length (Trace.events ()) in
+  Alcotest.(check bool) "ring holds at most 4" true (n <= 4);
+  Alcotest.(check int) "dropped counts overwrites" 6 (Trace.dropped ());
+  Trace.set_capacity cap
+
+(* ---- cross-domain inheritance in Engine.Batch ------------------------ *)
+
+let test_batch_inheritance () =
+  fresh ();
+  let tid =
+    Trace.with_trace "t.batch" (fun tid ->
+        let rs =
+          Engine.Batch.map_result ~jobs:4
+            (fun x -> x * x)
+            [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+        in
+        List.iteri
+          (fun i r ->
+            match r with
+            | Ok y -> Alcotest.(check int) "task result" ((i + 1) * (i + 1)) y
+            | Error _ -> Alcotest.fail "task failed")
+          rs;
+        tid)
+  in
+  let tasks =
+    List.filter
+      (fun (e : Trace.event) -> e.Trace.name = "csp.batch.task")
+      (Trace.events ())
+  in
+  Alcotest.(check int) "one task span per input" 8 (List.length tasks);
+  (* every task inherited the coordinator's trace id, across domains *)
+  List.iter
+    (fun (e : Trace.event) ->
+      Alcotest.(check int) "task trace id" tid e.Trace.trace_id;
+      if not (List.mem_assoc "worker" e.Trace.labels) then
+        Alcotest.fail "task span lacks a worker label")
+    tasks;
+  (* distinct span ids even when tasks ran concurrently *)
+  let ids = List.map (fun e -> e.Trace.span_id) tasks in
+  Alcotest.(check int) "distinct task span ids" 8
+    (List.length (List.sort_uniq compare ids));
+  (* worker-domain spans rolled up into the coordinator's timer registry *)
+  match Obs.find_timer (Obs.snapshot ()) "csp.batch.task" with
+  | Some s -> Alcotest.(check int) "timer rollup" 8 s.Obs.count
+  | None -> Alcotest.fail "csp.batch.task timer never fed"
+
+let test_distinct_requests_distinct_traces () =
+  fresh ();
+  let t1 = Trace.with_trace "r.1" (fun tid -> tid) in
+  let t2 = Trace.with_trace "r.2" (fun tid -> tid) in
+  Alcotest.(check bool) "distinct trace ids" true (t1 <> t2)
+
+(* ---- the wire surface ------------------------------------------------ *)
+
+let server () =
+  let s = Server.create ~config:(Server.Config.make ~jobs:4 ()) () in
+  (match Server.load s ~name:"d" ~source:"R(1,2); R(2,_x); S(3)" with
+  | Ok _ -> ()
+  | Error m -> failwith m);
+  s
+
+let query ?(extra = []) q =
+  Json.to_string
+    (Json.Obj
+       ([ ("op", Json.String "query"); ("db", Json.String "d");
+          ("query", Json.String q) ]
+       @ extra))
+
+let handle s line =
+  let row, _ = Server.handle_line s ~idx:0 line in
+  row
+
+let counter_value snap name =
+  match List.assoc_opt name snap.Obs.counters with Some v -> v | None -> 0
+
+let test_explain_matches_counters () =
+  fresh ();
+  let s = server () in
+  let row =
+    handle s
+      (query ~extra:[ ("explain", Json.Bool true) ]
+         "ans() :- R(_x,_y), R(_y,_x)")
+  in
+  let trace =
+    match Json.member "trace" row with
+    | Some t -> t
+    | None -> Alcotest.fail "explain:true returned no trace object"
+  in
+  let str k =
+    match Json.member k trace with
+    | Some (Json.String v) -> v
+    | _ -> Alcotest.fail (Printf.sprintf "trace lacks field %s" k)
+  in
+  let snap = Obs.snapshot () in
+  (* the route in the trace is the one whose plan counter fired *)
+  let route_counter =
+    match str "route" with
+    | "naive-eval" -> "query.plan.naive_eval"
+    | "acyclic-join" -> "query.plan.acyclic_join"
+    | "hom-ladder" -> "query.plan.hom_ladder"
+    | r when String.length r >= 13 && String.sub r 0 13 = "bounded-width" ->
+      "query.plan.bounded_width"
+    | r -> Alcotest.fail ("unknown route " ^ r)
+  in
+  Alcotest.(check int) "route counter fired" 1 (counter_value snap route_counter);
+  (* first sight of this query: the cache missed, and the counter agrees *)
+  Alcotest.(check string) "cache disposition" "miss" (str "cache");
+  Alcotest.(check int) "cache.miss counter" 1
+    (counter_value snap "service.cache.miss");
+  (* same query again: a hit, in both the trace and the counter *)
+  let row2 =
+    handle s
+      (query ~extra:[ ("explain", Json.Bool true) ]
+         "ans() :- R(_x,_y), R(_y,_x)")
+  in
+  (match Json.member "trace" row2 with
+  | Some t2 -> (
+    match Json.member "cache" t2 with
+    | Some (Json.String "hit") -> ()
+    | _ -> Alcotest.fail "second request should trace as a cache hit")
+  | None -> Alcotest.fail "explain:true returned no trace object");
+  Alcotest.(check int) "cache.hit counter" 1
+    (counter_value (Obs.snapshot ()) "service.cache.hit")
+
+let test_explain_false_unchanged () =
+  fresh ();
+  let s = server () in
+  let row = handle s (query "ans() :- R(_x,_y)") in
+  Alcotest.(check bool) "no trace member without explain" true
+    (Json.member "trace" row = None);
+  let row' =
+    handle s (query ~extra:[ ("explain", Json.Bool false) ] "ans() :- S(_z)")
+  in
+  Alcotest.(check bool) "explain:false adds nothing" true
+    (Json.member "trace" row' = None)
+
+let test_batch_explain () =
+  fresh ();
+  let s = server () in
+  let reqs =
+    List.init 6 (fun i ->
+        Json.Obj
+          [
+            ("op", Json.String "query"); ("db", Json.String "d");
+            ( "query",
+              Json.String (Printf.sprintf "ans() :- R(_a%d,_b%d)" i i) );
+          ])
+  in
+  let row =
+    handle s
+      (Json.to_string
+         (Json.Obj
+            [
+              ("op", Json.String "batch"); ("requests", Json.List reqs);
+              ("explain", Json.Bool true);
+            ]))
+  in
+  match Json.member "results" row with
+  | Some (Json.List rows) ->
+    Alcotest.(check int) "six results" 6 (List.length rows);
+    let tids =
+      List.map
+        (fun r ->
+          match Json.member "trace" r with
+          | Some t -> (
+            match Json.member "trace_id" t with
+            | Some (Json.Int tid) -> tid
+            | _ -> Alcotest.fail "sub-trace lacks trace_id")
+          | None -> Alcotest.fail "batch sub-response lacks trace")
+        rows
+    in
+    (* one shared trace across the whole batch, fanned out over domains *)
+    Alcotest.(check int) "single batch trace id" 1
+      (List.length (List.sort_uniq compare tids))
+  | _ -> Alcotest.fail "batch returned no results"
+
+(* ---- exporters ------------------------------------------------------- *)
+
+let test_chrome_json () =
+  fresh ();
+  ignore
+    (Trace.with_trace "c.root" (fun tid ->
+         Trace.with_span "c.child" (fun () -> Trace.instant "c.mark");
+         tid));
+  let j = Trace.chrome (Trace.events ()) in
+  (* the export must survive a parse round-trip and carry the mandatory
+     Chrome trace-event fields *)
+  let j = Json.of_string (Json.to_string j) in
+  match Json.member "traceEvents" j with
+  | Some (Json.List evs) ->
+    Alcotest.(check int) "three events" 3 (List.length evs);
+    List.iter
+      (fun e ->
+        let has k = Json.member k e <> None in
+        List.iter
+          (fun k ->
+            if not (has k) then Alcotest.fail ("event lacks field " ^ k))
+          [ "name"; "cat"; "ph"; "ts"; "pid"; "tid" ];
+        match Json.member "ph" e with
+        | Some (Json.String "X") ->
+          if not (has "dur") then Alcotest.fail "complete event lacks dur"
+        | Some (Json.String "i") -> ()
+        | _ -> Alcotest.fail "unexpected event phase")
+      evs;
+    (* timestamps are rebased: the earliest event sits at ts = 0 *)
+    let ts_of e =
+      match Json.member "ts" e with
+      | Some (Json.Float f) -> f
+      | Some (Json.Int i) -> float_of_int i
+      | _ -> Alcotest.fail "ts is not a number"
+    in
+    let min_ts = List.fold_left (fun m e -> min m (ts_of e)) infinity evs in
+    Alcotest.(check (float 1e-6)) "rebased to zero" 0.0 min_ts
+  | _ -> Alcotest.fail "no traceEvents array"
+
+let test_openmetrics_expose () =
+  fresh ();
+  let s = server () in
+  ignore (handle s (query "ans() :- R(_x,_y), R(_y,_x)"));
+  let body = Openmetrics.expose (Obs.snapshot ()) in
+  (match Openmetrics.lint body with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail ("exposition fails its own lint: " ^ m));
+  let has_line pred =
+    List.exists pred (String.split_on_char '\n' body)
+  in
+  Alcotest.(check bool) "ends with EOF" true
+    (has_line (String.equal "# EOF"));
+  Alcotest.(check bool) "counter total present" true
+    (has_line (fun l ->
+         String.length l > 26
+         && String.sub l 0 26 = "certdb_service_cache_miss_"));
+  Alcotest.(check bool) "p99 quantile exposed" true
+    (has_line (fun l ->
+         let q = {|quantile="0.99"|} in
+         let rec find i =
+           i + String.length q <= String.length l
+           && (String.sub l i (String.length q) = q || find (i + 1))
+         in
+         String.length l > 0 && l.[0] <> '#' && find 0))
+
+let test_openmetrics_lint_rejects () =
+  let reject name body =
+    match Openmetrics.lint body with
+    | Ok () -> Alcotest.fail (name ^ ": lint accepted invalid exposition")
+    | Error _ -> ()
+  in
+  reject "missing EOF" "# TYPE certdb_x counter\ncertdb_x_total 1\n";
+  reject "duplicate TYPE"
+    "# TYPE certdb_x counter\n# TYPE certdb_x counter\ncertdb_x_total 1\n# EOF\n";
+  reject "invalid name"
+    "# TYPE 9bad counter\n9bad_total 1\n# EOF\n";
+  reject "counter without _total suffix"
+    "# TYPE certdb_x counter\ncertdb_x 1\n# EOF\n";
+  reject "content after EOF" "# EOF\ncertdb_x 1\n";
+  match Openmetrics.lint "# EOF\n" with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail ("empty exposition rejected: " ^ m)
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "tree",
+        [
+          Alcotest.test_case "one root, nested intervals" `Quick
+            test_one_root_nesting;
+          QCheck_alcotest.to_alcotest test_tree_qcheck;
+          Alcotest.test_case "ring wrap-around" `Quick test_ring_wrap;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "cross-domain inheritance at jobs=4" `Quick
+            test_batch_inheritance;
+          Alcotest.test_case "distinct requests, distinct traces" `Quick
+            test_distinct_requests_distinct_traces;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "explain matches the counters" `Quick
+            test_explain_matches_counters;
+          Alcotest.test_case "explain:false is unchanged" `Quick
+            test_explain_false_unchanged;
+          Alcotest.test_case "batch explain shares one trace" `Quick
+            test_batch_explain;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "chrome trace-event JSON" `Quick test_chrome_json;
+          Alcotest.test_case "openmetrics exposition lints" `Quick
+            test_openmetrics_expose;
+          Alcotest.test_case "openmetrics lint rejects" `Quick
+            test_openmetrics_lint_rejects;
+        ] );
+    ]
