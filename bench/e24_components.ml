@@ -1,0 +1,163 @@
+(* E24 — the interned/bitset data layer and component-parallel search.
+
+   Two claims, both oracle-checked in-process:
+
+   - single-thread: the compiled bitset engine beats the preserved
+     map/set [Engine.Reference] core on the E19-style budgeted hom
+     family (same outcomes, identical search tree) — gauge
+     [bench.components.core_speedup], expected >= 1.5;
+   - multi-component: a source with many connected components scales
+     with [--jobs] through [Engine.Components] (answers identical at
+     every job count, and never flipping the whole-instance answer) —
+     gauges [bench.components.speedup_j2] / [bench.components.speedup_j4],
+     and [bench.components.count] records the component count.  Like
+     E19's pool gauges, the speedups sit near (or below) 1.0 on a
+     single-core host; the multi-core scaling shows on CI. *)
+
+module Engine = Certdb_csp.Engine
+module Structure = Certdb_csp.Structure
+module Obs = Certdb_obs.Obs
+open Certdb_graph
+
+let graph ~seed ~vertices ~edge_prob =
+  Digraph.to_structure (Digraph.random ~seed ~vertices ~edge_prob ())
+
+(* E19-style family: independent budgeted hom searches on random digraph
+   pairs, a mix of satisfiable and exhaustively-refuted instances. *)
+let core_tasks n =
+  List.init n (fun i ->
+      let source = graph ~seed:i ~vertices:8 ~edge_prob:0.3 in
+      let target = graph ~seed:(i + 1000) ~vertices:11 ~edge_prob:0.25 in
+      (source, target))
+
+let limits = Engine.Limits.make ~nodes:400_000 ()
+let config = Engine.Config.make ~limits ()
+
+let solve_core engine tasks =
+  List.map
+    (fun (source, target) ->
+      Engine.decision_of_outcome
+        (match engine with
+        | `Bitset -> Engine.satisfiable ~config ~source ~target ()
+        | `Reference -> Engine.Reference.satisfiable ~config ~source ~target ()))
+    tasks
+
+let core_family () =
+  let tasks = core_tasks 20 in
+  Bench_util.subsection
+    (Printf.sprintf "interned/bitset core vs reference: %d budgeted searches"
+       (List.length tasks));
+  let bitset = solve_core `Bitset tasks in
+  let reference = solve_core `Reference tasks in
+  if bitset <> reference then failwith "E24: core engines disagree";
+  let t_ref = Bench_util.time_ms_median (fun () -> solve_core `Reference tasks) in
+  let t_bit = Bench_util.time_ms_median (fun () -> solve_core `Bitset tasks) in
+  let speedup = t_ref /. t_bit in
+  Obs.set (Obs.gauge "bench.components.core_speedup") speedup;
+  Bench_util.row "%-12s %-12s" "engine" "wall(ms)";
+  Bench_util.row "%-12s %-12.2f" "reference" t_ref;
+  Bench_util.row "%-12s %-12.2f" "bitset" t_bit;
+  Bench_util.row "speedup: %.2fx (oracle: outcomes identical)" speedup
+
+(* E22-flavoured shape: a cartesian-product workload — one instance with
+   many independent components, the unit the service's --jobs now
+   parallelizes {e within} a query.  Per-component searches must dwarf the domain-spawn cost for the
+   scaling to be visible.  [K3] is symmetric, so hom into it is exactly
+   3-coloring; components drawn at the 3-colorability threshold (average
+   degree ≈ 4.6) force a deep refutation tree on the unsat ones. *)
+let coloring_source seed k =
+  let component i =
+    graph ~seed:(seed + (31 * i)) ~vertices:40 ~edge_prob:0.075
+  in
+  List.fold_left
+    (fun acc i ->
+      let u, _, _ = Structure.disjoint_union acc (component i) in
+      u)
+    (component 0)
+    (List.init (k - 1) (fun i -> i + 1))
+
+let k3 = Digraph.to_structure (Digraph.clique 3)
+
+let component_tasks n =
+  List.init n (fun i -> (coloring_source (i * 13) 48, k3))
+
+let solve_components jobs tasks =
+  List.map
+    (fun (source, target) ->
+      Engine.decision_of_outcome
+        (Engine.Components.satisfiable ~config ~jobs ~source ~target ()))
+    tasks
+
+let components_family () =
+  let tasks = component_tasks 1 in
+  let comp_count =
+    List.fold_left
+      (fun acc (s, _) -> acc + Engine.Components.count s)
+      0 tasks
+  in
+  Bench_util.subsection
+    (Printf.sprintf
+       "component-parallel: %d multi-component instances (%d components)"
+       (List.length tasks) comp_count);
+  Obs.set_int (Obs.gauge "bench.components.count") comp_count;
+  (* oracle: where both runs reach a definitive answer they must agree —
+     the split may legitimately {e refine} a whole-instance [`Unknown]
+     (each component runs under the full node budget, and refuting one
+     unsat component is exponentially easier than refuting its cartesian
+     product with the rest) *)
+  let whole =
+    List.map
+      (fun (source, target) ->
+        Engine.decision_of_outcome
+          (Engine.satisfiable ~config ~source ~target ()))
+      tasks
+  in
+  let baseline = solve_components 1 tasks in
+  let refined =
+    List.fold_left2
+      (fun acc w s ->
+        match (w, s) with
+        | (`True | `False), (`True | `False) when w <> s ->
+          failwith "E24: component split flips a definitive answer"
+        | `Unknown _, (`True | `False) -> acc + 1
+        | _ -> acc)
+      0 whole baseline
+  in
+  Bench_util.row
+    "oracle: definitive answers agree; split refined %d budget-tripped \
+     whole-instance runs"
+    refined;
+  let t1 = Bench_util.time_ms_median (fun () -> solve_components 1 tasks) in
+  Bench_util.row "%-8s %-12s %-12s %-10s" "jobs" "wall(ms)" "speedup" "same";
+  Bench_util.row "%-8d %-12.2f %-12.2f %-10s" 1 t1 1.0 "yes";
+  List.iter
+    (fun jobs ->
+      let results = solve_components jobs tasks in
+      let tn = Bench_util.time_ms_median (fun () -> solve_components jobs tasks) in
+      let same = results = baseline in
+      let speedup = t1 /. tn in
+      Obs.set
+        (Obs.gauge (Printf.sprintf "bench.components.speedup_j%d" jobs))
+        speedup;
+      Bench_util.row "%-8d %-12.2f %-12.2f %-10s" jobs tn speedup
+        (if same then "yes" else "NO");
+      if not same then
+        failwith (Printf.sprintf "E24: results diverge at --jobs %d" jobs))
+    [ 2; 4 ]
+
+let run () =
+  Bench_util.banner
+    "E24  interned columnar core and component-parallel hom search";
+  core_family ();
+  components_family ()
+
+let micro () =
+  let tasks = core_tasks 6 in
+  let ctasks = component_tasks 1 in
+  Bench_util.micro
+    [
+      ("e24/core-bitset", fun () -> ignore (solve_core `Bitset tasks));
+      ("e24/core-reference", fun () -> ignore (solve_core `Reference tasks));
+      ("e24/components-j1", fun () -> ignore (solve_components 1 ctasks));
+      ("e24/components-j4", fun () -> ignore (solve_components 4 ctasks));
+    ]

@@ -38,6 +38,8 @@ let experiments =
     ("e21", "Planner: certificate-driven routing vs fixed strategies", E21_planner.run);
     ("e22", "Service: semantic cache on a Zipf-skewed replay", E22_service.run);
     ("e23", "Tracing: request-span overhead on the e22 replay", E23_tracing.run);
+    ("e24", "interned/bitset core and component-parallel hom search",
+     E24_components.run);
   ]
 
 let micros =
@@ -48,7 +50,7 @@ let micros =
     E11_codd_membership.micro; E12_query_answering.micro;
     E14_patterns.micro; E15_ctables.micro; E19_engine_batch.micro;
     E20_resilience.micro; E21_planner.micro; E22_service.micro;
-    E23_tracing.micro;
+    E23_tracing.micro; E24_components.micro;
   ]
 
 let run_micros () =

@@ -207,8 +207,12 @@ let validate_policy max_attempts escalate =
   end
 
 let certain_cmd =
-  let run query degrade explain nodes backtracks timeout_ms max_attempts
+  let run query degrade explain jobs nodes backtracks timeout_ms max_attempts
       escalate d =
+    if jobs < 1 then begin
+      Printf.eprintf "--jobs must be >= 1\n";
+      exit 2
+    end;
     let d = parse_instance_arg d in
     let q = parse_cq query in
     (* --explain: root a trace around the evaluation and print its span
@@ -229,7 +233,7 @@ let certain_cmd =
       end
       else begin
         let b =
-          match Certdb_analysis.Plan.certain q d with
+          match Certdb_analysis.Plan.certain ~jobs q d with
           | `Exact b | `Lower_bound b -> b
         in
         print_instance
@@ -292,6 +296,15 @@ let certain_cmd =
             "Print the request's trace summary (plan route, ladder rung, \
              attempt count, span timings) as one JSON line on stderr.")
   in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Domains used within a single query: a cartesian-product query \
+             routed to the components plan solves its independent \
+             subqueries on $(docv) domains.")
+  in
   let nodes =
     Arg.(
       value
@@ -319,7 +332,7 @@ let certain_cmd =
           --degrade, graded Boolean certainty that never answers unknown.")
     (with_stats
        Term.(
-         const run $ query $ degrade $ explain $ nodes $ backtracks
+         const run $ query $ degrade $ explain $ jobs $ nodes $ backtracks
          $ timeout_ms $ max_attempts_arg $ escalate_arg $ d))
 
 (* chase *)

@@ -26,6 +26,7 @@ type t = {
   var_count : int;
   certificate : certificate;
   width_estimate : int;
+  components : int;
 }
 
 let atom_vars (a : Cq.atom) =
@@ -100,9 +101,9 @@ let width_estimate vars atoms =
   else begin
     let ids = Hashtbl.create 16 in
     List.iteri (fun i v -> Hashtbl.replace ids v i) (S.elements vars);
+    (* tuple nodes register implicitly; every variable occurs in an atom *)
     let structure =
-      Structure.make
-        ~nodes:(List.init (S.cardinal vars) (fun i -> (i, None)))
+      Structure.make ~nodes:[]
         ~tuples:
           (List.filter_map
              (fun a ->
@@ -120,6 +121,33 @@ let width_estimate vars atoms =
     max 0 (snd (Treewidth.estimate structure))
   end
 
+(* Connected components of the atoms-share-a-variable graph: merge the
+   variable sets of overlapping hyperedges until a fixpoint.  Variable-free
+   atoms connect nothing, so they are already dropped from [edges]. *)
+let component_count edges =
+  let groups = ref [] in
+  List.iter
+    (fun (_, vs) ->
+      let touching, rest =
+        List.partition (fun g -> not (S.is_empty (S.inter g vs))) !groups
+      in
+      groups := List.fold_left S.union vs touching :: rest)
+    edges;
+  (* late edges can bridge groups formed earlier: iterate to fixpoint *)
+  let rec settle gs =
+    let merged =
+      List.fold_left
+        (fun acc g ->
+          let touching, rest =
+            List.partition (fun g' -> not (S.is_empty (S.inter g g'))) acc
+          in
+          List.fold_left S.union g touching :: rest)
+        [] gs
+    in
+    if List.length merged = List.length gs then merged else settle merged
+  in
+  List.length (settle !groups)
+
 let analyze (q : Cq.t) =
   Obs.incr checks;
   let edges =
@@ -136,4 +164,5 @@ let analyze (q : Cq.t) =
     var_count = S.cardinal vars;
     certificate = gyo edges;
     width_estimate = width_estimate vars q.atoms;
+    components = component_count edges;
   }

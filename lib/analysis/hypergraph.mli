@@ -30,6 +30,10 @@ type t = {
   width_estimate : int;
       (** treewidth upper bound of the variable graph, best of the
           {!Certdb_csp.Treewidth} heuristics; 0 for variable-free queries *)
+  components : int;
+      (** connected components of the atoms-share-a-variable graph
+          (variable-free atoms excluded); ≥ 2 means the query is a
+          cartesian product of independent subqueries *)
 }
 
 (** [analyze q] — classify the hypergraph of [q] (hyperedges are the

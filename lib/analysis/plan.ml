@@ -5,12 +5,14 @@ module Trace = Certdb_obs.Trace
 let plan_naive = Obs.counter "query.plan.naive_eval"
 let plan_acyclic = Obs.counter "query.plan.acyclic_join"
 let plan_bounded = Obs.counter "query.plan.bounded_width"
+let plan_components = Obs.counter "query.plan.components"
 let plan_hom = Obs.counter "query.plan.hom_ladder"
 
 type route =
   | Naive_eval
   | Acyclic_join
   | Bounded_width of int
+  | Components of int
   | Hom_ladder
 
 type decision = {
@@ -22,12 +24,14 @@ let route_to_string = function
   | Naive_eval -> "naive-eval"
   | Acyclic_join -> "acyclic-join"
   | Bounded_width w -> Printf.sprintf "bounded-width(%d)" w
+  | Components c -> Printf.sprintf "components(%d)" c
   | Hom_ladder -> "hom-ladder"
 
 let count_route = function
   | Naive_eval -> Obs.incr plan_naive
   | Acyclic_join -> Obs.incr plan_acyclic
   | Bounded_width _ -> Obs.incr plan_bounded
+  | Components _ -> Obs.incr plan_components
   | Hom_ladder -> Obs.incr plan_hom
 
 let default_width_threshold = 2
@@ -42,11 +46,12 @@ let route_cq ?(width_threshold = default_width_threshold) (q : Cq.t) =
       | Cyclic _ ->
         if hg.width_estimate <= width_threshold then
           Bounded_width hg.width_estimate
+        else if hg.components >= 2 then Components hg.components
         else Hom_ladder
     in
     { route; hypergraph = Some hg }
 
-let certain ?policy ?limits ?width_threshold (q : Cq.t) d =
+let certain ?policy ?limits ?(jobs = 1) ?width_threshold (q : Cq.t) d =
   if q.head <> [] then invalid_arg "Plan.certain: Boolean query only";
   let dec = route_cq ?width_threshold q in
   count_route dec.route;
@@ -59,6 +64,14 @@ let certain ?policy ?limits ?width_threshold (q : Cq.t) d =
       | Naive_eval -> assert false (* Boolean queries never route here *)
       | Acyclic_join | Bounded_width _ ->
         `Exact (Certain.certain_cq_via_btw q d)
+      | Components _ -> (
+        (* each component is an independent hom instance; a tripped limit
+           falls back to the resilient ladder rather than surfacing
+           [`Unknown] *)
+        match Certain.certain_cq_via_components ~jobs ?limits q d with
+        | `True -> `Exact true
+        | `False -> `Exact false
+        | `Unknown _ -> Certain.certain_cq_resilient ?policy ?limits q d)
       | Hom_ladder -> Certain.certain_cq_resilient ?policy ?limits q d)
 
 let certain_answers u d =

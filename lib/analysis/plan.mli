@@ -9,6 +9,10 @@
       program over a join-tree-shaped decomposition (polynomial);
     - cyclic but width estimate ≤ threshold → [Bounded_width w]: same DP,
       cost [O(bags · |adom|^(w+1))];
+    - cyclic, wide, but ≥ 2 connected components in the atoms-share-a-
+      variable graph → [Components c]: split the tableau into independent
+      hom instances, solve each (in parallel on [jobs] domains when
+      asked) and conjoin ({!Certdb_csp.Engine.Components});
     - everything else → [Hom_ladder]: the budgeted Prop. 2 hom check
       under the {!Certdb_csp.Resilient} retry/escalation ladder.
 
@@ -22,6 +26,7 @@ type route =
   | Naive_eval
   | Acyclic_join
   | Bounded_width of int
+  | Components of int
   | Hom_ladder
 
 type decision = {
@@ -37,15 +42,18 @@ val route_to_string : route -> string
     counter update.  [width_threshold] defaults to 2. *)
 val route_cq : ?width_threshold:int -> Certdb_query.Cq.t -> decision
 
-(** [certain ?policy ?limits ?width_threshold q d] — Boolean CQ certainty
-    through the planner.  Acyclic and bounded-width routes answer
-    [`Exact] directly; the hom ladder behaves exactly like
-    {!Certdb_query.Certain.certain_cq_resilient} (unlimited [limits]
-    always yield [`Exact]).
+(** [certain ?policy ?limits ?jobs ?width_threshold q d] — Boolean CQ
+    certainty through the planner.  Acyclic and bounded-width routes
+    answer [`Exact] directly; the components route solves the tableau's
+    connected components independently on [jobs] domains (default 1) and
+    falls back to the resilient ladder if a budget trips; the hom ladder
+    behaves exactly like {!Certdb_query.Certain.certain_cq_resilient}
+    (unlimited [limits] always yield [`Exact]).
     @raise Invalid_argument on a non-Boolean query. *)
 val certain :
   ?policy:Certdb_csp.Resilient.Policy.t ->
   ?limits:Certdb_csp.Engine.Limits.t ->
+  ?jobs:int ->
   ?width_threshold:int ->
   Certdb_query.Cq.t ->
   Certdb_relational.Instance.t ->

@@ -1,5 +1,7 @@
 module Int_set = Structure.Int_set
 module Int_map = Structure.Int_map
+module Bitset = Domains.Bitset
+module Dense = Domains.Dense
 module Obs = Certdb_obs.Obs
 module Trace = Certdb_obs.Trace
 
@@ -7,85 +9,107 @@ let revisions = Obs.counter "csp.ac3.revisions"
 let prunes = Obs.counter "csp.ac3.prunes"
 let wipeouts = Obs.counter "csp.ac3.wipeouts"
 
-(* A candidate b for node v is supported by constraint (rel, tup) at
-   position i (tup.(i) = v) if some target tuple tt of rel has tt.(i) = b
-   and tt.(j) in candidates(tup.(j)) for every j. *)
-let supported target candidates rel tup i b =
-  List.exists
-    (fun tt ->
-      Array.length tt = Array.length tup
-      && tt.(i) = b
-      && begin
-           let ok = ref true in
-           Array.iteri
-             (fun j u ->
-               if not (Int_set.mem tt.(j) (Int_map.find u candidates)) then
-                 ok := false)
-             tup;
-           !ok
-         end)
-    (Structure.tuples_of target rel)
+(* AC-3 over the compiled instance ({!Engine.Compiled}): candidate
+   domains are bitset rows, and one revision pass over a constraint is a
+   single scan of the target relation's tuples — a tuple is alive iff the
+   value at every position lies in that position's variable domain
+   (word-indexed bit tests), and the alive tuples' values accumulate into
+   per-position support bitsets that are then [land]ed into the rows.
+   Fixpoint iteration stops when a full pass over the constraints changes
+   nothing.
 
+   The arc-consistent fixpoint is unique (the greatest one), so despite
+   the different revision order this computes exactly what the old
+   per-value set-based revision did — the property tests pin that
+   equality against a reimplementation of the set-based oracle. *)
 let prune ?restrict ~source ~target () =
   Trace.with_span "csp.ac3.prune" @@ fun () ->
-  let initial =
-    List.fold_left
-      (fun m v ->
-        let base =
-          List.fold_left
-            (fun s w ->
-              if Structure.same_label source v target w then Int_set.add w s
-              else s)
-            Int_set.empty (Structure.nodes target)
-        in
-        let cands =
-          match restrict with
-          | None -> base
-          | Some r -> Int_set.inter base (r v)
-        in
-        Int_map.add v cands m)
-      Int_map.empty (Structure.nodes source)
-  in
-  let constraints = Structure.all_tuples source in
-  let candidates = ref initial in
-  let changed = ref true in
+  let cp = Engine.compile ?restrict ~source ~target () in
+  let nvars = cp.Engine.Compiled.nvars in
+  let m = Dense.create ~vars:(max 1 nvars) ~cap:cp.Engine.Compiled.cap in
+  Array.iteri (fun v row -> Dense.set_row m v row) cp.Engine.Compiled.init;
   (* a domain empty at initialization (label mismatch, or an empty
      restriction) is already a wipeout — certify it rather than letting
      revision terminate quietly around it *)
-  let failed = ref (Int_map.exists (fun _ s -> Int_set.is_empty s) initial) in
+  let failed = ref false in
+  for v = 0 to nvars - 1 do
+    if Dense.count m v = 0 then failed := true
+  done;
   if !failed then Obs.incr wipeouts;
+  let scratch =
+    Array.init
+      (max 1 cp.Engine.Compiled.max_arity)
+      (fun _ -> Array.make cp.Engine.Compiled.words 0)
+  in
+  let changed = ref true in
   while !changed && not !failed do
     changed := false;
-    List.iter
-      (fun (rel, tup) ->
-        Array.iteri
-          (fun i v ->
+    Array.iter
+      (fun (c : Engine.Compiled.ccstr) ->
+        if not !failed then begin
+          let arity = Array.length c.Engine.Compiled.cvars in
+          for p = 0 to arity - 1 do
             Obs.incr revisions;
-            let dom = Int_map.find v !candidates in
-            let dom' =
-              Int_set.filter (fun b -> supported target !candidates rel tup i b) dom
-            in
-            if not (Int_set.equal dom dom') then begin
-              changed := true;
-              Obs.add prunes (Int_set.cardinal dom - Int_set.cardinal dom');
-              candidates := Int_map.add v dom' !candidates;
-              if Int_set.is_empty dom' then begin
-                Obs.incr wipeouts;
-                failed := true
+            Bitset.clear scratch.(p)
+          done;
+          (match c.Engine.Compiled.tgt with
+          | None -> ()
+          | Some tr ->
+            for idx = 0 to tr.Structure.count - 1 do
+              let alive = ref true in
+              let p = ref 0 in
+              while !alive && !p < arity do
+                if
+                  not
+                    (Dense.mem m
+                       c.Engine.Compiled.cvars.(!p)
+                       tr.Structure.flat.((idx * arity) + !p))
+                then alive := false;
+                incr p
+              done;
+              if !alive then
+                for p = 0 to arity - 1 do
+                  Bitset.set scratch.(p) tr.Structure.flat.((idx * arity) + p)
+                done
+            done);
+          for p = 0 to arity - 1 do
+            if not !failed then begin
+              let v = c.Engine.Compiled.cvars.(p) in
+              let cleared = Dense.inter_row m v scratch.(p) in
+              if cleared > 0 then begin
+                changed := true;
+                Obs.add prunes cleared;
+                if Dense.count m v = 0 then begin
+                  Obs.incr wipeouts;
+                  failed := true
+                end
               end
-            end)
-          tup)
-      constraints
+            end
+          done
+        end)
+      cp.Engine.Compiled.cstrs
   done;
-  if !failed then None else Some !candidates
+  (* 0-ary source facts have no variable to wipe out; absent ones are an
+     immediate inconsistency *)
+  if not cp.Engine.Compiled.zero_ok then failed := true;
+  if !failed then None
+  else begin
+    let raw_src = cp.Engine.Compiled.csrc.Structure.node_ids in
+    let raw_tgt = cp.Engine.Compiled.ctgt.Structure.node_ids in
+    let out = ref Int_map.empty in
+    for v = 0 to nvars - 1 do
+      let s = ref Int_set.empty in
+      Dense.iter_row (fun w -> s := Int_set.add raw_tgt.(w) !s) m v;
+      out := Int_map.add raw_src.(v) !s !out
+    done;
+    Some !out
+  end
 
 let find_hom ?restrict ~source ~target () =
   match prune ?restrict ~source ~target () with
   | None -> None
   | Some candidates ->
-    Solver.find_hom
-      ~restrict:(fun v -> Int_map.find v candidates)
-      ~source ~target ()
+    Solver.find_hom ~restrict:(Domains.of_map candidates) ~source ~target ()
 
 let find_hom_b ?restrict ?(limits = Engine.Limits.unlimited) ~source ~target
     () =
@@ -93,8 +117,6 @@ let find_hom_b ?restrict ?(limits = Engine.Limits.unlimited) ~source ~target
   | None -> Engine.Unsat
   | Some candidates ->
     let config =
-      Engine.Config.make ~limits
-        ~restrict:(fun v -> Int_map.find v candidates)
-        ()
+      Engine.Config.make ~limits ~restrict:(Domains.of_map candidates) ()
     in
     Engine.solve ~config ~source ~target ()

@@ -7,7 +7,7 @@
     candidate assignment, or [None] if some node's candidates become empty
     (in which case no homomorphism exists). *)
 val prune :
-  ?restrict:Structure.candidates ->
+  ?restrict:Domains.t ->
   source:Structure.t ->
   target:Structure.t ->
   unit ->
@@ -19,7 +19,7 @@ val prune :
     returns [None] spuriously, and a budgeted one is available through
     [find_hom_b]. *)
 val find_hom :
-  ?restrict:Structure.candidates ->
+  ?restrict:Domains.t ->
   source:Structure.t ->
   target:Structure.t ->
   unit ->
@@ -28,7 +28,7 @@ val find_hom :
 (** Budgeted variant: AC-3 preprocessing, then {!Engine.solve} under
     [limits]. *)
 val find_hom_b :
-  ?restrict:Structure.candidates ->
+  ?restrict:Domains.t ->
   ?limits:Engine.Limits.t ->
   source:Structure.t ->
   target:Structure.t ->

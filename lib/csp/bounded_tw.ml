@@ -14,7 +14,9 @@ let base_candidates ~source ~target ~restrict v =
         if Structure.same_label source v target w then Int_set.add w s else s)
       Int_set.empty (Structure.nodes target)
   in
-  Int_set.inter labelled (restrict v)
+  match Domains.find restrict v with
+  | None -> labelled
+  | Some s -> Int_set.inter labelled s
 
 (* Assign each fact of [source] to the first bag containing all its
    variables; a valid decomposition always has one. *)
@@ -62,7 +64,8 @@ type tables = {
   proj_positions : int array array;
 }
 
-let solve ?decomposition ~source ~target ~restrict () =
+let solve ?decomposition ?(restrict = Domains.unconstrained) ~source ~target
+    () =
   Trace.with_span "csp.btw.solve" @@ fun () ->
   let decomposition =
     match decomposition with
@@ -186,11 +189,11 @@ let solve ?decomposition ~source ~target ~restrict () =
     else None
   end
 
-let r_hom ?decomposition ~source ~target ~restrict () =
-  Option.is_some (solve ?decomposition ~source ~target ~restrict ())
+let r_hom ?decomposition ?restrict ~source ~target () =
+  Option.is_some (solve ?decomposition ?restrict ~source ~target ())
 
-let r_hom_witness ?decomposition ~source ~target ~restrict () =
-  match solve ?decomposition ~source ~target ~restrict () with
+let r_hom_witness ?decomposition ?restrict ~source ~target () =
+  match solve ?decomposition ?restrict ~source ~target () with
   | None -> None
   | Some t ->
     let hom = ref Int_map.empty in
@@ -214,7 +217,5 @@ let r_hom_witness ?decomposition ~source ~target ~restrict () =
     List.iter (fun r -> fill r [||]) (Treewidth.roots t.decomposition);
     Some !hom
 
-let full_restrict target _ = Int_set.of_list (Structure.nodes target)
-
 let hom ?decomposition ~source ~target () =
-  r_hom ?decomposition ~source ~target ~restrict:(full_restrict target) ()
+  r_hom ?decomposition ~source ~target ()

@@ -9,25 +9,25 @@
     [k+1] variables [29, 42]; the join-tree dynamic program below is the
     standard operational counterpart of that argument. *)
 
-(** [r_hom ?decomposition ~source ~target ~restrict ()] decides the
-    existence of an R-compatible homomorphism, where [restrict v] is the set
-    [R(v) ⊆ B].  Labels are enforced in addition to [restrict].  A
-    decomposition of [source] is computed with the min-degree heuristic when
-    not supplied. *)
+(** [r_hom ?decomposition ?restrict ~source ~target ()] decides the
+    existence of an R-compatible homomorphism, where [restrict] is the
+    relation [R] (default {!Domains.unconstrained}).  Labels are enforced
+    in addition to [restrict].  A decomposition of [source] is computed
+    with the min-degree heuristic when not supplied. *)
 val r_hom :
   ?decomposition:Treewidth.t ->
+  ?restrict:Domains.t ->
   source:Structure.t ->
   target:Structure.t ->
-  restrict:Structure.candidates ->
   unit ->
   bool
 
 (** Same, returning a witness homomorphism extracted from the DP tables. *)
 val r_hom_witness :
   ?decomposition:Treewidth.t ->
+  ?restrict:Domains.t ->
   source:Structure.t ->
   target:Structure.t ->
-  restrict:Structure.candidates ->
   unit ->
   Solver.hom option
 

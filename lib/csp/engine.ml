@@ -168,7 +168,7 @@ module Config = struct
     limits : Limits.t;
     var_order : var_order;
     propagation : propagation;
-    restrict : Structure.candidates option;
+    restrict : Domains.t option;
   }
 
   let default =
@@ -233,38 +233,14 @@ let initial_candidates ?restrict ~source ~target () =
       let cands =
         match restrict with
         | None -> base
-        | Some r -> Int_set.inter base (r v)
+        | Some r -> (
+          match Domains.find r v with
+          | None -> base
+          | Some s -> Int_set.inter base s)
       in
       Int_map.add v cands m)
     Int_map.empty (Structure.nodes source)
 
-(* [supports target assignment c w b] iff some target tuple of [c.rel] is
-   consistent with [assignment] extended by [w ↦ b] on the variables of
-   [c]. *)
-let supports target assignment c w b =
-  List.exists
-    (fun tt ->
-      Array.length tt = Array.length c.vars
-      && (let ok = ref true in
-          Array.iteri
-            (fun i v ->
-              if !ok then
-                if v = w then (if tt.(i) <> b then ok := false)
-                else
-                  match Int_map.find_opt v assignment with
-                  | Some img -> if tt.(i) <> img then ok := false
-                  | None -> ())
-            c.vars;
-          !ok))
-    (Structure.tuples_of target c.rel)
-
-(* The budgeted backtracking core.  When [skip_free] is set, variables
-   occurring in no constraint are excluded from branching (their only
-   obligation is a non-empty candidate set, checked up front) and reported
-   to [on_solution], which receives the assignment over the branching
-   variables, the live candidate map, and the skipped variables — so
-   solve-mode can extend the assignment greedily while exists-mode skips
-   the work entirely.  Raises [Budget.Interrupted] when a limit trips. *)
 exception Stop
 
 (* Fisher–Yates with an explicit PRNG state: restart policies rely on the
@@ -279,136 +255,426 @@ let seeded_shuffle st l =
   done;
   Array.to_list a
 
-let run_search ~(config : Config.t) ~budget ~skip_free ~source ~target
-    on_solution =
-  Obs.incr searches;
-  let cstrs = constraints_of source in
-  let by_var = constraints_by_var cstrs in
-  let cstrs_of v =
-    match Int_map.find_opt v by_var with Some cs -> cs | None -> []
-  in
-  let all_vars = Structure.nodes source in
-  let branch_vars, free_vars =
-    if skip_free then List.partition (fun v -> Int_map.mem v by_var) all_vars
-    else (all_vars, [])
-  in
-  let branch_vars =
-    match config.var_order with
-    | Config.Seeded s ->
-      seeded_shuffle (Random.State.make [| s; 0x5eed |]) branch_vars
-    | Config.Mrv | Config.Lex -> branch_vars
-  in
-  (* Seeded also perturbs the value order per variable, deterministically
-     in (seed, var), so two attempts with different seeds explore
-     genuinely different prefixes of the search tree. *)
-  let iter_values v f dom =
-    match config.var_order with
-    | Config.Seeded s ->
-      List.iter f
-        (seeded_shuffle
-           (Random.State.make [| s; v; 0x5eed |])
-           (Int_set.elements dom))
-    | Config.Mrv | Config.Lex -> Int_set.iter f dom
-  in
-  let fc = config.propagation = Config.Forward_check in
-  let mrv = config.var_order = Config.Mrv in
-  let rec go assignment candidates unassigned =
-    match unassigned with
-    | [] ->
-      Obs.incr solutions;
-      if on_solution assignment candidates free_vars = `Stop then raise Stop
-    | _ ->
-      let v =
-        if mrv then begin
-          Obs.incr mrv_selects;
-          List.fold_left
-            (fun best v ->
-              let card v = Int_set.cardinal (Int_map.find v candidates) in
-              match best with
-              | None -> Some v
-              | Some b -> if card v < card b then Some v else best)
-            None unassigned
-          |> Option.get
-        end
-        else List.hd unassigned
-      in
-      let rest = List.filter (fun w -> w <> v) unassigned in
-      iter_values v
-        (fun b ->
-          Budget.tick_node budget;
-          Obs.incr decisions;
-          let assignment' = Int_map.add v b assignment in
-          (* prune the domains of neighbors through constraints on v *)
-          let ok = ref true in
-          let candidates' =
-            List.fold_left
-              (fun cands c ->
-                if not !ok then cands
-                else if
-                  (* fully assigned constraint: check directly *)
-                  Array.for_all (fun u -> Int_map.mem u assignment') c.vars
-                then
-                  if
-                    Structure.mem_tuple target c.rel
-                      (Array.map (fun u -> Int_map.find u assignment') c.vars)
-                  then cands
-                  else begin
-                    ok := false;
-                    cands
-                  end
-                else if not fc then cands
-                else
-                  Array.fold_left
-                    (fun cands u ->
-                      if Int_map.mem u assignment' then cands
-                      else
-                        let dom = Int_map.find u cands in
-                        let dom' =
-                          Int_set.filter
-                            (fun b' -> supports target assignment' c u b')
-                            dom
-                        in
-                        Obs.add fc_prunes
-                          (Int_set.cardinal dom - Int_set.cardinal dom');
-                        if Int_set.is_empty dom' then begin
-                          Obs.incr wipeouts;
-                          ok := false
-                        end;
-                        Int_map.add u dom' cands)
-                    cands c.vars)
-              candidates (cstrs_of v)
+(* {1 The compiled instance}
+
+   One compile per (source, target, restrict) triple: both structures'
+   columnar views ({!Structure.columnar}), dense variable and value ids,
+   per-variable initial candidate bitsets (label-compatible targets
+   intersected with the restriction), and the constraint list with its
+   per-variable index and the matching target relation resolved by
+   interned (rel_id, arity).  Shared by the search core and AC-3. *)
+
+module Compiled = struct
+  module Bitset = Domains.Bitset
+
+  type ccstr = {
+    cvars : int array; (* dense source vars, one per position *)
+    tgt : Structure.crel option; (* target tuples of the same (rel, arity) *)
+  }
+
+  type t = {
+    csrc : Structure.columnar;
+    ctgt : Structure.columnar;
+    nvars : int;
+    cap : int; (* number of target nodes *)
+    words : int;
+    init : Bitset.bs array; (* per dense var *)
+    cstrs : ccstr array;
+    by_var : ccstr list array;
+    zero_ok : bool; (* every 0-ary source fact occurs in the target *)
+    max_arity : int;
+  }
+
+  let find_crel (c : Structure.columnar) rel_id arity =
+    let n = Array.length c.Structure.crels in
+    let rec go i =
+      if i >= n then None
+      else
+        let cr = c.Structure.crels.(i) in
+        if cr.Structure.rel_id = rel_id && cr.Structure.arity = arity then
+          Some cr
+        else go (i + 1)
+    in
+    go 0
+
+  let make ?restrict ~source ~target () =
+    let csrc = Structure.columnar source in
+    let ctgt = Structure.columnar target in
+    let nvars = Array.length csrc.Structure.node_ids in
+    let cap = Array.length ctgt.Structure.node_ids in
+    let words = max 1 (Bitset.words_for cap) in
+    (* targets grouped by label id, as bitsets *)
+    let by_label = Hashtbl.create 8 in
+    Array.iteri
+      (fun w l ->
+        let bs =
+          match Hashtbl.find_opt by_label l with
+          | Some bs -> bs
+          | None ->
+            let bs = Bitset.create cap in
+            Hashtbl.replace by_label l bs;
+            bs
+        in
+        Bitset.set bs w)
+      ctgt.Structure.node_labels;
+    let empty_row = Bitset.create cap in
+    let init =
+      Array.init nvars (fun v ->
+          let base =
+            match Hashtbl.find_opt by_label csrc.Structure.node_labels.(v) with
+            | Some bs -> Bitset.copy bs
+            | None -> Bitset.copy empty_row
           in
-          if !ok then go assignment' candidates' rest
-          else Budget.tick_backtrack budget)
-        (Int_map.find v candidates)
-  in
-  let candidates =
-    initial_candidates ?restrict:config.restrict ~source ~target ()
-  in
-  if Int_map.for_all (fun _ d -> not (Int_set.is_empty d)) candidates then (
+          (match restrict with
+          | None -> ()
+          | Some r -> (
+            match Domains.find r csrc.Structure.node_ids.(v) with
+            | None -> ()
+            | Some s ->
+              let mask = Bitset.create cap in
+              Int_set.iter
+                (fun raw ->
+                  match Hashtbl.find_opt ctgt.Structure.dense_of raw with
+                  | Some w -> Bitset.set mask w
+                  | None -> ())
+                s;
+              ignore (Bitset.inter_into ~dst:base mask)));
+          base)
+    in
+    let cstrs = ref [] in
+    let zero_ok = ref true in
+    let max_arity = ref 1 in
+    Array.iter
+      (fun (cr : Structure.crel) ->
+        if cr.Structure.arity = 0 then begin
+          if
+            cr.Structure.count > 0
+            && not
+                 (match find_crel ctgt cr.Structure.rel_id 0 with
+                 | Some tr -> tr.Structure.count > 0
+                 | None -> false)
+          then zero_ok := false
+        end
+        else begin
+          if cr.Structure.arity > !max_arity then max_arity := cr.Structure.arity;
+          let tgt = find_crel ctgt cr.Structure.rel_id cr.Structure.arity in
+          for i = cr.Structure.count - 1 downto 0 do
+            let cvars =
+              Array.sub cr.Structure.flat (i * cr.Structure.arity)
+                cr.Structure.arity
+            in
+            cstrs := { cvars; tgt } :: !cstrs
+          done
+        end)
+      csrc.Structure.crels;
+    let cstrs = Array.of_list !cstrs in
+    let by_var = Array.make (max 1 nvars) [] in
+    for i = Array.length cstrs - 1 downto 0 do
+      let c = cstrs.(i) in
+      let seen = ref [] in
+      Array.iter
+        (fun v ->
+          if not (List.mem v !seen) then begin
+            seen := v :: !seen;
+            by_var.(v) <- c :: by_var.(v)
+          end)
+        c.cvars
+    done;
+    {
+      csrc;
+      ctgt;
+      nvars;
+      cap;
+      words;
+      init;
+      cstrs;
+      by_var;
+      zero_ok = !zero_ok;
+      max_arity = !max_arity;
+    }
+end
+
+(* The budgeted backtracking core over the compiled instance.  Semantics
+   (variable/value order, MRV tie-breaking, forward-check pruning, budget
+   ticks) mirror {!Reference.run_search} exactly — the search tree and
+   the csp.solver.* counters it drives are preserved — but domains are
+   bitset rows with trail-based undo and support scans run over the
+   target's per-position tuple index instead of [Tuple_set] traversals.
+
+   When [skip_free] is set, variables occurring in no constraint are
+   excluded from branching (their only obligation is a non-empty
+   candidate set, checked up front) and reported to [on_solution]. *)
+let run_search_compiled ~(config : Config.t) ~budget ~skip_free
+    (cp : Compiled.t) on_solution =
+  let module Bitset = Domains.Bitset in
+  let module Dense = Domains.Dense in
+  Obs.incr searches;
+  let nvars = cp.Compiled.nvars in
+  let raw v = cp.Compiled.csrc.Structure.node_ids.(v) in
+  if not cp.Compiled.zero_ok then `Exhausted
+  else if
+    Array.exists (fun row -> Bitset.is_empty row) cp.Compiled.init
+  then `Exhausted
+  else begin
+    let branch, free =
+      let b = ref [] and f = ref [] in
+      for v = nvars - 1 downto 0 do
+        if (not skip_free) || cp.Compiled.by_var.(v) <> [] then b := v :: !b
+        else f := v :: !f
+      done;
+      (!b, !f)
+    in
+    let branch =
+      match config.var_order with
+      | Config.Seeded s ->
+        seeded_shuffle (Random.State.make [| s; 0x5eed |]) branch
+      | Config.Mrv | Config.Lex -> branch
+    in
+    let order = Array.of_list branch in
+    let n_branch = Array.length order in
+    let m = Dense.create ~vars:(max 1 nvars) ~cap:cp.Compiled.cap in
+    Array.iteri (fun v row -> Dense.set_row m v row) cp.Compiled.init;
+    let assignment = Array.make (max 1 nvars) (-1) in
+    (* Seeded also perturbs the value order per variable, deterministically
+       in (seed, var), so two attempts with different seeds explore
+       genuinely different prefixes of the search tree. *)
+    let values_of v =
+      let vals = Dense.row_to_list m v in
+      match config.var_order with
+      | Config.Seeded s ->
+        seeded_shuffle (Random.State.make [| s; raw v; 0x5eed |]) vals
+      | Config.Mrv | Config.Lex -> vals
+    in
+    let fc = config.propagation = Config.Forward_check in
+    let mrv = config.var_order = Config.Mrv in
+    (* trail bookkeeping: each decision saves a modified row at most once *)
+    let stamp = ref 0 in
+    let saved_stamp = Array.make (max 1 nvars) (-1) in
+    let scratch =
+      Array.init (max 1 cp.Compiled.max_arity) (fun _ ->
+          Array.make cp.Compiled.words 0)
+    in
+    let slot_val = Array.make (max 1 cp.Compiled.max_arity) (-1) in
+    (* does the fully-assigned constraint [c] hold? *)
+    let check_full (c : Compiled.ccstr) =
+      match c.Compiled.tgt with
+      | None -> false
+      | Some tr ->
+        let arity = tr.Structure.arity in
+        let w0 = assignment.(c.Compiled.cvars.(0)) in
+        let cands = tr.Structure.by_pos.(0).(w0) in
+        let ok = ref false in
+        let k = ref 0 in
+        let nc = Array.length cands in
+        while (not !ok) && !k < nc do
+          let idx = cands.(!k) in
+          let all = ref true in
+          for p = 1 to arity - 1 do
+            if
+              !all
+              && tr.Structure.flat.((idx * arity) + p)
+                 <> assignment.(c.Compiled.cvars.(p))
+            then all := false
+          done;
+          if !all then ok := true;
+          incr k
+        done;
+        !ok
+    in
+    (* forward-check [c] after assigning [v <- b]: one scan over the
+       target tuples matching [b] at [v]'s position, accumulating
+       per-slot support bitsets, then a row-wise [land] per unassigned
+       variable.  Prunes exactly what per-value support probing would. *)
+    let propagate_cstr trail (c : Compiled.ccstr) v b =
+      let arity = Array.length c.Compiled.cvars in
+      (* slot k <-> k-th distinct unassigned variable of c *)
+      let nslots = ref 0 in
+      let slots = Array.make arity (-1) in
+      (* slots.(p) = slot of the variable at position p, or -1 if assigned *)
+      let slot_vars = Array.make arity (-1) in
+      for p = 0 to arity - 1 do
+        let u = c.Compiled.cvars.(p) in
+        if assignment.(u) >= 0 then slots.(p) <- -1
+        else begin
+          (* first occurrence of u? *)
+          let rec first q =
+            if q >= p then -1
+            else if c.Compiled.cvars.(q) = u then slots.(q)
+            else first (q + 1)
+          in
+          match first 0 with
+          | -1 ->
+            let k = !nslots in
+            incr nslots;
+            slots.(p) <- k;
+            slot_vars.(k) <- u;
+            Bitset.clear scratch.(k)
+          | k -> slots.(p) <- k
+        end
+      done;
+      let nslots = !nslots in
+      (match c.Compiled.tgt with
+      | None -> ()
+      | Some tr ->
+        (* position of v in c (first occurrence) to narrow the scan *)
+        let rec pos_of p =
+          if c.Compiled.cvars.(p) = v then p else pos_of (p + 1)
+        in
+        let pv = pos_of 0 in
+        let cands = tr.Structure.by_pos.(pv).(b) in
+        Array.iter
+          (fun idx ->
+            for k = 0 to nslots - 1 do
+              slot_val.(k) <- -1
+            done;
+            let consistent = ref true in
+            let p = ref 0 in
+            while !consistent && !p < arity do
+              let u = c.Compiled.cvars.(!p) in
+              let tv = tr.Structure.flat.((idx * arity) + !p) in
+              (if assignment.(u) >= 0 then begin
+                 if tv <> assignment.(u) then consistent := false
+               end
+               else
+                 let k = slots.(!p) in
+                 if slot_val.(k) = -1 then slot_val.(k) <- tv
+                 else if slot_val.(k) <> tv then consistent := false);
+              incr p
+            done;
+            if !consistent then
+              for k = 0 to nslots - 1 do
+                Bitset.set scratch.(k) slot_val.(k)
+              done)
+          cands);
+      let ok = ref true in
+      for k = 0 to nslots - 1 do
+        let u = slot_vars.(k) in
+        if saved_stamp.(u) <> !stamp then begin
+          saved_stamp.(u) <- !stamp;
+          trail := (u, Dense.save_row m u, Dense.count m u) :: !trail
+        end;
+        let cleared = Dense.inter_row m u scratch.(k) in
+        Obs.add fc_prunes cleared;
+        if Dense.count m u = 0 then begin
+          Obs.incr wipeouts;
+          ok := false
+        end
+      done;
+      !ok
+    in
+    let n_assigned = ref 0 in
+    let rec go () =
+      if !n_assigned = n_branch then begin
+        Obs.incr solutions;
+        if on_solution assignment m free = `Stop then raise Stop
+      end
+      else begin
+        let v =
+          if mrv then begin
+            Obs.incr mrv_selects;
+            let best = ref (-1) in
+            Array.iter
+              (fun v ->
+                if assignment.(v) < 0 then
+                  if !best < 0 || Dense.count m v < Dense.count m !best then
+                    best := v)
+              order;
+            !best
+          end
+          else begin
+            let rec first i =
+              if assignment.(order.(i)) < 0 then order.(i) else first (i + 1)
+            in
+            first 0
+          end
+        in
+        List.iter
+          (fun b ->
+            Budget.tick_node budget;
+            Obs.incr decisions;
+            assignment.(v) <- b;
+            incr n_assigned;
+            incr stamp;
+            let trail = ref [] in
+            let ok = ref true in
+            List.iter
+              (fun (c : Compiled.ccstr) ->
+                if !ok then
+                  if
+                    Array.for_all
+                      (fun u -> assignment.(u) >= 0)
+                      c.Compiled.cvars
+                  then begin
+                    if not (check_full c) then ok := false
+                  end
+                  else if fc then
+                    if not (propagate_cstr trail c v b) then ok := false)
+              cp.Compiled.by_var.(v);
+            (try
+               if !ok then go ()
+               else Budget.tick_backtrack budget
+             with e ->
+               (* unwind the trail even on Stop/Interrupted so sibling
+                  state stays coherent for enumerating callers *)
+               List.iter
+                 (fun (u, row, cnt) -> Dense.restore_row m u row cnt)
+                 !trail;
+               assignment.(v) <- -1;
+               decr n_assigned;
+               raise e);
+            List.iter
+              (fun (u, row, cnt) -> Dense.restore_row m u row cnt)
+              !trail;
+            assignment.(v) <- -1;
+            decr n_assigned)
+          (values_of v)
+      end
+    in
     try
-      go Int_map.empty candidates branch_vars;
+      go ();
       `Exhausted
-    with Stop -> `Stopped)
-  else `Exhausted
+    with Stop -> `Stopped
+  end
 
 (* {1 Public entry points} *)
 
+let compile ?restrict ~source ~target () =
+  Compiled.make ?restrict ~source ~target ()
+
+let hom_of_assignment (cp : Compiled.t) assignment =
+  let h = ref Int_map.empty in
+  Array.iteri
+    (fun v b ->
+      if b >= 0 then
+        h :=
+          Int_map.add
+            cp.Compiled.csrc.Structure.node_ids.(v)
+            cp.Compiled.ctgt.Structure.node_ids.(b)
+            !h)
+    assignment;
+  !h
+
 let solve ?(config = Config.default) ~source ~target () =
   Trace.with_span "csp.engine.solve" @@ fun () ->
+  let cp = Compiled.make ?restrict:config.restrict ~source ~target () in
   Budget.run config.limits (fun budget ->
       let found = ref None in
       (match
-         run_search ~config ~budget ~skip_free:true ~source ~target
-           (fun assignment candidates free_vars ->
+         run_search_compiled ~config ~budget ~skip_free:true cp
+           (fun assignment m free_vars ->
              (* unconstrained variables: any label-compatible candidate
                 works, so extend greedily without search *)
+             let h = hom_of_assignment cp assignment in
              let h =
                List.fold_left
                  (fun h v ->
                    Obs.incr decisions;
-                   Int_map.add v (Int_set.min_elt (Int_map.find v candidates)) h)
-                 assignment free_vars
+                   let b = List.hd (Domains.Dense.row_to_list m v) in
+                   Int_map.add
+                     cp.Compiled.csrc.Structure.node_ids.(v)
+                     cp.Compiled.ctgt.Structure.node_ids.(b)
+                     h)
+                 h free_vars
              in
              found := Some h;
              `Stop)
@@ -418,10 +684,11 @@ let solve ?(config = Config.default) ~source ~target () =
 
 let satisfiable ?(config = Config.default) ~source ~target () =
   Trace.with_span "csp.engine.satisfiable" @@ fun () ->
+  let cp = Compiled.make ?restrict:config.restrict ~source ~target () in
   Budget.run config.limits (fun budget ->
       let found = ref false in
       (match
-         run_search ~config ~budget ~skip_free:true ~source ~target
+         run_search_compiled ~config ~budget ~skip_free:true cp
            (fun _ _ free_vars ->
              Obs.add exists_skipped_vars (List.length free_vars);
              found := true;
@@ -432,10 +699,11 @@ let satisfiable ?(config = Config.default) ~source ~target () =
 
 let iter ?(config = Config.default) ~source ~target f =
   Trace.with_span "csp.engine.iter" @@ fun () ->
+  let cp = Compiled.make ?restrict:config.restrict ~source ~target () in
   let budget = Budget.start config.limits in
   match
-    run_search ~config ~budget ~skip_free:false ~source ~target
-      (fun assignment _ _ -> f assignment)
+    run_search_compiled ~config ~budget ~skip_free:false cp
+      (fun assignment _ _ -> f (hom_of_assignment cp assignment))
   with
   | `Exhausted -> `Exhausted
   | `Stopped -> `Stopped
@@ -455,6 +723,184 @@ let count ?(config = Config.default) ~source ~target () =
   with
   | `Exhausted | `Stopped -> Sat !n
   | `Interrupted r -> Unknown r
+
+(* {1 The reference core}
+
+   The pre-columnar map/set implementation, preserved verbatim: it is the
+   ablation baseline of bench e24, and the independent oracle the
+   property tests compare the bitset core against.  Same [Config.t], same
+   budget semantics, same counters. *)
+
+module Reference = struct
+  (* [supports target assignment c w b] iff some target tuple of [c.rel]
+     is consistent with [assignment] extended by [w ↦ b] on the variables
+     of [c]. *)
+  let supports target assignment c w b =
+    List.exists
+      (fun tt ->
+        Array.length tt = Array.length c.vars
+        && (let ok = ref true in
+            Array.iteri
+              (fun i v ->
+                if !ok then
+                  if v = w then (if tt.(i) <> b then ok := false)
+                  else
+                    match Int_map.find_opt v assignment with
+                    | Some img -> if tt.(i) <> img then ok := false
+                    | None -> ())
+              c.vars;
+            !ok))
+      (Structure.tuples_of target c.rel)
+
+  let run_search ~(config : Config.t) ~budget ~skip_free ~source ~target
+      on_solution =
+    Obs.incr searches;
+    let cstrs = constraints_of source in
+    let by_var = constraints_by_var cstrs in
+    let cstrs_of v =
+      match Int_map.find_opt v by_var with Some cs -> cs | None -> []
+    in
+    let all_vars = Structure.nodes source in
+    let branch_vars, free_vars =
+      if skip_free then
+        List.partition (fun v -> Int_map.mem v by_var) all_vars
+      else (all_vars, [])
+    in
+    let branch_vars =
+      match config.var_order with
+      | Config.Seeded s ->
+        seeded_shuffle (Random.State.make [| s; 0x5eed |]) branch_vars
+      | Config.Mrv | Config.Lex -> branch_vars
+    in
+    let iter_values v f dom =
+      match config.var_order with
+      | Config.Seeded s ->
+        List.iter f
+          (seeded_shuffle
+             (Random.State.make [| s; v; 0x5eed |])
+             (Int_set.elements dom))
+      | Config.Mrv | Config.Lex -> Int_set.iter f dom
+    in
+    let fc = config.propagation = Config.Forward_check in
+    let mrv = config.var_order = Config.Mrv in
+    let rec go assignment candidates unassigned =
+      match unassigned with
+      | [] ->
+        Obs.incr solutions;
+        if on_solution assignment candidates free_vars = `Stop then raise Stop
+      | _ ->
+        let v =
+          if mrv then begin
+            Obs.incr mrv_selects;
+            List.fold_left
+              (fun best v ->
+                let card v = Int_set.cardinal (Int_map.find v candidates) in
+                match best with
+                | None -> Some v
+                | Some b -> if card v < card b then Some v else best)
+              None unassigned
+            |> Option.get
+          end
+          else List.hd unassigned
+        in
+        let rest = List.filter (fun w -> w <> v) unassigned in
+        iter_values v
+          (fun b ->
+            Budget.tick_node budget;
+            Obs.incr decisions;
+            let assignment' = Int_map.add v b assignment in
+            (* prune the domains of neighbors through constraints on v *)
+            let ok = ref true in
+            let candidates' =
+              List.fold_left
+                (fun cands c ->
+                  if not !ok then cands
+                  else if
+                    (* fully assigned constraint: check directly *)
+                    Array.for_all (fun u -> Int_map.mem u assignment') c.vars
+                  then
+                    if
+                      Structure.mem_tuple target c.rel
+                        (Array.map
+                           (fun u -> Int_map.find u assignment')
+                           c.vars)
+                    then cands
+                    else begin
+                      ok := false;
+                      cands
+                    end
+                  else if not fc then cands
+                  else
+                    Array.fold_left
+                      (fun cands u ->
+                        if Int_map.mem u assignment' then cands
+                        else
+                          let dom = Int_map.find u cands in
+                          let dom' =
+                            Int_set.filter
+                              (fun b' -> supports target assignment' c u b')
+                              dom
+                          in
+                          Obs.add fc_prunes
+                            (Int_set.cardinal dom - Int_set.cardinal dom');
+                          if Int_set.is_empty dom' then begin
+                            Obs.incr wipeouts;
+                            ok := false
+                          end;
+                          Int_map.add u dom' cands)
+                      cands c.vars)
+                candidates (cstrs_of v)
+            in
+            if !ok then go assignment' candidates' rest
+            else Budget.tick_backtrack budget)
+          (Int_map.find v candidates)
+    in
+    let candidates =
+      initial_candidates ?restrict:config.restrict ~source ~target ()
+    in
+    if Int_map.for_all (fun _ d -> not (Int_set.is_empty d)) candidates then (
+      try
+        go Int_map.empty candidates branch_vars;
+        `Exhausted
+      with Stop -> `Stopped)
+    else `Exhausted
+
+  let solve ?(config = Config.default) ~source ~target () =
+    Trace.with_span "csp.engine.reference.solve" @@ fun () ->
+    Budget.run config.limits (fun budget ->
+        let found = ref None in
+        (match
+           run_search ~config ~budget ~skip_free:true ~source ~target
+             (fun assignment candidates free_vars ->
+               let h =
+                 List.fold_left
+                   (fun h v ->
+                     Obs.incr decisions;
+                     Int_map.add v
+                       (Int_set.min_elt (Int_map.find v candidates))
+                       h)
+                   assignment free_vars
+               in
+               found := Some h;
+               `Stop)
+         with
+        | `Exhausted | `Stopped -> ());
+        !found)
+
+  let satisfiable ?(config = Config.default) ~source ~target () =
+    Trace.with_span "csp.engine.reference.satisfiable" @@ fun () ->
+    Budget.run config.limits (fun budget ->
+        let found = ref false in
+        (match
+           run_search ~config ~budget ~skip_free:true ~source ~target
+             (fun _ _ free_vars ->
+               Obs.add exists_skipped_vars (List.length free_vars);
+               found := true;
+               `Stop)
+         with
+        | `Exhausted | `Stopped -> ());
+        if !found then Some () else None)
+end
 
 (* {1 The domain-parallel batch layer} *)
 
@@ -568,4 +1014,79 @@ module Batch = struct
     map ?jobs
       (fun t -> solve ~config:t.config ~source:t.source ~target:t.target ())
       tasks
+end
+
+(* {1 Component decomposition}
+
+   A hom instance whose source splits into connected components (of the
+   Gaifman graph) decomposes: the components share no constraint, so a
+   homomorphism exists iff one exists per component, and the witnesses
+   stitch together over the disjoint node sets.  Components are solved
+   independently — optionally in parallel on {!Batch}'s domain pool —
+   and the outcomes conjoined: any [Unsat] wins, else any [Unknown]
+   wins (the first, in component order), else [Sat]. *)
+
+module Components = struct
+  let splits = Obs.counter "csp.components.splits"
+  let solved = Obs.counter "csp.components.solved"
+  let components_gauge = Obs.gauge "csp.components.count"
+
+  let split = Structure.components
+  let count = Structure.component_count
+
+  (* [conjoin outcomes] — [merge] stitches the per-component witnesses
+     (their domains are disjoint). *)
+  let conjoin ~merge outcomes =
+    if List.exists (function Unsat -> true | _ -> false) outcomes then Unsat
+    else
+      match
+        List.find_opt (function Unknown _ -> true | _ -> false) outcomes
+      with
+      | Some (Unknown r) -> Unknown r
+      | Some _ | None ->
+        Sat
+          (merge
+             (List.map
+                (function Sat x -> x | Unsat | Unknown _ -> assert false)
+                outcomes))
+
+  let run ~each ~merge ?(config = Config.default) ?(jobs = 1) ~source
+      ~target () =
+    match Structure.components source with
+    | [] | [ _ ] -> each ~config ~source ~target ()
+    | comps ->
+      Trace.with_span "csp.components.run"
+        ~labels:[ ("components", string_of_int (List.length comps)) ]
+      @@ fun () ->
+      Obs.incr splits;
+      Obs.set_int components_gauge (List.length comps);
+      (* every component runs under the caller's full limits — the
+         conjunction is still sound: a definitive per-component answer is
+         definitive for the whole, and budgets only add Unknowns *)
+      let outcomes =
+        Batch.map ~jobs
+          (fun comp ->
+            let o = each ~config ~source:comp ~target () in
+            Obs.incr solved;
+            o)
+          comps
+      in
+      conjoin ~merge outcomes
+
+  let solve ?config ?jobs ~source ~target () =
+    run
+      ~each:(fun ~config ~source ~target () ->
+        solve ~config ~source ~target ())
+      ~merge:(fun homs ->
+        List.fold_left
+          (Int_map.union (fun _ w _ -> Some w))
+          Int_map.empty homs)
+      ?config ?jobs ~source ~target ()
+
+  let satisfiable ?config ?jobs ~source ~target () =
+    run
+      ~each:(fun ~config ~source ~target () ->
+        satisfiable ~config ~source ~target ())
+      ~merge:(fun _ -> ())
+      ?config ?jobs ~source ~target ()
 end

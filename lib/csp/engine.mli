@@ -14,6 +14,20 @@
     only reported after the search space is exhausted, and [Unknown r]
     says which limit tripped.
 
+    The search core runs over compiled instances: both structures'
+    columnar views ({!Structure.columnar}), interned relation and label
+    ids ({!Interner}), and candidate domains as word-parallel bitset
+    rows ({!Domains.Dense}) with trail-based undo — support checks are
+    [land]s over int arrays driven by the target's per-position tuple
+    index.  {!Reference} preserves the pre-columnar map/set core as the
+    ablation baseline and test oracle.  {!Components} splits an instance
+    into connected components and conjoins per-component outcomes,
+    optionally in parallel on {!Batch}'s domain pool.
+
+    One semantic fix over {!Reference}: a 0-ary source fact [R()] absent
+    from the target makes the instance [Unsat] (the old core ignored
+    0-ary constraints, which belong to no variable).
+
     {!Solver.find_hom} and friends remain as thin unlimited-budget shims
     over this module.  {!Batch} fans independent searches out across
     OCaml domains with deterministic result ordering. *)
@@ -131,7 +145,7 @@ module Config : sig
     limits : Limits.t;
     var_order : var_order;
     propagation : propagation;
-    restrict : Structure.candidates option;
+    restrict : Domains.t option;
         (** constrain the graph of the hom to a relation [R ⊆ A × B]
             (Theorem 6's R-compatible homomorphisms) *)
   }
@@ -143,11 +157,11 @@ module Config : sig
     ?limits:Limits.t ->
     ?var_order:var_order ->
     ?propagation:propagation ->
-    ?restrict:Structure.candidates ->
+    ?restrict:Domains.t ->
     unit ->
     t
 
-  val with_restrict : Structure.candidates -> t -> t
+  val with_restrict : Domains.t -> t -> t
 end
 
 (** [is_hom ~source ~target h] checks that [h] is a total
@@ -156,18 +170,57 @@ val is_hom : source:Structure.t -> target:Structure.t -> hom -> bool
 
 (**/**)
 
-(* Internal plumbing shared with [Solver]'s naive ablation baseline. *)
+(* Internal plumbing shared with [Solver]'s naive ablation baseline and
+   [Arc_consistency]'s bitset propagator. *)
 
 type cstr = { rel : string; vars : int array }
 
 val constraints_of : Structure.t -> cstr list
 
 val initial_candidates :
-  ?restrict:Structure.candidates ->
+  ?restrict:Domains.t ->
   source:Structure.t ->
   target:Structure.t ->
   unit ->
   Structure.Int_set.t Structure.Int_map.t
+
+(** A compiled hom instance: dense variable/value ids, per-variable
+    initial candidate bitsets, and constraints with their matching
+    target relation resolved by interned (rel_id, arity). *)
+module Compiled : sig
+  type ccstr = {
+    cvars : int array;  (** dense source vars, one per position *)
+    tgt : Structure.crel option;
+        (** target tuples of the same (rel, arity), if any *)
+  }
+
+  type t = {
+    csrc : Structure.columnar;
+    ctgt : Structure.columnar;
+    nvars : int;
+    cap : int;  (** number of target nodes *)
+    words : int;
+    init : Domains.Bitset.bs array;  (** per dense var *)
+    cstrs : ccstr array;
+    by_var : ccstr list array;
+    zero_ok : bool;  (** every 0-ary source fact occurs in the target *)
+    max_arity : int;
+  }
+
+  val make :
+    ?restrict:Domains.t ->
+    source:Structure.t ->
+    target:Structure.t ->
+    unit ->
+    t
+end
+
+val compile :
+  ?restrict:Domains.t ->
+  source:Structure.t ->
+  target:Structure.t ->
+  unit ->
+  Compiled.t
 
 (**/**)
 
@@ -209,6 +262,28 @@ val count :
   target:Structure.t ->
   unit ->
   int outcome
+
+(** The pre-columnar map/set search core, preserved verbatim: the
+    ablation baseline of bench e24 and the independent oracle of the
+    engine's property tests.  Same {!Config.t}, same budget semantics,
+    same counters — but persistent [Int_set] domains and [Tuple_set]
+    support scans instead of bitsets, and 0-ary constraints are (still)
+    silently ignored. *)
+module Reference : sig
+  val solve :
+    ?config:Config.t ->
+    source:Structure.t ->
+    target:Structure.t ->
+    unit ->
+    hom outcome
+
+  val satisfiable :
+    ?config:Config.t ->
+    source:Structure.t ->
+    target:Structure.t ->
+    unit ->
+    unit outcome
+end
 
 (** Domain-parallel batch solving: a hand-rolled worker pool (OCaml
     domains, no dependencies) that solves independent instances in
@@ -268,4 +343,39 @@ module Batch : sig
   (** [solve_all ?jobs tasks] = [map ?jobs] of {!solve}, with each
       task's own budget. *)
   val solve_all : ?jobs:int -> task list -> hom outcome list
+end
+
+(** Component-parallel solving.  The source splits into the connected
+    components of its Gaifman graph ({!Structure.components}); the
+    components share no constraint, so the instance decomposes: solve
+    each against the full target and conjoin — any [Unsat] ⇒ [Unsat],
+    else any [Unknown] ⇒ [Unknown] (the first, in component order), else
+    [Sat] with the witnesses stitched over the disjoint node sets.
+
+    Each component runs under the caller's full {!Limits.t} (budgets are
+    not divided; a shared {!Cancel.t} still cancels everything), and
+    [jobs > 1] fans components out on {!Batch}'s domain pool.  With one
+    component this is exactly {!solve}/{!satisfiable}. *)
+module Components : sig
+  (** {!Structure.components} of the source. *)
+  val split : Structure.t -> Structure.t list
+
+  (** {!Structure.component_count} of the source. *)
+  val count : Structure.t -> int
+
+  val solve :
+    ?config:Config.t ->
+    ?jobs:int ->
+    source:Structure.t ->
+    target:Structure.t ->
+    unit ->
+    hom outcome
+
+  val satisfiable :
+    ?config:Config.t ->
+    ?jobs:int ->
+    source:Structure.t ->
+    target:Structure.t ->
+    unit ->
+    unit outcome
 end

@@ -1,0 +1,67 @@
+(* String interning: the columnar structure view and the engine's compiled
+   instances key relations and labels by dense ints, not strings.  Ids are
+   process-global so two structures compiled independently agree on them —
+   a structure compiled before a server request and one compiled inside it
+   can be joined without a translation step. *)
+
+type t = {
+  mutable names : string array; (* id -> name; grows by doubling *)
+  mutable size : int;
+  tbl : (string, int) Hashtbl.t;
+  mu : Mutex.t;
+}
+
+let create () =
+  { names = Array.make 16 ""; size = 0; tbl = Hashtbl.create 16; mu = Mutex.create () }
+
+let intern t name =
+  Mutex.lock t.mu;
+  let id =
+    match Hashtbl.find_opt t.tbl name with
+    | Some id -> id
+    | None ->
+      let id = t.size in
+      if id = Array.length t.names then begin
+        let bigger = Array.make (2 * id) "" in
+        Array.blit t.names 0 bigger 0 id;
+        t.names <- bigger
+      end;
+      t.names.(id) <- name;
+      t.size <- id + 1;
+      Hashtbl.replace t.tbl name id;
+      id
+  in
+  Mutex.unlock t.mu;
+  id
+
+let find_opt t name =
+  Mutex.lock t.mu;
+  let r = Hashtbl.find_opt t.tbl name in
+  Mutex.unlock t.mu;
+  r
+
+let name t id =
+  Mutex.lock t.mu;
+  if id < 0 || id >= t.size then begin
+    Mutex.unlock t.mu;
+    invalid_arg "Interner.name: unknown id"
+  end
+  else begin
+    let n = t.names.(id) in
+    Mutex.unlock t.mu;
+    n
+  end
+
+let size t =
+  Mutex.lock t.mu;
+  let n = t.size in
+  Mutex.unlock t.mu;
+  n
+
+(* The two process-global pools. *)
+let rels = create ()
+let labels = create ()
+let rel_id r = intern rels r
+let rel_name id = name rels id
+let label_id l = intern labels l
+let label_name id = name labels id

@@ -1,0 +1,39 @@
+(** Dense string interning for the columnar data layer.
+
+    {!Structure.columnar} and the engine's compiled CSP instances replace
+    string relation names and node labels by small ints so the hot loops
+    compare and index by integer.  Ids are dense ([0..size-1], in first-
+    intern order) and process-global: structures compiled at different
+    times agree on them without translation.  All operations are
+    thread-safe (the pools are shared across domains). *)
+
+type t
+
+val create : unit -> t
+
+(** [intern t s] returns the id of [s], allocating the next dense id on
+    first sight. *)
+val intern : t -> string -> int
+
+(** [find_opt t s] — the id of [s] if it was ever interned (never
+    allocates). *)
+val find_opt : t -> string -> int option
+
+(** [name t id] — inverse of {!intern}.
+    @raise Invalid_argument on an unknown id. *)
+val name : t -> int -> string
+
+val size : t -> int
+
+(** {1 Process-global pools} *)
+
+(** Relation names. *)
+val rels : t
+
+(** Node labels. *)
+val labels : t
+
+val rel_id : string -> int
+val rel_name : int -> string
+val label_id : string -> int
+val label_name : int -> string

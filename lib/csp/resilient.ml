@@ -111,11 +111,7 @@ let propagation_certificate (config : Config.t) ~source ~target =
   | Some pruned ->
     (* feed the arc-consistent domains back into the search as the
        restriction, so the work done on rung one is not thrown away *)
-    `Restrict
-      (fun v ->
-        match Int_map.find_opt v pruned with
-        | Some s -> s
-        | None -> Int_set.empty)
+    `Restrict (Domains.of_map pruned)
 
 let ladder ~engine_call ?(policy = Policy.default) ?(config = Config.default)
     ~source ~target () =

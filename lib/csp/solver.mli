@@ -22,7 +22,7 @@ val is_hom : source:Structure.t -> target:Structure.t -> hom -> bool
 (** [find_hom ?restrict ~source ~target ()] returns a homomorphism if one
     exists.  [restrict v] limits the candidates for source node [v]. *)
 val find_hom :
-  ?restrict:Structure.candidates ->
+  ?restrict:Domains.t ->
   source:Structure.t ->
   target:Structure.t ->
   unit ->
@@ -32,7 +32,7 @@ val find_hom :
     short-circuits over unconstrained nodes and never materializes the
     witness map. *)
 val exists_hom :
-  ?restrict:Structure.candidates ->
+  ?restrict:Domains.t ->
   source:Structure.t ->
   target:Structure.t ->
   unit ->
@@ -40,7 +40,7 @@ val exists_hom :
 
 (** [find_hom_naive] — no variable-ordering heuristic, no propagation. *)
 val find_hom_naive :
-  ?restrict:Structure.candidates ->
+  ?restrict:Domains.t ->
   source:Structure.t ->
   target:Structure.t ->
   unit ->
@@ -49,14 +49,14 @@ val find_hom_naive :
 (** [iter_homs ~source ~target f] calls [f] on every homomorphism; [f]
     returning [`Stop] aborts the enumeration. *)
 val iter_homs :
-  ?restrict:Structure.candidates ->
+  ?restrict:Domains.t ->
   source:Structure.t ->
   target:Structure.t ->
   (hom -> [ `Continue | `Stop ]) ->
   unit
 
 val count_homs :
-  ?restrict:Structure.candidates ->
+  ?restrict:Domains.t ->
   source:Structure.t ->
   target:Structure.t ->
   unit ->

@@ -1,8 +1,9 @@
 module Int_set = Set.Make (Int)
 
-(* The one candidate-set representation shared by every hom search
-   (Csp.Engine/Solver restricts, Gdm.Ghom, the XML tree hom): a per-node
-   function from source node to admissible target nodes. *)
+(* Deprecated: the old candidate-set representation shared by every hom
+   search.  Restricts are now first-class [Domains.t] values; this alias
+   survives one release so out-of-tree callers can migrate through
+   [Domains.of_fun]. *)
 type candidates = int -> Int_set.t
 module Int_map = Map.Make (Int)
 module String_map = Map.Make (String)
@@ -15,33 +16,70 @@ module Tuple_set = Set.Make (struct
   let compare (a : tuple) (b : tuple) = Stdlib.compare a b
 end)
 
+(* {1 The columnar compiled view}
+
+   Every hom search bottoms out in scans over the tuples of one relation,
+   filtered by the value at one position.  The columnar view interns
+   relation names and labels ({!Interner}), renumbers nodes densely, and
+   stores each relation's tuples flat with a per-position inverted index,
+   so the engine's support checks become array reads instead of
+   [Tuple_set] traversals. *)
+
+type crel = {
+  rel : string;
+  rel_id : int; (* Interner.rel_id rel *)
+  arity : int;
+  count : int;
+  flat : int array; (* count * arity dense node ids, row-major *)
+  by_pos : int array array array;
+      (* by_pos.(p).(w) = ascending indices of tuples with dense node [w]
+         at position [p] *)
+}
+
+type columnar = {
+  node_ids : int array; (* dense -> raw node id, ascending *)
+  dense_of : (int, int) Hashtbl.t; (* raw -> dense *)
+  node_labels : int array; (* dense -> interned label id; -1 = unlabeled *)
+  crels : crel array;
+}
+
 type t = {
   nodes : Int_set.t;
   label : string Int_map.t;
   rels : Tuple_set.t String_map.t;
+  mutable cview : columnar option;
+      (* memoized compiled view; the record is otherwise persistent, so
+         the cache is write-once per value (a benign race: two domains
+         may both compile, the results are equal and one pointer write
+         wins) *)
 }
 
 let empty =
-  { nodes = Int_set.empty; label = Int_map.empty; rels = String_map.empty }
+  { nodes = Int_set.empty; label = Int_map.empty; rels = String_map.empty;
+    cview = None }
 
 let add_node ?label s v =
   let labels =
     match label with None -> s.label | Some l -> Int_map.add v l s.label
   in
-  { s with nodes = Int_set.add v s.nodes; label = labels }
+  { s with nodes = Int_set.add v s.nodes; label = labels; cview = None }
 
+(* Nodes of the tuple not yet in the structure are registered on the fly
+   (unlabeled) — the pre-declare-nodes boilerplate this used to force on
+   every caller bought nothing, since an unregistered node can only ever
+   be an unlabeled one. *)
 let add_tuple s rel tup =
-  Array.iter
-    (fun v ->
-      if not (Int_set.mem v s.nodes) then
-        invalid_arg "Structure.add_tuple: node not in structure")
-    tup;
+  let nodes =
+    Array.fold_left (fun ns v -> Int_set.add v ns) s.nodes tup
+  in
   let existing =
     match String_map.find_opt rel s.rels with
     | Some ts -> ts
     | None -> Tuple_set.empty
   in
-  { s with rels = String_map.add rel (Tuple_set.add tup existing) s.rels }
+  { s with nodes;
+    rels = String_map.add rel (Tuple_set.add tup existing) s.rels;
+    cview = None }
 
 let add_edge s rel x y = add_tuple s rel [| x; y |]
 
@@ -83,6 +121,71 @@ let fold_tuples f s init =
   String_map.fold
     (fun rel ts acc -> Tuple_set.fold (fun t acc -> f rel t acc) ts acc)
     s.rels init
+
+let compile s =
+  let node_ids = Array.of_list (Int_set.elements s.nodes) in
+  let n = Array.length node_ids in
+  let dense_of = Hashtbl.create (max 16 n) in
+  Array.iteri (fun d raw -> Hashtbl.replace dense_of raw d) node_ids;
+  let node_labels =
+    Array.map
+      (fun raw ->
+        match Int_map.find_opt raw s.label with
+        | None -> -1
+        | Some l -> Interner.label_id l)
+      node_ids
+  in
+  let crels =
+    String_map.fold
+      (fun rel ts acc ->
+        let rel_id = Interner.rel_id rel in
+        (* group by arity, preserving Tuple_set order within each group *)
+        let by_arity = Hashtbl.create 4 in
+        let arities = ref [] in
+        Tuple_set.iter
+          (fun t ->
+            let a = Array.length t in
+            match Hashtbl.find_opt by_arity a with
+            | Some l -> Hashtbl.replace by_arity a (t :: l)
+            | None ->
+              arities := a :: !arities;
+              Hashtbl.replace by_arity a [ t ])
+          ts;
+        List.fold_left
+          (fun acc arity ->
+            let tuples = Array.of_list (List.rev (Hashtbl.find by_arity arity)) in
+            let count = Array.length tuples in
+            let flat = Array.make (max 1 (count * arity)) 0 in
+            Array.iteri
+              (fun i t ->
+                Array.iteri
+                  (fun p raw ->
+                    flat.((i * arity) + p) <- Hashtbl.find dense_of raw)
+                  t)
+              tuples;
+            let by_pos =
+              Array.init arity (fun p ->
+                  let buckets = Array.make (max 1 n) [] in
+                  (* reverse iteration leaves each bucket ascending *)
+                  for i = count - 1 downto 0 do
+                    let w = flat.((i * arity) + p) in
+                    buckets.(w) <- i :: buckets.(w)
+                  done;
+                  Array.map Array.of_list buckets)
+            in
+            { rel; rel_id; arity; count; flat; by_pos } :: acc)
+          acc (List.sort compare !arities))
+      s.rels []
+  in
+  { node_ids; dense_of; node_labels; crels = Array.of_list (List.rev crels) }
+
+let columnar s =
+  match s.cview with
+  | Some c -> c
+  | None ->
+    let c = compile s in
+    s.cview <- Some c;
+    c
 
 let same_label s1 v1 s2 v2 =
   match label_of s1 v1, label_of s2 v2 with
@@ -165,7 +268,7 @@ let restrict s keep =
         if Tuple_set.is_empty ts' then None else Some ts')
       s.rels
   in
-  { nodes; label; rels }
+  { nodes; label; rels; cview = None }
 
 let map_nodes s f =
   let base =
@@ -196,6 +299,56 @@ let gaifman s =
             adj t)
         adj t)
     s init
+
+(* {1 Connected components}
+
+   Union-find over the nodes, merging along every tuple.  The returned
+   classes drive [Engine.Components]: disjoint classes share no
+   constraint, so hom instances decompose over them. *)
+
+let component_classes s =
+  let c = columnar s in
+  let n = Array.length c.node_ids in
+  let parent = Array.init n (fun i -> i) in
+  let rec find i = if parent.(i) = i then i else begin
+    let r = find parent.(i) in
+    parent.(i) <- r;
+    r
+  end in
+  let union i j =
+    let ri = find i and rj = find j in
+    if ri <> rj then parent.(max ri rj) <- min ri rj
+  in
+  Array.iter
+    (fun cr ->
+      if cr.arity > 0 then
+        for i = 0 to cr.count - 1 do
+          let first = cr.flat.(i * cr.arity) in
+          for p = 1 to cr.arity - 1 do
+            union first cr.flat.((i * cr.arity) + p)
+          done
+        done)
+    c.crels;
+  (* group by root, classes ordered by their minimal (dense = raw-order)
+     member *)
+  let classes = Hashtbl.create 16 in
+  let order = ref [] in
+  for i = n - 1 downto 0 do
+    let r = find i in
+    (match Hashtbl.find_opt classes r with
+    | Some l -> Hashtbl.replace classes r (c.node_ids.(i) :: l)
+    | None ->
+      Hashtbl.replace classes r [ c.node_ids.(i) ]);
+    if i = r then order := r :: !order
+  done;
+  List.map (fun r -> Int_set.of_list (Hashtbl.find classes r)) !order
+
+let component_count s = List.length (component_classes s)
+
+let components s =
+  match component_classes s with
+  | [] | [ _ ] -> [ s ]
+  | classes -> List.map (fun keep -> restrict s keep) classes
 
 let is_substructure s1 s2 =
   Int_set.for_all

@@ -7,34 +7,65 @@
 module Int_set : Set.S with type elt = int
 module Int_map : Map.S with type key = int
 
-(** Candidate sets for hom searches: maps each source node to the set of
-    admissible target nodes.  This is the one [restrict] representation
-    shared by {!Solver}, {!Engine}, [Gdm.Ghom] and the XML tree-hom
-    search (the relation [R] of Theorem 6's R-compatible
-    homomorphisms). *)
+(** Old candidate-set representation for hom searches.
+    @deprecated Restricts are first-class {!Domains.t} values now; migrate
+    through [Domains.of_fun].  This alias will be removed next release. *)
 type candidates = int -> Int_set.t
 
 type tuple = int array
 
 module Tuple_set : Set.S with type elt = tuple
 
+(** {1 The columnar compiled view}
+
+    Relation names and labels interned to dense ints ({!Interner}), nodes
+    renumbered densely (ascending in the raw ids), and each relation's
+    tuples stored flat with a per-position inverted index.  This is the
+    layout the engine, AC-3, and the bounded-treewidth DP scan; it is
+    computed once per structure value and memoized. *)
+
+type crel = {
+  rel : string;
+  rel_id : int;  (** [Interner.rel_id rel] *)
+  arity : int;
+  count : int;
+  flat : int array;  (** [count * arity] dense node ids, row-major *)
+  by_pos : int array array array;
+      (** [by_pos.(p).(w)] = ascending indices of tuples with dense node
+          [w] at position [p] *)
+}
+
+type columnar = {
+  node_ids : int array;  (** dense -> raw node id, ascending *)
+  dense_of : (int, int) Hashtbl.t;  (** raw -> dense *)
+  node_labels : int array;  (** dense -> label id; [-1] = unlabeled *)
+  crels : crel array;
+}
+
 type t = private {
   nodes : Int_set.t;
   label : string Int_map.t; (* partial: unlabeled nodes allowed *)
   rels : Tuple_set.t Stdlib.Map.Make(String).t;
+  mutable cview : columnar option; (* memoized compiled view *)
 }
+
+(** [columnar s] — the compiled view, memoized on first use.  Safe to call
+    from any domain (the memo write is a benign race between equal
+    values). *)
+val columnar : t -> columnar
 
 val empty : t
 val add_node : ?label:string -> t -> int -> t
 
-(** [add_tuple s rel tup] adds the fact [rel(tup)]; nodes of [tup] must
-    already be in the structure. @raise Invalid_argument otherwise. *)
+(** [add_tuple s rel tup] adds the fact [rel(tup)]; nodes of [tup] not yet
+    in the structure are registered on the fly (unlabeled). *)
 val add_tuple : t -> string -> tuple -> t
 
 val add_edge : t -> string -> int -> int -> t
 
 (** [make ~nodes ~tuples] builds a structure; [nodes] pairs each node with
-    an optional label, [tuples] pairs a relation name with its tuples. *)
+    an optional label, [tuples] pairs a relation name with its tuples.
+    Nodes occurring only in tuples need not be listed. *)
 val make : nodes:(int * string option) list -> tuples:(string * tuple list) list -> t
 
 val nodes : t -> int list
@@ -73,6 +104,20 @@ val map_nodes : t -> (int -> int) -> t
 (** [gaifman s] is the Gaifman graph: the undirected adjacency between
     nodes co-occurring in some tuple, as a map node → neighbor set. *)
 val gaifman : t -> Int_set.t Int_map.t
+
+(** {1 Connected components} *)
+
+(** [component_classes s] — the node classes of the connected components
+    of the Gaifman graph, ordered by minimal member.  Isolated nodes form
+    singleton classes.  0-ary facts belong to no class. *)
+val component_classes : t -> Int_set.t list
+
+val component_count : t -> int
+
+(** [components s] — the induced substructures on the component classes
+    (raw node ids are preserved); [[s]] when connected or empty.  Every
+    component keeps the 0-ary facts of [s]. *)
+val components : t -> t list
 
 (** [is_substructure s1 s2] iff every node (with matching label) and tuple
     of [s1] occurs in [s2]. *)

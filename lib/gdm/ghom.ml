@@ -46,7 +46,7 @@ let search ?(budget = Engine.Budget.unlimited) ?restrict d d' on_solution =
     in
     match restrict with
     | None -> base
-    | Some r -> List.filter (fun (w, _) -> Int_set.mem w (r v)) base
+    | Some r -> List.filter (fun (w, _) -> Domains.mem r v w) base
   in
   let structural_ok node_map =
     List.for_all

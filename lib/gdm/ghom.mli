@@ -12,30 +12,30 @@ type t = {
 
 val is_hom : t -> Gdb.t -> Gdb.t -> bool
 
-(** [find ?restrict d d'] — [restrict ν] limits candidate target nodes
-    (the shared {!Structure.candidates} representation). *)
-val find : ?restrict:Structure.candidates -> Gdb.t -> Gdb.t -> t option
+(** [find ?restrict d d'] — [restrict] limits candidate target nodes
+    (the shared {!Certdb_csp.Domains.t} representation). *)
+val find : ?restrict:Domains.t -> Gdb.t -> Gdb.t -> t option
 
-val exists : ?restrict:Structure.candidates -> Gdb.t -> Gdb.t -> bool
+val exists : ?restrict:Domains.t -> Gdb.t -> Gdb.t -> bool
 
 (** Budgeted search; [Unknown r] reports the tripped limit and is never
     conflated with non-existence. *)
 val find_b :
-  ?restrict:Structure.candidates ->
+  ?restrict:Domains.t ->
   ?limits:Engine.Limits.t ->
   Gdb.t ->
   Gdb.t ->
   t Engine.outcome
 
 val exists_b :
-  ?restrict:Structure.candidates ->
+  ?restrict:Domains.t ->
   ?limits:Engine.Limits.t ->
   Gdb.t ->
   Gdb.t ->
   Engine.decision
 
 val iter :
-  ?restrict:Structure.candidates ->
+  ?restrict:Domains.t ->
   Gdb.t ->
   Gdb.t ->
   (t -> [ `Continue | `Stop ]) ->

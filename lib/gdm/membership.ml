@@ -3,7 +3,7 @@ open Certdb_csp
 module Int_set = Structure.Int_set
 module Int_map = Structure.Int_map
 
-let candidate_relation d d' v =
+let candidates_for d d' v =
   let data_v = Gdb.data d v in
   List.fold_left
     (fun acc w ->
@@ -13,6 +13,13 @@ let candidate_relation d d' v =
       then Int_set.add w acc
       else acc)
     Int_set.empty (Gdb.nodes d')
+
+(* The R-relation of Theorem 6 as a first-class [Domains.t]: node [v] of
+   [d] may map to the nodes of [d'] with the same label and
+   information-greater data tuple. *)
+let candidate_relation d d' =
+  Domains.of_list
+    (List.map (fun v -> (v, candidates_for d d' v)) (Gdb.nodes d))
 
 let generic_leq = Gordering.leq
 let generic_leq_b = Gordering.leq_b

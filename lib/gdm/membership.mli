@@ -17,9 +17,9 @@
 
 open Certdb_csp
 
-(** [candidate_relation d d'] — the relation [R(D,D')] as a per-node
-    candidate set. *)
-val candidate_relation : Gdb.t -> Gdb.t -> int -> Structure.Int_set.t
+(** [candidate_relation d d'] — the relation [R(D,D')] as a first-class
+    {!Certdb_csp.Domains.t}. *)
+val candidate_relation : Gdb.t -> Gdb.t -> Domains.t
 
 val generic_leq : Gdb.t -> Gdb.t -> bool
 

@@ -74,17 +74,87 @@ module Bounded_tw = Certdb_csp.Bounded_tw
 module Treewidth = Certdb_csp.Treewidth
 module Int_set = Structure.Int_set
 
-(* [D_Q ⊑ D] as an R-compatible hom problem: one unlabeled node per
-   distinct term of the query, one target node per active-domain value.
-   [restrict] carries the semantics of the information ordering — a
-   constant may map only to its own value, a variable (or a null literal)
-   anywhere — so node labels stay unused.  The DP ignores 0-ary facts, so
-   propositional atoms are checked directly against [d] first. *)
-let certain_cq_via_btw ?decomposition q d =
-  if q.Cq.head <> [] then
-    invalid_arg "Certain.certain_cq_via_btw: Boolean query only";
-  Obs.incr certain_checks;
-  Trace.with_span "query.certain_btw" @@ fun () ->
+module Domains = Certdb_csp.Domains
+
+(* [D_Q ⊑ D] as an R-compatible hom problem — the shared encoding behind
+   the bounded-treewidth and component-parallel routes: one unlabeled
+   node per distinct term of the query, one target node per
+   active-domain value.  [restrict] carries the semantics of the
+   information ordering — a constant may map only to its own value, a
+   variable (or a null literal) anywhere — so node labels stay unused.
+   Both DPs ignore 0-ary facts, so propositional atoms are partitioned
+   out for a direct check against [d]. *)
+type cq_hom_instance = {
+  cq_source : Structure.t;
+  cq_target : Structure.t;
+  cq_restrict : Domains.t;
+}
+
+let cq_hom_encode positive d =
+  let term_ids = Hashtbl.create 16 in
+  let next = ref 0 in
+  let id_of_term t =
+    match Hashtbl.find_opt term_ids t with
+    | Some i -> i
+    | None ->
+      let i = !next in
+      incr next;
+      Hashtbl.replace term_ids t i;
+      i
+  in
+  let source_tuples =
+    List.map
+      (fun (a : Cq.atom) ->
+        (a.rel, [ Array.of_list (List.map id_of_term a.args) ]))
+      positive
+  in
+  let source =
+    Structure.make
+      ~nodes:(List.init !next (fun i -> (i, None)))
+      ~tuples:source_tuples
+  in
+  let values = Value.Set.elements (Instance.active_domain d) in
+  let value_ids =
+    List.fold_left
+      (fun (i, m) v -> (i + 1, Value.Map.add v i m))
+      (0, Value.Map.empty) values
+    |> snd
+  in
+  let target =
+    Structure.make
+      ~nodes:(List.mapi (fun i _ -> (i, None)) values)
+      ~tuples:
+        (List.filter_map
+           (fun (f : Instance.fact) ->
+             if Array.length f.args = 0 then None
+             else
+               Some
+                 ( f.rel,
+                   [
+                     Array.map (fun v -> Value.Map.find v value_ids) f.args;
+                   ] ))
+           (Instance.facts d))
+  in
+  let restrict =
+    Domains.of_list
+      (Hashtbl.fold
+         (fun t i acc ->
+           match t with
+           | Fo.Var _ -> acc
+           | Fo.Val value ->
+             if Value.is_null value then acc
+             else
+               let s =
+                 match Value.Map.find_opt value value_ids with
+                 | Some w -> Int_set.singleton w
+                 | None -> Int_set.empty
+               in
+               (i, s) :: acc)
+         term_ids [])
+  in
+  { cq_source = source; cq_target = target; cq_restrict = restrict }
+
+let cq_zero_split q d =
   let zero_ary, positive =
     List.partition (fun (a : Cq.atom) -> a.args = []) q.Cq.atoms
   in
@@ -94,76 +164,52 @@ let certain_cq_via_btw ?decomposition q d =
         List.exists (fun t -> Array.length t = 0) (Instance.tuples d a.rel))
       zero_ary
   in
+  (zero_ok, positive)
+
+let certain_cq_via_btw ?decomposition q d =
+  if q.Cq.head <> [] then
+    invalid_arg "Certain.certain_cq_via_btw: Boolean query only";
+  Obs.incr certain_checks;
+  Trace.with_span "query.certain_btw" @@ fun () ->
+  let zero_ok, positive = cq_zero_split q d in
   if not zero_ok then false
   else if positive = [] then true
   else begin
-    let term_ids = Hashtbl.create 16 in
-    let next = ref 0 in
-    let id_of_term t =
-      match Hashtbl.find_opt term_ids t with
-      | Some i -> i
-      | None ->
-        let i = !next in
-        incr next;
-        Hashtbl.replace term_ids t i;
-        i
-    in
-    let source_tuples =
-      List.map
-        (fun (a : Cq.atom) ->
-          (a.rel, [ Array.of_list (List.map id_of_term a.args) ]))
-        positive
-    in
-    let source =
-      Structure.make
-        ~nodes:(List.init !next (fun i -> (i, None)))
-        ~tuples:source_tuples
-    in
-    let values = Value.Set.elements (Instance.active_domain d) in
-    let value_ids =
-      List.fold_left
-        (fun (i, m) v -> (i + 1, Value.Map.add v i m))
-        (0, Value.Map.empty) values
-      |> snd
-    in
-    let target =
-      Structure.make
-        ~nodes:(List.mapi (fun i _ -> (i, None)) values)
-        ~tuples:
-          (List.filter_map
-             (fun (f : Instance.fact) ->
-               if Array.length f.args = 0 then None
-               else
-                 Some
-                   ( f.rel,
-                     [
-                       Array.map
-                         (fun v -> Value.Map.find v value_ids)
-                         f.args;
-                     ] ))
-             (Instance.facts d))
-    in
-    let all_targets =
-      Int_set.of_list (List.mapi (fun i _ -> i) values)
-    in
-    let term_of_id = Array.make !next (Fo.Var "") in
-    Hashtbl.iter (fun t i -> term_of_id.(i) <- t) term_ids;
-    let restrict v =
-      match term_of_id.(v) with
-      | Fo.Var _ -> all_targets
-      | Fo.Val value ->
-        if Value.is_null value then all_targets
-        else (
-          match Value.Map.find_opt value value_ids with
-          | Some i -> Int_set.singleton i
-          | None -> Int_set.empty)
+    let { cq_source = source; cq_target = target; cq_restrict = restrict } =
+      cq_hom_encode positive d
     in
     let decomposition =
       match decomposition with
       | Some dec -> dec
       | None -> fst (Treewidth.estimate source)
     in
-    Bounded_tw.r_hom ~decomposition ~source ~target ~restrict ()
+    Bounded_tw.r_hom ~decomposition ~restrict ~source ~target ()
+  end
+
+(* The component-parallel route: a query with disconnected atom groups
+   (a cartesian-product query) decomposes into one hom instance per
+   connected component of the tableau; [Engine.Components] solves them
+   independently — on [jobs] domains when asked — and conjoins.  Always
+   budget-sound: [`Unknown] only when a limit trips. *)
+let certain_cq_via_components ?(jobs = 1)
+    ?(limits = Certdb_csp.Engine.Limits.unlimited) q d =
+  if q.Cq.head <> [] then
+    invalid_arg "Certain.certain_cq_via_components: Boolean query only";
+  Obs.incr certain_checks;
+  Trace.with_span "query.certain_components" @@ fun () ->
+  let zero_ok, positive = cq_zero_split q d in
+  if not zero_ok then `False
+  else if positive = [] then `True
+  else begin
+    let { cq_source = source; cq_target = target; cq_restrict = restrict } =
+      cq_hom_encode positive d
+    in
+    let config =
+      Certdb_csp.Engine.Config.make ~limits ~restrict ()
+    in
+    Certdb_csp.Engine.decision_of_outcome
+      (Certdb_csp.Engine.Components.satisfiable ~config ~jobs ~source
+         ~target ())
   end
 
 (* {2 Graceful degradation} *)

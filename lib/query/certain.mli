@@ -125,6 +125,24 @@ val certain_cq_resilient :
 val certain_cq_via_btw :
   ?decomposition:Certdb_csp.Treewidth.t -> Cq.t -> Instance.t -> bool
 
+(** [certain_cq_via_components ?jobs ?limits q d] — [D_Q ⊑ D] by
+    connected-component decomposition: the tableau is split into the
+    connected components of its Gaifman graph (a cartesian-product query
+    yields several), each component is solved as an independent hom
+    instance on the shared target — in parallel on [jobs] domains when
+    [jobs > 1] — and the outcomes conjoined ({!Certdb_csp.Engine.Components}).
+    Shares the CQ→hom encoding (constants pinned, variables and null
+    literals free) with {!certain_cq_via_btw}.  Budget-sound: [`Unknown]
+    only when a component trips a limit of [limits], never a wrong
+    [`True]/[`False].
+    @raise Invalid_argument on a non-Boolean query. *)
+val certain_cq_via_components :
+  ?jobs:int ->
+  ?limits:Certdb_csp.Engine.Limits.t ->
+  Cq.t ->
+  Instance.t ->
+  Certdb_csp.Engine.decision
+
 (** [certain_cq_via_containment q d] — [Q_D ⊆ Q]. *)
 val certain_cq_via_containment : Cq.t -> Instance.t -> bool
 

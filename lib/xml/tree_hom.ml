@@ -4,22 +4,16 @@ module Obs = Certdb_obs.Obs
 
 let searches = Obs.counter "xml.tree_hom.searches"
 
-(* Compose a caller restriction with the root-pinning one; both use the
-   shared Structure.candidates representation. *)
-let effective_restrict ~require_root ~restrict d' =
+(* Compose a caller restriction with the root-pinning one; both are
+   first-class Domains.t values, so composition is Domains.inter. *)
+let effective_restrict ~require_root ~restrict _d' =
   let root_restrict =
-    if require_root then
-      Some
-        (fun v ->
-          if v = 0 then Structure.Int_set.singleton 0
-          else Structure.Int_set.of_list (Gdb.nodes d'))
-    else None
+    if require_root then Some (Domains.singleton 0 0) else None
   in
   match (root_restrict, restrict) with
   | None, None -> None
   | Some r, None | None, Some r -> Some r
-  | Some r1, Some r2 ->
-    Some (fun v -> Structure.Int_set.inter (r1 v) (r2 v))
+  | Some r1, Some r2 -> Some (Domains.inter r1 r2)
 
 let find ?(require_root = false) ?restrict t t' =
   Obs.incr searches;

@@ -15,14 +15,14 @@ open Certdb_gdm
     representation (intersected with the root pin when both are given). *)
 val find :
   ?require_root:bool ->
-  ?restrict:Structure.candidates ->
+  ?restrict:Domains.t ->
   Tree.t ->
   Tree.t ->
   Ghom.t option
 
 val exists :
   ?require_root:bool ->
-  ?restrict:Structure.candidates ->
+  ?restrict:Domains.t ->
   Tree.t ->
   Tree.t ->
   bool
@@ -30,7 +30,7 @@ val exists :
 (** Budgeted search; [Unknown r] reports the tripped limit of [limits]. *)
 val find_b :
   ?require_root:bool ->
-  ?restrict:Structure.candidates ->
+  ?restrict:Domains.t ->
   ?limits:Engine.Limits.t ->
   Tree.t ->
   Tree.t ->
@@ -38,7 +38,7 @@ val find_b :
 
 val exists_b :
   ?require_root:bool ->
-  ?restrict:Structure.candidates ->
+  ?restrict:Domains.t ->
   ?limits:Engine.Limits.t ->
   Tree.t ->
   Tree.t ->

@@ -182,6 +182,8 @@ subcommand runs (timing fields redacted for determinism):
     csp.batch.tasks                 0
     csp.btw.bag_assignments         0
     csp.btw.solves                  0
+    csp.components.solved           0
+    csp.components.splits           0
     csp.engine.exists_skipped_vars  0
     csp.engine.unknowns             0
     csp.resilient.attempts          0
@@ -213,6 +215,7 @@ subcommand runs (timing fields redacted for determinism):
     query.naive_evals               0
     query.plan.acyclic_join         0
     query.plan.bounded_width        0
+    query.plan.components           0
     query.plan.hom_ladder           0
     query.plan.naive_eval           0
     query.resilient.degraded        0
@@ -229,6 +232,7 @@ subcommand runs (timing fields redacted for determinism):
     xml.tree_hom.searches           0
   gauges:
     csp.btw.bags                    0
+    csp.components.count            0
   timers (ms):
     rel.hom.search                  count=1 total=<ms> mean=<ms> min=<ms> max=<ms> p50=<ms> p95=<ms> p99=<ms>
 

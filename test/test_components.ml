@@ -1,0 +1,273 @@
+(* Property-based tests (qcheck) for the interned/bitset data layer and
+   the component decomposition:
+
+   - component-split solving agrees with whole-instance solving, and
+     budgets never flip a definitive Sat/Unsat;
+   - the compiled bitset engine agrees with the preserved map/set
+     [Engine.Reference] core;
+   - bitset AC-3 pruning equals a set-based fixpoint oracle
+     (reimplemented here from the pre-columnar definition). *)
+
+open Certdb_csp
+open Certdb_graph
+module Int_set = Structure.Int_set
+module Int_map = Structure.Int_map
+
+let count = 60
+let seed_arb = QCheck.int_range 0 10_000
+let mk name arb prop = QCheck.Test.make ~count ~name arb prop
+
+let graph_structure ~seed ~vertices ~edge_prob =
+  Digraph.to_structure (Digraph.random ~seed ~vertices ~edge_prob ())
+
+(* a source with several genuine components: disjoint union of 2–3 small
+   random graphs *)
+let multi_component_source seed =
+  let g i = graph_structure ~seed:(seed + (97 * i)) ~vertices:3 ~edge_prob:0.5 in
+  let u1, _, _ = Structure.disjoint_union (g 0) (g 1) in
+  if seed mod 2 = 0 then u1
+  else
+    let u2, _, _ = Structure.disjoint_union u1 (g 2) in
+    u2
+
+let target_of_seed seed =
+  graph_structure ~seed:(seed + 7919) ~vertices:5 ~edge_prob:0.45
+
+(* --- component split vs whole instance --- *)
+
+let prop_components_agree =
+  mk "components = whole instance" seed_arb (fun seed ->
+      let source = multi_component_source seed in
+      let target = target_of_seed seed in
+      let whole = Engine.solve ~source ~target () in
+      let split = Engine.Components.solve ~source ~target () in
+      match (whole, split) with
+      | Engine.Sat _, Engine.Sat h ->
+        (* the stitched witness must be a real homomorphism *)
+        Engine.is_hom ~source ~target h
+      | Engine.Unsat, Engine.Unsat -> true
+      | _ -> false)
+
+let prop_components_jobs_agree =
+  mk "components jobs=3 = jobs=1" seed_arb (fun seed ->
+      let source = multi_component_source seed in
+      let target = target_of_seed seed in
+      let d1 = Engine.Components.satisfiable ~jobs:1 ~source ~target () in
+      let d3 = Engine.Components.satisfiable ~jobs:3 ~source ~target () in
+      match (d1, d3) with
+      | Engine.Sat (), Engine.Sat () | Engine.Unsat, Engine.Unsat -> true
+      | _ -> false)
+
+(* Budgets may turn a definitive answer into Unknown, never flip it. *)
+let prop_components_budget_sound =
+  mk "budgets never flip Sat/Unsat"
+    QCheck.(pair seed_arb (int_range 1 40))
+    (fun (seed, nodes) ->
+      let source = multi_component_source seed in
+      let target = target_of_seed seed in
+      let unlimited = Engine.Components.satisfiable ~source ~target () in
+      let config =
+        Engine.Config.make ~limits:(Engine.Limits.make ~nodes ()) ()
+      in
+      let budgeted =
+        Engine.Components.satisfiable ~config ~source ~target ()
+      in
+      match (unlimited, budgeted) with
+      | Engine.Sat (), (Engine.Sat () | Engine.Unknown _) -> true
+      | Engine.Unsat, (Engine.Unsat | Engine.Unknown _) -> true
+      | (Engine.Sat () | Engine.Unsat), _ -> false
+      | Engine.Unknown _, _ -> false (* unlimited search cannot be Unknown *))
+
+let prop_split_partitions_source =
+  mk "split partitions nodes and tuples" seed_arb (fun seed ->
+      let source = multi_component_source seed in
+      let parts = Engine.Components.split source in
+      let nodes_total =
+        List.fold_left
+          (fun acc p -> acc + List.length (Structure.nodes p))
+          0 parts
+      in
+      let tuples_total =
+        List.fold_left
+          (fun acc p -> acc + List.length (Structure.all_tuples p))
+          0 parts
+      in
+      nodes_total = List.length (Structure.nodes source)
+      && tuples_total = List.length (Structure.all_tuples source)
+      && List.length parts = Engine.Components.count source)
+
+(* --- compiled bitset engine vs preserved Reference core --- *)
+
+let prop_engine_matches_reference =
+  mk "engine = reference" seed_arb (fun seed ->
+      let source = graph_structure ~seed ~vertices:5 ~edge_prob:0.35 in
+      let target = target_of_seed seed in
+      let a = Engine.solve ~source ~target () in
+      let b = Engine.Reference.solve ~source ~target () in
+      match (a, b) with
+      | Engine.Sat h, Engine.Sat _ -> Engine.is_hom ~source ~target h
+      | Engine.Unsat, Engine.Unsat -> true
+      | _ -> false)
+
+let prop_engine_matches_reference_restricted =
+  mk "engine = reference under restrict" seed_arb (fun seed ->
+      let source = graph_structure ~seed ~vertices:4 ~edge_prob:0.4 in
+      let target = target_of_seed seed in
+      let restrict =
+        Domains.of_list
+          (List.filter_map
+             (fun v ->
+               if v mod 2 = 0 then
+                 Some
+                   ( v,
+                     Int_set.of_list
+                       (List.filter
+                          (fun w -> w mod 2 = seed mod 2)
+                          (Structure.nodes target)) )
+               else None)
+             (Structure.nodes source))
+      in
+      let config = Engine.Config.make ~restrict () in
+      let a = Engine.satisfiable ~config ~source ~target () in
+      let b = Engine.Reference.satisfiable ~config ~source ~target () in
+      match (a, b) with
+      | Engine.Sat (), Engine.Sat () | Engine.Unsat, Engine.Unsat -> true
+      | _ -> false)
+
+(* --- bitset AC-3 vs a set-based fixpoint oracle --- *)
+
+(* the pre-columnar definition, verbatim: a candidate w for v survives iff
+   for every constraint (rel, tup) with v ∈ tup there is a target tuple
+   t ∈ rel with t.(i) = w at v's position and t.(j) in the current domain
+   of tup.(j) everywhere else.  The greatest such fixpoint is unique, so
+   any chaotic iteration computes it. *)
+let ac3_oracle ?restrict ~source ~target () =
+  let label_ok v w = Structure.same_label source v target w in
+  let base v =
+    let labelled =
+      Int_set.of_list
+        (List.filter (label_ok v) (Structure.nodes target))
+    in
+    match restrict with
+    | None -> labelled
+    | Some r -> (
+      match Domains.find r v with
+      | None -> labelled
+      | Some s -> Int_set.inter labelled s)
+  in
+  let domains =
+    ref
+      (List.fold_left
+         (fun m v -> Int_map.add v (base v) m)
+         Int_map.empty (Structure.nodes source))
+  in
+  let cstrs = Structure.all_tuples source in
+  let supported tup i w =
+    List.exists
+      (fun (rel, t) ->
+        rel = fst tup
+        && Array.length t = Array.length (snd tup)
+        && t.(i) = w
+        && Array.for_all
+             (fun j -> Int_set.mem t.(j) (Int_map.find (snd tup).(j) !domains))
+             (Array.init (Array.length t) Fun.id))
+      (List.filter (fun (r, _) -> r = fst tup) (Structure.all_tuples target))
+  in
+  let changed = ref true in
+  let wiped = ref false in
+  while !changed && not !wiped do
+    changed := false;
+    List.iter
+      (fun (rel, tup) ->
+        Array.iteri
+          (fun i v ->
+            let dom = Int_map.find v !domains in
+            let dom' =
+              Int_set.filter (fun w -> supported (rel, tup) i w) dom
+            in
+            if not (Int_set.equal dom dom') then begin
+              changed := true;
+              domains := Int_map.add v dom' !domains;
+              if Int_set.is_empty dom' then wiped := true
+            end)
+          tup)
+      cstrs
+  done;
+  let zero_ok =
+    List.for_all
+      (fun (rel, tup) ->
+        Array.length tup > 0
+        || List.exists
+             (fun (r, t) -> r = rel && Array.length t = 0)
+             (Structure.all_tuples target))
+      cstrs
+  in
+  if (not zero_ok) || !wiped
+     || Int_map.exists (fun _ s -> Int_set.is_empty s) !domains
+  then None
+  else Some !domains
+
+let prop_ac3_matches_oracle =
+  mk "bitset AC-3 = set oracle" seed_arb (fun seed ->
+      let source = graph_structure ~seed ~vertices:4 ~edge_prob:0.45 in
+      let target =
+        graph_structure ~seed:(seed + 31) ~vertices:4 ~edge_prob:0.35
+      in
+      let got = Arc_consistency.prune ~source ~target () in
+      let want = ac3_oracle ~source ~target () in
+      match (got, want) with
+      | None, None -> true
+      | Some a, Some b -> Int_map.equal Int_set.equal a b
+      | _ -> false)
+
+let prop_ac3_matches_oracle_restricted =
+  mk "bitset AC-3 = set oracle (restricted)" seed_arb (fun seed ->
+      let source = graph_structure ~seed ~vertices:4 ~edge_prob:0.45 in
+      let target =
+        graph_structure ~seed:(seed + 31) ~vertices:5 ~edge_prob:0.4
+      in
+      let restrict =
+        Domains.of_list
+          (List.filter_map
+             (fun v ->
+               if v mod 3 = 0 then
+                 Some
+                   ( v,
+                     Int_set.of_list
+                       (List.filter (fun w -> w <> seed mod 5)
+                          (Structure.nodes target)) )
+               else None)
+             (Structure.nodes source))
+      in
+      let got = Arc_consistency.prune ~restrict ~source ~target () in
+      let want = ac3_oracle ~restrict ~source ~target () in
+      match (got, want) with
+      | None, None -> true
+      | Some a, Some b -> Int_map.equal Int_set.equal a b
+      | _ -> false)
+
+(* --- implicit node registration --- *)
+
+let prop_add_tuple_registers =
+  mk "add_tuple registers nodes" seed_arb (fun seed ->
+      let tup = [| seed mod 7; (seed / 7) mod 7 |] in
+      let s = Structure.add_tuple Structure.empty "E" tup in
+      Array.for_all (fun v -> List.mem v (Structure.nodes s)) tup
+      && Structure.mem_tuple s "E" tup)
+
+let all_props =
+  [
+    prop_components_agree;
+    prop_components_jobs_agree;
+    prop_components_budget_sound;
+    prop_split_partitions_source;
+    prop_engine_matches_reference;
+    prop_engine_matches_reference_restricted;
+    prop_ac3_matches_oracle;
+    prop_ac3_matches_oracle_restricted;
+    prop_add_tuple_registers;
+  ]
+
+let () =
+  Alcotest.run "components"
+    [ ("qcheck", List.map QCheck_alcotest.to_alcotest all_props) ]

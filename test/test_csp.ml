@@ -86,11 +86,13 @@ let test_solver_witness () =
   | Some h -> check "witness checks" true (Solver.is_hom ~source:square ~target:square h)
 
 let test_solver_restrict () =
-  let r v = if v = 0 then IS.singleton 1 else IS.of_list [ 0; 1; 2 ] in
+  let r = Domains.of_list [ (0, IS.singleton 1) ] in
   (match Solver.find_hom ~restrict:r ~source:triangle ~target:triangle () with
   | Some h -> Alcotest.(check int) "restricted image" 1 (Structure.Int_map.find 0 h)
   | None -> Alcotest.fail "expected restricted hom");
-  let empty_r _ = IS.empty in
+  let empty_r =
+    Domains.of_list [ (0, IS.empty); (1, IS.empty); (2, IS.empty) ]
+  in
   check "empty restriction" false
     (Solver.exists_hom ~restrict:empty_r ~source:triangle ~target:triangle ())
 
@@ -243,7 +245,7 @@ let test_bounded_tw_witness () =
   let open Certdb_graph in
   let source = Digraph.to_structure (Digraph.path 4) in
   let target = Digraph.to_structure (Digraph.cycle 3) in
-  let restrict _ = IS.of_list (Structure.nodes target) in
+  let restrict = Domains.unconstrained in
   match Bounded_tw.r_hom_witness ~source ~target ~restrict () with
   | None -> Alcotest.fail "path should map into cycle"
   | Some h ->
@@ -254,13 +256,11 @@ let test_bounded_tw_restrict () =
   let source = Digraph.to_structure (Digraph.path 2) in
   let target = Digraph.to_structure (Digraph.cycle 3) in
   (* forbid node 0 of the path from mapping anywhere: unsatisfiable *)
-  let restrict v = if v = 0 then IS.empty else IS.of_list (Structure.nodes target) in
+  let restrict = Domains.of_list [ (0, IS.empty) ] in
   check "empty restriction blocks" false
     (Bounded_tw.r_hom ~source ~target ~restrict ());
   (* pin path start to cycle node 1 *)
-  let restrict v =
-    if v = 0 then IS.singleton 1 else IS.of_list (Structure.nodes target)
-  in
+  let restrict = Domains.singleton 0 1 in
   (match Bounded_tw.r_hom_witness ~source ~target ~restrict () with
   | Some h -> Alcotest.(check int) "pinned" 1 (Structure.Int_map.find 0 h)
   | None -> Alcotest.fail "pinned hom should exist")

@@ -72,10 +72,13 @@ let test_hom_no_facts_for_relation () =
 
 (* --- structure / solver corners --- *)
 let test_structure_add_tuple_unknown_node () =
+  (* tuple nodes are registered implicitly: no pre-declaration needed *)
   let s = Structure.make ~nodes:[ (0, None) ] ~tuples:[] in
-  Alcotest.check_raises "node missing"
-    (Invalid_argument "Structure.add_tuple: node not in structure")
-    (fun () -> ignore (Structure.add_tuple s "E" [| 0; 1 |]))
+  let s = Structure.add_tuple s "E" [| 0; 1 |] in
+  check "node auto-registered" true
+    (List.mem 1 (Structure.nodes s));
+  check "tuple present" true (Structure.mem_tuple s "E" [| 0; 1 |]);
+  check "fresh node unlabeled" true (Structure.label_of s 1 = None)
 
 let test_solver_empty_source () =
   let t = Structure.make ~nodes:[ (0, None) ] ~tuples:[] in
@@ -242,7 +245,7 @@ let () =
         ] );
       ( "csp",
         [
-          Alcotest.test_case "bad tuple" `Quick test_structure_add_tuple_unknown_node;
+          Alcotest.test_case "implicit nodes" `Quick test_structure_add_tuple_unknown_node;
           Alcotest.test_case "empty source" `Quick test_solver_empty_source;
           Alcotest.test_case "self loop" `Quick test_solver_self_loop;
           Alcotest.test_case "explicit order" `Quick test_treewidth_explicit_order;

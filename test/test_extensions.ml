@@ -124,9 +124,9 @@ let test_ac3_domain_wipeout () =
   (* a node restricted to an unsupported candidate: immediate None *)
   let source = Digraph.to_structure (Digraph.path 1) in
   let target = Digraph.to_structure (Digraph.path 1) in
-  let restrict v =
-    if v = 0 then Structure.Int_set.singleton 1 (* sink can't start an edge *)
-    else Structure.Int_set.of_list [ 0; 1 ]
+  let restrict =
+    (* sink can't start an edge *)
+    Domains.of_list [ (0, Structure.Int_set.singleton 1) ]
   in
   Alcotest.(check bool)
     "wipeout" true
