@@ -1,0 +1,284 @@
+(* E25 — serving under wire-level chaos: replay the e22 query stream
+   through the supervised socket server while CERTDB_FAULT-style
+   schedules drop, delay and truncate frames on both directions, with
+   the retrying client doing the recovery.  Then an overload burst
+   against a deliberately tiny pool exercises admission control.
+
+   Checked invariants (the bench fails on violation):
+   - zero lost requests: every request of the stream resolves Ok after
+     bounded retries, despite ~1-in-7 reads and ~1-in-11 writes being
+     perturbed;
+   - zero duplicated or mismatched responses: each request id resolves
+     exactly once, and every answer equals the fault-free in-process
+     ground truth, request by request;
+   - overload sheds, never hangs: with conns=1/queue=1 a concurrent
+     burst is shed with retry_after_ms hints (a hint-less shed is a
+     client-side hard error) and still completes via retries;
+   - the server never dies: both servers drain cleanly on shutdown
+     (their supervisor domains join without raising) and answer a final
+     ping just before. *)
+
+module Obs = Certdb_obs.Obs
+module Fault = Certdb_obs.Fault
+module Json = Obs.Json
+module Server = Certdb_service.Server
+module Supervisor = Certdb_service.Supervisor
+module Client = Certdb_service.Client
+
+let shards = 4
+
+let sock_path tag =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "certdb-e25-%s-%d.sock" tag (Unix.getpid ()))
+
+let fields_of line =
+  match Json.of_string line with
+  | Json.Obj kvs -> kvs
+  | _ -> failwith "e25: request line is not an object"
+
+(* fault-free in-process replay: the ground truth each chaos response
+   must match *)
+let expected_answers () =
+  let server = Server.create ~config:(Server.Config.make ()) () in
+  (match Server.load server ~name:"d" ~source:E22_service.instance_src with
+  | Ok _ -> ()
+  | Error m -> failwith ("e25: load failed: " ^ m));
+  List.mapi
+    (fun idx (_, line) ->
+      let row, _ = Server.handle_line server ~idx line in
+      match Json.member "status" row with
+      | Some (Json.String "ok") -> E22_service.answer_of row
+      | _ -> failwith ("e25: ground truth failed: " ^ Json.to_string row))
+    E22_service.stream
+
+let start_server ~config ~cache path =
+  let server =
+    Server.create
+      ~config:(Server.Config.make ~cache_capacity:(if cache then 1024 else 0) ())
+      ()
+  in
+  (match Server.load server ~name:"d" ~source:E22_service.instance_src with
+  | Ok _ -> ()
+  | Error m -> failwith ("e25: load failed: " ^ m));
+  Domain.spawn (fun () -> Supervisor.run ~config server ~path)
+
+let wait_ready path =
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  let probe =
+    Client.connect
+      ~config:(Client.Config.make ~request_timeout_ms:200.0 ~max_retries:0 ())
+      ~path ()
+  in
+  let rec go () =
+    match Client.ping probe with
+    | Ok _ -> Client.close probe
+    | Error m ->
+      if Unix.gettimeofday () > deadline then
+        failwith ("e25: server never became ready: " ^ m)
+      else begin
+        Unix.sleepf 0.02;
+        go ()
+      end
+  in
+  go ()
+
+let shutdown_and_join path sup =
+  let client =
+    Client.connect
+      ~config:(Client.Config.make ~request_timeout_ms:500.0 ~max_retries:3 ())
+      ~path ()
+  in
+  (match Client.ping client with
+  | Ok _ -> ()
+  | Error m -> failwith ("e25: final ping failed: " ^ m));
+  (* the shutdown response itself may be eaten by a write fault; the
+     proof of a clean drain is the supervisor domain joining *)
+  ignore (Client.request client [ ("op", Json.String "shutdown") ]);
+  Client.close client;
+  Domain.join sup
+
+(* ---- phase 1: chaos replay ------------------------------------------- *)
+
+let chaos_replay () =
+  let path = sock_path "chaos" in
+  let sup =
+    start_server
+      ~config:
+        (Supervisor.Config.make ~conns:shards ~queue_capacity:32
+           ~request_timeout_ms:10_000.0 ())
+      ~cache:true path
+  in
+  wait_ready path;
+  (* armed only now: the probe pings above stay clean, so readiness is
+     not burned into the fault schedule *)
+  let r =
+    Fault.with_armed
+    [ ("service.read", Fault.Every 7); ("service.write", Fault.Every 11) ]
+    (fun () ->
+      let indexed = List.mapi (fun i (_, line) -> (i, line)) E22_service.stream in
+      let shard s =
+        let client =
+          Client.connect
+            ~config:
+              (Client.Config.make ~request_timeout_ms:250.0 ~max_retries:12
+                 ~backoff_ms:5.0 ~jitter_seed:(s + 1) ())
+            ~path ()
+        in
+        Fun.protect
+          ~finally:(fun () -> Client.close client)
+          (fun () ->
+            List.filter_map
+              (fun (i, line) ->
+                if i mod shards <> s then None
+                else
+                  Some
+                    ( i,
+                      Client.request client
+                        ~id:(Printf.sprintf "r%d" i)
+                        (fields_of line) ))
+              indexed)
+      in
+      let results =
+        List.init shards (fun s -> Domain.spawn (fun () -> shard s))
+        |> List.concat_map Domain.join
+      in
+      let expected = expected_answers () in
+      let lost = ref 0 and mismatched = ref 0 in
+      let seen = Hashtbl.create 512 in
+      let duplicated = ref 0 in
+      List.iter
+        (fun (i, r) ->
+          match r with
+          | Error m ->
+            incr lost;
+            Bench_util.row "LOST r%d: %s" i m
+          | Ok row ->
+            let id = Printf.sprintf "r%d" i in
+            (match Json.member "id" row with
+            | Some (Json.String rid) when String.equal rid id -> ()
+            | _ -> incr mismatched);
+            if Hashtbl.mem seen id then incr duplicated
+            else Hashtbl.add seen id ();
+            let want = List.nth expected i in
+            let got =
+              match Json.member "status" row with
+              | Some (Json.String "ok") -> E22_service.answer_of row
+              | _ -> "<" ^ Json.to_string row ^ ">"
+            in
+            if not (String.equal got want) then begin
+              incr mismatched;
+              Bench_util.row "MISMATCH r%d: got %s, want %s" i got want
+            end)
+        results;
+      (!lost, !duplicated, !mismatched, List.length results))
+  in
+  (* disarmed again: the drain below is not part of the chaos *)
+  shutdown_and_join path sup;
+  r
+
+(* ---- phase 2: overload burst ----------------------------------------- *)
+
+let burst_clients = 8
+let burst_requests = 3
+
+let overload_burst () =
+  let path = sock_path "overload" in
+  (* one worker, a queue of one, and a short idle deadline so a parked
+     connection cannot monopolise the only worker: everything beyond
+     that must be shed and must still complete via retries *)
+  let sup =
+    start_server
+      ~config:
+        (Supervisor.Config.make ~conns:1 ~queue_capacity:1
+           ~request_timeout_ms:25.0 ~retry_after_ms:5.0 ())
+      ~cache:false path
+  in
+  wait_ready path;
+  let line =
+    Json.to_string
+      (Json.Obj
+         [
+           ("op", Json.String "query");
+           ("db", Json.String "d");
+           ("query", Json.String (E22_service.cycle 7 0));
+         ])
+  in
+  let client c =
+    let cl =
+      Client.connect
+        ~config:
+          (Client.Config.make ~request_timeout_ms:3000.0 ~max_retries:25
+             ~backoff_ms:5.0 ~max_backoff_ms:200.0 ~jitter_seed:(100 + c) ())
+        ~path ()
+    in
+    Fun.protect
+      ~finally:(fun () -> Client.close cl)
+      (fun () ->
+        List.init burst_requests (fun r ->
+            Client.request cl
+              ~id:(Printf.sprintf "b%d_%d" c r)
+              (fields_of line)))
+  in
+  let results =
+    List.init burst_clients (fun c -> Domain.spawn (fun () -> client c))
+    |> List.concat_map Domain.join
+  in
+  let failed =
+    List.filter_map (function Error m -> Some m | Ok _ -> None) results
+  in
+  shutdown_and_join path sup;
+  (List.length results, failed)
+
+(* ---- the experiment --------------------------------------------------- *)
+
+let counter name = Obs.counter_value (Obs.counter name)
+
+let run () =
+  Bench_util.banner
+    "E25  Robust serve: e22 replay under wire faults + overload burst";
+  Bench_util.row
+    "%d requests over %d shard clients; faults: service.read%%7, \
+     service.write%%11 (drop/delay/truncate cycling)"
+    (List.length E22_service.stream)
+    shards;
+  let lost, duplicated, mismatched, total = chaos_replay () in
+  let retries = counter "service.client.retries" in
+  Bench_util.row
+    "chaos replay: %d/%d ok, %d retries, %d read faults, %d write faults"
+    (total - lost) total retries
+    (counter "fault.service.read.injected")
+    (counter "fault.service.write.injected");
+  if lost > 0 then failwith (Printf.sprintf "e25: %d requests lost" lost);
+  if duplicated > 0 then
+    failwith (Printf.sprintf "e25: %d duplicated response ids" duplicated);
+  if mismatched > 0 then
+    failwith (Printf.sprintf "e25: %d mismatched answers" mismatched);
+  let burst_total, burst_failed = overload_burst () in
+  let sheds = counter "service.server.shed" in
+  let overloaded = counter "service.client.overloaded" in
+  Bench_util.row
+    "overload burst: %d/%d ok through conns=1/queue=1; %d sheds \
+     (every one carried retry_after_ms), %d seen by clients"
+    (burst_total - List.length burst_failed)
+    burst_total sheds overloaded;
+  (match burst_failed with
+  | [] -> ()
+  | m :: _ ->
+    failwith
+      (Printf.sprintf "e25: %d burst requests failed (first: %s)"
+         (List.length burst_failed) m));
+  if sheds = 0 then
+    failwith "e25: overload burst shed nothing - admission control untested";
+  if sheds > 2000 then
+    failwith (Printf.sprintf "e25: shed rate unbounded (%d sheds)" sheds);
+  (* machine-readable summary for the CI chaos assertions *)
+  Obs.add (Obs.counter "bench.robust.lost") lost;
+  Obs.add (Obs.counter "bench.robust.duplicated") duplicated;
+  Obs.add (Obs.counter "bench.robust.mismatched") mismatched;
+  Obs.add (Obs.counter "bench.robust.sheds") sheds;
+  Obs.add (Obs.counter "bench.robust.retries") retries;
+  Bench_util.row
+    "zero lost, zero duplicated, zero mismatched over %d chaos + %d burst \
+     requests"
+    total burst_total

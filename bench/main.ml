@@ -40,6 +40,8 @@ let experiments =
     ("e23", "Tracing: request-span overhead on the e22 replay", E23_tracing.run);
     ("e24", "interned/bitset core and component-parallel hom search",
      E24_components.run);
+    ("e25", "Robust serve: e22 replay under wire faults + overload burst",
+     E25_robust_serve.run);
   ]
 
 let micros =

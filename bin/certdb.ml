@@ -598,6 +598,8 @@ module Engine = Certdb_csp.Engine
 module Resilient = Certdb_csp.Resilient
 module Wire = Certdb_service.Wire
 module Server = Certdb_service.Server
+module Supervisor = Certdb_service.Supervisor
+module Client = Certdb_service.Client
 
 let batch_cmd =
   let run jobs max_attempts escalate on_error file =
@@ -749,7 +751,8 @@ let start_metrics_writer ~path ~interval_ms =
 let serve_cmd =
   let run socket cache_capacity no_cache canon_budget jobs max_attempts
       escalate nodes backtracks timeout_ms slow_ms metrics_file
-      metrics_interval_ms trace_buffer preload =
+      metrics_interval_ms trace_buffer preload conns queue_capacity
+      request_timeout_ms max_line_bytes backlog retry_after_ms =
     validate_policy max_attempts escalate;
     Option.iter Trace.set_capacity trace_buffer;
     let policy =
@@ -790,8 +793,14 @@ let serve_cmd =
       (fun () ->
         match socket with
         | None -> (
-          match Server.serve server stdin stdout with `Shutdown | `Eof -> ())
-        | Some path -> Server.serve_unix_socket server ~path);
+          match Server.serve ~max_line_bytes server stdin stdout with
+          | `Shutdown | `Eof -> ())
+        | Some path ->
+          let config =
+            Supervisor.Config.make ~conns ~queue_capacity ?request_timeout_ms
+              ~max_line_bytes ~backlog ~retry_after_ms ()
+          in
+          Supervisor.run ~config server ~path);
     0
   in
   let socket =
@@ -800,8 +809,58 @@ let serve_cmd =
       & opt (some string) None
       & info [ "socket" ] ~docv:"PATH"
           ~doc:
-            "Listen on a Unix domain socket instead of stdio (one client \
-             at a time; a client's shutdown request stops the server).")
+            "Listen on a Unix domain socket instead of stdio: concurrent \
+             connections on a supervised worker pool with admission \
+             control; a client's shutdown request (or SIGTERM) drains \
+             the server.")
+  in
+  let conns =
+    Arg.(
+      value & opt int 4
+      & info [ "conns" ] ~docv:"N"
+          ~doc:"Concurrent connections (worker domains) on the socket.")
+  in
+  let queue_capacity =
+    Arg.(
+      value & opt int 16
+      & info [ "queue-capacity" ] ~docv:"N"
+          ~doc:
+            "Accepted connections allowed to wait for a worker; beyond \
+             it, new connections are shed with an overloaded row \
+             carrying retry_after_ms.")
+  in
+  let request_timeout_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "request-timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-request read deadline on socket connections; a \
+             connection idle past it is answered with an error row and \
+             closed, reclaiming its worker.")
+  in
+  let max_line_bytes =
+    Arg.(
+      value
+      & opt int Wire.default_max_line_bytes
+      & info [ "max-line-bytes" ] ~docv:"N"
+          ~doc:
+            "Request line cap; longer lines are drained (never buffered \
+             whole) and answered with an error row.")
+  in
+  let backlog =
+    Arg.(
+      value & opt int 64
+      & info [ "backlog" ] ~docv:"N"
+          ~doc:"listen(2) backlog of the Unix socket.")
+  in
+  let retry_after_ms =
+    Arg.(
+      value & opt float 50.0
+      & info [ "retry-after-ms" ] ~docv:"MS"
+          ~doc:
+            "Base retry_after_ms hint on overloaded (shed) rows; the \
+             hint grows with queue pressure.")
   in
   let cache_capacity =
     Arg.(
@@ -897,15 +956,16 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Run the query server: JSONL requests (load / unload / query / \
-          batch / stats / trace / metrics / shutdown) over stdio or a \
-          Unix socket, with a semantic cache keyed by core-canonical \
-          query form and database fingerprint.")
+          batch / stats / trace / metrics / ping / shutdown) over stdio \
+          or a supervised concurrent Unix socket, with a semantic cache \
+          keyed by core-canonical query form and database fingerprint.")
     (with_stats
        Term.(
          const run $ socket $ cache_capacity $ no_cache $ canon_budget $ jobs
          $ max_attempts_arg $ escalate_arg $ nodes $ backtracks $ timeout_ms
          $ slow_ms $ metrics_file $ metrics_interval_ms $ trace_buffer
-         $ preload))
+         $ preload $ conns $ queue_capacity $ request_timeout_ms
+         $ max_line_bytes $ backlog $ retry_after_ms))
 
 (* stats: observability self-test.  Runs a small fixed workload through
    every instrumented subsystem (CSP solver, relational hom search, glb,
@@ -1032,31 +1092,21 @@ let trace_cmd =
     Ok (Json.to_string (Trace.chrome (Trace.events ())))
   in
   let dump_socket path =
-    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    match Unix.connect fd (Unix.ADDR_UNIX path) with
-    | exception Unix.Unix_error (e, _, _) ->
-      Unix.close fd;
-      Error (Printf.sprintf "connect %s: %s" path (Unix.error_message e))
-    | () ->
-      let ic = Unix.in_channel_of_descr fd in
-      let oc = Unix.out_channel_of_descr fd in
-      Fun.protect
-        ~finally:(fun () -> close_in_noerr ic)
-        (fun () ->
-          output_string oc "{\"op\":\"trace\"}\n";
-          flush oc;
-          match input_line ic with
-          | exception End_of_file -> Error "server closed the connection"
-          | line -> (
-            match Json.of_string line with
-            | exception Json.Parse_error m ->
-              Error (Printf.sprintf "bad response: %s" m)
-            | j -> (
-              match Json.member "chrome" j with
-              | Some chrome -> Ok (Json.to_string chrome)
-              | None ->
-                Error
-                  (Printf.sprintf "response carries no trace: %s" line))))
+    (* the retrying client: timeouts, reconnects and shed rows are
+       handled below the verb *)
+    let client = Client.connect ~path () in
+    Fun.protect
+      ~finally:(fun () -> Client.close client)
+      (fun () ->
+        match Client.request client [ ("op", Json.String "trace") ] with
+        | Error m -> Error (Printf.sprintf "%s: %s" path m)
+        | Ok j -> (
+          match Json.member "chrome" j with
+          | Some chrome -> Ok (Json.to_string chrome)
+          | None ->
+            Error
+              (Printf.sprintf "response carries no trace: %s"
+                 (Json.to_string j))))
   in
   let dump_run replay socket out =
     let result =
@@ -1118,6 +1168,51 @@ let trace_cmd =
     (Cmd.info "trace"
        ~doc:"Request-scoped tracing: export recorded span trees.")
     [ dump_cmd ]
+
+(* ping: liveness probe against a running serve --socket, through the
+   retrying client, so it doubles as a health check under overload *)
+let ping_cmd =
+  let run socket timeout_ms retries =
+    let config =
+      Client.Config.make ~request_timeout_ms:timeout_ms ~max_retries:retries
+        ()
+    in
+    let client = Client.connect ~config ~path:socket () in
+    Fun.protect
+      ~finally:(fun () -> Client.close client)
+      (fun () ->
+        match Client.ping client with
+        | Ok ms ->
+          Printf.printf "pong %.1f ms\n" ms;
+          0
+        | Error m ->
+          Printf.eprintf "ping: %s\n" m;
+          1)
+  in
+  let socket =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Unix socket of the server.")
+  in
+  let timeout_ms =
+    Arg.(
+      value & opt float 2000.0
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:"Per-attempt response deadline.")
+  in
+  let retries =
+    Arg.(
+      value & opt int 5
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Retries beyond the first attempt.")
+  in
+  Cmd.v
+    (Cmd.info "ping"
+       ~doc:
+         "Round-trip liveness probe against a running server (exit 0 on \
+          pong, 1 when unreachable after the retry budget).")
+    Term.(const run $ socket $ timeout_ms $ retries)
 
 (* analyze: static classification with machine-checkable certificates,
    plus the planner's routing decision.  Exit code: 0 when every analyzed
@@ -1482,7 +1577,7 @@ let main_cmd =
     [
       leq_cmd; cwa_cmd; member_cmd; glb_cmd; lub_cmd; core_cmd; certain_cmd;
       certain_fo_cmd; chase_cmd; analyze_cmd; tree_leq_cmd; tree_glb_cmd;
-      tree_member_cmd; batch_cmd; serve_cmd; stats_cmd; trace_cmd;
+      tree_member_cmd; batch_cmd; serve_cmd; stats_cmd; trace_cmd; ping_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

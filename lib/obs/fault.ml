@@ -7,23 +7,25 @@ type trigger =
 
 type entry = { point : string; trigger : trigger; hits : int Atomic.t }
 
-(* The whole schedule is one immutable array behind a ref: [hit] on worker
-   domains only reads the array and bumps per-entry atomics, so arming
-   from the coordinating domain publishes a consistent schedule. *)
-let schedule : entry array ref = ref [||]
+(* The whole schedule is one immutable array behind an atomic: [hit] on
+   worker domains only reads the array and bumps per-entry counters, and
+   the atomic store publishes a consistent schedule even when arming
+   happens after the workers were spawned (the service supervisor's
+   pool outlives many arm/disarm cycles). *)
+let schedule : entry array Atomic.t = Atomic.make [||]
 
 let injected_total = Obs.counter "fault.injected"
 
-let armed () = Array.length !schedule > 0
+let armed () = Array.length (Atomic.get schedule) > 0
 
 let arm entries =
-  schedule :=
-    Array.of_list
-      (List.map
-         (fun (point, trigger) -> { point; trigger; hits = Atomic.make 0 })
-         entries)
+  Atomic.set schedule
+    (Array.of_list
+       (List.map
+          (fun (point, trigger) -> { point; trigger; hits = Atomic.make 0 })
+          entries))
 
-let disarm () = schedule := [||]
+let disarm () = Atomic.set schedule [||]
 
 (* splitmix64 finalizer: a high-quality deterministic hash for the seeded
    trigger, so firing depends only on (seed, point, hit index). *)
@@ -41,10 +43,13 @@ let seeded_fires ~seed ~point ~n ~per_mille =
   in
   Int64.to_int (Int64.rem (Int64.logand h Int64.max_int) 1000L) < per_mille
 
-let fire e =
+let account e =
   Obs.incr injected_total;
   Obs.incr (Obs.counter ("fault." ^ e.point ^ ".injected"));
-  Trace.instant "fault.injected" ~labels:[ ("point", e.point) ];
+  Trace.instant "fault.injected" ~labels:[ ("point", e.point) ]
+
+let fire e =
+  account e;
   raise (Injected e.point)
 
 let selects e n =
@@ -55,7 +60,7 @@ let selects e n =
     seeded_fires ~seed ~point:e.point ~n ~per_mille
 
 let hit point =
-  let entries = !schedule in
+  let entries = Atomic.get schedule in
   if Array.length entries > 0 then
     Array.iter
       (fun e ->
@@ -65,8 +70,29 @@ let hit point =
         end)
       entries
 
+(* Non-raising variant for wire-level points: the site decides what a
+   selected hit does (drop a line, delay it, tear the connection), so the
+   point must report selection instead of simulating a crash.  Entries
+   are scanned like [hit]; the first selecting entry wins and its hit
+   index is returned (accounted like a raised injection). *)
+let check point =
+  let entries = Atomic.get schedule in
+  let selected = ref None in
+  if Array.length entries > 0 then
+    Array.iter
+      (fun e ->
+        if String.equal e.point point then begin
+          let n = 1 + Atomic.fetch_and_add e.hits 1 in
+          if !selected = None && selects e n then begin
+            account e;
+            selected := Some n
+          end
+        end)
+      entries;
+  !selected
+
 let hit_k point k =
-  let entries = !schedule in
+  let entries = Atomic.get schedule in
   if Array.length entries > 0 then
     Array.iter
       (fun e -> if String.equal e.point point && selects e k then fire e)
@@ -133,9 +159,9 @@ let arm_from_string spec =
   | Error msg -> Error msg
 
 let with_armed entries f =
-  let saved = !schedule in
+  let saved = Atomic.get schedule in
   arm entries;
-  Fun.protect ~finally:(fun () -> schedule := saved) f
+  Fun.protect ~finally:(fun () -> Atomic.set schedule saved) f
 
 (* Arm from the environment at program start (module initialization runs
    before any domain is spawned).  A malformed spec is a hard error: a

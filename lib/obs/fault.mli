@@ -20,6 +20,15 @@
       [Constraints.chase_budgeted].
     - ["csp.batch.task"] — before each task of an [Engine.Batch] worker;
       surfaces as a per-task [Error] through [Batch.map_result].
+    - ["service.handler"] — before each request handled by a
+      [Service.Supervisor] connection worker; the supervisor converts
+      the crash into a structured [error] row
+      ([service.server.crashed]), never a dead worker.
+    - ["service.read"] / ["service.write"] — {e non-raising} wire
+      points consulted through {!check} by the supervisor around each
+      request read / response write; a selected hit perturbs the wire
+      (drop / delay / truncate, cycling with the hit index) instead of
+      crashing.
 
     [CERTDB_FAULT] grammar: comma-separated entries, each one of
     - [point@N] — fire on exactly the N-th hit of [point] (1-based, once);
@@ -54,6 +63,14 @@ val armed : unit -> bool
     @raise Injected when the armed schedule selects this hit.  A no-op
     (one branch) when nothing is armed. *)
 val hit : string -> unit
+
+(** [check point] accounts one hit of [point] like {!hit} but never
+    raises: it returns the 1-based hit index when the armed schedule
+    selects this hit (accounted as an injection), [None] otherwise.
+    For sites where the reaction to a fault is something other than a
+    crash — the service wire layer drops, delays or truncates instead
+    of raising. *)
+val check : string -> int option
 
 (** [hit_k point k] evaluates the schedule against the explicit hit
     index [k] (1-based) instead of the per-point counter.  Use at points

@@ -1,0 +1,176 @@
+module Obs = Certdb_obs.Obs
+module Json = Obs.Json
+
+module Config = struct
+  type t = {
+    request_timeout_ms : float;
+    max_retries : int;
+    backoff_ms : float;
+    max_backoff_ms : float;
+    jitter_seed : int;
+  }
+
+  let make ?(request_timeout_ms = 2000.0) ?(max_retries = 5)
+      ?(backoff_ms = 10.0) ?(max_backoff_ms = 2000.0) ?(jitter_seed = 1) () =
+    {
+      request_timeout_ms = Float.max 1.0 request_timeout_ms;
+      max_retries = max 0 max_retries;
+      backoff_ms = Float.max 0.0 backoff_ms;
+      max_backoff_ms = Float.max 1.0 max_backoff_ms;
+      jitter_seed;
+    }
+
+  let default = make ()
+end
+
+let c_retries = Obs.counter "service.client.retries"
+let c_overloaded = Obs.counter "service.client.overloaded"
+
+type t = {
+  path : string;
+  config : Config.t;
+  mutable conn : (Unix.file_descr * Wire.Fd_reader.t) option;
+  mutable seq : int;
+}
+
+let connect ?(config = Config.default) ~path () =
+  { path; config; conn = None; seq = 0 }
+
+let drop_conn t =
+  match t.conn with
+  | None -> ()
+  | Some (fd, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    t.conn <- None
+
+let close = drop_conn
+
+let ensure_conn t =
+  match t.conn with
+  | Some c -> Ok c
+  | None -> (
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX t.path) with
+    | () ->
+      let c = (fd, Wire.Fd_reader.create fd) in
+      t.conn <- Some c;
+      Ok c
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (Unix.error_message e))
+
+(* splitmix64 finalizer — deterministic jitter from (seed, attempt,
+   sequence), so retry storms from concurrent clients decorrelate
+   without nondeterminism in tests *)
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let jitter t ~attempt =
+  let h =
+    mix64
+      (Int64.of_int
+         ((t.config.Config.jitter_seed * 0x9e3779b1)
+         lxor (attempt * 0x85ebca6b) lxor t.seq))
+  in
+  let u =
+    Int64.to_float (Int64.logand h 0xffffL) /. 65536.0 (* [0, 1) *)
+  in
+  u *. Float.max 1.0 t.config.Config.backoff_ms
+
+(* exponential backoff with full deterministic jitter; [floor_ms] (a
+   server [retry_after_ms] hint) is honored as a lower bound *)
+let backoff_ms t ~attempt ~floor_ms =
+  let base =
+    Float.min t.config.Config.max_backoff_ms
+      (t.config.Config.backoff_ms *. (2.0 ** float_of_int (attempt - 1)))
+  in
+  Float.max floor_ms (base +. jitter t ~attempt)
+
+let fresh_id t =
+  t.seq <- t.seq + 1;
+  Printf.sprintf "c%d" t.seq
+
+(* One request, at-most-[1 + max_retries] attempts.  Responses are
+   matched by the echoed [id] — the same id is reused across attempts,
+   so a response to an earlier attempt of the {e same} request is still
+   a valid answer, while rows for anything else (crash rows with
+   synthetic ids, torn-frame garbage) are discarded.  Any wire anomaly
+   — timeout, EOF, unparsable line — drops the connection before the
+   retry, so a stale response can never be matched to a later request. *)
+let request t ?id fields =
+  let id = match id with Some id -> id | None -> fresh_id t in
+  let fields = List.filter (fun (k, _) -> not (String.equal k "id")) fields in
+  let line = Json.to_string (Json.Obj (("id", Json.String id) :: fields)) in
+  let retry ~attempt ~floor_ms err =
+    if attempt > t.config.Config.max_retries then (* attempts are 1-based *)
+      Error (Printf.sprintf "%s (after %d attempts)" err attempt)
+    else begin
+      Obs.incr c_retries;
+      Unix.sleepf (backoff_ms t ~attempt ~floor_ms /. 1000.0);
+      Ok ()
+    end
+  in
+  let rec attempt_loop attempt =
+    let fail ?(floor_ms = 0.0) err =
+      drop_conn t;
+      match retry ~attempt ~floor_ms err with
+      | Ok () -> attempt_loop (attempt + 1)
+      | Error _ as e -> e
+    in
+    match ensure_conn t with
+    | Error e -> fail ("connect: " ^ e)
+    | Ok (fd, reader) -> (
+      match Wire.write_line fd line with
+      | Error e -> fail ("write: " ^ e)
+      | Ok () ->
+        let deadline =
+          Obs.now_ms () +. t.config.Config.request_timeout_ms
+        in
+        let rec await () =
+          let left = deadline -. Obs.now_ms () in
+          if left <= 0.0 then fail "timed out"
+          else
+            match
+              Wire.Fd_reader.read_line ~timeout_ms:left
+                ~max:Wire.default_max_line_bytes reader
+            with
+            | `Timeout -> fail "timed out"
+            | `Eof -> fail "connection closed"
+            | `Stopped -> fail "interrupted"
+            | `Oversized _ -> fail "oversized response"
+            | `Line l -> (
+              match Json.of_string l with
+              | exception Json.Parse_error _ ->
+                (* torn frame (e.g. a truncated write upstream): the
+                   rest of this connection's framing is suspect *)
+                fail "torn response line"
+              | j -> (
+                match Wire.str_field "status" j with
+                | Some "overloaded" -> (
+                  Obs.incr c_overloaded;
+                  match Wire.float_field "retry_after_ms" j with
+                  | None ->
+                    (* a shed without a hint is a protocol violation,
+                       not something to paper over with retries *)
+                    drop_conn t;
+                    Error "protocol: overloaded row without retry_after_ms"
+                  | Some ms -> fail ~floor_ms:ms "overloaded")
+                | _ ->
+                  if Wire.str_field "id" j = Some id then Ok j
+                  else await ())) (* not ours: discard and keep reading *)
+        in
+        await ())
+  in
+  attempt_loop 1
+
+let ping t =
+  let t0 = Obs.now_ms () in
+  match request t [ ("op", Json.String "ping") ] with
+  | Error _ as e -> e
+  | Ok j -> (
+    match (Wire.str_field "status" j, Wire.bool_field "pong" j) with
+    | Some "ok", Some true -> Ok (Obs.now_ms () -. t0)
+    | _ -> Error ("unexpected ping response: " ^ Json.to_string j))

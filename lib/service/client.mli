@@ -1,0 +1,64 @@
+(** A robust connector for the {!Server} JSONL protocol over a Unix
+    socket: per-request timeouts, bounded retries with exponential
+    backoff and deterministic jitter, and idempotent [id]-keyed
+    response matching.
+
+    Retrying is safe because every attempt of one {!request} reuses the
+    {e same} request id: a late response to an earlier attempt of the
+    same request is still a valid answer, while any other row (a crash
+    row with a synthetic id, garbage from a torn frame) is discarded.
+    Any wire anomaly — timeout, EOF, an unparsable line — drops the
+    connection before the retry, so a stale response can never be
+    matched to a later request.
+
+    Overload cooperation: a [{"status":"overloaded","retry_after_ms":F}]
+    shed row makes the client back off for at least [F] ms before the
+    bounded retry ([service.client.overloaded] counts them); a shed row
+    {e without} the hint is reported as a protocol error, not retried.
+
+    Connections are lazy (first {!request} dials) and re-dialed after
+    any drop; {!connect} itself never touches the socket. *)
+
+module Json = Certdb_obs.Obs.Json
+
+module Config : sig
+  type t = {
+    request_timeout_ms : float;  (** per-attempt response deadline *)
+    max_retries : int;  (** attempts beyond the first *)
+    backoff_ms : float;  (** backoff base, doubled per attempt *)
+    max_backoff_ms : float;  (** backoff cap (before the shed hint) *)
+    jitter_seed : int;
+        (** seeds the deterministic jitter stream; give concurrent
+            clients distinct seeds to decorrelate retry storms *)
+  }
+
+  (** 2 s timeout, 5 retries, 10 ms base, 2 s cap, seed 1. *)
+  val default : t
+
+  val make :
+    ?request_timeout_ms:float ->
+    ?max_retries:int ->
+    ?backoff_ms:float ->
+    ?max_backoff_ms:float ->
+    ?jitter_seed:int ->
+    unit ->
+    t
+end
+
+type t
+
+val connect : ?config:Config.t -> path:string -> unit -> t
+
+(** [request t fields] sends one request object and returns the
+    response row whose [id] matches.  [fields] should carry ["op"]
+    (and its operands); the [id] field is managed by the client —
+    pass [?id] to pin it, otherwise a fresh one is assigned.
+    [Error msg] after the retry budget is exhausted or on a protocol
+    violation. *)
+val request :
+  t -> ?id:string -> (string * Json.t) list -> (Json.t, string) result
+
+(** [ping t] — one [{"op":"ping"}] round trip; [Ok latency_ms]. *)
+val ping : t -> (float, string) result
+
+val close : t -> unit

@@ -39,13 +39,17 @@ type db_entry = { instance : Instance.t; fingerprint : string }
 type t = {
   config : Config.t;
   registry : (string, db_entry) Hashtbl.t;
+  registry_mu : Mutex.t;
+      (* the supervisor serves connections on concurrent domains; the
+         registry is the one shared table not already guarded (the
+         caches carry their own mutex, counters are atomic) *)
   cache : answer Cache.t option;
   memo : string option Cache.t option;
       (* query source text -> canonical key ([None] = canonicalisation
          gave up), so a repeated request string skips parsing, core
          computation and the canonical-labeling search; db-independent,
          bounded by its own LRU under [service.canon] *)
-  mutable served : int;
+  served : int Atomic.t;
   started_ms : float;
   t_hit : Obs.timer;
   t_miss : Obs.timer;
@@ -59,6 +63,7 @@ let create ?(config = Config.default)
   {
     config;
     registry = Hashtbl.create 16;
+    registry_mu = Mutex.create ();
     cache =
       (if config.Config.cache_capacity > 0 then
          Some (Cache.create ~capacity:config.Config.cache_capacity ())
@@ -70,7 +75,7 @@ let create ?(config = Config.default)
               ~capacity:(4 * config.Config.cache_capacity)
               ())
        else None);
-    served = 0;
+    served = Atomic.make 0;
     started_ms = Obs.now_ms ();
     t_hit = Obs.timer "service.request.hit";
     t_miss = Obs.timer "service.request.miss";
@@ -81,16 +86,23 @@ let create ?(config = Config.default)
 
 let cache_totals t = Option.map Cache.totals t.cache
 
-let load t ~name ~source =
+let locked t f =
+  Mutex.lock t.registry_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.registry_mu) f
+
+let load_entry t ~name ~source =
   match Wire.parse_instance_result source with
   | Error m -> Error m
   | Ok d ->
-    Hashtbl.replace t.registry name
-      { instance = d; fingerprint = Canon.db_fingerprint d };
-    Ok d
+    let entry = { instance = d; fingerprint = Canon.db_fingerprint d } in
+    locked t (fun () -> Hashtbl.replace t.registry name entry);
+    Ok entry
+
+let load t ~name ~source =
+  Result.map (fun e -> e.instance) (load_entry t ~name ~source)
 
 let lookup t db =
-  match Hashtbl.find_opt t.registry db with
+  match locked t (fun () -> Hashtbl.find_opt t.registry db) with
   | Some e -> Ok e
   | None -> Error (Printf.sprintf "unknown database %S" db)
 
@@ -388,7 +400,7 @@ let query_fields t j =
           in
           let dt = Obs.now_ms () -. t0 in
           Obs.record_ms (if cached then t.t_hit else t.t_miss) dt;
-          t.served <- t.served + 1;
+          Atomic.incr t.served;
           (Ok (answer_fields ~latency_ms:dt answer ~cached, dt), tid))
   in
   (* the root span is closed here, so the ring holds the full tree *)
@@ -477,7 +489,7 @@ let batch_fields t j =
                   Obs.incr t.c_errors;
                   Wire.error_fields m
                 | Ok (`Hit a) ->
-                  t.served <- t.served + 1;
+                  Atomic.incr t.served;
                   answer_fields a ~cached:true
                   @
                   if explain then
@@ -493,7 +505,7 @@ let batch_fields t j =
                 | Ok (`Todo _) -> (
                   match Hashtbl.find results i with
                   | Ok (sid, a) ->
-                    t.served <- t.served + 1;
+                    Atomic.incr t.served;
                     answer_fields a ~cached:false
                     @
                     if explain then
@@ -514,32 +526,37 @@ let load_fields t j =
   | None, _ -> Error "missing field \"name\""
   | _, None -> Error "missing field \"source\""
   | Some name, Some source -> (
-    match load t ~name ~source with
+    match load_entry t ~name ~source with
     | Error m -> Error ("source: parse error: " ^ m)
-    | Ok d ->
-      let entry = Hashtbl.find t.registry name in
+    | Ok entry ->
       Ok
         [
           ("status", Json.String "ok");
           ("name", Json.String name);
           ("fingerprint", Json.String entry.fingerprint);
-          ("facts", Json.Int (Instance.cardinal d));
+          ("facts", Json.Int (Instance.cardinal entry.instance));
         ])
 
 let unload_fields t j =
   match Wire.str_field "name" j with
   | None -> Error "missing field \"name\""
   | Some name ->
-    if Hashtbl.mem t.registry name then begin
-      Hashtbl.remove t.registry name;
-      Ok [ ("status", Json.String "ok"); ("name", Json.String name) ]
-    end
+    let removed =
+      locked t (fun () ->
+          if Hashtbl.mem t.registry name then begin
+            Hashtbl.remove t.registry name;
+            true
+          end
+          else false)
+    in
+    if removed then Ok [ ("status", Json.String "ok"); ("name", Json.String name) ]
     else Error (Printf.sprintf "unknown database %S" name)
 
 let stats_fields t j =
   let full = Option.value (Wire.bool_field "full" j) ~default:false in
   let dbs =
-    Hashtbl.fold (fun name e acc -> (name, e) :: acc) t.registry []
+    locked t (fun () ->
+        Hashtbl.fold (fun name e acc -> (name, e) :: acc) t.registry [])
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
     |> List.map (fun (name, e) ->
            Json.Obj
@@ -567,7 +584,7 @@ let stats_fields t j =
   [
     ("status", Json.String "ok");
     ("uptime_ms", Json.Float (Obs.now_ms () -. t.started_ms));
-    ("served", Json.Int t.served);
+    ("served", Json.Int (Atomic.get t.served));
     ("databases", Json.List dbs);
     ("cache", cache_j);
   ]
@@ -628,52 +645,51 @@ let handle_line t ~idx line =
     | "stats" -> continue (reply (stats_fields t j))
     | "trace" -> continue (reply (trace_fields j))
     | "metrics" -> continue (reply (metrics_fields ()))
+    (* liveness probe: constant-work, constant-shape answer, so clients
+       (and cram tests) can match it byte-for-byte *)
+    | "ping" ->
+      continue
+        (reply [ ("status", Json.String "ok"); ("pong", Json.Bool true) ])
     | "shutdown" ->
-      ( reply [ ("status", Json.String "ok"); ("served", Json.Int t.served) ],
+      ( reply
+          [
+            ("status", Json.String "ok");
+            ("served", Json.Int (Atomic.get t.served));
+          ],
         `Shutdown )
     | other ->
       continue (of_result (Error (Printf.sprintf "unknown op %S" other))))
 
 (* ---- the loop -------------------------------------------------------- *)
 
-let serve t ic oc =
+let oversized_row ~idx ~max =
+  Wire.row ~idx
+    ~id:("line-" ^ string_of_int idx)
+    ~op:"?"
+    (Wire.error_fields (Printf.sprintf "request line exceeds %d bytes" max))
+
+let serve ?(max_line_bytes = Wire.default_max_line_bytes) t ic oc =
+  let respond row =
+    output_string oc (Json.to_string row);
+    output_char oc '\n';
+    flush oc
+  in
   let rec loop idx =
-    match In_channel.input_line ic with
-    | None -> `Eof
-    | Some line ->
+    match Wire.input_line_bounded ~max:max_line_bytes ic with
+    | `Eof -> `Eof
+    | `Oversized _ ->
+      (* the over-long line was drained, never buffered whole; the
+         stream stays in sync and the client gets a structured row *)
+      Obs.incr t.c_requests;
+      Obs.incr t.c_errors;
+      respond (oversized_row ~idx ~max:max_line_bytes);
+      loop (idx + 1)
+    | `Line line ->
       if String.trim line = "" then loop idx
       else begin
         let row, k = handle_line t ~idx line in
-        output_string oc (Json.to_string row);
-        output_char oc '\n';
-        flush oc;
+        respond row;
         match k with `Continue -> loop (idx + 1) | `Shutdown -> `Shutdown
       end
   in
   loop 0
-
-let serve_unix_socket t ~path =
-  (try Unix.unlink path with Unix.Unix_error _ -> ());
-  (* a client that disconnects mid-response must not kill the server *)
-  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
-   with Invalid_argument _ -> ());
-  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Fun.protect
-    ~finally:(fun () ->
-      (try Unix.close sock with Unix.Unix_error _ -> ());
-      try Unix.unlink path with Unix.Unix_error _ -> ())
-    (fun () ->
-      Unix.bind sock (Unix.ADDR_UNIX path);
-      Unix.listen sock 8;
-      let rec accept_loop () =
-        let conn, _ = Unix.accept sock in
-        let ic = Unix.in_channel_of_descr conn in
-        let oc = Unix.out_channel_of_descr conn in
-        let outcome =
-          try serve t ic oc
-          with Sys_error _ | Unix.Unix_error _ -> `Eof
-        in
-        (try Unix.close conn with Unix.Unix_error _ -> ());
-        match outcome with `Eof -> accept_loop () | `Shutdown -> ()
-      in
-      accept_loop ())

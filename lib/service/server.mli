@@ -16,6 +16,7 @@
     {"op":"stats","full":true?}
     {"op":"trace","clear":true?}
     {"op":"metrics"}
+    {"op":"ping"}
     {"op":"shutdown"}
     v}
 
@@ -24,9 +25,18 @@
     [{"status":"ok","grade":"exact"|"lower-bound","certain":b,
     "cached":b,"latency_ms":f}]; a non-Boolean query answers
     [{"status":"ok","answers":"ans(1); ans(2)",...}] (naïve evaluation,
-    always exact by Theorem 4).  Malformed or failing requests produce
-    [{"status":"error","error":msg}] rows and the loop keeps serving;
-    only [shutdown] (or EOF) ends it.
+    always exact by Theorem 4).  [ping] answers
+    [{"status":"ok","pong":true}] — a constant-work liveness probe.
+    Malformed or failing requests produce [{"status":"error","error":msg}]
+    rows and the loop keeps serving; only [shutdown] (or EOF) ends it.
+    A request line longer than the serve loop's cap is drained and
+    answered with an [error] row ("request line exceeds N bytes")
+    without ever being buffered whole.
+
+    Under the concurrent socket front end ({!Supervisor}), an
+    overloaded server sheds new connections with one
+    [{"status":"overloaded","retry_after_ms":F}] row instead of
+    queueing unboundedly; {!Client} honors the hint.
 
     {1 Explainability}
 
@@ -127,13 +137,18 @@ val cache_totals : t -> Cache.totals option
     returns the response row and whether the loop should continue. *)
 val handle_line : t -> idx:int -> string -> Json.t * [ `Continue | `Shutdown ]
 
-(** [serve t ic oc] reads JSONL requests from [ic] and writes one
-    response line per request to [oc] (flushed per line). *)
-val serve : t -> in_channel -> out_channel -> [ `Shutdown | `Eof ]
+(** [oversized_row ~idx ~max] — the structured answer to a request line
+    longer than [max] bytes (shared by {!serve} and the socket
+    supervisor). *)
+val oversized_row : idx:int -> max:int -> Json.t
 
-(** [serve_unix_socket t ~path] binds [path] (unlinking any stale
-    socket), then accepts one client at a time, each served with
-    {!serve}, until a client issues [shutdown]; concurrency lives in
-    the [batch] verb's domain pool.  The socket file is removed on
-    return. *)
-val serve_unix_socket : t -> path:string -> unit
+(** [serve t ic oc] reads JSONL requests from [ic] and writes one
+    response line per request to [oc] (flushed per line).  Lines longer
+    than [max_line_bytes] (default {!Wire.default_max_line_bytes}) are
+    drained — never buffered whole — and answered with an [error] row.
+
+    Socket serving lives in {!Supervisor.run}: concurrent connections
+    on a bounded domain pool with admission control, crash isolation
+    and graceful drain. *)
+val serve :
+  ?max_line_bytes:int -> t -> in_channel -> out_channel -> [ `Shutdown | `Eof ]

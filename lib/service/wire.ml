@@ -115,6 +115,142 @@ let row ~idx ~id ~op fields =
 let error_fields msg =
   [ ("status", Json.String "error"); ("error", Json.String msg) ]
 
+let overloaded_fields ~retry_after_ms =
+  [
+    ("status", Json.String "overloaded");
+    ("retry_after_ms", Json.Float retry_after_ms);
+  ]
+
+(* bounded line IO *)
+
+let default_max_line_bytes = 1 lsl 20
+
+let input_line_bounded ?(max = default_max_line_bytes) ic =
+  let buf = Buffer.create 256 in
+  (* [overflow] counts bytes past the cap of the current line: the tail
+     is drained (to keep the stream in sync) but never buffered. *)
+  let rec go overflow =
+    match In_channel.input_char ic with
+    | None ->
+      if overflow > 0 then `Oversized (Buffer.length buf + overflow)
+      else if Buffer.length buf = 0 then `Eof
+      else `Line (Buffer.contents buf)
+    | Some '\n' ->
+      if overflow > 0 then `Oversized (Buffer.length buf + overflow)
+      else `Line (Buffer.contents buf)
+    | Some c ->
+      if Buffer.length buf >= max then go (overflow + 1)
+      else begin
+        Buffer.add_char buf c;
+        go 0
+      end
+  in
+  go 0
+
+module Fd_reader = struct
+  type t = {
+    fd : Unix.file_descr;
+    chunk : Bytes.t;
+    mutable pending : string;
+    mutable discarding : int;
+        (* > 0: bytes already dropped of an over-long line still being
+           drained to its terminating newline *)
+  }
+
+  let create fd =
+    { fd; chunk = Bytes.create 8192; pending = ""; discarding = 0 }
+
+  (* Select in <=100ms slices so a tripped [stop] flag (drain) is
+     noticed promptly even under an indefinite timeout. *)
+  let slice = 0.1
+
+  let stopped = function Some s -> Atomic.get s | None -> false
+
+  let rec wait_readable t ~deadline ~stop =
+    if stopped stop then `Stopped
+    else
+      let now = Unix.gettimeofday () in
+      match deadline with
+      | Some d when now >= d -> `Timeout
+      | _ -> (
+        let dt =
+          match deadline with
+          | Some d -> Float.min slice (d -. now)
+          | None -> slice
+        in
+        match Unix.select [ t.fd ] [] [] dt with
+        | [], _, _ -> wait_readable t ~deadline ~stop
+        | _ -> `Readable
+        | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+          wait_readable t ~deadline ~stop)
+
+  (* Consume one buffered line (or the tail of an over-long line).
+     [None] when no newline is buffered yet. *)
+  let take_line t ~max =
+    match String.index_opt t.pending '\n' with
+    | Some i ->
+      let rest =
+        String.sub t.pending (i + 1) (String.length t.pending - i - 1)
+      in
+      if t.discarding > 0 then begin
+        let total = t.discarding + i in
+        t.discarding <- 0;
+        t.pending <- rest;
+        Some (`Oversized total)
+      end
+      else begin
+        let line = String.sub t.pending 0 i in
+        t.pending <- rest;
+        if i > max then Some (`Oversized i) else Some (`Line line)
+      end
+    | None ->
+      if t.discarding > 0 || String.length t.pending > max then begin
+        t.discarding <- t.discarding + String.length t.pending;
+        t.pending <- ""
+      end;
+      None
+
+  let read_line ?timeout_ms ?stop ~max t =
+    let deadline =
+      Option.map (fun ms -> Unix.gettimeofday () +. (ms /. 1000.)) timeout_ms
+    in
+    let rec go () =
+      match take_line t ~max with
+      | Some (`Line _ as r) -> r
+      | Some (`Oversized _ as r) -> r
+      | None -> (
+        match wait_readable t ~deadline ~stop with
+        | `Timeout -> `Timeout
+        | `Stopped -> `Stopped
+        | `Readable -> (
+          match Unix.read t.fd t.chunk 0 (Bytes.length t.chunk) with
+          (* a partial pending line at socket EOF is a torn request,
+             not a request *)
+          | 0 -> `Eof
+          | n ->
+            t.pending <- t.pending ^ Bytes.sub_string t.chunk 0 n;
+            go ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+          | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _)
+            ->
+            `Eof))
+    in
+    go ()
+end
+
+let rec write_all fd s off len =
+  if len > 0 then
+    match Unix.write_substring fd s off len with
+    | n -> write_all fd s (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd s off len
+
+let write_raw fd s =
+  match write_all fd s 0 (String.length s) with
+  | () -> Ok ()
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let write_line fd line = write_raw fd (line ^ "\n")
+
 let describe_exn = function
   | Certdb_obs.Fault.Injected point -> "injected fault at " ^ point
   | e -> Printexc.to_string e

@@ -44,6 +44,11 @@ val row : idx:int -> id:string -> op:string -> (string * Json.t) list -> Json.t
 
 val error_fields : string -> (string * Json.t) list
 
+(** [overloaded_fields ~retry_after_ms] — the admission-control shed
+    row: [{"status":"overloaded","retry_after_ms":F}].  Clients back
+    off for at least [retry_after_ms] before retrying. *)
+val overloaded_fields : retry_after_ms:float -> (string * Json.t) list
+
 (** [describe_exn e] — human-readable rendering, special-casing injected
     faults ([Certdb_obs.Fault.Injected]). *)
 val describe_exn : exn -> string
@@ -76,3 +81,44 @@ val run_task :
   policy:Certdb_csp.Resilient.Policy.t -> int * task -> Json.t
 
 val parse_instance_result : string -> (Instance.t, string) result
+
+(** {1 Bounded line IO}
+
+    Request lines are capped: an over-long line is drained to its
+    newline (so the stream stays in sync) but never buffered whole, and
+    reported as [`Oversized total_bytes] for the caller to answer with
+    a structured error row. *)
+
+(** 1 MiB. *)
+val default_max_line_bytes : int
+
+(** [input_line_bounded ?max ic] — bounded [input_line] over a channel
+    (the stdio server).  A partial final line without a newline is
+    still [`Line]. *)
+val input_line_bounded :
+  ?max:int -> In_channel.t -> [ `Line of string | `Oversized of int | `Eof ]
+
+(** Buffered line reads over a raw [Unix] fd with per-call deadlines —
+    the supervisor's connection reader.  [Unix.select] runs in ≤100 ms
+    slices polling [stop], so drain interrupts an idle read promptly;
+    [EINTR] is always retried.  A partial line at socket EOF is a torn
+    request and reads as [`Eof]. *)
+module Fd_reader : sig
+  type t
+
+  val create : Unix.file_descr -> t
+
+  val read_line :
+    ?timeout_ms:float ->
+    ?stop:bool Atomic.t ->
+    max:int ->
+    t ->
+    [ `Line of string | `Oversized of int | `Timeout | `Eof | `Stopped ]
+end
+
+(** [write_line fd line] writes [line ^ "\n"] whole (short writes and
+    [EINTR] retried); any other [Unix] error — [EPIPE] from a client
+    that hung up mid-response — is [Error msg], never an exception. *)
+val write_line : Unix.file_descr -> string -> (unit, string) result
+
+val write_raw : Unix.file_descr -> string -> (unit, string) result

@@ -227,12 +227,20 @@ subcommand runs (timing fields redacted for determinism):
     rel.hom.searches                1
     rel.hom.solutions               1
     rel.lub.pairs                   0
+    service.client.overloaded       0
+    service.client.retries          0
+    service.server.accepted         0
+    service.server.crashed          0
+    service.server.shed             0
+    service.server.timeouts         0
     xml.resilient.degraded          0
     xml.resilient.exact             0
     xml.tree_hom.searches           0
   gauges:
     csp.btw.bags                    0
     csp.components.count            0
+    service.server.inflight         0
+    service.server.queue_depth      0
   timers (ms):
     rel.hom.search                  count=1 total=<ms> mean=<ms> min=<ms> max=<ms> p50=<ms> p95=<ms> p99=<ms>
 

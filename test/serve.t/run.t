@@ -74,6 +74,19 @@ same Chrome JSON:
   $ $CERTDB trace dump --replay replay.jsonl | grep -oE '"displayTimeUnit":"ms"'
   "displayTimeUnit":"ms"
 
+ping is a liveness no-op (the retrying client and certdb ping use it),
+and request lines over --max-line-bytes are drained and answered with a
+structured error row — the stream stays in sync, so the next request
+still gets its own row.  The oversized row never counts as served:
+
+  $ { printf '{"op":"ping"}\n'
+  >   printf '{"id":"big","op":"query","query":"%s"}\n' "$(head -c 300 /dev/zero | tr '\0' 'x')"
+  >   printf '{"op":"shutdown"}\n'
+  > } | $CERTDB serve --max-line-bytes 256
+  {"id":"0","index":0,"op":"ping","status":"ok","pong":true}
+  {"id":"line-1","index":1,"op":"?","status":"error","error":"request line exceeds 256 bytes"}
+  {"id":"2","index":2,"op":"shutdown","status":"ok","served":0}
+
 --slow-ms logs any request at least that slow as a JSON row (with its
 full span tree) on stderr; the response stream is untouched:
 

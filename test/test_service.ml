@@ -320,6 +320,102 @@ let test_wire_parse () =
   check "head var must occur" true
     (Result.is_error (Wire.parse_cq_result "ans(_z) :- R(_x,_y)"))
 
+(* ---- bounded line IO -------------------------------------------------- *)
+
+let with_string_ic s f =
+  let path = Filename.temp_file "certdb-wire" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s);
+      In_channel.with_open_bin path f)
+
+let test_input_line_bounded () =
+  with_string_ic "short\nx\n" (fun ic ->
+      (match Wire.input_line_bounded ~max:16 ic with
+      | `Line "short" -> ()
+      | _ -> Alcotest.fail "expected `Line short");
+      match Wire.input_line_bounded ~max:16 ic with
+      | `Line "x" -> ()
+      | _ -> Alcotest.fail "expected `Line x");
+  (* an oversized line is drained to its newline: the next read is the
+     following line, in sync *)
+  with_string_ic (String.make 100 'a' ^ "\nafter\n") (fun ic ->
+      (match Wire.input_line_bounded ~max:16 ic with
+      | `Oversized n -> Alcotest.(check int) "drained total" 100 n
+      | _ -> Alcotest.fail "expected `Oversized");
+      match Wire.input_line_bounded ~max:16 ic with
+      | `Line "after" -> ()
+      | _ -> Alcotest.fail "expected `Line after");
+  (* a partial final line without a newline is still a line; then EOF *)
+  with_string_ic "partial" (fun ic ->
+      (match Wire.input_line_bounded ~max:16 ic with
+      | `Line "partial" -> ()
+      | _ -> Alcotest.fail "expected `Line partial");
+      match Wire.input_line_bounded ~max:16 ic with
+      | `Eof -> ()
+      | _ -> Alcotest.fail "expected `Eof")
+
+let test_fd_reader () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () ->
+      let reader = Wire.Fd_reader.create a in
+      (* two pipelined lines arrive as two reads *)
+      (match Wire.write_raw b "one\ntwo\n" with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail m);
+      (match Wire.Fd_reader.read_line ~timeout_ms:1000.0 ~max:64 reader with
+      | `Line "one" -> ()
+      | _ -> Alcotest.fail "expected `Line one");
+      (match Wire.Fd_reader.read_line ~timeout_ms:1000.0 ~max:64 reader with
+      | `Line "two" -> ()
+      | _ -> Alcotest.fail "expected `Line two");
+      (* nothing pending: the deadline fires *)
+      (match Wire.Fd_reader.read_line ~timeout_ms:50.0 ~max:64 reader with
+      | `Timeout -> ()
+      | _ -> Alcotest.fail "expected `Timeout");
+      (* a pre-set stop flag interrupts instead of timing out *)
+      let stop = Atomic.make true in
+      (match
+         Wire.Fd_reader.read_line ~timeout_ms:5000.0 ~stop ~max:64 reader
+       with
+      | `Stopped -> ()
+      | _ -> Alcotest.fail "expected `Stopped");
+      (* oversized, then back in sync *)
+      (match Wire.write_raw b (String.make 200 'z' ^ "\nok\n") with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail m);
+      (match Wire.Fd_reader.read_line ~timeout_ms:1000.0 ~max:64 reader with
+      | `Oversized n -> Alcotest.(check int) "drained total" 200 n
+      | _ -> Alcotest.fail "expected `Oversized");
+      (match Wire.Fd_reader.read_line ~timeout_ms:1000.0 ~max:64 reader with
+      | `Line "ok" -> ()
+      | _ -> Alcotest.fail "expected `Line ok");
+      (* a partial line at socket EOF is a torn request, not a line *)
+      (match Wire.write_raw b "torn-frame-no-newline" with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail m);
+      Unix.close b;
+      match Wire.Fd_reader.read_line ~timeout_ms:1000.0 ~max:64 reader with
+      | `Eof -> ()
+      | _ -> Alcotest.fail "expected `Eof for torn frame")
+
+let test_row_shapes () =
+  (match Json.Obj (Wire.overloaded_fields ~retry_after_ms:75.0) with
+  | j ->
+    check "overloaded status" true
+      (Wire.str_field "status" j = Some "overloaded");
+    check "hint present" true
+      (Wire.float_field "retry_after_ms" j = Some 75.0));
+  let j = Server.oversized_row ~idx:3 ~max:256 in
+  check "oversized id" true (Wire.str_field "id" j = Some "line-3");
+  check "oversized message" true
+    (Wire.str_field "error" j = Some "request line exceeds 256 bytes")
+
 let () =
   Alcotest.run "service"
     [
@@ -350,5 +446,14 @@ let () =
           Alcotest.test_case "protocol rows" `Quick test_server_protocol;
           Alcotest.test_case "batch verb" `Quick test_server_batch_verb;
           Alcotest.test_case "wire CQ syntax" `Quick test_wire_parse;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "bounded channel reads" `Quick
+            test_input_line_bounded;
+          Alcotest.test_case "fd reader deadlines and sync" `Quick
+            test_fd_reader;
+          Alcotest.test_case "overloaded and oversized rows" `Quick
+            test_row_shapes;
         ] );
     ]
