@@ -42,6 +42,8 @@ let experiments =
      E24_components.run);
     ("e25", "Robust serve: e22 replay under wire faults + overload burst",
      E25_robust_serve.run);
+    ("e26", "Constraint certificates: graded checks vs completion enumeration",
+     E26_constraint_certs.run);
   ]
 
 let micros =
@@ -52,7 +54,7 @@ let micros =
     E11_codd_membership.micro; E12_query_answering.micro;
     E14_patterns.micro; E15_ctables.micro; E19_engine_batch.micro;
     E20_resilience.micro; E21_planner.micro; E22_service.micro;
-    E23_tracing.micro; E24_components.micro;
+    E23_tracing.micro; E24_components.micro; E26_constraint_certs.micro;
   ]
 
 let run_micros () =

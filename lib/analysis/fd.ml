@@ -1,0 +1,385 @@
+module Obs = Certdb_obs.Obs
+open Certdb_values
+open Certdb_relational
+
+let c_checks = Obs.counter "analysis.fd.checks"
+
+type fd = { rel : string; lhs : int list; rhs : int list }
+
+let fd ~rel ~lhs ~rhs =
+  let norm l = List.sort_uniq compare l in
+  List.iter
+    (fun p -> if p < 0 then invalid_arg "Fd.fd: negative position")
+    (lhs @ rhs);
+  { rel; lhs = norm lhs; rhs = norm rhs }
+
+let is_key ~arity f =
+  let mentioned = List.sort_uniq compare (f.lhs @ f.rhs) in
+  List.length mentioned = arity && List.for_all (fun p -> p < arity) mentioned
+
+let positions_of_string s =
+  let parts =
+    String.split_on_char ' ' (String.map (fun c -> if c = ',' then ' ' else c) s)
+    |> List.filter (fun t -> t <> "")
+  in
+  List.fold_left
+    (fun acc tok ->
+      match acc with
+      | Error _ -> acc
+      | Ok ps -> (
+          match int_of_string_opt tok with
+          | Some p when p >= 1 -> Ok (p - 1 :: ps)
+          | _ -> Error (Printf.sprintf "bad position %S (want 1-based int)" tok)))
+    (Ok []) parts
+
+let parse s =
+  match String.index_opt s ':' with
+  | None -> Error "expected \"REL: positions -> positions\""
+  | Some i -> (
+      let rel = String.trim (String.sub s 0 i) in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      if rel = "" then Error "empty relation name"
+      else
+        match
+          let arrow = "->" in
+          let rec find j =
+            if j + 2 > String.length rest then None
+            else if String.sub rest j 2 = arrow then Some j
+            else find (j + 1)
+          in
+          find 0
+        with
+        | None -> Error "expected \"->\" between determinant and determined"
+        | Some j -> (
+            let l = String.sub rest 0 j in
+            let r = String.sub rest (j + 2) (String.length rest - j - 2) in
+            match (positions_of_string l, positions_of_string r) with
+            | Error e, _ | _, Error e -> Error e
+            | Ok _, Ok [] -> Error "empty determined side"
+            | Ok lhs, Ok rhs -> Ok (fd ~rel ~lhs ~rhs)))
+
+let to_string f =
+  let ps l = String.concat " " (List.map (fun p -> string_of_int (p + 1)) l) in
+  Printf.sprintf "%s: %s -> %s" f.rel (ps f.lhs) (ps f.rhs)
+
+(* ------------------------------------------------------------------ *)
+(* Union-find over values, constants preferred as representatives.    *)
+
+module Uf = struct
+  type t = (Value.t, Value.t) Hashtbl.t
+
+  let create () : t = Hashtbl.create 32
+
+  let rec find t v =
+    match Hashtbl.find_opt t v with
+    | None -> v
+    | Some p ->
+        let r = find t p in
+        if not (Value.equal r p) then Hashtbl.replace t v r;
+        r
+
+  (* [Ok changed] or [Error (c1, c2)] when two distinct constants meet. *)
+  let union t a b =
+    let ra = find t a and rb = find t b in
+    if Value.equal ra rb then Ok false
+    else
+      match (ra, rb) with
+      | Value.Const _, Value.Const _ -> Error (ra, rb)
+      | Value.Const _, _ ->
+          Hashtbl.replace t rb ra;
+          Ok true
+      | _, _ ->
+          Hashtbl.replace t ra rb;
+          Ok true
+end
+
+(* ------------------------------------------------------------------ *)
+
+type violation = {
+  v_tuple1 : Value.t array;
+  v_tuple2 : Value.t array;
+  v_position : int;
+  v_unifier : (Value.t * Value.t) list;
+}
+
+type forced_step = {
+  f_tuple1 : Value.t array;
+  f_tuple2 : Value.t array;
+  f_position : int;
+  f_left : Value.t;
+  f_right : Value.t;
+}
+
+type certificate =
+  | All_pairs_safe of { pairs : int; x_incompatible : int; y_forced : int }
+  | Completion_exists of { merges : (Value.t * Value.t) list }
+  | Violating_pair of violation
+  | Forced_clash of {
+      chain : forced_step list;
+      left : Value.t;
+      right : Value.t;
+    }
+
+type 'cert graded =
+  | Certainly_satisfies of 'cert
+  | Possibly_satisfies of { sat : 'cert; falsified : 'cert }
+  | Certainly_violates of 'cert
+
+type grade = Certain | Possible | Violated
+
+let grade = function
+  | Certainly_satisfies _ -> Certain
+  | Possibly_satisfies _ -> Possible
+  | Certainly_violates _ -> Violated
+
+let grade_name = function
+  | Certain -> "certain"
+  | Possible -> "possible"
+  | Violated -> "violated"
+
+type verdict = certificate graded
+
+let check_positions f tuples =
+  List.iter
+    (fun t ->
+      List.iter
+        (fun p ->
+          if p >= Array.length t then
+            invalid_arg
+              (Printf.sprintf "Fd.check: position %d out of range for %s/%d"
+                 (p + 1) f.rel (Array.length t)))
+        (f.lhs @ f.rhs))
+    tuples
+
+(* Strong satisfaction: a pair violates in some completion iff its lhs
+   positions unify without a constant clash while some rhs position is
+   left with distinct representatives — the freest unifier then assigns
+   any unforced null a fresh constant, making the tuples X-equal and
+   Y-different. *)
+let strong_scan f (ts : Value.t array array) =
+  let n = Array.length ts in
+  let pairs = ref 0 and x_incompatible = ref 0 in
+  let violation = ref None in
+  (try
+     for i = 0 to n - 1 do
+       for j = i + 1 to n - 1 do
+         incr pairs;
+         let t1 = ts.(i) and t2 = ts.(j) in
+         let uf = Uf.create () in
+         let clash =
+           List.exists
+             (fun x ->
+               match Uf.union uf t1.(x) t2.(x) with
+               | Ok _ -> false
+               | Error _ -> true)
+             f.lhs
+         in
+         if clash then incr x_incompatible
+         else
+           match
+             List.find_opt
+               (fun y -> not (Value.equal (Uf.find uf t1.(y)) (Uf.find uf t2.(y))))
+               f.rhs
+           with
+           | None -> ()
+           | Some y ->
+               let unifier =
+                 List.concat_map
+                   (fun x ->
+                     List.filter_map
+                       (fun v ->
+                         if Value.is_null v then Some (v, Uf.find uf v)
+                         else None)
+                       [ t1.(x); t2.(x) ])
+                   f.lhs
+                 |> List.sort_uniq compare
+               in
+               violation :=
+                 Some
+                   {
+                     v_tuple1 = t1;
+                     v_tuple2 = t2;
+                     v_position = y;
+                     v_unifier = unifier;
+                   };
+               raise Exit
+       done
+     done
+   with Exit -> ());
+  match !violation with
+  | Some v -> Error v
+  | None ->
+      Ok
+        (All_pairs_safe
+           {
+             pairs = !pairs;
+             x_incompatible = !x_incompatible;
+             y_forced = !pairs - !x_incompatible;
+           })
+
+(* Weak satisfaction: the unification chase.  Whenever two tuples are
+   X-identical up to the equalities already forced, every satisfying
+   completion equates their Y values, so we merge them; a fixpoint
+   without a clash yields a satisfying completion (distinct fresh
+   constants per remaining null-only class), a clash refutes all. *)
+let weak_chase f (ts : Value.t array array) =
+  let n = Array.length ts in
+  let uf = Uf.create () in
+  let chain = ref [] in
+  let clash = ref None in
+  let changed = ref true in
+  while !changed && !clash = None do
+    changed := false;
+    (try
+       for i = 0 to n - 1 do
+         for j = i + 1 to n - 1 do
+           let t1 = ts.(i) and t2 = ts.(j) in
+           let x_equal =
+             List.for_all
+               (fun x -> Value.equal (Uf.find uf t1.(x)) (Uf.find uf t2.(x)))
+               f.lhs
+           in
+           if x_equal then
+             List.iter
+               (fun y ->
+                 let l = Uf.find uf t1.(y) and r = Uf.find uf t2.(y) in
+                 match Uf.union uf t1.(y) t2.(y) with
+                 | Ok false -> ()
+                 | Ok true ->
+                     changed := true;
+                     chain :=
+                       {
+                         f_tuple1 = t1;
+                         f_tuple2 = t2;
+                         f_position = y;
+                         f_left = l;
+                         f_right = r;
+                       }
+                       :: !chain
+                 | Error (c1, c2) ->
+                     chain :=
+                       {
+                         f_tuple1 = t1;
+                         f_tuple2 = t2;
+                         f_position = y;
+                         f_left = l;
+                         f_right = r;
+                       }
+                       :: !chain;
+                     clash := Some (c1, c2);
+                     raise Exit)
+               f.rhs
+         done
+       done
+     with Exit -> ())
+  done;
+  match !clash with
+  | Some (left, right) -> Error (Forced_clash { chain = List.rev !chain; left; right })
+  | None ->
+      Ok
+        (Completion_exists
+           { merges = List.rev_map (fun s -> (s.f_left, s.f_right)) !chain })
+
+let check d f =
+  Obs.incr c_checks;
+  let tuples = Instance.tuples d f.rel in
+  check_positions f tuples;
+  let ts = Array.of_list tuples in
+  match strong_scan f ts with
+  | Ok safe -> Certainly_satisfies safe
+  | Error violation -> (
+      match weak_chase f ts with
+      | Ok sat -> Possibly_satisfies { sat; falsified = Violating_pair violation }
+      | Error clash -> Certainly_violates clash)
+
+let strong d f = grade (check d f) = Certain
+
+let weak d f = grade (check d f) <> Violated
+
+(* ------------------------------------------------------------------ *)
+
+let to_egds ~arity f =
+  List.iter
+    (fun p ->
+      if p >= arity then invalid_arg "Fd.to_egds: position out of range")
+    (f.lhs @ f.rhs);
+  let t1 = Array.init arity Value.null in
+  let t2 =
+    Array.init arity (fun i ->
+        if List.mem i f.lhs then Value.null i else Value.null (arity + i))
+  in
+  let body =
+    Instance.of_list
+      [ (f.rel, [ Array.to_list t1; Array.to_list t2 ]) ]
+  in
+  List.map
+    (fun y ->
+      Certdb_exchange.Constraints.egd ~body ~left:t1.(y) ~right:t2.(y))
+    f.rhs
+
+(* ------------------------------------------------------------------ *)
+
+let fresh_constants ~avoid n =
+  let out = ref [] and found = ref 0 and i = ref 0 in
+  while !found < n do
+    let c = Value.str (Printf.sprintf "'f%d" !i) in
+    incr i;
+    if not (Value.Set.mem c avoid) then begin
+      out := c :: !out;
+      incr found
+    end
+  done;
+  List.rev !out
+
+let classical_ok f (ts : Value.t array array) =
+  let n = Array.length ts in
+  let ok = ref true in
+  (try
+     for i = 0 to n - 1 do
+       for j = i + 1 to n - 1 do
+         let t1 = ts.(i) and t2 = ts.(j) in
+         if
+           List.for_all (fun x -> Value.equal t1.(x) t2.(x)) f.lhs
+           && not (List.for_all (fun y -> Value.equal t1.(y) t2.(y)) f.rhs)
+         then begin
+           ok := false;
+           raise Exit
+         end
+       done
+     done
+   with Exit -> ());
+  !ok
+
+let relation_values rel sel d =
+  List.fold_left
+    (fun acc t -> Array.fold_left (fun acc v -> if sel v then Value.Set.add v acc else acc) acc t)
+    Value.Set.empty (Instance.tuples d rel)
+
+let brute_force d f =
+  let tuples = Instance.tuples d f.rel in
+  check_positions f tuples;
+  let ts = Array.of_list tuples in
+  let nulls = relation_values f.rel Value.is_null d |> Value.Set.elements in
+  let consts = relation_values f.rel Value.is_const d in
+  let n = List.length nulls in
+  let candidates =
+    Array.of_list (Value.Set.elements consts @ fresh_constants ~avoid:consts n)
+  in
+  let index = Hashtbl.create 16 in
+  List.iteri (fun i v -> Hashtbl.replace index v i) nulls;
+  let sat = ref false and viol = ref false in
+  (try
+     Certdb_csp.Enumerate.iter_assignments ~n ~choices:(Array.length candidates)
+       (fun a ->
+         let complete t =
+           Array.map
+             (fun v ->
+               if Value.is_null v then candidates.(a.(Hashtbl.find index v))
+               else v)
+             t
+         in
+         if classical_ok f (Array.map complete ts) then sat := true
+         else viol := true;
+         if !sat && !viol then raise Certdb_csp.Enumerate.Stop)
+   with Certdb_csp.Enumerate.Stop -> ());
+  if not !viol then Certain else if !sat then Possible else Violated

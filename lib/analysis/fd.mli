@@ -1,0 +1,152 @@
+(** Functional dependencies over tables with nulls — the Badia–Lemire
+    (arXiv 1703.08198) strong/weak satisfaction semantics as a
+    certificate-emitting analysis.
+
+    An FD [σ : X → Y] over a relation [R] of a naïve (or Codd) table
+    [D] has, per completion [v ∈ [[D]]], the classical meaning: any two
+    tuples of [v(D)] agreeing on the [X] positions agree on the [Y]
+    positions.  Over the incomplete table itself two graded notions
+    arise:
+
+    - {e strong satisfaction}: every completion satisfies [σ];
+    - {e weak satisfaction}: some completion satisfies [σ].
+
+    Both are decided in polynomial time, with a machine-checkable
+    witness either way:
+
+    - strong satisfaction fails iff some tuple pair can be made
+      [X]-equal by a valuation (null unification without a constant
+      clash) while some [Y] position is not {e forced} equal by that
+      unification — the freest such valuation violates [σ].  The
+      witness is the pair, the diverging position and the unifier.
+    - weak satisfaction is decided by a unification chase: whenever two
+      tuples are [X]-identical {e as terms} (up to the equalities
+      already forced), every satisfying completion must equate their
+      [Y] values, so they are unified; a fixpoint without a constant
+      clash yields a satisfying completion (fresh distinct constants
+      per remaining null class), a clash is a proof that no completion
+      satisfies [σ].  The witness is the forced-equality chain.
+
+    The three-valued verdict combines them into the lattice
+    [Certain ⇒ Possible ⇒ ¬Violated]: strongly satisfied tables are
+    {!Certainly_satisfies}, weakly-but-not-strongly
+    {!Possibly_satisfies} (with witnesses both ways), and tables with
+    no satisfying completion {!Certainly_violates}.  {!brute_force}
+    re-derives the grade by completion enumeration
+    ({!Certdb_csp.Enumerate}) — exponential, oracle use only.
+
+    Checks are counted by [analysis.fd.checks]. *)
+
+open Certdb_values
+open Certdb_relational
+
+type fd = {
+  rel : string;
+  lhs : int list;  (** determinant positions, 0-based, sorted *)
+  rhs : int list;  (** determined positions, 0-based, sorted *)
+}
+
+val fd : rel:string -> lhs:int list -> rhs:int list -> fd
+
+(** [is_key ~arity f] — does [f] mention every position of a relation of
+    [arity] (so a certain [f] pins whole tuples by their determinant)? *)
+val is_key : arity:int -> fd -> bool
+
+(** Concrete syntax ["R: 1 2 -> 3"] — positions 1-based, separated by
+    spaces or commas. *)
+val parse : string -> (fd, string) result
+
+val to_string : fd -> string
+
+(** [positions_of_string "1 2 3"] — a 1-based, space- or comma-separated
+    position list as 0-based positions (order unspecified); shared by
+    the {!Independence} parser. *)
+val positions_of_string : string -> (int list, string) result
+
+(** {1 Certificates} *)
+
+type violation = {
+  v_tuple1 : Value.t array;
+  v_tuple2 : Value.t array;
+  v_position : int;
+      (** [Y] position left unforced by the [X]-unifier: the freest
+          unifying completion makes the tuples [X]-equal yet differ
+          here *)
+  v_unifier : (Value.t * Value.t) list;
+      (** null bindings (value, representative) making the [X] parts
+          equal *)
+}
+
+type forced_step = {
+  f_tuple1 : Value.t array;
+  f_tuple2 : Value.t array;  (** pair that was [X]-identical as terms *)
+  f_position : int;  (** the [Y] position whose values were unified *)
+  f_left : Value.t;
+  f_right : Value.t;  (** class representatives merged by the step *)
+}
+
+type certificate =
+  | All_pairs_safe of { pairs : int; x_incompatible : int; y_forced : int }
+      (** strong satisfaction: every tuple pair either cannot be made
+          [X]-equal (distinct constants clash in the unifier) or has
+          every [Y] position forced equal by it *)
+  | Completion_exists of { merges : (Value.t * Value.t) list }
+      (** weak satisfaction: assigning each remaining null class a
+          distinct fresh constant after these forced merges satisfies
+          the FD *)
+  | Violating_pair of violation  (** some completion violates *)
+  | Forced_clash of {
+      chain : forced_step list;
+      left : Value.t;
+      right : Value.t;
+    }
+      (** no completion satisfies: the chain of forced equalities ends
+          by equating the two distinct constants [left] and [right] *)
+
+(** {1 The graded verdict}
+
+    Shared with {!Independence} (and any future constraint family):
+    certainty implies possibility, so the three verdicts are mutually
+    exclusive and exhaustive. *)
+
+type 'cert graded =
+  | Certainly_satisfies of 'cert  (** every completion satisfies *)
+  | Possibly_satisfies of { sat : 'cert; falsified : 'cert }
+      (** some completion satisfies, some completion does not *)
+  | Certainly_violates of 'cert  (** no completion satisfies *)
+
+type grade = Certain | Possible | Violated
+
+val grade : 'cert graded -> grade
+val grade_name : grade -> string
+
+type verdict = certificate graded
+
+(** [check d f] — the verdict of [f] on [d], polynomial time.
+    @raise Invalid_argument when a position of [f] is out of range for
+    a tuple of [f.rel] (a relation absent from [d] is trivially
+    certainly satisfied). *)
+val check : Instance.t -> fd -> verdict
+
+(** [strong d f] / [weak d f] — the two Badia–Lemire satisfaction
+    relations, derived from {!check}. *)
+val strong : Instance.t -> fd -> bool
+
+val weak : Instance.t -> fd -> bool
+
+(** [to_egds ~arity f] — [f] as equality-generating dependencies (one
+    per [Y] position), so {!Certdb_exchange.Constraints.chase} can
+    enforce it. *)
+val to_egds : arity:int -> fd -> Certdb_exchange.Constraints.egd list
+
+(** {1 The oracle} *)
+
+(** [fresh_constants ~avoid n] — [n] pairwise-distinct constants outside
+    [avoid], deterministic. *)
+val fresh_constants : avoid:Value.Set.t -> int -> Value.t list
+
+(** [brute_force d f] — the grade by enumeration of all completions
+    into the active domain plus as many fresh constants as there are
+    nulls (sufficient by genericity).  Exponential: oracle for tests,
+    self-tests and benches only. *)
+val brute_force : Instance.t -> fd -> grade

@@ -1,0 +1,144 @@
+module Obs = Certdb_obs.Obs
+open Certdb_values
+open Certdb_query
+module SMap = Map.Make (String)
+
+let c_computed = Obs.counter "analysis.footprint.computed"
+
+type positions = All | Only of int list
+
+type t = { rels : (string * positions) list; constants : Value.t list }
+
+let empty = { rels = []; constants = [] }
+
+let merge_positions a b =
+  match (a, b) with
+  | All, _ | _, All -> All
+  | Only x, Only y -> Only (List.sort_uniq compare (x @ y))
+
+let of_map m consts =
+  {
+    rels = SMap.bindings m;
+    constants = Value.Set.elements consts;
+  }
+
+let to_map fp =
+  List.fold_left (fun m (r, p) -> SMap.add r p m) SMap.empty fp.rels
+
+let union a b =
+  let m =
+    List.fold_left
+      (fun m (r, p) ->
+        SMap.update r
+          (function None -> Some p | Some q -> Some (merge_positions p q))
+          m)
+      (to_map a) b.rels
+  in
+  of_map m
+    (Value.Set.union
+       (Value.Set.of_list a.constants)
+       (Value.Set.of_list b.constants))
+
+let of_cq (q : Cq.t) =
+  Obs.incr c_computed;
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun (a : Cq.atom) ->
+      List.iter
+        (function
+          | Fo.Var v ->
+              Hashtbl.replace counts v
+                (1 + Option.value ~default:0 (Hashtbl.find_opt counts v))
+          | Fo.Val _ -> ())
+        a.args)
+    q.atoms;
+  let head_vars =
+    List.fold_left (fun s v -> SMap.add v () s) SMap.empty q.head
+  in
+  let constrained = function
+    | Fo.Val _ -> true
+    | Fo.Var v ->
+        SMap.mem v head_vars
+        || Option.value ~default:0 (Hashtbl.find_opt counts v) >= 2
+  in
+  let m, consts =
+    List.fold_left
+      (fun (m, consts) (a : Cq.atom) ->
+        let ps =
+          List.mapi (fun i t -> (i, t)) a.args
+          |> List.filter_map (fun (i, t) -> if constrained t then Some i else None)
+        in
+        let m =
+          SMap.update a.rel
+            (function
+              | None -> Some (Only (List.sort_uniq compare ps))
+              | Some q -> Some (merge_positions q (Only ps)))
+            m
+        in
+        let consts =
+          List.fold_left
+            (fun cs t ->
+              match t with Fo.Val v -> Value.Set.add v cs | Fo.Var _ -> cs)
+            consts a.args
+        in
+        (m, consts))
+      (SMap.empty, Value.Set.empty)
+      q.atoms
+  in
+  of_map m consts
+
+let close_under_tgds (c : Certdb_exchange.Constraints.t) fp =
+  let module I = Certdb_relational.Instance in
+  let rec go m =
+    let m' =
+      List.fold_left
+        (fun m (tgd : Certdb_exchange.Constraints.tgd) ->
+          let feeds =
+            List.exists (fun r -> SMap.mem r m) (I.relations tgd.tgd_head)
+          in
+          if not feeds then m
+          else
+            List.fold_left
+              (fun m r ->
+                SMap.update r
+                  (function None | Some _ -> Some All)
+                  m)
+              m
+              (I.relations tgd.tgd_body))
+        m c.tgds
+    in
+    if SMap.equal (fun a b -> a = b) m m' then m else go m'
+  in
+  let m = go (to_map fp) in
+  of_map m (Value.Set.of_list fp.constants)
+
+type touch = { t_rel : string; t_cols : positions }
+
+let touch_rel r = { t_rel = r; t_cols = All }
+let touch_cols r cols = { t_rel = r; t_cols = Only (List.sort_uniq compare cols) }
+
+let positions_meet a b =
+  match (a, b) with
+  | All, _ | _, All -> true
+  | Only x, Only y -> List.exists (fun p -> List.mem p y) x
+
+let overlaps fp touch =
+  List.exists
+    (fun (r, p) -> r = touch.t_rel && positions_meet p touch.t_cols)
+    fp.rels
+
+let positions_string = function
+  | All -> "*"
+  | Only ps -> String.concat " " (List.map (fun p -> string_of_int (p + 1)) ps)
+
+let to_key fp =
+  let rels =
+    List.map (fun (r, p) -> Printf.sprintf "%s[%s]" r (positions_string p)) fp.rels
+  in
+  let consts = List.map Value.to_string fp.constants in
+  String.concat " " rels
+  ^ (if consts = [] then "" else " # " ^ String.concat " " consts)
+
+let to_string = to_key
+
+let pp ppf fp = Format.pp_print_string ppf (to_key fp)

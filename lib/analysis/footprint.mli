@@ -1,0 +1,75 @@
+(** Dependency footprints — which part of a database a query can see.
+
+    The footprint of a CQ [Q] is, per relation it mentions, the set of
+    {e constrained} argument positions: those holding a constant, a
+    head variable, or a join variable (a variable with ≥ 2 occurrences
+    across the query).  An unconstrained position is read only for
+    tuple {e existence}: its values never flow into the answer nor into
+    a join, so a column update there cannot change [Q]'s result, while
+    a tuple insert or delete — an {!touch_rel} touch, i.e. {!All}
+    positions — always can.  The query's constants ride along, so a
+    footprint is exactly the "relation names + argument positions +
+    constants" key of ISSUE/ROADMAP.
+
+    When target tgds can fire ({!Certdb_exchange.Constraints}), a base
+    touch on a tgd's body relations may create tuples in its head
+    relations; {!close_under_tgds} therefore adds, for every tgd whose
+    head reaches the footprint (reverse reachability over the firing
+    graph), the tgd's body relations at the conservative {!All}
+    positions.
+
+    {!overlaps} is the cache-invalidation test used by
+    {!Certdb_service}'s cache: an update touch that does not overlap a
+    cached entry's footprint provably cannot change the cached answer.
+    Soundness direction: [overlaps] may err towards [true] (a spurious
+    invalidation costs a recomputation), never towards [false].
+
+    Computations are counted by [analysis.footprint.computed]. *)
+
+open Certdb_values
+open Certdb_query
+
+type positions =
+  | All  (** every position — tuple-level, or unknown columns *)
+  | Only of int list  (** exactly these 0-based positions, sorted *)
+
+type t = {
+  rels : (string * positions) list;  (** sorted by relation name *)
+  constants : Value.t list;  (** constants mentioned, sorted *)
+}
+
+val empty : t
+val union : t -> t -> t
+
+(** [of_cq q] — the footprint of [q]: constrained positions per
+    relation, plus [q]'s constants. *)
+val of_cq : Cq.t -> t
+
+(** [close_under_tgds c fp] — least fixpoint adding [All]-position
+    entries for the body relations of every tgd whose head relation
+    already appears (tgd firing can feed the footprint). *)
+val close_under_tgds : Certdb_exchange.Constraints.t -> t -> t
+
+(** {1 Touches and overlap} *)
+
+type touch = { t_rel : string; t_cols : positions }
+
+(** [touch_rel r] — a tuple-level touch (insert/delete): all positions. *)
+val touch_rel : string -> touch
+
+(** [touch_cols r cols] — a column update confined to [cols] (0-based). *)
+val touch_cols : string -> int list -> touch
+
+(** [overlaps fp touch] — could the touch change a query with footprint
+    [fp]?  True iff the relation appears and the position sets meet
+    ([All] meets everything, including [Only []]). *)
+val overlaps : t -> touch -> bool
+
+(** {1 Keys and display} *)
+
+(** [to_key fp] — stable, injective-enough serialization for cache keys,
+    e.g. ["R[1 3] S[*] # 'a' 7"] (positions 1-based). *)
+val to_key : t -> string
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

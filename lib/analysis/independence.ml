@@ -1,0 +1,229 @@
+module Obs = Certdb_obs.Obs
+open Certdb_values
+open Certdb_relational
+
+let c_checks = Obs.counter "analysis.independence.checks"
+
+type atom = { rel : string; x : int list; y : int list }
+
+let atom ~rel ~x ~y =
+  let norm l = List.sort_uniq compare l in
+  List.iter
+    (fun p -> if p < 0 then invalid_arg "Independence.atom: negative position")
+    (x @ y);
+  if x = [] || y = [] then invalid_arg "Independence.atom: empty side";
+  { rel; x = norm x; y = norm y }
+
+let parse s =
+  match String.index_opt s ':' with
+  | None -> Error "expected \"REL: positions | positions\""
+  | Some i -> (
+      let rel = String.trim (String.sub s 0 i) in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      if rel = "" then Error "empty relation name"
+      else
+        match String.index_opt rest '|' with
+        | None -> Error "expected \"|\" between the two position sets"
+        | Some j -> (
+            let l = String.sub rest 0 j in
+            let r = String.sub rest (j + 1) (String.length rest - j - 1) in
+            match (Fd.positions_of_string l, Fd.positions_of_string r) with
+            | Error e, _ | _, Error e -> Error e
+            | Ok [], _ | _, Ok [] -> Error "empty side of the atom"
+            | Ok x, Ok y -> Ok (atom ~rel ~x ~y)))
+
+let to_string a =
+  let ps l = String.concat " " (List.map (fun p -> string_of_int (p + 1)) l) in
+  Printf.sprintf "%s: %s | %s" a.rel (ps a.x) (ps a.y)
+
+type certificate =
+  | Product_holds of {
+      x_blocks : int;
+      y_blocks : int;
+      rows : int;
+      canonical : int;
+    }
+  | Missing_combination of {
+      m_x : Value.t array;
+      m_y : Value.t array;
+      m_valuation : (Value.t * Value.t) list;
+    }
+
+type verdict = certificate Fd.graded
+
+let check_positions a tuples =
+  List.iter
+    (fun t ->
+      List.iter
+        (fun p ->
+          if p >= Array.length t then
+            invalid_arg
+              (Printf.sprintf
+                 "Independence.check: position %d out of range for %s/%d"
+                 (p + 1) a.rel (Array.length t)))
+        (a.x @ a.y))
+    tuples
+
+let column_values positions sel tuples =
+  List.fold_left
+    (fun acc t ->
+      List.fold_left
+        (fun acc p -> if sel t.(p) then Value.Set.add t.(p) acc else acc)
+        acc positions)
+    Value.Set.empty tuples
+
+let relevant_nulls d a =
+  let tuples = Instance.tuples d a.rel in
+  check_positions a tuples;
+  column_values
+    (List.sort_uniq compare (a.x @ a.y))
+    Value.is_null tuples
+
+(* Product test on complete rows.  [Ok (x_blocks, y_blocks, rows)] when
+   π_XY = π_X × π_Y, [Error (xv, yv)] exhibiting a missing combination. *)
+let product_test a (ts : Value.t array array) =
+  let proj ps t = Array.of_list (List.map (fun p -> t.(p)) ps) in
+  let module Tbl = Hashtbl in
+  let xs = Tbl.create 16 and ys = Tbl.create 16 and pairs = Tbl.create 16 in
+  Array.iter
+    (fun t ->
+      let xv = proj a.x t and yv = proj a.y t in
+      Tbl.replace xs xv ();
+      Tbl.replace ys yv ();
+      Tbl.replace pairs (xv, yv) ())
+    ts;
+  let nx = Tbl.length xs and ny = Tbl.length ys in
+  if Tbl.length pairs = nx * ny then Ok (nx, ny, Array.length ts)
+  else begin
+    let missing = ref None in
+    (try
+       Tbl.iter
+         (fun xv () ->
+           Tbl.iter
+             (fun yv () ->
+               if not (Tbl.mem pairs (xv, yv)) then begin
+                 missing := Some (xv, yv);
+                 raise Exit
+               end)
+             ys)
+         xs
+     with Exit -> ());
+    match !missing with
+    | Some (xv, yv) -> Error (xv, yv)
+    | None -> assert false
+  end
+
+let check d a =
+  Obs.incr c_checks;
+  let tuples = Instance.tuples d a.rel in
+  check_positions a tuples;
+  let ts = Array.of_list tuples in
+  let positions = List.sort_uniq compare (a.x @ a.y) in
+  let nulls = column_values positions Value.is_null tuples |> Value.Set.elements in
+  let consts = column_values positions Value.is_const tuples in
+  let n = List.length nulls in
+  let const_arr = Array.of_list (Value.Set.elements consts) in
+  let nconsts = Array.length const_arr in
+  let fresh = Array.of_list (Fd.fresh_constants ~avoid:consts n) in
+  let index = Hashtbl.create 16 in
+  List.iteri (fun i v -> Hashtbl.replace index v i) nulls;
+  let value_of code = if code < nconsts then const_arr.(code) else fresh.(code - nconsts) in
+  let sat = ref None and falsified = ref None in
+  let checked = ref 0 in
+  (try
+     Certdb_csp.Enumerate.iter_canonical ~n ~consts:nconsts (fun assign ->
+         incr checked;
+         let complete t =
+           (* only the nulls of the X∪Y columns are indexed; a null
+              confined to other columns never reaches the product test
+              and stays as it is *)
+           Array.map
+             (fun v ->
+               match Hashtbl.find_opt index v with
+               | Some i -> value_of assign.(i)
+               | None -> v)
+             t
+         in
+         (match product_test a (Array.map complete ts) with
+         | Ok (nx, ny, rows) ->
+             if !sat = None then
+               sat :=
+                 Some
+                   (Product_holds
+                      { x_blocks = nx; y_blocks = ny; rows; canonical = !checked })
+         | Error (xv, yv) ->
+             if !falsified = None then
+               falsified :=
+                 Some
+                   (Missing_combination
+                      {
+                        m_x = xv;
+                        m_y = yv;
+                        m_valuation =
+                          List.map (fun nv -> (nv, value_of assign.(Hashtbl.find index nv))) nulls;
+                      }));
+         if !sat <> None && !falsified <> None then
+           raise Certdb_csp.Enumerate.Stop)
+   with Certdb_csp.Enumerate.Stop -> ());
+  match (!sat, !falsified) with
+  | Some s, None ->
+      (* every canonical completion passed; stamp the total count *)
+      let s =
+        match s with
+        | Product_holds p -> Product_holds { p with canonical = !checked }
+        | c -> c
+      in
+      Fd.Certainly_satisfies s
+  | Some s, Some f -> Fd.Possibly_satisfies { sat = s; falsified = f }
+  | None, Some f -> Fd.Certainly_violates f
+  | None, None ->
+      (* no tuples at all: vacuously independent *)
+      Fd.Certainly_satisfies
+        (Product_holds { x_blocks = 0; y_blocks = 0; rows = 0; canonical = !checked })
+
+let classical_ok a (ts : Value.t array array) =
+  match product_test a ts with Ok _ -> true | Error _ -> false
+
+let brute_force d a =
+  let tuples = Instance.tuples d a.rel in
+  check_positions a tuples;
+  let ts = Array.of_list tuples in
+  let nulls =
+    List.fold_left
+      (fun acc t ->
+        Array.fold_left
+          (fun acc v -> if Value.is_null v then Value.Set.add v acc else acc)
+          acc t)
+      Value.Set.empty tuples
+    |> Value.Set.elements
+  in
+  let consts =
+    List.fold_left
+      (fun acc t ->
+        Array.fold_left
+          (fun acc v -> if Value.is_const v then Value.Set.add v acc else acc)
+          acc t)
+      Value.Set.empty tuples
+  in
+  let n = List.length nulls in
+  let candidates =
+    Array.of_list (Value.Set.elements consts @ Fd.fresh_constants ~avoid:consts n)
+  in
+  let index = Hashtbl.create 16 in
+  List.iteri (fun i v -> Hashtbl.replace index v i) nulls;
+  let sat = ref false and viol = ref false in
+  (try
+     Certdb_csp.Enumerate.iter_assignments ~n ~choices:(Array.length candidates)
+       (fun assign ->
+         let complete t =
+           Array.map
+             (fun v ->
+               if Value.is_null v then candidates.(assign.(Hashtbl.find index v))
+               else v)
+             t
+         in
+         if classical_ok a (Array.map complete ts) then sat := true
+         else viol := true;
+         if !sat && !viol then raise Certdb_csp.Enumerate.Stop)
+   with Certdb_csp.Enumerate.Stop -> ());
+  if not !viol then Fd.Certain else if !sat then Fd.Possible else Fd.Violated

@@ -1,0 +1,75 @@
+(** Independence atoms [X ⊥ Y] over tables with nulls (Hannula et al.,
+    arXiv 2505.05866) as a certificate-emitting analysis, graded over
+    completions with the same verdict type as {!Fd}.
+
+    A complete relation [r] satisfies [X ⊥ Y] when for all tuples
+    [t1, t2 ∈ r] some [t3 ∈ r] has [t3[X] = t1[X]] and [t3[Y] = t2[Y]]
+    — equivalently, the [XY]-projection of [r] is the full product of
+    its [X]- and [Y]-projections.  Over an incomplete table the verdict
+    is graded over completions exactly as for FDs: certainly satisfies
+    / possibly satisfies / certainly violates.
+
+    Unlike the FD case there is no polynomial certificate chase here
+    (certainty for independence is intractable in general); {!check} is
+    exact but enumerative.  It is nonetheless far cheaper than the
+    naive oracle, because only the nulls {e in the [X ∪ Y] columns of
+    the atom's relation} matter, constants outside those columns are
+    irrelevant, and completions are enumerated {e canonically} — one
+    representative per partition of the relevant nulls into
+    known-constant and fresh classes ({!Certdb_csp.Enumerate.iter_canonical})
+    — with early exit once a satisfying and a falsifying completion
+    have both been seen.
+
+    Checks are counted by [analysis.independence.checks]. *)
+
+open Certdb_values
+open Certdb_relational
+
+type atom = {
+  rel : string;
+  x : int list;  (** left positions, 0-based, sorted *)
+  y : int list;  (** right positions, 0-based, sorted *)
+}
+
+val atom : rel:string -> x:int list -> y:int list -> atom
+
+(** Concrete syntax ["R: 1 2 | 3"] — positions 1-based, separated by
+    spaces or commas, the bar separating [X] from [Y]. *)
+val parse : string -> (atom, string) result
+
+val to_string : atom -> string
+
+type certificate =
+  | Product_holds of {
+      x_blocks : int;  (** |π_X| in the certifying completion *)
+      y_blocks : int;  (** |π_Y| in the certifying completion *)
+      rows : int;
+      canonical : int;
+          (** canonical completions checked to reach this verdict *)
+    }
+      (** the [XY]-projection is the full [π_X × π_Y] product (in every
+          canonical completion for a certain verdict, in the exhibited
+          one for a possible verdict) *)
+  | Missing_combination of {
+      m_x : Value.t array;  (** a realised [X]-projection *)
+      m_y : Value.t array;  (** a realised [Y]-projection *)
+      m_valuation : (Value.t * Value.t) list;
+          (** completion of the relevant nulls under which no row joins
+              [m_x] with [m_y] *)
+    }
+
+type verdict = certificate Fd.graded
+
+(** [check d a] — the exact graded verdict of [a] on [d], by canonical
+    enumeration over the nulls in the [X ∪ Y] columns of [a.rel].
+    @raise Invalid_argument when a position is out of range. *)
+val check : Instance.t -> atom -> verdict
+
+(** [relevant_nulls d a] — the nulls occurring in the [X ∪ Y] columns
+    of [a.rel] in [d]; the exponent of {!check}'s enumeration. *)
+val relevant_nulls : Instance.t -> atom -> Value.Set.t
+
+(** [brute_force d a] — the grade by raw enumeration of all completions
+    of {e all} nulls of [a.rel]'s tuples into its constants plus fresh
+    ones.  Exponential and unpruned: oracle for tests and benches. *)
+val brute_force : Instance.t -> atom -> Fd.grade

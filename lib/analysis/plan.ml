@@ -7,6 +7,7 @@ let plan_acyclic = Obs.counter "query.plan.acyclic_join"
 let plan_bounded = Obs.counter "query.plan.bounded_width"
 let plan_components = Obs.counter "query.plan.components"
 let plan_hom = Obs.counter "query.plan.hom_ladder"
+let plan_fd = Obs.counter "query.plan.fd_naive"
 
 type route =
   | Naive_eval
@@ -14,6 +15,7 @@ type route =
   | Bounded_width of int
   | Components of int
   | Hom_ladder
+  | Fd_naive of Fd.fd
 
 type decision = {
   route : route;
@@ -26,6 +28,7 @@ let route_to_string = function
   | Bounded_width w -> Printf.sprintf "bounded-width(%d)" w
   | Components c -> Printf.sprintf "components(%d)" c
   | Hom_ladder -> "hom-ladder"
+  | Fd_naive f -> Printf.sprintf "fd-naive(%s)" (Fd.to_string f)
 
 let count_route = function
   | Naive_eval -> Obs.incr plan_naive
@@ -33,27 +36,46 @@ let count_route = function
   | Bounded_width _ -> Obs.incr plan_bounded
   | Components _ -> Obs.incr plan_components
   | Hom_ladder -> Obs.incr plan_hom
+  | Fd_naive _ -> Obs.incr plan_fd
 
 let default_width_threshold = 2
 
-let route_cq ?(width_threshold = default_width_threshold) (q : Cq.t) =
+(* A certainly-satisfied key FD on one of the query's relations: that
+   relation is key-determined in every completion, so the hom search has
+   no freedom there and plain naive evaluation (exact for Boolean CQs by
+   Prop. 2) is the cheap route. *)
+let key_fd_for (q : Cq.t) fds =
+  List.find_opt
+    (fun (f : Fd.fd) ->
+      List.exists
+        (fun (a : Cq.atom) ->
+          a.rel = f.rel && Fd.is_key ~arity:(List.length a.args) f)
+        q.atoms)
+    fds
+
+let route_cq ?(width_threshold = default_width_threshold) ?(fds = []) (q : Cq.t)
+    =
   if q.head <> [] then { route = Naive_eval; hypergraph = None }
   else
     let hg = Hypergraph.analyze q in
     let route =
       match hg.certificate with
       | Acyclic _ -> Acyclic_join
-      | Cyclic _ ->
+      | Cyclic _ -> (
         if hg.width_estimate <= width_threshold then
           Bounded_width hg.width_estimate
-        else if hg.components >= 2 then Components hg.components
-        else Hom_ladder
+        else
+          match key_fd_for q fds with
+          | Some f -> Fd_naive f
+          | None ->
+            if hg.components >= 2 then Components hg.components
+            else Hom_ladder)
     in
     { route; hypergraph = Some hg }
 
-let certain ?policy ?limits ?(jobs = 1) ?width_threshold (q : Cq.t) d =
+let certain ?policy ?limits ?(jobs = 1) ?width_threshold ?fds (q : Cq.t) d =
   if q.head <> [] then invalid_arg "Plan.certain: Boolean query only";
-  let dec = route_cq ?width_threshold q in
+  let dec = route_cq ?width_threshold ?fds q in
   count_route dec.route;
   (* the route label on this span is what [explain:true] surfaces; it
      always matches the query.plan.* counter bumped just above *)
@@ -72,7 +94,8 @@ let certain ?policy ?limits ?(jobs = 1) ?width_threshold (q : Cq.t) d =
         | `True -> `Exact true
         | `False -> `Exact false
         | `Unknown _ -> Certain.certain_cq_resilient ?policy ?limits q d)
-      | Hom_ladder -> Certain.certain_cq_resilient ?policy ?limits q d)
+      | Hom_ladder -> Certain.certain_cq_resilient ?policy ?limits q d
+      | Fd_naive _ -> `Exact (Certain.certain_cq_via_naive q d))
 
 let certain_answers u d =
   count_route Naive_eval;

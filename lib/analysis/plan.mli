@@ -13,6 +13,11 @@
       variable graph → [Components c]: split the tableau into independent
       hom instances, solve each (in parallel on [jobs] domains when
       asked) and conjoin ({!Certdb_csp.Engine.Components});
+    - cyclic, wide, but some query relation carries a {e certainly
+      satisfied key FD} (checked by the caller with {!Fd.check} and
+      passed via [?fds]) → [Fd_naive]: that relation is key-determined
+      in every completion, so plain naïve evaluation — exact for
+      Boolean CQs by Prop. 2 — is preferred over the hom machinery;
     - everything else → [Hom_ladder]: the budgeted Prop. 2 hom check
       under the {!Certdb_csp.Resilient} retry/escalation ladder.
 
@@ -20,7 +25,8 @@
     [D_Q ⊑ D] exactly (the ladder degrades to a sound lower bound only
     when budgets are imposed and exhausted).  Chosen routes are counted
     by [query.plan.naive_eval] / [query.plan.acyclic_join] /
-    [query.plan.bounded_width] / [query.plan.hom_ladder]. *)
+    [query.plan.bounded_width] / [query.plan.components] /
+    [query.plan.hom_ladder] / [query.plan.fd_naive]. *)
 
 type route =
   | Naive_eval
@@ -28,6 +34,8 @@ type route =
   | Bounded_width of int
   | Components of int
   | Hom_ladder
+  | Fd_naive of Fd.fd
+      (** the certainly-satisfied key FD that licensed the route *)
 
 type decision = {
   route : route;
@@ -38,9 +46,15 @@ type decision = {
 
 val route_to_string : route -> string
 
-(** [route_cq ?width_threshold q] — the route only, no evaluation and no
-    counter update.  [width_threshold] defaults to 2. *)
-val route_cq : ?width_threshold:int -> Certdb_query.Cq.t -> decision
+(** [route_cq ?width_threshold ?fds q] — the route only, no evaluation
+    and no counter update.  [width_threshold] defaults to 2.  [fds]
+    (default [[]]) are FDs the caller has certified as {e certainly
+    satisfied} by the instance at hand; a key FD among them on a query
+    relation enables the [Fd_naive] route for wide cyclic queries.
+    Soundness does not depend on the certification — every route is
+    exact — only route quality does. *)
+val route_cq :
+  ?width_threshold:int -> ?fds:Fd.fd list -> Certdb_query.Cq.t -> decision
 
 (** [certain ?policy ?limits ?jobs ?width_threshold q d] — Boolean CQ
     certainty through the planner.  Acyclic and bounded-width routes
@@ -55,6 +69,7 @@ val certain :
   ?limits:Certdb_csp.Engine.Limits.t ->
   ?jobs:int ->
   ?width_threshold:int ->
+  ?fds:Fd.fd list ->
   Certdb_query.Cq.t ->
   Certdb_relational.Instance.t ->
   [ `Exact of bool | `Lower_bound of bool ]

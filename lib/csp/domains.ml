@@ -15,13 +15,6 @@ let of_list l : t = Some (List.fold_left (fun m (v, s) -> Int_map.add v s m) Int
 
 let singleton v w : t = Some (Int_map.singleton v (Int_set.singleton w))
 
-(* Deprecated shim for old [int -> Int_set.t] restricts: the closure is
-   sampled on [vars] (a closure cannot be enumerated, so the caller must
-   say which nodes it constrains). *)
-let of_fun ~vars f : t =
-  Some
-    (List.fold_left (fun m v -> Int_map.add v (f v) m) Int_map.empty vars)
-
 let is_unconstrained (d : t) = d = None
 let to_map (d : t) = d
 

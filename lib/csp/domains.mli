@@ -28,11 +28,6 @@ val of_list : (int * Int_set.t) list -> t
 (** [singleton v w] pins node [v] to exactly [w]. *)
 val singleton : int -> int -> t
 
-(** [of_fun ~vars f] samples an old-style candidates closure on [vars].
-    @deprecated Transitional shim for out-of-tree callers of the retired
-    [Structure.candidates] API; build a {!t} directly instead. *)
-val of_fun : vars:int list -> (int -> Int_set.t) -> t
-
 (** [find d v] — [None] means unconstrained (every target node is
     admissible), [Some s] restricts [v] to [s]. *)
 val find : t -> int -> Int_set.t option

@@ -1,0 +1,75 @@
+module Obs = Certdb_obs.Obs
+
+let c_visited = Obs.counter "csp.enumerate.visited"
+
+exception Stop
+
+let cardinal ~n ~choices =
+  if n = 0 then 1
+  else if choices = 0 then 0
+  else begin
+    let rec go acc i =
+      if i = 0 then acc
+      else if acc > max_int / choices then max_int
+      else go (acc * choices) (i - 1)
+    in
+    go 1 n
+  end
+
+let iter_assignments ~n ~choices f =
+  if n = 0 then begin
+    Obs.incr c_visited;
+    f [||]
+  end
+  else if choices > 0 then begin
+    let a = Array.make n 0 in
+    let rec go i =
+      if i = n then begin
+        Obs.incr c_visited;
+        f a
+      end
+      else
+        for v = 0 to choices - 1 do
+          a.(i) <- v;
+          go (i + 1)
+        done
+    in
+    go 0
+  end
+
+let exists_assignment ~n ~choices p =
+  let found = ref false in
+  (try
+     iter_assignments ~n ~choices (fun a ->
+         if p a then begin
+           found := true;
+           raise Stop
+         end)
+   with Stop -> ());
+  !found
+
+let for_all_assignments ~n ~choices p =
+  not (exists_assignment ~n ~choices (fun a -> not (p a)))
+
+(* Restricted growth on the fresh part: fresh class [consts + j] may
+   only appear after classes [consts .. consts + j - 1] have appeared,
+   so each partition-with-constants is visited exactly once. *)
+let iter_canonical ~n ~consts f =
+  let a = Array.make n 0 in
+  let rec go i fresh_used =
+    if i = n then begin
+      Obs.incr c_visited;
+      f a
+    end
+    else begin
+      for v = 0 to consts - 1 do
+        a.(i) <- v;
+        go (i + 1) fresh_used
+      done;
+      for j = 0 to fresh_used do
+        a.(i) <- consts + j;
+        go (i + 1) (max fresh_used (j + 1))
+      done
+    end
+  in
+  go 0 0

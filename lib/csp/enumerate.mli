@@ -1,0 +1,49 @@
+(** Exhaustive enumeration of small assignment spaces — the brute-force
+    completion oracles behind the constraint certificates of
+    [Certdb_analysis] ([Fd]/[Independence]) and their self-tests.
+
+    An {e assignment} maps [n] items (null ids, say) to values
+    [0..choices-1]; a completion of an incomplete table is exactly such
+    an assignment once the candidate values are fixed.  Two walks are
+    provided:
+
+    - {!iter_assignments} visits all [choices^n] raw assignments — the
+      naive oracle a certificate-emitting analysis must agree with;
+    - {!iter_canonical} visits only canonical representatives modulo
+      renaming of "fresh" values: position values [< consts] denote
+      fixed constants, values [consts + j] denote the [j]-th fresh
+      class, and fresh classes appear in first-use order (restricted
+      growth), so two assignments differing only by a permutation of
+      fresh classes are visited once.  Any property invariant under
+      renaming of constants outside the instance (FD or independence
+      satisfaction is) can be decided on this smaller space.
+
+    Visited assignments are counted by [csp.enumerate.visited].  The
+    callback receives a {e shared} array that is mutated in place;
+    copy it before storing a witness. *)
+
+(** [cardinal ~n ~choices] — [choices^n], saturating at [max_int]. *)
+val cardinal : n:int -> choices:int -> int
+
+(** [iter_assignments ~n ~choices f] calls [f] on every total map from
+    [0..n-1] to [0..choices-1], in lexicographic order.  [n = 0] visits
+    the single empty assignment; [choices = 0] with [n > 0] visits
+    nothing. *)
+val iter_assignments : n:int -> choices:int -> (int array -> unit) -> unit
+
+(** [exists_assignment ~n ~choices p] — does some assignment satisfy
+    [p]?  Stops at the first witness. *)
+val exists_assignment : n:int -> choices:int -> (int array -> bool) -> bool
+
+(** [for_all_assignments ~n ~choices p] — do all assignments satisfy
+    [p]?  Stops at the first counterexample. *)
+val for_all_assignments : n:int -> choices:int -> (int array -> bool) -> bool
+
+(** [iter_canonical ~n ~consts f] — canonical assignments over [consts]
+    fixed constants plus up to [n] fresh classes (values [consts + j] in
+    restricted-growth order). *)
+val iter_canonical : n:int -> consts:int -> (int array -> unit) -> unit
+
+exception Stop
+(** Raise from a callback to abort an iteration early; the [iter_*]
+    functions let it escape (callers catch it). *)

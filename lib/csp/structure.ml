@@ -1,10 +1,4 @@
 module Int_set = Set.Make (Int)
-
-(* Deprecated: the old candidate-set representation shared by every hom
-   search.  Restricts are now first-class [Domains.t] values; this alias
-   survives one release so out-of-tree callers can migrate through
-   [Domains.of_fun]. *)
-type candidates = int -> Int_set.t
 module Int_map = Map.Make (Int)
 module String_map = Map.Make (String)
 

@@ -7,11 +7,6 @@
 module Int_set : Set.S with type elt = int
 module Int_map : Map.S with type key = int
 
-(** Old candidate-set representation for hom searches.
-    @deprecated Restricts are first-class {!Domains.t} values now; migrate
-    through [Domains.of_fun].  This alias will be removed next release. *)
-type candidates = int -> Int_set.t
-
 type tuple = int array
 
 module Tuple_set : Set.S with type elt = tuple

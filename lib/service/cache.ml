@@ -1,4 +1,5 @@
 module Obs = Certdb_obs.Obs
+module Footprint = Certdb_analysis.Footprint
 
 (* Intrusive doubly-linked LRU list over hashtable entries: O(1) find /
    add / evict.  [lru_prev] points toward the least recently used end. *)
@@ -6,6 +7,7 @@ type 'a node = {
   key : string;
   mutable value : 'a;
   mutable cost_ms : float;
+  mutable footprint : Footprint.t option;
   mutable prev : 'a node option;  (* toward LRU *)
   mutable next : 'a node option;  (* toward MRU *)
 }
@@ -26,6 +28,8 @@ type 'a t = {
   c_miss : Obs.counter;
   c_evict : Obs.counter;
   c_bypass : Obs.counter;
+  c_fp_hit : Obs.counter;
+  c_fp_skip : Obs.counter;
   g_size : Obs.gauge;
   t_saved : Obs.timer;
 }
@@ -45,6 +49,8 @@ let create ?(namespace = "service.cache") ~capacity () =
     c_miss = Obs.counter (namespace ^ ".miss");
     c_evict = Obs.counter (namespace ^ ".evict");
     c_bypass = Obs.counter (namespace ^ ".bypass");
+    c_fp_hit = Obs.counter (namespace ^ ".footprint_hit");
+    c_fp_skip = Obs.counter (namespace ^ ".footprint_skip");
     g_size = Obs.gauge (namespace ^ ".size");
     t_saved = Obs.timer (namespace ^ ".saved_ms");
   }
@@ -85,17 +91,18 @@ let find t key =
     Obs.incr t.c_miss;
     None
 
-let add t key ~cost_ms value =
+let add t key ?footprint ~cost_ms value =
   if t.capacity > 0 then
     locked t @@ fun () ->
     (match Hashtbl.find_opt t.table key with
     | Some n ->
       n.value <- value;
       n.cost_ms <- cost_ms;
+      n.footprint <- footprint;
       unlink t n;
       push_mru t n
     | None ->
-      let n = { key; value; cost_ms; prev = None; next = None } in
+      let n = { key; value; cost_ms; footprint; prev = None; next = None } in
       Hashtbl.replace t.table key n;
       push_mru t n;
       if Hashtbl.length t.table > t.capacity then begin
@@ -108,6 +115,37 @@ let add t key ~cost_ms value =
         | None -> ()
       end);
     Obs.set_int t.g_size (Hashtbl.length t.table)
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let invalidate ?(key_prefix = "") t touch =
+  locked t @@ fun () ->
+  let victims = ref [] in
+  Hashtbl.iter
+    (fun _ n ->
+      if starts_with ~prefix:key_prefix n.key then
+        (* no footprint on the entry means we know nothing about what it
+           reads: invalidate conservatively *)
+        let hit =
+          match n.footprint with
+          | None -> true
+          | Some fp -> Footprint.overlaps fp touch
+        in
+        if hit then begin
+          Obs.incr t.c_fp_hit;
+          victims := n :: !victims
+        end
+        else Obs.incr t.c_fp_skip)
+    t.table;
+  List.iter
+    (fun n ->
+      unlink t n;
+      Hashtbl.remove t.table n.key)
+    !victims;
+  Obs.set_int t.g_size (Hashtbl.length t.table);
+  List.length !victims
 
 let bypass t =
   locked t @@ fun () ->

@@ -6,8 +6,17 @@
     entry carries the cost (milliseconds) of computing it, so a hit can
     account the work it saved.
 
+    Entries may carry a {!Certdb_analysis.Footprint.t} describing what
+    part of the database their value depends on; {!invalidate} then
+    drops exactly the entries whose footprint overlaps an update touch
+    (entries without a footprint are dropped conservatively), so a
+    future insert/delete verb only pays for the queries it can actually
+    affect.
+
     Counters (under the cache's namespace, default [service.cache]):
-    [<ns>.hit], [<ns>.miss], [<ns>.evict], [<ns>.bypass]; the
+    [<ns>.hit], [<ns>.miss], [<ns>.evict], [<ns>.bypass], plus
+    [<ns>.footprint_hit] / [<ns>.footprint_skip] counting entries
+    invalidated / preserved by footprint-overlap checks; the
     [<ns>.size] gauge tracks occupancy and the [<ns>.saved_ms] timer
     receives each hit's saved cost (so [snapshot] reports total and
     p50/p95 of the work the cache absorbed).  Local totals are also
@@ -28,9 +37,25 @@ val create : ?namespace:string -> capacity:int -> unit -> 'a t
     most-recently-used on a hit. *)
 val find : 'a t -> string -> ('a * float) option
 
-(** [add t key ~cost_ms v] inserts or refreshes [key], evicting the
-    least recently used entry when over capacity. *)
-val add : 'a t -> string -> cost_ms:float -> 'a -> unit
+(** [add t key ?footprint ~cost_ms v] inserts or refreshes [key],
+    evicting the least recently used entry when over capacity.
+    [footprint] (if any) scopes the entry for {!invalidate}. *)
+val add :
+  'a t ->
+  string ->
+  ?footprint:Certdb_analysis.Footprint.t ->
+  cost_ms:float ->
+  'a ->
+  unit
+
+(** [invalidate ?key_prefix t touch] — drop every entry (with a key
+    extending [key_prefix], default all) whose footprint overlaps
+    [touch], or that has no footprint; returns the number dropped.
+    Surviving entries bump [<ns>.footprint_skip], dropped ones
+    [<ns>.footprint_hit].  [key_prefix] lets the server scope the sweep
+    to one database's fingerprint. *)
+val invalidate :
+  ?key_prefix:string -> 'a t -> Certdb_analysis.Footprint.touch -> int
 
 (** [bypass t] records a request that could not use the cache (no
     canonical key, or the request opted out). *)

@@ -8,6 +8,7 @@ module Resilient = Certdb_csp.Resilient
 module Cq = Certdb_query.Cq
 module Ucq = Certdb_query.Ucq
 module Plan = Certdb_analysis.Plan
+module Footprint = Certdb_analysis.Footprint
 
 module Config = struct
   type t = {
@@ -197,9 +198,14 @@ let store t p a ~cost_ms =
   match t.cache with
   | None -> ()
   | Some cache -> (
+    (* every entry is scoped by what the query reads, so an update verb
+       can invalidate by footprint overlap instead of flushing *)
+    let footprint = Footprint.of_cq p.p_q in
     match (a, p.p_plain, p.p_scoped) with
-    | (Graded (`Exact _) | Tuples _), Some k, _ -> Cache.add cache k ~cost_ms a
-    | Graded (`Lower_bound _), _, Some k -> Cache.add cache k ~cost_ms a
+    | (Graded (`Exact _) | Tuples _), Some k, _ ->
+      Cache.add cache k ~footprint ~cost_ms a
+    | Graded (`Lower_bound _), _, Some k ->
+      Cache.add cache k ~footprint ~cost_ms a
     | _ -> ())
 
 let eval_query t ~db ?limits ?max_attempts ?(no_cache = false) q =
@@ -552,6 +558,50 @@ let unload_fields t j =
     if removed then Ok [ ("status", Json.String "ok"); ("name", Json.String name) ]
     else Error (Printf.sprintf "unknown database %S" name)
 
+(* the [invalidate] verb: announce a (future) update touching one
+   relation — whole tuples, or just some columns — and drop exactly the
+   cached entries whose footprint overlaps it.  The insert/delete verbs
+   themselves land later; the invalidation path and its counters are
+   live now. *)
+let invalidate_fields t j =
+  match Wire.str_field "rel" j with
+  | None -> Error "missing field \"rel\""
+  | Some rel -> (
+    let touch =
+      match Wire.int_list_field "cols" j with
+      | None -> Ok (Footprint.touch_rel rel)
+      | Some cols ->
+        if List.for_all (fun c -> c >= 1) cols then
+          Ok (Footprint.touch_cols rel (List.map (fun c -> c - 1) cols))
+        else Error "\"cols\" are 1-based positions"
+    in
+    match touch with
+    | Error m -> Error m
+    | Ok touch -> (
+      let scoped =
+        match Wire.str_field "db" j with
+        | None -> Ok None
+        | Some db ->
+          Result.map (fun e -> Some (e.fingerprint ^ "|")) (lookup t db)
+      in
+      match scoped with
+      | Error m -> Error m
+      | Ok key_prefix ->
+        let dropped =
+          match t.cache with
+          | None -> 0
+          | Some cache -> Cache.invalidate ?key_prefix cache touch
+        in
+        Ok
+          [
+            ("status", Json.String "ok");
+            ("rel", Json.String rel);
+            ("invalidated", Json.Int dropped);
+            ( "remaining",
+              Json.Int
+                (match t.cache with None -> 0 | Some c -> Cache.size c) );
+          ]))
+
 let stats_fields t j =
   let full = Option.value (Wire.bool_field "full" j) ~default:false in
   let dbs =
@@ -642,6 +692,7 @@ let handle_line t ~idx line =
     | "unload" -> continue (of_result (unload_fields t j))
     | "query" -> continue (of_result (query_fields t j))
     | "batch" -> continue (of_result (batch_fields t j))
+    | "invalidate" -> continue (of_result (invalidate_fields t j))
     | "stats" -> continue (reply (stats_fields t j))
     | "trace" -> continue (reply (trace_fields j))
     | "metrics" -> continue (reply (metrics_fields ()))

@@ -13,6 +13,7 @@
      "node_budget":N?,"backtrack_budget":N?,"timeout_ms":F?,
      "max_attempts":N?,"no_cache":true?,"explain":true?}
     {"op":"batch","requests":[ <query objects> ],"explain":true?}
+    {"op":"invalidate","rel":"R","cols":[1,3]?,"db":"d"?}
     {"op":"stats","full":true?}
     {"op":"trace","clear":true?}
     {"op":"metrics"}
@@ -68,7 +69,18 @@
     [Unknown] outcomes never reach this layer (the resilient ladder
     grades them away) and are never cached.  Requests whose
     canonicalisation exceeds its node budget, or that set
-    [no_cache:true], bypass the cache (counted). *)
+    [no_cache:true], bypass the cache (counted).
+
+    Every stored entry carries its query's
+    {!Certdb_analysis.Footprint.t}.  The [invalidate] verb announces an
+    update touching relation [rel] — whole tuples when [cols] is
+    absent, only those 1-based columns when present — and drops exactly
+    the entries whose footprint overlaps the touch, scoped to one
+    database's fingerprint when [db] is given (counters
+    [service.cache.footprint_hit] / [service.cache.footprint_skip]).
+    It answers [{"status":"ok","rel":r,"invalidated":n,"remaining":n}].
+    The insert/delete verbs that will call this implicitly land later;
+    the invalidation path is live now. *)
 
 open Certdb_relational
 module Json = Certdb_obs.Obs.Json

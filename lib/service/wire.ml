@@ -87,6 +87,18 @@ let str_field k j =
 let int_field k j =
   match Json.member k j with Some (Json.Int n) -> Some n | _ -> None
 
+let int_list_field k j =
+  match Json.member k j with
+  | Some (Json.List l) ->
+    List.fold_left
+      (fun acc e ->
+        match (acc, e) with
+        | Some ns, Json.Int n -> Some (n :: ns)
+        | _ -> None)
+      (Some []) l
+    |> Option.map List.rev
+  | _ -> None
+
 let float_field k j =
   match Json.member k j with
   | Some (Json.Int n) -> Some (float_of_int n)

@@ -26,6 +26,10 @@ val parse_cq_result : string -> (Certdb_query.Cq.t, string) result
 val str_field : string -> Json.t -> string option
 val int_field : string -> Json.t -> int option
 
+(** [int_list_field k j] — a homogeneous array of ints; [None] when the
+    field is absent, not an array, or mixes in non-ints. *)
+val int_list_field : string -> Json.t -> int list option
+
 (** [float_field k j] accepts both [Int] and [Float] payloads. *)
 val float_field : string -> Json.t -> float option
 

@@ -11,8 +11,8 @@ open Certdb_gdm
 
 (** [find ?require_root ?restrict t t'] — [require_root] (default [false])
     restricts h₁ to send root to root; [restrict] further constrains
-    candidate target nodes in the shared {!Structure.candidates}
-    representation (intersected with the root pin when both are given). *)
+    candidate target nodes as a {!Domains.t} restriction (intersected
+    with the root pin when both are given). *)
 val find :
   ?require_root:bool ->
   ?restrict:Domains.t ->

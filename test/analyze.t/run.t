@@ -28,6 +28,7 @@ acyclic join:
   monotonicity: monotone (existential-positive)
   hypergraph: acyclic (GYO reduction: 4 steps); width estimate: 1
   plan: acyclic-join
+  footprint: R[2] S[1]
 
 The triangle is cyclic — the certificate is the irreducible residual
 hypergraph — but its width estimate keeps it on the bounded-width DP:
@@ -37,6 +38,7 @@ hypergraph — but its width estimate keeps it on the bounded-width DP:
   monotonicity: monotone (existential-positive)
   hypergraph: cyclic (residual: #0{x,y}, #1{y,z}, #2{x,z}); width estimate: 2
   plan: bounded-width(2)
+  footprint: R[1 2]
 
 A weakly acyclic tgd set terminates with a round bound derived against
 the given instance:
@@ -61,12 +63,58 @@ exit code 1:
   "monotonicity":{"class":"monotone"}
   "hypergraph":{"class":"cyclic"
   "width_estimate":2}
-  "plan":{"route":"bounded-width(2)"}}
+  "plan":{"route":"bounded-width(2)"}
+
+FDs over nulls get the three-valued Badia–Lemire grade.  A null in the
+determined column is still certain when no pair of tuples agrees on the
+left-hand side; a repairable disagreement is possible; two constants
+forced apart are violated (exit 1):
+
+  $ $CERTDB analyze --fds "R: 1 -> 2" --instance "R(1,2); R(3,_x)"
+  fd R: 1 -> 2: certain
+  $ $CERTDB analyze --fds "R: 1 -> 2" --instance "R(1,_x); R(1,3); R(2,5)"
+  fd R: 1 -> 2: possible
+  $ $CERTDB analyze --fds "R: 1 -> 2" --instance "R(1,2); R(1,3)"
+  fd R: 1 -> 2: violated
+  [1]
+
+--json carries the re-checkable certificates: a possible verdict ships
+both witnesses (a satisfying completion's merges and a violating pair),
+a violated one the forced clash of constants:
+
+  $ $CERTDB analyze --json --fds "R: 1 -> 2" --instance "R(1,_x); R(1,3); R(2,5)"
+  {"fds":[{"fd":"R: 1 -> 2","grade":"possible","sat":{"kind":"completion-exists","merges":[["3","_|_1"]]},"falsified":{"kind":"violating-pair","tuple1":"(1, 3)","tuple2":"(1, _|_1)","position":2,"unifier":[]}}]}
+  $ $CERTDB analyze --json --fds "R: 1 -> 2" --instance "R(1,2); R(1,3)"
+  {"fds":[{"fd":"R: 1 -> 2","grade":"violated","certificate":{"kind":"forced-clash","left":"2","right":"3","chain":1}}]}
+  [1]
+
+Independence atoms X ⊥ Y report the product test — block counts and
+the canonical-completion count on a certain verdict, the first missing
+X x Y combination on a violated one:
+
+  $ $CERTDB analyze --independence "R: 1 | 2" --instance "R(1,1); R(2,2); R(_u,_v); R(_s,_t)"
+  independence R: 1 | 2: possible
+  $ $CERTDB analyze --json --independence "R: 1 | 2" --instance "R(1,1); R(1,2); R(2,1); R(2,2)"
+  {"independence":[{"atom":"R: 1 | 2","grade":"certain","certificate":{"kind":"product-holds","x_blocks":2,"y_blocks":2,"rows":4,"canonical":1}}]}
+  $ $CERTDB analyze --json --independence "R: 1 | 2" --instance "R(1,1); R(2,2)"
+  {"independence":[{"atom":"R: 1 | 2","grade":"violated","certificate":{"kind":"missing-combination","x":"(1)","y":"(2)","valuation":[]}}]}
+  [1]
+
+A query's footprint — constrained positions per relation plus the
+mentioned constants — rides along in the JSON, keyed for the cache:
+
+  $ $CERTDB analyze --json -q @$EXAMPLES/acyclic.cq | tr ',' '\n' | grep -A5 footprint
+  "footprint":{"rels":[{"rel":"R"
+  "positions":[2]}
+  {"rel":"S"
+  "positions":[1]}]
+  "constants":[]
+  "key":"R[2] S[1]"}}
 
 Passing nothing to analyze is an error:
 
   $ $CERTDB analyze
-  nothing to analyze: pass --query, --fo, or --tgd
+  nothing to analyze: pass --query, --fo, --tgd, --fds, or --independence
   [2]
 
 The analyses are counted (csp.analysis.*), and the chosen route is

@@ -169,6 +169,9 @@ subcommand runs (timing fields redacted for determinism):
   witness: {_|_1 -> 2}
   == metrics ==
   counters:
+    analysis.fd.checks              0
+    analysis.footprint.computed     0
+    analysis.independence.checks    0
     csp.ac3.prunes                  0
     csp.ac3.revisions               0
     csp.ac3.wipeouts                0
@@ -186,6 +189,7 @@ subcommand runs (timing fields redacted for determinism):
     csp.components.splits           0
     csp.engine.exists_skipped_vars  0
     csp.engine.unknowns             0
+    csp.enumerate.visited           0
     csp.resilient.attempts          0
     csp.resilient.exhausted         0
     csp.resilient.propagation_unsat 0
@@ -216,6 +220,7 @@ subcommand runs (timing fields redacted for determinism):
     query.plan.acyclic_join         0
     query.plan.bounded_width        0
     query.plan.components           0
+    query.plan.fd_naive             0
     query.plan.hom_ladder           0
     query.plan.naive_eval           0
     query.resilient.degraded        0

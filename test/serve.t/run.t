@@ -94,3 +94,36 @@ full span tree) on stderr; the response stream is untouched:
   >   | $CERTDB serve --load 'd=R(1,2)' --slow-ms 0 2>slow.log >/dev/null
   $ grep -coE '"slow_query":true' slow.log
   1
+
+The invalidate verb sweeps cached entries by footprint overlap: a
+tuple-level touch on R drops the cached R reader but provably cannot
+change the S reader, which stays cached; a column touch confined to an
+existence-only position drops nothing.  The sweep is observable as
+service.cache.footprint_{hit,skip}:
+
+  $ cat > invalidate.jsonl <<'JSONL'
+  > {"op":"load","name":"d","source":"R(1,2); S(3,4)"}
+  > {"op":"query","db":"d","query":"ans() :- R(_x,_y)"}
+  > {"op":"query","db":"d","query":"ans() :- S(_x,_y)"}
+  > {"op":"invalidate","rel":"R","db":"d"}
+  > {"op":"query","db":"d","query":"ans() :- R(_x,_y)"}
+  > {"op":"query","db":"d","query":"ans() :- S(_x,_y)"}
+  > {"op":"invalidate","rel":"S","cols":[2]}
+  > {"op":"query","db":"d","query":"ans() :- S(_x,_y)"}
+  > {"op":"metrics"}
+  > {"op":"shutdown"}
+  > JSONL
+  $ $CERTDB serve < invalidate.jsonl > invalidate.out
+  $ sed -E 's/[0-9]+\.[0-9]+/<ms>/g' invalidate.out | sed -n '1,8p;10p'
+  {"id":"0","index":0,"op":"load","status":"ok","name":"d","fingerprint":"a21a281d2029a193","facts":2}
+  {"id":"1","index":1,"op":"query","status":"ok","grade":"exact","certain":true,"cached":false,"latency_ms":<ms>}
+  {"id":"2","index":2,"op":"query","status":"ok","grade":"exact","certain":true,"cached":false,"latency_ms":<ms>}
+  {"id":"3","index":3,"op":"invalidate","status":"ok","rel":"R","invalidated":1,"remaining":1}
+  {"id":"4","index":4,"op":"query","status":"ok","grade":"exact","certain":true,"cached":false,"latency_ms":<ms>}
+  {"id":"5","index":5,"op":"query","status":"ok","grade":"exact","certain":true,"cached":true,"latency_ms":<ms>}
+  {"id":"6","index":6,"op":"invalidate","status":"ok","rel":"S","invalidated":0,"remaining":2}
+  {"id":"7","index":7,"op":"query","status":"ok","grade":"exact","certain":true,"cached":true,"latency_ms":<ms>}
+  {"id":"9","index":9,"op":"shutdown","status":"ok","served":5}
+  $ sed -n 9p invalidate.out | grep -oE 'service_cache_footprint_(hit|skip)_total [0-9]+' | sort
+  service_cache_footprint_hit_total 1
+  service_cache_footprint_skip_total 3

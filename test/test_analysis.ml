@@ -11,6 +11,9 @@ module Monotone = Certdb_analysis.Monotone
 module Hypergraph = Certdb_analysis.Hypergraph
 module Wa = Certdb_analysis.Wa
 module Plan = Certdb_analysis.Plan
+module Fd = Certdb_analysis.Fd
+module Independence = Certdb_analysis.Independence
+module Footprint = Certdb_analysis.Footprint
 module Constraints = Certdb_exchange.Constraints
 
 let check = Alcotest.(check bool)
@@ -337,6 +340,161 @@ let test_certain_answers_route () =
   check "agrees with Certain.certain_ucq" true
     (Instance.equal got (Certain.certain_ucq u d))
 
+(* --- constraint certificates: FDs over nulls, independence, footprints --- *)
+
+let fd_r = Fd.fd ~rel:"R" ~lhs:[ 0 ] ~rhs:[ 1 ]
+
+let test_fd_verdicts () =
+  let d =
+    Instance.of_list [ ("R", [ [ c 1; c 2 ]; [ c 3; Value.null 8201 ] ]) ]
+  in
+  (match Fd.check d fd_r with
+  | Fd.Certainly_satisfies (Fd.All_pairs_safe _) -> ()
+  | _ -> Alcotest.fail "expected certain with an all-pairs-safe certificate");
+  let d =
+    Instance.of_list [ ("R", [ [ c 1; Value.null 8202 ]; [ c 1; c 3 ] ]) ]
+  in
+  (match Fd.check d fd_r with
+  | Fd.Possibly_satisfies
+      { sat = Fd.Completion_exists _; falsified = Fd.Violating_pair _ } ->
+    ()
+  | _ -> Alcotest.fail "expected possible with both witnesses");
+  let d = Instance.of_list [ ("R", [ [ c 1; c 2 ]; [ c 1; c 3 ] ]) ] in
+  match Fd.check d fd_r with
+  | Fd.Certainly_violates (Fd.Forced_clash _) -> ()
+  | _ -> Alcotest.fail "expected violated with a forced clash"
+
+let test_independence_verdicts () =
+  let a = Independence.atom ~rel:"R" ~x:[ 0 ] ~y:[ 1 ] in
+  let product =
+    Instance.of_list
+      [ ("R", [ [ c 1; c 1 ]; [ c 1; c 2 ]; [ c 2; c 1 ]; [ c 2; c 2 ] ]) ]
+  in
+  (match Independence.check product a with
+  | Fd.Certainly_satisfies (Independence.Product_holds _) -> ()
+  | _ -> Alcotest.fail "expected certain with a product certificate");
+  let missing = Instance.of_list [ ("R", [ [ c 1; c 1 ]; [ c 2; c 2 ] ]) ] in
+  match Independence.check missing a with
+  | Fd.Certainly_violates (Independence.Missing_combination _) -> ()
+  | _ -> Alcotest.fail "expected violated with a missing combination"
+
+(* random binary-R instances with at most 3 distinct nulls: small enough
+   for the exponential oracles, null-rich enough to hit all three grades *)
+let random_null_instance ?(arity = 2) ?(null_pool = 3) st =
+  let value () =
+    if Random.State.float st 1.0 < 0.6 then c (1 + Random.State.int st 3)
+    else Value.null (8300 + Random.State.int st null_pool)
+  in
+  let n = Random.State.int st 5 in
+  Instance.of_list
+    [ ("R", List.init n (fun _ -> List.init arity (fun _ -> value ()))) ]
+
+let qcheck_fd_agrees_with_brute_force =
+  QCheck.Test.make ~count:300 ~name:"Fd.check grade agrees with brute_force"
+    QCheck.(int_range 0 100_000)
+    (fun s ->
+      let d = random_null_instance (Random.State.make [| s |]) in
+      List.for_all
+        (fun f -> Fd.grade (Fd.check d f) = Fd.brute_force d f)
+        [ fd_r; Fd.fd ~rel:"R" ~lhs:[ 1 ] ~rhs:[ 0 ] ])
+
+let qcheck_independence_agrees_with_brute_force =
+  QCheck.Test.make ~count:300
+    ~name:"Independence.check grade agrees with brute_force"
+    QCheck.(int_range 0 100_000)
+    (fun s ->
+      (* arity 3 leaves a column outside X∪Y, so nulls irrelevant to
+         the atom are exercised too *)
+      let d =
+        random_null_instance ~arity:3 ~null_pool:2 (Random.State.make [| s |])
+      in
+      let a = Independence.atom ~rel:"R" ~x:[ 0 ] ~y:[ 1 ] in
+      Fd.grade (Independence.check d a) = Independence.brute_force d a)
+
+let test_footprint_key_and_overlap () =
+  let q =
+    Cq.make ~head:[ "x" ]
+      [ ("R", [ v "x"; v "y" ]); ("S", [ v "x"; Fo.Val (c 1) ]) ]
+  in
+  let fp = Footprint.of_cq q in
+  (* R.2 holds the non-head, non-join y: existence-only, outside the key *)
+  Alcotest.(check string) "key" "R[1] S[1 2] # 1" (Footprint.to_key fp);
+  check "tuple-level R touch overlaps" true
+    (Footprint.overlaps fp (Footprint.touch_rel "R"));
+  check "update to the constrained R.1 overlaps" true
+    (Footprint.overlaps fp (Footprint.touch_cols "R" [ 0 ]));
+  check "update to the free R.2 is disjoint" false
+    (Footprint.overlaps fp (Footprint.touch_cols "R" [ 1 ]));
+  check "unmentioned relation is disjoint" false
+    (Footprint.overlaps fp (Footprint.touch_rel "T"));
+  (* B(x,y) -> R(x,y): a touch on B can fire into R, so the closure
+     pulls B in at every position *)
+  let deps =
+    Constraints.make
+      ~tgds:
+        [
+          tgd
+            (Instance.of_list [ ("B", [ [ nx; ny ] ]) ])
+            (Instance.of_list [ ("R", [ [ nx; ny ] ]) ]);
+        ]
+      ()
+  in
+  let closed = Footprint.close_under_tgds deps fp in
+  check "closure reaches the tgd body" true
+    (Footprint.overlaps closed (Footprint.touch_cols "B" [ 1 ]));
+  check "closure leaves unrelated relations out" false
+    (Footprint.overlaps closed (Footprint.touch_rel "T"))
+
+(* every route bumps its query.plan.* counter exactly once, and no
+   other route's counter moves *)
+let plan_counters =
+  [
+    "query.plan.naive_eval";
+    "query.plan.acyclic_join";
+    "query.plan.bounded_width";
+    "query.plan.components";
+    "query.plan.hom_ladder";
+    "query.plan.fd_naive";
+  ]
+
+let check_single_bump name run =
+  let before = List.map (fun n -> (n, counter_value n)) plan_counters in
+  run ();
+  List.iter
+    (fun (n, b) ->
+      let expected = if n = name then b + 1 else b in
+      Alcotest.(check int) n expected (counter_value n))
+    before
+
+let test_route_counters_exactly_once () =
+  let d = Instance.of_list [ ("R", [ [ c 1; c 2 ]; [ c 2; c 1 ] ]) ] in
+  check_single_bump "query.plan.naive_eval" (fun () ->
+      ignore
+        (Plan.certain_answers
+           (Ucq.make [ Cq.make ~head:[ "x" ] [ ("R", [ v "x"; v "y" ]) ] ])
+           d));
+  check_single_bump "query.plan.acyclic_join" (fun () ->
+      ignore (Plan.certain path_cq d));
+  check_single_bump "query.plan.bounded_width" (fun () ->
+      ignore (Plan.certain triangle_cq d));
+  check_single_bump "query.plan.hom_ladder" (fun () ->
+      ignore (Plan.certain ~width_threshold:0 triangle_cq d));
+  check_single_bump "query.plan.fd_naive" (fun () ->
+      ignore (Plan.certain ~width_threshold:0 ~fds:[ fd_r ] triangle_cq d));
+  let two_triangles =
+    Cq.boolean
+      [
+        ("R", [ v "x"; v "y" ]);
+        ("R", [ v "y"; v "z" ]);
+        ("R", [ v "z"; v "x" ]);
+        ("R", [ v "a"; v "b" ]);
+        ("R", [ v "b"; v "e" ]);
+        ("R", [ v "e"; v "a" ]);
+      ]
+  in
+  check_single_bump "query.plan.components" (fun () ->
+      ignore (Plan.certain ~width_threshold:0 two_triangles d))
+
 let () =
   Random.self_init ();
   Alcotest.run "analysis"
@@ -375,5 +533,22 @@ let () =
           QCheck_alcotest.to_alcotest qcheck_btw_agrees_with_hom;
           Alcotest.test_case "certain_answers route" `Quick
             test_certain_answers_route;
+          Alcotest.test_case "route counters exactly once" `Quick
+            test_route_counters_exactly_once;
+        ] );
+      ( "constraints",
+        [
+          Alcotest.test_case "fd verdicts and certificates" `Quick
+            test_fd_verdicts;
+          Alcotest.test_case "independence verdicts" `Quick
+            test_independence_verdicts;
+          QCheck_alcotest.to_alcotest qcheck_fd_agrees_with_brute_force;
+          QCheck_alcotest.to_alcotest
+            qcheck_independence_agrees_with_brute_force;
+        ] );
+      ( "footprint",
+        [
+          Alcotest.test_case "key and overlap" `Quick
+            test_footprint_key_and_overlap;
         ] );
     ]

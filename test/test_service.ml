@@ -188,6 +188,41 @@ let test_lru_zero_capacity () =
   check "stores nothing" true (Cache.find c "a" = None);
   Alcotest.(check int) "size stays 0" 0 (Cache.size c)
 
+let test_footprint_invalidation () =
+  let module Footprint = Certdb_analysis.Footprint in
+  let fp_of q = Footprint.of_cq q in
+  let v x = Fo.Var x in
+  (* reads R; reads S -- footprints over disjoint relations *)
+  let fp_r = fp_of (Cq.boolean [ ("R", [ v "x"; v "x" ]) ]) in
+  let fp_s = fp_of (Cq.boolean [ ("S", [ v "x"; v "x" ]) ]) in
+  let c = Cache.create ~capacity:8 () in
+  Cache.add c "q_r" ~footprint:fp_r ~cost_ms:1.0 1;
+  Cache.add c "q_s" ~footprint:fp_s ~cost_ms:1.0 2;
+  Cache.add c "q_blind" ~cost_ms:1.0 3;
+  (* a touch on R drops the R reader and the footprint-less entry
+     (conservatively), while the disjoint S reader survives *)
+  let dropped = Cache.invalidate c (Footprint.touch_rel "R") in
+  Alcotest.(check int) "two entries invalidated" 2 dropped;
+  check "overlapping entry gone" true (Cache.find c "q_r" = None);
+  check "footprint-less entry gone" true (Cache.find c "q_blind" = None);
+  check "disjoint entry survives" true (Cache.find c "q_s" = Some (2, 1.0));
+  (* column-level precision: only R.1 is constrained by the join, so a
+     touch confined to R.2 leaves the entry alone *)
+  let q =
+    Cq.make ~head:[ "x" ] [ ("R", [ v "x"; v "y" ]); ("S", [ v "x"; v "z" ]) ]
+  in
+  Cache.add c "q_col" ~footprint:(fp_of q) ~cost_ms:1.0 4;
+  Alcotest.(check int) "free-column touch drops nothing" 0
+    (Cache.invalidate c (Footprint.touch_cols "R" [ 1 ]));
+  Alcotest.(check int) "constrained-column touch drops it" 1
+    (Cache.invalidate c (Footprint.touch_cols "R" [ 0 ]));
+  (* key_prefix scopes the sweep to one database's entries *)
+  Cache.add c "db1|q" ~footprint:fp_s ~cost_ms:1.0 5;
+  Cache.add c "db2|q" ~footprint:fp_s ~cost_ms:1.0 6;
+  Alcotest.(check int) "prefix-scoped sweep" 1
+    (Cache.invalidate ~key_prefix:"db1|" c (Footprint.touch_rel "S"));
+  check "other database untouched" true (Cache.find c "db2|q" = Some (6, 1.0))
+
 (* ---- the server ------------------------------------------------------ *)
 
 let mk_server ?(cache = true) () =
@@ -435,6 +470,8 @@ let () =
           Alcotest.test_case "refresh and bypass" `Quick
             test_lru_refresh_and_bypass;
           Alcotest.test_case "zero capacity" `Quick test_lru_zero_capacity;
+          Alcotest.test_case "footprint invalidation" `Quick
+            test_footprint_invalidation;
         ] );
       ( "server",
         [
