@@ -44,6 +44,8 @@ let experiments =
      E25_robust_serve.run);
     ("e26", "Constraint certificates: graded checks vs completion enumeration",
      E26_constraint_certs.run);
+    ("e27", "SAT backend: CDCL + symmetry breaking vs the CSP ladder",
+     E27_sat_backend.run);
   ]
 
 let micros =
@@ -55,6 +57,7 @@ let micros =
     E14_patterns.micro; E15_ctables.micro; E19_engine_batch.micro;
     E20_resilience.micro; E21_planner.micro; E22_service.micro;
     E23_tracing.micro; E24_components.micro; E26_constraint_certs.micro;
+    E27_sat_backend.micro;
   ]
 
 let run_micros () =

@@ -206,9 +206,31 @@ let validate_policy max_attempts escalate =
     exit 2
   end
 
+(* shared solver-backend choice (certain, batch, serve) *)
+module Sat_backend = Certdb_sat.Backend
+
+let backend_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("csp", Sat_backend.Csp);
+             ("sat", Sat_backend.Sat);
+             ("auto", Sat_backend.Auto);
+           ])
+        Sat_backend.Csp
+    & info [ "backend" ] ~docv:"B"
+        ~doc:
+          "Solver backend for Boolean certainty: csp (backtracking hom \
+           search, the default), sat (CNF + CDCL with symmetry breaking \
+           over interchangeable nulls), or auto (route per instance on the \
+           planner's certificates).  Whatever the primary backend, budget \
+           exhaustion crosses to the other one before degrading.")
+
 let certain_cmd =
-  let run query degrade explain jobs nodes backtracks timeout_ms max_attempts
-      escalate d =
+  let run query degrade explain jobs backend nodes backtracks timeout_ms
+      max_attempts escalate d =
     if jobs < 1 then begin
       Printf.eprintf "--jobs must be >= 1\n";
       exit 2
@@ -233,7 +255,7 @@ let certain_cmd =
       end
       else begin
         let b =
-          match Certdb_analysis.Plan.certain ~jobs q d with
+          match Certdb_analysis.Plan.certain ~jobs ~backend q d with
           | `Exact b | `Lower_bound b -> b
         in
         print_instance
@@ -256,7 +278,9 @@ let certain_cmd =
       let policy =
         Certdb_csp.Resilient.Policy.make ~max_attempts ~escalation:escalate ()
       in
-      match Certdb_query.Certain.certain_cq_resilient ~policy ~limits q d with
+      match
+        Certdb_query.Certain.certain_cq_resilient ~policy ~limits ~backend q d
+      with
       | `Exact b ->
         Printf.printf "exact: %b\n" b;
         if b then 0 else 1
@@ -332,8 +356,8 @@ let certain_cmd =
           --degrade, graded Boolean certainty that never answers unknown.")
     (with_stats
        Term.(
-         const run $ query $ degrade $ explain $ jobs $ nodes $ backtracks
-         $ timeout_ms $ max_attempts_arg $ escalate_arg $ d))
+         const run $ query $ degrade $ explain $ jobs $ backend_arg $ nodes
+         $ backtracks $ timeout_ms $ max_attempts_arg $ escalate_arg $ d))
 
 (* chase *)
 let split_arrow s =
@@ -647,7 +671,7 @@ module Supervisor = Certdb_service.Supervisor
 module Client = Certdb_service.Client
 
 let batch_cmd =
-  let run jobs max_attempts escalate on_error file =
+  let run jobs max_attempts escalate on_error backend file =
     validate_policy max_attempts escalate;
     let policy =
       Resilient.Policy.make ~max_attempts ~escalation:escalate
@@ -703,7 +727,7 @@ let batch_cmd =
           else begin
             let idx = !next_idx in
             incr next_idx;
-            let task = (idx, Wire.parse_task ?cancel idx line) in
+            let task = (idx, Wire.parse_task ?cancel ~backend idx line) in
             if n + 1 >= chunk_size then begin
               flush_chunk (task :: pending);
               loop [] 0
@@ -752,7 +776,9 @@ let batch_cmd =
          "Solve a JSONL stream of independent budgeted problems on a \
           domain pool; output is JSONL in input order.")
     (with_stats
-       Term.(const run $ jobs $ max_attempts_arg $ escalate_arg $ on_error $ file))
+       Term.(
+         const run $ jobs $ max_attempts_arg $ escalate_arg $ on_error
+         $ backend_arg $ file))
 
 (* serve: the long-running query server (lib/service).  JSONL over stdio
    or a Unix socket; named database registry; semantic cache keyed by
@@ -794,8 +820,8 @@ let start_metrics_writer ~path ~interval_ms =
     Domain.join writer
 
 let serve_cmd =
-  let run socket cache_capacity no_cache canon_budget jobs max_attempts
-      escalate nodes backtracks timeout_ms slow_ms metrics_file
+  let run socket cache_capacity no_cache canon_budget jobs backend
+      max_attempts escalate nodes backtracks timeout_ms slow_ms metrics_file
       metrics_interval_ms trace_buffer preload conns queue_capacity
       request_timeout_ms max_line_bytes backlog retry_after_ms =
     validate_policy max_attempts escalate;
@@ -807,7 +833,7 @@ let serve_cmd =
     let config =
       Server.Config.make
         ~cache_capacity:(if no_cache then 0 else cache_capacity)
-        ~canon_budget ~policy ~default_limits ~jobs ?slow_ms ()
+        ~canon_budget ~policy ~default_limits ~jobs ?slow_ms ~backend ()
     in
     let server = Server.create ~config () in
     List.iter
@@ -1007,7 +1033,8 @@ let serve_cmd =
     (with_stats
        Term.(
          const run $ socket $ cache_capacity $ no_cache $ canon_budget $ jobs
-         $ max_attempts_arg $ escalate_arg $ nodes $ backtracks $ timeout_ms
+         $ backend_arg $ max_attempts_arg $ escalate_arg $ nodes $ backtracks
+         $ timeout_ms
          $ slow_ms $ metrics_file $ metrics_interval_ms $ trace_buffer
          $ preload $ conns $ queue_capacity $ request_timeout_ms
          $ max_line_bytes $ backlog $ retry_after_ms))
@@ -1978,6 +2005,55 @@ let analyze_cmd =
          const run $ query $ fo $ tgds $ fds $ independence $ instance $ json
          $ self_test))
 
+(* sat: direct access to the SAT backend.  'sat dimacs' prints the CNF of
+   the Boolean-CQ certainty instance (the same encoding the CDCL core
+   solves) for cross-checking against external DIMACS solvers. *)
+let sat_dimacs_cmd =
+  let run query no_symmetry d =
+    let d = parse_instance_arg d in
+    let q = parse_cq query in
+    if q.Certdb_query.Cq.head <> [] then begin
+      Printf.eprintf "sat dimacs applies to Boolean queries (empty head)\n";
+      2
+    end
+    else begin
+      print_string
+        (Certdb_query.Certain.certain_cq_dimacs ~symmetry:(not no_symmetry) q
+           d);
+      0
+    end
+  in
+  let query =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "query"; "q" ] ~docv:"CQ"
+          ~doc:"Boolean conjunctive query, e.g. 'ans() :- R(_x,_y)'.")
+  in
+  let no_symmetry =
+    Arg.(
+      value & flag
+      & info [ "no-symmetry" ]
+          ~doc:
+            "Omit the symmetry-breaking ordering clauses over \
+             interchangeable query variables.")
+  in
+  let d = instance_pos ~pos:0 ~doc:"Incomplete instance." in
+  Cmd.v
+    (Cmd.info "dimacs"
+       ~doc:
+         "Print the CNF of the Prop. 2 certainty instance D_Q ⊑ D in \
+          DIMACS format (selector + tuple-support variables; \
+          satisfiable iff the query is certainly true, 0-ary facts \
+          aside — see the zero_ok comment).")
+    (with_stats Term.(const run $ query $ no_symmetry $ d))
+
+let sat_cmd =
+  Cmd.group
+    (Cmd.info "sat"
+       ~doc:"The SAT backend: CNF export of certainty instances.")
+    [ sat_dimacs_cmd ]
+
 let main_cmd =
   let doc = "certain answers over incomplete databases (PODS'11 reproduction)" in
   Cmd.group
@@ -1985,7 +2061,8 @@ let main_cmd =
     [
       leq_cmd; cwa_cmd; member_cmd; glb_cmd; lub_cmd; core_cmd; certain_cmd;
       certain_fo_cmd; chase_cmd; analyze_cmd; tree_leq_cmd; tree_glb_cmd;
-      tree_member_cmd; batch_cmd; serve_cmd; stats_cmd; trace_cmd; ping_cmd;
+      tree_member_cmd; batch_cmd; serve_cmd; sat_cmd; stats_cmd; trace_cmd;
+      ping_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,6 +1,7 @@
 open Certdb_query
 module Obs = Certdb_obs.Obs
 module Trace = Certdb_obs.Trace
+module Sat_choice = Certdb_sat.Backend
 
 let plan_naive = Obs.counter "query.plan.naive_eval"
 let plan_acyclic = Obs.counter "query.plan.acyclic_join"
@@ -8,6 +9,7 @@ let plan_bounded = Obs.counter "query.plan.bounded_width"
 let plan_components = Obs.counter "query.plan.components"
 let plan_hom = Obs.counter "query.plan.hom_ladder"
 let plan_fd = Obs.counter "query.plan.fd_naive"
+let plan_sat = Obs.counter "query.plan.sat"
 
 type route =
   | Naive_eval
@@ -16,6 +18,7 @@ type route =
   | Components of int
   | Hom_ladder
   | Fd_naive of Fd.fd
+  | Sat_backend of int
 
 type decision = {
   route : route;
@@ -29,6 +32,7 @@ let route_to_string = function
   | Components c -> Printf.sprintf "components(%d)" c
   | Hom_ladder -> "hom-ladder"
   | Fd_naive f -> Printf.sprintf "fd-naive(%s)" (Fd.to_string f)
+  | Sat_backend k -> Printf.sprintf "sat-backend(%d)" k
 
 let count_route = function
   | Naive_eval -> Obs.incr plan_naive
@@ -37,6 +41,7 @@ let count_route = function
   | Components _ -> Obs.incr plan_components
   | Hom_ladder -> Obs.incr plan_hom
   | Fd_naive _ -> Obs.incr plan_fd
+  | Sat_backend _ -> Obs.incr plan_sat
 
 let default_width_threshold = 2
 
@@ -53,29 +58,87 @@ let key_fd_for (q : Cq.t) fds =
         q.atoms)
     fds
 
-let route_cq ?(width_threshold = default_width_threshold) ?(fds = []) (q : Cq.t)
-    =
+(* Largest class of query variables that are pairwise interchangeable:
+   swapping the two variables everywhere maps the atom multiset to
+   itself.  These are the interchangeable fresh nulls of the naïve
+   tableau — the permutation symmetry the SAT encoder breaks with
+   ordering clauses, and the thing chronological backtracking pays [k!]
+   for.  Classes are built greedily against a representative;
+   transpositions through a common element generate the symmetric
+   group, so membership is mutual. *)
+let largest_interchangeable_class (q : Cq.t) =
+  let vars =
+    List.sort_uniq compare
+      (List.concat_map
+         (fun (a : Cq.atom) ->
+           List.filter_map
+             (function Fo.Var v -> Some v | Fo.Val _ -> None)
+             a.args)
+         q.atoms)
+  in
+  let canon swap =
+    List.sort compare
+      (List.map
+         (fun (a : Cq.atom) ->
+           ( a.rel,
+             List.map
+               (function Fo.Var v -> Fo.Var (swap v) | t -> t)
+               a.args ))
+         q.atoms)
+  in
+  let id = canon (fun v -> v) in
+  let swap_ok a b =
+    canon (fun v -> if v = a then b else if v = b then a else v) = id
+  in
+  let rec classes = function
+    | [] -> 0
+    | rep :: rest ->
+      let members, others = List.partition (swap_ok rep) rest in
+      max (1 + List.length members) (classes others)
+  in
+  classes vars
+
+let route_cq ?(width_threshold = default_width_threshold) ?(fds = [])
+    ?(backend = Sat_choice.Csp) (q : Cq.t) =
   if q.head <> [] then { route = Naive_eval; hypergraph = None }
   else
     let hg = Hypergraph.analyze q in
     let route =
-      match hg.certificate with
-      | Acyclic _ -> Acyclic_join
-      | Cyclic _ -> (
-        if hg.width_estimate <= width_threshold then
-          Bounded_width hg.width_estimate
-        else
-          match key_fd_for q fds with
-          | Some f -> Fd_naive f
-          | None ->
-            if hg.components >= 2 then Components hg.components
-            else Hom_ladder)
+      match backend with
+      | Sat_choice.Sat ->
+        (* explicit opt-in: the whole instance goes to the CDCL core *)
+        Sat_backend (largest_interchangeable_class q)
+      | Sat_choice.Csp | Sat_choice.Auto -> (
+        match hg.certificate with
+        | Acyclic _ -> Acyclic_join
+        | Cyclic _ -> (
+          if hg.width_estimate <= width_threshold then
+            Bounded_width hg.width_estimate
+          else
+            match key_fd_for q fds with
+            | Some f -> Fd_naive f
+            | None ->
+              (* [Auto]'s SAT certificate: cyclic and wide (checked
+                 above), dense (at least as many atoms as variables),
+                 and a rich permutation symmetry for the ordering
+                 clauses to cut — the profile where clause learning
+                 beats chronological backtracking *)
+              let sym =
+                if backend = Sat_choice.Auto then
+                  largest_interchangeable_class q
+                else 0
+              in
+              if sym >= 3 && hg.atom_count >= hg.var_count then
+                Sat_backend sym
+              else if hg.components >= 2 then Components hg.components
+              else Hom_ladder))
     in
     { route; hypergraph = Some hg }
 
-let certain ?policy ?limits ?(jobs = 1) ?width_threshold ?fds (q : Cq.t) d =
+let certain ?policy ?limits ?(jobs = 1) ?width_threshold ?fds ?backend
+    (q : Cq.t) d =
   if q.head <> [] then invalid_arg "Plan.certain: Boolean query only";
-  let dec = route_cq ?width_threshold ?fds q in
+  let dec = route_cq ?width_threshold ?fds ?backend q in
   count_route dec.route;
   (* the route label on this span is what [explain:true] surfaces; it
      always matches the query.plan.* counter bumped just above *)
@@ -95,7 +158,13 @@ let certain ?policy ?limits ?(jobs = 1) ?width_threshold ?fds (q : Cq.t) d =
         | `False -> `Exact false
         | `Unknown _ -> Certain.certain_cq_resilient ?policy ?limits q d)
       | Hom_ladder -> Certain.certain_cq_resilient ?policy ?limits q d
-      | Fd_naive _ -> `Exact (Certain.certain_cq_via_naive q d))
+      | Fd_naive _ -> `Exact (Certain.certain_cq_via_naive q d)
+      | Sat_backend _ ->
+        (* CDCL primary, CSP fallback rung, naïve degrade — same graded
+           contract as the hom ladder, so a SAT route can never weaken
+           an answer *)
+        Certain.certain_cq_resilient ?policy ?limits
+          ~backend:Sat_choice.Sat q d)
 
 let certain_answers u d =
   count_route Naive_eval;

@@ -18,6 +18,14 @@
       passed via [?fds]) → [Fd_naive]: that relation is key-determined
       in every completion, so plain naïve evaluation — exact for
       Boolean CQs by Prop. 2 — is preferred over the hom machinery;
+    - under [~backend:Auto], cyclic + wide + dense (at least as many
+      atoms as variables) + a class of ≥ 3 pairwise-interchangeable
+      variables → [Sat_backend k]: encode to CNF and give it to
+      {!Certdb_sat}'s CDCL core, whose symmetry-breaking ordering
+      clauses collapse the [k!] permutations of interchangeable fresh
+      nulls that chronological backtracking enumerates (counted by
+      [query.plan.sat]); [~backend:Sat] forces this route, and the
+      default [~backend:Csp] never picks it;
     - everything else → [Hom_ladder]: the budgeted Prop. 2 hom check
       under the {!Certdb_csp.Resilient} retry/escalation ladder.
 
@@ -36,6 +44,9 @@ type route =
   | Hom_ladder
   | Fd_naive of Fd.fd
       (** the certainly-satisfied key FD that licensed the route *)
+  | Sat_backend of int
+      (** the size of the largest interchangeable-variable class that
+          licensed (or was measured when forcing) the SAT route *)
 
 type decision = {
   route : route;
@@ -54,7 +65,11 @@ val route_to_string : route -> string
     Soundness does not depend on the certification — every route is
     exact — only route quality does. *)
 val route_cq :
-  ?width_threshold:int -> ?fds:Fd.fd list -> Certdb_query.Cq.t -> decision
+  ?width_threshold:int ->
+  ?fds:Fd.fd list ->
+  ?backend:Certdb_sat.Backend.choice ->
+  Certdb_query.Cq.t ->
+  decision
 
 (** [certain ?policy ?limits ?jobs ?width_threshold q d] — Boolean CQ
     certainty through the planner.  Acyclic and bounded-width routes
@@ -62,7 +77,9 @@ val route_cq :
     connected components independently on [jobs] domains (default 1) and
     falls back to the resilient ladder if a budget trips; the hom ladder
     behaves exactly like {!Certdb_query.Certain.certain_cq_resilient}
-    (unlimited [limits] always yield [`Exact]).
+    (unlimited [limits] always yield [`Exact]); a [Sat_backend] route
+    runs the CDCL backend under the same ladder with a CSP fallback
+    rung, so crossing backends never weakens an answer.
     @raise Invalid_argument on a non-Boolean query. *)
 val certain :
   ?policy:Certdb_csp.Resilient.Policy.t ->
@@ -70,6 +87,7 @@ val certain :
   ?jobs:int ->
   ?width_threshold:int ->
   ?fds:Fd.fd list ->
+  ?backend:Certdb_sat.Backend.choice ->
   Certdb_query.Cq.t ->
   Certdb_relational.Instance.t ->
   [ `Exact of bool | `Lower_bound of bool ]

@@ -10,6 +10,8 @@ let retries = Obs.counter "csp.resilient.retries"
 let recovered = Obs.counter "csp.resilient.recovered"
 let propagation_unsats = Obs.counter "csp.resilient.propagation_unsat"
 let exhausted_c = Obs.counter "csp.resilient.exhausted"
+let crossed = Obs.counter "csp.resilient.crossed"
+let crossed_recovered = Obs.counter "csp.resilient.crossed_recovered"
 
 module Policy = struct
   type t = {
@@ -31,11 +33,12 @@ module Policy = struct
   let no_retry = make ~max_attempts:1 ~propagate_first:false ()
 end
 
-type rung = Propagation | Search of int | Exhausted
+type rung = Propagation | Search of int | Fallback of string | Exhausted
 
 let rung_to_string = function
   | Propagation -> "propagation"
   | Search n -> Printf.sprintf "search[%d]" n
+  | Fallback name -> Printf.sprintf "fallback[%s]" name
   | Exhausted -> "exhausted"
 
 type 'a run = { outcome : 'a Engine.outcome; attempts : int; rung : rung }
@@ -52,11 +55,38 @@ let scale_limits (policy : Policy.t) ~attempt (l : Engine.Limits.t) =
     in
     { l with nodes = scale l.nodes; backtracks = scale l.backtracks }
 
+(* When every rung of one backend tripped, cross to the other one: run
+   the fallback once, under the last attempt's (fully escalated) limits.
+   A definitive fallback answer cannot flip anything — the primary only
+   ever said Unknown here — and a fallback Unknown keeps the primary's
+   reason. *)
+let cross_backend ?fallback (policy : Policy.t) ~limits ~attempts
+    (exhausted : 'a Engine.outcome) =
+  match fallback with
+  | None ->
+    Obs.incr exhausted_c;
+    { outcome = exhausted; attempts; rung = Exhausted }
+  | Some (name, call) -> (
+    Obs.incr crossed;
+    let limits = scale_limits policy ~attempt:policy.max_attempts limits in
+    match
+      Trace.with_span "csp.resilient.fallback"
+        ~labels:[ ("backend", name) ]
+        (fun () -> call limits)
+    with
+    | (Engine.Sat _ | Engine.Unsat) as outcome ->
+      Obs.incr crossed_recovered;
+      { outcome; attempts; rung = Fallback name }
+    | Engine.Unknown _ ->
+      Obs.incr exhausted_c;
+      { outcome = exhausted; attempts; rung = Exhausted })
+
 (* The retry core: attempt [i] runs [f] under the policy-scaled limits;
    a definitive outcome stops the ladder (nothing can override it), a
    cancellation stops it too (the token stays tripped, so retrying would
-   spin), every other Unknown escalates until the attempts run out. *)
-let retry (policy : Policy.t) ~limits f =
+   spin), every other Unknown escalates until the attempts run out —
+   and then crosses to the fallback backend, if one was given. *)
+let retry ?fallback (policy : Policy.t) ~limits f =
   let rec attempt i =
     Obs.incr attempts_total;
     if i > 1 then Obs.incr retries;
@@ -72,10 +102,8 @@ let retry (policy : Policy.t) ~limits f =
       Obs.incr exhausted_c;
       { outcome = Engine.Unknown Engine.Cancelled; attempts = i; rung = Exhausted }
     | Engine.Unknown r ->
-      if i >= policy.max_attempts then begin
-        Obs.incr exhausted_c;
-        { outcome = Engine.Unknown r; attempts = i; rung = Exhausted }
-      end
+      if i >= policy.max_attempts then
+        cross_backend ?fallback policy ~limits ~attempts:i (Engine.Unknown r)
       else attempt (i + 1)
   in
   attempt 1
@@ -87,10 +115,10 @@ let annotated r =
   Trace.annotate "attempts" (string_of_int r.attempts);
   r
 
-let run ?(policy = Policy.default) ~limits f =
+let run ?(policy = Policy.default) ?fallback ~limits f =
   Obs.incr runs;
   Trace.with_span "csp.resilient.run" (fun () ->
-      annotated (retry policy ~limits f))
+      annotated (retry ?fallback policy ~limits f))
 
 (* Perturb the engine configuration for retry [attempt]: the first
    attempt keeps the caller's ordering, later ones switch to a seeded
@@ -113,8 +141,8 @@ let propagation_certificate (config : Config.t) ~source ~target =
        restriction, so the work done on rung one is not thrown away *)
     `Restrict (Domains.of_map pruned)
 
-let ladder ~engine_call ?(policy = Policy.default) ?(config = Config.default)
-    ~source ~target () =
+let ladder ~engine_call ?(policy = Policy.default) ?fallback
+    ?(config = Config.default) ~source ~target () =
   Obs.incr runs;
   Trace.with_span "csp.resilient.ladder" (fun () ->
       annotated
@@ -133,16 +161,25 @@ let ladder ~engine_call ?(policy = Policy.default) ?(config = Config.default)
               { config with Config.restrict = Some restrict }
             | `Restrict_unchanged -> config
           in
-          retry policy ~limits:config.Config.limits (fun ~attempt limits ->
+          (* the fallback inherits the AC-3-pruned restriction: rung
+             one's certificate work transfers across backends *)
+          let fallback =
+            Option.map
+              (fun (name, call) ->
+                (name, fun limits -> call ~config:{ config with limits }))
+              fallback
+          in
+          retry ?fallback policy ~limits:config.Config.limits
+            (fun ~attempt limits ->
               let config = attempt_config policy ~attempt ~limits config in
               engine_call ~config ~source ~target ())))
 
-let solve ?policy ?config ~source ~target () =
+let solve ?policy ?fallback ?config ~source ~target () =
   ladder ~engine_call:(fun ~config ~source ~target () ->
       Engine.solve ~config ~source ~target ())
-    ?policy ?config ~source ~target ()
+    ?policy ?fallback ?config ~source ~target ()
 
-let satisfiable ?policy ?config ~source ~target () =
+let satisfiable ?policy ?fallback ?config ~source ~target () =
   ladder ~engine_call:(fun ~config ~source ~target () ->
       Engine.satisfiable ~config ~source ~target ())
-    ?policy ?config ~source ~target ()
+    ?policy ?fallback ?config ~source ~target ()

@@ -17,6 +17,11 @@
       seed explores a different prefix of the search tree, so an attempt
       that got stuck under one ordering may finish instantly under
       another);
+    + {b cross-backend fallback} — when every attempt trips and a
+      [?fallback] backend was supplied (e.g. the SAT backend of
+      [Certdb_sat], or the CSP engine when SAT was primary), run it
+      once under the fully escalated limits; a definitive answer gets
+      rung [Fallback name], an [Unknown] keeps the primary's outcome;
     + {b degrade} — if every attempt trips, the final [Unknown] is
       reported with rung {!Exhausted}; domain layers (certain answers)
       then fall back to a sound under-approximation — see
@@ -70,6 +75,9 @@ end
 type rung =
   | Propagation  (** settled by the AC-3 certificate; no search ran *)
   | Search of int  (** settled by budgeted attempt [n] (1-based) *)
+  | Fallback of string
+      (** every primary attempt tripped and the named fallback backend
+          settled it definitively *)
   | Exhausted
       (** every attempt tripped (or the cancel token fired); the
           outcome is the last [Unknown] *)
@@ -88,23 +96,36 @@ val decision : 'a run -> Engine.decision
     (1-based) runs under; the identity for [attempt <= 1]. *)
 val scale_limits : Policy.t -> attempt:int -> Engine.Limits.t -> Engine.Limits.t
 
-(** [run ?policy ~limits f] — the generic retry core, for budgeted
-    procedures that are not a bare engine call (orderings, membership,
-    certain answers): attempt [i] calls
+(** [run ?policy ?fallback ~limits f] — the generic retry core, for
+    budgeted procedures that are not a bare engine call (orderings,
+    membership, certain answers): attempt [i] calls
     [f ~attempt:i (scale_limits policy ~attempt:i limits)] and the
     ladder logic of the module applies to its outcome.  [f] is
     responsible for honoring the limits it is given.  The propagation
-    rung and seeded restarts do not apply ([f] owns its own search). *)
+    rung and seeded restarts do not apply ([f] owns its own search).
+
+    [fallback] is [(name, call)]: when every attempt of [f] trips (and
+    the cancel token did not fire), [call] runs once under the fully
+    escalated limits.  A definitive answer is returned with rung
+    [Fallback name]; an [Unknown] keeps [f]'s final outcome.  The
+    no-flip invariant is preserved by construction: the fallback only
+    ever runs on [Unknown].  Counted under [csp.resilient.crossed] /
+    [csp.resilient.crossed_recovered]. *)
 val run :
   ?policy:Policy.t ->
+  ?fallback:string * (Engine.Limits.t -> 'a Engine.outcome) ->
   limits:Engine.Limits.t ->
   (attempt:int -> Engine.Limits.t -> 'a Engine.outcome) ->
   'a run
 
-(** [solve ?policy ?config ~source ~target ()] — the full ladder over
-    {!Engine.solve}.  [config.limits] is the attempt-1 budget. *)
+(** [solve ?policy ?fallback ?config ~source ~target ()] — the full
+    ladder over {!Engine.solve}.  [config.limits] is the attempt-1
+    budget.  The [fallback] backend receives the config it should run
+    under — escalated limits plus the AC-3-pruned restriction from the
+    propagation rung, so certificate work transfers across backends. *)
 val solve :
   ?policy:Policy.t ->
+  ?fallback:string * (config:Engine.Config.t -> Engine.hom Engine.outcome) ->
   ?config:Engine.Config.t ->
   source:Structure.t ->
   target:Structure.t ->
@@ -114,6 +135,7 @@ val solve :
 (** Ladder over {!Engine.satisfiable}. *)
 val satisfiable :
   ?policy:Policy.t ->
+  ?fallback:string * (config:Engine.Config.t -> unit Engine.outcome) ->
   ?config:Engine.Config.t ->
   source:Structure.t ->
   target:Structure.t ->

@@ -16,6 +16,10 @@
       search, [Gdm.Ghom], the enumeration loops of query answering).
       Budgeted searches convert the injected crash into
       [Unknown (Crashed _)]; unbudgeted shims let it escape.
+    - ["csp.sat.conflict"] — every conflict of the CDCL SAT backend
+      ([Certdb_sat.Solver.Cdcl]); the solver's budget wrapper converts
+      the crash into [Unknown (Crashed "csp.sat.conflict")], which is
+      what lets the resilient ladder cross to the CSP backend.
     - ["exchange.chase.step"] — each chase round of
       [Constraints.chase_budgeted].
     - ["csp.batch.task"] — before each task of an [Engine.Batch] worker;

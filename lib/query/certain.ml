@@ -212,9 +212,50 @@ let certain_cq_via_components ?(jobs = 1)
          ~target ())
   end
 
-(* {2 Graceful degradation} *)
+(* {2 The SAT backend route} *)
 
 module Engine = Certdb_csp.Engine
+module Sat_backend = Certdb_sat.Backend
+
+(* Same reduction as the components/btw routes — the tableau as source,
+   the active domain as target, constants pinned by [restrict] — but
+   decided by CNF encoding + CDCL instead of backtracking search. *)
+let certain_cq_via_sat_b ?limits ?symmetry q d =
+  if q.Cq.head <> [] then
+    invalid_arg "Certain.certain_cq_via_sat_b: Boolean query only";
+  Obs.incr certain_checks;
+  Trace.with_span "query.certain_sat" @@ fun () ->
+  let zero_ok, positive = cq_zero_split q d in
+  if not zero_ok then `False
+  else if positive = [] then `True
+  else begin
+    let { cq_source = source; cq_target = target; cq_restrict = restrict } =
+      cq_hom_encode positive d
+    in
+    let config = Engine.Config.make ?limits ~restrict () in
+    Engine.decision_of_outcome
+      (Sat_backend.satisfiable ~config ?symmetry ~source ~target ())
+  end
+
+(* The same instance, exported as DIMACS CNF for external solvers.  The
+   0-ary split is not expressible in clauses over the encoding's
+   variables (it needs no variables at all), so it is reported in a
+   comment; a [zero_ok=false] instance is unsatisfiable regardless of
+   the clauses below it. *)
+let certain_cq_dimacs ?symmetry q d =
+  if q.Cq.head <> [] then
+    invalid_arg "Certain.certain_cq_dimacs: Boolean query only";
+  let zero_ok, positive = cq_zero_split q d in
+  let { cq_source = source; cq_target = target; cq_restrict = restrict } =
+    cq_hom_encode positive d
+  in
+  let comments =
+    [ Printf.sprintf "certdb Boolean-CQ certainty; zero_ok=%b" zero_ok ]
+  in
+  Sat_backend.dimacs ~restrict ?symmetry ~comments ~source ~target ()
+
+(* {2 Graceful degradation} *)
+
 module Resilient = Certdb_csp.Resilient
 
 let resilient_exact = Obs.counter "query.resilient.exact"
@@ -225,11 +266,25 @@ let outcome_of_decision = function
   | `False -> Engine.Unsat
   | `Unknown r -> Engine.Unknown r
 
-let certain_cq_resilient ?policy ?(limits = Engine.Limits.unlimited) q d =
+let certain_cq_resilient ?policy ?(limits = Engine.Limits.unlimited)
+    ?(backend = Sat_backend.Csp) q d =
   Obs.incr certain_checks;
+  let csp limits = outcome_of_decision (certain_cq_via_hom_b ~limits q d) in
+  let sat limits = outcome_of_decision (certain_cq_via_sat_b ~limits q d) in
   let r =
-    Resilient.run ?policy ~limits (fun ~attempt:_ limits ->
-        outcome_of_decision (certain_cq_via_hom_b ~limits q d))
+    match backend with
+    | Sat_backend.Csp ->
+      Resilient.run ?policy ~limits (fun ~attempt:_ limits -> csp limits)
+    | Sat_backend.Sat ->
+      (* SAT primary; if every CDCL attempt trips (or crashes), retry
+         once on the CSP engine before degrading *)
+      Resilient.run ?policy ~fallback:("csp", csp) ~limits
+        (fun ~attempt:_ limits -> sat limits)
+    | Sat_backend.Auto ->
+      (* without a planner certificate, Auto means: CSP first (the
+         default engine), cross to SAT on exhaustion *)
+      Resilient.run ?policy ~fallback:("sat", sat) ~limits
+        (fun ~attempt:_ limits -> csp limits)
   in
   match r.Resilient.outcome with
   | Engine.Sat () ->

@@ -85,14 +85,43 @@ val certain_cq_via_hom_b :
   Instance.t ->
   Certdb_csp.Engine.decision
 
-(** [certain_cq_resilient ?policy ?limits q d] — Boolean CQ certainty
-    that degrades instead of giving up.  The exact procedure is the
-    Prop. 2 hom check [D_Q ⊑ D] under the retry/escalation ladder of
-    {!Certdb_csp.Resilient}; if every attempt trips its budget the
-    answer degrades to naïve evaluation, which is {e sound} for certain
-    answers (Theorem 4 — for plain CQs over naïve tables it is in fact
-    exact, but the resilient API certifies only the sound direction,
-    the guarantee that generalizes to the gdm/xml regimes):
+(** Budgeted [D_Q ⊑ D] decided by the SAT backend
+    ({!Certdb_sat.Backend}): the tableau/active-domain hom instance is
+    encoded to CNF (selector + tuple-support variables, symmetry
+    breaking over interchangeable variables unless [symmetry:false])
+    and handed to the CDCL core under [limits] (conflict budget ≈
+    backtrack budget).  Agrees with {!certain_cq_via_hom_b} on every
+    definitive answer; [`Unknown r] when a limit trips.
+    @raise Invalid_argument on a non-Boolean query. *)
+val certain_cq_via_sat_b :
+  ?limits:Certdb_csp.Engine.Limits.t ->
+  ?symmetry:bool ->
+  Cq.t ->
+  Instance.t ->
+  Certdb_csp.Engine.decision
+
+(** [certain_cq_dimacs ?symmetry q d] — the CNF of the [D_Q ⊑ D]
+    instance in DIMACS format, for cross-checking against external
+    solvers ([certdb sat dimacs]).  The 0-ary-fact precondition is
+    reported in a [c] comment ([zero_ok=false] means the instance is
+    unsatisfiable irrespective of the clauses).
+    @raise Invalid_argument on a non-Boolean query. *)
+val certain_cq_dimacs : ?symmetry:bool -> Cq.t -> Instance.t -> string
+
+(** [certain_cq_resilient ?policy ?limits ?backend q d] — Boolean CQ
+    certainty that degrades instead of giving up.  The exact procedure
+    is the Prop. 2 hom check [D_Q ⊑ D] under the retry/escalation
+    ladder of {!Certdb_csp.Resilient}; if every attempt trips its
+    budget the answer degrades to naïve evaluation, which is {e sound}
+    for certain answers (Theorem 4 — for plain CQs over naïve tables it
+    is in fact exact, but the resilient API certifies only the sound
+    direction, the guarantee that generalizes to the gdm/xml regimes).
+
+    [backend] picks the primary solver and its escalation partner:
+    [Csp] (default) runs the CSP ladder exactly as before; [Sat] runs
+    the CDCL backend with a CSP fallback rung on exhaustion; [Auto]
+    runs CSP with a SAT fallback rung.  Crossing backends never flips a
+    definitive answer (the fallback only runs on [Unknown]).  Results:
 
     - [`Exact b] — the hom search settled it: [b] is the certain answer;
     - [`Lower_bound true] — budgets exhausted, but naïve evaluation
@@ -108,6 +137,7 @@ val certain_cq_via_hom_b :
 val certain_cq_resilient :
   ?policy:Certdb_csp.Resilient.Policy.t ->
   ?limits:Certdb_csp.Engine.Limits.t ->
+  ?backend:Certdb_sat.Backend.choice ->
   Cq.t ->
   Instance.t ->
   [ `Exact of bool | `Lower_bound of bool ]

@@ -1,0 +1,219 @@
+module Engine = Certdb_csp.Engine
+module Structure = Certdb_csp.Structure
+module Domains = Certdb_csp.Domains
+module Bitset = Domains.Bitset
+
+let interchangeable_classes (c : Engine.Compiled.t) =
+  let tables =
+    Array.map
+      (fun (cr : Structure.crel) ->
+        let tbl = Hashtbl.create (max 16 cr.count) in
+        for ti = 0 to cr.count - 1 do
+          Hashtbl.replace tbl (Array.sub cr.flat (ti * cr.arity) cr.arity) ()
+        done;
+        tbl)
+      c.csrc.crels
+  in
+  let swap_ok a b =
+    c.csrc.node_labels.(a) = c.csrc.node_labels.(b)
+    && c.init.(a) = c.init.(b)
+    &&
+    let sw x = if x = a then b else if x = b then a else x in
+    try
+      Array.iteri
+        (fun ri (cr : Structure.crel) ->
+          let tbl = tables.(ri) in
+          for ti = 0 to cr.count - 1 do
+            let base = ti * cr.arity in
+            let touches = ref false in
+            for p = 0 to cr.arity - 1 do
+              let x = cr.flat.(base + p) in
+              if x = a || x = b then touches := true
+            done;
+            if !touches then
+              let row = Array.init cr.arity (fun p -> sw cr.flat.(base + p)) in
+              if not (Hashtbl.mem tbl row) then raise Exit
+          done)
+        c.csrc.crels;
+      true
+    with Exit -> false
+  in
+  let used = Array.make (max 1 c.nvars) false in
+  let classes = ref [] in
+  for v = 0 to c.nvars - 1 do
+    if not used.(v) then begin
+      used.(v) <- true;
+      let members = ref [ v ] in
+      for u = v + 1 to c.nvars - 1 do
+        if (not used.(u)) && swap_ok v u then begin
+          used.(u) <- true;
+          members := u :: !members
+        end
+      done;
+      if List.length !members >= 2 then
+        classes := Array.of_list (List.rev !members) :: !classes
+    end
+  done;
+  Array.of_list (List.rev !classes)
+
+type stats = {
+  sel_vars : int;
+  tuple_vars : int;
+  clauses : int;
+  sym_classes : int;
+  largest_class : int;
+}
+
+module Make (Solv : Solver.S) = struct
+  type t = {
+    solver : Solv.t;
+    compiled : Engine.Compiled.t;
+    sel : int array array; (* dense var -> dense target node -> ext var *)
+    source : Structure.t;
+    target : Structure.t;
+    stats : stats;
+  }
+
+  let make ?restrict ?(symmetry = true) ~source ~target () =
+    let c = Engine.compile ?restrict ~source ~target () in
+    let solver = Solv.create () in
+    let nclauses = ref 0 in
+    let add cl =
+      incr nclauses;
+      Solv.add_clause solver cl
+    in
+    (* Selector variables over each variable's initial bitset domain. *)
+    let sel =
+      Array.init c.nvars (fun v ->
+          let row = Array.make c.cap 0 in
+          Bitset.iter (fun w -> row.(w) <- Solv.new_var solver) c.init.(v);
+          row)
+    in
+    let sel_vars = Solv.nvars solver in
+    (* A 0-ary source fact missing from the target refutes the instance
+       before any variable choice. *)
+    if not c.zero_ok then add [];
+    (* At least one value; at most one (pairwise) — exactly-one makes
+       models decode to functions. *)
+    for v = 0 to c.nvars - 1 do
+      let ws = Bitset.to_list c.init.(v) in
+      add (List.map (fun w -> sel.(v).(w)) ws);
+      let rec amo = function
+        | [] -> ()
+        | w :: rest ->
+          List.iter (fun w' -> add [ -sel.(v).(w); -sel.(v).(w') ]) rest;
+          amo rest
+      in
+      amo ws
+    done;
+    (* Per source fact: at least one supporting target tuple, each
+       implying the selectors of its positions.  Tuples incompatible
+       with the domains — or with a repeated variable — are dropped. *)
+    Array.iter
+      (fun (cc : Engine.Compiled.ccstr) ->
+        let ar = Array.length cc.cvars in
+        if ar > 0 then
+          match cc.tgt with
+          | None -> add []
+          | Some crel ->
+            let ys = ref [] in
+            for ti = 0 to crel.count - 1 do
+              let base = ti * ar in
+              let ok = ref true in
+              for p = 0 to ar - 1 do
+                let v = cc.cvars.(p) and w = crel.flat.(base + p) in
+                if not (Bitset.mem c.init.(v) w) then ok := false;
+                for q = 0 to p - 1 do
+                  if cc.cvars.(q) = v && crel.flat.(base + q) <> w then
+                    ok := false
+                done
+              done;
+              if !ok then begin
+                let y = Solv.new_var solver in
+                ys := y :: !ys;
+                let pairs = ref [] in
+                for p = 0 to ar - 1 do
+                  let vw = (cc.cvars.(p), crel.flat.(base + p)) in
+                  if not (List.mem vw !pairs) then pairs := vw :: !pairs
+                done;
+                List.iter (fun (v, w) -> add [ -y; sel.(v).(w) ]) !pairs
+              end
+            done;
+            add !ys)
+      c.cstrs;
+    let tuple_vars = Solv.nvars solver - sel_vars in
+    (* Ordering clauses over interchangeable variables: within a class
+       (ascending var ids) force h(v_i) <= h(v_{i+1}) on dense target
+       ids.  Sound because any class permutation is a source
+       automorphism. *)
+    let classes = if symmetry then interchangeable_classes c else [||] in
+    Array.iter
+      (fun cls ->
+        for i = 0 to Array.length cls - 2 do
+          let a = cls.(i) and b = cls.(i + 1) in
+          Bitset.iter
+            (fun w ->
+              Bitset.iter
+                (fun w' -> if w' < w then add [ -sel.(a).(w); -sel.(b).(w') ])
+                c.init.(b))
+            c.init.(a)
+        done)
+      classes;
+    let largest_class =
+      Array.fold_left (fun acc c -> max acc (Array.length c)) 0 classes
+    in
+    {
+      solver;
+      compiled = c;
+      sel;
+      source;
+      target;
+      stats =
+        {
+          sel_vars;
+          tuple_vars;
+          clauses = !nclauses;
+          sym_classes = Array.length classes;
+          largest_class;
+        };
+    }
+
+  let stats t = t.stats
+  let solver t = t.solver
+
+  let decode t =
+    let c = t.compiled in
+    let h = ref Structure.Int_map.empty in
+    let total = ref true in
+    for v = 0 to c.nvars - 1 do
+      let chosen = ref (-1) in
+      Bitset.iter
+        (fun w ->
+          if !chosen < 0 && Solv.model_value t.solver t.sel.(v).(w) then
+            chosen := w)
+        c.init.(v);
+      if !chosen < 0 then total := false
+      else
+        h :=
+          Structure.Int_map.add c.csrc.node_ids.(v)
+            c.ctgt.node_ids.(!chosen)
+            !h
+    done;
+    if !total then Some !h else None
+
+  let solve ?limits t =
+    match Solv.solve ?limits t.solver with
+    | Engine.Unsat -> Engine.Unsat
+    | Engine.Unknown r -> Engine.Unknown r
+    | Engine.Sat () -> (
+      match decode t with
+      | Some h when Engine.is_hom ~source:t.source ~target:t.target h ->
+        Engine.Sat h
+      | _ -> Engine.Unknown (Engine.Crashed "sat.decode"))
+
+  let satisfiable ?limits t =
+    match solve ?limits t with
+    | Engine.Sat _ -> Engine.Sat ()
+    | Engine.Unsat -> Engine.Unsat
+    | Engine.Unknown r -> Engine.Unknown r
+end

@@ -1,0 +1,451 @@
+module Engine = Certdb_csp.Engine
+module Obs = Certdb_obs.Obs
+module Fault = Certdb_obs.Fault
+
+let conflict_fault_point = "csp.sat.conflict"
+
+(* Observability: one family of counters for every backend. *)
+let c_solves = Obs.counter "csp.sat.solves"
+let c_decisions = Obs.counter "csp.sat.decisions"
+let c_conflicts = Obs.counter "csp.sat.conflicts"
+let c_propagations = Obs.counter "csp.sat.propagations"
+let c_learned = Obs.counter "csp.sat.learned"
+let c_restarts = Obs.counter "csp.sat.restarts"
+
+module type S = sig
+  type t
+
+  val name : string
+  val create : unit -> t
+  val new_var : t -> int
+  val nvars : t -> int
+  val add_clause : t -> int list -> unit
+
+  val solve :
+    ?assumptions:int list ->
+    ?limits:Engine.Limits.t ->
+    t ->
+    unit Engine.outcome
+
+  val model_value : t -> int -> bool
+  val conflicts : t -> int
+end
+
+(* A tiny growable int vector: watch lists are hot, [int list] churn is
+   not. *)
+module Vec = struct
+  type t = { mutable data : int array; mutable size : int }
+
+  let create () = { data = [||]; size = 0 }
+
+  let push v x =
+    if v.size = Array.length v.data then begin
+      let cap = max 4 (2 * Array.length v.data) in
+      let data = Array.make cap 0 in
+      Array.blit v.data 0 data 0 v.size;
+      v.data <- data
+    end;
+    v.data.(v.size) <- x;
+    v.size <- v.size + 1
+end
+
+module Cdcl = struct
+  let name = "cdcl"
+
+  (* Internal literals: variable [v] (0-based) is [2*v] positive,
+     [2*v + 1] negated.  External literals are DIMACS-style [±(v+1)]. *)
+  type t = {
+    mutable nvars : int;
+    mutable clauses : int array array; (* id -> lits; learnt included *)
+    mutable nclauses : int;
+    mutable watches : Vec.t array; (* lit -> clause ids watching it *)
+    mutable value : int array; (* var -> 0 unassigned / 1 true / -1 false *)
+    mutable level : int array; (* var -> decision level *)
+    mutable reason : int array; (* var -> clause id or -1 *)
+    mutable activity : float array;
+    mutable polarity : bool array; (* phase saving *)
+    mutable seen : bool array; (* conflict-analysis scratch *)
+    mutable trail : int array; (* assigned lits, in order *)
+    mutable trail_size : int;
+    mutable trail_lim : int list; (* trail sizes at decision points *)
+    mutable qhead : int;
+    mutable var_inc : float;
+    mutable unsat : bool; (* a level-0 conflict is permanent *)
+    mutable model : int array; (* value snapshot of the last Sat *)
+    mutable n_conflicts : int;
+  }
+
+  let create () =
+    {
+      nvars = 0;
+      clauses = Array.make 16 [||];
+      nclauses = 0;
+      watches = [||];
+      value = [||];
+      level = [||];
+      reason = [||];
+      activity = [||];
+      polarity = [||];
+      seen = [||];
+      trail = [||];
+      trail_size = 0;
+      trail_lim = [];
+      qhead = 0;
+      var_inc = 1.0;
+      unsat = false;
+      model = [||];
+      n_conflicts = 0;
+    }
+
+  let nvars s = s.nvars
+  let conflicts s = s.n_conflicts
+
+  let grow_int a n d =
+    let b = Array.make n d in
+    Array.blit a 0 b 0 (Array.length a);
+    b
+
+  let new_var s =
+    let v = s.nvars in
+    s.nvars <- v + 1;
+    if s.nvars > Array.length s.value then begin
+      let cap = max 16 (2 * Array.length s.value) in
+      s.value <- grow_int s.value cap 0;
+      s.level <- grow_int s.level cap 0;
+      s.reason <- grow_int s.reason cap (-1);
+      s.trail <- grow_int s.trail cap 0;
+      let act = Array.make cap 0.0 in
+      Array.blit s.activity 0 act 0 (Array.length s.activity);
+      s.activity <- act;
+      let pol = Array.make cap false in
+      Array.blit s.polarity 0 pol 0 (Array.length s.polarity);
+      s.polarity <- pol;
+      let sn = Array.make cap false in
+      Array.blit s.seen 0 sn 0 (Array.length s.seen);
+      s.seen <- sn;
+      let w = Array.init (2 * cap) (fun _ -> Vec.create ()) in
+      Array.blit s.watches 0 w 0 (Array.length s.watches);
+      s.watches <- w
+    end;
+    v + 1
+
+  let lit_of_ext s l =
+    let v = abs l - 1 in
+    if l = 0 || v >= s.nvars then
+      invalid_arg (Printf.sprintf "Sat.Solver: literal %d out of range" l);
+    (2 * v) lor (if l < 0 then 1 else 0)
+
+  (* value of an internal literal: 1 true, -1 false, 0 unassigned *)
+  let lit_value s l =
+    let v = s.value.(l lsr 1) in
+    if l land 1 = 0 then v else -v
+
+  let decision_level s = List.length s.trail_lim
+
+  let enqueue s l reason =
+    s.value.(l lsr 1) <- (if l land 1 = 0 then 1 else -1);
+    s.level.(l lsr 1) <- decision_level s;
+    s.reason.(l lsr 1) <- reason;
+    s.trail.(s.trail_size) <- l;
+    s.trail_size <- s.trail_size + 1
+
+  let attach s cid =
+    let c = s.clauses.(cid) in
+    (* a clause watching [l] lives in [watches.(l lxor 1)]: it must be
+       revisited when the negation of [l] becomes true *)
+    Vec.push s.watches.(c.(0) lxor 1) cid;
+    Vec.push s.watches.(c.(1) lxor 1) cid
+
+  let add_clause_internal s lits =
+    let cid = s.nclauses in
+    if cid = Array.length s.clauses then begin
+      let cs = Array.make (2 * cid) [||] in
+      Array.blit s.clauses 0 cs 0 cid;
+      s.clauses <- cs
+    end;
+    s.clauses.(cid) <- lits;
+    s.nclauses <- cid + 1;
+    attach s cid;
+    cid
+
+  (* Clauses may only be added at decision level 0 (the solver always
+     returns there between [solve] calls), so simplification against the
+     root-level assignment keeps the watch invariant sound. *)
+  let add_clause s ext_lits =
+    if not s.unsat then begin
+      assert (decision_level s = 0);
+      let lits = List.map (lit_of_ext s) ext_lits in
+      let lits = List.sort_uniq compare lits in
+      let taut =
+        List.exists (fun l -> List.mem (l lxor 1) lits) lits
+        || List.exists (fun l -> lit_value s l > 0) lits
+      in
+      if not taut then begin
+        let lits = List.filter (fun l -> lit_value s l = 0) lits in
+        match lits with
+        | [] -> s.unsat <- true
+        | [ l ] -> enqueue s l (-1)
+        | lits -> ignore (add_clause_internal s (Array.of_list lits))
+      end
+    end
+
+  (* Two-watched-literal unit propagation; returns the conflicting clause
+     id, or -1. *)
+  let propagate s =
+    let confl = ref (-1) in
+    while !confl < 0 && s.qhead < s.trail_size do
+      let p = s.trail.(s.qhead) in
+      s.qhead <- s.qhead + 1;
+      Obs.incr c_propagations;
+      let ws = s.watches.(p) in
+      let j = ref 0 in
+      let i = ref 0 in
+      let n = ws.Vec.size in
+      while !i < n do
+        let cid = ws.Vec.data.(!i) in
+        incr i;
+        let c = s.clauses.(cid) in
+        let np = p lxor 1 in
+        (* normalize: the falsified watch sits at c.(1) *)
+        if c.(0) = np then begin
+          c.(0) <- c.(1);
+          c.(1) <- np
+        end;
+        if lit_value s c.(0) > 0 then begin
+          (* satisfied: keep watching *)
+          ws.Vec.data.(!j) <- cid;
+          incr j
+        end
+        else begin
+          (* look for a non-false literal to watch instead *)
+          let len = Array.length c in
+          let k = ref 2 in
+          while !k < len && lit_value s c.(!k) < 0 do
+            incr k
+          done;
+          if !k < len then begin
+            c.(1) <- c.(!k);
+            c.(!k) <- np;
+            Vec.push s.watches.(c.(1) lxor 1) cid
+          end
+          else begin
+            ws.Vec.data.(!j) <- cid;
+            incr j;
+            if lit_value s c.(0) < 0 then begin
+              (* conflict: drain the rest of the watch list untouched *)
+              confl := cid;
+              while !i < n do
+                ws.Vec.data.(!j) <- ws.Vec.data.(!i);
+                incr j;
+                incr i
+              done;
+              s.qhead <- s.trail_size
+            end
+            else enqueue s c.(0) cid
+          end
+        end
+      done;
+      ws.Vec.size <- !j
+    done;
+    !confl
+
+  let var_bump s v =
+    s.activity.(v) <- s.activity.(v) +. s.var_inc;
+    if s.activity.(v) > 1e100 then begin
+      for u = 0 to s.nvars - 1 do
+        s.activity.(u) <- s.activity.(u) *. 1e-100
+      done;
+      s.var_inc <- s.var_inc *. 1e-100
+    end
+
+  let cancel_until s lvl =
+    if decision_level s > lvl then begin
+      (* pop trail_lim entries down to [lvl]; the last one popped is the
+         trail size recorded when decision [lvl + 1] was made *)
+      let rec pop lims n cut =
+        if n > lvl then
+          match lims with
+          | sz :: rest -> pop rest (n - 1) sz
+          | [] -> assert false
+        else (lims, cut)
+      in
+      let lims, cut = pop s.trail_lim (decision_level s) s.trail_size in
+      for i = s.trail_size - 1 downto cut do
+        let l = s.trail.(i) in
+        let v = l lsr 1 in
+        s.polarity.(v) <- l land 1 = 0;
+        s.value.(v) <- 0;
+        s.reason.(v) <- -1
+      done;
+      s.trail_size <- cut;
+      s.qhead <- cut;
+      s.trail_lim <- lims
+    end
+
+  (* First-UIP conflict analysis.  Returns (learnt clause with the
+     asserting literal first, backjump level). *)
+  let analyze s confl =
+    let learnt = ref [] in
+    let btlevel = ref 0 in
+    let counter = ref 0 in
+    let p = ref (-1) in
+    let cid = ref confl in
+    let idx = ref (s.trail_size - 1) in
+    let cur = decision_level s in
+    let continue = ref true in
+    while !continue do
+      let c = s.clauses.(!cid) in
+      Array.iter
+        (fun q ->
+          if q <> !p then begin
+            let v = q lsr 1 in
+            if (not s.seen.(v)) && s.level.(v) > 0 then begin
+              s.seen.(v) <- true;
+              var_bump s v;
+              if s.level.(v) >= cur then incr counter
+              else begin
+                learnt := q :: !learnt;
+                if s.level.(v) > !btlevel then btlevel := s.level.(v)
+              end
+            end
+          end)
+        c;
+      (* next seen literal on the trail *)
+      while not s.seen.(s.trail.(!idx) lsr 1) do
+        decr idx
+      done;
+      p := s.trail.(!idx);
+      decr idx;
+      let v = !p lsr 1 in
+      s.seen.(v) <- false;
+      decr counter;
+      if !counter = 0 then continue := false else cid := s.reason.(v)
+    done;
+    let learnt = (!p lxor 1) :: !learnt in
+    List.iter (fun q -> s.seen.(q lsr 1) <- false) (List.tl learnt);
+    (Array.of_list learnt, !btlevel)
+
+  (* Luby restart sequence: 1 1 2 1 1 2 4 ... *)
+  let rec luby i =
+    (* i = 2^k - 1 ends a block with value 2^(k-1); otherwise recurse
+       into the repeated prefix *)
+    let rec pow2 k acc = if acc >= i + 1 then (k, acc) else pow2 (k + 1) (2 * acc) in
+    let k, p = pow2 0 1 in
+    if p = i + 1 then float_of_int (1 lsl (k - 1)) else luby (i - (p / 2) + 1)
+
+  let restart_base = 64
+
+  exception Unsat_under_assumptions
+
+  let solve ?(assumptions = []) ?(limits = Engine.Limits.unlimited) s =
+    Obs.incr c_solves;
+    if s.unsat then Engine.Unsat
+    else begin
+      let assumps = Array.of_list (List.map (lit_of_ext s) assumptions) in
+      Engine.Budget.run limits (fun budget ->
+          Fun.protect
+            ~finally:(fun () -> cancel_until s 0)
+            (fun () ->
+              let sat = ref None in
+              let restarts = ref 0 in
+              let conflict_limit = ref (float_of_int restart_base *. luby 1) in
+              let conflicts_here = ref 0 in
+              (try
+                 while !sat = None do
+                   let confl = propagate s in
+                   if confl >= 0 then begin
+                     (* conflict *)
+                     s.n_conflicts <- s.n_conflicts + 1;
+                     incr conflicts_here;
+                     Obs.incr c_conflicts;
+                     Fault.hit conflict_fault_point;
+                     Engine.Budget.tick_backtrack budget;
+                     if decision_level s = 0 then begin
+                       s.unsat <- true;
+                       raise Unsat_under_assumptions
+                     end;
+                     let learnt, btlevel = analyze s confl in
+                     cancel_until s btlevel;
+                     Obs.incr c_learned;
+                     s.var_inc <- s.var_inc /. 0.95;
+                     if Array.length learnt = 1 then enqueue s learnt.(0) (-1)
+                     else begin
+                       (* watch the asserting literal and a max-level one *)
+                       let best = ref 1 in
+                       for k = 2 to Array.length learnt - 1 do
+                         if
+                           s.level.(learnt.(k) lsr 1)
+                           > s.level.(learnt.(!best) lsr 1)
+                         then best := k
+                       done;
+                       let tmp = learnt.(1) in
+                       learnt.(1) <- learnt.(!best);
+                       learnt.(!best) <- tmp;
+                       let cid = add_clause_internal s learnt in
+                       enqueue s learnt.(0) cid
+                     end
+                   end
+                   else if
+                     float_of_int !conflicts_here >= !conflict_limit
+                   then begin
+                     (* Luby restart: back to the root, keep the learnt
+                        clauses and phases *)
+                     conflicts_here := 0;
+                     incr restarts;
+                     Obs.incr c_restarts;
+                     conflict_limit :=
+                       float_of_int restart_base *. luby (!restarts + 1);
+                     cancel_until s 0
+                   end
+                   else begin
+                     (* re-assert assumptions, then branch *)
+                     let rec next_assumption i =
+                       if i >= Array.length assumps then `Done
+                       else
+                         let l = assumps.(i) in
+                         match lit_value s l with
+                         | v when v > 0 -> next_assumption (i + 1)
+                         | v when v < 0 -> `Conflicting
+                         | _ -> `Decide l
+                     in
+                     match next_assumption 0 with
+                     | `Conflicting -> raise Unsat_under_assumptions
+                     | `Decide l ->
+                       s.trail_lim <- s.trail_size :: s.trail_lim;
+                       enqueue s l (-1)
+                     | `Done -> (
+                       (* VSIDS-style pick: unassigned variable of maximal
+                          activity, saved phase *)
+                       let best = ref (-1) in
+                       for v = 0 to s.nvars - 1 do
+                         if
+                           s.value.(v) = 0
+                           && (!best < 0
+                              || s.activity.(v) > s.activity.(!best))
+                         then best := v
+                       done;
+                       match !best with
+                       | -1 ->
+                         (* full assignment: a model *)
+                         s.model <- Array.sub s.value 0 s.nvars;
+                         sat := Some true
+                       | v ->
+                         (* decisions are the SAT side of the node budget;
+                            the tick also polls the cancel token and the
+                            deadline *)
+                         Engine.Budget.tick_node budget;
+                         Obs.incr c_decisions;
+                         s.trail_lim <- s.trail_size :: s.trail_lim;
+                         enqueue s
+                           ((2 * v) lor (if s.polarity.(v) then 0 else 1))
+                           (-1))
+                   end
+                 done;
+                 Some ()
+               with Unsat_under_assumptions -> None)))
+    end
+
+  let model_value s v =
+    let v = v - 1 in
+    v >= 0 && v < Array.length s.model && s.model.(v) > 0
+end

@@ -1,0 +1,75 @@
+(** The pluggable propositional backend: a solver module signature in the
+    crossbow [Csp_inst.Make (Solv : Csp_solver.S)] shape (SNIPPETS.md),
+    plus a pure-OCaml CDCL implementation.
+
+    Variables are positive integers handed out by {!S.new_var}; a literal
+    is [+v] (the variable) or [-v] (its negation) — the DIMACS
+    convention, so clause lists print directly.  {!S.solve} runs under
+    {!Certdb_csp.Engine.Limits.t} with the engine's budget semantics:
+    decisions tick the node budget, conflicts tick the backtrack budget
+    (conflict budget ≈ backtrack budget), the wall-clock deadline and the
+    cancel token are polled inside the search loop, and the result is the
+    same three-valued {!Certdb_csp.Engine.outcome} — [Sat]/[Unsat] are
+    definitive, a tripped limit is [Unknown].
+
+    Every conflict passes the ["csp.sat.conflict"] fault point
+    ({!Certdb_obs.Fault}), and an injected crash surfaces as
+    [Unknown (Crashed "csp.sat.conflict")], never an escaped exception —
+    the same failure contract as the CSP engine, which is what lets
+    {!Certdb_csp.Resilient}'s ladder cross backends. *)
+
+module Engine = Certdb_csp.Engine
+
+(** What a backend must provide.  [solve] may be called repeatedly with
+    different assumption sets over a growing clause set (incremental
+    use); clauses are permanent. *)
+module type S = sig
+  type t
+
+  (** Backend name, for routing labels and DIMACS comments. *)
+  val name : string
+
+  val create : unit -> t
+
+  (** Allocate a fresh variable (positive, dense from 1). *)
+  val new_var : t -> int
+
+  (** Number of variables allocated so far. *)
+  val nvars : t -> int
+
+  (** [add_clause s lits] — add a clause over existing variables.
+      Duplicate literals are merged and tautologies dropped; the empty
+      clause makes the instance permanently unsatisfiable.
+      @raise Invalid_argument on a literal whose variable was never
+      allocated. *)
+  val add_clause : t -> int list -> unit
+
+  (** [solve ?assumptions ?limits s] — decide satisfiability of the
+      clauses under the (temporary) assumption literals.  [Unsat] means
+      unsatisfiable {e under the assumptions}; [Unknown r] reports the
+      tripped limit ([r] uses the engine's reasons: [Node_budget] =
+      decision budget, [Backtrack_budget] = conflict budget, plus
+      [Deadline] / [Cancelled] / [Crashed _]). *)
+  val solve :
+    ?assumptions:int list ->
+    ?limits:Engine.Limits.t ->
+    t ->
+    unit Engine.outcome
+
+  (** [model_value s v] — the value of [v] in the model of the last
+      [Sat] answer.  Meaningless (but safe) otherwise. *)
+  val model_value : t -> int -> bool
+
+  (** Conflicts encountered over the solver's lifetime. *)
+  val conflicts : t -> int
+end
+
+(** The CDCL core: two-watched-literal unit propagation, first-UIP
+    conflict analysis with clause learning, VSIDS-style exponential
+    activity decay, phase saving, and Luby-sequence restarts.  Learned
+    clauses are kept (no database reduction — instance sizes here are
+    bounded by the encoder).  Counted under [csp.sat.*]. *)
+module Cdcl : S
+
+(** The name of the conflict fault point, ["csp.sat.conflict"]. *)
+val conflict_fault_point : string

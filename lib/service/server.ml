@@ -9,6 +9,7 @@ module Cq = Certdb_query.Cq
 module Ucq = Certdb_query.Ucq
 module Plan = Certdb_analysis.Plan
 module Footprint = Certdb_analysis.Footprint
+module Sat_backend = Certdb_sat.Backend
 
 module Config = struct
   type t = {
@@ -18,15 +19,18 @@ module Config = struct
     default_limits : Engine.Limits.t;
     jobs : int;
     slow_ms : float option;
+    backend : Sat_backend.choice;
   }
 
   let make ?(cache_capacity = 1024) ?(canon_budget = Canon.default_budget)
       ?(policy = Resilient.Policy.default)
-      ?(default_limits = Engine.Limits.unlimited) ?jobs ?slow_ms () =
+      ?(default_limits = Engine.Limits.unlimited) ?jobs ?slow_ms
+      ?(backend = Sat_backend.Csp) () =
     let jobs =
       match jobs with Some j -> max 1 j | None -> Engine.Batch.default_jobs ()
     in
-    { cache_capacity; canon_budget; policy; default_limits; jobs; slow_ms }
+    { cache_capacity; canon_budget; policy; default_limits; jobs; slow_ms;
+      backend }
 
   let default = make ()
 end
@@ -112,12 +116,21 @@ let lookup t db =
 (* [`Lower_bound] answers depend on the budget that produced them, so
    their cache key carries the budget; [`Exact] answers (and non-Boolean
    answer sets, always exact by Theorem 4) are budget-independent. *)
-let limits_sig (l : Engine.Limits.t) (p : Resilient.Policy.t) =
+let limits_sig ?(backend = Sat_backend.Csp) (l : Engine.Limits.t)
+    (p : Resilient.Policy.t) =
   let i = function None -> "-" | Some n -> string_of_int n in
   let f = function None -> "-" | Some x -> Printf.sprintf "%g" x in
-  Printf.sprintf "b:%s,%s,%s;a:%d;e:%g" (i l.nodes) (i l.backtracks)
-    (f l.timeout_ms) p.Resilient.Policy.max_attempts
-    p.Resilient.Policy.escalation
+  let base =
+    Printf.sprintf "b:%s,%s,%s;a:%d;e:%g" (i l.nodes) (i l.backtracks)
+      (f l.timeout_ms) p.Resilient.Policy.max_attempts
+      p.Resilient.Policy.escalation
+  in
+  (* the default backend keeps its historical key; non-default backends
+     scope their lower bounds apart (an Exact answer is still shared —
+     routing never changes answers, only whether a budget trips) *)
+  match backend with
+  | Sat_backend.Csp -> base
+  | b -> base ^ ";k:" ^ Sat_backend.choice_to_string b
 
 (* a query whose cache lookup missed, ready to compute *)
 type pending = {
@@ -125,6 +138,7 @@ type pending = {
   p_limits : Engine.Limits.t;
   p_policy : Resilient.Policy.t;
   p_q : Cq.t;
+  p_backend : Sat_backend.choice;
   p_plain : string option;  (* where an exact answer is stored *)
   p_scoped : string option;  (* where a lower bound is stored *)
 }
@@ -133,7 +147,7 @@ type pending = {
    anyone is valid under any budget — then, for budgeted requests, the
    budget-scoped key, so a degraded answer is only reused by requests
    imposing the same budget. *)
-let prepare t entry ~limits ~policy ~no_cache q =
+let prepare t entry ~limits ~policy ~backend ~no_cache q =
   let todo plain scoped =
     `Todo
       {
@@ -141,6 +155,7 @@ let prepare t entry ~limits ~policy ~no_cache q =
         p_limits = limits;
         p_policy = policy;
         p_q = q;
+        p_backend = backend;
         p_plain = plain;
         p_scoped = scoped;
       }
@@ -159,7 +174,7 @@ let prepare t entry ~limits ~policy ~no_cache q =
       let key = entry.fingerprint ^ "|" ^ ck in
       let scoped =
         if Engine.Limits.is_unlimited limits then None
-        else Some (key ^ "|" ^ limits_sig limits policy)
+        else Some (key ^ "|" ^ limits_sig ~backend limits policy)
       in
       match Cache.find cache key with
       | Some (a, _) -> `Hit a
@@ -185,8 +200,9 @@ let compute_pending ?(jobs = 1) p =
   let b0 = Obs.counter_value c_backtracks in
   let a =
     if p.p_q.Cq.head = [] then
-      Graded (Plan.certain ~policy:p.p_policy ~limits:p.p_limits ~jobs p.p_q
-                p.p_entry.instance)
+      Graded
+        (Plan.certain ~policy:p.p_policy ~limits:p.p_limits ~jobs
+           ~backend:p.p_backend p.p_q p.p_entry.instance)
     else Tuples (Plan.certain_answers (Ucq.make [ p.p_q ]) p.p_entry.instance)
   in
   Trace.annotate "nodes" (string_of_int (Obs.counter_value c_nodes - n0));
@@ -208,7 +224,7 @@ let store t p a ~cost_ms =
       Cache.add cache k ~footprint ~cost_ms a
     | _ -> ())
 
-let eval_query t ~db ?limits ?max_attempts ?(no_cache = false) q =
+let eval_query t ~db ?limits ?max_attempts ?backend ?(no_cache = false) q =
   let limits = Option.value limits ~default:t.config.Config.default_limits in
   let policy =
     match max_attempts with
@@ -216,10 +232,11 @@ let eval_query t ~db ?limits ?max_attempts ?(no_cache = false) q =
     | Some n ->
       { t.config.Config.policy with Resilient.Policy.max_attempts = max 1 n }
   in
+  let backend = Option.value backend ~default:t.config.Config.backend in
   match lookup t db with
   | Error _ as e -> e
   | Ok entry -> (
-    match prepare t entry ~limits ~policy ~no_cache q with
+    match prepare t entry ~limits ~policy ~backend ~no_cache q with
     | `Hit a -> Ok ((a, true) : answer * bool)
     | `Todo p ->
       let a, cost_ms = compute_pending ~jobs:t.config.Config.jobs p in
@@ -246,6 +263,17 @@ let request_policy t j =
   | Some n ->
     { t.config.Config.policy with Resilient.Policy.max_attempts = max 1 n }
 
+let request_backend t j =
+  match Wire.str_field "backend" j with
+  | None -> Ok t.config.Config.backend
+  | Some s -> (
+    match Sat_backend.choice_of_string s with
+    | Some b -> Ok b
+    | None ->
+      Error
+        (Printf.sprintf "backend: %S is not one of %s" s
+           (String.concat "/" Sat_backend.choice_names)))
+
 (* Parse the query-shaped fields of [j] and run the cache lookup.  The
    canonical key of the request's query text comes from the [memo] LRU
    when the same text was served before, so the hit path skips CQ
@@ -262,6 +290,9 @@ let prepare_request t j =
       match lookup t db with
       | Error m -> Error m
       | Ok entry -> (
+        match request_backend t j with
+        | Error m -> Error m
+        | Ok backend -> (
         let limits = request_limits t j in
         let policy = request_policy t j in
         let no_cache =
@@ -283,6 +314,7 @@ let prepare_request t j =
                    p_limits = limits;
                    p_policy = policy;
                    p_q = q;
+                   p_backend = backend;
                    p_plain = plain;
                    p_scoped = scoped;
                  })
@@ -314,7 +346,7 @@ let prepare_request t j =
             let key = entry.fingerprint ^ "|" ^ ck in
             let scoped =
               if Engine.Limits.is_unlimited limits then None
-              else Some (key ^ "|" ^ limits_sig limits policy)
+              else Some (key ^ "|" ^ limits_sig ~backend limits policy)
             in
             match Cache.find cache key with
             | Some (a, _) -> Ok (`Hit a)
@@ -322,7 +354,7 @@ let prepare_request t j =
               match Option.bind scoped (Cache.find cache) with
               | Some (a, _) -> Ok (`Hit a)
               | None -> todo ?q (Some key) scoped)))
-        | _ -> todo None None)))
+        | _ -> todo None None))))
 
 let answer_fields ?latency_ms answer ~cached =
   let base =

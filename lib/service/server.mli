@@ -97,10 +97,13 @@ module Config : sig
     jobs : int;  (** domain-pool width for the [batch] verb *)
     slow_ms : float option;
         (** slow-query threshold; [None] disables the slow log *)
+    backend : Certdb_sat.Backend.choice;
+        (** default solver backend for [certain] evaluations; a
+            per-request ["backend"] field overrides it *)
   }
 
   (** 1024 entries, default policy, unlimited limits,
-      [Engine.Batch.default_jobs] workers, no slow log. *)
+      [Engine.Batch.default_jobs] workers, no slow log, CSP backend. *)
   val default : t
 
   val make :
@@ -110,6 +113,7 @@ module Config : sig
     ?default_limits:Engine.Limits.t ->
     ?jobs:int ->
     ?slow_ms:float ->
+    ?backend:Certdb_sat.Backend.choice ->
     unit ->
     t
 end
@@ -137,6 +141,7 @@ val eval_query :
   db:string ->
   ?limits:Engine.Limits.t ->
   ?max_attempts:int ->
+  ?backend:Certdb_sat.Backend.choice ->
   ?no_cache:bool ->
   Certdb_query.Cq.t ->
   (answer * bool, string) result

@@ -2,6 +2,7 @@ open Certdb_relational
 module Json = Certdb_obs.Obs.Json
 module Engine = Certdb_csp.Engine
 module Resilient = Certdb_csp.Resilient
+module Sat_backend = Certdb_sat.Backend
 
 (* CQ concrete syntax: "ans(vars) :- atoms".  The body reuses the
    instance parser (atoms separated by ");" boundaries rewritten to
@@ -269,14 +270,23 @@ let describe_exn = function
 
 (* batch tasks *)
 
-type work =
-  Engine.Limits.t
-  * (Engine.Limits.t ->
-    [ `Sat of (string * Json.t) list | `Unsat | `Unknown of Engine.reason ])
+type work = {
+  w_limits : Engine.Limits.t;
+  w_run :
+    Engine.Limits.t ->
+    [ `Sat of (string * Json.t) list | `Unsat | `Unknown of Engine.reason ];
+  w_fallback :
+    (string
+    * (Engine.Limits.t ->
+      [ `Sat of (string * Json.t) list | `Unsat | `Unknown of Engine.reason ]))
+    option;
+}
 
 type task = string * string * (work, string) result
 
-let parse_task ?cancel idx line =
+let work ?fallback limits run = { w_limits = limits; w_run = run; w_fallback = fallback }
+
+let parse_task ?cancel ?(backend = Sat_backend.Csp) idx line =
   match Json.of_string line with
   | exception Json.Parse_error m ->
     ("line-" ^ string_of_int idx, "?", Error ("json: " ^ m))
@@ -301,45 +311,76 @@ let parse_task ?cancel idx line =
         let* d1 = instance "d1" in
         let* d2 = instance "d2" in
         Ok
-          ( limits,
-            fun limits ->
-              match Hom.find_b ~limits d1 d2 with
-              | Engine.Sat h ->
-                `Sat
-                  [
-                    ( "witness",
-                      Json.String
-                        (Format.asprintf "%a" Certdb_values.Valuation.pp h) );
-                  ]
-              | Engine.Unsat -> `Unsat
-              | Engine.Unknown r -> `Unknown r )
+          (work limits (fun limits ->
+               match Hom.find_b ~limits d1 d2 with
+               | Engine.Sat h ->
+                 `Sat
+                   [
+                     ( "witness",
+                       Json.String
+                         (Format.asprintf "%a" Certdb_values.Valuation.pp h) );
+                   ]
+               | Engine.Unsat -> `Unsat
+               | Engine.Unknown r -> `Unknown r))
       | "member" ->
         let* d = instance "d" in
         let* r = instance "r" in
         Ok
-          ( limits,
-            fun limits ->
-              match Semantics.mem_b ~limits r d with
-              | `True -> `Sat []
-              | `False -> `Unsat
-              | `Unknown reason -> `Unknown reason )
+          (work limits (fun limits ->
+               match Semantics.mem_b ~limits r d with
+               | `True -> `Sat []
+               | `False -> `Unsat
+               | `Unknown reason -> `Unknown reason))
       | "certain" -> (
         let* d = instance "d" in
+        let* backend =
+          (* per-line override of the stream-level default *)
+          match str_field "backend" j with
+          | None -> Ok backend
+          | Some s -> (
+            match Sat_backend.choice_of_string s with
+            | Some b -> Ok b
+            | None ->
+              Error
+                (Printf.sprintf "backend: %S is not one of %s" s
+                   (String.concat "/" Sat_backend.choice_names)))
+        in
         match str_field "query" j with
         | None -> Error "missing field \"query\""
         | Some qs -> (
           match parse_cq_result qs with
           | Error m -> Error ("query: " ^ m)
           | Ok q ->
+            let of_decision = function
+              | `True -> `Sat []
+              | `False -> `Unsat
+              | `Unknown reason -> `Unknown reason
+            in
+            let csp limits =
+              of_decision (Certdb_query.Certain.certain_cq_via_hom_b ~limits q d)
+            in
+            let sat limits =
+              of_decision (Certdb_query.Certain.certain_cq_via_sat_b ~limits q d)
+            in
+            (* the primary backend; the other one is the ladder's
+               cross-backend fallback rung.  [Auto] asks the planner's
+               certificates which solver fits this query. *)
+            let sat_primary =
+              match backend with
+              | Sat_backend.Csp -> false
+              | Sat_backend.Sat -> true
+              | Sat_backend.Auto -> (
+                match
+                  (Certdb_analysis.Plan.route_cq ~backend:Sat_backend.Auto q)
+                    .route
+                with
+                | Certdb_analysis.Plan.Sat_backend _ -> true
+                | _ -> false)
+            in
             Ok
-              ( limits,
-                fun limits ->
-                  match
-                    Certdb_query.Certain.certain_cq_via_hom_b ~limits q d
-                  with
-                  | `True -> `Sat []
-                  | `False -> `Unsat
-                  | `Unknown reason -> `Unknown reason )))
+              (if sat_primary then work ~fallback:("csp", csp) limits sat
+               else if backend = Sat_backend.Csp then work limits csp
+               else work ~fallback:("sat", sat) limits csp)))
       | other -> Error (Printf.sprintf "unknown op %S" other)
     in
     (id, op, work)
@@ -348,13 +389,19 @@ let run_task ~policy (idx, (id, op, work)) =
   let fields =
     match work with
     | Error msg -> error_fields msg
-    | Ok (limits, f) -> (
+    | Ok { w_limits = limits; w_run = f; w_fallback } -> (
+      let lift f limits =
+        match f limits with
+        | `Sat extra -> Engine.Sat extra
+        | `Unsat -> Engine.Unsat
+        | `Unknown reason -> Engine.Unknown reason
+      in
+      let fallback =
+        Option.map (fun (name, f) -> (name, lift f)) w_fallback
+      in
       match
-        Resilient.run ~policy ~limits (fun ~attempt:_ limits ->
-            match f limits with
-            | `Sat extra -> Engine.Sat extra
-            | `Unsat -> Engine.Unsat
-            | `Unknown reason -> Engine.Unknown reason)
+        Resilient.run ~policy ?fallback ~limits (fun ~attempt:_ limits ->
+            lift f limits)
       with
       | r ->
         let base =

@@ -59,28 +59,48 @@ val describe_exn : exn -> string
 
 (** {1 Batch tasks} *)
 
-(** A parsed batch line: the request's own limits plus a closure solving
+(** A parsed batch line: the request's own limits, a closure solving
     the problem under the (possibly escalated) limits of the current
-    attempt. *)
-type work =
-  Engine.Limits.t
-  * (Engine.Limits.t ->
-    [ `Sat of (string * Json.t) list | `Unsat | `Unknown of Engine.reason ])
+    attempt, and an optional named cross-backend fallback the retry
+    ladder runs when every primary attempt trips. *)
+type work = {
+  w_limits : Engine.Limits.t;
+  w_run :
+    Engine.Limits.t ->
+    [ `Sat of (string * Json.t) list | `Unsat | `Unknown of Engine.reason ];
+  w_fallback :
+    (string
+    * (Engine.Limits.t ->
+      [ `Sat of (string * Json.t) list | `Unsat | `Unknown of Engine.reason ]))
+    option;
+}
 
 (** [(id, op, work-or-parse-error)] *)
 type task = string * string * (work, string) result
 
-(** [parse_task ?cancel idx line] parses one JSONL batch request
-    ([op] ∈ [leq] / [member] / [certain]).  Any parse failure — bad
-    JSON, missing field, unknown op — is [Error msg], never an
+(** [parse_task ?cancel ?backend idx line] parses one JSONL batch
+    request ([op] ∈ [leq] / [member] / [certain]).  Any parse failure —
+    bad JSON, missing field, unknown op — is [Error msg], never an
     exception.  [cancel] is threaded into the task's limits so a
-    fail-fast trip aborts in-flight searches. *)
-val parse_task : ?cancel:Engine.Cancel.t -> int -> string -> task
+    fail-fast trip aborts in-flight searches.
+
+    [backend] (default [Csp]) picks the solver for [certain] tasks; a
+    per-line ["backend": "csp"|"sat"|"auto"] field overrides it.
+    [Sat] makes the CDCL backend primary with a CSP fallback rung;
+    [Auto] consults {!Certdb_analysis.Plan.route_cq}'s certificates;
+    [Csp] behaves exactly as before (no fallback). *)
+val parse_task :
+  ?cancel:Engine.Cancel.t ->
+  ?backend:Certdb_sat.Backend.choice ->
+  int ->
+  string ->
+  task
 
 (** [run_task ~policy (idx, task)] runs a parsed task under the
-    {!Certdb_csp.Resilient} retry ladder and renders the response row
-    ([status] ∈ [sat] / [unsat] / [unknown] / [error], plus [attempts]
-    when the policy retries). *)
+    {!Certdb_csp.Resilient} retry ladder — crossing to the task's
+    fallback backend on exhaustion, if it has one — and renders the
+    response row ([status] ∈ [sat] / [unsat] / [unknown] / [error],
+    plus [attempts] when the policy retries). *)
 val run_task :
   policy:Certdb_csp.Resilient.Policy.t -> int * task -> Json.t
 

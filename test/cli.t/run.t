@@ -191,11 +191,19 @@ subcommand runs (timing fields redacted for determinism):
     csp.engine.unknowns             0
     csp.enumerate.visited           0
     csp.resilient.attempts          0
+    csp.resilient.crossed           0
+    csp.resilient.crossed_recovered 0
     csp.resilient.exhausted         0
     csp.resilient.propagation_unsat 0
     csp.resilient.recovered         0
     csp.resilient.retries           0
     csp.resilient.runs              0
+    csp.sat.conflicts               0
+    csp.sat.decisions               0
+    csp.sat.learned                 0
+    csp.sat.propagations            0
+    csp.sat.restarts                0
+    csp.sat.solves                  0
     csp.solver.backtracks           0
     csp.solver.decisions            0
     csp.solver.fc_prunes            0
@@ -223,6 +231,7 @@ subcommand runs (timing fields redacted for determinism):
     query.plan.fd_naive             0
     query.plan.hom_ladder           0
     query.plan.naive_eval           0
+    query.plan.sat                  0
     query.resilient.degraded        0
     query.resilient.exact           0
     rel.glb.merged_facts            0

@@ -1,0 +1,78 @@
+Locate the binary (dune places cram deps at workspace-relative paths):
+
+  $ CERTDB=$(find . ../.. -name 'certdb.exe' 2>/dev/null | head -1)
+  $ echo found
+  found
+
+DIMACS export of a Boolean-CQ certainty instance.  Three fresh nulls
+over a unary relation are pairwise interchangeable, so the encoder
+reports one symmetry class of three and appends two ordering clauses
+(the last two lines) on top of the selector/tuple-support CNF:
+
+  $ $CERTDB sat dimacs -q "ans() :- P(_a), P(_b), P(_c)" "P(1); P(2)"
+  c certdb Boolean-CQ certainty; zero_ok=true
+  c sel_vars=6 tuple_vars=6 clauses=17 sym_classes=1 largest_class=3
+  p cnf 12 17
+  1 2 0
+  -1 -2 0
+  3 4 0
+  -3 -4 0
+  5 6 0
+  -5 -6 0
+  -7 1 0
+  -8 2 0
+  8 7 0
+  -9 3 0
+  -10 4 0
+  10 9 0
+  -11 5 0
+  -12 6 0
+  12 11 0
+  -2 -3 0
+  -4 -5 0
+
+Same instance without symmetry breaking — two clauses fewer, nothing
+else changes (the ordering clauses never affect satisfiability):
+
+  $ $CERTDB sat dimacs --no-symmetry -q "ans() :- P(_a), P(_b), P(_c)" "P(1); P(2)" | head -3
+  c certdb Boolean-CQ certainty; zero_ok=true
+  c sel_vars=6 tuple_vars=6 clauses=15 sym_classes=0 largest_class=0
+  p cnf 12 15
+
+Only Boolean queries encode:
+
+  $ $CERTDB sat dimacs -q "ans(_x) :- P(_x)" "P(1)"
+  sat dimacs applies to Boolean queries (empty head)
+  [2]
+
+Certainty through the SAT backend agrees with the default CSP engine:
+
+  $ $CERTDB certain --backend sat --degrade -q "ans() :- E(_x,_y), E(_y,_x)" "E(1,2); E(2,1)"
+  exact: true
+
+  $ $CERTDB certain --backend sat --degrade -q "ans() :- E(_x,_y), E(_y,_x)" "E(1,2)"
+  exact: false
+  [1]
+
+  $ $CERTDB certain --backend auto --degrade -q "ans() :- E(_x,_y), E(_y,_z), E(_z,_x)" "E(1,2); E(2,3); E(3,1)"
+  exact: true
+
+The planner's route and the CDCL core are visible in --stats:
+
+  $ $CERTDB certain --backend sat -q "ans() :- E(_x,_y), E(_y,_x)" "E(1,2); E(2,1)" --stats 2>&1 | grep -E 'query\.plan\.sat|csp\.sat\.solves'
+    csp.sat.solves                  1
+    query.plan.sat                  1
+
+Batch streams take a stream-level --backend default and a per-line
+"backend" override; an unknown name is a structured error row, not a
+dead stream:
+
+  $ printf '%s\n%s\n%s\n' \
+  >   '{"op":"certain","query":"ans() :- E(_x,_y), E(_y,_x)","d":"E(1,2); E(2,1)","backend":"sat"}' \
+  >   '{"op":"certain","query":"ans() :- E(_x,_y)","d":"E(1,2)","backend":"nope"}' \
+  >   '{"op":"certain","query":"ans() :- E(_x,_y), E(_y,_x)","d":"E(1,2)"}' \
+  >   | $CERTDB batch --backend auto -
+  {"id":"0","index":0,"op":"certain","status":"sat"}
+  {"id":"1","index":1,"op":"certain","status":"error","error":"backend: \"nope\" is not one of csp/sat/auto"}
+  {"id":"2","index":2,"op":"certain","status":"unsat"}
+  [1]
